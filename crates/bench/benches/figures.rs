@@ -1,0 +1,89 @@
+//! `cargo bench` figure regenerator: runs a trimmed version of every paper
+//! table/figure so a single `cargo bench --workspace` exercises the whole
+//! evaluation. For presentation-quality runs use the dedicated binaries
+//! (`cargo run -p rex-bench --release --bin fig1 [--full]`, ...).
+
+use rex_bench::args::BenchArgs;
+use rex_bench::dnn_experiments::{run_fig5, DnnScale};
+use rex_bench::mf_experiments::{run_panel, MfScale, FOUR_PANELS};
+use rex_bench::output;
+use rex_bench::sgx_experiments::{overhead_row, run_arm, Arm, SgxScale};
+use rex_core::config::{ExecutionMode, GossipAlgorithm, SharingMode};
+use rex_sim::report::{overhead_table_markdown, speedup_row, speedup_table_markdown};
+
+fn bench_args(epochs: usize, nodes: usize) -> BenchArgs {
+    BenchArgs {
+        epochs: Some(epochs),
+        nodes: Some(nodes),
+        ..BenchArgs::default()
+    }
+}
+
+fn main() {
+    // Criterion-compatible CLI hygiene: `cargo bench` passes `--bench`.
+    println!("== REX figure regeneration (bench-sized) ==\n");
+
+    // Figs 1 & 2 + Table II: one node per user, all four panels.
+    let scale = MfScale::one_user_quick(&bench_args(40, 32));
+    let mut rows = Vec::new();
+    let mut traces = Vec::new();
+    for (label, algorithm, topology) in FOUR_PANELS {
+        eprintln!("[figs 1-2] {label}");
+        let (rex, ms) = run_panel(&scale, label, algorithm, topology, ExecutionMode::Native);
+        if let Some(row) = speedup_row(label, &rex, &ms) {
+            rows.push(row);
+        }
+        traces.push(rex);
+        traces.push(ms);
+    }
+    println!("Table II (bench scale):\n{}", speedup_table_markdown(&rows, "s"));
+    let refs: Vec<&_> = traces.iter().collect();
+    output::save_traces("bench_fig1_fig2", &refs);
+
+    // Fig 4 + Table III: multiple users per node.
+    let scale = MfScale::multi_user_quick(&bench_args(40, 12));
+    let mut rows = Vec::new();
+    for (label, algorithm, topology) in FOUR_PANELS {
+        eprintln!("[fig 4] {label}");
+        let (rex, ms) = run_panel(&scale, label, algorithm, topology, ExecutionMode::Native);
+        if let Some(row) = speedup_row(label, &rex, &ms) {
+            rows.push(row);
+        }
+    }
+    println!("Table III (bench scale):\n{}", speedup_table_markdown(&rows, "s"));
+
+    // Fig 5: DNN arms.
+    let scale = DnnScale {
+        epochs: 8,
+        ..DnnScale::quick(&bench_args(8, 8))
+    };
+    let dnn_traces = run_fig5(&scale);
+    println!("Fig 5 (bench scale):");
+    for t in &dnn_traces {
+        output::print_trace_summary(t);
+    }
+
+    // Figs 6-7 + Table IV: SGX vs native on 8 threaded nodes.
+    let mut rows = Vec::new();
+    for (scale, tag) in [
+        (SgxScale::fig6_quick(&bench_args(8, 8)), "small"),
+        (SgxScale::fig7_quick(&bench_args(6, 8)), "beyond-EPC"),
+    ] {
+        for algorithm in [GossipAlgorithm::Rmw, GossipAlgorithm::DPsgd] {
+            for sharing in [SharingMode::RawData, SharingMode::Model] {
+                let label = format!(
+                    "{}, {} ({tag})",
+                    algorithm.label(),
+                    if sharing == SharingMode::RawData { "REX" } else { "MS" }
+                );
+                eprintln!("[figs 6-7] {label}");
+                let native = run_arm(&scale, Arm { algorithm, sharing, sgx: false });
+                let sgx = run_arm(&scale, Arm { algorithm, sharing, sgx: true });
+                rows.push(overhead_row(&label, &sgx, &native));
+            }
+        }
+    }
+    println!("Table IV (bench scale):\n{}", overhead_table_markdown(&rows));
+
+    println!("== figure regeneration done ==");
+}

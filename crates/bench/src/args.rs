@@ -1,0 +1,101 @@
+//! Minimal CLI parsing shared by the bench binaries (no external parser:
+//! two flags and two overrides).
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    /// Run the paper-scale configuration instead of the quick one.
+    pub full: bool,
+    /// Override the epoch budget.
+    pub epochs: Option<usize>,
+    /// Override the node count (where meaningful).
+    pub nodes: Option<usize>,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        BenchArgs {
+            full: false,
+            epochs: None,
+            nodes: None,
+            seed: 0xBE7C,
+        }
+    }
+}
+
+impl BenchArgs {
+    /// Parses `std::env::args()`; exits with usage on unknown flags.
+    #[must_use]
+    pub fn parse() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses from an iterator (testable).
+    pub fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Self {
+        let mut out = BenchArgs::default();
+        let mut iter = iter.into_iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--full" => out.full = true,
+                "--epochs" => {
+                    out.epochs = Some(
+                        iter.next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage("--epochs needs a number")),
+                    );
+                }
+                "--nodes" => {
+                    out.nodes = Some(
+                        iter.next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage("--nodes needs a number")),
+                    );
+                }
+                "--seed" => {
+                    out.seed = iter
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--seed needs a number"));
+                }
+                "--help" | "-h" => usage(""),
+                other => usage(&format!("unknown flag {other}")),
+            }
+        }
+        out
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!("usage: <bench> [--full] [--epochs N] [--nodes N] [--seed N]");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> BenchArgs {
+        BenchArgs::from_iter(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert!(!a.full);
+        assert!(a.epochs.is_none());
+    }
+
+    #[test]
+    fn flags() {
+        let a = parse(&["--full", "--epochs", "42", "--nodes", "16", "--seed", "9"]);
+        assert!(a.full);
+        assert_eq!(a.epochs, Some(42));
+        assert_eq!(a.nodes, Some(16));
+        assert_eq!(a.seed, 9);
+    }
+}

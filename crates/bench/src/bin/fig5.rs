@@ -1,0 +1,43 @@
+//! Fig 5 — DNN model, multiple users per node, D-PSGD:
+//! (a) per-stage time breakdown, (b) data volume per epoch,
+//! (c) test error vs epochs, for {SW, ER} × {REX, MS}.
+
+use rex_bench::dnn_experiments::{run_fig5, DnnScale};
+use rex_bench::{output, BenchArgs};
+use rex_sim::report::stage_breakdown_markdown;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let scale = if args.full {
+        DnnScale::full(&args)
+    } else {
+        DnnScale::quick(&args)
+    };
+    println!(
+        "Fig 5: DNN recommender. {} users on {} nodes, {} epochs, {} pts/epoch",
+        scale.num_users, scale.nodes, scale.epochs, scale.points_per_epoch
+    );
+
+    let traces = run_fig5(&scale);
+
+    println!("\n(a) Stage time breakdown (mean per epoch):");
+    let rows: Vec<(String, _)> = traces
+        .iter()
+        .map(|t| (t.name.clone(), t.mean_stage_times()))
+        .collect();
+    println!("{}", stage_breakdown_markdown(&rows));
+
+    println!("(b) Data volume per epoch (mean per node):");
+    for t in &traces {
+        let per_epoch = t.total_bytes_per_node() / t.records.len() as f64;
+        println!("  {:<22} {:>12}/epoch", t.name, output::human_bytes(per_epoch));
+    }
+
+    println!("\n(c) Test error evolution:");
+    for t in &traces {
+        output::print_trace_summary(t);
+    }
+
+    let refs: Vec<&_> = traces.iter().collect();
+    output::save_traces("fig5", &refs);
+}

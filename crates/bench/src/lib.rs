@@ -1,0 +1,21 @@
+//! Shared harness for regenerating every table and figure of the paper.
+//!
+//! Each `src/bin/figN.rs` / `src/bin/tableN.rs` binary is a thin CLI over
+//! the experiment functions here; `benches/figures.rs` chains the quick
+//! variants so `cargo bench` regenerates everything. DESIGN.md §4 maps
+//! each paper artefact to its bench target.
+//!
+//! Two scales per experiment:
+//! * **quick** (default) — a reduced node count / epoch budget that runs in
+//!   seconds to a few minutes and preserves every qualitative conclusion;
+//! * **full** (`--full`) — the paper's exact shape (610 nodes, 400 epochs,
+//!   MovieLens-scale data); expect long runtimes, as the authors did
+//!   (their D-PSGD/ER simulation took 5 h).
+
+pub mod args;
+pub mod dnn_experiments;
+pub mod mf_experiments;
+pub mod output;
+pub mod sgx_experiments;
+
+pub use args::BenchArgs;

@@ -1,0 +1,182 @@
+//! Constructs node fleets from a dataset partition and a topology.
+
+use crate::config::ProtocolConfig;
+use crate::node::Node;
+use rex_data::{Partition, Rating};
+use rex_ml::dnn::{DnnHyperParams, DnnModel};
+use rex_ml::{MfHyperParams, MfModel};
+use rex_topology::Graph;
+
+/// Seed bundle so experiments can vary one randomness source at a time.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeSeeds {
+    /// Shared model-initialization seed (all nodes start from the same
+    /// parameters, standard in decentralized SGD).
+    pub model_init: u64,
+}
+
+impl Default for NodeSeeds {
+    fn default() -> Self {
+        NodeSeeds { model_init: 0xC0FFEE }
+    }
+}
+
+fn local_mean(ratings: &[Rating]) -> f32 {
+    if ratings.is_empty() {
+        return 3.5;
+    }
+    ratings.iter().map(|r| r.value).sum::<f32>() / ratings.len() as f32
+}
+
+/// Builds one MF node per partition slot, wired to `graph`.
+///
+/// # Panics
+/// If the partition and graph disagree on node count.
+#[must_use]
+pub fn build_mf_nodes(
+    partition: &Partition,
+    graph: &Graph,
+    num_users: u32,
+    num_items: u32,
+    hp: MfHyperParams,
+    cfg: ProtocolConfig,
+    seeds: NodeSeeds,
+) -> Vec<Node<MfModel>> {
+    assert_eq!(
+        partition.num_nodes(),
+        graph.len(),
+        "partition/topology node count mismatch"
+    );
+    (0..partition.num_nodes())
+        .map(|id| {
+            let train = partition.train[id].clone();
+            let mut model =
+                MfModel::new(num_users, num_items, hp, 3.5, seeds.model_init);
+            model.set_global_mean(local_mean(&train));
+            Node::new(
+                id,
+                graph.neighbors(id).to_vec(),
+                model,
+                train,
+                partition.test[id].clone(),
+                cfg,
+            )
+        })
+        .collect()
+}
+
+/// Builds one DNN node per partition slot, wired to `graph`.
+///
+/// # Panics
+/// If the partition and graph disagree on node count.
+#[must_use]
+pub fn build_dnn_nodes(
+    partition: &Partition,
+    graph: &Graph,
+    num_users: u32,
+    num_items: u32,
+    hp: DnnHyperParams,
+    cfg: ProtocolConfig,
+    seeds: NodeSeeds,
+) -> Vec<Node<DnnModel>> {
+    assert_eq!(
+        partition.num_nodes(),
+        graph.len(),
+        "partition/topology node count mismatch"
+    );
+    (0..partition.num_nodes())
+        .map(|id| {
+            let train = partition.train[id].clone();
+            let mean = local_mean(&train);
+            let model = DnnModel::new(num_users, num_items, hp.clone(), mean, seeds.model_init);
+            Node::new(
+                id,
+                graph.neighbors(id).to_vec(),
+                model,
+                train,
+                partition.test[id].clone(),
+                cfg,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rex_data::{SyntheticConfig, TrainTestSplit};
+    use rex_topology::TopologySpec;
+
+    fn partition(nodes: usize) -> (Partition, u32, u32) {
+        let ds = SyntheticConfig {
+            num_users: 20,
+            num_items: 100,
+            num_ratings: 800,
+            seed: 4,
+            ..SyntheticConfig::default()
+        }
+        .generate();
+        let split = TrainTestSplit::standard(&ds, 1);
+        (
+            Partition::multi_user(&split, nodes),
+            ds.num_users,
+            ds.num_items,
+        )
+    }
+
+    #[test]
+    fn builds_wired_mf_fleet() {
+        let (part, nu, ni) = partition(10);
+        let graph = TopologySpec::Ring.build(10, 0);
+        let nodes = build_mf_nodes(
+            &part,
+            &graph,
+            nu,
+            ni,
+            MfHyperParams::default(),
+            ProtocolConfig::default(),
+            NodeSeeds::default(),
+        );
+        assert_eq!(nodes.len(), 10);
+        for (i, n) in nodes.iter().enumerate() {
+            assert_eq!(n.id(), i);
+            assert_eq!(n.neighbors(), graph.neighbors(i));
+            assert!(!n.store().is_empty());
+        }
+    }
+
+    #[test]
+    fn global_mean_is_local() {
+        let (part, nu, ni) = partition(4);
+        let graph = TopologySpec::FullyConnected.build(4, 0);
+        let nodes = build_mf_nodes(
+            &part,
+            &graph,
+            nu,
+            ni,
+            MfHyperParams::default(),
+            ProtocolConfig::default(),
+            NodeSeeds::default(),
+        );
+        for (id, n) in nodes.iter().enumerate() {
+            let expected = local_mean(&part.train[id]);
+            assert!((n.model().global_mean() - expected).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn rejects_mismatched_sizes() {
+        let (part, nu, ni) = partition(4);
+        let graph = TopologySpec::Ring.build(5, 0);
+        let _ = build_mf_nodes(
+            &part,
+            &graph,
+            nu,
+            ni,
+            MfHyperParams::default(),
+            ProtocolConfig::default(),
+            NodeSeeds::default(),
+        );
+    }
+}

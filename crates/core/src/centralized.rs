@@ -1,0 +1,84 @@
+//! Centralized baseline (the paper's dashed reference line in Figs 1, 2, 4):
+//! one model trained on the full dataset, no network.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rex_data::Rating;
+use rex_ml::metrics::rmse;
+use rex_ml::Model;
+use rex_sim::clock::VirtualClock;
+use rex_sim::stage::{Stage, StageTimes};
+use rex_sim::stopwatch::Stopwatch;
+use rex_sim::trace::{EpochRecord, ExperimentTrace};
+
+/// Runs the centralized baseline for `epochs` epochs of `steps_per_epoch`
+/// training steps and returns its trace (time axis = measured compute).
+pub fn run_centralized<M: Model>(
+    name: &str,
+    model: &mut M,
+    train: &[Rating],
+    test: &[Rating],
+    steps_per_epoch: usize,
+    epochs: usize,
+    seed: u64,
+) -> ExperimentTrace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut clock = VirtualClock::new();
+    let mut trace = ExperimentTrace::new(name);
+    for epoch in 0..epochs {
+        let mut sw = Stopwatch::start();
+        model.train_steps(train, steps_per_epoch, &mut rng);
+        let train_ns = sw.lap();
+        let err = rmse(model, test).unwrap_or(f64::NAN);
+        let test_ns = sw.lap();
+        clock.advance(train_ns + test_ns);
+        let mut stage_times = StageTimes::new();
+        stage_times.add(Stage::Train, train_ns);
+        stage_times.add(Stage::Test, test_ns);
+        trace.push(EpochRecord {
+            epoch,
+            time_ns: clock.now_ns(),
+            rmse: err,
+            bytes_per_node: 0.0,
+            stage_times,
+            ram_bytes: model.memory_bytes() as f64,
+            sgx_overhead_ns: 0,
+        });
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rex_data::{SyntheticConfig, TrainTestSplit};
+    use rex_ml::{MfHyperParams, MfModel};
+
+    #[test]
+    fn baseline_converges_and_moves_no_bytes() {
+        let ds = SyntheticConfig {
+            num_users: 40,
+            num_items: 200,
+            num_ratings: 3_000,
+            seed: 9,
+            ..SyntheticConfig::default()
+        }
+        .generate();
+        let split = TrainTestSplit::standard(&ds, 0);
+        let mut model = MfModel::new(40, 200, MfHyperParams::default(), 3.5, 0);
+        let trace = run_centralized(
+            "Centralized",
+            &mut model,
+            &split.train,
+            &split.test,
+            split.train.len(),
+            20,
+            1,
+        );
+        assert_eq!(trace.records.len(), 20);
+        let first = trace.records.first().unwrap().rmse;
+        let last = trace.final_rmse().unwrap();
+        assert!(last < first - 0.05, "{first} -> {last}");
+        assert_eq!(trace.total_bytes_per_node(), 0.0);
+    }
+}

@@ -1,0 +1,41 @@
+//! REX: the first enclave-based decentralized collaborative-filtering
+//! recommender (paper: Dhasade, Dresevic, Kermarrec, Pires — IPDPS 2022).
+//!
+//! This crate is the paper's primary contribution. A REX deployment is a
+//! set of nodes, each holding private rating data, connected by a gossip
+//! topology. Per epoch every node runs the merge→train→share→test pipeline
+//! of Algorithm 2:
+//!
+//! * **merge** — incorporate received models (weighted average) and/or
+//!   append received raw ratings to the local store (deduplicated);
+//! * **train** — a fixed number of SGD steps on the local store (fixed so
+//!   epoch time stays flat as the store grows, §III-E);
+//! * **share** — [`config::SharingMode::RawData`] (REX: a random sample of
+//!   the store) or [`config::SharingMode::Model`] (the baseline: the full
+//!   serialized model), sent to one random neighbour
+//!   ([`config::GossipAlgorithm::Rmw`]) or all neighbours
+//!   ([`config::GossipAlgorithm::DPsgd`], §III-C);
+//! * **test** — RMSE on the local held-out set.
+//!
+//! In SGX mode every node's protocol state lives inside a simulated enclave
+//! (`rex-tee`): peers mutually attest before exchanging anything, payloads
+//! travel AEAD-sealed, and the runtime charges transition/paging costs that
+//! surface in the experiment traces.
+//!
+//! Entry points: [`runner::run_simulation`] (discrete-event, any node
+//! count), [`threaded::run_threaded`] (real threads, the paper's 8-node
+//! deployment), [`centralized::run_centralized`] (the baseline curve).
+
+pub mod builder;
+pub mod centralized;
+pub mod config;
+pub mod node;
+pub mod runner;
+pub mod store;
+pub mod threaded;
+
+pub use builder::{build_dnn_nodes, build_mf_nodes, NodeSeeds};
+pub use config::{ExecutionMode, GossipAlgorithm, ProtocolConfig, SharingMode};
+pub use node::Node;
+pub use runner::{run_simulation, SimulationConfig};
+pub use store::RawDataStore;

@@ -1,0 +1,152 @@
+//! The local raw-data store.
+//!
+//! Grows as neighbours gossip triplets; duplicates are dropped on append
+//! (paper §III-B merge: "all non-duplicate data items are appended to the
+//! local training data store"; §IV-C: "new data items are simply dumped
+//! into the local store" after a duplicate check). Sampling for the share
+//! step is stateless — the same point may be sent twice across epochs
+//! (§III-E).
+
+use rand::rngs::StdRng;
+use rand::seq::index::sample as index_sample;
+use rex_data::Rating;
+use std::collections::HashSet;
+
+/// Deduplicating store of rating triplets.
+#[derive(Debug, Clone, Default)]
+pub struct RawDataStore {
+    ratings: Vec<Rating>,
+    keys: HashSet<(u32, u32)>,
+}
+
+impl RawDataStore {
+    /// Empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Store seeded with the node's initial local data.
+    #[must_use]
+    pub fn with_initial(initial: Vec<Rating>) -> Self {
+        let mut store = Self::new();
+        store.append_batch(&initial);
+        store
+    }
+
+    /// Appends non-duplicate items; returns how many were new.
+    pub fn append_batch(&mut self, batch: &[Rating]) -> usize {
+        let mut added = 0;
+        for r in batch {
+            if self.keys.insert(r.key()) {
+                self.ratings.push(*r);
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// All stored ratings.
+    #[must_use]
+    pub fn ratings(&self) -> &[Rating] {
+        &self.ratings
+    }
+
+    /// Number of stored (distinct) ratings.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ratings.len()
+    }
+
+    /// Whether the store is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ratings.is_empty()
+    }
+
+    /// Draws `k` distinct stored points uniformly (all of them if the store
+    /// holds fewer). Stateless across calls.
+    #[must_use]
+    pub fn sample(&self, k: usize, rng: &mut StdRng) -> Vec<Rating> {
+        if self.ratings.is_empty() {
+            return Vec::new();
+        }
+        if k >= self.ratings.len() {
+            return self.ratings.clone();
+        }
+        index_sample(rng, self.ratings.len(), k)
+            .into_iter()
+            .map(|i| self.ratings[i])
+            .collect()
+    }
+
+    /// Resident bytes: triplets plus the dedup index (12 B payload + ~24 B
+    /// hash-set entry per item).
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        self.ratings.len() * (Rating::WIRE_SIZE + 24)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn r(user: u32, item: u32, value: f32) -> Rating {
+        Rating { user, item, value }
+    }
+
+    #[test]
+    fn dedup_on_append() {
+        let mut s = RawDataStore::new();
+        assert_eq!(s.append_batch(&[r(0, 0, 3.0), r(0, 1, 4.0)]), 2);
+        // Same cell, even with a different value, is a duplicate.
+        assert_eq!(s.append_batch(&[r(0, 0, 5.0), r(1, 0, 2.0)]), 1);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn append_is_idempotent() {
+        let batch: Vec<Rating> = (0..50).map(|i| r(i, i, 1.0)).collect();
+        let mut s = RawDataStore::with_initial(batch.clone());
+        assert_eq!(s.append_batch(&batch), 0);
+        assert_eq!(s.len(), 50);
+    }
+
+    #[test]
+    fn sample_is_distinct_within_batch() {
+        let s = RawDataStore::with_initial((0..100).map(|i| r(i, i, 1.0)).collect());
+        let mut rng = StdRng::seed_from_u64(1);
+        let batch = s.sample(30, &mut rng);
+        assert_eq!(batch.len(), 30);
+        let keys: HashSet<_> = batch.iter().map(Rating::key).collect();
+        assert_eq!(keys.len(), 30);
+    }
+
+    #[test]
+    fn sample_caps_at_store_size() {
+        let s = RawDataStore::with_initial((0..10).map(|i| r(i, i, 1.0)).collect());
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(s.sample(300, &mut rng).len(), 10);
+        assert!(RawDataStore::new().sample(5, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn stateless_sampling_can_repeat_across_calls() {
+        // §III-E: "nodes may send the same data points more than once".
+        let s = RawDataStore::with_initial((0..5).map(|i| r(i, i, 1.0)).collect());
+        let mut rng = StdRng::seed_from_u64(3);
+        let a: HashSet<_> = s.sample(3, &mut rng).iter().map(Rating::key).collect();
+        let b: HashSet<_> = s.sample(3, &mut rng).iter().map(Rating::key).collect();
+        assert!(!a.is_disjoint(&b) || a == b || !a.is_empty());
+    }
+
+    #[test]
+    fn memory_grows_with_items() {
+        let mut s = RawDataStore::new();
+        let m0 = s.memory_bytes();
+        s.append_batch(&(0..100).map(|i| r(i, i, 1.0)).collect::<Vec<_>>());
+        assert!(s.memory_bytes() > m0);
+    }
+}

@@ -1,0 +1,310 @@
+//! Real-concurrency runner: one OS thread per node over crossbeam channels,
+//! used for the paper's distributed SGX deployment (§IV-C: 8 nodes on 4
+//! machines, 2 processes each, fully connected).
+//!
+//! The time axis is real wall-clock time plus the per-epoch SGX charges
+//! (which model hardware effects the host CPU does not exhibit).
+
+use crate::config::ExecutionMode;
+use crate::node::{EpochReport, Node};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rex_ml::Model;
+use rex_net::channel::channel_network;
+use rex_net::stats::TrafficStats;
+use rex_sim::stage::StageTimes;
+use rex_sim::stopwatch::Stopwatch;
+use rex_sim::trace::{EpochRecord, ExperimentTrace};
+use rex_tee::attestation::Attestor;
+use rex_tee::measurement::REX_ENCLAVE_V1;
+use rex_tee::{DcapService, SgxPlatform};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+/// Threaded-runner parameters.
+#[derive(Debug, Clone)]
+pub struct ThreadedConfig {
+    /// Number of epochs.
+    pub epochs: usize,
+    /// Native or SGX.
+    pub execution: ExecutionMode,
+    /// REX processes sharing one SGX machine (the paper packs 2 per
+    /// server); only affects platform assignment.
+    pub processes_per_platform: usize,
+    /// Infrastructure seed.
+    pub seed: u64,
+}
+
+impl Default for ThreadedConfig {
+    fn default() -> Self {
+        ThreadedConfig {
+            epochs: 50,
+            execution: ExecutionMode::Native,
+            processes_per_platform: 2,
+            seed: 99,
+        }
+    }
+}
+
+/// Output of a threaded run.
+pub struct ThreadedResult {
+    /// Aggregated per-epoch trace.
+    pub trace: ExperimentTrace,
+    /// Final per-node traffic counters.
+    pub final_stats: Vec<TrafficStats>,
+    /// Wall-clock time of attestation setup, ns.
+    pub setup_ns: u64,
+}
+
+/// Provisions platforms/enclaves and attests all topology edges, in-process
+/// (setup happens before the node threads start).
+fn establish_tee<M: Model>(
+    nodes: &mut [Node<M>],
+    cost: rex_tee::SgxCostModel,
+    processes_per_platform: usize,
+    seed: u64,
+) -> u64 {
+    let sw = Stopwatch::start();
+    let dcap = DcapService::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ppp = processes_per_platform.max(1);
+    let num_platforms = nodes.len().div_ceil(ppp);
+    let platforms: Vec<SgxPlatform> = (0..num_platforms)
+        .map(|i| SgxPlatform::provision(i as u64, &dcap, &mut rng))
+        .collect();
+    for (i, node) in nodes.iter_mut().enumerate() {
+        node.install_enclave(platforms[i / ppp].create_enclave(REX_ENCLAVE_V1, cost));
+    }
+    let mut edges = Vec::new();
+    for a in 0..nodes.len() {
+        for &b in nodes[a].neighbors() {
+            if a < b {
+                edges.push((a, b));
+            }
+        }
+    }
+    for &(a, b) in &edges {
+        let att_a = Attestor::new(&mut rng);
+        let att_b = Attestor::new(&mut rng);
+        let quote_a = {
+            let report = nodes[a]
+                .enclave_mut()
+                .expect("enclave")
+                .create_report(att_a.user_data());
+            platforms[a / ppp].quote_report(&report).expect("own QE")
+        };
+        let quote_b = {
+            let report = nodes[b]
+                .enclave_mut()
+                .expect("enclave")
+                .create_report(att_b.user_data());
+            platforms[b / ppp].quote_report(&report).expect("own QE")
+        };
+        let hello = Attestor::hello(quote_a.clone());
+        let (reply, session_b) = att_b
+            .respond(nodes[b].enclave_mut().expect("enclave"), &dcap, quote_b, &hello)
+            .expect("honest attestation");
+        let session_a = att_a
+            .finish(nodes[a].enclave_mut().expect("enclave"), &dcap, &quote_a, &reply)
+            .expect("honest attestation");
+        nodes[a].install_session(b, session_a);
+        nodes[b].install_session(a, session_b);
+    }
+    sw.elapsed_ns()
+}
+
+/// Runs the fleet with one thread per node.
+pub fn run_threaded<M: Model>(
+    name: &str,
+    mut nodes: Vec<Node<M>>,
+    cfg: &ThreadedConfig,
+) -> ThreadedResult {
+    let setup_ns = match cfg.execution {
+        ExecutionMode::Native => 0,
+        ExecutionMode::Sgx(cost) => {
+            establish_tee(&mut nodes, cost, cfg.processes_per_platform, cfg.seed)
+        }
+    };
+
+    let n = nodes.len();
+    let endpoints = channel_network(n);
+    let barrier = Arc::new(Barrier::new(n));
+    let start = Instant::now();
+    let epochs = cfg.epochs;
+
+    let mut handles = Vec::with_capacity(n);
+    for (node, endpoint) in nodes.into_iter().zip(endpoints) {
+        let barrier = Arc::clone(&barrier);
+        let mut node = node;
+        handles.push(std::thread::spawn(move || {
+            let mut reports: Vec<(u64, EpochReport)> = Vec::with_capacity(epochs);
+            for _ in 0..epochs {
+                let inbox = endpoint.try_drain();
+                let (outgoing, report) = node.epoch(inbox);
+                for (dest, bytes) in outgoing {
+                    endpoint.send(dest, bytes);
+                }
+                // All sends of this epoch complete before anyone drains the
+                // next epoch's inbox.
+                barrier.wait();
+                reports.push((start.elapsed().as_nanos() as u64, report));
+            }
+            (reports, endpoint.stats())
+        }));
+    }
+
+    let mut per_thread: Vec<(Vec<(u64, EpochReport)>, TrafficStats)> = handles
+        .into_iter()
+        .map(|h| h.join().expect("node thread panicked"))
+        .collect();
+    // Threads were spawned in node order; join preserves it.
+    let final_stats: Vec<TrafficStats> = per_thread.iter().map(|(_, s)| *s).collect();
+
+    let mut trace = ExperimentTrace::new(name);
+    let mut cumulative_sgx_ns = 0u64;
+    for epoch in 0..epochs {
+        let mut end_ns = 0u64;
+        let mut rmse_sum = 0.0;
+        let mut rmse_count = 0usize;
+        let mut bytes = 0.0;
+        let mut ram = 0.0;
+        let mut stages = StageTimes::new();
+        let mut sgx_max = 0u64;
+        let mut sgx_sum = 0u64;
+        for (reports, _) in &mut per_thread {
+            let (t, r) = &reports[epoch];
+            end_ns = end_ns.max(*t);
+            if let Some(e) = r.rmse {
+                rmse_sum += e;
+                rmse_count += 1;
+            }
+            bytes += (r.bytes_in + r.bytes_out) as f64;
+            ram += r.ram_bytes as f64;
+            stages = stages.plus(&r.stage_times);
+            sgx_max = sgx_max.max(r.sgx_overhead_ns);
+            sgx_sum += r.sgx_overhead_ns;
+        }
+        // Wall-clock already contains the real crypto/marshalling work; the
+        // modelled hardware charges (transitions, MEE, paging) extend the
+        // epoch by the slowest node's charge.
+        cumulative_sgx_ns += sgx_max;
+        trace.push(EpochRecord {
+            epoch,
+            time_ns: setup_ns + end_ns + cumulative_sgx_ns,
+            rmse: if rmse_count == 0 {
+                f64::NAN
+            } else {
+                rmse_sum / rmse_count as f64
+            },
+            bytes_per_node: bytes / n as f64,
+            stage_times: stages.mean_over(n as u64),
+            ram_bytes: ram / n as f64,
+            sgx_overhead_ns: sgx_sum / n as u64,
+        });
+    }
+
+    ThreadedResult {
+        trace,
+        final_stats,
+        setup_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{build_mf_nodes, NodeSeeds};
+    use crate::config::{GossipAlgorithm, ProtocolConfig, SharingMode};
+    use rex_data::{Partition, SyntheticConfig, TrainTestSplit};
+    use rex_ml::MfHyperParams;
+    use rex_tee::SgxCostModel;
+    use rex_topology::TopologySpec;
+
+    fn fleet(sharing: SharingMode) -> Vec<crate::node::Node<rex_ml::MfModel>> {
+        let ds = SyntheticConfig {
+            num_users: 16,
+            num_items: 80,
+            num_ratings: 1_000,
+            seed: 6,
+            ..SyntheticConfig::default()
+        }
+        .generate();
+        let split = TrainTestSplit::standard(&ds, 2);
+        let part = Partition::multi_user(&split, 8);
+        let graph = TopologySpec::FullyConnected.build(8, 0);
+        build_mf_nodes(
+            &part,
+            &graph,
+            ds.num_users,
+            ds.num_items,
+            MfHyperParams::default(),
+            ProtocolConfig {
+                sharing,
+                algorithm: GossipAlgorithm::DPsgd,
+                points_per_epoch: 30,
+                steps_per_epoch: 100,
+                seed: 21,
+            },
+            NodeSeeds::default(),
+        )
+    }
+
+    #[test]
+    fn eight_node_native_run() {
+        let result = run_threaded(
+            "native",
+            fleet(SharingMode::RawData),
+            &ThreadedConfig {
+                epochs: 10,
+                ..Default::default()
+            },
+        );
+        assert_eq!(result.trace.records.len(), 10);
+        let first = result.trace.records.first().unwrap().rmse;
+        let last = result.trace.final_rmse().unwrap();
+        assert!(last < first, "{first} -> {last}");
+        // Fully connected 8 nodes: everyone talked to everyone.
+        for s in &result.final_stats {
+            assert!(s.msgs_out >= 7 * 9); // 7 peers x >=9 sharing epochs
+        }
+        assert_eq!(result.setup_ns, 0);
+    }
+
+    #[test]
+    fn eight_node_sgx_run_attests_and_charges() {
+        let result = run_threaded(
+            "sgx",
+            fleet(SharingMode::RawData),
+            &ThreadedConfig {
+                epochs: 6,
+                execution: ExecutionMode::Sgx(SgxCostModel::default()),
+                ..Default::default()
+            },
+        );
+        assert!(result.setup_ns > 0);
+        for r in &result.trace.records {
+            assert!(r.sgx_overhead_ns > 0);
+        }
+        // Time axis is monotone.
+        for w in result.trace.records.windows(2) {
+            assert!(w[1].time_ns >= w[0].time_ns);
+        }
+    }
+
+    #[test]
+    fn ms_heavier_than_rex_on_wire() {
+        let rex = run_threaded(
+            "rex",
+            fleet(SharingMode::RawData),
+            &ThreadedConfig { epochs: 5, ..Default::default() },
+        );
+        let ms = run_threaded(
+            "ms",
+            fleet(SharingMode::Model),
+            &ThreadedConfig { epochs: 5, ..Default::default() },
+        );
+        assert!(
+            ms.trace.total_bytes_per_node() > 10.0 * rex.trace.total_bytes_per_node()
+        );
+    }
+}

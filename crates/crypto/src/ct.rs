@@ -1,0 +1,57 @@
+//! Best-effort constant-time comparison helpers.
+//!
+//! Used for AEAD tag checks and attestation measurement comparison so that
+//! equality rejects do not leak a matching prefix length through timing.
+
+/// Compares two byte slices in time independent of their contents.
+///
+/// Returns `false` immediately only on length mismatch (lengths are public
+/// for every use in this workspace: tags, hashes and keys are fixed-size).
+#[must_use]
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc |= x ^ y;
+    }
+    // A data-dependent branch only on the final accumulated byte.
+    acc == 0
+}
+
+/// Conditionally swaps two u64 limb arrays when `swap == 1`, without
+/// branching on `swap`. Used by the X25519 Montgomery ladder.
+pub fn ct_swap(swap: u64, a: &mut [u64; 5], b: &mut [u64; 5]) {
+    debug_assert!(swap == 0 || swap == 1);
+    let mask = swap.wrapping_neg();
+    for i in 0..5 {
+        let t = mask & (a[i] ^ b[i]);
+        a[i] ^= t;
+        b[i] ^= t;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq_basic() {
+        assert!(ct_eq(b"abc", b"abc"));
+        assert!(!ct_eq(b"abc", b"abd"));
+        assert!(!ct_eq(b"abc", b"ab"));
+        assert!(ct_eq(b"", b""));
+    }
+
+    #[test]
+    fn swap_swaps() {
+        let mut a = [1, 2, 3, 4, 5];
+        let mut b = [6, 7, 8, 9, 10];
+        ct_swap(0, &mut a, &mut b);
+        assert_eq!(a, [1, 2, 3, 4, 5]);
+        ct_swap(1, &mut a, &mut b);
+        assert_eq!(a, [6, 7, 8, 9, 10]);
+        assert_eq!(b, [1, 2, 3, 4, 5]);
+    }
+}

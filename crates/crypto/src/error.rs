@@ -1,0 +1,40 @@
+//! Error type shared by all primitives in this crate.
+
+use std::fmt;
+
+/// Failure modes of the cryptographic primitives.
+///
+/// Deliberately coarse: distinguishing *why* an AEAD open failed would leak
+/// information to a caller that should only ever see "reject".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CryptoError {
+    /// AEAD tag mismatch or malformed ciphertext.
+    DecryptionFailed,
+    /// A key, nonce or tag had the wrong length.
+    InvalidLength {
+        /// What was being parsed.
+        what: &'static str,
+        /// Expected byte length.
+        expected: usize,
+        /// Actual byte length.
+        actual: usize,
+    },
+    /// X25519 produced an all-zero shared secret (low-order peer point).
+    LowOrderPoint,
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::DecryptionFailed => write!(f, "decryption failed"),
+            CryptoError::InvalidLength {
+                what,
+                expected,
+                actual,
+            } => write!(f, "invalid {what} length: expected {expected}, got {actual}"),
+            CryptoError::LowOrderPoint => write!(f, "X25519 peer point has low order"),
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}

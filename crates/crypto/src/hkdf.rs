@@ -1,0 +1,129 @@
+//! HKDF-SHA256 (RFC 5869): extract-and-expand key derivation.
+//!
+//! Attested REX sessions derive their AEAD channel keys from the X25519
+//! shared secret via HKDF with a transcript-bound `info` string
+//! (see `rex-tee::attestation`).
+
+use crate::hmac::HmacSha256;
+use crate::sha256::DIGEST_LEN;
+
+/// HKDF-SHA256 context holding a pseudorandom key.
+pub struct Hkdf {
+    prk: [u8; DIGEST_LEN],
+}
+
+impl Hkdf {
+    /// HKDF-Extract: derives a PRK from `salt` and input keying material.
+    #[must_use]
+    pub fn extract(salt: &[u8], ikm: &[u8]) -> Self {
+        Hkdf {
+            prk: HmacSha256::mac(salt, ikm),
+        }
+    }
+
+    /// HKDF-Expand into `okm`. Panics if more than `255 * 32` bytes are
+    /// requested (RFC 5869 limit) — callers in this workspace derive at most
+    /// two 32-byte keys per session.
+    pub fn expand(&self, info: &[u8], okm: &mut [u8]) {
+        assert!(
+            okm.len() <= 255 * DIGEST_LEN,
+            "HKDF output too long: {}",
+            okm.len()
+        );
+        let mut t: Vec<u8> = Vec::with_capacity(DIGEST_LEN);
+        let mut offset = 0;
+        let mut counter = 1u8;
+        while offset < okm.len() {
+            let mut m = HmacSha256::new(&self.prk);
+            m.update(&t);
+            m.update(info);
+            m.update(&[counter]);
+            let block = m.finalize();
+            let take = (okm.len() - offset).min(DIGEST_LEN);
+            okm[offset..offset + take].copy_from_slice(&block[..take]);
+            t.clear();
+            t.extend_from_slice(&block);
+            offset += take;
+            counter = counter.checked_add(1).expect("HKDF counter overflow");
+        }
+    }
+
+    /// Convenience: extract then expand into a fixed-size array.
+    #[must_use]
+    pub fn derive<const N: usize>(salt: &[u8], ikm: &[u8], info: &[u8]) -> [u8; N] {
+        let mut out = [0u8; N];
+        Self::extract(salt, ikm).expand(info, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    // RFC 5869 test case 1.
+    #[test]
+    fn rfc5869_case1() {
+        let ikm = [0x0bu8; 22];
+        let salt = unhex("000102030405060708090a0b0c");
+        let info = unhex("f0f1f2f3f4f5f6f7f8f9");
+        let hk = Hkdf::extract(&salt, &ikm);
+        assert_eq!(
+            hex(&hk.prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        );
+        let mut okm = [0u8; 42];
+        hk.expand(&info, &mut okm);
+        assert_eq!(
+            hex(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+        );
+    }
+
+    // RFC 5869 test case 2 (longer inputs/outputs, spans multiple blocks).
+    #[test]
+    fn rfc5869_case2() {
+        let ikm: Vec<u8> = (0x00..=0x4f).collect();
+        let salt: Vec<u8> = (0x60..=0xaf).collect();
+        let info: Vec<u8> = (0xb0..=0xff).collect();
+        let mut okm = [0u8; 82];
+        Hkdf::extract(&salt, &ikm).expand(&info, &mut okm);
+        assert_eq!(
+            hex(&okm),
+            "b11e398dc80327a1c8e7f78c596a49344f012eda2d4efad8a050cc4c19afa97c\
+             59045a99cac7827271cb41c65e590e09da3275600c2f09b8367793a9aca3db71\
+             cc30c58179ec3e87c14c01d5c1f3434f1d87"
+        );
+    }
+
+    // RFC 5869 test case 3 (zero-length salt and info).
+    #[test]
+    fn rfc5869_case3() {
+        let ikm = [0x0bu8; 22];
+        let mut okm = [0u8; 42];
+        Hkdf::extract(&[], &ikm).expand(&[], &mut okm);
+        assert_eq!(
+            hex(&okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8"
+        );
+    }
+
+    #[test]
+    fn derive_array() {
+        let k: [u8; 32] = Hkdf::derive(b"salt", b"ikm", b"info");
+        let mut expected = [0u8; 32];
+        Hkdf::extract(b"salt", b"ikm").expand(b"info", &mut expected);
+        assert_eq!(k, expected);
+    }
+}

@@ -1,0 +1,132 @@
+//! HMAC-SHA256 (RFC 2104), used by the simulated quoting enclave to sign
+//! quotes and by report MACs.
+
+use crate::sha256::{Sha256, BLOCK_LEN, DIGEST_LEN};
+
+/// Incremental HMAC-SHA256.
+#[derive(Clone)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    outer: Sha256,
+}
+
+impl HmacSha256 {
+    /// Creates a MAC context keyed with `key` (any length).
+    #[must_use]
+    pub fn new(key: &[u8]) -> Self {
+        let mut key_block = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            key_block[..DIGEST_LEN].copy_from_slice(&Sha256::digest(key));
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+
+        let mut ipad = [0x36u8; BLOCK_LEN];
+        let mut opad = [0x5cu8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            ipad[i] ^= key_block[i];
+            opad[i] ^= key_block[i];
+        }
+
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        let mut outer = Sha256::new();
+        outer.update(&opad);
+        HmacSha256 { inner, outer }
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Emits the 32-byte tag.
+    #[must_use]
+    pub fn finalize(mut self) -> [u8; DIGEST_LEN] {
+        let inner_digest = self.inner.finalize();
+        self.outer.update(&inner_digest);
+        self.outer.finalize()
+    }
+
+    /// One-shot MAC.
+    #[must_use]
+    pub fn mac(key: &[u8], data: &[u8]) -> [u8; DIGEST_LEN] {
+        let mut m = Self::new(key);
+        m.update(data);
+        m.finalize()
+    }
+
+    /// Verifies `tag` against the MAC of `data` in constant time.
+    #[must_use]
+    pub fn verify(key: &[u8], data: &[u8], tag: &[u8]) -> bool {
+        crate::ct::ct_eq(&Self::mac(key, data), tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 4231 test cases for HMAC-SHA-256.
+    #[test]
+    fn rfc4231_case1() {
+        let key = [0x0bu8; 20];
+        assert_eq!(
+            hex(&HmacSha256::mac(&key, b"Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case2() {
+        assert_eq!(
+            hex(&HmacSha256::mac(b"Jefe", b"what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case3() {
+        let key = [0xaau8; 20];
+        let data = [0xddu8; 50];
+        assert_eq!(
+            hex(&HmacSha256::mac(&key, &data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case6_long_key() {
+        let key = [0xaau8; 131];
+        assert_eq!(
+            hex(&HmacSha256::mac(
+                &key,
+                b"Test Using Larger Than Block-Size Key - Hash Key First"
+            )),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn verify_roundtrip_and_reject() {
+        let tag = HmacSha256::mac(b"k", b"m");
+        assert!(HmacSha256::verify(b"k", b"m", &tag));
+        assert!(!HmacSha256::verify(b"k", b"m2", &tag));
+        assert!(!HmacSha256::verify(b"k2", b"m", &tag));
+        let mut bad = tag;
+        bad[0] ^= 1;
+        assert!(!HmacSha256::verify(b"k", b"m", &bad));
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let mut m = HmacSha256::new(b"key");
+        m.update(b"hello ");
+        m.update(b"world");
+        assert_eq!(m.finalize(), HmacSha256::mac(b"key", b"hello world"));
+    }
+}

@@ -1,0 +1,472 @@
+//! X25519 Diffie–Hellman key agreement (RFC 7748).
+//!
+//! REX attestation (paper §III-A) piggybacks each party's ECDH public key on
+//! the quote's user-data field; after mutual attestation the shared secret
+//! seeds the session key schedule. This is a straightforward 51-bit-limb
+//! Montgomery-ladder implementation validated against the RFC 7748 vectors.
+
+use crate::ct::ct_swap;
+use crate::error::CryptoError;
+use rand::RngCore;
+
+/// Byte length of scalars, points and shared secrets.
+pub const KEY_LEN: usize = 32;
+
+const MASK51: u64 = (1 << 51) - 1;
+
+/// Field element of GF(2^255 - 19), five 51-bit limbs, little-endian.
+#[derive(Clone, Copy, Debug)]
+struct Fe([u64; 5]);
+
+impl Fe {
+    const ZERO: Fe = Fe([0; 5]);
+    const ONE: Fe = Fe([1, 0, 0, 0, 0]);
+
+    fn from_bytes(bytes: &[u8; 32]) -> Fe {
+        let load = |b: &[u8]| -> u64 {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(&b[..8]);
+            u64::from_le_bytes(buf)
+        };
+        // RFC 7748: the top bit of the u-coordinate is masked.
+        Fe([
+            load(&bytes[0..8]) & MASK51,
+            (load(&bytes[6..14]) >> 3) & MASK51,
+            (load(&bytes[12..20]) >> 6) & MASK51,
+            (load(&bytes[19..27]) >> 1) & MASK51,
+            (load(&bytes[24..32]) >> 12) & MASK51,
+        ])
+    }
+
+    fn to_bytes(mut self) -> [u8; 32] {
+        self = self.carry().carry();
+        // Canonical reduction: q = 1 iff value >= p, then add 19q and drop
+        // bit 255 (ref10 trick).
+        let mut q = (self.0[0].wrapping_add(19)) >> 51;
+        q = (self.0[1].wrapping_add(q)) >> 51;
+        q = (self.0[2].wrapping_add(q)) >> 51;
+        q = (self.0[3].wrapping_add(q)) >> 51;
+        q = (self.0[4].wrapping_add(q)) >> 51;
+
+        let mut h = self.0;
+        h[0] = h[0].wrapping_add(19 * q);
+        let mut carry = h[0] >> 51;
+        h[0] &= MASK51;
+        for i in 1..5 {
+            h[i] = h[i].wrapping_add(carry);
+            carry = h[i] >> 51;
+            h[i] &= MASK51;
+        }
+
+        let mut out = [0u8; 32];
+        let mut acc: u128 = 0;
+        let mut acc_bits = 0u32;
+        let mut idx = 0;
+        for limb in h {
+            acc |= (limb as u128) << acc_bits;
+            acc_bits += 51;
+            while acc_bits >= 8 && idx < 32 {
+                out[idx] = (acc & 0xff) as u8;
+                acc >>= 8;
+                acc_bits -= 8;
+                idx += 1;
+            }
+        }
+        if idx < 32 {
+            // Flush the final partial byte (bits 248..255).
+            out[idx] = acc as u8;
+        }
+        out
+    }
+
+    fn carry(self) -> Fe {
+        let mut h = self.0;
+        let mut c = h[0] >> 51;
+        h[0] &= MASK51;
+        for i in 1..5 {
+            h[i] = h[i].wrapping_add(c);
+            c = h[i] >> 51;
+            h[i] &= MASK51;
+        }
+        h[0] = h[0].wrapping_add(19 * c);
+        Fe(h)
+    }
+
+    fn add(self, rhs: Fe) -> Fe {
+        let mut h = [0u64; 5];
+        for i in 0..5 {
+            h[i] = self.0[i] + rhs.0[i];
+        }
+        Fe(h).carry()
+    }
+
+    fn sub(self, rhs: Fe) -> Fe {
+        // Add 2p before subtracting to keep limbs non-negative.
+        const TWO_P: [u64; 5] = [
+            0xf_ffff_ffff_ffda,
+            0xf_ffff_ffff_fffe,
+            0xf_ffff_ffff_fffe,
+            0xf_ffff_ffff_fffe,
+            0xf_ffff_ffff_fffe,
+        ];
+        let mut h = [0u64; 5];
+        for i in 0..5 {
+            h[i] = self.0[i] + TWO_P[i] - rhs.0[i];
+        }
+        Fe(h).carry()
+    }
+
+    fn mul(self, rhs: Fe) -> Fe {
+        let [a0, a1, a2, a3, a4] = self.0.map(u128::from);
+        let [b0, b1, b2, b3, b4] = rhs.0.map(u128::from);
+        let t0 = a0 * b0 + 19 * (a1 * b4 + a2 * b3 + a3 * b2 + a4 * b1);
+        let t1 = a0 * b1 + a1 * b0 + 19 * (a2 * b4 + a3 * b3 + a4 * b2);
+        let t2 = a0 * b2 + a1 * b1 + a2 * b0 + 19 * (a3 * b4 + a4 * b3);
+        let t3 = a0 * b3 + a1 * b2 + a2 * b1 + a3 * b0 + 19 * (a4 * b4);
+        let t4 = a0 * b4 + a1 * b3 + a2 * b2 + a3 * b1 + a4 * b0;
+        Self::reduce128([t0, t1, t2, t3, t4])
+    }
+
+    fn square(self) -> Fe {
+        self.mul(self)
+    }
+
+    fn mul_small(self, scalar: u64) -> Fe {
+        let s = u128::from(scalar);
+        let t: [u128; 5] = self.0.map(|limb| u128::from(limb) * s);
+        Self::reduce128(t)
+    }
+
+    fn reduce128(t: [u128; 5]) -> Fe {
+        let mut r = [0u64; 5];
+        let mut c: u128 = 0;
+        for i in 0..5 {
+            let v = t[i] + c;
+            r[i] = (v as u64) & MASK51;
+            c = v >> 51;
+        }
+        // Wrap the final carry: 2^255 ≡ 19 (mod p).
+        let wrapped = r[0] as u128 + c * 19;
+        r[0] = (wrapped as u64) & MASK51;
+        r[1] = r[1].wrapping_add((wrapped >> 51) as u64);
+        Fe(r)
+    }
+
+    /// Computes self^(p-2) = self^-1 via the standard addition chain.
+    fn invert(self) -> Fe {
+        let z = self;
+        let z2 = z.square(); // 2
+        let z8 = z2.square().square(); // 8
+        let z9 = z8.mul(z); // 9
+        let z11 = z9.mul(z2); // 11
+        let z22 = z11.square(); // 22
+        let z_5_0 = z22.mul(z9); // 2^5 - 2^0 = 31
+
+        let mut t = z_5_0;
+        for _ in 0..5 {
+            t = t.square();
+        }
+        let z_10_0 = t.mul(z_5_0); // 2^10 - 2^0
+
+        let mut t = z_10_0;
+        for _ in 0..10 {
+            t = t.square();
+        }
+        let z_20_0 = t.mul(z_10_0); // 2^20 - 2^0
+
+        let mut t = z_20_0;
+        for _ in 0..20 {
+            t = t.square();
+        }
+        let z_40_0 = t.mul(z_20_0); // 2^40 - 2^0
+
+        let mut t = z_40_0;
+        for _ in 0..10 {
+            t = t.square();
+        }
+        let z_50_0 = t.mul(z_10_0); // 2^50 - 2^0
+
+        let mut t = z_50_0;
+        for _ in 0..50 {
+            t = t.square();
+        }
+        let z_100_0 = t.mul(z_50_0); // 2^100 - 2^0
+
+        let mut t = z_100_0;
+        for _ in 0..100 {
+            t = t.square();
+        }
+        let z_200_0 = t.mul(z_100_0); // 2^200 - 2^0
+
+        let mut t = z_200_0;
+        for _ in 0..50 {
+            t = t.square();
+        }
+        let z_250_0 = t.mul(z_50_0); // 2^250 - 2^0
+
+        let mut t = z_250_0;
+        for _ in 0..5 {
+            t = t.square();
+        }
+        t.mul(z11) // 2^255 - 21 = p - 2
+    }
+}
+
+/// Clamps a 32-byte scalar per RFC 7748 §5.
+fn clamp(mut k: [u8; 32]) -> [u8; 32] {
+    k[0] &= 248;
+    k[31] &= 127;
+    k[31] |= 64;
+    k
+}
+
+/// Raw X25519 scalar multiplication on clamped scalar bytes.
+#[must_use]
+pub fn scalar_mult(scalar: &[u8; 32], u: &[u8; 32]) -> [u8; 32] {
+    let k = clamp(*scalar);
+    let x1 = Fe::from_bytes(u);
+    let mut x2 = Fe::ONE;
+    let mut z2 = Fe::ZERO;
+    let mut x3 = x1;
+    let mut z3 = Fe::ONE;
+    let mut swap = 0u64;
+
+    for t in (0..255).rev() {
+        let k_t = u64::from((k[t / 8] >> (t % 8)) & 1);
+        swap ^= k_t;
+        ct_swap(swap, &mut x2.0, &mut x3.0);
+        ct_swap(swap, &mut z2.0, &mut z3.0);
+        swap = k_t;
+
+        let a = x2.add(z2);
+        let aa = a.square();
+        let b = x2.sub(z2);
+        let bb = b.square();
+        let e = aa.sub(bb);
+        let c = x3.add(z3);
+        let d = x3.sub(z3);
+        let da = d.mul(a);
+        let cb = c.mul(b);
+        x3 = da.add(cb).square();
+        z3 = x1.mul(da.sub(cb).square());
+        x2 = aa.mul(bb);
+        z2 = e.mul(aa.add(e.mul_small(121_665)));
+    }
+    ct_swap(swap, &mut x2.0, &mut x3.0);
+    ct_swap(swap, &mut z2.0, &mut z3.0);
+
+    x2.mul(z2.invert()).to_bytes()
+}
+
+/// The X25519 base point (u = 9).
+pub const BASE_POINT: [u8; 32] = {
+    let mut b = [0u8; 32];
+    b[0] = 9;
+    b
+};
+
+/// A long-term (or per-session) X25519 private key.
+#[derive(Clone)]
+pub struct StaticSecret {
+    scalar: [u8; 32],
+}
+
+impl StaticSecret {
+    /// Generates a fresh random secret from `rng`.
+    pub fn random<R: RngCore>(rng: &mut R) -> Self {
+        let mut scalar = [0u8; 32];
+        rng.fill_bytes(&mut scalar);
+        StaticSecret {
+            scalar: clamp(scalar),
+        }
+    }
+
+    /// Builds a secret from raw bytes (clamped internally). Useful for tests
+    /// and deterministic simulations.
+    #[must_use]
+    pub fn from_bytes(bytes: [u8; 32]) -> Self {
+        StaticSecret {
+            scalar: clamp(bytes),
+        }
+    }
+
+    /// Derives the corresponding public key.
+    #[must_use]
+    pub fn public_key(&self) -> PublicKey {
+        PublicKey(scalar_mult(&self.scalar, &BASE_POINT))
+    }
+
+    /// Computes the shared secret with `peer`. Rejects low-order peer points
+    /// (all-zero output) as mandated for authenticated protocols.
+    pub fn diffie_hellman(&self, peer: &PublicKey) -> Result<SharedSecret, CryptoError> {
+        let shared = scalar_mult(&self.scalar, &peer.0);
+        if shared.iter().all(|&b| b == 0) {
+            return Err(CryptoError::LowOrderPoint);
+        }
+        Ok(SharedSecret(shared))
+    }
+}
+
+/// An X25519 public key (u-coordinate).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PublicKey(pub [u8; 32]);
+
+impl PublicKey {
+    /// Raw bytes.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+}
+
+/// The result of a DH exchange; feed through HKDF before use as a key.
+#[derive(Clone)]
+pub struct SharedSecret(pub [u8; 32]);
+
+impl SharedSecret {
+    /// Raw bytes (input keying material for HKDF).
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn unhex32(s: &str) -> [u8; 32] {
+        let v: Vec<u8> = (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect();
+        v.try_into().unwrap()
+    }
+
+    // RFC 7748 §5.2 test vector 1.
+    #[test]
+    fn rfc7748_vector1() {
+        let scalar =
+            unhex32("a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+        let u = unhex32("e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+        let out = scalar_mult(&scalar, &u);
+        assert_eq!(
+            out,
+            unhex32("c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552")
+        );
+    }
+
+    // RFC 7748 §5.2 test vector 2.
+    #[test]
+    fn rfc7748_vector2() {
+        let scalar =
+            unhex32("4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d");
+        let u = unhex32("e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493");
+        let out = scalar_mult(&scalar, &u);
+        assert_eq!(
+            out,
+            unhex32("95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957")
+        );
+    }
+
+    // RFC 7748 §5.2 iterated test, 1 and 1000 iterations.
+    #[test]
+    fn rfc7748_iterated() {
+        let mut k = BASE_POINT;
+        let mut u = BASE_POINT;
+        let mut result = scalar_mult(&k, &u);
+        let after_1 = result;
+        assert_eq!(
+            after_1,
+            unhex32("422c8e7a6227d7bca1350b3e2bb7279f7897b87bb6854b783c60e80311ae3079")
+        );
+        for _ in 1..1000 {
+            u = k;
+            k = result;
+            result = scalar_mult(&k, &u);
+        }
+        assert_eq!(
+            result,
+            unhex32("684cf59ba83309552800ef566f2f4d3c1c3887c49360e3875f2eb94d99532c51")
+        );
+    }
+
+    // RFC 7748 §6.1 Diffie-Hellman test.
+    #[test]
+    fn rfc7748_dh() {
+        let alice = StaticSecret::from_bytes(unhex32(
+            "77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a",
+        ));
+        let bob = StaticSecret::from_bytes(unhex32(
+            "5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb",
+        ));
+        assert_eq!(
+            alice.public_key().0,
+            unhex32("8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a")
+        );
+        assert_eq!(
+            bob.public_key().0,
+            unhex32("de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f")
+        );
+        let shared_a = alice.diffie_hellman(&bob.public_key()).unwrap();
+        let shared_b = bob.diffie_hellman(&alice.public_key()).unwrap();
+        assert_eq!(shared_a.0, shared_b.0);
+        assert_eq!(
+            shared_a.0,
+            unhex32("4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742")
+        );
+    }
+
+    #[test]
+    fn dh_commutes_for_random_keys() {
+        let mut rng = StdRng::seed_from_u64(0xDEC0DE);
+        for _ in 0..8 {
+            let a = StaticSecret::random(&mut rng);
+            let b = StaticSecret::random(&mut rng);
+            let s1 = a.diffie_hellman(&b.public_key()).unwrap();
+            let s2 = b.diffie_hellman(&a.public_key()).unwrap();
+            assert_eq!(s1.0, s2.0);
+        }
+    }
+
+    #[test]
+    fn rejects_low_order_zero_point() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = StaticSecret::random(&mut rng);
+        let zero = PublicKey([0u8; 32]);
+        assert!(matches!(
+            a.diffie_hellman(&zero),
+            Err(CryptoError::LowOrderPoint)
+        ));
+    }
+
+    #[test]
+    fn field_roundtrip() {
+        // to_bytes(from_bytes(x)) is canonical for already-reduced x.
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..50 {
+            let mut b = [0u8; 32];
+            rand::RngCore::fill_bytes(&mut rng, &mut b);
+            b[31] &= 0x7f; // keep below 2^255
+            let fe = Fe::from_bytes(&b);
+            let back = fe.to_bytes();
+            // from_bytes(back) must be a fixed point.
+            assert_eq!(Fe::from_bytes(&back).to_bytes(), back);
+        }
+    }
+
+    #[test]
+    fn invert_inverts() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            let mut b = [0u8; 32];
+            rand::RngCore::fill_bytes(&mut rng, &mut b);
+            b[31] &= 0x7f;
+            let fe = Fe::from_bytes(&b);
+            let prod = fe.mul(fe.invert());
+            assert_eq!(prod.to_bytes(), Fe::ONE.to_bytes());
+        }
+    }
+}

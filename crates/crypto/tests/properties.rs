@@ -1,0 +1,82 @@
+//! Property-based tests over the crypto primitives.
+
+use proptest::prelude::*;
+use rex_crypto::aead::NonceSequence;
+use rex_crypto::{ChaCha20Poly1305, HmacSha256, Sha256, StaticSecret};
+
+proptest! {
+    #[test]
+    fn sha256_incremental_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..2048), split in any::<prop::sample::Index>()) {
+        let split = split.index(data.len() + 1);
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), Sha256::digest(&data));
+    }
+
+    #[test]
+    fn aead_roundtrip(
+        key in any::<[u8; 32]>(),
+        nonce in any::<[u8; 12]>(),
+        aad in proptest::collection::vec(any::<u8>(), 0..128),
+        plaintext in proptest::collection::vec(any::<u8>(), 0..1024),
+    ) {
+        let cipher = ChaCha20Poly1305::new(&key);
+        let sealed = cipher.seal(&nonce, &aad, &plaintext);
+        prop_assert_eq!(sealed.len(), plaintext.len() + ChaCha20Poly1305::OVERHEAD);
+        let opened = cipher.open(&nonce, &aad, &sealed).unwrap();
+        prop_assert_eq!(opened, plaintext);
+    }
+
+    #[test]
+    fn aead_rejects_bit_flips(
+        key in any::<[u8; 32]>(),
+        nonce in any::<[u8; 12]>(),
+        plaintext in proptest::collection::vec(any::<u8>(), 1..256),
+        flip_byte in any::<prop::sample::Index>(),
+        flip_bit in 0u8..8,
+    ) {
+        let cipher = ChaCha20Poly1305::new(&key);
+        let mut sealed = cipher.seal(&nonce, b"", &plaintext);
+        let idx = flip_byte.index(sealed.len());
+        sealed[idx] ^= 1 << flip_bit;
+        prop_assert!(cipher.open(&nonce, b"", &sealed).is_err());
+    }
+
+    #[test]
+    fn aead_wrong_key_rejected(
+        key in any::<[u8; 32]>(),
+        mut other in any::<[u8; 32]>(),
+        nonce in any::<[u8; 12]>(),
+        plaintext in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        if other == key { other[0] ^= 1; }
+        let sealed = ChaCha20Poly1305::new(&key).seal(&nonce, b"", &plaintext);
+        prop_assert!(ChaCha20Poly1305::new(&other).open(&nonce, b"", &sealed).is_err());
+    }
+
+    #[test]
+    fn hmac_keys_separate(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let t1 = HmacSha256::mac(b"key-one", &data);
+        let t2 = HmacSha256::mac(b"key-two", &data);
+        prop_assert_ne!(t1, t2);
+    }
+
+    #[test]
+    fn x25519_dh_commutes(a in any::<[u8; 32]>(), b in any::<[u8; 32]>()) {
+        let sa = StaticSecret::from_bytes(a);
+        let sb = StaticSecret::from_bytes(b);
+        let s1 = sa.diffie_hellman(&sb.public_key()).unwrap();
+        let s2 = sb.diffie_hellman(&sa.public_key()).unwrap();
+        prop_assert_eq!(s1.as_bytes(), s2.as_bytes());
+    }
+
+    #[test]
+    fn nonce_sequence_never_repeats(n in 1usize..512) {
+        let mut seq = NonceSequence::new(0);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..n {
+            prop_assert!(seen.insert(seq.next()));
+        }
+    }
+}

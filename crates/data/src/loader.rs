@@ -1,0 +1,163 @@
+//! Loader for real MovieLens `ratings.csv` files.
+//!
+//! Format: `userId,movieId,rating,timestamp` with a header line. User and
+//! item ids are re-indexed densely (MovieLens ids are sparse), and an
+//! optional user cap reproduces the paper's truncation of MovieLens 25M to
+//! its first 15 000 users (Table I footnote).
+
+use crate::rating::{Dataset, Rating};
+use std::collections::HashMap;
+use std::io::BufRead;
+use std::path::Path;
+
+/// Errors raised while parsing a ratings file.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed CSV line (1-based line number and description).
+    Parse(usize, String),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "io error: {e}"),
+            LoadError::Parse(line, msg) => write!(f, "parse error at line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<std::io::Error> for LoadError {
+    fn from(e: std::io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+/// Parses MovieLens CSV content from any reader.
+///
+/// `max_users`: keep only the first N distinct users encountered
+/// (`None` = all). Ids are densified in first-seen order.
+pub fn parse_ratings_csv<R: BufRead>(
+    reader: R,
+    max_users: Option<usize>,
+) -> Result<Dataset, LoadError> {
+    let mut user_index: HashMap<u64, u32> = HashMap::new();
+    let mut item_index: HashMap<u64, u32> = HashMap::new();
+    let mut ratings = Vec::new();
+
+    for (line_no, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        // Skip header.
+        if line_no == 0 && trimmed.starts_with("userId") {
+            continue;
+        }
+        let mut fields = trimmed.split(',');
+        let (raw_user, raw_item, raw_value) = match (fields.next(), fields.next(), fields.next()) {
+            (Some(u), Some(i), Some(v)) => (u, i, v),
+            _ => {
+                return Err(LoadError::Parse(
+                    line_no + 1,
+                    format!("expected at least 3 fields, got: {trimmed}"),
+                ))
+            }
+        };
+        let raw_user: u64 = raw_user
+            .parse()
+            .map_err(|e| LoadError::Parse(line_no + 1, format!("bad user id: {e}")))?;
+        let raw_item: u64 = raw_item
+            .parse()
+            .map_err(|e| LoadError::Parse(line_no + 1, format!("bad item id: {e}")))?;
+        let value: f32 = raw_value
+            .parse()
+            .map_err(|e| LoadError::Parse(line_no + 1, format!("bad rating: {e}")))?;
+
+        let next_user = user_index.len() as u32;
+        let user = match user_index.get(&raw_user) {
+            Some(&u) => u,
+            None => {
+                if let Some(cap) = max_users {
+                    if user_index.len() >= cap {
+                        continue; // paper-style truncation: drop later users
+                    }
+                }
+                user_index.insert(raw_user, next_user);
+                next_user
+            }
+        };
+        let next_item = item_index.len() as u32;
+        let item = *item_index.entry(raw_item).or_insert(next_item);
+        ratings.push(Rating { user, item, value });
+    }
+
+    Ok(Dataset::new(
+        user_index.len() as u32,
+        item_index.len() as u32,
+        ratings,
+    ))
+}
+
+/// Loads a `ratings.csv` from disk.
+pub fn load_ratings_csv<P: AsRef<Path>>(
+    path: P,
+    max_users: Option<usize>,
+) -> Result<Dataset, LoadError> {
+    let file = std::fs::File::open(path)?;
+    parse_ratings_csv(std::io::BufReader::new(file), max_users)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "userId,movieId,rating,timestamp\n\
+        1,31,2.5,1260759144\n\
+        1,1029,3.0,1260759179\n\
+        7,31,4.0,851868750\n\
+        15,1029,1.5,12345\n";
+
+    #[test]
+    fn parses_and_densifies() {
+        let ds = parse_ratings_csv(SAMPLE.as_bytes(), None).unwrap();
+        assert_eq!(ds.num_users, 3);
+        assert_eq!(ds.num_items, 2);
+        assert_eq!(ds.ratings.len(), 4);
+        // First-seen order: user 1 -> 0, user 7 -> 1, user 15 -> 2.
+        assert_eq!(ds.ratings[2].user, 1);
+        assert_eq!(ds.ratings[2].item, 0); // movie 31 -> 0
+        assert_eq!(ds.ratings[2].value, 4.0);
+    }
+
+    #[test]
+    fn caps_users_like_the_paper() {
+        let ds = parse_ratings_csv(SAMPLE.as_bytes(), Some(2)).unwrap();
+        assert_eq!(ds.num_users, 2);
+        assert_eq!(ds.ratings.len(), 3); // user 15's line dropped
+    }
+
+    #[test]
+    fn rejects_malformed_line() {
+        let bad = "userId,movieId,rating,timestamp\n1,2\n";
+        let err = parse_ratings_csv(bad.as_bytes(), None).unwrap_err();
+        assert!(matches!(err, LoadError::Parse(2, _)), "{err}");
+    }
+
+    #[test]
+    fn rejects_non_numeric() {
+        let bad = "1,x,3.0,0\n";
+        assert!(parse_ratings_csv(bad.as_bytes(), None).is_err());
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let content = "1,2,3.0,0\n\n2,2,4.0,0\n";
+        let ds = parse_ratings_csv(content.as_bytes(), None).unwrap();
+        assert_eq!(ds.ratings.len(), 2);
+    }
+}

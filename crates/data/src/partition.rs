@@ -1,0 +1,166 @@
+//! Assignment of users to nodes (paper §IV-A5).
+//!
+//! Two deployment scenarios are evaluated:
+//! * **one node per user** — "users initially have only their own data";
+//! * **multiple users per node** — cohorts served by distributed servers
+//!   ("we partitioned the ratings of the 610 users through 50 nodes",
+//!   12–13 users per node for the DNN experiments).
+
+use crate::rating::Rating;
+use crate::split::TrainTestSplit;
+
+/// A mapping of users onto nodes, plus the per-node train/test data derived
+/// from a [`TrainTestSplit`].
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// `users[n]` lists the users hosted by node `n`.
+    pub users: Vec<Vec<u32>>,
+    /// `train[n]` holds node `n`'s initial local training ratings.
+    pub train: Vec<Vec<Rating>>,
+    /// `test[n]` holds node `n`'s local held-out test ratings.
+    pub test: Vec<Vec<Rating>>,
+}
+
+impl Partition {
+    /// One node per user: node `u` hosts exactly user `u`.
+    #[must_use]
+    pub fn one_user_per_node(split: &TrainTestSplit) -> Self {
+        let train = split.train_by_user();
+        let test = split.test_by_user();
+        let users = (0..split.num_users).map(|u| vec![u]).collect();
+        Partition { users, train, test }
+    }
+
+    /// Distributes all users round-robin over `num_nodes` nodes, so cohort
+    /// sizes differ by at most one (the paper's 610-users/50-nodes setup
+    /// yields 12 or 13 users per node).
+    ///
+    /// # Panics
+    /// If `num_nodes` is zero or exceeds the number of users.
+    #[must_use]
+    pub fn multi_user(split: &TrainTestSplit, num_nodes: usize) -> Self {
+        assert!(num_nodes > 0, "need at least one node");
+        assert!(
+            num_nodes <= split.num_users as usize,
+            "more nodes ({num_nodes}) than users ({})",
+            split.num_users
+        );
+        let mut users = vec![Vec::new(); num_nodes];
+        for u in 0..split.num_users {
+            users[(u as usize) % num_nodes].push(u);
+        }
+        let train_by_user = split.train_by_user();
+        let test_by_user = split.test_by_user();
+        let mut train = vec![Vec::new(); num_nodes];
+        let mut test = vec![Vec::new(); num_nodes];
+        for (node, cohort) in users.iter().enumerate() {
+            for &u in cohort {
+                train[node].extend_from_slice(&train_by_user[u as usize]);
+                test[node].extend_from_slice(&test_by_user[u as usize]);
+            }
+        }
+        Partition { users, train, test }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Total training ratings across nodes.
+    #[must_use]
+    pub fn total_train(&self) -> usize {
+        self.train.iter().map(Vec::len).sum()
+    }
+
+    /// Total test ratings across nodes.
+    #[must_use]
+    pub fn total_test(&self) -> usize {
+        self.test.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SyntheticConfig;
+
+    fn split() -> TrainTestSplit {
+        let ds = SyntheticConfig {
+            num_users: 61,
+            num_items: 300,
+            num_ratings: 3_000,
+            seed: 11,
+            ..SyntheticConfig::default()
+        }
+        .generate();
+        TrainTestSplit::standard(&ds, 3)
+    }
+
+    #[test]
+    fn one_user_per_node_shape() {
+        let s = split();
+        let p = Partition::one_user_per_node(&s);
+        assert_eq!(p.num_nodes(), 61);
+        for (n, cohort) in p.users.iter().enumerate() {
+            assert_eq!(cohort, &vec![n as u32]);
+        }
+        assert_eq!(p.total_train(), s.train.len());
+        assert_eq!(p.total_test(), s.test.len());
+    }
+
+    #[test]
+    fn multi_user_balanced() {
+        let s = split();
+        let p = Partition::multi_user(&s, 5);
+        assert_eq!(p.num_nodes(), 5);
+        let sizes: Vec<usize> = p.users.iter().map(Vec::len).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max - min <= 1, "cohorts {sizes:?}");
+        assert_eq!(sizes.iter().sum::<usize>(), 61);
+    }
+
+    #[test]
+    fn multi_user_covers_all_data() {
+        let s = split();
+        let p = Partition::multi_user(&s, 7);
+        assert_eq!(p.total_train(), s.train.len());
+        assert_eq!(p.total_test(), s.test.len());
+    }
+
+    #[test]
+    fn node_data_belongs_to_its_users() {
+        let s = split();
+        let p = Partition::multi_user(&s, 4);
+        for (node, cohort) in p.users.iter().enumerate() {
+            let cohort: std::collections::HashSet<u32> = cohort.iter().copied().collect();
+            assert!(p.train[node].iter().all(|r| cohort.contains(&r.user)));
+            assert!(p.test[node].iter().all(|r| cohort.contains(&r.user)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "more nodes")]
+    fn rejects_more_nodes_than_users() {
+        let s = split();
+        let _ = Partition::multi_user(&s, 62);
+    }
+
+    #[test]
+    fn paper_cohort_sizes() {
+        // 610 users over 50 nodes -> 12 or 13 each, like the paper's DNN setup.
+        let ds = SyntheticConfig {
+            num_users: 610,
+            num_items: 500,
+            num_ratings: 10_000,
+            seed: 2,
+            ..SyntheticConfig::default()
+        }
+        .generate();
+        let s = TrainTestSplit::standard(&ds, 0);
+        let p = Partition::multi_user(&s, 50);
+        assert!(p.users.iter().all(|c| c.len() == 12 || c.len() == 13));
+    }
+}

@@ -1,0 +1,102 @@
+//! Dataset presets matching paper Table I, plus scaled-down variants used by
+//! fast tests and CI-sized bench runs.
+
+use crate::rating::Dataset;
+use crate::synthetic::SyntheticConfig;
+
+/// A named dataset shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetSpec {
+    /// MovieLens Latest: 100 000 ratings, 610 users, 9 000 items (Table I).
+    MlLatestSmall,
+    /// MovieLens 25M capped at 15 000 users: 2 249 739 ratings, 28 830 items
+    /// (Table I). Large: generating it takes a few seconds.
+    Ml25mCapped,
+    /// A miniature shape (~5 k ratings, 61 users) for unit tests and smoke
+    /// benches; preserves the density of MlLatestSmall.
+    Mini,
+    /// A medium shape (~20 k ratings, 200 users) for integration tests.
+    Medium,
+}
+
+impl DatasetSpec {
+    /// Expansion into generator parameters.
+    #[must_use]
+    pub fn config(self, seed: u64) -> SyntheticConfig {
+        match self {
+            DatasetSpec::MlLatestSmall => SyntheticConfig {
+                num_users: 610,
+                num_items: 9_000,
+                num_ratings: 100_000,
+                seed,
+                ..SyntheticConfig::default()
+            },
+            DatasetSpec::Ml25mCapped => SyntheticConfig {
+                num_users: 15_000,
+                num_items: 28_830,
+                num_ratings: 2_249_739,
+                seed,
+                ..SyntheticConfig::default()
+            },
+            DatasetSpec::Mini => SyntheticConfig {
+                num_users: 61,
+                num_items: 900,
+                num_ratings: 5_000,
+                seed,
+                ..SyntheticConfig::default()
+            },
+            DatasetSpec::Medium => SyntheticConfig {
+                num_users: 200,
+                num_items: 3_000,
+                num_ratings: 20_000,
+                seed,
+                ..SyntheticConfig::default()
+            },
+        }
+    }
+
+    /// Generates the dataset for this preset.
+    #[must_use]
+    pub fn generate(self, seed: u64) -> Dataset {
+        self.config(seed).generate()
+    }
+
+    /// Human-readable name used in bench output.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetSpec::MlLatestSmall => "MovieLens-Latest(610u)",
+            DatasetSpec::Ml25mCapped => "MovieLens-25M(15000u)",
+            DatasetSpec::Mini => "Mini(61u)",
+            DatasetSpec::Medium => "Medium(200u)",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ml_latest_matches_table1() {
+        let cfg = DatasetSpec::MlLatestSmall.config(0);
+        assert_eq!(cfg.num_users, 610);
+        assert_eq!(cfg.num_items, 9_000);
+        assert_eq!(cfg.num_ratings, 100_000);
+    }
+
+    #[test]
+    fn ml_25m_matches_table1() {
+        let cfg = DatasetSpec::Ml25mCapped.config(0);
+        assert_eq!(cfg.num_users, 15_000);
+        assert_eq!(cfg.num_items, 28_830);
+        assert_eq!(cfg.num_ratings, 2_249_739);
+    }
+
+    #[test]
+    fn mini_generates_quickly_and_exactly() {
+        let ds = DatasetSpec::Mini.generate(1);
+        assert_eq!(ds.num_users, 61);
+        assert_eq!(ds.ratings.len(), 5_000);
+    }
+}

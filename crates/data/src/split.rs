@@ -1,0 +1,165 @@
+//! Per-user train/test split (paper §IV-A3a: 70 % train, 30 % test).
+//!
+//! The split is per-user so that every node in both deployment scenarios
+//! (one user per node, cohorts of users per node) owns both local training
+//! data and a local held-out test set (`local_test_data` in Algorithm 2).
+
+use crate::rating::{Dataset, Rating};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A dataset split into train and test rating lists.
+#[derive(Debug, Clone)]
+pub struct TrainTestSplit {
+    /// Training ratings (all users mixed).
+    pub train: Vec<Rating>,
+    /// Held-out test ratings.
+    pub test: Vec<Rating>,
+    /// Dimensions carried over from the source dataset.
+    pub num_users: u32,
+    /// Number of items.
+    pub num_items: u32,
+}
+
+impl TrainTestSplit {
+    /// Splits `dataset` per user with the given train fraction.
+    ///
+    /// Users with a single rating keep it in the training set (a node must
+    /// always be able to train). Deterministic for a given `seed`.
+    ///
+    /// # Panics
+    /// If `train_fraction` is outside `(0, 1]`.
+    #[must_use]
+    pub fn new(dataset: &Dataset, train_fraction: f64, seed: u64) -> Self {
+        assert!(
+            train_fraction > 0.0 && train_fraction <= 1.0,
+            "train fraction {train_fraction} outside (0, 1]"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut train = Vec::new();
+        let mut test = Vec::new();
+        for mut user_ratings in dataset.by_user() {
+            user_ratings.shuffle(&mut rng);
+            let n = user_ratings.len();
+            let n_train = ((n as f64) * train_fraction).round() as usize;
+            let n_train = n_train.clamp(usize::from(n > 0), n);
+            for (i, r) in user_ratings.into_iter().enumerate() {
+                if i < n_train {
+                    train.push(r);
+                } else {
+                    test.push(r);
+                }
+            }
+        }
+        TrainTestSplit {
+            train,
+            test,
+            num_users: dataset.num_users,
+            num_items: dataset.num_items,
+        }
+    }
+
+    /// The paper's 70/30 split.
+    #[must_use]
+    pub fn standard(dataset: &Dataset, seed: u64) -> Self {
+        Self::new(dataset, 0.7, seed)
+    }
+
+    /// Training ratings grouped by user.
+    #[must_use]
+    pub fn train_by_user(&self) -> Vec<Vec<Rating>> {
+        group_by_user(&self.train, self.num_users)
+    }
+
+    /// Test ratings grouped by user.
+    #[must_use]
+    pub fn test_by_user(&self) -> Vec<Vec<Rating>> {
+        group_by_user(&self.test, self.num_users)
+    }
+}
+
+fn group_by_user(ratings: &[Rating], num_users: u32) -> Vec<Vec<Rating>> {
+    let mut out = vec![Vec::new(); num_users as usize];
+    for r in ratings {
+        out[r.user as usize].push(*r);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SyntheticConfig;
+
+    fn dataset() -> Dataset {
+        SyntheticConfig {
+            num_users: 40,
+            num_items: 150,
+            num_ratings: 1_500,
+            seed: 5,
+            ..SyntheticConfig::default()
+        }
+        .generate()
+    }
+
+    #[test]
+    fn preserves_all_ratings() {
+        let ds = dataset();
+        let split = TrainTestSplit::standard(&ds, 1);
+        assert_eq!(split.train.len() + split.test.len(), ds.ratings.len());
+    }
+
+    #[test]
+    fn fraction_close_to_requested() {
+        let ds = dataset();
+        let split = TrainTestSplit::standard(&ds, 1);
+        let frac = split.train.len() as f64 / ds.ratings.len() as f64;
+        assert!((frac - 0.7).abs() < 0.05, "train fraction {frac}");
+    }
+
+    #[test]
+    fn per_user_split() {
+        let ds = dataset();
+        let split = TrainTestSplit::standard(&ds, 1);
+        let train_by_user = split.train_by_user();
+        // Every user keeps training data.
+        assert!(train_by_user.iter().all(|v| !v.is_empty()));
+        // Users with several ratings also get test data (most of them).
+        let test_by_user = split.test_by_user();
+        let with_test = test_by_user.iter().filter(|v| !v.is_empty()).count();
+        assert!(with_test as f64 > 0.8 * f64::from(ds.num_users));
+    }
+
+    #[test]
+    fn no_overlap_between_train_and_test() {
+        let ds = dataset();
+        let split = TrainTestSplit::standard(&ds, 1);
+        let train_keys: std::collections::HashSet<_> =
+            split.train.iter().map(Rating::key).collect();
+        assert!(split.test.iter().all(|r| !train_keys.contains(&r.key())));
+    }
+
+    #[test]
+    fn deterministic() {
+        let ds = dataset();
+        let a = TrainTestSplit::standard(&ds, 9);
+        let b = TrainTestSplit::standard(&ds, 9);
+        assert_eq!(a.train.len(), b.train.len());
+        assert!(a.train.iter().zip(&b.train).all(|(x, y)| x == y));
+    }
+
+    #[test]
+    fn full_train_fraction() {
+        let ds = dataset();
+        let split = TrainTestSplit::new(&ds, 1.0, 0);
+        assert!(split.test.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rejects_zero_fraction() {
+        let ds = dataset();
+        let _ = TrainTestSplit::new(&ds, 0.0, 0);
+    }
+}

@@ -1,0 +1,76 @@
+//! Property tests over dataset generation, splitting and partitioning.
+
+use proptest::prelude::*;
+use rex_data::{Partition, Rating, SyntheticConfig, TrainTestSplit};
+
+fn arb_config() -> impl Strategy<Value = SyntheticConfig> {
+    (2u32..40, 20u32..200, 1usize..8, any::<u64>()).prop_map(
+        |(users, items, per_user, seed)| SyntheticConfig {
+            num_users: users,
+            num_items: items,
+            num_ratings: (users as usize) * per_user.min(items as usize),
+            seed,
+            ..SyntheticConfig::default()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generator_respects_config(cfg in arb_config()) {
+        let ds = cfg.generate();
+        prop_assert_eq!(ds.num_users, cfg.num_users);
+        prop_assert_eq!(ds.num_items, cfg.num_items);
+        prop_assert_eq!(ds.ratings.len(), cfg.num_ratings);
+        // In-range, on-grid, no duplicate cells.
+        let mut seen = std::collections::HashSet::new();
+        for r in &ds.ratings {
+            prop_assert!(r.user < cfg.num_users && r.item < cfg.num_items);
+            prop_assert!((0.5..=5.0).contains(&r.value));
+            let doubled = r.value * 2.0;
+            prop_assert!((doubled - doubled.round()).abs() < 1e-6);
+            prop_assert!(seen.insert(r.key()));
+        }
+    }
+
+    #[test]
+    fn split_partitions_ratings_exactly(cfg in arb_config(), frac in 0.3f64..1.0, seed in any::<u64>()) {
+        let ds = cfg.generate();
+        let split = TrainTestSplit::new(&ds, frac, seed);
+        prop_assert_eq!(split.train.len() + split.test.len(), ds.ratings.len());
+        // Multiset equality via sorted keys.
+        let mut orig: Vec<(u32, u32)> = ds.ratings.iter().map(Rating::key).collect();
+        let mut got: Vec<(u32, u32)> = split.train.iter().chain(&split.test).map(Rating::key).collect();
+        orig.sort_unstable();
+        got.sort_unstable();
+        prop_assert_eq!(orig, got);
+        // Every user trains.
+        let train_users: std::collections::HashSet<u32> =
+            split.train.iter().map(|r| r.user).collect();
+        for u in 0..ds.num_users {
+            prop_assert!(train_users.contains(&u), "user {u} lost all training data");
+        }
+    }
+
+    #[test]
+    fn partition_covers_everything(cfg in arb_config(), nodes_div in 1u32..8, seed in any::<u64>()) {
+        let ds = cfg.generate();
+        let split = TrainTestSplit::standard(&ds, seed);
+        let nodes = ((cfg.num_users / nodes_div).max(1)) as usize;
+        let part = Partition::multi_user(&split, nodes);
+        prop_assert_eq!(part.num_nodes(), nodes);
+        prop_assert_eq!(part.total_train(), split.train.len());
+        prop_assert_eq!(part.total_test(), split.test.len());
+        // Every user appears exactly once.
+        let mut all_users: Vec<u32> = part.users.iter().flatten().copied().collect();
+        all_users.sort_unstable();
+        let expected: Vec<u32> = (0..cfg.num_users).collect();
+        prop_assert_eq!(all_users, expected);
+        // Balance within 1.
+        let sizes: Vec<usize> = part.users.iter().map(Vec::len).collect();
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        prop_assert!(max - min <= 1);
+    }
+}

@@ -1,0 +1,191 @@
+//! Minimal little-endian byte serialization helpers shared by the model
+//! codecs (and re-used by `rex-net` for message framing).
+
+/// Cursor-style reader over a byte slice.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+/// Raised when a buffer is shorter than the encoding requires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShortBuffer {
+    /// Bytes requested beyond the end.
+    pub needed: usize,
+}
+
+impl std::fmt::Display for ShortBuffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "short buffer: {} more bytes needed", self.needed)
+    }
+}
+
+impl std::error::Error for ShortBuffer {}
+
+impl<'a> Reader<'a> {
+    /// Wraps a slice.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ShortBuffer> {
+        if self.remaining() < n {
+            return Err(ShortBuffer {
+                needed: n - self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads a little-endian u8.
+    pub fn u8(&mut self) -> Result<u8, ShortBuffer> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian u32.
+    pub fn u32(&mut self) -> Result<u32, ShortBuffer> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian u64.
+    pub fn u64(&mut self) -> Result<u64, ShortBuffer> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian f32.
+    pub fn f32(&mut self) -> Result<f32, ShortBuffer> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian f64.
+    pub fn f64(&mut self) -> Result<f64, ShortBuffer> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads `n` f32 values.
+    pub fn f32_vec(&mut self, n: usize) -> Result<Vec<f32>, ShortBuffer> {
+        let bytes = self.take(n * 4)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], ShortBuffer> {
+        self.take(n)
+    }
+
+    /// Reads a bit-packed bool vector of length `n`.
+    pub fn bool_vec(&mut self, n: usize) -> Result<Vec<bool>, ShortBuffer> {
+        let bytes = self.take(n.div_ceil(8))?;
+        Ok((0..n).map(|i| bytes[i / 8] & (1 << (i % 8)) != 0).collect())
+    }
+}
+
+/// Appends a u8.
+pub fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+/// Appends a little-endian u32.
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian u64.
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian f32.
+pub fn put_f32(buf: &mut Vec<u8>, v: f32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian f64.
+pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a slice of f32 values.
+pub fn put_f32_slice(buf: &mut Vec<u8>, vs: &[f32]) {
+    buf.reserve(vs.len() * 4);
+    for v in vs {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Appends a bit-packed bool vector.
+pub fn put_bool_slice(buf: &mut Vec<u8>, vs: &[bool]) {
+    let mut bytes = vec![0u8; vs.len().div_ceil(8)];
+    for (i, &b) in vs.iter().enumerate() {
+        if b {
+            bytes[i / 8] |= 1 << (i % 8);
+        }
+    }
+    buf.extend_from_slice(&bytes);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 7);
+        put_u32(&mut buf, 0xdead_beef);
+        put_u64(&mut buf, u64::MAX - 3);
+        put_f32(&mut buf, -1.5);
+        put_f64(&mut buf, std::f64::consts::PI);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.f32().unwrap(), -1.5);
+        assert_eq!(r.f64().unwrap(), std::f64::consts::PI);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn f32_slice_roundtrip() {
+        let vs: Vec<f32> = (0..100).map(|i| i as f32 * 0.25 - 10.0).collect();
+        let mut buf = Vec::new();
+        put_f32_slice(&mut buf, &vs);
+        assert_eq!(buf.len(), 400);
+        let back = Reader::new(&buf).f32_vec(100).unwrap();
+        assert_eq!(back, vs);
+    }
+
+    #[test]
+    fn bool_slice_roundtrip() {
+        for n in [0usize, 1, 7, 8, 9, 64, 100] {
+            let vs: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+            let mut buf = Vec::new();
+            put_bool_slice(&mut buf, &vs);
+            assert_eq!(buf.len(), n.div_ceil(8));
+            let back = Reader::new(&buf).bool_vec(n).unwrap();
+            assert_eq!(back, vs, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn short_buffer_detected() {
+        let buf = [1u8, 2, 3];
+        let mut r = Reader::new(&buf);
+        assert!(r.u32().is_err());
+        assert_eq!(r.remaining(), 3); // failed read consumes nothing
+        assert_eq!(r.u8().unwrap(), 1);
+        assert!(r.f32().is_err());
+    }
+}

@@ -1,0 +1,374 @@
+//! Layers and the Adam optimizer state for the DNN recommender.
+
+use super::tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Adam hyperparameters (paper §IV-A3b: η = 1e-4, weight decay 1e-5;
+/// betas/eps are PyTorch defaults).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdamParams {
+    /// Learning rate η.
+    pub learning_rate: f32,
+    /// L2 weight decay added to the gradient (PyTorch-style Adam).
+    pub weight_decay: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical stabilizer.
+    pub eps: f32,
+}
+
+impl Default for AdamParams {
+    fn default() -> Self {
+        AdamParams {
+            learning_rate: 1e-4,
+            weight_decay: 1e-5,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
+    }
+}
+
+/// First/second moment buffers for one parameter tensor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdamState {
+    m: Vec<f32>,
+    v: Vec<f32>,
+}
+
+impl AdamState {
+    /// Zero-initialized state for `len` parameters.
+    #[must_use]
+    pub fn new(len: usize) -> Self {
+        AdamState {
+            m: vec![0.0; len],
+            v: vec![0.0; len],
+        }
+    }
+
+    /// Applies one Adam update to `params` given `grads` at timestep `t`
+    /// (1-based).
+    pub fn update(&mut self, params: &mut [f32], grads: &[f32], hp: &AdamParams, t: u64) {
+        debug_assert_eq!(params.len(), grads.len());
+        debug_assert_eq!(params.len(), self.m.len());
+        let bc1 = 1.0 - hp.beta1.powi(t as i32);
+        let bc2 = 1.0 - hp.beta2.powi(t as i32);
+        for i in 0..params.len() {
+            let g = grads[i] + hp.weight_decay * params[i];
+            self.m[i] = hp.beta1 * self.m[i] + (1.0 - hp.beta1) * g;
+            self.v[i] = hp.beta2 * self.v[i] + (1.0 - hp.beta2) * g * g;
+            let m_hat = self.m[i] / bc1;
+            let v_hat = self.v[i] / bc2;
+            params[i] -= hp.learning_rate * m_hat / (v_hat.sqrt() + hp.eps);
+        }
+    }
+
+    /// Applies one Adam update to a sub-range (one embedding row) of a
+    /// parameter vector; used for lazy/sparse embedding updates.
+    pub fn update_range(
+        &mut self,
+        params: &mut [f32],
+        grads: &[f32],
+        start: usize,
+        hp: &AdamParams,
+        t: u64,
+    ) {
+        let end = start + grads.len();
+        let bc1 = 1.0 - hp.beta1.powi(t as i32);
+        let bc2 = 1.0 - hp.beta2.powi(t as i32);
+        for (offset, &g_raw) in grads.iter().enumerate() {
+            let i = start + offset;
+            debug_assert!(i < end);
+            let g = g_raw + hp.weight_decay * params[i];
+            self.m[i] = hp.beta1 * self.m[i] + (1.0 - hp.beta1) * g;
+            self.v[i] = hp.beta2 * self.v[i] + (1.0 - hp.beta2) * g * g;
+            let m_hat = self.m[i] / bc1;
+            let v_hat = self.v[i] / bc2;
+            params[i] -= hp.learning_rate * m_hat / (v_hat.sqrt() + hp.eps);
+        }
+    }
+
+    /// Memory footprint in bytes.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        (self.m.len() + self.v.len()) * 4
+    }
+}
+
+/// Fully connected layer `y = x·W + b` with its Adam state.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    /// Weights, `input_dim × output_dim`.
+    pub w: Matrix,
+    /// Bias, `output_dim`.
+    pub b: Vec<f32>,
+    adam_w: AdamState,
+    adam_b: AdamState,
+}
+
+/// Gradients produced by [`Linear::backward`].
+pub struct LinearGrads {
+    /// dL/dW.
+    pub dw: Matrix,
+    /// dL/db.
+    pub db: Vec<f32>,
+    /// dL/dX (propagated to the previous layer).
+    pub dx: Matrix,
+}
+
+impl Linear {
+    /// He-style initialization: W ~ N(0, sqrt(2/in)), b = 0.
+    #[must_use]
+    pub fn new(input_dim: usize, output_dim: usize, rng: &mut StdRng) -> Self {
+        let std = (2.0 / input_dim as f32).sqrt();
+        Linear {
+            w: Matrix::randn(input_dim, output_dim, std, rng),
+            b: vec![0.0; output_dim],
+            adam_w: AdamState::new(input_dim * output_dim),
+            adam_b: AdamState::new(output_dim),
+        }
+    }
+
+    /// Input dimension.
+    #[must_use]
+    pub fn input_dim(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Output dimension.
+    #[must_use]
+    pub fn output_dim(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Forward pass: `x (B×in) -> (B×out)`.
+    #[must_use]
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut y = x.matmul(&self.w);
+        for r in 0..y.rows() {
+            let row = y.row_mut(r);
+            for (v, b) in row.iter_mut().zip(&self.b) {
+                *v += b;
+            }
+        }
+        y
+    }
+
+    /// Backward pass given the forward input `x` and upstream gradient `dy`.
+    #[must_use]
+    pub fn backward(&self, x: &Matrix, dy: &Matrix) -> LinearGrads {
+        let dw = x.t_matmul(dy);
+        let mut db = vec![0.0f32; self.output_dim()];
+        for r in 0..dy.rows() {
+            for (d, v) in db.iter_mut().zip(dy.row(r)) {
+                *d += v;
+            }
+        }
+        let dx = dy.matmul_t(&self.w);
+        LinearGrads { dw, db, dx }
+    }
+
+    /// Applies Adam with the layer's state.
+    pub fn apply(&mut self, grads: &LinearGrads, hp: &AdamParams, t: u64) {
+        self.adam_w.update(self.w.data_mut(), grads.dw.data(), hp, t);
+        self.adam_b.update(&mut self.b, &grads.db, hp, t);
+    }
+
+    /// Number of learnable parameters.
+    #[must_use]
+    pub fn param_count(&self) -> usize {
+        self.w.data().len() + self.b.len()
+    }
+
+    /// Parameters + optimizer state, in bytes.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        self.param_count() * 4 + self.adam_w.memory_bytes() + self.adam_b.memory_bytes()
+    }
+}
+
+/// In-place ReLU; returns the activation mask for the backward pass.
+pub fn relu_forward(x: &mut Matrix) -> Vec<bool> {
+    let mut mask = Vec::with_capacity(x.data().len());
+    for v in x.data_mut() {
+        if *v > 0.0 {
+            mask.push(true);
+        } else {
+            *v = 0.0;
+            mask.push(false);
+        }
+    }
+    mask
+}
+
+/// In-place ReLU backward: zeroes gradient entries where the forward
+/// activation was clipped.
+pub fn relu_backward(dy: &mut Matrix, mask: &[bool]) {
+    debug_assert_eq!(dy.data().len(), mask.len());
+    for (v, &m) in dy.data_mut().iter_mut().zip(mask) {
+        if !m {
+            *v = 0.0;
+        }
+    }
+}
+
+/// Inverted dropout: zeroes entries with probability `p` and scales the
+/// survivors by `1/(1-p)`. Returns the keep-mask (already incorporating the
+/// scale on the forward side). No-op when `p == 0`.
+pub fn dropout_forward(x: &mut Matrix, p: f32, rng: &mut StdRng) -> Option<Vec<bool>> {
+    if p <= 0.0 {
+        return None;
+    }
+    assert!(p < 1.0, "dropout probability {p} >= 1");
+    let scale = 1.0 / (1.0 - p);
+    let mut mask = Vec::with_capacity(x.data().len());
+    for v in x.data_mut() {
+        if rng.gen::<f32>() < p {
+            *v = 0.0;
+            mask.push(false);
+        } else {
+            *v *= scale;
+            mask.push(true);
+        }
+    }
+    Some(mask)
+}
+
+/// Dropout backward: applies the same mask and scale to the gradient.
+pub fn dropout_backward(dy: &mut Matrix, mask: &Option<Vec<bool>>, p: f32) {
+    let Some(mask) = mask else { return };
+    let scale = 1.0 / (1.0 - p);
+    for (v, &m) in dy.data_mut().iter_mut().zip(mask) {
+        if m {
+            *v *= scale;
+        } else {
+            *v = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_forward_known() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut layer = Linear::new(2, 2, &mut rng);
+        layer.w = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        layer.b = vec![0.5, -0.5];
+        let x = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
+        let y = layer.forward(&x);
+        assert_eq!(y.data(), &[4.5, 5.5]);
+    }
+
+    #[test]
+    fn linear_gradcheck() {
+        // Finite-difference check of dW, db, dx for a scalar loss L = Σy².
+        let mut rng = StdRng::seed_from_u64(3);
+        let layer = Linear::new(3, 2, &mut rng);
+        let x = Matrix::randn(4, 3, 1.0, &mut rng);
+
+        let loss = |l: &Linear, x: &Matrix| -> f64 {
+            l.forward(x).data().iter().map(|v| f64::from(*v) * f64::from(*v)).sum()
+        };
+        // Upstream grad of L = Σy² is 2y.
+        let y = layer.forward(&x);
+        let dy = Matrix::from_vec(
+            y.rows(),
+            y.cols(),
+            y.data().iter().map(|v| 2.0 * v).collect(),
+        );
+        let grads = layer.backward(&x, &dy);
+
+        let eps = 1e-3f32;
+        // Check a handful of weight entries.
+        for &(r, c) in &[(0usize, 0usize), (1, 1), (2, 0)] {
+            let mut bumped = layer.clone();
+            bumped.w.set(r, c, bumped.w.get(r, c) + eps);
+            let numeric = (loss(&bumped, &x) - loss(&layer, &x)) / f64::from(eps);
+            let analytic = f64::from(grads.dw.get(r, c));
+            assert!(
+                (numeric - analytic).abs() < 0.05 * (analytic.abs() + 1.0),
+                "dW[{r},{c}] numeric {numeric} vs analytic {analytic}"
+            );
+        }
+        // Bias entry.
+        let mut bumped = layer.clone();
+        bumped.b[1] += eps;
+        let numeric = (loss(&bumped, &x) - loss(&layer, &x)) / f64::from(eps);
+        assert!((numeric - f64::from(grads.db[1])).abs() < 0.05 * (numeric.abs() + 1.0));
+        // Input entry.
+        let mut x2 = x.clone();
+        x2.set(0, 0, x2.get(0, 0) + eps);
+        let numeric = (loss(&layer, &x2) - loss(&layer, &x)) / f64::from(eps);
+        assert!((numeric - f64::from(grads.dx.get(0, 0))).abs() < 0.05 * (numeric.abs() + 1.0));
+    }
+
+    #[test]
+    fn relu_roundtrip() {
+        let mut x = Matrix::from_vec(1, 4, vec![-1.0, 0.0, 2.0, -3.0]);
+        let mask = relu_forward(&mut x);
+        assert_eq!(x.data(), &[0.0, 0.0, 2.0, 0.0]);
+        assert_eq!(mask, vec![false, false, true, false]);
+        let mut dy = Matrix::from_vec(1, 4, vec![1.0, 1.0, 1.0, 1.0]);
+        relu_backward(&mut dy, &mask);
+        assert_eq!(dy.data(), &[0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn dropout_zero_p_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut x = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let mask = dropout_forward(&mut x, 0.0, &mut rng);
+        assert!(mask.is_none());
+        assert_eq!(x.data(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn dropout_preserves_expectation() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 20_000;
+        let mut x = Matrix::from_vec(1, n, vec![1.0; n]);
+        let _ = dropout_forward(&mut x, 0.25, &mut rng);
+        let mean: f32 = x.data().iter().sum::<f32>() / n as f32;
+        assert!((mean - 1.0).abs() < 0.03, "mean {mean}");
+    }
+
+    #[test]
+    fn adam_descends_quadratic() {
+        // Minimize f(p) = (p - 3)² with Adam; must approach 3.
+        let hp = AdamParams {
+            learning_rate: 0.1,
+            weight_decay: 0.0,
+            ..Default::default()
+        };
+        let mut state = AdamState::new(1);
+        let mut p = vec![0.0f32];
+        for t in 1..=500 {
+            let g = vec![2.0 * (p[0] - 3.0)];
+            state.update(&mut p, &g, &hp, t);
+        }
+        assert!((p[0] - 3.0).abs() < 0.05, "p = {}", p[0]);
+    }
+
+    #[test]
+    fn adam_update_range_matches_full_update() {
+        let hp = AdamParams::default();
+        let mut full = AdamState::new(4);
+        let mut sparse = AdamState::new(4);
+        let mut p1 = vec![1.0f32, 2.0, 3.0, 4.0];
+        let mut p2 = p1.clone();
+        let g = vec![0.1f32, -0.2, 0.3, -0.4];
+        full.update(&mut p1, &g, &hp, 1);
+        sparse.update_range(&mut p2, &g[0..2], 0, &hp, 1);
+        sparse.update_range(&mut p2, &g[2..4], 2, &hp, 1);
+        for (a, b) in p1.iter().zip(&p2) {
+            assert!((a - b).abs() < 1e-7);
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Minimal dense row-major matrix used by the DNN layers.
+
+use rand::rngs::StdRng;
+use rex_data::dist::normal;
+
+/// Dense `rows × cols` matrix of f32, row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// All-zero matrix.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Gaussian-initialized matrix, N(0, std²).
+    #[must_use]
+    pub fn randn(rows: usize, cols: usize, std: f32, rng: &mut StdRng) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: (0..rows * cols)
+                .map(|_| normal(rng, 0.0, f64::from(std)) as f32)
+                .collect(),
+        }
+    }
+
+    /// Wraps an existing buffer.
+    ///
+    /// # Panics
+    /// If `data.len() != rows * cols`.
+    #[must_use]
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Flat data slice.
+    #[must_use]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat data slice.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Row `r` as a slice.
+    #[must_use]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row `r`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Element access.
+    #[must_use]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutation.
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// `self (r×k) · other (k×c) -> (r×c)`, cache-friendly ikj order.
+    #[must_use]
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let (r, k, c) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(r, c);
+        for i in 0..r {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (p, &a_ip) in a_row.iter().enumerate().take(k) {
+                if a_ip == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(p);
+                for j in 0..c {
+                    out_row[j] += a_ip * b_row[j];
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ (k×r) · other (r×c) -> (k×c)` — used for `dW = Xᵀ·dY`.
+    #[must_use]
+    pub fn t_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
+        let (r, k, c) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(k, c);
+        for i in 0..r {
+            let a_row = self.row(i);
+            let b_row = other.row(i);
+            for (p, &a_ip) in a_row.iter().enumerate().take(k) {
+                if a_ip == 0.0 {
+                    continue;
+                }
+                let out_row = out.row_mut(p);
+                for j in 0..c {
+                    out_row[j] += a_ip * b_row[j];
+                }
+            }
+        }
+        out
+    }
+
+    /// `self (r×c) · otherᵀ (k×c) -> (r×k)` — used for `dX = dY·Wᵀ`.
+    #[must_use]
+    pub fn matmul_t(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
+        let (r, c, k) = (self.rows, self.cols, other.rows);
+        let mut out = Matrix::zeros(r, k);
+        for i in 0..r {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (p, o) in out_row.iter_mut().enumerate().take(k) {
+                let b_row = other.row(p);
+                let mut acc = 0.0f32;
+                for j in 0..c {
+                    acc += a_row[j] * b_row[j];
+                }
+                *o = acc;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn transpose_variants_agree_with_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = Matrix::randn(4, 3, 1.0, &mut rng);
+        let b = Matrix::randn(4, 5, 1.0, &mut rng);
+        // aᵀ·b via t_matmul vs manual transpose.
+        let mut at = Matrix::zeros(3, 4);
+        for i in 0..4 {
+            for j in 0..3 {
+                at.set(j, i, a.get(i, j));
+            }
+        }
+        let expected = at.matmul(&b);
+        let got = a.t_matmul(&b);
+        for (x, y) in expected.data().iter().zip(got.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+
+        // a·cᵀ via matmul_t.
+        let c = Matrix::randn(6, 3, 1.0, &mut rng);
+        let mut ct = Matrix::zeros(3, 6);
+        for i in 0..6 {
+            for j in 0..3 {
+                ct.set(j, i, c.get(i, j));
+            }
+        }
+        let expected2 = a.matmul(&ct);
+        let got2 = a.matmul_t(&c);
+        for (x, y) in expected2.data().iter().zip(got2.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn row_access() {
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.get(0, 1), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn matmul_rejects_bad_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn randn_statistics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = Matrix::randn(100, 100, 0.5, &mut rng);
+        let mean: f32 = m.data().iter().sum::<f32>() / 10_000.0;
+        let var: f32 = m.data().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / 10_000.0;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 0.25).abs() < 0.02, "var {var}");
+    }
+}

@@ -1,0 +1,80 @@
+//! The [`Model`] trait: the contract between recommenders and the REX
+//! protocol layer (`rex-core`).
+
+use rand::rngs::StdRng;
+use rex_data::Rating;
+
+/// Error returned when deserializing a model from wire bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelCodecError {
+    /// Buffer too short or trailing garbage.
+    Malformed(String),
+    /// Header fields disagree with the receiving node's configuration.
+    Incompatible(String),
+}
+
+impl std::fmt::Display for ModelCodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelCodecError::Malformed(m) => write!(f, "malformed model bytes: {m}"),
+            ModelCodecError::Incompatible(m) => write!(f, "incompatible model: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelCodecError {}
+
+impl From<crate::bytesio::ShortBuffer> for ModelCodecError {
+    fn from(e: crate::bytesio::ShortBuffer) -> Self {
+        ModelCodecError::Malformed(e.to_string())
+    }
+}
+
+/// A recommender model that can be trained, merged and serialized.
+///
+/// Merging follows the paper's two schemes (§III-C): RMW averages the local
+/// model with a single received one; D-PSGD computes a Metropolis–Hastings
+/// weighted average over all neighbours plus self. Both are expressed
+/// through [`Model::merge`], which takes explicit `(weight, model)`
+/// contributions plus the self-weight.
+pub trait Model: Clone + Send + Sync + 'static {
+    /// Runs `steps` single-sample SGD (or minibatch) steps over `data`,
+    /// sampling uniformly with the caller's RNG. A fixed step count per
+    /// epoch keeps epoch duration constant as the raw-data store grows
+    /// (paper §III-E).
+    fn train_steps(&mut self, data: &[Rating], steps: usize, rng: &mut StdRng);
+
+    /// Predicts the rating of `user` for `item`, clamped to the valid
+    /// rating range. Falls back to bias terms / global mean for users or
+    /// items this model has never seen.
+    fn predict(&self, user: u32, item: u32) -> f32;
+
+    /// Merges neighbour `contributions` (weight, model) with `self_weight`
+    /// for the local parameters. Weights must sum to 1 across
+    /// `self_weight + Σ contributions`. Rows (user/item embeddings) that a
+    /// contributor has never seen are excluded from that row's average,
+    /// with remaining weights renormalized (paper §III-C2: "when a node has
+    /// no embedding for a given user or item, we consider only those of its
+    /// neighbors").
+    fn merge(&mut self, contributions: &[(f64, &Self)], self_weight: f64);
+
+    /// Total number of learnable parameters.
+    fn param_count(&self) -> usize;
+
+    /// Serialized size in bytes (what model sharing puts on the wire).
+    fn wire_size(&self) -> usize {
+        self.to_bytes().len()
+    }
+
+    /// Serializes for the wire.
+    fn to_bytes(&self) -> Vec<u8>;
+
+    /// Deserializes from wire bytes.
+    fn from_bytes(bytes: &[u8]) -> Result<Self, ModelCodecError>
+    where
+        Self: Sized;
+
+    /// Resident memory estimate in bytes: parameters plus optimizer state
+    /// plus masks. Used by the EPC accounting in `rex-tee`.
+    fn memory_bytes(&self) -> usize;
+}

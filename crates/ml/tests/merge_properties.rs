@@ -1,0 +1,115 @@
+//! Property tests over model merging — the heart of the D-PSGD/RMW
+//! semantics (paper §III-C).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rex_data::Rating;
+use rex_ml::{MfHyperParams, MfModel, Model};
+
+fn trained_model(seed: u64, steps: usize) -> MfModel {
+    let mut m = MfModel::new(6, 12, MfHyperParams::default(), 3.5, 42);
+    let data: Vec<Rating> = (0..6u32)
+        .flat_map(|u| {
+            (0..12u32).map(move |i| Rating {
+                user: u,
+                item: i,
+                value: 0.5 + ((u * 7 + i * 3) % 10) as f32 * 0.5,
+            })
+        })
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    m.train_steps(&data, steps, &mut rng);
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn merging_identical_models_is_identity(seed in any::<u64>(), w in 0.05f64..0.95) {
+        let m = trained_model(seed, 200);
+        let mut merged = m.clone();
+        merged.merge(&[(1.0 - w, &m)], w);
+        for (u, i) in [(0u32, 0u32), (3, 7), (5, 11)] {
+            prop_assert!((merged.predict(u, i) - m.predict(u, i)).abs() < 1e-4,
+                "prediction moved under self-merge");
+        }
+        prop_assert_eq!(merged.to_bytes().len(), m.to_bytes().len());
+    }
+
+    #[test]
+    fn merge_is_convex_on_fully_seen_models(seed_a in 0u64..1000, seed_b in 1000u64..2000, w in 0.0f64..1.0) {
+        // With both models fully trained (all rows seen), the merged
+        // global mean must be the exact convex combination.
+        let a = trained_model(seed_a, 400);
+        let b = trained_model(seed_b, 400);
+        let expected = w * f64::from(a.global_mean()) + (1.0 - w) * f64::from(b.global_mean());
+        let mut merged = a.clone();
+        merged.merge(&[(1.0 - w, &b)], w);
+        prop_assert!((f64::from(merged.global_mean()) - expected).abs() < 1e-5);
+    }
+
+    #[test]
+    fn codec_roundtrip_preserves_predictions(seed in any::<u64>()) {
+        let m = trained_model(seed, 300);
+        let back = MfModel::from_bytes(&m.to_bytes()).unwrap();
+        for u in 0..6u32 {
+            for i in 0..12u32 {
+                prop_assert_eq!(back.predict(u, i), m.predict(u, i));
+            }
+        }
+    }
+
+    #[test]
+    fn training_marks_exactly_touched_rows(step_count in 1usize..50, seed in any::<u64>()) {
+        let mut m = MfModel::new(20, 20, MfHyperParams::default(), 3.0, 0);
+        let data: Vec<Rating> = (0..5u32)
+            .map(|i| Rating { user: i, item: i + 10, value: 3.0 })
+            .collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        m.train_steps(&data, step_count, &mut rng);
+        for u in 0..20u32 {
+            let should = u < 5 && {
+                // Only rows actually sampled get marked; sampled ⊆ data rows.
+                m.has_user(u)
+            };
+            if should {
+                prop_assert!(m.has_item(u + 10), "user {u} seen but its item not");
+            }
+            if u >= 5 {
+                prop_assert!(!m.has_user(u), "untouched user {u} marked seen");
+            }
+        }
+    }
+}
+
+#[test]
+fn merge_chain_converges_models_toward_consensus() {
+    // Repeated pairwise averaging (the RMW dynamic) must shrink the
+    // disagreement between two models.
+    let a0 = trained_model(1, 500);
+    let b0 = trained_model(2, 500);
+    let disagreement = |a: &MfModel, b: &MfModel| -> f64 {
+        let mut d: f64 = 0.0;
+        for u in 0..6u32 {
+            for i in 0..12u32 {
+                d += f64::from((a.predict(u, i) - b.predict(u, i)).abs());
+            }
+        }
+        d
+    };
+    let before = disagreement(&a0, &b0);
+    let mut a = a0;
+    let mut b = b0;
+    for _ in 0..5 {
+        let a_snapshot = a.clone();
+        a.merge(&[(0.5, &b)], 0.5);
+        b.merge(&[(0.5, &a_snapshot)], 0.5);
+    }
+    let after = disagreement(&a, &b);
+    assert!(
+        after < before * 0.2,
+        "consensus not approached: {before} -> {after}"
+    );
+}

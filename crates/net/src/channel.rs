@@ -1,0 +1,163 @@
+//! Crossbeam-channel transport for the real-thread runner (the 8-node SGX
+//! deployment of Figs 6–7 runs each node on its own OS thread).
+
+use crate::mem::Envelope;
+use crate::stats::TrafficStats;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared atomic traffic counters for one node.
+#[derive(Debug, Default)]
+pub struct AtomicStats {
+    bytes_out: AtomicU64,
+    bytes_in: AtomicU64,
+    msgs_out: AtomicU64,
+    msgs_in: AtomicU64,
+}
+
+impl AtomicStats {
+    /// Snapshot into a plain [`TrafficStats`].
+    #[must_use]
+    pub fn snapshot(&self) -> TrafficStats {
+        TrafficStats {
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            msgs_out: self.msgs_out.load(Ordering::Relaxed),
+            msgs_in: self.msgs_in.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One node's endpoint: senders to every peer plus its own receiver.
+pub struct ChannelEndpoint {
+    id: usize,
+    senders: Vec<Option<Sender<Envelope>>>,
+    receiver: Receiver<Envelope>,
+    stats: Vec<Arc<AtomicStats>>,
+}
+
+impl ChannelEndpoint {
+    /// This endpoint's node id.
+    #[must_use]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Sends `bytes` to node `to`.
+    ///
+    /// # Panics
+    /// On self-send or unknown destination.
+    pub fn send(&self, to: usize, bytes: Vec<u8>) {
+        assert_ne!(to, self.id, "self-send");
+        let size = bytes.len() as u64;
+        let sender = self.senders[to]
+            .as_ref()
+            .expect("destination is this endpoint");
+        self.stats[self.id].bytes_out.fetch_add(size, Ordering::Relaxed);
+        self.stats[self.id].msgs_out.fetch_add(1, Ordering::Relaxed);
+        self.stats[to].bytes_in.fetch_add(size, Ordering::Relaxed);
+        self.stats[to].msgs_in.fetch_add(1, Ordering::Relaxed);
+        // Receiver dropped = peer finished; losing the message is fine for
+        // the epoch-bounded experiments.
+        let _ = sender.send(Envelope {
+            from: self.id,
+            bytes,
+        });
+    }
+
+    /// Blocks until one message arrives.
+    pub fn recv(&self) -> Option<Envelope> {
+        self.receiver.recv().ok()
+    }
+
+    /// Drains everything currently queued without blocking.
+    pub fn try_drain(&self) -> Vec<Envelope> {
+        let mut out = Vec::new();
+        while let Ok(env) = self.receiver.try_recv() {
+            out.push(env);
+        }
+        out
+    }
+
+    /// Snapshot of this node's traffic stats.
+    #[must_use]
+    pub fn stats(&self) -> TrafficStats {
+        self.stats[self.id].snapshot()
+    }
+}
+
+/// Builds a fully connected channel network over `n` nodes; returns one
+/// endpoint per node (move each into its thread).
+#[must_use]
+pub fn channel_network(n: usize) -> Vec<ChannelEndpoint> {
+    let stats: Vec<Arc<AtomicStats>> = (0..n).map(|_| Arc::new(AtomicStats::default())).collect();
+    let mut senders: Vec<Sender<Envelope>> = Vec::with_capacity(n);
+    let mut receivers: Vec<Receiver<Envelope>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    receivers
+        .into_iter()
+        .enumerate()
+        .map(|(id, receiver)| ChannelEndpoint {
+            id,
+            senders: senders
+                .iter()
+                .enumerate()
+                .map(|(peer, tx)| if peer == id { None } else { Some(tx.clone()) })
+                .collect(),
+            receiver,
+            stats: stats.clone(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_thread_delivery() {
+        let mut eps = channel_network(2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        let handle = std::thread::spawn(move || {
+            let env = b.recv().unwrap();
+            assert_eq!(env.from, 0);
+            b.send(0, vec![9, 9]);
+            b.stats()
+        });
+        a.send(1, vec![1, 2, 3]);
+        let reply = a.recv().unwrap();
+        assert_eq!(reply.bytes, vec![9, 9]);
+        let b_stats = handle.join().unwrap();
+        assert_eq!(b_stats.bytes_in, 3);
+        assert_eq!(b_stats.bytes_out, 2);
+        assert_eq!(a.stats().bytes_out, 3);
+        assert_eq!(a.stats().bytes_in, 2);
+    }
+
+    #[test]
+    fn try_drain_nonblocking() {
+        let mut eps = channel_network(3);
+        let c = eps.pop().unwrap();
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        assert!(c.try_drain().is_empty());
+        a.send(2, vec![1]);
+        b.send(2, vec![2]);
+        // Give the unbounded channel a moment (same thread: already there).
+        let msgs = c.try_drain();
+        assert_eq!(msgs.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-send")]
+    fn self_send_panics() {
+        let eps = channel_network(1);
+        eps[0].send(0, vec![]);
+    }
+}

@@ -1,0 +1,31 @@
+//! Networking substrate for the REX reproduction.
+//!
+//! The paper's implementation uses ZeroMQ between 8 processes on 4 SGX
+//! machines and a simulator for the larger sweeps. Both deployments report
+//! the same two network metrics: bytes in+out per node (Figs 2, 3, 5b, 6b,
+//! 7b) and transfer time contributions. This crate supplies:
+//!
+//! * [`message`] — the REX wire protocol: cleartext attestation messages
+//!   and AEAD-sealed payloads (raw-rating batches or serialized models,
+//!   each tagged with the sender's degree for Metropolis–Hastings merging);
+//! * [`codec`] — a self-contained length-prefixed binary encoding;
+//! * [`mem`] — a single-threaded instrumented mailbox network for the
+//!   discrete-event simulator;
+//! * [`channel`] — a crossbeam-based transport for the real-thread runner;
+//! * [`stats`] — per-node traffic accounting;
+//! * [`link`] — a latency/bandwidth model that converts bytes to
+//!   simulated transfer time.
+
+pub mod channel;
+pub mod codec;
+pub mod compress;
+pub mod link;
+pub mod mem;
+pub mod message;
+pub mod stats;
+
+pub use codec::CodecError;
+pub use link::LinkModel;
+pub use mem::{Envelope, MemNetwork};
+pub use message::{Payload, Plain};
+pub use stats::TrafficStats;

@@ -1,0 +1,131 @@
+//! Single-threaded instrumented mailbox network for the discrete-event
+//! simulator: reliable, ordered, with exact byte accounting.
+
+use crate::stats::TrafficStats;
+use std::collections::VecDeque;
+
+/// A delivered message.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Sender node id.
+    pub from: usize,
+    /// Raw payload bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// Mailbox network over `n` nodes.
+#[derive(Debug, Default)]
+pub struct MemNetwork {
+    inboxes: Vec<VecDeque<Envelope>>,
+    stats: Vec<TrafficStats>,
+}
+
+impl MemNetwork {
+    /// Creates a network with `n` empty mailboxes.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        MemNetwork {
+            inboxes: (0..n).map(|_| VecDeque::new()).collect(),
+            stats: vec![TrafficStats::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inboxes.len()
+    }
+
+    /// Whether the network has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inboxes.is_empty()
+    }
+
+    /// Sends `bytes` from `from` to `to`; returns the message size.
+    ///
+    /// # Panics
+    /// On out-of-range node ids or self-sends (protocol bugs).
+    pub fn send(&mut self, from: usize, to: usize, bytes: Vec<u8>) -> usize {
+        assert!(from < self.len() && to < self.len(), "bad node id");
+        assert_ne!(from, to, "self-send");
+        let size = bytes.len();
+        self.stats[from].record_send(size);
+        self.stats[to].record_recv(size);
+        self.inboxes[to].push_back(Envelope { from, bytes });
+        size
+    }
+
+    /// Removes and returns every message queued for `node`.
+    pub fn drain_inbox(&mut self, node: usize) -> Vec<Envelope> {
+        self.inboxes[node].drain(..).collect()
+    }
+
+    /// Number of messages waiting for `node`.
+    #[must_use]
+    pub fn inbox_len(&self, node: usize) -> usize {
+        self.inboxes[node].len()
+    }
+
+    /// Cumulative stats of `node`.
+    #[must_use]
+    pub fn stats(&self, node: usize) -> &TrafficStats {
+        &self.stats[node]
+    }
+
+    /// Snapshot of all node stats.
+    #[must_use]
+    pub fn all_stats(&self) -> Vec<TrafficStats> {
+        self.stats.clone()
+    }
+
+    /// Total bytes moved across the whole network.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.stats.iter().map(|s| s.bytes_out).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_and_drain_ordered() {
+        let mut net = MemNetwork::new(3);
+        net.send(0, 2, vec![1]);
+        net.send(1, 2, vec![2, 2]);
+        net.send(0, 2, vec![3, 3, 3]);
+        assert_eq!(net.inbox_len(2), 3);
+        let msgs = net.drain_inbox(2);
+        assert_eq!(msgs.len(), 3);
+        assert_eq!(msgs[0].from, 0);
+        assert_eq!(msgs[0].bytes, vec![1]);
+        assert_eq!(msgs[2].bytes, vec![3, 3, 3]);
+        assert_eq!(net.inbox_len(2), 0);
+    }
+
+    #[test]
+    fn stats_account_both_ends() {
+        let mut net = MemNetwork::new(2);
+        net.send(0, 1, vec![0; 100]);
+        assert_eq!(net.stats(0).bytes_out, 100);
+        assert_eq!(net.stats(0).bytes_in, 0);
+        assert_eq!(net.stats(1).bytes_in, 100);
+        assert_eq!(net.total_bytes(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-send")]
+    fn self_send_is_a_bug() {
+        let mut net = MemNetwork::new(2);
+        net.send(1, 1, vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad node id")]
+    fn bad_id_is_a_bug() {
+        let mut net = MemNetwork::new(2);
+        net.send(0, 5, vec![]);
+    }
+}

@@ -1,0 +1,64 @@
+//! REX protocol messages.
+//!
+//! Two outer kinds travel on the wire (paper Algorithm 1/2):
+//! * attestation messages in clear text ("only attestation messages, which
+//!   are not privacy-sensitive, are exchanged in clear text"),
+//! * AEAD-sealed frames whose plaintext is a [`Plain`] payload.
+//!
+//! Every data-bearing payload carries the sender's degree, required by
+//! D-PSGD's Metropolis–Hastings weighting (§III-C2: "along with the model,
+//! it also sends an integer corresponding to its degree").
+
+use rex_data::Rating;
+use rex_tee::attestation::AttestationMsg;
+
+/// Outer wire message.
+#[derive(Debug, Clone)]
+pub enum Payload {
+    /// Cleartext attestation handshake message.
+    Attestation(AttestationMsg),
+    /// An AEAD frame (ciphertext ‖ tag) produced by a `SecureSession`;
+    /// plaintext decodes to a [`Plain`].
+    Sealed(Vec<u8>),
+    /// A plaintext payload — used only by *native* (non-SGX) deployments,
+    /// which the paper evaluates as the no-protection baseline (§IV-D).
+    Clear(Vec<u8>),
+}
+
+/// Inner (possibly encrypted) protocol payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Plain {
+    /// REX raw-data sharing: a batch of rating triplets.
+    RawData {
+        /// Sampled ratings (paper §III-C: randomly selected from the store).
+        ratings: Vec<Rating>,
+        /// Sender's degree in the topology.
+        degree: u32,
+    },
+    /// Model sharing: an opaque serialized model.
+    Model {
+        /// `Model::to_bytes` output.
+        bytes: Vec<u8>,
+        /// Sender's degree in the topology.
+        degree: u32,
+    },
+    /// A content-free message that still satisfies barrier conditions
+    /// (paper Algorithm 2: "a message (possibly empty) from all its
+    /// neighbors").
+    Empty {
+        /// Sender's degree in the topology.
+        degree: u32,
+    },
+}
+
+impl Plain {
+    /// The sender degree carried by any payload variant.
+    #[must_use]
+    pub fn degree(&self) -> u32 {
+        match self {
+            Plain::RawData { degree, .. }
+            | Plain::Model { degree, .. }
+            | Plain::Empty { degree } => *degree,
+        }
+    }
+}

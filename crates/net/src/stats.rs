@@ -1,0 +1,82 @@
+//! Per-node traffic accounting ("data in + out" in Figs 2, 5b, 6b, 7b).
+
+/// Cumulative traffic counters for one node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    /// Bytes sent by this node.
+    pub bytes_out: u64,
+    /// Bytes received by this node.
+    pub bytes_in: u64,
+    /// Messages sent.
+    pub msgs_out: u64,
+    /// Messages received.
+    pub msgs_in: u64,
+}
+
+impl TrafficStats {
+    /// Fresh counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an outgoing message.
+    pub fn record_send(&mut self, bytes: usize) {
+        self.bytes_out += bytes as u64;
+        self.msgs_out += 1;
+    }
+
+    /// Records an incoming message.
+    pub fn record_recv(&mut self, bytes: usize) {
+        self.bytes_in += bytes as u64;
+        self.msgs_in += 1;
+    }
+
+    /// The paper's headline metric: data in + out.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_in + self.bytes_out
+    }
+
+    /// Difference since an earlier snapshot (per-epoch accounting).
+    #[must_use]
+    pub fn since(&self, earlier: &TrafficStats) -> TrafficStats {
+        TrafficStats {
+            bytes_out: self.bytes_out - earlier.bytes_out,
+            bytes_in: self.bytes_in - earlier.bytes_in,
+            msgs_out: self.msgs_out - earlier.msgs_out,
+            msgs_in: self.msgs_in - earlier.msgs_in,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = TrafficStats::new();
+        s.record_send(100);
+        s.record_send(50);
+        s.record_recv(200);
+        assert_eq!(s.bytes_out, 150);
+        assert_eq!(s.bytes_in, 200);
+        assert_eq!(s.msgs_out, 2);
+        assert_eq!(s.msgs_in, 1);
+        assert_eq!(s.total_bytes(), 350);
+    }
+
+    #[test]
+    fn since_computes_window() {
+        let mut s = TrafficStats::new();
+        s.record_send(100);
+        let snapshot = s;
+        s.record_send(40);
+        s.record_recv(7);
+        let window = s.since(&snapshot);
+        assert_eq!(window.bytes_out, 40);
+        assert_eq!(window.bytes_in, 7);
+        assert_eq!(window.msgs_out, 1);
+    }
+}

@@ -1,0 +1,197 @@
+//! Report emission: CSV series for figures, markdown tables matching the
+//! paper's Tables II–IV.
+
+use crate::stage::{StageTimes, STAGES};
+use crate::trace::{speedup_to_target, ExperimentTrace};
+use std::fmt::Write as _;
+
+/// Serializes traces as CSV: one row per (trace, epoch) with every recorded
+/// column — the raw material for regenerating any figure.
+#[must_use]
+pub fn traces_to_csv(traces: &[&ExperimentTrace]) -> String {
+    let mut out = String::from(
+        "series,epoch,time_s,rmse,bytes_per_node,ram_mib,sgx_overhead_ms,merge_ms,train_ms,share_ms,test_ms\n",
+    );
+    for t in traces {
+        for r in &t.records {
+            let st = r.stage_times;
+            let _ = writeln!(
+                out,
+                "{},{},{:.6},{:.6},{:.1},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3}",
+                t.name,
+                r.epoch,
+                r.time_ns as f64 / 1e9,
+                r.rmse,
+                r.bytes_per_node,
+                r.ram_bytes / (1024.0 * 1024.0),
+                r.sgx_overhead_ns as f64 / 1e6,
+                st.get(crate::stage::Stage::Merge) as f64 / 1e6,
+                st.get(crate::stage::Stage::Train) as f64 / 1e6,
+                st.get(crate::stage::Stage::Share) as f64 / 1e6,
+                st.get(crate::stage::Stage::Test) as f64 / 1e6,
+            );
+        }
+    }
+    out
+}
+
+/// One row of a speedup table (paper Tables II/III).
+#[derive(Debug, Clone)]
+pub struct SpeedupRow {
+    /// Setup label, e.g. "D-PSGD, ER".
+    pub setup: String,
+    /// Target error (the MS run's final RMSE).
+    pub error_target: f64,
+    /// REX time to target, seconds.
+    pub rex_secs: f64,
+    /// MS time to target, seconds.
+    pub ms_secs: f64,
+    /// Ratio.
+    pub speedup: f64,
+}
+
+/// Builds a speedup row from a (REX, MS) trace pair. The paper uses the MS
+/// run's final error as the target ("an error target (chosen as the final
+/// value achieved by MS scheme)"); when the two plateaus differ slightly we
+/// take the highest final error *both* schemes achieved, so the row always
+/// compares times to a commonly reached quality (robust variant of the same
+/// methodology; see EXPERIMENTS.md).
+#[must_use]
+pub fn speedup_row(setup: &str, rex: &ExperimentTrace, ms: &ExperimentTrace) -> Option<SpeedupRow> {
+    let target = ms.final_rmse()?.max(rex.final_rmse()?) + 1e-9;
+    let rex_secs = rex.time_to_target_secs(target)?;
+    let ms_secs = ms.time_to_target_secs(target)?;
+    Some(SpeedupRow {
+        setup: setup.to_string(),
+        error_target: target,
+        rex_secs,
+        ms_secs,
+        speedup: speedup_to_target(rex, ms, target)?,
+    })
+}
+
+/// Renders speedup rows as a markdown table in the paper's column order.
+#[must_use]
+pub fn speedup_table_markdown(rows: &[SpeedupRow], unit: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "| Setup | Error target | REX [{unit}] | MS [{unit}] | REX speed-up |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|");
+    let scale = if unit == "min" { 60.0 } else { 1.0 };
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "| {} | {:.2} | {:.1} | {:.1} | {:.1}x |",
+            r.setup,
+            r.error_target,
+            r.rex_secs / scale,
+            r.ms_secs / scale,
+            r.speedup
+        );
+    }
+    out
+}
+
+/// Renders a stage-time breakdown (Figs 5a, 6a, 7a) as markdown.
+#[must_use]
+pub fn stage_breakdown_markdown(rows: &[(String, StageTimes)]) -> String {
+    let mut out = String::from("| Config | merge | train | share | test | total |\n|---|---|---|---|---|---|\n");
+    for (name, st) in rows {
+        let _ = write!(out, "| {name} |");
+        for stage in STAGES {
+            let _ = write!(out, " {:.2} ms |", st.get(stage) as f64 / 1e6);
+        }
+        let _ = writeln!(out, " {:.2} ms |", st.total() as f64 / 1e6);
+    }
+    out
+}
+
+/// Renders an SGX-overhead table (paper Table IV).
+#[must_use]
+pub fn overhead_table_markdown(rows: &[(String, f64, f64)]) -> String {
+    let mut out =
+        String::from("| Setup | RAM [MiB] | Overhead [%] |\n|---|---|---|\n");
+    for (setup, ram_mib, overhead_pct) in rows {
+        let _ = writeln!(out, "| {setup} | {ram_mib:.1} | {overhead_pct:.0} |");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stage::Stage;
+    use crate::trace::EpochRecord;
+
+    fn trace(name: &str, points: &[(usize, f64, f64)]) -> ExperimentTrace {
+        let mut t = ExperimentTrace::new(name);
+        for &(e, s, r) in points {
+            t.push(EpochRecord {
+                epoch: e,
+                time_ns: (s * 1e9) as u64,
+                rmse: r,
+                bytes_per_node: 10.0,
+                stage_times: StageTimes::new(),
+                ram_bytes: 0.0,
+                sgx_overhead_ns: 0,
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn csv_shape() {
+        let t = trace("REX, RMW, SW", &[(0, 1.0, 1.5), (1, 2.0, 1.2)]);
+        let csv = traces_to_csv(&[&t]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("series,epoch"));
+        assert!(lines[1].starts_with("REX, RMW, SW,0,"));
+        assert_eq!(lines[1].split(',').count(), lines[0].split(',').count() + 2); // name contains commas
+    }
+
+    #[test]
+    fn speedup_row_uses_ms_final_error() {
+        let rex = trace("rex", &[(0, 2.0, 1.3), (1, 10.0, 1.0)]);
+        let ms = trace("ms", &[(0, 50.0, 1.4), (1, 100.0, 1.0)]);
+        let row = speedup_row("D-PSGD, ER", &rex, &ms).unwrap();
+        assert!((row.error_target - 1.0).abs() < 1e-6);
+        assert!((row.speedup - 10.0).abs() < 1e-6);
+        let md = speedup_table_markdown(&[row], "s");
+        assert!(md.contains("10.0x"));
+    }
+
+    #[test]
+    fn speedup_uses_common_achievable_target() {
+        // REX plateaus at 1.5, MS at 1.0: target becomes 1.5, reached by
+        // REX at t=1 and by MS at t=2.
+        let rex = trace("rex", &[(0, 1.0, 1.5)]);
+        let ms = trace("ms", &[(0, 2.0, 1.5), (1, 4.0, 1.0)]);
+        let row = speedup_row("x", &rex, &ms).unwrap();
+        assert!((row.speedup - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup_none_for_empty_traces() {
+        let rex = trace("rex", &[]);
+        let ms = trace("ms", &[(0, 2.0, 1.0)]);
+        assert!(speedup_row("x", &rex, &ms).is_none());
+    }
+
+    #[test]
+    fn stage_breakdown_renders() {
+        let mut st = StageTimes::new();
+        st.add(Stage::Merge, 2_000_000);
+        st.add(Stage::Train, 8_000_000);
+        let md = stage_breakdown_markdown(&[("REX".into(), st)]);
+        assert!(md.contains("| REX | 2.00 ms | 8.00 ms | 0.00 ms | 0.00 ms | 10.00 ms |"));
+    }
+
+    #[test]
+    fn overhead_table_renders() {
+        let md = overhead_table_markdown(&[("RMW, REX".into(), 11.5, 14.0)]);
+        assert!(md.contains("| RMW, REX | 11.5 | 14 |"));
+    }
+}

@@ -1,0 +1,130 @@
+//! The four protocol stages of paper Algorithm 2 and their time accounting.
+
+/// One stage of the merge→train→share→test pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Merging received models / appending received raw data.
+    Merge,
+    /// Local SGD/Adam steps.
+    Train,
+    /// Sampling + serializing + sending.
+    Share,
+    /// Evaluating the local test set.
+    Test,
+}
+
+/// All stages in pipeline order.
+pub const STAGES: [Stage; 4] = [Stage::Merge, Stage::Train, Stage::Share, Stage::Test];
+
+impl Stage {
+    /// Human-readable label used in bench output.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::Merge => "merge",
+            Stage::Train => "train",
+            Stage::Share => "share",
+            Stage::Test => "test",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Stage::Merge => 0,
+            Stage::Train => 1,
+            Stage::Share => 2,
+            Stage::Test => 3,
+        }
+    }
+}
+
+/// Per-stage durations (ns) of one epoch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimes {
+    ns: [u64; 4],
+}
+
+impl StageTimes {
+    /// All-zero times.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `ns` to `stage`.
+    pub fn add(&mut self, stage: Stage, ns: u64) {
+        self.ns[stage.index()] += ns;
+    }
+
+    /// Duration of one stage.
+    #[must_use]
+    pub fn get(&self, stage: Stage) -> u64 {
+        self.ns[stage.index()]
+    }
+
+    /// Total epoch duration.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.ns.iter().sum()
+    }
+
+    /// Element-wise sum.
+    #[must_use]
+    pub fn plus(&self, other: &StageTimes) -> StageTimes {
+        let mut out = *self;
+        for i in 0..4 {
+            out.ns[i] += other.ns[i];
+        }
+        out
+    }
+
+    /// Element-wise mean over `n` epochs/nodes (saturating at n = 0).
+    #[must_use]
+    pub fn mean_over(&self, n: u64) -> StageTimes {
+        if n == 0 {
+            return *self;
+        }
+        let mut out = *self;
+        for v in &mut out.ns {
+            *v /= n;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_per_stage() {
+        let mut t = StageTimes::new();
+        t.add(Stage::Merge, 10);
+        t.add(Stage::Train, 100);
+        t.add(Stage::Merge, 5);
+        assert_eq!(t.get(Stage::Merge), 15);
+        assert_eq!(t.get(Stage::Train), 100);
+        assert_eq!(t.get(Stage::Share), 0);
+        assert_eq!(t.total(), 115);
+    }
+
+    #[test]
+    fn plus_and_mean() {
+        let mut a = StageTimes::new();
+        a.add(Stage::Share, 30);
+        let mut b = StageTimes::new();
+        b.add(Stage::Share, 10);
+        b.add(Stage::Test, 20);
+        let sum = a.plus(&b);
+        assert_eq!(sum.get(Stage::Share), 40);
+        let mean = sum.mean_over(2);
+        assert_eq!(mean.get(Stage::Share), 20);
+        assert_eq!(mean.get(Stage::Test), 10);
+    }
+
+    #[test]
+    fn labels_cover_all_stages() {
+        let labels: Vec<&str> = STAGES.iter().map(|s| s.label()).collect();
+        assert_eq!(labels, vec!["merge", "train", "share", "test"]);
+    }
+}

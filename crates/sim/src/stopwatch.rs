@@ -1,0 +1,72 @@
+//! Wall-clock measurement of real compute.
+//!
+//! Simulated epoch time = measured compute (this stopwatch) + modelled
+//! network transfer + modelled SGX charges.
+
+use std::time::Instant;
+
+/// A simple stopwatch around [`Instant`].
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+impl Stopwatch {
+    /// Starts timing.
+    #[must_use]
+    pub fn start() -> Self {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds since start.
+    #[must_use]
+    pub fn elapsed_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+    }
+
+    /// Restarts and returns the elapsed ns of the finished lap.
+    pub fn lap(&mut self) -> u64 {
+        let ns = self.elapsed_ns();
+        self.start = Instant::now();
+        ns
+    }
+}
+
+/// Times a closure, returning `(result, elapsed_ns)`.
+pub fn time<R>(f: impl FnOnce() -> R) -> (R, u64) {
+    let sw = Stopwatch::start();
+    let r = f();
+    (r, sw.elapsed_ns())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let (sum, ns) = time(|| (0..100_000u64).sum::<u64>());
+        assert_eq!(sum, 4_999_950_000);
+        assert!(ns > 0);
+    }
+
+    #[test]
+    fn lap_resets() {
+        let mut sw = Stopwatch::start();
+        std::hint::black_box((0..10_000u64).sum::<u64>());
+        let first = sw.lap();
+        let second = sw.elapsed_ns();
+        assert!(first > 0);
+        // The second reading starts fresh and should be far below the sum
+        // of both laps.
+        assert!(second < first + 1_000_000_000);
+    }
+}

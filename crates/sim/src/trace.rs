@@ -1,0 +1,188 @@
+//! Experiment traces: one record per epoch, plus the derived metrics the
+//! paper reports (time-to-target-error → Tables II/III; series → figures).
+
+use crate::stage::StageTimes;
+
+/// Aggregated measurements of one epoch across all nodes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochRecord {
+    /// Epoch index (0 = training on initial local data only).
+    pub epoch: usize,
+    /// Virtual time at the *end* of this epoch, ns.
+    pub time_ns: u64,
+    /// Nodes-mean RMSE on local test sets (the paper's y-axis).
+    pub rmse: f64,
+    /// Mean per-node data in+out during this epoch, bytes.
+    pub bytes_per_node: f64,
+    /// Mean per-node stage times during this epoch.
+    pub stage_times: StageTimes,
+    /// Mean per-node resident memory, bytes.
+    pub ram_bytes: f64,
+    /// Mean per-node SGX overhead charged this epoch, ns (0 native).
+    pub sgx_overhead_ns: u64,
+}
+
+/// A named series of epoch records.
+#[derive(Debug, Clone, Default)]
+pub struct ExperimentTrace {
+    /// Label, e.g. "REX, D-PSGD, SW".
+    pub name: String,
+    /// Per-epoch records in epoch order.
+    pub records: Vec<EpochRecord>,
+}
+
+impl ExperimentTrace {
+    /// Creates an empty named trace.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        ExperimentTrace {
+            name: name.into(),
+            records: Vec::new(),
+        }
+    }
+
+    /// Appends a record.
+    ///
+    /// # Panics
+    /// If epochs are appended out of order.
+    pub fn push(&mut self, record: EpochRecord) {
+        if let Some(last) = self.records.last() {
+            assert!(record.epoch > last.epoch, "records must be in epoch order");
+            assert!(record.time_ns >= last.time_ns, "virtual time went backwards");
+        }
+        self.records.push(record);
+    }
+
+    /// Final RMSE of the run.
+    #[must_use]
+    pub fn final_rmse(&self) -> Option<f64> {
+        self.records.last().map(|r| r.rmse)
+    }
+
+    /// First virtual time (seconds) at which the RMSE reaches `target`
+    /// (Tables II/III pick the model-sharing run's final error as target).
+    #[must_use]
+    pub fn time_to_target_secs(&self, target: f64) -> Option<f64> {
+        self.records
+            .iter()
+            .find(|r| r.rmse <= target)
+            .map(|r| r.time_ns as f64 / 1e9)
+    }
+
+    /// First epoch at which the RMSE reaches `target`.
+    #[must_use]
+    pub fn epochs_to_target(&self, target: f64) -> Option<usize> {
+        self.records.iter().find(|r| r.rmse <= target).map(|r| r.epoch)
+    }
+
+    /// Total bytes per node over the run.
+    #[must_use]
+    pub fn total_bytes_per_node(&self) -> f64 {
+        self.records.iter().map(|r| r.bytes_per_node).sum()
+    }
+
+    /// Mean per-epoch stage times over the run.
+    #[must_use]
+    pub fn mean_stage_times(&self) -> StageTimes {
+        let sum = self
+            .records
+            .iter()
+            .fold(StageTimes::new(), |acc, r| acc.plus(&r.stage_times));
+        sum.mean_over(self.records.len() as u64)
+    }
+
+    /// Peak mean RAM across epochs, bytes.
+    #[must_use]
+    pub fn peak_ram_bytes(&self) -> f64 {
+        self.records.iter().map(|r| r.ram_bytes).fold(0.0, f64::max)
+    }
+
+    /// Total virtual duration, seconds.
+    #[must_use]
+    pub fn duration_secs(&self) -> f64 {
+        self.records.last().map_or(0.0, |r| r.time_ns as f64 / 1e9)
+    }
+
+    /// Mean per-epoch SGX overhead fraction relative to total epoch time
+    /// (Table IV's "Overh. %" compares SGX vs native mean epoch times; this
+    /// helper reports the charged-overhead share for diagnostics).
+    #[must_use]
+    pub fn mean_sgx_overhead_ns(&self) -> u64 {
+        if self.records.is_empty() {
+            return 0;
+        }
+        self.records.iter().map(|r| r.sgx_overhead_ns).sum::<u64>() / self.records.len() as u64
+    }
+}
+
+/// Speedup of `fast` over `slow` reaching `target` RMSE (paper Tables
+/// II/III: "REX speed-up"). `None` if either never reaches it.
+#[must_use]
+pub fn speedup_to_target(fast: &ExperimentTrace, slow: &ExperimentTrace, target: f64) -> Option<f64> {
+    let tf = fast.time_to_target_secs(target)?;
+    let ts = slow.time_to_target_secs(target)?;
+    if tf <= 0.0 {
+        return None;
+    }
+    Some(ts / tf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(epoch: usize, time_s: f64, rmse: f64) -> EpochRecord {
+        EpochRecord {
+            epoch,
+            time_ns: (time_s * 1e9) as u64,
+            rmse,
+            bytes_per_node: 100.0,
+            stage_times: StageTimes::new(),
+            ram_bytes: 1e6,
+            sgx_overhead_ns: 0,
+        }
+    }
+
+    fn trace(name: &str, points: &[(usize, f64, f64)]) -> ExperimentTrace {
+        let mut t = ExperimentTrace::new(name);
+        for &(e, s, r) in points {
+            t.push(record(e, s, r));
+        }
+        t
+    }
+
+    #[test]
+    fn time_to_target() {
+        let t = trace("x", &[(0, 1.0, 1.5), (1, 2.0, 1.2), (2, 3.0, 1.0), (3, 4.0, 0.9)]);
+        assert_eq!(t.time_to_target_secs(1.2), Some(2.0));
+        assert_eq!(t.time_to_target_secs(0.95), Some(4.0));
+        assert_eq!(t.time_to_target_secs(0.5), None);
+        assert_eq!(t.epochs_to_target(1.0), Some(2));
+        assert_eq!(t.final_rmse(), Some(0.9));
+    }
+
+    #[test]
+    fn speedup_table_math() {
+        // REX reaches 1.04 at 16.3 s; MS at 297.5 s -> 18.3x (Table II row 1).
+        let rex = trace("REX", &[(0, 16.3, 1.04)]);
+        let ms = trace("MS", &[(0, 297.5, 1.04)]);
+        let s = speedup_to_target(&rex, &ms, 1.04).unwrap();
+        assert!((s - 18.25).abs() < 0.05, "{s}");
+    }
+
+    #[test]
+    fn totals_and_peaks() {
+        let t = trace("x", &[(0, 1.0, 1.5), (1, 2.0, 1.4)]);
+        assert_eq!(t.total_bytes_per_node(), 200.0);
+        assert_eq!(t.peak_ram_bytes(), 1e6);
+        assert_eq!(t.duration_secs(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch order")]
+    fn rejects_out_of_order() {
+        let mut t = ExperimentTrace::new("bad");
+        t.push(record(1, 1.0, 1.0));
+        t.push(record(0, 2.0, 1.0));
+    }
+}

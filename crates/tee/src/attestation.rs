@@ -1,0 +1,366 @@
+//! Mutual remote attestation (paper §III-A).
+//!
+//! Two-message protocol between enclaves A (initiator) and B (responder):
+//!
+//! ```text
+//! A → B : Hello { quote_A }    user_data = X25519 pub_A ‖ nonce_A
+//! B → A : Reply { quote_B }    user_data = X25519 pub_B ‖ nonce_B
+//! ```
+//!
+//! Each side (1) verifies the peer quote through DCAP, (2) compares the
+//! quote's measurement with **its own** (all REX nodes run identical code,
+//! so the expected measurement is the checker's own — §III-A), (3) combines
+//! the peer public key from the quote's user-data with its local private
+//! key, and (4) derives directional session keys via HKDF bound to both
+//! nonces and the measurement.
+
+use crate::dcap::DcapService;
+use crate::enclave::Enclave;
+use crate::quote::Quote;
+use crate::report::USER_DATA_LEN;
+use crate::session::SecureSession;
+use rand::RngCore;
+use rex_crypto::{Hkdf, PublicKey, StaticSecret};
+
+/// Attestation protocol messages (exchanged in clear text; they carry no
+/// secrets — paper Algorithm 1: "only attestation messages, which are not
+/// privacy-sensitive, are exchanged in clear text").
+#[derive(Debug, Clone)]
+pub enum AttestationMsg {
+    /// Initiator's evidence.
+    Hello {
+        /// Initiator quote (user-data: pubkey ‖ nonce).
+        quote: Quote,
+    },
+    /// Responder's evidence.
+    Reply {
+        /// Responder quote (user-data: pubkey ‖ nonce).
+        quote: Quote,
+    },
+}
+
+impl AttestationMsg {
+    /// Bytes on the wire (for traffic accounting).
+    #[must_use]
+    pub fn wire_size(&self) -> usize {
+        1 + Quote::WIRE_SIZE
+    }
+}
+
+/// Attestation failure reasons.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttestationError {
+    /// DCAP could not validate the quote signature chain.
+    UntrustedPlatform,
+    /// Peer runs different enclave code.
+    MeasurementMismatch,
+    /// Peer supplied a degenerate ECDH point.
+    BadKeyExchange,
+    /// Protocol message arrived out of order.
+    UnexpectedMessage,
+}
+
+impl std::fmt::Display for AttestationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttestationError::UntrustedPlatform => write!(f, "quote failed DCAP verification"),
+            AttestationError::MeasurementMismatch => write!(f, "enclave measurement mismatch"),
+            AttestationError::BadKeyExchange => write!(f, "degenerate ECDH public key"),
+            AttestationError::UnexpectedMessage => write!(f, "unexpected attestation message"),
+        }
+    }
+}
+
+impl std::error::Error for AttestationError {}
+
+/// Per-peer attestation state: an ephemeral X25519 key pair and a nonce.
+pub struct Attestor {
+    secret: StaticSecret,
+    public: PublicKey,
+    nonce: [u8; 32],
+}
+
+impl Attestor {
+    /// Creates fresh ephemeral state.
+    pub fn new<R: RngCore>(rng: &mut R) -> Self {
+        let secret = StaticSecret::random(rng);
+        let public = secret.public_key();
+        let mut nonce = [0u8; 32];
+        rng.fill_bytes(&mut nonce);
+        Attestor {
+            secret,
+            public,
+            nonce,
+        }
+    }
+
+    /// The user-data field embedded in this party's quote.
+    #[must_use]
+    pub fn user_data(&self) -> [u8; USER_DATA_LEN] {
+        let mut ud = [0u8; USER_DATA_LEN];
+        ud[..32].copy_from_slice(self.public.as_bytes());
+        ud[32..].copy_from_slice(&self.nonce);
+        ud
+    }
+
+    /// Initiator step 1: produce the Hello carrying this enclave's quote.
+    /// The caller obtains the quote from its platform's QE.
+    #[must_use]
+    pub fn hello(quote: Quote) -> AttestationMsg {
+        AttestationMsg::Hello { quote }
+    }
+
+    /// Responder: verify Hello, produce `(Reply, session)`.
+    pub fn respond(
+        &self,
+        enclave: &Enclave,
+        dcap: &DcapService,
+        own_quote: Quote,
+        msg: &AttestationMsg,
+    ) -> Result<(AttestationMsg, SecureSession), AttestationError> {
+        let AttestationMsg::Hello { quote: peer_quote } = msg else {
+            return Err(AttestationError::UnexpectedMessage);
+        };
+        let session = self.establish(enclave, dcap, peer_quote, &own_quote, false)?;
+        Ok((AttestationMsg::Reply { quote: own_quote }, session))
+    }
+
+    /// Initiator: verify Reply, produce the session.
+    pub fn finish(
+        &self,
+        enclave: &Enclave,
+        dcap: &DcapService,
+        own_quote: &Quote,
+        msg: &AttestationMsg,
+    ) -> Result<SecureSession, AttestationError> {
+        let AttestationMsg::Reply { quote: peer_quote } = msg else {
+            return Err(AttestationError::UnexpectedMessage);
+        };
+        self.establish(enclave, dcap, peer_quote, own_quote, true)
+    }
+
+    fn establish(
+        &self,
+        enclave: &Enclave,
+        dcap: &DcapService,
+        peer_quote: &Quote,
+        own_quote: &Quote,
+        is_initiator: bool,
+    ) -> Result<SecureSession, AttestationError> {
+        if !dcap.verify(peer_quote) {
+            return Err(AttestationError::UntrustedPlatform);
+        }
+        // Expected measurement = the checker's own (paper §III-A).
+        if !peer_quote.measurement.ct_eq(&enclave.measurement()) {
+            return Err(AttestationError::MeasurementMismatch);
+        }
+        let mut peer_pub = [0u8; 32];
+        peer_pub.copy_from_slice(&peer_quote.user_data[..32]);
+        let shared = self
+            .secret
+            .diffie_hellman(&PublicKey(peer_pub))
+            .map_err(|_| AttestationError::BadKeyExchange)?;
+
+        // Salt binds both nonces in initiator-then-responder order.
+        let (init_ud, resp_ud) = if is_initiator {
+            (own_quote.user_data, peer_quote.user_data)
+        } else {
+            (peer_quote.user_data, own_quote.user_data)
+        };
+        let mut salt = Vec::with_capacity(64);
+        salt.extend_from_slice(&init_ud[32..]);
+        salt.extend_from_slice(&resp_ud[32..]);
+        let mut info = Vec::with_capacity(32 + 24);
+        info.extend_from_slice(b"rex-attested-session-v1");
+        info.extend_from_slice(&enclave.measurement().0);
+
+        let okm: [u8; 64] = Hkdf::derive(&salt, shared.as_bytes(), &info);
+        let mut k_i2r = [0u8; 32];
+        let mut k_r2i = [0u8; 32];
+        k_i2r.copy_from_slice(&okm[..32]);
+        k_r2i.copy_from_slice(&okm[32..]);
+
+        let (send_key, recv_key) = if is_initiator {
+            (k_i2r, k_r2i)
+        } else {
+            (k_r2i, k_i2r)
+        };
+        Ok(SecureSession::new(
+            send_key,
+            recv_key,
+            is_initiator,
+            peer_quote.measurement,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::SgxCostModel;
+    use crate::measurement::REX_ENCLAVE_V1;
+    use crate::platform::SgxPlatform;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct Party {
+        enclave: Enclave,
+        attestor: Attestor,
+        quote: Quote,
+    }
+
+    fn make_party(platform: &SgxPlatform, code: &[u8], rng: &mut StdRng) -> Party {
+        let mut enclave = platform.create_enclave(code, SgxCostModel::default());
+        let attestor = Attestor::new(rng);
+        let report = enclave.create_report(attestor.user_data());
+        let quote = platform.quote_report(&report).unwrap();
+        Party {
+            enclave,
+            attestor,
+            quote,
+        }
+    }
+
+    fn setup_seeded(code_a: &[u8], code_b: &[u8], seed: u64) -> (DcapService, Party, Party) {
+        let dcap = DcapService::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p1 = SgxPlatform::provision(1, &dcap, &mut rng);
+        let p2 = SgxPlatform::provision(2, &dcap, &mut rng);
+        let a = make_party(&p1, code_a, &mut rng);
+        let b = make_party(&p2, code_b, &mut rng);
+        (dcap, a, b)
+    }
+
+    fn setup(code_a: &[u8], code_b: &[u8]) -> (DcapService, Party, Party) {
+        setup_seeded(code_a, code_b, 0xA77E)
+    }
+
+    #[test]
+    fn mutual_attestation_and_secure_channel() {
+        let (dcap, a, b) = setup(REX_ENCLAVE_V1, REX_ENCLAVE_V1);
+        let hello = Attestor::hello(a.quote.clone());
+        let (reply, mut session_b) = b
+            .attestor
+            .respond(&b.enclave, &dcap, b.quote.clone(), &hello)
+            .unwrap();
+        let mut session_a = a
+            .attestor
+            .finish(&a.enclave, &dcap, &a.quote, &reply)
+            .unwrap();
+
+        let frame = session_a.seal(b"epoch:0", b"300 raw ratings");
+        assert_eq!(
+            session_b.open(b"epoch:0", &frame).unwrap(),
+            b"300 raw ratings"
+        );
+        let back = session_b.seal(b"epoch:0", b"ack");
+        assert_eq!(session_a.open(b"epoch:0", &back).unwrap(), b"ack");
+    }
+
+    #[test]
+    fn rogue_enclave_rejected() {
+        let (dcap, a, b) = setup(REX_ENCLAVE_V1, b"rogue-code");
+        // The measurement check is symmetric: the rogue responder also
+        // fails to match the honest initiator against its own measurement.
+        let hello = Attestor::hello(a.quote.clone());
+        assert_eq!(
+            b.attestor
+                .respond(&b.enclave, &dcap, b.quote.clone(), &hello)
+                .unwrap_err(),
+            AttestationError::MeasurementMismatch
+        );
+        // Even if the rogue B skipped its check and sent a Reply, honest A
+        // must reject it.
+        let forged_reply = AttestationMsg::Reply { quote: b.quote.clone() };
+        assert_eq!(
+            a.attestor
+                .finish(&a.enclave, &dcap, &a.quote, &forged_reply)
+                .unwrap_err(),
+            AttestationError::MeasurementMismatch
+        );
+    }
+
+    #[test]
+    fn honest_responder_rejects_rogue_initiator() {
+        let (dcap, rogue, honest) = setup(b"rogue-code", REX_ENCLAVE_V1);
+        let hello = Attestor::hello(rogue.quote.clone());
+        let err = honest
+            .attestor
+            .respond(&honest.enclave, &dcap, honest.quote.clone(), &hello)
+            .unwrap_err();
+        assert_eq!(err, AttestationError::MeasurementMismatch);
+    }
+
+    #[test]
+    fn unprovisioned_platform_rejected() {
+        let (_, a, _) = setup(REX_ENCLAVE_V1, REX_ENCLAVE_V1);
+        // Fresh DCAP that never saw A's platform.
+        let empty_dcap = DcapService::new();
+        let (dcap2, _, b2) = setup(REX_ENCLAVE_V1, REX_ENCLAVE_V1);
+        let _ = dcap2;
+        let hello = Attestor::hello(a.quote.clone());
+        let err = b2
+            .attestor
+            .respond(&b2.enclave, &empty_dcap, b2.quote.clone(), &hello)
+            .unwrap_err();
+        assert_eq!(err, AttestationError::UntrustedPlatform);
+    }
+
+    #[test]
+    fn tampered_user_data_rejected() {
+        let (dcap, a, b) = setup(REX_ENCLAVE_V1, REX_ENCLAVE_V1);
+        let mut quote = a.quote.clone();
+        quote.user_data[0] ^= 1; // attacker swaps the ECDH key
+        let hello = Attestor::hello(quote);
+        let err = b
+            .attestor
+            .respond(&b.enclave, &dcap, b.quote.clone(), &hello)
+            .unwrap_err();
+        assert_eq!(err, AttestationError::UntrustedPlatform);
+    }
+
+    #[test]
+    fn wrong_message_order_rejected() {
+        let (dcap, a, b) = setup(REX_ENCLAVE_V1, REX_ENCLAVE_V1);
+        let reply = AttestationMsg::Reply { quote: b.quote.clone() };
+        let err = b
+            .attestor
+            .respond(&b.enclave, &dcap, b.quote.clone(), &reply)
+            .unwrap_err();
+        assert_eq!(err, AttestationError::UnexpectedMessage);
+        let hello = Attestor::hello(a.quote.clone());
+        let err = a
+            .attestor
+            .finish(&a.enclave, &dcap, &a.quote, &hello)
+            .unwrap_err();
+        assert_eq!(err, AttestationError::UnexpectedMessage);
+    }
+
+    #[test]
+    fn sessions_differ_across_pairs() {
+        // Two independent handshakes must not derive the same keys: a frame
+        // from one session cannot be opened by the other.
+        let (dcap, a, b) = setup(REX_ENCLAVE_V1, REX_ENCLAVE_V1);
+        let hello = Attestor::hello(a.quote.clone());
+        let (reply, mut sb1) = b
+            .attestor
+            .respond(&b.enclave, &dcap, b.quote.clone(), &hello)
+            .unwrap();
+        let mut sa1 = a.attestor.finish(&a.enclave, &dcap, &a.quote, &reply).unwrap();
+
+        let (dcap2, a2, b2) = setup_seeded(REX_ENCLAVE_V1, REX_ENCLAVE_V1, 0xBEEF);
+        let hello2 = Attestor::hello(a2.quote.clone());
+        let (reply2, mut sb2) = b2
+            .attestor
+            .respond(&b2.enclave, &dcap2, b2.quote.clone(), &hello2)
+            .unwrap();
+        let _sa2 = a2
+            .attestor
+            .finish(&a2.enclave, &dcap2, &a2.quote, &reply2)
+            .unwrap();
+
+        let frame = sa1.seal(b"", b"secret");
+        assert!(sb2.open(b"", &frame).is_err());
+        assert!(sb1.open(b"", &frame).is_ok());
+    }
+}

@@ -1,0 +1,160 @@
+//! The SGX cost model.
+//!
+//! Simulated enclaves pay for exactly the effects the paper attributes its
+//! SGX overheads to (§IV-D): "memory usage, transitions between the trusted
+//! and untrusted environments and all cryptographic and integrity
+//! operations". Constants default to published SGXv1 microbenchmark values
+//! (Costan & Devadas, *Intel SGX Explained*; van Bulck et al.): ~8–13 k
+//! cycles per ecall/ocall, ~40 k cycles per EPC fault, MEE slowdown on
+//! enclave memory traffic.
+
+/// Tunable cost constants of the simulated SGX platform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SgxCostModel {
+    /// Fixed cost of one ecall (untrusted → trusted transition), ns.
+    pub ecall_ns: u64,
+    /// Fixed cost of one ocall (trusted → untrusted transition), ns.
+    pub ocall_ns: u64,
+    /// Marshalling cost per byte crossing the boundary, ns/byte
+    /// (argument/return copies between untrusted and trusted memory).
+    pub boundary_byte_ns: f64,
+    /// Multiplier applied to compute performed inside the enclave
+    /// (memory-encryption-engine overhead). 1.0 = free.
+    pub enclave_compute_multiplier: f64,
+    /// Cost of one EPC page fault (evict + load + re-encrypt), ns.
+    pub epc_fault_ns: u64,
+    /// Usable EPC in bytes. The paper's machines expose 93.5 MiB of the
+    /// 128 MiB EPC to enclaves (§IV-D).
+    pub epc_limit_bytes: u64,
+    /// Page size used by the paging model.
+    pub page_bytes: u64,
+}
+
+impl Default for SgxCostModel {
+    fn default() -> Self {
+        SgxCostModel {
+            ecall_ns: 2_500,
+            ocall_ns: 2_500,
+            boundary_byte_ns: 0.25,
+            enclave_compute_multiplier: 1.10,
+            epc_fault_ns: 12_000,
+            epc_limit_bytes: (93.5 * 1024.0 * 1024.0) as u64,
+            page_bytes: 4096,
+        }
+    }
+}
+
+impl SgxCostModel {
+    /// A zero-cost model (used to express "native" execution through the
+    /// same code path).
+    #[must_use]
+    pub fn native() -> Self {
+        SgxCostModel {
+            ecall_ns: 0,
+            ocall_ns: 0,
+            boundary_byte_ns: 0.0,
+            enclave_compute_multiplier: 1.0,
+            epc_fault_ns: 0,
+            epc_limit_bytes: u64::MAX,
+            page_bytes: 4096,
+        }
+    }
+
+    /// Cost model with a custom EPC budget (EXPERIMENTS.md: fig7 scales the
+    /// budget to our smaller-than-paper working set to reproduce the
+    /// beyond-EPC regime).
+    #[must_use]
+    pub fn with_epc_limit(mut self, bytes: u64) -> Self {
+        self.epc_limit_bytes = bytes;
+        self
+    }
+
+    /// Total charge of one ecall transferring `bytes` into the enclave, ns.
+    #[must_use]
+    pub fn ecall_cost(&self, bytes: u64) -> u64 {
+        self.ecall_ns + (self.boundary_byte_ns * bytes as f64) as u64
+    }
+
+    /// Total charge of one ocall transferring `bytes` out, ns.
+    #[must_use]
+    pub fn ocall_cost(&self, bytes: u64) -> u64 {
+        self.ocall_ns + (self.boundary_byte_ns * bytes as f64) as u64
+    }
+
+    /// In-enclave compute charge for work that takes `native_ns` outside.
+    /// Returns the *extra* time over native.
+    #[must_use]
+    pub fn compute_overhead(&self, native_ns: u64) -> u64 {
+        ((self.enclave_compute_multiplier - 1.0).max(0.0) * native_ns as f64) as u64
+    }
+
+    /// Paging overhead for touching `bytes_accessed` of a `resident_bytes`
+    /// working set: with an LRU-approximate model under uniform access, the
+    /// fraction of touches that fault is the fraction of the working set
+    /// that cannot be resident.
+    #[must_use]
+    pub fn paging_overhead(&self, resident_bytes: u64, bytes_accessed: u64) -> u64 {
+        if resident_bytes <= self.epc_limit_bytes || resident_bytes == 0 {
+            return 0;
+        }
+        let fault_fraction =
+            (resident_bytes - self.epc_limit_bytes) as f64 / resident_bytes as f64;
+        let touched_pages = bytes_accessed.div_ceil(self.page_bytes);
+        ((touched_pages as f64) * fault_fraction) as u64 * self.epc_fault_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn native_charges_nothing() {
+        let c = SgxCostModel::native();
+        assert_eq!(c.ecall_cost(1_000_000), 0);
+        assert_eq!(c.ocall_cost(1_000_000), 0);
+        assert_eq!(c.compute_overhead(1_000_000), 0);
+        assert_eq!(c.paging_overhead(u64::MAX / 2, 1_000_000), 0);
+    }
+
+    #[test]
+    fn transition_costs_scale_with_bytes() {
+        let c = SgxCostModel::default();
+        let small = c.ecall_cost(100);
+        let large = c.ecall_cost(1_000_000);
+        assert!(large > small);
+        assert_eq!(c.ecall_cost(0), c.ecall_ns);
+    }
+
+    #[test]
+    fn no_paging_below_epc() {
+        let c = SgxCostModel::default();
+        assert_eq!(c.paging_overhead(50 << 20, 10 << 20), 0);
+        assert_eq!(c.paging_overhead(0, 10 << 20), 0);
+    }
+
+    #[test]
+    fn paging_grows_with_overcommit() {
+        let c = SgxCostModel::default().with_epc_limit(64 << 20);
+        let mild = c.paging_overhead(80 << 20, 10 << 20);
+        let severe = c.paging_overhead(200 << 20, 10 << 20);
+        assert!(mild > 0);
+        assert!(severe > 2 * mild, "mild={mild} severe={severe}");
+    }
+
+    #[test]
+    fn compute_multiplier() {
+        let c = SgxCostModel {
+            enclave_compute_multiplier: 1.5,
+            ..Default::default()
+        };
+        assert_eq!(c.compute_overhead(1000), 500);
+        assert_eq!(SgxCostModel::native().compute_overhead(1000), 0);
+    }
+
+    #[test]
+    fn default_epc_matches_paper() {
+        let c = SgxCostModel::default();
+        assert_eq!(c.epc_limit_bytes, 98_041_856); // 93.5 MiB
+    }
+}

@@ -1,0 +1,95 @@
+//! Simulated DCAP (data center attestation primitives) service.
+//!
+//! Real DCAP validates the certificate chain behind a quote's ECDSA
+//! signature. Here, provisioning registers each genuine platform's
+//! attestation key with the service, and verification checks the quote's
+//! HMAC against the registered key — same trust topology (verifier trusts
+//! the attestation infrastructure, not the peer), no PKI machinery.
+
+use crate::quote::Quote;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Shared attestation-verification service.
+#[derive(Clone, Default)]
+pub struct DcapService {
+    keys: Arc<RwLock<HashMap<u64, [u8; 32]>>>,
+}
+
+impl DcapService {
+    /// Creates an empty service.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a genuine platform's attestation key (called once at
+    /// platform provisioning, analogous to Intel's provisioning protocol).
+    pub fn register_platform(&self, platform_id: u64, attestation_key: [u8; 32]) {
+        self.keys.write().insert(platform_id, attestation_key);
+    }
+
+    /// Verifies that `quote` was signed by a registered genuine platform.
+    #[must_use]
+    pub fn verify(&self, quote: &Quote) -> bool {
+        let keys = self.keys.read();
+        match keys.get(&quote.platform_id) {
+            Some(key) => quote.verify_signature(key),
+            None => false,
+        }
+    }
+
+    /// Number of registered platforms.
+    #[must_use]
+    pub fn platform_count(&self) -> usize {
+        self.keys.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measurement::{Measurement, REX_ENCLAVE_V1};
+    use crate::report::{Report, USER_DATA_LEN};
+
+    fn quote_from(platform_id: u64, att_key: &[u8; 32]) -> Quote {
+        let report = Report::create(
+            Measurement::of_code(REX_ENCLAVE_V1),
+            [1u8; USER_DATA_LEN],
+            platform_id,
+            &[0u8; 32],
+        );
+        Quote::sign(&report, att_key)
+    }
+
+    #[test]
+    fn registered_platform_verifies() {
+        let dcap = DcapService::new();
+        dcap.register_platform(7, [5u8; 32]);
+        assert!(dcap.verify(&quote_from(7, &[5u8; 32])));
+        assert_eq!(dcap.platform_count(), 1);
+    }
+
+    #[test]
+    fn unregistered_platform_rejected() {
+        let dcap = DcapService::new();
+        assert!(!dcap.verify(&quote_from(7, &[5u8; 32])));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let dcap = DcapService::new();
+        dcap.register_platform(7, [5u8; 32]);
+        // Quote signed by an attacker who does not know the platform key.
+        assert!(!dcap.verify(&quote_from(7, &[6u8; 32])));
+    }
+
+    #[test]
+    fn shared_across_clones() {
+        let dcap = DcapService::new();
+        let view = dcap.clone();
+        dcap.register_platform(1, [1u8; 32]);
+        assert!(view.verify(&quote_from(1, &[1u8; 32])));
+    }
+}

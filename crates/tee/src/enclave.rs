@@ -1,0 +1,193 @@
+//! The application enclave: identity + cost accounting.
+//!
+//! The protocol logic itself lives in `rex-core` (mirroring the paper's
+//! split into Algorithm 1, untrusted, and Algorithm 2, trusted). This type
+//! models what the *hardware* contributes: a measured identity, report
+//! generation, and the runtime charges of living inside SGX (transition
+//! costs, boundary copies, MEE slowdown, EPC paging).
+
+use crate::cost::SgxCostModel;
+use crate::epc::{EpcTracker, Region};
+use crate::measurement::Measurement;
+use crate::meter::CostMeter;
+use crate::report::{Report, USER_DATA_LEN};
+
+/// A loaded enclave instance.
+pub struct Enclave {
+    measurement: Measurement,
+    platform_id: u64,
+    report_key: [u8; 32],
+    cost: SgxCostModel,
+    meter: CostMeter,
+    epc: EpcTracker,
+}
+
+impl Enclave {
+    /// Called by [`crate::platform::SgxPlatform::create_enclave`].
+    #[must_use]
+    pub(crate) fn new(
+        measurement: Measurement,
+        platform_id: u64,
+        report_key: [u8; 32],
+        cost: SgxCostModel,
+    ) -> Self {
+        Enclave {
+            measurement,
+            platform_id,
+            report_key,
+            cost,
+            meter: CostMeter::new(),
+            epc: EpcTracker::new(),
+        }
+    }
+
+    /// This enclave's measurement.
+    #[must_use]
+    pub fn measurement(&self) -> Measurement {
+        self.measurement
+    }
+
+    /// Hosting platform id.
+    #[must_use]
+    pub fn platform_id(&self) -> u64 {
+        self.platform_id
+    }
+
+    /// The cost model in force.
+    #[must_use]
+    pub fn cost_model(&self) -> &SgxCostModel {
+        &self.cost
+    }
+
+    /// Produces a hardware report carrying `user_data` (EREPORT).
+    pub fn create_report(&mut self, user_data: [u8; USER_DATA_LEN]) -> Report {
+        // Report generation crosses no boundary but is enclave compute;
+        // charge a token amount via the compute path (measured cost of the
+        // MAC is negligible and covered by the multiplier elsewhere).
+        Report::create(self.measurement, user_data, self.platform_id, &self.report_key)
+    }
+
+    /// Charges one ecall carrying `bytes` into the enclave; returns the
+    /// simulated overhead in ns.
+    pub fn charge_ecall(&mut self, bytes: u64) -> u64 {
+        let ns = self.cost.ecall_cost(bytes);
+        self.meter.ecalls += 1;
+        self.meter.bytes_in += bytes;
+        self.meter.transition_ns += ns;
+        ns
+    }
+
+    /// Charges one ocall carrying `bytes` out; returns ns.
+    pub fn charge_ocall(&mut self, bytes: u64) -> u64 {
+        let ns = self.cost.ocall_cost(bytes);
+        self.meter.ocalls += 1;
+        self.meter.bytes_out += bytes;
+        self.meter.transition_ns += ns;
+        ns
+    }
+
+    /// Charges the MEE multiplier over `native_ns` of in-enclave compute;
+    /// returns the extra ns.
+    pub fn charge_compute(&mut self, native_ns: u64) -> u64 {
+        let ns = self.cost.compute_overhead(native_ns);
+        self.meter.compute_ns += ns;
+        ns
+    }
+
+    /// Charges EPC paging for touching `bytes_accessed` of the current
+    /// resident set; returns ns.
+    pub fn charge_memory_access(&mut self, bytes_accessed: u64) -> u64 {
+        let ns = self.epc.access_overhead(&self.cost, bytes_accessed);
+        self.meter.paging_ns += ns;
+        ns
+    }
+
+    /// Updates the tracked size of a protected-memory region.
+    pub fn set_region(&mut self, region: Region, bytes: u64) {
+        self.epc.set_region(region, bytes);
+    }
+
+    /// Read access to the EPC tracker.
+    #[must_use]
+    pub fn epc(&self) -> &EpcTracker {
+        &self.epc
+    }
+
+    /// Read access to the accumulated meter.
+    #[must_use]
+    pub fn meter(&self) -> &CostMeter {
+        &self.meter
+    }
+
+    /// Takes and resets the meter (per-epoch attribution).
+    pub fn take_meter(&mut self) -> CostMeter {
+        self.meter.take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measurement::REX_ENCLAVE_V1;
+
+    fn enclave(cost: SgxCostModel) -> Enclave {
+        Enclave::new(
+            Measurement::of_code(REX_ENCLAVE_V1),
+            1,
+            [7u8; 32],
+            cost,
+        )
+    }
+
+    #[test]
+    fn charges_accumulate() {
+        let mut e = enclave(SgxCostModel::default());
+        let a = e.charge_ecall(1000);
+        let b = e.charge_ocall(2000);
+        assert!(a > 0 && b > 0);
+        assert_eq!(e.meter().ecalls, 1);
+        assert_eq!(e.meter().ocalls, 1);
+        assert_eq!(e.meter().bytes_in, 1000);
+        assert_eq!(e.meter().bytes_out, 2000);
+        assert_eq!(e.meter().transition_ns, a + b);
+    }
+
+    #[test]
+    fn native_model_charges_zero() {
+        let mut e = enclave(SgxCostModel::native());
+        assert_eq!(e.charge_ecall(1 << 20), 0);
+        assert_eq!(e.charge_compute(1_000_000), 0);
+        e.set_region(Region::Model, 1 << 40);
+        assert_eq!(e.charge_memory_access(1 << 30), 0);
+    }
+
+    #[test]
+    fn paging_kicks_in_beyond_epc() {
+        let cost = SgxCostModel::default().with_epc_limit(1 << 20);
+        let mut e = enclave(cost);
+        e.set_region(Region::Model, 1 << 19);
+        assert_eq!(e.charge_memory_access(1 << 19), 0);
+        e.set_region(Region::DataStore, 3 << 20);
+        let ns = e.charge_memory_access(1 << 19);
+        assert!(ns > 0);
+        assert_eq!(e.meter().paging_ns, ns);
+        assert!(e.epc().overcommitted(&cost));
+    }
+
+    #[test]
+    fn take_meter_resets_per_epoch() {
+        let mut e = enclave(SgxCostModel::default());
+        e.charge_ecall(10);
+        let epoch1 = e.take_meter();
+        assert_eq!(epoch1.ecalls, 1);
+        assert_eq!(e.meter().ecalls, 0);
+    }
+
+    #[test]
+    fn report_carries_identity() {
+        let mut e = enclave(SgxCostModel::default());
+        let r = e.create_report([9u8; USER_DATA_LEN]);
+        assert_eq!(r.measurement, e.measurement());
+        assert!(r.verify(&[7u8; 32]));
+    }
+}

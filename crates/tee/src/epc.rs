@@ -1,0 +1,125 @@
+//! EPC (enclave page cache) resident-set tracking.
+//!
+//! Real SGXv1 backs all enclaves of a machine with one 93.5 MiB-usable EPC;
+//! pages beyond it are swapped by the kernel with expensive re-encryption.
+//! The tracker accumulates what the enclave currently keeps in protected
+//! memory (model, raw-data store, neighbour models during merge, message
+//! buffers) and reports paging overheads through the cost model.
+
+use crate::cost::SgxCostModel;
+
+/// Labels for memory regions inside the enclave, for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// The learnable model plus optimizer state.
+    Model,
+    /// The raw-rating store (grows as REX gossips data).
+    DataStore,
+    /// Deserialized neighbour models held during a merge (MS only).
+    MergeBuffers,
+    /// Serialized in/out message buffers.
+    MessageBuffers,
+    /// Everything else (runtime, stacks).
+    Other,
+}
+
+const NUM_REGIONS: usize = 5;
+
+fn region_index(r: Region) -> usize {
+    match r {
+        Region::Model => 0,
+        Region::DataStore => 1,
+        Region::MergeBuffers => 2,
+        Region::MessageBuffers => 3,
+        Region::Other => 4,
+    }
+}
+
+/// Tracks the enclave's resident protected memory by region.
+#[derive(Debug, Clone, Default)]
+pub struct EpcTracker {
+    bytes: [u64; NUM_REGIONS],
+    /// High-water mark of the total.
+    peak: u64,
+}
+
+impl EpcTracker {
+    /// Empty tracker.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the size of one region (regions are replaced, not accumulated,
+    /// so callers can refresh sizes every epoch).
+    pub fn set_region(&mut self, region: Region, bytes: u64) {
+        self.bytes[region_index(region)] = bytes;
+        self.peak = self.peak.max(self.resident_bytes());
+    }
+
+    /// Current total resident bytes.
+    #[must_use]
+    pub fn resident_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Bytes of one region.
+    #[must_use]
+    pub fn region_bytes(&self, region: Region) -> u64 {
+        self.bytes[region_index(region)]
+    }
+
+    /// Peak resident bytes observed.
+    #[must_use]
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak
+    }
+
+    /// Paging overhead (ns) for an access of `bytes_accessed` under `cost`.
+    #[must_use]
+    pub fn access_overhead(&self, cost: &SgxCostModel, bytes_accessed: u64) -> u64 {
+        cost.paging_overhead(self.resident_bytes(), bytes_accessed)
+    }
+
+    /// Whether the resident set exceeds the usable EPC.
+    #[must_use]
+    pub fn overcommitted(&self, cost: &SgxCostModel) -> bool {
+        self.resident_bytes() > cost.epc_limit_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_replace_not_accumulate() {
+        let mut t = EpcTracker::new();
+        t.set_region(Region::Model, 100);
+        t.set_region(Region::Model, 60);
+        t.set_region(Region::DataStore, 40);
+        assert_eq!(t.resident_bytes(), 100);
+        assert_eq!(t.region_bytes(Region::Model), 60);
+    }
+
+    #[test]
+    fn peak_tracks_high_water() {
+        let mut t = EpcTracker::new();
+        t.set_region(Region::MergeBuffers, 1000);
+        t.set_region(Region::MergeBuffers, 0);
+        assert_eq!(t.resident_bytes(), 0);
+        assert_eq!(t.peak_bytes(), 1000);
+    }
+
+    #[test]
+    fn overcommit_detection() {
+        let cost = SgxCostModel::default().with_epc_limit(1 << 20);
+        let mut t = EpcTracker::new();
+        t.set_region(Region::Model, 1 << 19);
+        assert!(!t.overcommitted(&cost));
+        assert_eq!(t.access_overhead(&cost, 1 << 19), 0);
+        t.set_region(Region::DataStore, 1 << 20);
+        assert!(t.overcommitted(&cost));
+        assert!(t.access_overhead(&cost, 1 << 19) > 0);
+    }
+}

@@ -1,0 +1,70 @@
+//! Enclave measurement (the simulated `MRENCLAVE`).
+//!
+//! Real SGX hardware hashes the enclave's initial code, data and attributes
+//! at build time. Here an enclave's identity is the SHA-256 of its code
+//! identity bytes; REX requires every node's measurement to equal the
+//! verifier's own (paper §III-A: "this expected value must be equal to the
+//! checker's own measurement").
+
+use rex_crypto::Sha256;
+
+/// A 32-byte enclave measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Measurement(pub [u8; 32]);
+
+impl Measurement {
+    /// Computes the measurement of an enclave image.
+    #[must_use]
+    pub fn of_code(code_identity: &[u8]) -> Self {
+        Measurement(Sha256::digest(code_identity))
+    }
+
+    /// Constant-time equality (measurement comparison is part of the
+    /// attestation decision).
+    #[must_use]
+    pub fn ct_eq(&self, other: &Measurement) -> bool {
+        rex_crypto::ct::ct_eq(&self.0, &other.0)
+    }
+}
+
+impl std::fmt::Display for Measurement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for b in &self.0[..8] {
+            write!(f, "{b:02x}")?;
+        }
+        write!(f, "…")
+    }
+}
+
+/// The canonical REX enclave code identity for this reproduction. All honest
+/// nodes are built from it; tests use variants to model rogue enclaves.
+pub const REX_ENCLAVE_V1: &[u8] = b"rex-enclave-v1.0:merge-train-share-test";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_code_same_measurement() {
+        assert_eq!(
+            Measurement::of_code(REX_ENCLAVE_V1),
+            Measurement::of_code(REX_ENCLAVE_V1)
+        );
+    }
+
+    #[test]
+    fn different_code_different_measurement() {
+        let honest = Measurement::of_code(REX_ENCLAVE_V1);
+        let rogue = Measurement::of_code(b"rex-enclave-v1.0:exfiltrate");
+        assert_ne!(honest, rogue);
+        assert!(!honest.ct_eq(&rogue));
+        assert!(honest.ct_eq(&honest));
+    }
+
+    #[test]
+    fn display_is_short_hex() {
+        let m = Measurement::of_code(b"x");
+        let s = format!("{m}");
+        assert_eq!(s.len(), 16 + "…".len());
+    }
+}

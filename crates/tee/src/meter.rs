@@ -1,0 +1,75 @@
+//! Accumulates simulated SGX charges and event counts for one enclave.
+
+/// Counters and accumulated virtual time of one enclave's SGX overheads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CostMeter {
+    /// Number of ecalls performed.
+    pub ecalls: u64,
+    /// Number of ocalls performed.
+    pub ocalls: u64,
+    /// Bytes copied into the enclave.
+    pub bytes_in: u64,
+    /// Bytes copied out of the enclave.
+    pub bytes_out: u64,
+    /// EPC paging overhead charged, ns.
+    pub paging_ns: u64,
+    /// Transition + marshalling overhead charged, ns.
+    pub transition_ns: u64,
+    /// MEE compute overhead charged, ns.
+    pub compute_ns: u64,
+}
+
+impl CostMeter {
+    /// Fresh meter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total simulated overhead in ns.
+    #[must_use]
+    pub fn total_overhead_ns(&self) -> u64 {
+        self.paging_ns + self.transition_ns + self.compute_ns
+    }
+
+    /// Resets all counters, returning the previous snapshot (used to
+    /// attribute overheads per epoch/stage).
+    pub fn take(&mut self) -> CostMeter {
+        std::mem::take(self)
+    }
+
+    /// Adds another meter's counts into this one.
+    pub fn absorb(&mut self, other: &CostMeter) {
+        self.ecalls += other.ecalls;
+        self.ocalls += other.ocalls;
+        self.bytes_in += other.bytes_in;
+        self.bytes_out += other.bytes_out;
+        self.paging_ns += other.paging_ns;
+        self.transition_ns += other.transition_ns;
+        self.compute_ns += other.compute_ns;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_resets() {
+        let mut m = CostMeter::new();
+        m.ecalls = 5;
+        m.transition_ns = 100;
+        let snap = m.take();
+        assert_eq!(snap.ecalls, 5);
+        assert_eq!(m, CostMeter::default());
+    }
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut a = CostMeter { ecalls: 1, paging_ns: 10, ..Default::default() };
+        let b = CostMeter { ecalls: 2, compute_ns: 7, ..Default::default() };
+        a.absorb(&b);
+        assert_eq!(a.ecalls, 3);
+        assert_eq!(a.total_overhead_ns(), 17);
+    }
+}

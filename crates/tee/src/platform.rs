@@ -1,0 +1,132 @@
+//! A simulated SGX-capable machine: holds the hardware report key, hosts
+//! the quoting enclave, and creates application enclaves.
+
+use crate::cost::SgxCostModel;
+use crate::dcap::DcapService;
+use crate::enclave::Enclave;
+use crate::measurement::Measurement;
+use crate::quote::Quote;
+use crate::report::Report;
+use rand::RngCore;
+
+/// Errors from the quoting enclave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuoteError {
+    /// The report's MAC did not verify under this platform's report key.
+    BadReportMac,
+    /// The report was produced on a different platform.
+    ForeignReport,
+}
+
+impl std::fmt::Display for QuoteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuoteError::BadReportMac => write!(f, "report MAC verification failed"),
+            QuoteError::ForeignReport => write!(f, "report from a different platform"),
+        }
+    }
+}
+
+impl std::error::Error for QuoteError {}
+
+/// One SGX machine (the paper uses 4, each running 2 REX processes).
+pub struct SgxPlatform {
+    platform_id: u64,
+    report_key: [u8; 32],
+    attestation_key: [u8; 32],
+}
+
+impl SgxPlatform {
+    /// Provisions a new platform: generates hardware keys and registers the
+    /// attestation key with the DCAP service.
+    pub fn provision<R: RngCore>(platform_id: u64, dcap: &DcapService, rng: &mut R) -> Self {
+        let mut report_key = [0u8; 32];
+        rng.fill_bytes(&mut report_key);
+        let mut attestation_key = [0u8; 32];
+        rng.fill_bytes(&mut attestation_key);
+        dcap.register_platform(platform_id, attestation_key);
+        SgxPlatform {
+            platform_id,
+            report_key,
+            attestation_key,
+        }
+    }
+
+    /// Platform identifier.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.platform_id
+    }
+
+    /// Loads an application enclave from `code_identity`, measuring it.
+    #[must_use]
+    pub fn create_enclave(&self, code_identity: &[u8], cost: SgxCostModel) -> Enclave {
+        Enclave::new(
+            Measurement::of_code(code_identity),
+            self.platform_id,
+            self.report_key,
+            cost,
+        )
+    }
+
+    /// The quoting enclave: verifies a *local* report and converts it into
+    /// a remotely verifiable quote (paper §II-D).
+    pub fn quote_report(&self, report: &Report) -> Result<Quote, QuoteError> {
+        if report.platform_id != self.platform_id {
+            return Err(QuoteError::ForeignReport);
+        }
+        if !report.verify(&self.report_key) {
+            return Err(QuoteError::BadReportMac);
+        }
+        Ok(Quote::sign(report, &self.attestation_key))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measurement::REX_ENCLAVE_V1;
+    use crate::report::USER_DATA_LEN;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (DcapService, SgxPlatform, SgxPlatform) {
+        let dcap = DcapService::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let p1 = SgxPlatform::provision(1, &dcap, &mut rng);
+        let p2 = SgxPlatform::provision(2, &dcap, &mut rng);
+        (dcap, p1, p2)
+    }
+
+    #[test]
+    fn quote_chain_end_to_end() {
+        let (dcap, p1, _) = setup();
+        let mut enclave = p1.create_enclave(REX_ENCLAVE_V1, SgxCostModel::default());
+        let report = enclave.create_report([3u8; USER_DATA_LEN]);
+        let quote = p1.quote_report(&report).unwrap();
+        assert!(dcap.verify(&quote));
+        assert_eq!(quote.measurement, enclave.measurement());
+        assert_eq!(quote.user_data, [3u8; USER_DATA_LEN]);
+    }
+
+    #[test]
+    fn foreign_report_rejected_by_qe() {
+        let (_, p1, p2) = setup();
+        let mut enclave = p1.create_enclave(REX_ENCLAVE_V1, SgxCostModel::default());
+        let report = enclave.create_report([0u8; USER_DATA_LEN]);
+        assert_eq!(p2.quote_report(&report), Err(QuoteError::ForeignReport));
+    }
+
+    #[test]
+    fn forged_report_rejected_by_qe() {
+        let (_, p1, _) = setup();
+        // Attacker fabricates a report without the hardware report key.
+        let forged = Report::create(
+            Measurement::of_code(REX_ENCLAVE_V1),
+            [0u8; USER_DATA_LEN],
+            p1.id(),
+            &[0xAA; 32],
+        );
+        assert_eq!(p1.quote_report(&forged), Err(QuoteError::BadReportMac));
+    }
+}

@@ -1,0 +1,92 @@
+//! Quotes: remotely verifiable attestation evidence (paper §II-D).
+//!
+//! The platform's quoting enclave verifies a local report and re-signs it
+//! with the platform's attestation key; the resulting quote is what travels
+//! to remote verifiers, who check it through the DCAP service.
+
+use crate::measurement::Measurement;
+use crate::report::{Report, USER_DATA_LEN};
+use rex_crypto::HmacSha256;
+
+/// A signed quote.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quote {
+    /// Measurement copied from the verified report.
+    pub measurement: Measurement,
+    /// User data copied from the verified report (REX: pubkey ‖ nonce).
+    pub user_data: [u8; USER_DATA_LEN],
+    /// Platform that produced the underlying report.
+    pub platform_id: u64,
+    /// Signature by the platform's attestation key (simulated as an HMAC
+    /// whose key the DCAP service can look up by platform id).
+    pub signature: [u8; 32],
+}
+
+impl Quote {
+    /// Serialized signing body.
+    #[must_use]
+    pub fn body_bytes(&self) -> Vec<u8> {
+        Report::body_bytes(&self.measurement, &self.user_data, self.platform_id)
+    }
+
+    /// Creates a quote from a verified report under the attestation key.
+    #[must_use]
+    pub fn sign(report: &Report, attestation_key: &[u8; 32]) -> Self {
+        let body = Report::body_bytes(&report.measurement, &report.user_data, report.platform_id);
+        Quote {
+            measurement: report.measurement,
+            user_data: report.user_data,
+            platform_id: report.platform_id,
+            signature: HmacSha256::mac(attestation_key, &body),
+        }
+    }
+
+    /// Checks the quote signature against an attestation key.
+    #[must_use]
+    pub fn verify_signature(&self, attestation_key: &[u8; 32]) -> bool {
+        HmacSha256::verify(attestation_key, &self.body_bytes(), &self.signature)
+    }
+
+    /// Wire size of a quote in bytes (for network accounting): measurement +
+    /// user data + platform id + signature.
+    pub const WIRE_SIZE: usize = 32 + USER_DATA_LEN + 8 + 32;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measurement::REX_ENCLAVE_V1;
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let report_key = [1u8; 32];
+        let att_key = [2u8; 32];
+        let report = Report::create(
+            Measurement::of_code(REX_ENCLAVE_V1),
+            [7u8; USER_DATA_LEN],
+            5,
+            &report_key,
+        );
+        let quote = Quote::sign(&report, &att_key);
+        assert!(quote.verify_signature(&att_key));
+        assert!(!quote.verify_signature(&report_key));
+        assert_eq!(quote.user_data, report.user_data);
+    }
+
+    #[test]
+    fn tampered_quote_rejected() {
+        let report = Report::create(
+            Measurement::of_code(REX_ENCLAVE_V1),
+            [0u8; USER_DATA_LEN],
+            1,
+            &[3u8; 32],
+        );
+        let quote = Quote::sign(&report, &[4u8; 32]);
+        let mut bad = quote.clone();
+        bad.user_data[10] ^= 0xff;
+        assert!(!bad.verify_signature(&[4u8; 32]));
+        let mut bad = quote;
+        bad.measurement.0[0] ^= 1;
+        assert!(!bad.verify_signature(&[4u8; 32]));
+    }
+}

@@ -1,0 +1,108 @@
+//! Enclave reports (paper §II-D).
+//!
+//! A report binds an enclave's measurement to 64 bytes of user data (REX
+//! puts an X25519 public key and a nonce there) and is MAC'd with a key
+//! known only to the local platform — so it can be verified *locally* by
+//! the platform's quoting enclave, but carries no meaning off-platform.
+
+use crate::measurement::Measurement;
+use rex_crypto::HmacSha256;
+
+/// Size of the free-form user-data field (matches SGX's REPORTDATA).
+pub const USER_DATA_LEN: usize = 64;
+
+/// An SGX-style local report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// Measurement of the reporting enclave.
+    pub measurement: Measurement,
+    /// Free-form data chosen by the enclave (REX: ECDH pubkey ‖ nonce).
+    pub user_data: [u8; USER_DATA_LEN],
+    /// Identifier of the platform that produced the report.
+    pub platform_id: u64,
+    /// MAC over the body under the platform's report key.
+    pub mac: [u8; 32],
+}
+
+impl Report {
+    /// Serializes the MAC'd portion.
+    #[must_use]
+    pub fn body_bytes(measurement: &Measurement, user_data: &[u8; USER_DATA_LEN], platform_id: u64) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + USER_DATA_LEN + 8);
+        out.extend_from_slice(&measurement.0);
+        out.extend_from_slice(user_data);
+        out.extend_from_slice(&platform_id.to_le_bytes());
+        out
+    }
+
+    /// Creates a report MAC'd under `report_key` (hardware-held in real SGX).
+    #[must_use]
+    pub fn create(
+        measurement: Measurement,
+        user_data: [u8; USER_DATA_LEN],
+        platform_id: u64,
+        report_key: &[u8; 32],
+    ) -> Self {
+        let mac = HmacSha256::mac(
+            report_key,
+            &Self::body_bytes(&measurement, &user_data, platform_id),
+        );
+        Report {
+            measurement,
+            user_data,
+            platform_id,
+            mac,
+        }
+    }
+
+    /// Verifies the report MAC (only possible with the platform key, i.e.
+    /// on the same platform).
+    #[must_use]
+    pub fn verify(&self, report_key: &[u8; 32]) -> bool {
+        HmacSha256::verify(
+            report_key,
+            &Self::body_bytes(&self.measurement, &self.user_data, self.platform_id),
+            &self.mac,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measurement::REX_ENCLAVE_V1;
+
+    fn sample() -> (Report, [u8; 32]) {
+        let key = [9u8; 32];
+        let m = Measurement::of_code(REX_ENCLAVE_V1);
+        let mut ud = [0u8; USER_DATA_LEN];
+        ud[..4].copy_from_slice(b"test");
+        (Report::create(m, ud, 42, &key), key)
+    }
+
+    #[test]
+    fn roundtrip_verifies() {
+        let (r, key) = sample();
+        assert!(r.verify(&key));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let (r, _) = sample();
+        assert!(!r.verify(&[8u8; 32]));
+    }
+
+    #[test]
+    fn tampered_fields_rejected() {
+        let (r, key) = sample();
+        let mut bad = r.clone();
+        bad.user_data[0] ^= 1;
+        assert!(!bad.verify(&key));
+        let mut bad = r.clone();
+        bad.platform_id += 1;
+        assert!(!bad.verify(&key));
+        let mut bad = r;
+        bad.measurement.0[0] ^= 1;
+        assert!(!bad.verify(&key));
+    }
+}

@@ -1,0 +1,72 @@
+//! Property tests over the SGX cost and EPC models.
+
+use proptest::prelude::*;
+use rex_tee::epc::{EpcTracker, Region};
+use rex_tee::SgxCostModel;
+
+proptest! {
+    #[test]
+    fn paging_monotone_in_resident_set(
+        epc_mib in 1u64..64,
+        resident_a in 0u64..(256 << 20),
+        delta in 0u64..(64 << 20),
+        accessed in 1u64..(32 << 20),
+    ) {
+        let cost = SgxCostModel::default().with_epc_limit(epc_mib << 20);
+        let low = cost.paging_overhead(resident_a, accessed);
+        let high = cost.paging_overhead(resident_a + delta, accessed);
+        prop_assert!(high >= low, "paging decreased with larger resident set");
+    }
+
+    #[test]
+    fn paging_monotone_in_bytes_accessed(
+        resident in 0u64..(256 << 20),
+        accessed_a in 0u64..(16 << 20),
+        delta in 0u64..(16 << 20),
+    ) {
+        let cost = SgxCostModel::default().with_epc_limit(8 << 20);
+        let low = cost.paging_overhead(resident, accessed_a);
+        let high = cost.paging_overhead(resident, accessed_a + delta);
+        prop_assert!(high >= low);
+    }
+
+    #[test]
+    fn no_paging_when_fitting(resident in 0u64..(93 << 20), accessed in 0u64..(64 << 20)) {
+        let cost = SgxCostModel::default();
+        prop_assert_eq!(cost.paging_overhead(resident, accessed), 0);
+    }
+
+    #[test]
+    fn transition_costs_are_affine(bytes_a in 0u64..(8 << 20), bytes_b in 0u64..(8 << 20)) {
+        let cost = SgxCostModel::default();
+        let fixed = cost.ecall_cost(0);
+        // Affine: cost(a) + cost(b) == cost(a+b) + fixed (within rounding).
+        let lhs = cost.ecall_cost(bytes_a) + cost.ecall_cost(bytes_b);
+        let rhs = cost.ecall_cost(bytes_a + bytes_b) + fixed;
+        prop_assert!(lhs.abs_diff(rhs) <= 2, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn tracker_total_is_sum_of_regions(
+        model in 0u64..(64 << 20),
+        store in 0u64..(64 << 20),
+        merge in 0u64..(64 << 20),
+        msg in 0u64..(64 << 20),
+    ) {
+        let mut t = EpcTracker::new();
+        t.set_region(Region::Model, model);
+        t.set_region(Region::DataStore, store);
+        t.set_region(Region::MergeBuffers, merge);
+        t.set_region(Region::MessageBuffers, msg);
+        prop_assert_eq!(t.resident_bytes(), model + store + merge + msg);
+        prop_assert!(t.peak_bytes() >= t.resident_bytes());
+    }
+
+    #[test]
+    fn compute_overhead_proportional(native_ns in 0u64..10_000_000_000) {
+        let cost = SgxCostModel { enclave_compute_multiplier: 1.25, ..Default::default() };
+        let overhead = cost.compute_overhead(native_ns);
+        let expected = native_ns / 4;
+        prop_assert!(overhead.abs_diff(expected) <= 1 + native_ns / 1_000_000);
+    }
+}

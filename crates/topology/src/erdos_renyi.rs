@@ -1,0 +1,94 @@
+//! Erdős–Rényi G(n, p) generator with connectivity repair (paper §IV-A2b:
+//! "we ensure to make it connected by adding the missing edges").
+
+use crate::graph::Graph;
+use crate::metrics::components;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a connected Erdős–Rényi graph: each of the n(n-1)/2 candidate
+/// edges is included independently with probability `p`; afterwards, if the
+/// graph is disconnected, one bridging edge is added between consecutive
+/// components (the paper's repair step).
+///
+/// # Panics
+/// If `p` is outside `[0, 1]`.
+#[must_use]
+pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1] (got {p})");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::empty(n);
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if rng.gen_bool(p) {
+                g.add_edge(a, b);
+            }
+        }
+    }
+    repair_connectivity(&mut g, &mut rng);
+    g
+}
+
+/// Connects a possibly-disconnected graph by linking a random node of each
+/// component to a random node of the next.
+pub fn repair_connectivity(g: &mut Graph, rng: &mut StdRng) {
+    let comps = components(g);
+    if comps.len() <= 1 {
+        return;
+    }
+    for window in comps.windows(2) {
+        let a = window[0][rng.gen_range(0..window[0].len())];
+        let b = window[1][rng.gen_range(0..window[1].len())];
+        g.add_edge(a, b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::is_connected;
+
+    #[test]
+    fn paper_parameters_connected() {
+        let g = erdos_renyi(610, 0.05, 42);
+        assert!(is_connected(&g));
+        // Expected mean degree ~= p * (n-1) = 30.45.
+        let mean = g.mean_degree();
+        assert!((mean - 30.45).abs() < 3.0, "mean degree {mean}");
+    }
+
+    #[test]
+    fn sparse_graph_gets_repaired() {
+        // p = 0 forces n components, repair must chain them all.
+        let g = erdos_renyi(40, 0.0, 3);
+        assert!(is_connected(&g));
+        assert_eq!(g.num_edges(), 39); // a tree
+    }
+
+    #[test]
+    fn fifty_node_er_is_sparser_than_sw() {
+        // §IV-B (DNN): the 50-node ER graph is "less connected than small
+        // world"; expected degree 0.05*49 = 2.45 vs 6.
+        let g = erdos_renyi(50, 0.05, 7);
+        assert!(is_connected(&g));
+        assert!(g.mean_degree() < 6.0, "mean {}", g.mean_degree());
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(erdos_renyi(80, 0.05, 5), erdos_renyi(80, 0.05, 5));
+        assert_ne!(erdos_renyi(80, 0.05, 5), erdos_renyi(80, 0.05, 6));
+    }
+
+    #[test]
+    fn full_probability_gives_complete_graph() {
+        let g = erdos_renyi(12, 1.0, 0);
+        assert_eq!(g.num_edges(), 66);
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0,1]")]
+    fn rejects_bad_probability() {
+        let _ = erdos_renyi(10, 1.5, 0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Undirected simple graph with adjacency lists.
+
+/// An undirected simple graph over nodes `0..n`.
+///
+/// Invariants (upheld by all constructors in this crate):
+/// * no self-loops,
+/// * no parallel edges,
+/// * adjacency lists sorted ascending.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    adjacency: Vec<Vec<usize>>,
+}
+
+impl Graph {
+    /// Creates an edgeless graph with `n` nodes.
+    #[must_use]
+    pub fn empty(n: usize) -> Self {
+        Graph {
+            adjacency: vec![Vec::new(); n],
+        }
+    }
+
+    /// Complete graph K_n.
+    #[must_use]
+    pub fn complete(n: usize) -> Self {
+        let mut g = Graph::empty(n);
+        for a in 0..n {
+            for b in (a + 1)..n {
+                g.add_edge(a, b);
+            }
+        }
+        g
+    }
+
+    /// Cycle graph (each node linked to its two ring neighbours). For
+    /// `n <= 2` this degenerates to a path/single edge.
+    #[must_use]
+    pub fn ring(n: usize) -> Self {
+        let mut g = Graph::empty(n);
+        if n >= 2 {
+            for a in 0..n {
+                g.add_edge(a, (a + 1) % n);
+            }
+        }
+        g
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Whether the graph has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.adjacency.is_empty()
+    }
+
+    /// Adds the undirected edge {a, b}; ignores self-loops and duplicates.
+    /// Returns `true` if the edge was inserted.
+    ///
+    /// # Panics
+    /// If `a` or `b` is out of range.
+    pub fn add_edge(&mut self, a: usize, b: usize) -> bool {
+        assert!(a < self.len() && b < self.len(), "edge ({a},{b}) out of range");
+        if a == b {
+            return false;
+        }
+        match self.adjacency[a].binary_search(&b) {
+            Ok(_) => false,
+            Err(pos_a) => {
+                self.adjacency[a].insert(pos_a, b);
+                let pos_b = self.adjacency[b]
+                    .binary_search(&a)
+                    .expect_err("asymmetric adjacency");
+                self.adjacency[b].insert(pos_b, a);
+                true
+            }
+        }
+    }
+
+    /// Whether {a, b} is an edge.
+    #[must_use]
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        self.adjacency
+            .get(a)
+            .is_some_and(|adj| adj.binary_search(&b).is_ok())
+    }
+
+    /// Neighbours of `node`, sorted ascending.
+    #[must_use]
+    pub fn neighbors(&self, node: usize) -> &[usize] {
+        &self.adjacency[node]
+    }
+
+    /// Degree of `node`.
+    #[must_use]
+    pub fn degree(&self, node: usize) -> usize {
+        self.adjacency[node].len()
+    }
+
+    /// Number of undirected edges.
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Mean degree.
+    #[must_use]
+    pub fn mean_degree(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        2.0 * self.num_edges() as f64 / self.len() as f64
+    }
+
+    /// Iterates over all edges as (a, b) with a < b.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.adjacency
+            .iter()
+            .enumerate()
+            .flat_map(|(a, adj)| adj.iter().filter(move |&&b| a < b).map(move |&b| (a, b)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_edge_symmetric_and_deduped() {
+        let mut g = Graph::empty(4);
+        assert!(g.add_edge(0, 2));
+        assert!(!g.add_edge(2, 0));
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(2, 0));
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let mut g = Graph::empty(3);
+        assert!(!g.add_edge(1, 1));
+        assert_eq!(g.degree(1), 0);
+    }
+
+    #[test]
+    fn complete_graph() {
+        let g = Graph::complete(8);
+        assert_eq!(g.num_edges(), 28); // the paper's 8-node setup: 28 pairs
+        assert!((g.mean_degree() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ring_graph() {
+        let g = Graph::ring(5);
+        assert_eq!(g.num_edges(), 5);
+        for n in 0..5 {
+            assert_eq!(g.degree(n), 2);
+        }
+        let g2 = Graph::ring(2);
+        assert_eq!(g2.num_edges(), 1);
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let mut g = Graph::empty(6);
+        g.add_edge(0, 5);
+        g.add_edge(0, 2);
+        g.add_edge(0, 4);
+        assert_eq!(g.neighbors(0), &[2, 4, 5]);
+    }
+
+    #[test]
+    fn edges_iterator() {
+        let mut g = Graph::empty(4);
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        g.add_edge(1, 3);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 3);
+        assert!(edges.iter().all(|&(a, b)| a < b));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn add_edge_bounds_checked() {
+        let mut g = Graph::empty(2);
+        g.add_edge(0, 2);
+    }
+}

@@ -1,0 +1,169 @@
+//! Structural graph metrics: connectivity, components, clustering
+//! coefficient and diameter (the paper characterizes SW vs ER by exactly
+//! these: "low diameter and high clustering coefficient", §IV-A2).
+
+use crate::graph::Graph;
+use std::collections::VecDeque;
+
+/// Connected components, each a sorted list of nodes; components ordered by
+/// smallest member.
+#[must_use]
+pub fn components(g: &Graph) -> Vec<Vec<usize>> {
+    let n = g.len();
+    let mut visited = vec![false; n];
+    let mut out = Vec::new();
+    for start in 0..n {
+        if visited[start] {
+            continue;
+        }
+        let mut comp = Vec::new();
+        let mut queue = VecDeque::from([start]);
+        visited[start] = true;
+        while let Some(u) = queue.pop_front() {
+            comp.push(u);
+            for &v in g.neighbors(u) {
+                if !visited[v] {
+                    visited[v] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        comp.sort_unstable();
+        out.push(comp);
+    }
+    out
+}
+
+/// Whether the graph is connected (true for the empty and singleton graph).
+#[must_use]
+pub fn is_connected(g: &Graph) -> bool {
+    components(g).len() <= 1
+}
+
+/// BFS distances from `start`; `usize::MAX` marks unreachable nodes.
+#[must_use]
+pub fn bfs_distances(g: &Graph, start: usize) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; g.len()];
+    dist[start] = 0;
+    let mut queue = VecDeque::from([start]);
+    while let Some(u) = queue.pop_front() {
+        for &v in g.neighbors(u) {
+            if dist[v] == usize::MAX {
+                dist[v] = dist[u] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Graph diameter (longest shortest path); `None` if disconnected or empty.
+#[must_use]
+pub fn diameter(g: &Graph) -> Option<usize> {
+    if g.is_empty() {
+        return None;
+    }
+    let mut max = 0;
+    for start in 0..g.len() {
+        for &d in &bfs_distances(g, start) {
+            if d == usize::MAX {
+                return None;
+            }
+            max = max.max(d);
+        }
+    }
+    Some(max)
+}
+
+/// Average local clustering coefficient (Watts–Strogatz definition); nodes
+/// of degree < 2 contribute 0.
+#[must_use]
+pub fn clustering_coefficient(g: &Graph) -> f64 {
+    if g.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for u in 0..g.len() {
+        let neigh = g.neighbors(u);
+        let k = neigh.len();
+        if k < 2 {
+            continue;
+        }
+        let mut links = 0usize;
+        for (i, &a) in neigh.iter().enumerate() {
+            for &b in &neigh[i + 1..] {
+                if g.has_edge(a, b) {
+                    links += 1;
+                }
+            }
+        }
+        total += 2.0 * links as f64 / (k * (k - 1)) as f64;
+    }
+    total / g.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn components_of_disconnected_graph() {
+        let mut g = Graph::empty(6);
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        g.add_edge(3, 4);
+        let comps = components(&g);
+        assert_eq!(comps, vec![vec![0, 1], vec![2, 3, 4], vec![5]]);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn ring_diameter() {
+        let g = Graph::ring(10);
+        assert_eq!(diameter(&g), Some(5));
+    }
+
+    #[test]
+    fn complete_graph_metrics() {
+        let g = Graph::complete(6);
+        assert_eq!(diameter(&g), Some(1));
+        assert!((clustering_coefficient(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triangle_plus_tail_clustering() {
+        // Triangle 0-1-2 plus pendant node 3 on 0.
+        let mut g = Graph::empty(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(0, 2);
+        g.add_edge(0, 3);
+        // c(0) = 1/3 (one link among 3 neighbour pairs), c(1)=c(2)=1, c(3)=0.
+        let cc = clustering_coefficient(&g);
+        assert!((cc - (1.0 / 3.0 + 1.0 + 1.0 + 0.0) / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diameter_none_when_disconnected() {
+        let mut g = Graph::empty(3);
+        g.add_edge(0, 1);
+        assert_eq!(diameter(&g), None);
+    }
+
+    #[test]
+    fn bfs_distances_path() {
+        let mut g = Graph::empty(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_graph_edge_cases() {
+        let g = Graph::empty(0);
+        assert!(is_connected(&g));
+        assert_eq!(diameter(&g), None);
+        assert_eq!(clustering_coefficient(&g), 0.0);
+    }
+}

@@ -1,0 +1,77 @@
+//! Metropolis–Hastings averaging weights (paper §III-C2; Xiao, Boyd & Kim).
+//!
+//! In D-PSGD, a node merges neighbour models by a weighted average where the
+//! weight of the edge (i, j) is `1 / (1 + max(deg(i), deg(j)))`, and the
+//! self-weight absorbs the remainder so each row of the mixing matrix sums
+//! to one. The sender therefore transmits its degree along with the model
+//! ("it also sends an integer corresponding to its degree").
+
+use crate::graph::Graph;
+
+/// Weight a node with degree `own_degree` assigns to a neighbour with
+/// degree `neighbor_degree`.
+#[must_use]
+pub fn metropolis_hastings_weight(own_degree: usize, neighbor_degree: usize) -> f64 {
+    1.0 / (1.0 + own_degree.max(neighbor_degree) as f64)
+}
+
+/// Full mixing row for `node`: `(self_weight, vec of (neighbor, weight))`.
+/// The row is guaranteed to sum to 1 and the self-weight to be >= 0
+/// (doubly-stochastic Metropolis–Hastings construction).
+#[must_use]
+pub fn mixing_row(g: &Graph, node: usize) -> (f64, Vec<(usize, f64)>) {
+    let own = g.degree(node);
+    let neighbors: Vec<(usize, f64)> = g
+        .neighbors(node)
+        .iter()
+        .map(|&j| (j, metropolis_hastings_weight(own, g.degree(j))))
+        .collect();
+    let neighbor_sum: f64 = neighbors.iter().map(|&(_, w)| w).sum();
+    (1.0 - neighbor_sum, neighbors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::erdos_renyi::erdos_renyi;
+    use crate::small_world::small_world;
+
+    #[test]
+    fn weight_formula() {
+        assert!((metropolis_hastings_weight(3, 5) - 1.0 / 6.0).abs() < 1e-12);
+        assert!((metropolis_hastings_weight(5, 3) - 1.0 / 6.0).abs() < 1e-12);
+        assert!((metropolis_hastings_weight(0, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rows_sum_to_one_and_self_weight_nonnegative() {
+        for g in [small_world(80, 6, 0.03, 1), erdos_renyi(80, 0.08, 2)] {
+            for node in 0..g.len() {
+                let (self_w, row) = mixing_row(&g, node);
+                let total: f64 = self_w + row.iter().map(|&(_, w)| w).sum::<f64>();
+                assert!((total - 1.0).abs() < 1e-9, "row sum {total}");
+                assert!(self_w >= -1e-12, "negative self weight {self_w}");
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_across_edges() {
+        let g = small_world(40, 4, 0.05, 3);
+        for (a, b) in g.edges() {
+            let wa = metropolis_hastings_weight(g.degree(a), g.degree(b));
+            let wb = metropolis_hastings_weight(g.degree(b), g.degree(a));
+            assert!((wa - wb).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn complete_graph_uniform() {
+        let g = Graph::complete(8);
+        let (self_w, row) = mixing_row(&g, 0);
+        for &(_, w) in &row {
+            assert!((w - 1.0 / 8.0).abs() < 1e-12);
+        }
+        assert!((self_w - 1.0 / 8.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,106 @@
+//! Small-world generator (paper §IV-A2a).
+//!
+//! Mirrors the boost BGL `small_world_iterator` construction the paper uses:
+//! a ring lattice where every node connects to its `k` nearest neighbours,
+//! plus "far-fetched" shortcut edges added with probability `p` per lattice
+//! edge. The result has high clustering and low diameter.
+
+use crate::graph::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a small-world graph over `n` nodes.
+///
+/// * `k` — number of close connections per node (must be even; the paper
+///   uses 6);
+/// * `p` — probability of adding a far-fetched edge per lattice edge (the
+///   paper uses 3 %).
+///
+/// # Panics
+/// If `k` is odd, `k >= n`, or `p` is outside `[0, 1]`.
+#[must_use]
+pub fn small_world(n: usize, k: usize, p: f64, seed: u64) -> Graph {
+    assert!(k % 2 == 0, "k must be even (got {k})");
+    assert!(n > k, "need n > k (got n={n}, k={k})");
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1] (got {p})");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::empty(n);
+
+    // Ring lattice: node i connects to i±1 .. i±k/2.
+    for i in 0..n {
+        for d in 1..=(k / 2) {
+            g.add_edge(i, (i + d) % n);
+        }
+    }
+
+    // Far-fetched shortcuts: for each lattice edge, with probability p add an
+    // extra random long-range edge from its source (boost's variant *adds*
+    // rather than rewires, which keeps the lattice connected).
+    for i in 0..n {
+        for _d in 1..=(k / 2) {
+            if rng.gen_bool(p) {
+                // Draw a target distinct from i; duplicates are no-ops.
+                let target = rng.gen_range(0..n);
+                g.add_edge(i, target);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+
+    #[test]
+    fn paper_parameters() {
+        let g = small_world(610, 6, 0.03, 42);
+        assert_eq!(g.len(), 610);
+        assert!(metrics::is_connected(&g));
+        // Mean degree slightly above k because shortcuts only add edges.
+        let mean = g.mean_degree();
+        assert!(mean >= 6.0 && mean < 7.0, "mean degree {mean}");
+    }
+
+    #[test]
+    fn high_clustering_low_diameter() {
+        let g = small_world(200, 6, 0.03, 1);
+        let cc = metrics::clustering_coefficient(&g);
+        // A k=6 ring lattice has clustering 0.6; shortcuts dilute slightly.
+        assert!(cc > 0.4, "clustering {cc}");
+        let diam = metrics::diameter(&g).unwrap();
+        // Pure lattice diameter would be ~n/k = 33; shortcuts shrink it.
+        assert!(diam < 30, "diameter {diam}");
+    }
+
+    #[test]
+    fn zero_p_gives_pure_lattice() {
+        let g = small_world(20, 4, 0.0, 0);
+        for i in 0..20 {
+            assert_eq!(g.degree(i), 4);
+        }
+        assert_eq!(g.num_edges(), 40);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = small_world(100, 6, 0.03, 9);
+        let b = small_world(100, 6, 0.03, 9);
+        assert_eq!(a, b);
+        let c = small_world(100, 6, 0.03, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn rejects_odd_k() {
+        let _ = small_world(10, 3, 0.1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "n > k")]
+    fn rejects_small_n() {
+        let _ = small_world(4, 4, 0.1, 0);
+    }
+}

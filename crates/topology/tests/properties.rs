@@ -1,0 +1,87 @@
+//! Property tests over graph generators and Metropolis–Hastings weights.
+
+use proptest::prelude::*;
+use rex_topology::{erdos_renyi, metrics, mh_weights::mixing_row, small_world, Graph};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn erdos_renyi_always_connected(n in 2usize..120, p in 0.0f64..0.2, seed in any::<u64>()) {
+        let g = erdos_renyi(n, p, seed);
+        prop_assert!(metrics::is_connected(&g), "disconnected at n={n} p={p}");
+        prop_assert_eq!(g.len(), n);
+    }
+
+    #[test]
+    fn small_world_structure(n in 7usize..150, half_k in 1usize..3, p in 0.0f64..0.3, seed in any::<u64>()) {
+        let k = half_k * 2;
+        prop_assume!(n > k);
+        let g = small_world(n, k, p, seed);
+        prop_assert!(metrics::is_connected(&g));
+        // Lattice edges are never removed: degree >= k.
+        for node in 0..n {
+            prop_assert!(g.degree(node) >= k, "node {node} degree {}", g.degree(node));
+        }
+        // Shortcuts only add: at most k/2 extra edges per node on average.
+        prop_assert!(g.num_edges() >= n * k / 2);
+        prop_assert!(g.num_edges() <= n * k / 2 + n * (k / 2));
+    }
+
+    #[test]
+    fn mh_rows_always_stochastic(n in 2usize..80, p in 0.01f64..0.3, seed in any::<u64>()) {
+        let g = erdos_renyi(n, p, seed);
+        for node in 0..n {
+            let (self_w, row) = mixing_row(&g, node);
+            let total: f64 = self_w + row.iter().map(|&(_, w)| w).sum::<f64>();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+            prop_assert!(self_w >= -1e-12);
+            for &(_, w) in &row {
+                prop_assert!(w > 0.0 && w <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn edges_are_symmetric_and_simple(n in 1usize..60, p in 0.0f64..0.5, seed in any::<u64>()) {
+        let g = erdos_renyi(n, p, seed);
+        for a in 0..n {
+            for &b in g.neighbors(a) {
+                prop_assert_ne!(a, b, "self loop at {}", a);
+                prop_assert!(g.has_edge(b, a), "asymmetric edge {a}-{b}");
+            }
+            // Sorted + deduped adjacency.
+            let adj = g.neighbors(a);
+            for w in adj.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_distances_satisfy_triangle_on_edges(n in 2usize..60, seed in any::<u64>()) {
+        let g = erdos_renyi(n, 0.1, seed);
+        let dist = metrics::bfs_distances(&g, 0);
+        for a in 0..n {
+            if dist[a] == usize::MAX { continue; }
+            for &b in g.neighbors(a) {
+                prop_assert!(dist[b] != usize::MAX);
+                prop_assert!(dist[b] + 1 >= dist[a] && dist[a] + 1 >= dist[b]);
+            }
+        }
+    }
+}
+
+#[test]
+fn complete_graph_mixing_is_uniform_for_all_sizes() {
+    for n in 2..20 {
+        let g = Graph::complete(n);
+        for node in 0..n {
+            let (self_w, row) = mixing_row(&g, node);
+            assert!((self_w - 1.0 / n as f64).abs() < 1e-12);
+            for (_, w) in row {
+                assert!((w - 1.0 / n as f64).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Explore the two gossip topologies of the paper (§IV-A2): generate
+//! small-world and Erdős–Rényi graphs at several sizes and print the
+//! structural metrics that drive REX's convergence behaviour.
+//!
+//! ```text
+//! cargo run --release --example topology_explorer
+//! ```
+
+use rex_repro::topology::{metrics, TopologySpec};
+
+fn main() {
+    println!(
+        "{:<6} {:<5} {:>9} {:>12} {:>10} {:>9}",
+        "topo", "n", "edges", "mean degree", "clustering", "diameter"
+    );
+    for &n in &[50usize, 128, 610] {
+        for spec in [TopologySpec::SmallWorld, TopologySpec::ErdosRenyi] {
+            let g = spec.build(n, 42);
+            let diameter = metrics::diameter(&g)
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "inf".into());
+            println!(
+                "{:<6} {:<5} {:>9} {:>12.2} {:>10.3} {:>9}",
+                spec.label(),
+                n,
+                g.num_edges(),
+                g.mean_degree(),
+                metrics::clustering_coefficient(&g),
+                diameter
+            );
+        }
+    }
+    println!(
+        "\nAs in the paper: small world keeps high clustering with low\n\
+         diameter; Erdős–Rényi (p=5%) grows denser with n — at 610 nodes its\n\
+         mean degree (~30) makes D-PSGD broadcast traffic expensive, which\n\
+         is exactly where REX's 18.3x speedup shows up (Table II)."
+    );
+
+    // Metropolis-Hastings weight sanity on the 610-node graphs.
+    use rex_repro::topology::mh_weights::mixing_row;
+    for spec in [TopologySpec::SmallWorld, TopologySpec::ErdosRenyi] {
+        let g = spec.build(610, 42);
+        let (self_w, row) = mixing_row(&g, 0);
+        let sum: f64 = self_w + row.iter().map(|(_, w)| w).sum::<f64>();
+        println!(
+            "{}: node 0 MH row sums to {:.6} over {} neighbours (self weight {:.3})",
+            spec.label(),
+            sum,
+            row.len(),
+            self_w
+        );
+    }
+}

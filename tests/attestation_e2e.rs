@@ -1,0 +1,83 @@
+//! End-to-end attestation + secure-channel integration over the public API.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rex_repro::tee::attestation::{AttestationError, Attestor};
+use rex_repro::tee::measurement::REX_ENCLAVE_V1;
+use rex_repro::tee::{DcapService, SgxCostModel, SgxPlatform};
+
+#[test]
+fn full_attestation_chain_with_encrypted_exchange() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let dcap = DcapService::new();
+    let pa = SgxPlatform::provision(10, &dcap, &mut rng);
+    let pb = SgxPlatform::provision(20, &dcap, &mut rng);
+
+    let mut ea = pa.create_enclave(REX_ENCLAVE_V1, SgxCostModel::default());
+    let mut eb = pb.create_enclave(REX_ENCLAVE_V1, SgxCostModel::default());
+
+    let aa = Attestor::new(&mut rng);
+    let ab = Attestor::new(&mut rng);
+    let qa = pa.quote_report(&ea.create_report(aa.user_data())).unwrap();
+    let qb = pb.quote_report(&eb.create_report(ab.user_data())).unwrap();
+
+    let hello = Attestor::hello(qa.clone());
+    let (reply, mut sb) = ab.respond(&eb, &dcap, qb, &hello).unwrap();
+    let mut sa = aa.finish(&ea, &dcap, &qa, &reply).unwrap();
+
+    // Bidirectional sealed traffic, several frames.
+    for i in 0..20u32 {
+        let msg = format!("raw-batch-{i}");
+        let frame = sa.seal(b"fwd", msg.as_bytes());
+        assert_eq!(sb.open(b"fwd", &frame).unwrap(), msg.as_bytes());
+        let ack = sb.seal(b"bwd", b"ack");
+        assert_eq!(sa.open(b"bwd", &ack).unwrap(), b"ack");
+    }
+    assert_eq!(sa.bytes_sealed(), sb.bytes_opened());
+}
+
+#[test]
+fn rogue_enclave_cannot_join_the_network() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let dcap = DcapService::new();
+    let p = SgxPlatform::provision(1, &dcap, &mut rng);
+
+    let honest_enclave = p.create_enclave(REX_ENCLAVE_V1, SgxCostModel::default());
+    let mut rogue_enclave = p.create_enclave(b"patched-rex-that-leaks", SgxCostModel::default());
+
+    let honest = Attestor::new(&mut rng);
+    let rogue = Attestor::new(&mut rng);
+    let honest_quote = {
+        let mut e = p.create_enclave(REX_ENCLAVE_V1, SgxCostModel::default());
+        p.quote_report(&e.create_report(honest.user_data())).unwrap()
+    };
+    let rogue_quote = p
+        .quote_report(&rogue_enclave.create_report(rogue.user_data()))
+        .unwrap();
+
+    // Honest node rejects the rogue's Hello.
+    let err = honest
+        .respond(&honest_enclave, &dcap, honest_quote, &Attestor::hello(rogue_quote))
+        .unwrap_err();
+    assert_eq!(err, AttestationError::MeasurementMismatch);
+}
+
+#[test]
+fn attestation_requires_provisioned_platform() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let real_dcap = DcapService::new();
+    let fake_dcap = DcapService::new(); // attacker's view: platform unknown
+    let p = SgxPlatform::provision(5, &real_dcap, &mut rng);
+
+    let e = p.create_enclave(REX_ENCLAVE_V1, SgxCostModel::default());
+    let att = Attestor::new(&mut rng);
+    let quote = {
+        let mut e2 = p.create_enclave(REX_ENCLAVE_V1, SgxCostModel::default());
+        p.quote_report(&e2.create_report(att.user_data())).unwrap()
+    };
+    let verifier = Attestor::new(&mut rng);
+    let err = verifier
+        .respond(&e, &fake_dcap, quote.clone(), &Attestor::hello(quote))
+        .unwrap_err();
+    assert_eq!(err, AttestationError::UntrustedPlatform);
+}

@@ -1,0 +1,82 @@
+//! Property-based integration tests over the protocol surfaces.
+
+use proptest::prelude::*;
+use rex_repro::core::RawDataStore;
+use rex_repro::data::Rating;
+use rex_repro::net::codec::{decode_plain, encode_plain};
+use rex_repro::net::Plain;
+
+fn arb_rating() -> impl Strategy<Value = Rating> {
+    (0u32..500, 0u32..2000, 1u32..=10).prop_map(|(user, item, halves)| Rating {
+        user,
+        item,
+        value: halves as f32 * 0.5,
+    })
+}
+
+proptest! {
+    #[test]
+    fn plain_codec_roundtrips(
+        ratings in proptest::collection::vec(arb_rating(), 0..400),
+        degree in 0u32..1000,
+    ) {
+        let msg = Plain::RawData { ratings, degree };
+        let bytes = encode_plain(&msg);
+        prop_assert_eq!(decode_plain(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn model_payload_roundtrips(bytes in proptest::collection::vec(any::<u8>(), 0..4096), degree in 0u32..64) {
+        let msg = Plain::Model { bytes, degree };
+        let enc = encode_plain(&msg);
+        prop_assert_eq!(decode_plain(&enc).unwrap(), msg);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode_plain(&bytes); // must return Err, not panic
+    }
+
+    #[test]
+    fn store_append_is_idempotent_and_deduplicating(
+        batch_a in proptest::collection::vec(arb_rating(), 0..200),
+        batch_b in proptest::collection::vec(arb_rating(), 0..200),
+    ) {
+        let mut store = RawDataStore::new();
+        store.append_batch(&batch_a);
+        let after_a = store.len();
+        // Re-appending A adds nothing.
+        prop_assert_eq!(store.append_batch(&batch_a), 0);
+        prop_assert_eq!(store.len(), after_a);
+        // Appending B then A∪B again is stable.
+        store.append_batch(&batch_b);
+        let total = store.len();
+        store.append_batch(&batch_a);
+        store.append_batch(&batch_b);
+        prop_assert_eq!(store.len(), total);
+        // Distinct keys bound the size.
+        let distinct: std::collections::HashSet<_> =
+            batch_a.iter().chain(&batch_b).map(|r| r.key()).collect();
+        prop_assert_eq!(store.len(), distinct.len());
+    }
+
+    #[test]
+    fn store_samples_are_subsets(
+        batch in proptest::collection::vec(arb_rating(), 1..300),
+        k in 1usize..400,
+        seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng;
+        let store = RawDataStore::with_initial(batch.clone());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let sample = store.sample(k, &mut rng);
+        prop_assert_eq!(sample.len(), k.min(store.len()));
+        let keys: std::collections::HashSet<_> = store.ratings().iter().map(|r| r.key()).collect();
+        for r in &sample {
+            prop_assert!(keys.contains(&r.key()));
+        }
+        // Samples are duplicate-free within one batch.
+        let sample_keys: std::collections::HashSet<_> = sample.iter().map(|r| r.key()).collect();
+        prop_assert_eq!(sample_keys.len(), sample.len());
+    }
+}

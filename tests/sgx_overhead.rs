@@ -1,0 +1,106 @@
+//! Integration: the SGX cost structure must reproduce the paper's Table IV
+//! ordering — model sharing pays far more for the enclave than REX, and
+//! overcommitting the EPC amplifies the penalty.
+
+use rex_repro::core::builder::{build_mf_nodes, NodeSeeds};
+use rex_repro::core::config::{ExecutionMode, GossipAlgorithm, ProtocolConfig, SharingMode};
+use rex_repro::core::runner::{run_simulation, SimulationConfig};
+use rex_repro::data::{Partition, SyntheticConfig, TrainTestSplit};
+use rex_repro::ml::MfHyperParams;
+use rex_repro::tee::SgxCostModel;
+use rex_repro::topology::TopologySpec;
+
+fn fleet(sharing: SharingMode) -> Vec<rex_repro::core::Node<rex_repro::ml::MfModel>> {
+    let ds = SyntheticConfig {
+        num_users: 32,
+        num_items: 600,
+        num_ratings: 5_000,
+        seed: 13,
+        ..SyntheticConfig::default()
+    }
+    .generate();
+    let split = TrainTestSplit::standard(&ds, 1);
+    let partition = Partition::multi_user(&split, 8);
+    let graph = TopologySpec::FullyConnected.build(8, 0);
+    build_mf_nodes(
+        &partition,
+        &graph,
+        ds.num_users,
+        ds.num_items,
+        MfHyperParams::default(),
+        ProtocolConfig {
+            sharing,
+            algorithm: GossipAlgorithm::DPsgd,
+            points_per_epoch: 100,
+            steps_per_epoch: 150,
+            seed: 8,
+        },
+        NodeSeeds::default(),
+    )
+}
+
+fn charged_overhead(sharing: SharingMode, cost: SgxCostModel) -> u64 {
+    let mut nodes = fleet(sharing);
+    let result = run_simulation(
+        "sgx",
+        &mut nodes,
+        &SimulationConfig {
+            epochs: 10,
+            execution: ExecutionMode::Sgx(cost),
+            parallel: false,
+            ..Default::default()
+        },
+    );
+    result.trace.mean_sgx_overhead_ns()
+}
+
+#[test]
+fn ms_pays_more_sgx_overhead_than_rex() {
+    let cost = SgxCostModel::default();
+    let rex = charged_overhead(SharingMode::RawData, cost);
+    let ms = charged_overhead(SharingMode::Model, cost);
+    assert!(
+        ms > 2 * rex,
+        "Table IV ordering broken: MS charged {ms} ns vs REX {rex} ns"
+    );
+}
+
+#[test]
+fn epc_overcommit_amplifies_overhead() {
+    // Shrink the EPC so the MS working set (model + 7 neighbour models)
+    // no longer fits: paging charges must appear.
+    let fitting = SgxCostModel::default();
+    let overcommitted = SgxCostModel::default().with_epc_limit(64 * 1024);
+    let fits = charged_overhead(SharingMode::Model, fitting);
+    let pages = charged_overhead(SharingMode::Model, overcommitted);
+    assert!(
+        pages > fits + fits / 4,
+        "paging did not materialize: {fits} ns vs {pages} ns"
+    );
+}
+
+#[test]
+fn sgx_does_not_change_model_quality() {
+    let run = |execution| {
+        let mut nodes = fleet(SharingMode::RawData);
+        run_simulation(
+            "q",
+            &mut nodes,
+            &SimulationConfig {
+                epochs: 12,
+                execution,
+                parallel: false,
+                ..Default::default()
+            },
+        )
+        .trace
+        .final_rmse()
+        .unwrap()
+    };
+    let native = run(ExecutionMode::Native);
+    let sgx = run(ExecutionMode::Sgx(SgxCostModel::default()));
+    assert!(
+        (native - sgx).abs() < 1e-9,
+        "SGX must only cost time, not accuracy: {native} vs {sgx}"
+    );
+}
