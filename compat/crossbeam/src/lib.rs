@@ -1,0 +1,36 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only the `channel::{unbounded, Sender, Receiver}` surface is provided,
+//! delegating to [`std::sync::mpsc`]. Semantics relied on by this
+//! workspace — unbounded FIFO per sender/receiver pair, cloneable senders,
+//! non-blocking `try_recv`, blocking `recv` returning `Err` once all
+//! senders are gone — match the std implementation.
+
+pub mod channel {
+    /// Sending half of an unbounded channel.
+    pub type Sender<T> = std::sync::mpsc::Sender<T>;
+    /// Receiving half of an unbounded channel.
+    pub type Receiver<T> = std::sync::mpsc::Receiver<T>;
+
+    /// Creates an unbounded FIFO channel.
+    #[must_use]
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_and_clone() {
+            let (tx, rx) = unbounded();
+            let tx2 = tx.clone();
+            tx.send(1).unwrap();
+            tx2.send(2).unwrap();
+            assert_eq!(rx.try_recv().unwrap(), 1);
+            assert_eq!(rx.recv().unwrap(), 2);
+            assert!(rx.try_recv().is_err());
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest 1.x API this workspace's property
+//! tests use: the [`proptest!`] macro (with optional
+//! `#![proptest_config(...)]` header), range/tuple/`any`/`prop_map`
+//! strategies, [`collection::vec`], [`sample::Index`], and the
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from the real crate, deliberate for an offline build:
+//! * cases are generated from a *deterministic* per-test seed (test name
+//!   hash + case index), so failures reproduce exactly in CI;
+//! * there is no shrinking — the failing case is reported as-is;
+//! * there is no persistence file.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    pub mod prop {
+        //! Namespaced module access (`prop::sample::Index`, ...).
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Defines property tests.
+///
+/// Each `fn name(arg in strategy, ...) { body }` item expands to a
+/// `#[test]` function that runs `body` for [`ProptestConfig::cases`]
+/// generated inputs. An optional leading `#![proptest_config(expr)]`
+/// overrides the configuration.
+///
+/// [`ProptestConfig::cases`]: crate::test_runner::ProptestConfig
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])* fn $name:ident( $($arg:pat in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut accepted: u32 = 0;
+                let mut case: u64 = 0;
+                let reject_cap = u64::from(config.cases) * 20 + 1_000;
+                while accepted < config.cases {
+                    assert!(
+                        case < reject_cap,
+                        "proptest {}: too many rejected cases ({} accepted of {})",
+                        stringify!($name), accepted, config.cases,
+                    );
+                    let mut rng = $crate::test_runner::TestRng::deterministic(
+                        stringify!($name), case,
+                    );
+                    case += 1;
+                    $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);)+
+                    let outcome: $crate::test_runner::TestCaseResult =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match outcome {
+                        Ok(()) => accepted += 1,
+                        Err($crate::test_runner::TestCaseError::Reject) => {}
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => panic!(
+                            "proptest {} failed at case {}: {}",
+                            stringify!($name), case - 1, msg,
+                        ),
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current case with a message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless both expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = ($left, $right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` != `{:?}`", left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = ($left, $right);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("{} (`{:?}` != `{:?}`)", format!($($fmt)+), left, right),
+            ));
+        }
+    }};
+}
+
+/// Fails the current case if both expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = ($left, $right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?}` == `{:?}`", left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = ($left, $right);
+        if !(left != right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("{} (`{:?}` == `{:?}`)", format!($($fmt)+), left, right),
+            ));
+        }
+    }};
+}
+
+/// Discards the current case (it counts toward neither pass nor fail)
+/// unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}

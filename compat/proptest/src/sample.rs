@@ -1,0 +1,45 @@
+//! Sampling helpers — here, [`Index`].
+
+use crate::arbitrary::Arbitrary;
+use crate::test_runner::TestRng;
+
+/// A length-independent random position, resolved against a concrete
+/// collection length with [`Index::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Maps this position into `0..len`.
+    ///
+    /// # Panics
+    /// If `len == 0`.
+    #[must_use]
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "cannot index an empty collection");
+        ((u128::from(self.0) * len as u128) >> 64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        Index(rng.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_is_in_bounds_and_covers() {
+        let mut rng = TestRng::deterministic("index", 0);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let idx = Index::arbitrary(&mut rng);
+            let i = idx.index(10);
+            assert!(i < 10);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "not all buckets hit: {seen:?}");
+    }
+}

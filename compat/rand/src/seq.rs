@@ -1,0 +1,123 @@
+//! Sequence utilities: in-place shuffling and distinct-index sampling.
+
+use crate::{Rng, RngCore};
+use std::collections::HashSet;
+
+/// Extension methods on slices (mirrors `rand::seq::SliceRandom`).
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// Uniformly random element, `None` on an empty slice.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+}
+
+/// Distinct-index sampling (mirrors `rand::seq::index`).
+pub mod index {
+    use super::*;
+
+    /// A set of distinct indices in draw order.
+    #[derive(Debug, Clone)]
+    pub struct IndexVec(Vec<usize>);
+
+    impl IndexVec {
+        /// Number of sampled indices.
+        #[must_use]
+        pub fn len(&self) -> usize {
+            self.0.len()
+        }
+
+        /// Whether the sample is empty.
+        #[must_use]
+        pub fn is_empty(&self) -> bool {
+            self.0.is_empty()
+        }
+
+        /// Iterates over the indices.
+        pub fn iter(&self) -> std::slice::Iter<'_, usize> {
+            self.0.iter()
+        }
+    }
+
+    impl IntoIterator for IndexVec {
+        type Item = usize;
+        type IntoIter = std::vec::IntoIter<usize>;
+
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    /// Samples `amount` distinct indices uniformly from `0..length`.
+    ///
+    /// # Panics
+    /// If `amount > length`.
+    pub fn sample<R: RngCore + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+        assert!(amount <= length, "cannot sample {amount} of {length}");
+        if amount == 0 {
+            return IndexVec(Vec::new());
+        }
+        if amount * 4 <= length {
+            // Sparse: rejection sampling, O(amount) memory.
+            let mut seen = HashSet::with_capacity(amount);
+            let mut out = Vec::with_capacity(amount);
+            while out.len() < amount {
+                let idx = rng.gen_range(0..length);
+                if seen.insert(idx) {
+                    out.push(idx);
+                }
+            }
+            IndexVec(out)
+        } else {
+            // Dense: partial Fisher–Yates.
+            let mut pool: Vec<usize> = (0..length).collect();
+            for i in 0..amount {
+                let j = rng.gen_range(i..length);
+                pool.swap(i, j);
+            }
+            pool.truncate(amount);
+            IndexVec(pool)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::rngs::StdRng;
+        use crate::SeedableRng;
+
+        #[test]
+        fn samples_are_distinct_and_in_range() {
+            let mut rng = StdRng::seed_from_u64(5);
+            for (len, k) in [(10, 10), (100, 3), (50, 40), (7, 0)] {
+                let s = sample(&mut rng, len, k);
+                assert_eq!(s.len(), k);
+                let set: HashSet<usize> = s.iter().copied().collect();
+                assert_eq!(set.len(), k, "duplicates at len={len} k={k}");
+                assert!(s.iter().all(|&i| i < len));
+            }
+        }
+    }
+}

@@ -36,7 +36,10 @@ fn main() {
         traces.push(rex);
         traces.push(ms);
     }
-    println!("Table II (bench scale):\n{}", speedup_table_markdown(&rows, "s"));
+    println!(
+        "Table II (bench scale):\n{}",
+        speedup_table_markdown(&rows, "s")
+    );
     let refs: Vec<&_> = traces.iter().collect();
     output::save_traces("bench_fig1_fig2", &refs);
 
@@ -50,7 +53,10 @@ fn main() {
             rows.push(row);
         }
     }
-    println!("Table III (bench scale):\n{}", speedup_table_markdown(&rows, "s"));
+    println!(
+        "Table III (bench scale):\n{}",
+        speedup_table_markdown(&rows, "s")
+    );
 
     // Fig 5: DNN arms.
     let scale = DnnScale {
@@ -74,16 +80,37 @@ fn main() {
                 let label = format!(
                     "{}, {} ({tag})",
                     algorithm.label(),
-                    if sharing == SharingMode::RawData { "REX" } else { "MS" }
+                    if sharing == SharingMode::RawData {
+                        "REX"
+                    } else {
+                        "MS"
+                    }
                 );
                 eprintln!("[figs 6-7] {label}");
-                let native = run_arm(&scale, Arm { algorithm, sharing, sgx: false });
-                let sgx = run_arm(&scale, Arm { algorithm, sharing, sgx: true });
+                let native = run_arm(
+                    &scale,
+                    Arm {
+                        algorithm,
+                        sharing,
+                        sgx: false,
+                    },
+                );
+                let sgx = run_arm(
+                    &scale,
+                    Arm {
+                        algorithm,
+                        sharing,
+                        sgx: true,
+                    },
+                );
                 rows.push(overhead_row(&label, &sgx, &native));
             }
         }
     }
-    println!("Table IV (bench scale):\n{}", overhead_table_markdown(&rows));
+    println!(
+        "Table IV (bench scale):\n{}",
+        overhead_table_markdown(&rows)
+    );
 
     println!("== figure regeneration done ==");
 }

@@ -1,5 +1,6 @@
 //! Criterion microbenches over the substrates: crypto, attestation,
-//! model training/merging, codecs and topology generation.
+//! model training/merging, codecs, topology generation, and the
+//! `Transport` backends.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::rngs::StdRng;
@@ -8,7 +9,7 @@ use rex_core::config::{GossipAlgorithm, ProtocolConfig, SharingMode};
 use rex_crypto::{ChaCha20Poly1305, Sha256, StaticSecret};
 use rex_data::{Rating, SyntheticConfig};
 use rex_ml::{MfHyperParams, MfModel, Model};
-use rex_net::codec::{encode_plain, decode_plain};
+use rex_net::codec::{decode_plain, encode_plain};
 use rex_net::message::Plain;
 use rex_tee::attestation::Attestor;
 use rex_tee::measurement::REX_ENCLAVE_V1;
@@ -125,7 +126,11 @@ fn bench_mf(c: &mut Criterion) {
 
 fn bench_codec(c: &mut Criterion) {
     let ratings: Vec<Rating> = (0..300)
-        .map(|i| Rating { user: i, item: i * 7, value: 3.5 })
+        .map(|i| Rating {
+            user: i,
+            item: i * 7,
+            value: 3.5,
+        })
         .collect();
     let plain = Plain::RawData { ratings, degree: 6 };
     c.bench_function("codec/encode_300_triplets", |b| {
@@ -135,6 +140,42 @@ fn bench_codec(c: &mut Criterion) {
     c.bench_function("codec/decode_300_triplets", |b| {
         b.iter(|| decode_plain(&bytes).unwrap());
     });
+}
+
+fn bench_transport(c: &mut Criterion) {
+    // Encode + send + recv roundtrip through each Transport backend, per
+    // payload size — the baseline for future backend work (tokio/TCP,
+    // batching, zero-copy).
+    use rex_net::channel::ChannelTransport;
+    use rex_net::mem::MemNetwork;
+    use rex_net::transport::Transport;
+
+    let mut group = c.benchmark_group("transport_roundtrip");
+    for size in [256usize, 4_096, 65_536] {
+        let plain = Plain::Model {
+            bytes: vec![0xA5u8; size],
+            degree: 8,
+        };
+        let encoded_len = encode_plain(&plain).len() as u64;
+        group.throughput(Throughput::Bytes(encoded_len));
+        group.bench_with_input(BenchmarkId::new("mem", size), &plain, |b, p| {
+            let mut net = MemNetwork::new(2);
+            b.iter(|| {
+                let bytes = encode_plain(p);
+                Transport::send(&mut net, 0, 1, bytes);
+                Transport::recv(&mut net, 1)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("channel", size), &plain, |b, p| {
+            let mut net = ChannelTransport::new(2);
+            b.iter(|| {
+                let bytes = encode_plain(p);
+                Transport::send(&mut net, 0, 1, bytes);
+                Transport::recv(&mut net, 1)
+            });
+        });
+    }
+    group.finish();
 }
 
 fn bench_topology(c: &mut Criterion) {
@@ -192,6 +233,7 @@ criterion_group!(
     bench_attestation,
     bench_mf,
     bench_codec,
+    bench_transport,
     bench_topology,
     bench_protocol_epoch
 );

@@ -29,11 +29,11 @@ impl BenchArgs {
     /// Parses `std::env::args()`; exits with usage on unknown flags.
     #[must_use]
     pub fn parse() -> Self {
-        Self::from_iter(std::env::args().skip(1))
+        Self::from_args(std::env::args().skip(1))
     }
 
     /// Parses from an iterator (testable).
-    pub fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Self {
+    pub fn from_args<I: IntoIterator<Item = String>>(iter: I) -> Self {
         let mut out = BenchArgs::default();
         let mut iter = iter.into_iter();
         while let Some(arg) = iter.next() {
@@ -80,7 +80,7 @@ mod tests {
     use super::*;
 
     fn parse(args: &[&str]) -> BenchArgs {
-        BenchArgs::from_iter(args.iter().map(|s| s.to_string()))
+        BenchArgs::from_args(args.iter().map(|s| s.to_string()))
     }
 
     #[test]

@@ -22,11 +22,19 @@ fn main() {
     // Native reference times.
     let native_rex = run_arm(
         &base,
-        Arm { algorithm: GossipAlgorithm::DPsgd, sharing: SharingMode::RawData, sgx: false },
+        Arm {
+            algorithm: GossipAlgorithm::DPsgd,
+            sharing: SharingMode::RawData,
+            sgx: false,
+        },
     );
     let native_ms = run_arm(
         &base,
-        Arm { algorithm: GossipAlgorithm::DPsgd, sharing: SharingMode::Model, sgx: false },
+        Arm {
+            algorithm: GossipAlgorithm::DPsgd,
+            sharing: SharingMode::Model,
+            sgx: false,
+        },
     );
     let t_rex = mean_epoch_secs(&native_rex);
     let t_ms = mean_epoch_secs(&native_ms);
@@ -41,11 +49,19 @@ fn main() {
         scale.epc_limit_bytes = epc;
         let sgx_rex = run_arm(
             &scale,
-            Arm { algorithm: GossipAlgorithm::DPsgd, sharing: SharingMode::RawData, sgx: true },
+            Arm {
+                algorithm: GossipAlgorithm::DPsgd,
+                sharing: SharingMode::RawData,
+                sgx: true,
+            },
         );
         let sgx_ms = run_arm(
             &scale,
-            Arm { algorithm: GossipAlgorithm::DPsgd, sharing: SharingMode::Model, sgx: true },
+            Arm {
+                algorithm: GossipAlgorithm::DPsgd,
+                sharing: SharingMode::Model,
+                sgx: true,
+            },
         );
         let o_rex = (mean_epoch_secs(&sgx_rex) / t_rex - 1.0) * 100.0;
         let o_ms = (mean_epoch_secs(&sgx_ms) / t_ms - 1.0) * 100.0;

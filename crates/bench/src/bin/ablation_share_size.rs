@@ -46,7 +46,10 @@ fn main() {
         traces.push(trace);
     }
 
-    println!("{:<16} {:>10} {:>12} {:>14}", "points/epoch", "final RMSE", "sim time", "bytes/node");
+    println!(
+        "{:<16} {:>10} {:>12} {:>14}",
+        "points/epoch", "final RMSE", "sim time", "bytes/node"
+    );
     for t in &traces {
         println!(
             "{:<16} {:>10.4} {:>10.3}s {:>14}",

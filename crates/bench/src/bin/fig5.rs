@@ -30,7 +30,11 @@ fn main() {
     println!("(b) Data volume per epoch (mean per node):");
     for t in &traces {
         let per_epoch = t.total_bytes_per_node() / t.records.len() as f64;
-        println!("  {:<22} {:>12}/epoch", t.name, output::human_bytes(per_epoch));
+        println!(
+            "  {:<22} {:>12}/epoch",
+            t.name,
+            output::human_bytes(per_epoch)
+        );
     }
 
     println!("\n(c) Test error evolution:");

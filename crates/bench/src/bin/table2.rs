@@ -25,13 +25,18 @@ fn main() {
     let mut panels = Vec::new();
     for (label, algorithm, topology) in FOUR_PANELS {
         eprintln!("[table2] panel {label}");
-        panels.push((label, run_panel(&scale, label, algorithm, topology, ExecutionMode::Native)));
+        panels.push((
+            label,
+            run_panel(&scale, label, algorithm, topology, ExecutionMode::Native),
+        ));
     }
     for idx in order {
         let (label, (rex, ms)) = &panels[idx];
         match speedup_row(label, rex, ms) {
             Some(row) => rows.push(row),
-            None => eprintln!("[table2] {label}: REX did not reach the MS target within the epoch budget"),
+            None => eprintln!(
+                "[table2] {label}: REX did not reach the MS target within the epoch budget"
+            ),
         }
     }
     let md = speedup_table_markdown(&rows, "s");

@@ -23,7 +23,10 @@ fn main() {
     let mut panels = Vec::new();
     for (label, algorithm, topology) in FOUR_PANELS {
         eprintln!("[table3] panel {label}");
-        panels.push((label, run_panel(&scale, label, algorithm, topology, ExecutionMode::Native)));
+        panels.push((
+            label,
+            run_panel(&scale, label, algorithm, topology, ExecutionMode::Native),
+        ));
     }
     let mut rows = Vec::new();
     for idx in [3usize, 1, 2, 0] {

@@ -20,8 +20,22 @@ fn run_scale(scale: &SgxScale, tag: &str) -> Vec<(String, f64, f64)> {
                 }
             );
             eprintln!("[table4] {label}");
-            let native = run_arm(scale, Arm { algorithm, sharing, sgx: false });
-            let sgx = run_arm(scale, Arm { algorithm, sharing, sgx: true });
+            let native = run_arm(
+                scale,
+                Arm {
+                    algorithm,
+                    sharing,
+                    sgx: false,
+                },
+            );
+            let sgx = run_arm(
+                scale,
+                Arm {
+                    algorithm,
+                    sharing,
+                    sgx: true,
+                },
+            );
             rows.push(overhead_row(&label, &sgx, &native));
         }
     }
@@ -49,7 +63,5 @@ fn main() {
     let md = overhead_table_markdown(&rows);
     println!("{md}");
     let _ = output::save("table4.md", &md).map(|p| println!("[saved] {}", p.display()));
-    println!(
-        "(paper, 610u: REX 5-14 %, MS 51-70 %; 15000u: REX 8-17 %, MS 91-135 %)"
-    );
+    println!("(paper, 610u: REX 5-14 %, MS 51-70 %; 15000u: REX 8-17 %, MS 91-135 %)");
 }

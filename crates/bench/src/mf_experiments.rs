@@ -75,7 +75,10 @@ impl MfScale {
         MfScale {
             multi_node: Some(args.nodes.unwrap_or(24)),
             epochs: args.epochs.unwrap_or(80),
-            ..Self::one_user_quick(&BenchArgs { nodes: None, ..args.clone() })
+            ..Self::one_user_quick(&BenchArgs {
+                nodes: None,
+                ..args.clone()
+            })
         }
     }
 
@@ -117,8 +120,16 @@ impl MfScale {
 pub const FOUR_PANELS: [(&str, GossipAlgorithm, TopologySpec); 4] = [
     ("RMW, SW", GossipAlgorithm::Rmw, TopologySpec::SmallWorld),
     ("RMW, ER", GossipAlgorithm::Rmw, TopologySpec::ErdosRenyi),
-    ("D-PSGD, SW", GossipAlgorithm::DPsgd, TopologySpec::SmallWorld),
-    ("D-PSGD, ER", GossipAlgorithm::DPsgd, TopologySpec::ErdosRenyi),
+    (
+        "D-PSGD, SW",
+        GossipAlgorithm::DPsgd,
+        TopologySpec::SmallWorld,
+    ),
+    (
+        "D-PSGD, ER",
+        GossipAlgorithm::DPsgd,
+        TopologySpec::ErdosRenyi,
+    ),
 ];
 
 /// Builds the node fleet for one (sharing, algorithm, topology) arm.
@@ -244,7 +255,11 @@ mod tests {
 
     #[test]
     fn quick_scales_match_args() {
-        let args = BenchArgs { epochs: Some(33), nodes: Some(64), ..Default::default() };
+        let args = BenchArgs {
+            epochs: Some(33),
+            nodes: Some(64),
+            ..Default::default()
+        };
         let s = MfScale::one_user_quick(&args);
         assert_eq!(s.epochs, 33);
         assert_eq!(s.num_users, 64);
@@ -252,6 +267,9 @@ mod tests {
         let m = MfScale::multi_user_quick(&args);
         assert_eq!(m.node_count(), 64);
         let f = MfScale::one_user_full(&BenchArgs::default());
-        assert_eq!((f.num_users, f.num_items, f.num_ratings), (610, 9_000, 100_000));
+        assert_eq!(
+            (f.num_users, f.num_items, f.num_ratings),
+            (610, 9_000, 100_000)
+        );
     }
 }

@@ -230,11 +230,19 @@ mod tests {
         };
         let native = run_arm(
             &scale,
-            Arm { algorithm: GossipAlgorithm::DPsgd, sharing: SharingMode::RawData, sgx: false },
+            Arm {
+                algorithm: GossipAlgorithm::DPsgd,
+                sharing: SharingMode::RawData,
+                sgx: false,
+            },
         );
         let sgx = run_arm(
             &scale,
-            Arm { algorithm: GossipAlgorithm::DPsgd, sharing: SharingMode::RawData, sgx: true },
+            Arm {
+                algorithm: GossipAlgorithm::DPsgd,
+                sharing: SharingMode::RawData,
+                sgx: true,
+            },
         );
         assert_eq!(native.trace.records.len(), 4);
         assert!(sgx.setup_ns > 0);

@@ -17,7 +17,9 @@ pub struct NodeSeeds {
 
 impl Default for NodeSeeds {
     fn default() -> Self {
-        NodeSeeds { model_init: 0xC0FFEE }
+        NodeSeeds {
+            model_init: 0xC0FFEE,
+        }
     }
 }
 
@@ -50,8 +52,7 @@ pub fn build_mf_nodes(
     (0..partition.num_nodes())
         .map(|id| {
             let train = partition.train[id].clone();
-            let mut model =
-                MfModel::new(num_users, num_items, hp, 3.5, seeds.model_init);
+            let mut model = MfModel::new(num_users, num_items, hp, 3.5, seeds.model_init);
             model.set_global_mean(local_mean(&train));
             Node::new(
                 id,

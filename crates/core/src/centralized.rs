@@ -1,18 +1,27 @@
-//! Centralized baseline (the paper's dashed reference line in Figs 1, 2, 4):
-//! one model trained on the full dataset, no network.
+//! Centralized baseline (the paper's dashed reference line in Figs 1, 2,
+//! 4): one model trained on the full dataset, no network.
+//!
+//! Since the engine refactor this is the engine's degenerate deployment: a
+//! single node with no neighbours on a one-slot [`MemNetwork`] fabric. The
+//! node's merge and share stages are no-ops (nothing arrives, nobody to
+//! send to), leaving exactly the paper's baseline loop — `steps_per_epoch`
+//! SGD steps then an RMSE measurement per epoch, on the simulated
+//! (measured-compute) time axis.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use crate::config::{GossipAlgorithm, ProtocolConfig, SharingMode};
+use crate::engine::{Driver, Engine, EngineConfig, TimeAxis};
+use crate::node::Node;
 use rex_data::Rating;
-use rex_ml::metrics::rmse;
 use rex_ml::Model;
-use rex_sim::clock::VirtualClock;
-use rex_sim::stage::{Stage, StageTimes};
-use rex_sim::stopwatch::Stopwatch;
-use rex_sim::trace::{EpochRecord, ExperimentTrace};
+use rex_net::link::LinkModel;
+use rex_net::mem::MemNetwork;
+use rex_sim::trace::ExperimentTrace;
 
 /// Runs the centralized baseline for `epochs` epochs of `steps_per_epoch`
 /// training steps and returns its trace (time axis = measured compute).
+///
+/// `model` is trained in place, exactly as if the caller had run the SGD
+/// loop directly.
 pub fn run_centralized<M: Model>(
     name: &str,
     model: &mut M,
@@ -22,30 +31,41 @@ pub fn run_centralized<M: Model>(
     epochs: usize,
     seed: u64,
 ) -> ExperimentTrace {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut clock = VirtualClock::new();
-    let mut trace = ExperimentTrace::new(name);
-    for epoch in 0..epochs {
-        let mut sw = Stopwatch::start();
-        model.train_steps(train, steps_per_epoch, &mut rng);
-        let train_ns = sw.lap();
-        let err = rmse(model, test).unwrap_or(f64::NAN);
-        let test_ns = sw.lap();
-        clock.advance(train_ns + test_ns);
-        let mut stage_times = StageTimes::new();
-        stage_times.add(Stage::Train, train_ns);
-        stage_times.add(Stage::Test, test_ns);
-        trace.push(EpochRecord {
-            epoch,
-            time_ns: clock.now_ns(),
-            rmse: err,
-            bytes_per_node: 0.0,
-            stage_times,
-            ram_bytes: model.memory_bytes() as f64,
-            sgx_overhead_ns: 0,
-        });
+    let node = Node::new(
+        0,
+        Vec::new(), // no neighbours: share/merge are no-ops
+        model.clone(),
+        train.to_vec(),
+        test.to_vec(),
+        ProtocolConfig {
+            sharing: SharingMode::RawData,
+            algorithm: GossipAlgorithm::DPsgd,
+            points_per_epoch: 0,
+            steps_per_epoch,
+            seed,
+        },
+    );
+    let mut nodes = vec![node];
+    let mut result = Engine::<M, MemNetwork>::new(
+        MemNetwork::new(1),
+        EngineConfig {
+            epochs,
+            execution: crate::config::ExecutionMode::Native,
+            time: TimeAxis::Simulated(LinkModel::infinite()),
+            driver: Driver::Lockstep { parallel: false },
+            processes_per_platform: 1,
+            seed,
+        },
+    )
+    .run(name, &mut nodes);
+    *model = nodes.pop().expect("one node").into_model();
+    // The baseline's RAM column means "the model" (the node-level figure
+    // would also count the whole training set living in the single node's
+    // store, which no decentralized arm pays as one block).
+    for record in &mut result.trace.records {
+        record.ram_bytes = model.memory_bytes() as f64;
     }
-    trace
+    result.trace
 }
 
 #[cfg(test)]
@@ -80,5 +100,26 @@ mod tests {
         let last = trace.final_rmse().unwrap();
         assert!(last < first - 0.05, "{first} -> {last}");
         assert_eq!(trace.total_bytes_per_node(), 0.0);
+    }
+
+    #[test]
+    fn caller_model_is_trained_in_place() {
+        let ds = SyntheticConfig {
+            num_users: 10,
+            num_items: 40,
+            num_ratings: 300,
+            seed: 4,
+            ..SyntheticConfig::default()
+        }
+        .generate();
+        let split = TrainTestSplit::standard(&ds, 0);
+        let mut model = MfModel::new(10, 40, MfHyperParams::default(), 3.5, 0);
+        let untrained = model.clone();
+        run_centralized("c", &mut model, &split.train, &split.test, 200, 3, 1);
+        assert_ne!(
+            model.to_bytes(),
+            untrained.to_bytes(),
+            "model not written back"
+        );
     }
 }

@@ -1,0 +1,426 @@
+//! The generic REX protocol engine.
+//!
+//! One engine owns the pipeline the paper runs in every deployment
+//! (Algorithm 2): TEE provisioning + pairwise attestation over the
+//! topology edges, the per-epoch merge→train→share→test loop, and
+//! [`ExperimentTrace`] aggregation. It is generic over
+//! [`Transport`], so the same code drives:
+//!
+//! * the **discrete-event simulator** — [`MemNetwork`](rex_net::MemNetwork)
+//!   fabric, [`Driver::Lockstep`], [`TimeAxis::Simulated`];
+//! * the **real-thread deployment** —
+//!   [`ChannelTransport`](rex_net::ChannelTransport),
+//!   [`Driver::ThreadPerNode`], [`TimeAxis::Wall`];
+//! * the **centralized baseline** — a one-node fabric with no neighbours
+//!   (see [`crate::centralized`]).
+//!
+//! The legacy entry points [`crate::runner::run_simulation`],
+//! [`crate::threaded::run_threaded`] and
+//! [`crate::centralized::run_centralized`] are thin configuration shims
+//! over [`Engine::run`]; new backends (e.g. a tokio/TCP transport between
+//! real enclave hosts) only implement the `rex-net` transport traits.
+//!
+//! # Determinism
+//! Inboxes are handed to nodes in canonical order (ascending sender id,
+//! per-sender FIFO — see [`rex_net::transport::canonicalize`]) and epoch
+//! results are folded in node order, so a fixed seed yields bit-identical
+//! learning trajectories and byte counts across *all* drivers and
+//! backends. `tests/cross_backend.rs` in the workspace root holds this as
+//! the refactor's correctness oracle.
+
+use crate::config::ExecutionMode;
+use crate::node::{EpochReport, Node};
+use crate::setup::{establish_tee, SetupReport};
+use rex_ml::Model;
+use rex_net::link::LinkModel;
+use rex_net::mem::Envelope;
+use rex_net::stats::TrafficStats;
+use rex_net::transport::{Clock, Endpoint, Transport, WallClock};
+use rex_sim::clock::VirtualClock;
+use rex_sim::stage::StageTimes;
+use rex_sim::trace::{EpochRecord, ExperimentTrace};
+use std::marker::PhantomData;
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+/// Which time axis the experiment trace records.
+#[derive(Debug, Clone)]
+pub enum TimeAxis {
+    /// Simulated elapsed time: measured compute + modelled SGX charges +
+    /// link-model transfer time, advanced by the slowest node per epoch
+    /// (synchronized rounds). The x-axis of Figs 1–4.
+    Simulated(LinkModel),
+    /// Real wall-clock time plus the modelled per-epoch SGX charges (which
+    /// capture hardware effects the host CPU does not exhibit). The x-axis
+    /// of Figs 6–7.
+    Wall,
+}
+
+/// How node epochs are scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Driver {
+    /// Single-owner rounds over the fabric view: drain every inbox, run
+    /// every node (optionally on a scoped thread pool), apply sends in
+    /// node order. Works with any [`Transport`].
+    Lockstep {
+        /// Run each epoch's nodes on a scoped thread pool (recommended
+        /// above ~50 nodes; per-node results are identical either way).
+        parallel: bool,
+    },
+    /// One OS thread per node over split endpoints, synchronized by a
+    /// barrier per epoch — the paper's deployment shape. Requires a
+    /// transport whose [`Transport::into_endpoints`] returns `Some`.
+    ThreadPerNode,
+}
+
+/// Full engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Number of epochs to run (epoch 0 trains on initial local data).
+    pub epochs: usize,
+    /// Native or SGX execution.
+    pub execution: ExecutionMode,
+    /// Time axis recorded in the trace.
+    pub time: TimeAxis,
+    /// Epoch scheduling strategy.
+    pub driver: Driver,
+    /// REX processes sharing one SGX platform (the paper's testbed packs
+    /// 2 per server; the simulator provisions 1 per node).
+    pub processes_per_platform: usize,
+    /// Seed for infrastructure randomness (attestation keys).
+    pub seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            epochs: 100,
+            execution: ExecutionMode::Native,
+            time: TimeAxis::Simulated(LinkModel::default()),
+            driver: Driver::Lockstep { parallel: true },
+            processes_per_platform: 1,
+            seed: 0x1234,
+        }
+    }
+}
+
+/// Output of an engine run — the shape every deployment reports.
+pub struct EngineResult {
+    /// Per-epoch aggregated trace.
+    pub trace: ExperimentTrace,
+    /// Time spent on TEE provisioning + attestation before epoch 0, on the
+    /// configured axis, ns (0 in native mode).
+    pub setup_ns: u64,
+    /// Final per-node traffic counters (attestation + protocol traffic).
+    pub final_stats: Vec<TrafficStats>,
+}
+
+/// What one node's epoch hands back to its driver: encoded outgoing
+/// messages as `(destination, bytes)` pairs, plus the report.
+type EpochOutput = (Vec<(usize, Vec<u8>)>, EpochReport);
+
+/// What one node's thread hands back to the engine: the (trained) node,
+/// its per-epoch `(wall_ns, report)` pairs, and its traffic counters.
+type NodeRun<M> = (Node<M>, Vec<(u64, EpochReport)>, TrafficStats);
+
+/// The transport-generic protocol engine. See the module docs.
+pub struct Engine<M: Model, T: Transport> {
+    transport: T,
+    cfg: EngineConfig,
+    _model: PhantomData<fn() -> M>,
+}
+
+impl<M: Model, T: Transport> Engine<M, T> {
+    /// Builds an engine over `transport`.
+    #[must_use]
+    pub fn new(transport: T, cfg: EngineConfig) -> Self {
+        Engine {
+            transport,
+            cfg,
+            _model: PhantomData,
+        }
+    }
+
+    /// Runs the full experiment; `name` becomes the trace label.
+    ///
+    /// Nodes are mutated in place (trained models, grown stores, installed
+    /// enclaves/sessions remain inspectable afterwards, whichever driver
+    /// ran them).
+    ///
+    /// # Panics
+    /// If `nodes` is empty, its length disagrees with the transport,
+    /// [`Driver::ThreadPerNode`] is requested on a transport that cannot
+    /// split into endpoints, or [`Driver::ThreadPerNode`] is combined with
+    /// [`TimeAxis::Simulated`] (thread-per-node epochs are timestamped
+    /// with real elapsed time, so a simulated axis cannot be honoured).
+    pub fn run(mut self, name: &str, nodes: &mut Vec<Node<M>>) -> EngineResult {
+        assert!(!nodes.is_empty(), "engine needs at least one node");
+        assert_eq!(
+            self.transport.num_nodes(),
+            nodes.len(),
+            "transport size disagrees with fleet size"
+        );
+        assert!(
+            !matches!(
+                (&self.cfg.driver, &self.cfg.time),
+                (Driver::ThreadPerNode, TimeAxis::Simulated(_))
+            ),
+            "Driver::ThreadPerNode records wall-clock time; use TimeAxis::Wall"
+        );
+
+        let setup = match self.cfg.execution {
+            ExecutionMode::Native => SetupReport::default(),
+            ExecutionMode::Sgx(cost) => establish_tee(
+                nodes,
+                &mut self.transport,
+                cost,
+                self.cfg.processes_per_platform,
+                self.cfg.seed,
+            ),
+        };
+        let setup_ns = match &self.cfg.time {
+            TimeAxis::Simulated(link) => setup.simulated_ns(nodes.len(), link),
+            TimeAxis::Wall => setup.wall_ns(),
+        };
+
+        match self.cfg.driver {
+            Driver::Lockstep { parallel } => self.run_lockstep(name, nodes, setup_ns, parallel),
+            Driver::ThreadPerNode => self.run_thread_per_node(name, nodes, setup_ns),
+        }
+    }
+
+    /// Lockstep rounds over the fabric view.
+    fn run_lockstep(
+        mut self,
+        name: &str,
+        nodes: &mut [Node<M>],
+        setup_ns: u64,
+        parallel: bool,
+    ) -> EngineResult {
+        let n = nodes.len();
+        let mut clock: Box<dyn Clock> = match &self.cfg.time {
+            TimeAxis::Simulated(_) => Box::new(VirtualClock::new()),
+            TimeAxis::Wall => Box::new(WallClock::start()),
+        };
+        clock.advance(setup_ns);
+        let mut trace = ExperimentTrace::new(name);
+
+        for epoch in 0..self.cfg.epochs {
+            // Deliver last epoch's messages, canonically ordered.
+            let inboxes: Vec<Vec<Envelope>> = (0..n).map(|id| self.transport.recv(id)).collect();
+
+            let results = run_epoch(nodes, inboxes, parallel);
+
+            // Apply sends in deterministic node order, then make them
+            // visible for the next round.
+            let mut reports = Vec::with_capacity(n);
+            for (from, (outgoing, report)) in results.into_iter().enumerate() {
+                for (dest, bytes) in outgoing {
+                    self.transport.send(from, dest, bytes);
+                }
+                reports.push(report);
+            }
+            self.transport.flush();
+
+            match &self.cfg.time {
+                TimeAxis::Simulated(link) => {
+                    // Epoch duration: slowest node's compute + its link
+                    // time (full-duplex: the max of its up/down volumes).
+                    let mut epoch_ns = 0u64;
+                    for report in &reports {
+                        let volume = report.bytes_out.max(report.bytes_in);
+                        let net_ns = if volume > 0 {
+                            link.transfer_ns(volume)
+                        } else {
+                            0
+                        };
+                        epoch_ns = epoch_ns.max(report.stage_times.total() + net_ns);
+                    }
+                    clock.advance(epoch_ns);
+                }
+                TimeAxis::Wall => {
+                    // Wall time elapses on its own; advance the clock by
+                    // the modelled hardware charge of the slowest node
+                    // (WallClock accumulates it on top of elapsed time).
+                    let max_sgx = reports.iter().map(|r| r.sgx_overhead_ns).max().unwrap_or(0);
+                    clock.advance(max_sgx);
+                }
+            }
+
+            trace.push(aggregate_epoch(epoch, clock.now_ns(), &reports));
+        }
+
+        EngineResult {
+            trace,
+            setup_ns,
+            final_stats: self.transport.all_stats(),
+        }
+    }
+
+    /// One OS thread per node over split endpoints.
+    fn run_thread_per_node(
+        self,
+        name: &str,
+        nodes: &mut Vec<Node<M>>,
+        setup_ns: u64,
+    ) -> EngineResult {
+        let n = nodes.len();
+        let epochs = self.cfg.epochs;
+        let endpoints = self
+            .transport
+            .into_endpoints()
+            .expect("transport cannot split into per-node endpoints; use Driver::Lockstep");
+        assert_eq!(endpoints.len(), n, "endpoint count disagrees with fleet");
+
+        let barrier = Arc::new(Barrier::new(n));
+        let start = Instant::now();
+        let fleet = std::mem::take(nodes);
+
+        let mut handles = Vec::with_capacity(n);
+        for (mut node, mut endpoint) in fleet.into_iter().zip(endpoints) {
+            let barrier = Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                let mut reports: Vec<(u64, EpochReport)> = Vec::with_capacity(epochs);
+                for _ in 0..epochs {
+                    let inbox = endpoint.recv();
+                    // Everyone drains before anyone sends: without this a
+                    // fast peer's epoch-e message could land in a slow
+                    // node's epoch-e inbox, making delivery epochs racy
+                    // (and runs irreproducible across backends).
+                    barrier.wait();
+                    let (outgoing, report) = node.epoch(inbox);
+                    for (dest, bytes) in outgoing {
+                        endpoint.send(dest, bytes);
+                    }
+                    // All sends of this epoch complete before anyone
+                    // drains the next epoch's inbox.
+                    barrier.wait();
+                    reports.push((start.elapsed().as_nanos() as u64, report));
+                }
+                (node, reports, endpoint.stats())
+            }));
+        }
+
+        // Threads were spawned in node order; join preserves it.
+        let joined: Vec<NodeRun<M>> = handles
+            .into_iter()
+            .map(|h| h.join().expect("node thread panicked"))
+            .collect();
+        let final_stats: Vec<TrafficStats> = joined.iter().map(|(_, _, s)| *s).collect();
+
+        let mut trace = ExperimentTrace::new(name);
+        let mut cumulative_sgx_ns = 0u64;
+        for epoch in 0..epochs {
+            let mut end_ns = 0u64;
+            let reports: Vec<EpochReport> = joined
+                .iter()
+                .map(|(_, per_epoch, _)| {
+                    let (t, report) = per_epoch[epoch];
+                    end_ns = end_ns.max(t);
+                    report
+                })
+                .collect();
+            cumulative_sgx_ns += reports.iter().map(|r| r.sgx_overhead_ns).max().unwrap_or(0);
+            trace.push(aggregate_epoch(
+                epoch,
+                setup_ns + end_ns + cumulative_sgx_ns,
+                &reports,
+            ));
+        }
+
+        // Hand the (trained) fleet back to the caller.
+        *nodes = joined.into_iter().map(|(node, _, _)| node).collect();
+
+        EngineResult {
+            trace,
+            setup_ns,
+            final_stats,
+        }
+    }
+}
+
+/// Runs every node's epoch once, sequentially or on a scoped thread pool.
+/// Results are in node order either way, so the two modes are
+/// bit-identical.
+fn run_epoch<M: Model>(
+    nodes: &mut [Node<M>],
+    inboxes: Vec<Vec<Envelope>>,
+    parallel: bool,
+) -> Vec<EpochOutput> {
+    let n = nodes.len();
+    if !parallel || n < 2 {
+        return nodes
+            .iter_mut()
+            .zip(inboxes)
+            .map(|(node, inbox)| node.epoch(inbox))
+            .collect();
+    }
+
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(n);
+    let chunk = n.div_ceil(threads);
+    let mut inbox_chunks: Vec<Vec<Vec<Envelope>>> = Vec::with_capacity(threads);
+    let mut it = inboxes.into_iter();
+    loop {
+        let next: Vec<Vec<Envelope>> = it.by_ref().take(chunk).collect();
+        if next.is_empty() {
+            break;
+        }
+        inbox_chunks.push(next);
+    }
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = nodes
+            .chunks_mut(chunk)
+            .zip(inbox_chunks)
+            .map(|(node_chunk, chunk_inboxes)| {
+                scope.spawn(move || {
+                    node_chunk
+                        .iter_mut()
+                        .zip(chunk_inboxes)
+                        .map(|(node, inbox)| node.epoch(inbox))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("epoch worker panicked"))
+            .collect()
+    })
+}
+
+/// Folds one epoch's per-node reports into the trace record (fleet means,
+/// in node order — the folds are order-stable so runs are reproducible).
+fn aggregate_epoch(epoch: usize, time_ns: u64, reports: &[EpochReport]) -> EpochRecord {
+    let n = reports.len().max(1);
+    let rmses: Vec<f64> = reports.iter().filter_map(|r| r.rmse).collect();
+    let mean_rmse = if rmses.is_empty() {
+        f64::NAN
+    } else {
+        rmses.iter().sum::<f64>() / rmses.len() as f64
+    };
+    let mean_bytes = reports
+        .iter()
+        .map(|r| (r.bytes_in + r.bytes_out) as f64)
+        .sum::<f64>()
+        / n as f64;
+    let mean_ram = reports.iter().map(|r| r.ram_bytes as f64).sum::<f64>() / n as f64;
+    let mean_stages = reports
+        .iter()
+        .fold(StageTimes::new(), |acc, r| acc.plus(&r.stage_times))
+        .mean_over(n as u64);
+    let mean_sgx = reports.iter().map(|r| r.sgx_overhead_ns).sum::<u64>() / n as u64;
+
+    EpochRecord {
+        epoch,
+        time_ns,
+        rmse: mean_rmse,
+        bytes_per_node: mean_bytes,
+        stage_times: mean_stages,
+        ram_bytes: mean_ram,
+        sgx_overhead_ns: mean_sgx,
+    }
+}

@@ -22,20 +22,35 @@
 //! travel AEAD-sealed, and the runtime charges transition/paging costs that
 //! surface in the experiment traces.
 //!
-//! Entry points: [`runner::run_simulation`] (discrete-event, any node
-//! count), [`threaded::run_threaded`] (real threads, the paper's 8-node
-//! deployment), [`centralized::run_centralized`] (the baseline curve).
+//! # Architecture: one engine, many backends
+//!
+//! All deployments run through a single transport-generic
+//! [`engine::Engine`]:
+//!
+//! * [`engine`] — the shared pipeline: TEE setup, the epoch loop
+//!   (lockstep or thread-per-node), and trace aggregation, generic over
+//!   `rex_net::Transport`;
+//! * [`setup`] — the one TEE provisioning + pairwise-attestation path;
+//! * [`runner::run_simulation`] — shim: `MemNetwork` fabric, lockstep
+//!   rounds, simulated time (discrete-event simulator, any node count);
+//! * [`threaded::run_threaded`] — shim: `ChannelTransport` fabric, one OS
+//!   thread per node, wall-clock time (the paper's 8-node deployment);
+//! * [`centralized::run_centralized`] — shim: the engine's degenerate
+//!   single-node deployment (the baseline curve).
 
 pub mod builder;
 pub mod centralized;
 pub mod config;
+pub mod engine;
 pub mod node;
 pub mod runner;
+pub mod setup;
 pub mod store;
 pub mod threaded;
 
 pub use builder::{build_dnn_nodes, build_mf_nodes, NodeSeeds};
 pub use config::{ExecutionMode, GossipAlgorithm, ProtocolConfig, SharingMode};
+pub use engine::{Driver, Engine, EngineConfig, EngineResult, TimeAxis};
 pub use node::Node;
 pub use runner::{run_simulation, SimulationConfig};
 pub use store::RawDataStore;

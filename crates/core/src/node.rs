@@ -10,6 +10,7 @@ use crate::store::RawDataStore;
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
+use rex_data::Rating;
 use rex_ml::metrics::rmse;
 use rex_ml::Model;
 use rex_net::codec::{decode_payload, decode_plain, encode_payload, encode_plain};
@@ -17,7 +18,6 @@ use rex_net::mem::Envelope;
 use rex_net::message::{Payload, Plain};
 use rex_sim::stage::{Stage, StageTimes};
 use rex_sim::stopwatch::Stopwatch;
-use rex_data::Rating;
 use rex_tee::epc::Region;
 use rex_tee::{Enclave, SecureSession};
 use rex_topology::metropolis_hastings_weight;
@@ -107,6 +107,12 @@ impl<M: Model> Node<M> {
     #[must_use]
     pub fn model(&self) -> &M {
         &self.model
+    }
+
+    /// Consumes the node, returning its trained model.
+    #[must_use]
+    pub fn into_model(self) -> M {
+        self.model
     }
 
     /// The local store (read access).
@@ -242,30 +248,34 @@ impl<M: Model> Node<M> {
                     let own = self.neighbors.len();
                     let contributions: Vec<(f64, &M)> = alien_models
                         .iter()
-                        .map(|(deg, m)| {
-                            (metropolis_hastings_weight(own, *deg as usize), m)
-                        })
+                        .map(|(deg, m)| (metropolis_hastings_weight(own, *deg as usize), m))
                         .collect();
-                    let self_weight =
-                        1.0 - contributions.iter().map(|(w, _)| *w).sum::<f64>();
+                    let self_weight = 1.0 - contributions.iter().map(|(w, _)| *w).sum::<f64>();
                     self.model.merge(&contributions, self_weight);
                 }
             }
         }
         let merge_compute = sw.lap();
         if let Some(tee) = self.tee.as_mut() {
-            tee.enclave.set_region(Region::MergeBuffers, merge_buffer_bytes);
+            tee.enclave
+                .set_region(Region::MergeBuffers, merge_buffer_bytes);
             charges_ns += tee.enclave.charge_compute(merge_compute);
             charges_ns += tee
                 .enclave
                 .charge_memory_access(self.model.memory_bytes() as u64 + merge_buffer_bytes);
         }
         drop(alien_models);
-        stage_times.add(Stage::Merge, merge_compute + self.take_charges(&mut charges_ns));
+        stage_times.add(
+            Stage::Merge,
+            merge_compute + self.take_charges(&mut charges_ns),
+        );
 
         // ---- train -----------------------------------------------------
-        self.model
-            .train_steps(self.store.ratings(), self.cfg.steps_per_epoch, &mut self.rng);
+        self.model.train_steps(
+            self.store.ratings(),
+            self.cfg.steps_per_epoch,
+            &mut self.rng,
+        );
         let train_compute = sw.lap();
         if let Some(tee) = self.tee.as_mut() {
             tee.enclave.set_region(Region::MergeBuffers, 0);
@@ -278,7 +288,10 @@ impl<M: Model> Node<M> {
                 .enclave
                 .charge_memory_access(self.model.memory_bytes() as u64);
         }
-        stage_times.add(Stage::Train, train_compute + self.take_charges(&mut charges_ns));
+        stage_times.add(
+            Stage::Train,
+            train_compute + self.take_charges(&mut charges_ns),
+        );
 
         // ---- share -----------------------------------------------------
         let recipients: Vec<usize> = match self.cfg.algorithm {
@@ -331,7 +344,10 @@ impl<M: Model> Node<M> {
             charges_ns += tee.enclave.charge_compute(share_compute);
             charges_ns += tee.enclave.charge_memory_access(bytes_out);
         }
-        stage_times.add(Stage::Share, share_compute + self.take_charges(&mut charges_ns));
+        stage_times.add(
+            Stage::Share,
+            share_compute + self.take_charges(&mut charges_ns),
+        );
 
         // ---- test ------------------------------------------------------
         let rmse_value = rmse(&self.model, &self.test_data);
@@ -339,7 +355,10 @@ impl<M: Model> Node<M> {
         if let Some(tee) = self.tee.as_mut() {
             charges_ns += tee.enclave.charge_compute(test_compute);
         }
-        stage_times.add(Stage::Test, test_compute + self.take_charges(&mut charges_ns));
+        stage_times.add(
+            Stage::Test,
+            test_compute + self.take_charges(&mut charges_ns),
+        );
 
         let ram_bytes = self.resident_bytes(bytes_in + bytes_out, merge_buffer_bytes);
         let sgx_overhead_ns = self
@@ -417,7 +436,11 @@ mod tests {
 
     #[test]
     fn epoch_zero_trains_and_shares_dpsgd() {
-        let mut n = mk_node(0, vec![1, 2], cfg(SharingMode::RawData, GossipAlgorithm::DPsgd));
+        let mut n = mk_node(
+            0,
+            vec![1, 2],
+            cfg(SharingMode::RawData, GossipAlgorithm::DPsgd),
+        );
         let (out, report) = n.epoch(Vec::new());
         // D-PSGD shares with all neighbours.
         assert_eq!(out.len(), 2);
@@ -431,7 +454,11 @@ mod tests {
 
     #[test]
     fn rmw_shares_with_one_neighbor() {
-        let mut n = mk_node(0, vec![1, 2, 3], cfg(SharingMode::RawData, GossipAlgorithm::Rmw));
+        let mut n = mk_node(
+            0,
+            vec![1, 2, 3],
+            cfg(SharingMode::RawData, GossipAlgorithm::Rmw),
+        );
         for _ in 0..10 {
             let (out, _) = n.epoch(Vec::new());
             assert_eq!(out.len(), 1);
@@ -441,7 +468,11 @@ mod tests {
 
     #[test]
     fn raw_data_messages_are_small_models_are_large() {
-        let mut ds_node = mk_node(0, vec![1], cfg(SharingMode::RawData, GossipAlgorithm::DPsgd));
+        let mut ds_node = mk_node(
+            0,
+            vec![1],
+            cfg(SharingMode::RawData, GossipAlgorithm::DPsgd),
+        );
         let mut ms_node = mk_node(0, vec![1], cfg(SharingMode::Model, GossipAlgorithm::DPsgd));
         let (ds_out, _) = ds_node.epoch(Vec::new());
         let (ms_out, _) = ms_node.epoch(Vec::new());
@@ -480,8 +511,8 @@ mod tests {
         let pred_before = b.model().predict(0, 0);
         let (_, _) = b.epoch(inbox);
         // Either predictions or rmse moved (merge + train happened).
-        let moved = (b.model().predict(0, 0) - pred_before).abs() > 1e-9
-            || b.local_rmse() != rmse_before;
+        let moved =
+            (b.model().predict(0, 0) - pred_before).abs() > 1e-9 || b.local_rmse() != rmse_before;
         assert!(moved);
     }
 
@@ -489,7 +520,10 @@ mod tests {
     fn garbage_messages_are_dropped() {
         let c = cfg(SharingMode::RawData, GossipAlgorithm::DPsgd);
         let mut b = mk_node(1, vec![0], c);
-        let inbox = vec![Envelope { from: 0, bytes: vec![0xFF, 1, 2, 3] }];
+        let inbox = vec![Envelope {
+            from: 0,
+            bytes: vec![0xFF, 1, 2, 3],
+        }];
         let (_, report) = b.epoch(inbox);
         assert_eq!(report.new_points, 0); // dropped, protocol continues
     }
@@ -505,7 +539,13 @@ mod tests {
         let (_, r1) = n.epoch(Vec::new());
         // Inject lots of data.
         let extra: Vec<Rating> = (0..15u32)
-            .flat_map(|u| (0..19u32).map(move |i| Rating { user: u % 4, item: i, value: 3.0 }))
+            .flat_map(|u| {
+                (0..19u32).map(move |i| Rating {
+                    user: u % 4,
+                    item: i,
+                    value: 3.0,
+                })
+            })
             .collect();
         let inbox = vec![Envelope {
             from: 0,

@@ -1,32 +1,25 @@
-//! The discrete-event simulation driver (the paper's "simulated scenarios",
-//! §IV-A: 610- and 50-node runs on a single machine).
+//! Discrete-event simulation entry point (the paper's "simulated
+//! scenarios", §IV-A: 610- and 50-node runs on a single machine).
 //!
-//! Per epoch every node runs Algorithm 2 once; sends are delivered before
-//! the next epoch. D-PSGD's barrier ("a message from all its neighbors")
-//! holds structurally: all neighbours send every epoch. RMW delivers
-//! whatever arrived (0..k models).
+//! Since the engine refactor this module is a thin configuration shim: it
+//! maps [`SimulationConfig`] onto [`Engine`] with a
+//! [`MemNetwork`] fabric, [`Driver::Lockstep`] scheduling and the
+//! [`TimeAxis::Simulated`] time axis. Per epoch every node runs
+//! Algorithm 2 once; sends are delivered before the next epoch. D-PSGD's
+//! barrier ("a message from all its neighbors") holds structurally: all
+//! neighbours send every epoch. RMW delivers whatever arrived (0..k
+//! models).
 //!
 //! The simulated time axis composes, per node and epoch,
 //! `measured compute + SGX charges + link-model transfer time`; the epoch
 //! advances the clock by the slowest node (synchronized rounds).
 
 use crate::config::ExecutionMode;
-use crate::node::{EpochReport, Node};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use rayon::prelude::*;
+use crate::engine::{Driver, Engine, EngineConfig, EngineResult, TimeAxis};
+use crate::node::Node;
 use rex_ml::Model;
-use rex_net::codec::encode_payload;
 use rex_net::link::LinkModel;
 use rex_net::mem::MemNetwork;
-use rex_net::message::Payload;
-use rex_net::stats::TrafficStats;
-use rex_sim::clock::VirtualClock;
-use rex_sim::stopwatch::Stopwatch;
-use rex_sim::trace::{EpochRecord, ExperimentTrace};
-use rex_tee::attestation::Attestor;
-use rex_tee::measurement::REX_ENCLAVE_V1;
-use rex_tee::{DcapService, SgxPlatform};
 
 /// Driver parameters.
 #[derive(Debug, Clone)]
@@ -37,8 +30,8 @@ pub struct SimulationConfig {
     pub link: LinkModel,
     /// Native or SGX execution.
     pub execution: ExecutionMode,
-    /// Run nodes of an epoch on the rayon pool (recommended above ~50
-    /// nodes; per-node results are identical either way).
+    /// Run nodes of an epoch on a scoped thread pool (recommended above
+    /// ~50 nodes; per-node results are identical either way).
     pub parallel: bool,
     /// Seed for infrastructure randomness (attestation keys).
     pub seed: u64,
@@ -56,196 +49,29 @@ impl Default for SimulationConfig {
     }
 }
 
-/// Output of a simulation run.
-pub struct SimulationResult {
-    /// Per-epoch aggregated trace.
-    pub trace: ExperimentTrace,
-    /// Simulated time spent on attestation/setup before epoch 0, ns.
-    pub setup_ns: u64,
-    /// Final per-node traffic counters.
-    pub final_stats: Vec<TrafficStats>,
-}
+/// Output of a simulation run (the engine's result shape).
+pub type SimulationResult = EngineResult;
 
-/// Establishes enclaves + pairwise attested sessions over the topology
-/// edges. Returns simulated setup time (ns). Attestation messages travel
-/// through `net` so their bytes are accounted.
-fn establish_tee<M: Model>(
-    nodes: &mut [Node<M>],
-    net: &mut MemNetwork,
-    cost: rex_tee::SgxCostModel,
-    link: &LinkModel,
-    seed: u64,
-) -> u64 {
-    let dcap = DcapService::new();
-    let mut rng = StdRng::seed_from_u64(seed);
-    // One platform per node in simulation (the threaded runner models the
-    // paper's 2-processes-per-machine packing).
-    let platforms: Vec<SgxPlatform> = (0..nodes.len())
-        .map(|i| SgxPlatform::provision(i as u64, &dcap, &mut rng))
-        .collect();
-    for (i, node) in nodes.iter_mut().enumerate() {
-        node.install_enclave(platforms[i].create_enclave(REX_ENCLAVE_V1, cost));
-    }
-
-    // Collect edges (initiator = lower id).
-    let mut edges = Vec::new();
-    for a in 0..nodes.len() {
-        for &b in nodes[a].neighbors() {
-            if a < b {
-                edges.push((a, b));
-            }
-        }
-    }
-
-    let sw = Stopwatch::start();
-    let mut handshake_bytes_max = 0usize;
-    for &(a, b) in &edges {
-        let att_a = Attestor::new(&mut rng);
-        let att_b = Attestor::new(&mut rng);
-
-        let quote_a = {
-            let enclave = nodes[a].enclave_mut().expect("enclave installed");
-            let report = enclave.create_report(att_a.user_data());
-            platforms[a].quote_report(&report).expect("own QE accepts")
-        };
-        let quote_b = {
-            let enclave = nodes[b].enclave_mut().expect("enclave installed");
-            let report = enclave.create_report(att_b.user_data());
-            platforms[b].quote_report(&report).expect("own QE accepts")
-        };
-
-        // A -> B : Hello (through the network for byte accounting).
-        let hello = Attestor::hello(quote_a.clone());
-        let hello_bytes = encode_payload(&Payload::Attestation(hello.clone()));
-        handshake_bytes_max = handshake_bytes_max.max(hello_bytes.len());
-        net.send(a, b, hello_bytes);
-
-        let (reply, session_b) = att_b
-            .respond(
-                nodes[b].enclave_mut().expect("enclave"),
-                &dcap,
-                quote_b,
-                &hello,
-            )
-            .expect("honest peers attest");
-        let reply_bytes = encode_payload(&Payload::Attestation(reply.clone()));
-        handshake_bytes_max = handshake_bytes_max.max(reply_bytes.len());
-        net.send(b, a, reply_bytes);
-
-        let session_a = att_a
-            .finish(nodes[a].enclave_mut().expect("enclave"), &dcap, &quote_a, &reply)
-            .expect("honest peers attest");
-
-        nodes[a].install_session(b, session_a);
-        nodes[b].install_session(a, session_b);
-    }
-    // Drain the attestation traffic so epoch 0 starts with clean inboxes.
-    for id in 0..nodes.len() {
-        let _ = net.drain_inbox(id);
-    }
-    // Simulated setup time: measured compute + 2 link trips per edge
-    // (handshakes across distinct pairs run concurrently; charge the
-    // slowest chain: compute is serial in this simulation loop, so scale it
-    // down by the parallelism the real system would have).
-    let compute_ns = sw.elapsed_ns() / (nodes.len().max(1) as u64);
-    compute_ns + 2 * link.transfer_ns(handshake_bytes_max as u64)
-}
-
-/// Runs a full experiment; `name` becomes the trace label.
+/// Runs a full simulated experiment; `name` becomes the trace label.
 pub fn run_simulation<M: Model>(
     name: &str,
     nodes: &mut Vec<Node<M>>,
     sim: &SimulationConfig,
 ) -> SimulationResult {
-    let n = nodes.len();
-    let mut net = MemNetwork::new(n);
-    let setup_ns = match sim.execution {
-        ExecutionMode::Native => 0,
-        ExecutionMode::Sgx(cost) => establish_tee(nodes, &mut net, cost, &sim.link, sim.seed),
-    };
-
-    let mut clock = VirtualClock::new();
-    clock.advance(setup_ns);
-    let mut trace = ExperimentTrace::new(name);
-
-    for epoch in 0..sim.epochs {
-        // Deliver last epoch's messages.
-        let inboxes: Vec<Vec<rex_net::mem::Envelope>> =
-            (0..n).map(|id| net.drain_inbox(id)).collect();
-
-        // Run all nodes for this epoch.
-        let results: Vec<(Vec<(usize, Vec<u8>)>, EpochReport)> = if sim.parallel {
-            nodes
-                .par_iter_mut()
-                .zip(inboxes.into_par_iter())
-                .map(|(node, inbox)| node.epoch(inbox))
-                .collect()
-        } else {
-            nodes
-                .iter_mut()
-                .zip(inboxes)
-                .map(|(node, inbox)| node.epoch(inbox))
-                .collect()
-        };
-
-        // Epoch duration: slowest node's compute + its link time
-        // (full-duplex: the max of its up/down volumes).
-        let mut epoch_ns = 0u64;
-        for (_, report) in &results {
-            let volume = report.bytes_out.max(report.bytes_in);
-            let net_ns = if volume > 0 {
-                sim.link.transfer_ns(volume)
-            } else {
-                0
-            };
-            epoch_ns = epoch_ns.max(report.stage_times.total() + net_ns);
-        }
-        clock.advance(epoch_ns);
-
-        // Apply sends in deterministic node order.
-        for (from, (outgoing, _)) in results.iter().enumerate() {
-            for (dest, bytes) in outgoing {
-                net.send(from, *dest, bytes.clone());
-            }
-        }
-
-        // Aggregate the epoch record.
-        let rmses: Vec<f64> = results.iter().filter_map(|(_, r)| r.rmse).collect();
-        let mean_rmse = if rmses.is_empty() {
-            f64::NAN
-        } else {
-            rmses.iter().sum::<f64>() / rmses.len() as f64
-        };
-        let mean_bytes = results
-            .iter()
-            .map(|(_, r)| (r.bytes_in + r.bytes_out) as f64)
-            .sum::<f64>()
-            / n as f64;
-        let mean_ram = results.iter().map(|(_, r)| r.ram_bytes as f64).sum::<f64>() / n as f64;
-        let mean_stages = results
-            .iter()
-            .fold(rex_sim::stage::StageTimes::new(), |acc, (_, r)| {
-                acc.plus(&r.stage_times)
-            })
-            .mean_over(n as u64);
-        let mean_sgx = results.iter().map(|(_, r)| r.sgx_overhead_ns).sum::<u64>() / n as u64;
-
-        trace.push(EpochRecord {
-            epoch,
-            time_ns: clock.now_ns(),
-            rmse: mean_rmse,
-            bytes_per_node: mean_bytes,
-            stage_times: mean_stages,
-            ram_bytes: mean_ram,
-            sgx_overhead_ns: mean_sgx,
-        });
-    }
-
-    SimulationResult {
-        trace,
-        setup_ns,
-        final_stats: net.all_stats(),
-    }
+    Engine::<M, MemNetwork>::new(
+        MemNetwork::new(nodes.len()),
+        EngineConfig {
+            epochs: sim.epochs,
+            execution: sim.execution,
+            time: TimeAxis::Simulated(sim.link),
+            driver: Driver::Lockstep {
+                parallel: sim.parallel,
+            },
+            processes_per_platform: 1, // one platform per simulated node
+            seed: sim.seed,
+        },
+    )
+    .run(name, nodes)
 }
 
 #[cfg(test)]
@@ -381,7 +207,11 @@ mod tests {
         // SGX must not change learning semantics, only time.
         let mut native_nodes = fleet(SharingMode::RawData, GossipAlgorithm::Rmw);
         let mut sgx_nodes = fleet(SharingMode::RawData, GossipAlgorithm::Rmw);
-        let native = run_simulation("n", &mut native_nodes, &quick_sim(12, ExecutionMode::Native));
+        let native = run_simulation(
+            "n",
+            &mut native_nodes,
+            &quick_sim(12, ExecutionMode::Native),
+        );
         let sgx = run_simulation(
             "s",
             &mut sgx_nodes,

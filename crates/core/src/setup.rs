@@ -1,0 +1,160 @@
+//! The single TEE provisioning + attestation path shared by every
+//! deployment backend.
+//!
+//! Before the seed refactor, the simulator and the threaded runner each
+//! carried their own `establish_tee` with diverging details (platform
+//! packing, byte accounting). This module is now the only place that
+//! provisions SGX platforms, installs enclaves, and runs the pairwise
+//! attestation handshake of Algorithm 1 over the topology edges — generic
+//! over [`Transport`], so handshake bytes are accounted by whichever
+//! backend carries them.
+
+use crate::node::Node;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rex_ml::Model;
+use rex_net::codec::encode_payload;
+use rex_net::link::LinkModel;
+use rex_net::message::Payload;
+use rex_net::transport::Transport;
+use rex_sim::stopwatch::Stopwatch;
+use rex_tee::attestation::Attestor;
+use rex_tee::measurement::REX_ENCLAVE_V1;
+use rex_tee::{DcapService, SgxCostModel, SgxPlatform};
+
+/// What TEE setup measured, for conversion onto either time axis.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SetupReport {
+    /// Wall-clock time of provisioning + all handshakes, ns.
+    pub measured_ns: u64,
+    /// Largest single handshake message on the wire, bytes.
+    pub handshake_bytes_max: u64,
+    /// Number of attested topology edges.
+    pub edges: usize,
+}
+
+impl SetupReport {
+    /// Projects the measurement onto the simulated time axis: handshakes
+    /// across distinct pairs run concurrently in a real deployment, so
+    /// charge the serially-measured compute scaled down by the fleet
+    /// parallelism, plus two link trips for the longest handshake chain.
+    #[must_use]
+    pub fn simulated_ns(&self, num_nodes: usize, link: &LinkModel) -> u64 {
+        if self.edges == 0 {
+            return 0;
+        }
+        self.measured_ns / num_nodes.max(1) as u64 + 2 * link.transfer_ns(self.handshake_bytes_max)
+    }
+
+    /// Projects the measurement onto the wall-clock axis (setup ran
+    /// in-process, so the measurement *is* the cost).
+    #[must_use]
+    pub fn wall_ns(&self) -> u64 {
+        self.measured_ns
+    }
+}
+
+/// Provisions platforms and enclaves, then mutually attests every topology
+/// edge, installing a `SecureSession` at both ends.
+///
+/// `processes_per_platform` models machine packing: the paper's testbed
+/// runs 2 REX processes per SGX server, the simulator one platform per
+/// node. Handshake messages travel through `transport` so their bytes are
+/// accounted; the caller's epoch loop starts with clean inboxes because
+/// the handshake traffic is drained here.
+///
+/// # Panics
+/// On attestation failure between honest peers (a protocol bug, not an
+/// input condition).
+pub fn establish_tee<M: Model, T: Transport>(
+    nodes: &mut [Node<M>],
+    transport: &mut T,
+    cost: SgxCostModel,
+    processes_per_platform: usize,
+    seed: u64,
+) -> SetupReport {
+    let sw = Stopwatch::start();
+    let dcap = DcapService::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ppp = processes_per_platform.max(1);
+    let num_platforms = nodes.len().div_ceil(ppp);
+    let platforms: Vec<SgxPlatform> = (0..num_platforms)
+        .map(|i| SgxPlatform::provision(i as u64, &dcap, &mut rng))
+        .collect();
+    for (i, node) in nodes.iter_mut().enumerate() {
+        node.install_enclave(platforms[i / ppp].create_enclave(REX_ENCLAVE_V1, cost));
+    }
+
+    // Attest every edge once, initiator = lower id, in deterministic order.
+    let mut edges = Vec::new();
+    for (a, node) in nodes.iter().enumerate() {
+        for &b in node.neighbors() {
+            if a < b {
+                edges.push((a, b));
+            }
+        }
+    }
+
+    let mut handshake_bytes_max = 0u64;
+    for &(a, b) in &edges {
+        let att_a = Attestor::new(&mut rng);
+        let att_b = Attestor::new(&mut rng);
+
+        let quote_a = {
+            let enclave = nodes[a].enclave_mut().expect("enclave installed");
+            let report = enclave.create_report(att_a.user_data());
+            platforms[a / ppp]
+                .quote_report(&report)
+                .expect("own QE accepts")
+        };
+        let quote_b = {
+            let enclave = nodes[b].enclave_mut().expect("enclave installed");
+            let report = enclave.create_report(att_b.user_data());
+            platforms[b / ppp]
+                .quote_report(&report)
+                .expect("own QE accepts")
+        };
+
+        // A -> B : Hello (through the transport for byte accounting).
+        let hello = Attestor::hello(quote_a.clone());
+        let hello_bytes = encode_payload(&Payload::Attestation(hello.clone()));
+        handshake_bytes_max = handshake_bytes_max.max(hello_bytes.len() as u64);
+        transport.send(a, b, hello_bytes);
+
+        // B -> A : quote + key share reply.
+        let (reply, session_b) = att_b
+            .respond(
+                nodes[b].enclave_mut().expect("enclave"),
+                &dcap,
+                quote_b,
+                &hello,
+            )
+            .expect("honest peers attest");
+        let reply_bytes = encode_payload(&Payload::Attestation(reply.clone()));
+        handshake_bytes_max = handshake_bytes_max.max(reply_bytes.len() as u64);
+        transport.send(b, a, reply_bytes);
+
+        let session_a = att_a
+            .finish(
+                nodes[a].enclave_mut().expect("enclave"),
+                &dcap,
+                &quote_a,
+                &reply,
+            )
+            .expect("honest peers attest");
+
+        nodes[a].install_session(b, session_a);
+        nodes[b].install_session(a, session_b);
+    }
+
+    // Drain the handshake traffic so epoch 0 starts with clean inboxes.
+    for id in 0..nodes.len() {
+        let _ = transport.recv(id);
+    }
+
+    SetupReport {
+        measured_ns: sw.elapsed_ns(),
+        handshake_bytes_max,
+        edges: edges.len(),
+    }
+}

@@ -1,25 +1,18 @@
-//! Real-concurrency runner: one OS thread per node over crossbeam channels,
-//! used for the paper's distributed SGX deployment (§IV-C: 8 nodes on 4
-//! machines, 2 processes each, fully connected).
+//! Real-concurrency entry point: one OS thread per node over channel
+//! endpoints, used for the paper's distributed SGX deployment (§IV-C: 8
+//! nodes on 4 machines, 2 processes each, fully connected).
 //!
-//! The time axis is real wall-clock time plus the per-epoch SGX charges
-//! (which model hardware effects the host CPU does not exhibit).
+//! Since the engine refactor this module is a thin configuration shim: it
+//! maps [`ThreadedConfig`] onto [`Engine`] with a [`ChannelTransport`]
+//! fabric, [`Driver::ThreadPerNode`] scheduling and the [`TimeAxis::Wall`]
+//! time axis (real wall-clock time plus the per-epoch SGX charges, which
+//! model hardware effects the host CPU does not exhibit).
 
 use crate::config::ExecutionMode;
-use crate::node::{EpochReport, Node};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use crate::engine::{Driver, Engine, EngineConfig, EngineResult, TimeAxis};
+use crate::node::Node;
 use rex_ml::Model;
-use rex_net::channel::channel_network;
-use rex_net::stats::TrafficStats;
-use rex_sim::stage::StageTimes;
-use rex_sim::stopwatch::Stopwatch;
-use rex_sim::trace::{EpochRecord, ExperimentTrace};
-use rex_tee::attestation::Attestor;
-use rex_tee::measurement::REX_ENCLAVE_V1;
-use rex_tee::{DcapService, SgxPlatform};
-use std::sync::{Arc, Barrier};
-use std::time::Instant;
+use rex_net::channel::ChannelTransport;
 
 /// Threaded-runner parameters.
 #[derive(Debug, Clone)]
@@ -46,72 +39,8 @@ impl Default for ThreadedConfig {
     }
 }
 
-/// Output of a threaded run.
-pub struct ThreadedResult {
-    /// Aggregated per-epoch trace.
-    pub trace: ExperimentTrace,
-    /// Final per-node traffic counters.
-    pub final_stats: Vec<TrafficStats>,
-    /// Wall-clock time of attestation setup, ns.
-    pub setup_ns: u64,
-}
-
-/// Provisions platforms/enclaves and attests all topology edges, in-process
-/// (setup happens before the node threads start).
-fn establish_tee<M: Model>(
-    nodes: &mut [Node<M>],
-    cost: rex_tee::SgxCostModel,
-    processes_per_platform: usize,
-    seed: u64,
-) -> u64 {
-    let sw = Stopwatch::start();
-    let dcap = DcapService::new();
-    let mut rng = StdRng::seed_from_u64(seed);
-    let ppp = processes_per_platform.max(1);
-    let num_platforms = nodes.len().div_ceil(ppp);
-    let platforms: Vec<SgxPlatform> = (0..num_platforms)
-        .map(|i| SgxPlatform::provision(i as u64, &dcap, &mut rng))
-        .collect();
-    for (i, node) in nodes.iter_mut().enumerate() {
-        node.install_enclave(platforms[i / ppp].create_enclave(REX_ENCLAVE_V1, cost));
-    }
-    let mut edges = Vec::new();
-    for a in 0..nodes.len() {
-        for &b in nodes[a].neighbors() {
-            if a < b {
-                edges.push((a, b));
-            }
-        }
-    }
-    for &(a, b) in &edges {
-        let att_a = Attestor::new(&mut rng);
-        let att_b = Attestor::new(&mut rng);
-        let quote_a = {
-            let report = nodes[a]
-                .enclave_mut()
-                .expect("enclave")
-                .create_report(att_a.user_data());
-            platforms[a / ppp].quote_report(&report).expect("own QE")
-        };
-        let quote_b = {
-            let report = nodes[b]
-                .enclave_mut()
-                .expect("enclave")
-                .create_report(att_b.user_data());
-            platforms[b / ppp].quote_report(&report).expect("own QE")
-        };
-        let hello = Attestor::hello(quote_a.clone());
-        let (reply, session_b) = att_b
-            .respond(nodes[b].enclave_mut().expect("enclave"), &dcap, quote_b, &hello)
-            .expect("honest attestation");
-        let session_a = att_a
-            .finish(nodes[a].enclave_mut().expect("enclave"), &dcap, &quote_a, &reply)
-            .expect("honest attestation");
-        nodes[a].install_session(b, session_a);
-        nodes[b].install_session(a, session_b);
-    }
-    sw.elapsed_ns()
-}
+/// Output of a threaded run (the engine's result shape).
+pub type ThreadedResult = EngineResult;
 
 /// Runs the fleet with one thread per node.
 pub fn run_threaded<M: Model>(
@@ -119,95 +48,18 @@ pub fn run_threaded<M: Model>(
     mut nodes: Vec<Node<M>>,
     cfg: &ThreadedConfig,
 ) -> ThreadedResult {
-    let setup_ns = match cfg.execution {
-        ExecutionMode::Native => 0,
-        ExecutionMode::Sgx(cost) => {
-            establish_tee(&mut nodes, cost, cfg.processes_per_platform, cfg.seed)
-        }
-    };
-
-    let n = nodes.len();
-    let endpoints = channel_network(n);
-    let barrier = Arc::new(Barrier::new(n));
-    let start = Instant::now();
-    let epochs = cfg.epochs;
-
-    let mut handles = Vec::with_capacity(n);
-    for (node, endpoint) in nodes.into_iter().zip(endpoints) {
-        let barrier = Arc::clone(&barrier);
-        let mut node = node;
-        handles.push(std::thread::spawn(move || {
-            let mut reports: Vec<(u64, EpochReport)> = Vec::with_capacity(epochs);
-            for _ in 0..epochs {
-                let inbox = endpoint.try_drain();
-                let (outgoing, report) = node.epoch(inbox);
-                for (dest, bytes) in outgoing {
-                    endpoint.send(dest, bytes);
-                }
-                // All sends of this epoch complete before anyone drains the
-                // next epoch's inbox.
-                barrier.wait();
-                reports.push((start.elapsed().as_nanos() as u64, report));
-            }
-            (reports, endpoint.stats())
-        }));
-    }
-
-    let mut per_thread: Vec<(Vec<(u64, EpochReport)>, TrafficStats)> = handles
-        .into_iter()
-        .map(|h| h.join().expect("node thread panicked"))
-        .collect();
-    // Threads were spawned in node order; join preserves it.
-    let final_stats: Vec<TrafficStats> = per_thread.iter().map(|(_, s)| *s).collect();
-
-    let mut trace = ExperimentTrace::new(name);
-    let mut cumulative_sgx_ns = 0u64;
-    for epoch in 0..epochs {
-        let mut end_ns = 0u64;
-        let mut rmse_sum = 0.0;
-        let mut rmse_count = 0usize;
-        let mut bytes = 0.0;
-        let mut ram = 0.0;
-        let mut stages = StageTimes::new();
-        let mut sgx_max = 0u64;
-        let mut sgx_sum = 0u64;
-        for (reports, _) in &mut per_thread {
-            let (t, r) = &reports[epoch];
-            end_ns = end_ns.max(*t);
-            if let Some(e) = r.rmse {
-                rmse_sum += e;
-                rmse_count += 1;
-            }
-            bytes += (r.bytes_in + r.bytes_out) as f64;
-            ram += r.ram_bytes as f64;
-            stages = stages.plus(&r.stage_times);
-            sgx_max = sgx_max.max(r.sgx_overhead_ns);
-            sgx_sum += r.sgx_overhead_ns;
-        }
-        // Wall-clock already contains the real crypto/marshalling work; the
-        // modelled hardware charges (transitions, MEE, paging) extend the
-        // epoch by the slowest node's charge.
-        cumulative_sgx_ns += sgx_max;
-        trace.push(EpochRecord {
-            epoch,
-            time_ns: setup_ns + end_ns + cumulative_sgx_ns,
-            rmse: if rmse_count == 0 {
-                f64::NAN
-            } else {
-                rmse_sum / rmse_count as f64
-            },
-            bytes_per_node: bytes / n as f64,
-            stage_times: stages.mean_over(n as u64),
-            ram_bytes: ram / n as f64,
-            sgx_overhead_ns: sgx_sum / n as u64,
-        });
-    }
-
-    ThreadedResult {
-        trace,
-        final_stats,
-        setup_ns,
-    }
+    Engine::<M, ChannelTransport>::new(
+        ChannelTransport::new(nodes.len()),
+        EngineConfig {
+            epochs: cfg.epochs,
+            execution: cfg.execution,
+            time: TimeAxis::Wall,
+            driver: Driver::ThreadPerNode,
+            processes_per_platform: cfg.processes_per_platform,
+            seed: cfg.seed,
+        },
+    )
+    .run(name, &mut nodes)
 }
 
 #[cfg(test)]
@@ -296,15 +148,19 @@ mod tests {
         let rex = run_threaded(
             "rex",
             fleet(SharingMode::RawData),
-            &ThreadedConfig { epochs: 5, ..Default::default() },
+            &ThreadedConfig {
+                epochs: 5,
+                ..Default::default()
+            },
         );
         let ms = run_threaded(
             "ms",
             fleet(SharingMode::Model),
-            &ThreadedConfig { epochs: 5, ..Default::default() },
+            &ThreadedConfig {
+                epochs: 5,
+                ..Default::default()
+            },
         );
-        assert!(
-            ms.trace.total_bytes_per_node() > 10.0 * rex.trace.total_bytes_per_node()
-        );
+        assert!(ms.trace.total_bytes_per_node() > 10.0 * rex.trace.total_bytes_per_node());
     }
 }

@@ -75,7 +75,10 @@ fn tampered_sealed_frames_are_dropped_silently() {
 
     let store_before = nodes[1].store().len();
     let (_, report) = nodes[1].epoch(vec![Envelope { from: 0, bytes }]);
-    assert_eq!(report.new_points, 0, "corrupted frame must contribute nothing");
+    assert_eq!(
+        report.new_points, 0,
+        "corrupted frame must contribute nothing"
+    );
     assert_eq!(nodes[1].store().len(), store_before);
     assert!(report.rmse.is_some(), "protocol must keep running");
 }
@@ -88,7 +91,10 @@ fn replayed_frames_are_rejected_by_session_counters() {
     let (_, bytes) = outgoing.into_iter().next().unwrap();
 
     // First delivery: accepted.
-    let (_, first) = nodes[1].epoch(vec![Envelope { from: 0, bytes: bytes.clone() }]);
+    let (_, first) = nodes[1].epoch(vec![Envelope {
+        from: 0,
+        bytes: bytes.clone(),
+    }]);
     assert!(first.new_points > 0);
     // Replay: the AEAD nonce counter has advanced, so it must be dropped.
     let before = nodes[1].store().len();
@@ -104,7 +110,7 @@ fn random_garbage_flood_does_not_panic() {
     let mut rng = StdRng::seed_from_u64(5);
     let mut inbox = Vec::new();
     for _ in 0..50 {
-        let len = 1 + (rand::Rng::gen_range(&mut rng, 0..200));
+        let len = 1 + (rand::Rng::gen_range(&mut rng, 0..200usize));
         let mut bytes = vec![0u8; len];
         rand::RngCore::fill_bytes(&mut rng, &mut bytes);
         inbox.push(Envelope { from: 0, bytes });

@@ -42,11 +42,7 @@ impl ChaCha20Poly1305 {
         pk
     }
 
-    fn compute_tag(
-        poly_key: &[u8; 32],
-        aad: &[u8],
-        ciphertext: &[u8],
-    ) -> [u8; TAG_LEN] {
+    fn compute_tag(poly_key: &[u8; 32], aad: &[u8], ciphertext: &[u8]) -> [u8; TAG_LEN] {
         let mut mac = Poly1305::new(poly_key);
         mac.update(aad);
         mac.update(&zero_pad(aad.len()));
@@ -119,6 +115,8 @@ impl NonceSequence {
     }
 
     /// Returns the next unique nonce; panics on exhaustion (2^64 messages).
+    // Not an `Iterator`: it is infallible (no `Option`) and never ends.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> [u8; NONCE_LEN] {
         let nonce = self.peek();
         self.advance();
@@ -167,11 +165,10 @@ mod tests {
     // RFC 8439 §2.8.2 AEAD test vector.
     #[test]
     fn rfc8439_seal() {
-        let key: [u8; 32] = unhex(
-            "808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f",
-        )
-        .try_into()
-        .unwrap();
+        let key: [u8; 32] =
+            unhex("808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f")
+                .try_into()
+                .unwrap();
         let nonce: [u8; 12] = unhex("070000004041424344454647").try_into().unwrap();
         let aad = unhex("50515253c0c1c2c3c4c5c6c7");
         let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you \

@@ -58,7 +58,12 @@ pub fn block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8;
 
 /// XORs the ChaCha20 keystream (starting at `initial_counter`) into `data`
 /// in place. Encryption and decryption are the same operation.
-pub fn xor_stream(key: &[u8; KEY_LEN], initial_counter: u32, nonce: &[u8; NONCE_LEN], data: &mut [u8]) {
+pub fn xor_stream(
+    key: &[u8; KEY_LEN],
+    initial_counter: u32,
+    nonce: &[u8; NONCE_LEN],
+    data: &mut [u8],
+) {
     let mut counter = initial_counter;
     for chunk in data.chunks_mut(BLOCK_LEN) {
         let ks = block(key, counter, nonce);
@@ -84,11 +89,10 @@ mod tests {
     // RFC 8439 §2.3.2 block function test vector.
     #[test]
     fn rfc8439_block() {
-        let key: [u8; 32] = unhex(
-            "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
-        )
-        .try_into()
-        .unwrap();
+        let key: [u8; 32] =
+            unhex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+                .try_into()
+                .unwrap();
         let nonce: [u8; 12] = unhex("000000090000004a00000000").try_into().unwrap();
         let ks = block(&key, 1, &nonce);
         let expected = unhex(
@@ -101,11 +105,10 @@ mod tests {
     // RFC 8439 §2.4.2 encryption test vector.
     #[test]
     fn rfc8439_encrypt() {
-        let key: [u8; 32] = unhex(
-            "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
-        )
-        .try_into()
-        .unwrap();
+        let key: [u8; 32] =
+            unhex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+                .try_into()
+                .unwrap();
         let nonce: [u8; 12] = unhex("000000000000004a00000000").try_into().unwrap();
         let mut data = b"Ladies and Gentlemen of the class of '99: If I could offer you \
 only one tip for the future, sunscreen would be it."

@@ -31,7 +31,10 @@ impl fmt::Display for CryptoError {
                 what,
                 expected,
                 actual,
-            } => write!(f, "invalid {what} length: expected {expected}, got {actual}"),
+            } => write!(
+                f,
+                "invalid {what} length: expected {expected}, got {actual}"
+            ),
             CryptoError::LowOrderPoint => write!(f, "X25519 peer point has low order"),
         }
     }

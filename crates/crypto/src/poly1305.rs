@@ -243,11 +243,10 @@ mod tests {
     // RFC 8439 §2.5.2 test vector.
     #[test]
     fn rfc8439_tag() {
-        let key: [u8; 32] = unhex(
-            "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b",
-        )
-        .try_into()
-        .unwrap();
+        let key: [u8; 32] =
+            unhex("85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b")
+                .try_into()
+                .unwrap();
         let tag = Poly1305::mac(&key, b"Cryptographic Forum Research Group");
         assert_eq!(tag.to_vec(), unhex("a8061dc1305136c6c22b8baf0c0127a9"));
     }
@@ -282,11 +281,10 @@ mod tests {
     // RFC 8439 §A.3 vector #4 exercises the 2^130-5 wraparound.
     #[test]
     fn wraparound_vector() {
-        let key: [u8; 32] = unhex(
-            "0200000000000000000000000000000000000000000000000000000000000000",
-        )
-        .try_into()
-        .unwrap();
+        let key: [u8; 32] =
+            unhex("0200000000000000000000000000000000000000000000000000000000000000")
+                .try_into()
+                .unwrap();
         let msg = unhex("ffffffffffffffffffffffffffffffff");
         assert_eq!(
             Poly1305::mac(&key, &msg).to_vec(),

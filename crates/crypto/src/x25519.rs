@@ -52,10 +52,10 @@ impl Fe {
         h[0] = h[0].wrapping_add(19 * q);
         let mut carry = h[0] >> 51;
         h[0] &= MASK51;
-        for i in 1..5 {
-            h[i] = h[i].wrapping_add(carry);
-            carry = h[i] >> 51;
-            h[i] &= MASK51;
+        for limb in h.iter_mut().skip(1) {
+            *limb = limb.wrapping_add(carry);
+            carry = *limb >> 51;
+            *limb &= MASK51;
         }
 
         let mut out = [0u8; 32];
@@ -83,10 +83,10 @@ impl Fe {
         let mut h = self.0;
         let mut c = h[0] >> 51;
         h[0] &= MASK51;
-        for i in 1..5 {
-            h[i] = h[i].wrapping_add(c);
-            c = h[i] >> 51;
-            h[i] &= MASK51;
+        for limb in h.iter_mut().skip(1) {
+            *limb = limb.wrapping_add(c);
+            c = *limb >> 51;
+            *limb &= MASK51;
         }
         h[0] = h[0].wrapping_add(19 * c);
         Fe(h)
@@ -94,8 +94,8 @@ impl Fe {
 
     fn add(self, rhs: Fe) -> Fe {
         let mut h = [0u64; 5];
-        for i in 0..5 {
-            h[i] = self.0[i] + rhs.0[i];
+        for ((limb, a), b) in h.iter_mut().zip(self.0).zip(rhs.0) {
+            *limb = a + b;
         }
         Fe(h).carry()
     }
@@ -348,8 +348,7 @@ mod tests {
     // RFC 7748 §5.2 test vector 1.
     #[test]
     fn rfc7748_vector1() {
-        let scalar =
-            unhex32("a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+        let scalar = unhex32("a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
         let u = unhex32("e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
         let out = scalar_mult(&scalar, &u);
         assert_eq!(
@@ -361,8 +360,7 @@ mod tests {
     // RFC 7748 §5.2 test vector 2.
     #[test]
     fn rfc7748_vector2() {
-        let scalar =
-            unhex32("4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d");
+        let scalar = unhex32("4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d");
         let u = unhex32("e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493");
         let out = scalar_mult(&scalar, &u);
         assert_eq!(

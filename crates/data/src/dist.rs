@@ -104,7 +104,12 @@ mod tests {
         }
         // Rank 0 must dominate rank 99 by roughly the weight ratio (100x),
         // allow wide tolerance.
-        assert!(counts[0] > counts[99] * 20, "{} vs {}", counts[0], counts[99]);
+        assert!(
+            counts[0] > counts[99] * 20,
+            "{} vs {}",
+            counts[0],
+            counts[99]
+        );
         // Every sample in range (no panic), and the tail is still reachable.
         assert!(counts[500..].iter().any(|&c| c > 0));
     }

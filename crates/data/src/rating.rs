@@ -141,9 +141,21 @@ mod tests {
             2,
             3,
             vec![
-                Rating { user: 0, item: 0, value: 4.0 },
-                Rating { user: 0, item: 2, value: 2.0 },
-                Rating { user: 1, item: 0, value: 3.0 },
+                Rating {
+                    user: 0,
+                    item: 0,
+                    value: 4.0,
+                },
+                Rating {
+                    user: 0,
+                    item: 2,
+                    value: 2.0,
+                },
+                Rating {
+                    user: 1,
+                    item: 0,
+                    value: 3.0,
+                },
             ],
         );
         assert!((ds.density() - 0.5).abs() < 1e-12);
@@ -157,7 +169,15 @@ mod tests {
     #[test]
     #[should_panic(expected = "outside")]
     fn rejects_out_of_range() {
-        let _ = Dataset::new(1, 1, vec![Rating { user: 1, item: 0, value: 3.0 }]);
+        let _ = Dataset::new(
+            1,
+            1,
+            vec![Rating {
+                user: 1,
+                item: 0,
+                value: 3.0,
+            }],
+        );
     }
 
     #[test]

@@ -230,7 +230,11 @@ mod tests {
         for r in &ds.ratings {
             assert!(r.value >= 0.5 && r.value <= 5.0);
             let doubled = r.value * 2.0;
-            assert!((doubled - doubled.round()).abs() < 1e-6, "off grid: {}", r.value);
+            assert!(
+                (doubled - doubled.round()).abs() < 1e-6,
+                "off grid: {}",
+                r.value
+            );
         }
     }
 
@@ -244,7 +248,10 @@ mod tests {
         let max = *counts.iter().max().unwrap();
         let nonzero = counts.iter().filter(|&&c| c > 0).count();
         let mean_nonzero = ds.ratings.len() as f64 / nonzero as f64;
-        assert!(f64::from(max) > 3.0 * mean_nonzero, "max {max} mean {mean_nonzero}");
+        assert!(
+            f64::from(max) > 3.0 * mean_nonzero,
+            "max {max} mean {mean_nonzero}"
+        );
     }
 
     #[test]

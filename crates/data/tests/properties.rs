@@ -4,15 +4,15 @@ use proptest::prelude::*;
 use rex_data::{Partition, Rating, SyntheticConfig, TrainTestSplit};
 
 fn arb_config() -> impl Strategy<Value = SyntheticConfig> {
-    (2u32..40, 20u32..200, 1usize..8, any::<u64>()).prop_map(
-        |(users, items, per_user, seed)| SyntheticConfig {
+    (2u32..40, 20u32..200, 1usize..8, any::<u64>()).prop_map(|(users, items, per_user, seed)| {
+        SyntheticConfig {
             num_users: users,
             num_items: items,
             num_ratings: (users as usize) * per_user.min(items as usize),
             seed,
             ..SyntheticConfig::default()
-        },
-    )
+        }
+    })
 }
 
 proptest! {

@@ -173,7 +173,8 @@ impl Linear {
 
     /// Applies Adam with the layer's state.
     pub fn apply(&mut self, grads: &LinearGrads, hp: &AdamParams, t: u64) {
-        self.adam_w.update(self.w.data_mut(), grads.dw.data(), hp, t);
+        self.adam_w
+            .update(self.w.data_mut(), grads.dw.data(), hp, t);
         self.adam_b.update(&mut self.b, &grads.db, hp, t);
     }
 
@@ -274,7 +275,11 @@ mod tests {
         let x = Matrix::randn(4, 3, 1.0, &mut rng);
 
         let loss = |l: &Linear, x: &Matrix| -> f64 {
-            l.forward(x).data().iter().map(|v| f64::from(*v) * f64::from(*v)).sum()
+            l.forward(x)
+                .data()
+                .iter()
+                .map(|v| f64::from(*v) * f64::from(*v))
+                .sum()
         };
         // Upstream grad of L = Σy² is 2y.
         let y = layer.forward(&x);

@@ -1,8 +1,8 @@
 //! The DNN recommender model: embeddings + MLP with manual backprop.
 
 use super::layer::{
-    dropout_backward, dropout_forward, relu_backward, relu_forward, AdamParams, AdamState,
-    Linear, LinearGrads,
+    dropout_backward, dropout_forward, relu_backward, relu_forward, AdamParams, AdamState, Linear,
+    LinearGrads,
 };
 use super::tensor::Matrix;
 use crate::bytesio::{self, Reader};
@@ -209,7 +209,8 @@ impl DnnModel {
                 .collect(),
         );
 
-        let mut layer_grads: Vec<Option<LinearGrads>> = (0..self.layers.len()).map(|_| None).collect();
+        let mut layer_grads: Vec<Option<LinearGrads>> =
+            (0..self.layers.len()).map(|_| None).collect();
         for li in (0..self.layers.len()).rev() {
             if li < n_hidden {
                 let p = if li < 2 { self.hp.dropout_hidden } else { 0.0 };
@@ -621,8 +622,16 @@ mod tests {
         // No dropout; compare analytic grads with numeric d(mse)/dθ.
         let mut m = DnnModel::new(4, 4, tiny_hp(), 3.0, 3);
         let batch = vec![
-            Rating { user: 0, item: 1, value: 4.0 },
-            Rating { user: 2, item: 3, value: 2.0 },
+            Rating {
+                user: 0,
+                item: 1,
+                value: 4.0,
+            },
+            Rating {
+                user: 2,
+                item: 3,
+                value: 2.0,
+            },
         ];
         let users: Vec<u32> = batch.iter().map(|r| r.user).collect();
         let items: Vec<u32> = batch.iter().map(|r| r.item).collect();
@@ -631,15 +640,24 @@ mod tests {
         let trace = m.forward_train(users, items, &mut rng);
         let grads = m.backward(&trace, &targets);
 
-        let eps = 1e-3f32;
-        let base = m.mse(&batch);
+        // Central differences: a forward difference's O(eps) truncation
+        // error dominates near ReLU kinks and under curvature; the
+        // symmetric form cancels it.
+        let eps = 2e-4f32;
+        let central =
+            |m: &mut DnnModel, set: &mut dyn FnMut(&mut DnnModel, f32), orig: f32| -> f64 {
+                set(m, orig + eps);
+                let plus = m.mse(&batch);
+                set(m, orig - eps);
+                let minus = m.mse(&batch);
+                set(m, orig);
+                (plus - minus) / (2.0 * f64::from(eps))
+            };
 
         // A weight in the first layer.
         let analytic = f64::from(grads.layer_grads[0].dw.get(0, 0));
         let orig = m.layers[0].w.get(0, 0);
-        m.layers[0].w.set(0, 0, orig + eps);
-        let numeric = (m.mse(&batch) - base) / f64::from(eps);
-        m.layers[0].w.set(0, 0, orig);
+        let numeric = central(&mut m, &mut |m, v| m.layers[0].w.set(0, 0, v), orig);
         assert!(
             (numeric - analytic).abs() < 0.05 * (analytic.abs() + 0.01),
             "layer0 dW: numeric {numeric} vs analytic {analytic}"
@@ -648,9 +666,7 @@ mod tests {
         // A user-embedding entry (user 0, dim 1).
         let analytic = f64::from(grads.user_grads[&0][1]);
         let orig = m.user_emb.get(0, 1);
-        m.user_emb.set(0, 1, orig + eps);
-        let numeric = (m.mse(&batch) - base) / f64::from(eps);
-        m.user_emb.set(0, 1, orig);
+        let numeric = central(&mut m, &mut |m, v| m.user_emb.set(0, 1, v), orig);
         assert!(
             (numeric - analytic).abs() < 0.05 * (analytic.abs() + 0.01),
             "user emb: numeric {numeric} vs analytic {analytic}"
@@ -659,9 +675,7 @@ mod tests {
         // An item-embedding entry (item 3, dim 0).
         let analytic = f64::from(grads.item_grads[&3][0]);
         let orig = m.item_emb.get(3, 0);
-        m.item_emb.set(3, 0, orig + eps);
-        let numeric = (m.mse(&batch) - base) / f64::from(eps);
-        m.item_emb.set(3, 0, orig);
+        let numeric = central(&mut m, &mut |m, v| m.item_emb.set(3, 0, v), orig);
         assert!(
             (numeric - analytic).abs() < 0.05 * (analytic.abs() + 0.01),
             "item emb: numeric {numeric} vs analytic {analytic}"
@@ -703,8 +717,22 @@ mod tests {
         let mut a = DnnModel::new(2, 2, tiny_hp(), 3.0, 0);
         let mut b = DnnModel::new(2, 2, tiny_hp(), 4.0, 0);
         let mut rng = StdRng::seed_from_u64(5);
-        a.train_minibatch(&[Rating { user: 0, item: 0, value: 5.0 }], &mut rng);
-        b.train_minibatch(&[Rating { user: 1, item: 1, value: 1.0 }], &mut rng);
+        a.train_minibatch(
+            &[Rating {
+                user: 0,
+                item: 0,
+                value: 5.0,
+            }],
+            &mut rng,
+        );
+        b.train_minibatch(
+            &[Rating {
+                user: 1,
+                item: 1,
+                value: 1.0,
+            }],
+            &mut rng,
+        );
 
         let expected_w00 = 0.5 * (a.layers[0].w.get(0, 0) + b.layers[0].w.get(0, 0));
         let b_user1 = b.user_emb.row(1).to_vec();

@@ -64,8 +64,16 @@ mod tests {
     fn rmse_of_constant_predictor() {
         let model = constant_model(3.0);
         let test = vec![
-            Rating { user: 0, item: 0, value: 4.0 },
-            Rating { user: 1, item: 1, value: 2.0 },
+            Rating {
+                user: 0,
+                item: 0,
+                value: 4.0,
+            },
+            Rating {
+                user: 1,
+                item: 1,
+                value: 2.0,
+            },
         ];
         // Errors are ±1 -> RMSE = 1.
         assert!((rmse(&model, &test).unwrap() - 1.0).abs() < 1e-9);
@@ -83,7 +91,11 @@ mod tests {
     fn nodes_mean_skips_empty() {
         let models = vec![constant_model(3.0), constant_model(3.0)];
         let tests = vec![
-            vec![Rating { user: 0, item: 0, value: 5.0 }], // err 2
+            vec![Rating {
+                user: 0,
+                item: 0,
+                value: 5.0,
+            }], // err 2
             vec![],
         ];
         assert!((nodes_mean_rmse(&models, &tests).unwrap() - 2.0).abs() < 1e-9);

@@ -284,8 +284,7 @@ impl Model for MfModel {
         for (_, other) in contributions {
             self.check_compatible(other);
         }
-        let weight_sum: f64 =
-            self_weight + contributions.iter().map(|(w, _)| *w).sum::<f64>();
+        let weight_sum: f64 = self_weight + contributions.iter().map(|(w, _)| *w).sum::<f64>();
         debug_assert!(
             (weight_sum - 1.0).abs() < 1e-6,
             "merge weights sum to {weight_sum}"
@@ -330,7 +329,9 @@ impl Model for MfModel {
 
     fn wire_size(&self) -> usize {
         // header (magic, dims, k) + mean + params + bit-packed masks
-        4 + 4 + 4 + 4
+        4 + 4
+            + 4
+            + 4
             + 4
             + self.param_count() * 4
             + (self.num_users as usize).div_ceil(8)
@@ -447,8 +448,21 @@ mod tests {
     #[test]
     fn sgd_step_matches_finite_difference_gradient() {
         // Check the analytic update direction against numeric d(loss)/d(b_u).
-        let r = Rating { user: 0, item: 0, value: 5.0 };
-        let m = MfModel::new(1, 1, MfHyperParams { lambda: 0.0, ..Default::default() }, 3.0, 2);
+        let r = Rating {
+            user: 0,
+            item: 0,
+            value: 5.0,
+        };
+        let m = MfModel::new(
+            1,
+            1,
+            MfHyperParams {
+                lambda: 0.0,
+                ..Default::default()
+            },
+            3.0,
+            2,
+        );
         let eps = 1e-3f32;
         let base_loss = m.loss(&[r]);
         let mut bumped = m.clone();
@@ -457,7 +471,11 @@ mod tests {
         // Analytic: dJ/db_u = -(r - μ - b_u - c_i - x_u·y_i).
         let dot: f32 = m.x.iter().zip(&m.y).map(|(a, b)| a * b).sum();
         let err = f64::from(r.value - (m.global_mean + m.b[0] + m.c[0] + dot));
-        assert!((d_num + err).abs() < 1e-2, "numeric {d_num} vs analytic {}", -err);
+        assert!(
+            (d_num + err).abs() < 1e-2,
+            "numeric {d_num} vs analytic {}",
+            -err
+        );
     }
 
     #[test]
@@ -473,7 +491,11 @@ mod tests {
     fn seen_masks_track_training() {
         let mut m = MfModel::new(3, 3, MfHyperParams::default(), 3.5, 0);
         assert!(!m.has_user(1) && !m.has_item(2));
-        m.sgd_step(&Rating { user: 1, item: 2, value: 4.0 });
+        m.sgd_step(&Rating {
+            user: 1,
+            item: 2,
+            value: 4.0,
+        });
         assert!(m.has_user(1) && m.has_item(2));
         assert!(!m.has_user(0) && !m.has_item(0));
     }
@@ -514,8 +536,16 @@ mod tests {
         let mut a = MfModel::new(2, 2, MfHyperParams::default(), 3.0, 0);
         let mut b = MfModel::new(2, 2, MfHyperParams::default(), 4.0, 0);
         // a trains user 0, b trains user 1.
-        a.sgd_step(&Rating { user: 0, item: 0, value: 5.0 });
-        b.sgd_step(&Rating { user: 1, item: 1, value: 1.0 });
+        a.sgd_step(&Rating {
+            user: 0,
+            item: 0,
+            value: 5.0,
+        });
+        b.sgd_step(&Rating {
+            user: 1,
+            item: 1,
+            value: 1.0,
+        });
         let b_bias_u1 = b.b[1];
         let a_bias_u0 = a.b[0];
         a.merge(&[(0.5, &b)], 0.5);
@@ -533,8 +563,16 @@ mod tests {
     fn merge_weighted_rows_seen_by_both() {
         let mut a = MfModel::new(1, 1, MfHyperParams::default(), 3.0, 0);
         let mut b = MfModel::new(1, 1, MfHyperParams::default(), 3.0, 0);
-        a.sgd_step(&Rating { user: 0, item: 0, value: 5.0 });
-        b.sgd_step(&Rating { user: 0, item: 0, value: 1.0 });
+        a.sgd_step(&Rating {
+            user: 0,
+            item: 0,
+            value: 5.0,
+        });
+        b.sgd_step(&Rating {
+            user: 0,
+            item: 0,
+            value: 1.0,
+        });
         let expected = 0.25 * a.b[0] + 0.75 * b.b[0];
         a.merge(&[(0.75, &b)], 0.25);
         assert!((a.b[0] - expected).abs() < 1e-6);
@@ -543,7 +581,11 @@ mod tests {
     #[test]
     fn merge_ignores_unseen_contributors() {
         let mut a = MfModel::new(1, 1, MfHyperParams::default(), 3.0, 0);
-        a.sgd_step(&Rating { user: 0, item: 0, value: 5.0 });
+        a.sgd_step(&Rating {
+            user: 0,
+            item: 0,
+            value: 5.0,
+        });
         let fresh = MfModel::new(1, 1, MfHyperParams::default(), 3.0, 99);
         let a_b0 = a.b[0];
         let a_x: Vec<f32> = a.x.clone();
@@ -575,8 +617,17 @@ mod tests {
         let sizes: Vec<usize> = [10usize, 20, 30, 40, 50]
             .iter()
             .map(|&k| {
-                MfModel::new(100, 500, MfHyperParams { k, ..Default::default() }, 3.5, 0)
-                    .wire_size()
+                MfModel::new(
+                    100,
+                    500,
+                    MfHyperParams {
+                        k,
+                        ..Default::default()
+                    },
+                    3.5,
+                    0,
+                )
+                .wire_size()
             })
             .collect();
         let d1 = sizes[1] - sizes[0];

@@ -1,8 +1,16 @@
 //! Crossbeam-channel transport for the real-thread runner (the 8-node SGX
 //! deployment of Figs 6–7 runs each node on its own OS thread).
+//!
+//! [`ChannelTransport`] implements [`Transport`] over a fully connected
+//! set of unbounded channels. It supports both drive modes of the engine:
+//! single-owner lockstep (fabric-level send/recv, used during TEE setup
+//! and by the equivalence tests) and thread-per-node
+//! ([`Transport::into_endpoints`] hands each [`ChannelEndpoint`] to its
+//! node's thread).
 
 use crate::mem::Envelope;
 use crate::stats::TrafficStats;
+use crate::transport::{canonicalize, Endpoint, Transport};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -54,7 +62,9 @@ impl ChannelEndpoint {
         let sender = self.senders[to]
             .as_ref()
             .expect("destination is this endpoint");
-        self.stats[self.id].bytes_out.fetch_add(size, Ordering::Relaxed);
+        self.stats[self.id]
+            .bytes_out
+            .fetch_add(size, Ordering::Relaxed);
         self.stats[self.id].msgs_out.fetch_add(1, Ordering::Relaxed);
         self.stats[to].bytes_in.fetch_add(size, Ordering::Relaxed);
         self.stats[to].msgs_in.fetch_add(1, Ordering::Relaxed);
@@ -84,6 +94,84 @@ impl ChannelEndpoint {
     #[must_use]
     pub fn stats(&self) -> TrafficStats {
         self.stats[self.id].snapshot()
+    }
+}
+
+impl Endpoint for ChannelEndpoint {
+    fn id(&self) -> usize {
+        ChannelEndpoint::id(self)
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.senders.len()
+    }
+
+    fn send(&mut self, to: usize, bytes: Vec<u8>) {
+        ChannelEndpoint::send(self, to, bytes);
+    }
+
+    fn recv(&mut self) -> Vec<Envelope> {
+        let mut inbox = self.try_drain();
+        canonicalize(&mut inbox);
+        inbox
+    }
+
+    fn stats(&self) -> TrafficStats {
+        ChannelEndpoint::stats(self)
+    }
+}
+
+/// A fully connected channel fabric over `n` nodes.
+///
+/// Owns every [`ChannelEndpoint`] until [`Transport::into_endpoints`]
+/// splits it for a thread-per-node run; until then the fabric view routes
+/// through the owned endpoints, so TEE setup traffic is accounted exactly
+/// like protocol traffic.
+pub struct ChannelTransport {
+    endpoints: Vec<ChannelEndpoint>,
+}
+
+impl ChannelTransport {
+    /// Builds the fabric over `n` nodes.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        ChannelTransport {
+            endpoints: channel_network(n),
+        }
+    }
+}
+
+impl Transport for ChannelTransport {
+    type Endpoint = ChannelEndpoint;
+
+    fn num_nodes(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    fn send(&mut self, from: usize, to: usize, bytes: Vec<u8>) {
+        self.endpoints[from].send(to, bytes);
+    }
+
+    fn recv(&mut self, node: usize) -> Vec<Envelope> {
+        let mut inbox = self.endpoints[node].try_drain();
+        canonicalize(&mut inbox);
+        inbox
+    }
+
+    fn flush(&mut self) {
+        // Channel sends are visible to the receiver as soon as they return.
+    }
+
+    fn stats(&self, node: usize) -> TrafficStats {
+        self.endpoints[node].stats()
+    }
+
+    fn all_stats(&self) -> Vec<TrafficStats> {
+        self.endpoints.iter().map(ChannelEndpoint::stats).collect()
+    }
+
+    fn into_endpoints(self) -> Option<Vec<ChannelEndpoint>> {
+        Some(self.endpoints)
     }
 }
 

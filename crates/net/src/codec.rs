@@ -223,8 +223,12 @@ mod tests {
     #[test]
     fn attestation_roundtrip() {
         for msg in [
-            AttestationMsg::Hello { quote: sample_quote() },
-            AttestationMsg::Reply { quote: sample_quote() },
+            AttestationMsg::Hello {
+                quote: sample_quote(),
+            },
+            AttestationMsg::Reply {
+                quote: sample_quote(),
+            },
         ] {
             let p = Payload::Attestation(msg);
             let bytes = encode_payload(&p);
@@ -265,12 +269,23 @@ mod tests {
         let cases = [
             Plain::RawData {
                 ratings: vec![
-                    Rating { user: 1, item: 2, value: 3.5 },
-                    Rating { user: 4, item: 5, value: 0.5 },
+                    Rating {
+                        user: 1,
+                        item: 2,
+                        value: 3.5,
+                    },
+                    Rating {
+                        user: 4,
+                        item: 5,
+                        value: 0.5,
+                    },
                 ],
                 degree: 6,
             },
-            Plain::Model { bytes: vec![7; 321], degree: 30 },
+            Plain::Model {
+                bytes: vec![7; 321],
+                degree: 30,
+            },
             Plain::Empty { degree: 2 },
         ];
         for p in cases {
@@ -284,7 +299,11 @@ mod tests {
         // 12 bytes per triplet + 9-byte header: the basis of the paper's
         // two-orders-of-magnitude claim.
         let ratings: Vec<Rating> = (0..300)
-            .map(|i| Rating { user: i, item: i, value: 2.5 })
+            .map(|i| Rating {
+                user: i,
+                item: i,
+                value: 2.5,
+            })
             .collect();
         let bytes = encode_plain(&Plain::RawData { ratings, degree: 6 });
         assert_eq!(bytes.len(), 1 + 4 + 4 + 300 * Rating::WIRE_SIZE);

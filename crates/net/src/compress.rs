@@ -128,11 +128,17 @@ pub fn decompress_batch(buf: &[u8]) -> Result<Vec<Rating>, CompressError> {
         let user_delta = read_varint(buf, &mut pos)?;
         let item_delta = read_varint(buf, &mut pos)?;
         let user = prev_user
-            .checked_add(u32::try_from(user_delta).map_err(|_| CompressError("user delta overflow".into()))?)
+            .checked_add(
+                u32::try_from(user_delta)
+                    .map_err(|_| CompressError("user delta overflow".into()))?,
+            )
             .ok_or_else(|| CompressError("user overflow".into()))?;
         let item = if user_delta == 0 {
             prev_item
-                .checked_add(u32::try_from(item_delta).map_err(|_| CompressError("item delta overflow".into()))?)
+                .checked_add(
+                    u32::try_from(item_delta)
+                        .map_err(|_| CompressError("item delta overflow".into()))?,
+                )
                 .ok_or_else(|| CompressError("item overflow".into()))?
         } else {
             u32::try_from(item_delta).map_err(|_| CompressError("item overflow".into()))?
@@ -229,7 +235,11 @@ mod tests {
 
     #[test]
     fn off_grid_values_are_snapped() {
-        let batch = vec![Rating { user: 0, item: 0, value: 3.26 }];
+        let batch = vec![Rating {
+            user: 0,
+            item: 0,
+            value: 3.26,
+        }];
         let back = decompress_batch(&compress_batch(&batch)).unwrap();
         assert_eq!(back[0].value, 3.5);
     }
@@ -237,7 +247,11 @@ mod tests {
     #[test]
     fn rejects_truncation_and_garbage() {
         let batch: Vec<Rating> = (0..10)
-            .map(|i| Rating { user: i, item: i, value: 4.0 })
+            .map(|i| Rating {
+                user: i,
+                item: i,
+                value: 4.0,
+            })
             .collect();
         let packed = compress_batch(&batch);
         for cut in 0..packed.len() {
@@ -252,8 +266,16 @@ mod tests {
     #[test]
     fn duplicates_survive() {
         let batch = vec![
-            Rating { user: 1, item: 2, value: 3.0 },
-            Rating { user: 1, item: 2, value: 3.0 },
+            Rating {
+                user: 1,
+                item: 2,
+                value: 3.0,
+            },
+            Rating {
+                user: 1,
+                item: 2,
+                value: 3.0,
+            },
         ];
         let back = decompress_batch(&compress_batch(&batch)).unwrap();
         assert_eq!(back.len(), 2);

@@ -9,12 +9,20 @@
 //!   and AEAD-sealed payloads (raw-rating batches or serialized models,
 //!   each tagged with the sender's degree for Metropolis–Hastings merging);
 //! * [`codec`] — a self-contained length-prefixed binary encoding;
-//! * [`mem`] — a single-threaded instrumented mailbox network for the
-//!   discrete-event simulator;
-//! * [`channel`] — a crossbeam-based transport for the real-thread runner;
+//! * [`transport`] — the backend seam: the [`Transport`]/[`Endpoint`]
+//!   fabric abstraction and the [`Clock`] time hook that the generic
+//!   engine in `rex-core` is written against;
+//! * [`mem`] — [`MemNetwork`], the single-owner instrumented mailbox
+//!   backend for the discrete-event simulator;
+//! * [`channel`] — [`ChannelTransport`], the crossbeam-channel backend for
+//!   the real-thread deployment;
 //! * [`stats`] — per-node traffic accounting;
 //! * [`link`] — a latency/bandwidth model that converts bytes to
 //!   simulated transfer time.
+//!
+//! Adding a deployment backend (e.g. tokio/TCP between real enclave
+//! hosts) means implementing [`Transport`] + [`Endpoint`] here; the
+//! protocol engine and every experiment binary are generic over it.
 
 pub mod channel;
 pub mod codec;
@@ -23,9 +31,12 @@ pub mod link;
 pub mod mem;
 pub mod message;
 pub mod stats;
+pub mod transport;
 
+pub use channel::ChannelTransport;
 pub use codec::CodecError;
 pub use link::LinkModel;
 pub use mem::{Envelope, MemNetwork};
 pub use message::{Payload, Plain};
 pub use stats::TrafficStats;
+pub use transport::{Clock, Endpoint, Transport, WallClock};

@@ -17,7 +17,7 @@ pub struct LinkModel {
 impl Default for LinkModel {
     fn default() -> Self {
         LinkModel {
-            latency_ns: 100_000, // 100 µs
+            latency_ns: 100_000,                              // 100 µs
             bandwidth_bytes_per_sec: 117.0 * 1024.0 * 1024.0, // ~1 Gbps effective
         }
     }

@@ -1,7 +1,14 @@
 //! Single-threaded instrumented mailbox network for the discrete-event
 //! simulator: reliable, ordered, with exact byte accounting.
+//!
+//! [`MemNetwork`] implements [`Transport`] as a single-owner fabric: the
+//! lockstep engine drains inboxes, runs the epoch, and applies sends in
+//! deterministic node order. It cannot be split into per-node endpoints
+//! ([`Transport::into_endpoints`] returns `None`) — real-thread runs use
+//! [`crate::channel::ChannelTransport`] instead.
 
 use crate::stats::TrafficStats;
+use crate::transport::{canonicalize, NeverEndpoint, Transport};
 use std::collections::VecDeque;
 
 /// A delivered message.
@@ -83,6 +90,40 @@ impl MemNetwork {
     #[must_use]
     pub fn total_bytes(&self) -> u64 {
         self.stats.iter().map(|s| s.bytes_out).sum()
+    }
+}
+
+impl Transport for MemNetwork {
+    type Endpoint = NeverEndpoint;
+
+    fn num_nodes(&self) -> usize {
+        self.len()
+    }
+
+    fn send(&mut self, from: usize, to: usize, bytes: Vec<u8>) {
+        MemNetwork::send(self, from, to, bytes);
+    }
+
+    fn recv(&mut self, node: usize) -> Vec<Envelope> {
+        let mut inbox = self.drain_inbox(node);
+        canonicalize(&mut inbox);
+        inbox
+    }
+
+    fn flush(&mut self) {
+        // Sends land in the destination mailbox immediately.
+    }
+
+    fn stats(&self, node: usize) -> TrafficStats {
+        *MemNetwork::stats(self, node)
+    }
+
+    fn all_stats(&self) -> Vec<TrafficStats> {
+        MemNetwork::all_stats(self)
+    }
+
+    fn into_endpoints(self) -> Option<Vec<NeverEndpoint>> {
+        None
     }
 }
 

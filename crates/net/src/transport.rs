@@ -1,0 +1,206 @@
+//! The backend-agnostic transport abstraction behind the REX engine.
+//!
+//! The paper runs one protocol (Algorithm 2) over three deployments: a
+//! discrete-event simulator, a real-thread 8-node SGX testbed, and a
+//! centralized baseline. [`Transport`] is the seam that lets a single
+//! engine drive all of them:
+//!
+//! * [`Transport`] — the *fabric* view: a connected set of `n` mailboxes
+//!   addressed by node id, with exact per-node [`TrafficStats`]. Lockstep
+//!   drivers (the simulator) talk to the fabric directly.
+//! * [`Endpoint`] — the *per-node* view: a handle that can be moved onto a
+//!   node's own OS thread. Fabrics that support real concurrency split
+//!   into endpoints via [`Transport::into_endpoints`].
+//! * [`Clock`] — the time hook: simulated runs advance a virtual counter,
+//!   deployed runs read the wall clock; the engine records epoch
+//!   timestamps through this one interface either way.
+//!
+//! Implementations in this crate: [`crate::mem::MemNetwork`] (single-owner
+//! instrumented mailboxes for the simulator) and
+//! [`crate::channel::ChannelTransport`] (crossbeam-style channels for the
+//! thread-per-node deployment). A future remote backend (tokio/TCP between
+//! real enclave hosts) only has to implement these traits; the engine and
+//! every experiment binary stay untouched.
+
+use crate::mem::Envelope;
+use crate::stats::TrafficStats;
+use std::time::Instant;
+
+/// A message fabric connecting `n` nodes, viewed from a single owner.
+///
+/// # Delivery contract
+/// * `send` enqueues immediately and is accounted in both ends'
+///   [`TrafficStats`] at send time.
+/// * `recv` drains everything delivered to a node, in **canonical order**:
+///   ascending sender id, FIFO within one sender (see [`canonicalize`]).
+///   Canonical order is what makes runs bit-reproducible across backends —
+///   the cross-backend equivalence test relies on it.
+/// * `flush` is the round barrier for fabrics that defer visibility; the
+///   engine calls it after applying an epoch's sends. Immediate fabrics
+///   implement it as a no-op.
+pub trait Transport {
+    /// Per-node handle type for thread-per-node drivers.
+    type Endpoint: Endpoint + 'static;
+
+    /// Number of attached nodes.
+    fn num_nodes(&self) -> usize;
+
+    /// Sends `bytes` from node `from` to node `to`.
+    fn send(&mut self, from: usize, to: usize, bytes: Vec<u8>);
+
+    /// Drains every message delivered to `node`, in canonical order.
+    fn recv(&mut self, node: usize) -> Vec<Envelope>;
+
+    /// Makes all prior sends visible to subsequent `recv` calls.
+    fn flush(&mut self);
+
+    /// Cumulative traffic counters of `node`.
+    fn stats(&self, node: usize) -> TrafficStats;
+
+    /// Snapshot of every node's traffic counters.
+    fn all_stats(&self) -> Vec<TrafficStats>;
+
+    /// Splits the fabric into one endpoint per node, each safe to move to
+    /// its own thread. Returns `None` for fabrics that only support
+    /// single-owner (lockstep) driving.
+    fn into_endpoints(self) -> Option<Vec<Self::Endpoint>>;
+}
+
+/// One node's handle onto a [`Transport`] fabric, movable to that node's
+/// thread. Same delivery contract as the fabric view.
+pub trait Endpoint: Send {
+    /// The owning node's id.
+    fn id(&self) -> usize;
+
+    /// Number of nodes in the fabric.
+    fn num_nodes(&self) -> usize;
+
+    /// Sends `bytes` to node `to`.
+    fn send(&mut self, to: usize, bytes: Vec<u8>);
+
+    /// Drains every delivered message, in canonical order, without
+    /// blocking.
+    fn recv(&mut self) -> Vec<Envelope>;
+
+    /// Cumulative traffic counters of this node.
+    fn stats(&self) -> TrafficStats;
+}
+
+/// Sorts an inbox into canonical order: ascending sender id, preserving
+/// per-sender FIFO (stable sort).
+pub fn canonicalize(inbox: &mut [Envelope]) {
+    inbox.sort_by_key(|env| env.from);
+}
+
+/// Endpoint type for fabrics that cannot be split across threads
+/// (uninhabited — no value of this type ever exists).
+#[derive(Debug)]
+pub enum NeverEndpoint {}
+
+impl Endpoint for NeverEndpoint {
+    fn id(&self) -> usize {
+        match *self {}
+    }
+    fn num_nodes(&self) -> usize {
+        match *self {}
+    }
+    fn send(&mut self, _to: usize, _bytes: Vec<u8>) {
+        match *self {}
+    }
+    fn recv(&mut self) -> Vec<Envelope> {
+        match *self {}
+    }
+    fn stats(&self) -> TrafficStats {
+        match *self {}
+    }
+}
+
+/// The engine's time hook: one interface over simulated and wall-clock
+/// time.
+///
+/// * Simulated axes (`rex_sim::VirtualClock`) start at zero and move only
+///   through [`Clock::advance`] — the modelled compute/network/SGX
+///   charges.
+/// * [`WallClock`] reads real elapsed time; `advance` adds modelled
+///   charges (e.g. SGX hardware effects the host CPU does not exhibit) on
+///   top of the measured axis.
+pub trait Clock {
+    /// Current time on this axis, ns.
+    fn now_ns(&self) -> u64;
+
+    /// Adds `delta_ns` of modelled time.
+    fn advance(&mut self, delta_ns: u64);
+}
+
+/// Wall-clock time plus modelled extra charges.
+#[derive(Debug, Clone)]
+pub struct WallClock {
+    origin: Instant,
+    extra_ns: u64,
+}
+
+impl WallClock {
+    /// Starts the clock at now.
+    #[must_use]
+    pub fn start() -> Self {
+        WallClock {
+            origin: Instant::now(),
+            extra_ns: 0,
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_ns(&self) -> u64 {
+        let elapsed = self.origin.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        elapsed.saturating_add(self.extra_ns)
+    }
+
+    fn advance(&mut self, delta_ns: u64) {
+        self.extra_ns = self.extra_ns.saturating_add(delta_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_order_sorts_by_sender_keeping_fifo() {
+        let mut inbox = vec![
+            Envelope {
+                from: 2,
+                bytes: vec![1],
+            },
+            Envelope {
+                from: 0,
+                bytes: vec![2],
+            },
+            Envelope {
+                from: 2,
+                bytes: vec![3],
+            },
+            Envelope {
+                from: 1,
+                bytes: vec![4],
+            },
+        ];
+        canonicalize(&mut inbox);
+        let order: Vec<(usize, u8)> = inbox.iter().map(|e| (e.from, e.bytes[0])).collect();
+        assert_eq!(order, vec![(0, 2), (1, 4), (2, 1), (2, 3)]);
+    }
+
+    #[test]
+    fn wall_clock_adds_modelled_charges() {
+        let mut clock = WallClock::start();
+        let before = clock.now_ns();
+        clock.advance(5_000_000_000);
+        assert!(clock.now_ns() >= before + 5_000_000_000);
+    }
+}

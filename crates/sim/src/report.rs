@@ -97,7 +97,9 @@ pub fn speedup_table_markdown(rows: &[SpeedupRow], unit: &str) -> String {
 /// Renders a stage-time breakdown (Figs 5a, 6a, 7a) as markdown.
 #[must_use]
 pub fn stage_breakdown_markdown(rows: &[(String, StageTimes)]) -> String {
-    let mut out = String::from("| Config | merge | train | share | test | total |\n|---|---|---|---|---|---|\n");
+    let mut out = String::from(
+        "| Config | merge | train | share | test | total |\n|---|---|---|---|---|---|\n",
+    );
     for (name, st) in rows {
         let _ = write!(out, "| {name} |");
         for stage in STAGES {
@@ -111,8 +113,7 @@ pub fn stage_breakdown_markdown(rows: &[(String, StageTimes)]) -> String {
 /// Renders an SGX-overhead table (paper Table IV).
 #[must_use]
 pub fn overhead_table_markdown(rows: &[(String, f64, f64)]) -> String {
-    let mut out =
-        String::from("| Setup | RAM [MiB] | Overhead [%] |\n|---|---|---|\n");
+    let mut out = String::from("| Setup | RAM [MiB] | Overhead [%] |\n|---|---|---|\n");
     for (setup, ram_mib, overhead_pct) in rows {
         let _ = writeln!(out, "| {setup} | {ram_mib:.1} | {overhead_pct:.0} |");
     }
@@ -149,7 +150,8 @@ mod tests {
         assert_eq!(lines.len(), 3);
         assert!(lines[0].starts_with("series,epoch"));
         assert!(lines[1].starts_with("REX, RMW, SW,0,"));
-        assert_eq!(lines[1].split(',').count(), lines[0].split(',').count() + 2); // name contains commas
+        assert_eq!(lines[1].split(',').count(), lines[0].split(',').count() + 2);
+        // name contains commas
     }
 
     #[test]

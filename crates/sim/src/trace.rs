@@ -48,7 +48,10 @@ impl ExperimentTrace {
     pub fn push(&mut self, record: EpochRecord) {
         if let Some(last) = self.records.last() {
             assert!(record.epoch > last.epoch, "records must be in epoch order");
-            assert!(record.time_ns >= last.time_ns, "virtual time went backwards");
+            assert!(
+                record.time_ns >= last.time_ns,
+                "virtual time went backwards"
+            );
         }
         self.records.push(record);
     }
@@ -72,7 +75,10 @@ impl ExperimentTrace {
     /// First epoch at which the RMSE reaches `target`.
     #[must_use]
     pub fn epochs_to_target(&self, target: f64) -> Option<usize> {
-        self.records.iter().find(|r| r.rmse <= target).map(|r| r.epoch)
+        self.records
+            .iter()
+            .find(|r| r.rmse <= target)
+            .map(|r| r.epoch)
     }
 
     /// Total bytes per node over the run.
@@ -118,7 +124,11 @@ impl ExperimentTrace {
 /// Speedup of `fast` over `slow` reaching `target` RMSE (paper Tables
 /// II/III: "REX speed-up"). `None` if either never reaches it.
 #[must_use]
-pub fn speedup_to_target(fast: &ExperimentTrace, slow: &ExperimentTrace, target: f64) -> Option<f64> {
+pub fn speedup_to_target(
+    fast: &ExperimentTrace,
+    slow: &ExperimentTrace,
+    target: f64,
+) -> Option<f64> {
     let tf = fast.time_to_target_secs(target)?;
     let ts = slow.time_to_target_secs(target)?;
     if tf <= 0.0 {
@@ -153,7 +163,10 @@ mod tests {
 
     #[test]
     fn time_to_target() {
-        let t = trace("x", &[(0, 1.0, 1.5), (1, 2.0, 1.2), (2, 3.0, 1.0), (3, 4.0, 0.9)]);
+        let t = trace(
+            "x",
+            &[(0, 1.0, 1.5), (1, 2.0, 1.2), (2, 3.0, 1.0), (3, 4.0, 0.9)],
+        );
         assert_eq!(t.time_to_target_secs(1.2), Some(2.0));
         assert_eq!(t.time_to_target_secs(0.95), Some(4.0));
         assert_eq!(t.time_to_target_secs(0.5), None);

@@ -271,7 +271,9 @@ mod tests {
         );
         // Even if the rogue B skipped its check and sent a Reply, honest A
         // must reject it.
-        let forged_reply = AttestationMsg::Reply { quote: b.quote.clone() };
+        let forged_reply = AttestationMsg::Reply {
+            quote: b.quote.clone(),
+        };
         assert_eq!(
             a.attestor
                 .finish(&a.enclave, &dcap, &a.quote, &forged_reply)
@@ -322,7 +324,9 @@ mod tests {
     #[test]
     fn wrong_message_order_rejected() {
         let (dcap, a, b) = setup(REX_ENCLAVE_V1, REX_ENCLAVE_V1);
-        let reply = AttestationMsg::Reply { quote: b.quote.clone() };
+        let reply = AttestationMsg::Reply {
+            quote: b.quote.clone(),
+        };
         let err = b
             .attestor
             .respond(&b.enclave, &dcap, b.quote.clone(), &reply)
@@ -346,7 +350,10 @@ mod tests {
             .attestor
             .respond(&b.enclave, &dcap, b.quote.clone(), &hello)
             .unwrap();
-        let mut sa1 = a.attestor.finish(&a.enclave, &dcap, &a.quote, &reply).unwrap();
+        let mut sa1 = a
+            .attestor
+            .finish(&a.enclave, &dcap, &a.quote, &reply)
+            .unwrap();
 
         let (dcap2, a2, b2) = setup_seeded(REX_ENCLAVE_V1, REX_ENCLAVE_V1, 0xBEEF);
         let hello2 = Attestor::hello(a2.quote.clone());

@@ -97,8 +97,7 @@ impl SgxCostModel {
         if resident_bytes <= self.epc_limit_bytes || resident_bytes == 0 {
             return 0;
         }
-        let fault_fraction =
-            (resident_bytes - self.epc_limit_bytes) as f64 / resident_bytes as f64;
+        let fault_fraction = (resident_bytes - self.epc_limit_bytes) as f64 / resident_bytes as f64;
         let touched_pages = bytes_accessed.div_ceil(self.page_bytes);
         ((touched_pages as f64) * fault_fraction) as u64 * self.epc_fault_ns
     }

@@ -64,7 +64,12 @@ impl Enclave {
         // Report generation crosses no boundary but is enclave compute;
         // charge a token amount via the compute path (measured cost of the
         // MAC is negligible and covered by the multiplier elsewhere).
-        Report::create(self.measurement, user_data, self.platform_id, &self.report_key)
+        Report::create(
+            self.measurement,
+            user_data,
+            self.platform_id,
+            &self.report_key,
+        )
     }
 
     /// Charges one ecall carrying `bytes` into the enclave; returns the
@@ -131,12 +136,7 @@ mod tests {
     use crate::measurement::REX_ENCLAVE_V1;
 
     fn enclave(cost: SgxCostModel) -> Enclave {
-        Enclave::new(
-            Measurement::of_code(REX_ENCLAVE_V1),
-            1,
-            [7u8; 32],
-            cost,
-        )
+        Enclave::new(Measurement::of_code(REX_ENCLAVE_V1), 1, [7u8; 32], cost)
     }
 
     #[test]

@@ -66,8 +66,16 @@ mod tests {
 
     #[test]
     fn absorb_accumulates() {
-        let mut a = CostMeter { ecalls: 1, paging_ns: 10, ..Default::default() };
-        let b = CostMeter { ecalls: 2, compute_ns: 7, ..Default::default() };
+        let mut a = CostMeter {
+            ecalls: 1,
+            paging_ns: 10,
+            ..Default::default()
+        };
+        let b = CostMeter {
+            ecalls: 2,
+            compute_ns: 7,
+            ..Default::default()
+        };
         a.absorb(&b);
         assert_eq!(a.ecalls, 3);
         assert_eq!(a.total_overhead_ns(), 17);

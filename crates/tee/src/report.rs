@@ -27,7 +27,11 @@ pub struct Report {
 impl Report {
     /// Serializes the MAC'd portion.
     #[must_use]
-    pub fn body_bytes(measurement: &Measurement, user_data: &[u8; USER_DATA_LEN], platform_id: u64) -> Vec<u8> {
+    pub fn body_bytes(
+        measurement: &Measurement,
+        user_data: &[u8; USER_DATA_LEN],
+        platform_id: u64,
+    ) -> Vec<u8> {
         let mut out = Vec::with_capacity(32 + USER_DATA_LEN + 8);
         out.extend_from_slice(&measurement.0);
         out.extend_from_slice(user_data);

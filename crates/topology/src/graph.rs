@@ -63,7 +63,10 @@ impl Graph {
     /// # Panics
     /// If `a` or `b` is out of range.
     pub fn add_edge(&mut self, a: usize, b: usize) -> bool {
-        assert!(a < self.len() && b < self.len(), "edge ({a},{b}) out of range");
+        assert!(
+            a < self.len() && b < self.len(),
+            "edge ({a},{b}) out of range"
+        );
         if a == b {
             return false;
         }

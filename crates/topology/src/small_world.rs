@@ -20,7 +20,7 @@ use rand::{Rng, SeedableRng};
 /// If `k` is odd, `k >= n`, or `p` is outside `[0, 1]`.
 #[must_use]
 pub fn small_world(n: usize, k: usize, p: f64, seed: u64) -> Graph {
-    assert!(k % 2 == 0, "k must be even (got {k})");
+    assert!(k.is_multiple_of(2), "k must be even (got {k})");
     assert!(n > k, "need n > k (got n={n}, k={k})");
     assert!((0.0..=1.0).contains(&p), "p must be in [0,1] (got {p})");
     let mut rng = StdRng::seed_from_u64(seed);
@@ -60,7 +60,7 @@ mod tests {
         assert!(metrics::is_connected(&g));
         // Mean degree slightly above k because shortcuts only add edges.
         let mean = g.mean_degree();
-        assert!(mean >= 6.0 && mean < 7.0, "mean degree {mean}");
+        assert!((6.0..7.0).contains(&mean), "mean degree {mean}");
     }
 
     #[test]

@@ -55,7 +55,11 @@ fn main() {
     // Attested channel: share raw ratings, sealed.
     let ratings = b"user=4,item=291,rating=4.5;user=4,item=87,rating=3.0";
     let frame = session_a.seal(b"epoch:1", ratings);
-    println!("A -> B sealed frame: {} bytes ({} plaintext + 16 tag)", frame.len(), ratings.len());
+    println!(
+        "A -> B sealed frame: {} bytes ({} plaintext + 16 tag)",
+        frame.len(),
+        ratings.len()
+    );
     let opened = session_b.open(b"epoch:1", &frame).expect("authentic");
     println!("B opened: {}", String::from_utf8_lossy(&opened));
 
@@ -63,7 +67,9 @@ fn main() {
     let mut rogue = platform_b.create_enclave(b"rogue-data-exfiltrator", SgxCostModel::default());
     let rogue_attestor = Attestor::new(&mut rng);
     let rogue_report = rogue.create_report(rogue_attestor.user_data());
-    let rogue_quote = platform_b.quote_report(&rogue_report).expect("QE signs anything genuine");
+    let rogue_quote = platform_b
+        .quote_report(&rogue_report)
+        .expect("QE signs anything genuine");
     let rogue_hello = Attestor::hello(rogue_quote);
     let err = attestor_a
         .respond(&enclave_a, &dcap, quote_a, &rogue_hello)

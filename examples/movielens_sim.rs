@@ -79,7 +79,12 @@ fn main() {
         ExecutionMode::Native
     };
     let result = run_simulation(
-        &format!("{}, {}, {}", sharing.label(), algorithm.label(), topology.label()),
+        &format!(
+            "{}, {}, {}",
+            sharing.label(),
+            algorithm.label(),
+            topology.label()
+        ),
         &mut fleet,
         &SimulationConfig {
             epochs,

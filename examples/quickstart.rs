@@ -85,7 +85,10 @@ fn main() {
     results.push(central_trace);
 
     // 5. Compare.
-    println!("\n{:<14} {:>10} {:>14} {:>14}", "scheme", "final RMSE", "sim time", "bytes/node");
+    println!(
+        "\n{:<14} {:>10} {:>14} {:>14}",
+        "scheme", "final RMSE", "sim time", "bytes/node"
+    );
     for t in &results {
         println!(
             "{:<14} {:>10.4} {:>12.3}s {:>12.1} KiB",

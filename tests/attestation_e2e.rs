@@ -49,7 +49,8 @@ fn rogue_enclave_cannot_join_the_network() {
     let rogue = Attestor::new(&mut rng);
     let honest_quote = {
         let mut e = p.create_enclave(REX_ENCLAVE_V1, SgxCostModel::default());
-        p.quote_report(&e.create_report(honest.user_data())).unwrap()
+        p.quote_report(&e.create_report(honest.user_data()))
+            .unwrap()
     };
     let rogue_quote = p
         .quote_report(&rogue_enclave.create_report(rogue.user_data()))
@@ -57,7 +58,12 @@ fn rogue_enclave_cannot_join_the_network() {
 
     // Honest node rejects the rogue's Hello.
     let err = honest
-        .respond(&honest_enclave, &dcap, honest_quote, &Attestor::hello(rogue_quote))
+        .respond(
+            &honest_enclave,
+            &dcap,
+            honest_quote,
+            &Attestor::hello(rogue_quote),
+        )
         .unwrap_err();
     assert_eq!(err, AttestationError::MeasurementMismatch);
 }

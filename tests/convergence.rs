@@ -58,8 +58,16 @@ fn sim(epochs: usize) -> SimulationConfig {
 #[test]
 fn rex_and_ms_converge_to_similar_quality() {
     // Paper Fig 1: "all scenarios converge to about the same error value".
-    let mut rex_nodes = fleet(SharingMode::RawData, GossipAlgorithm::DPsgd, TopologySpec::SmallWorld);
-    let mut ms_nodes = fleet(SharingMode::Model, GossipAlgorithm::DPsgd, TopologySpec::SmallWorld);
+    let mut rex_nodes = fleet(
+        SharingMode::RawData,
+        GossipAlgorithm::DPsgd,
+        TopologySpec::SmallWorld,
+    );
+    let mut ms_nodes = fleet(
+        SharingMode::Model,
+        GossipAlgorithm::DPsgd,
+        TopologySpec::SmallWorld,
+    );
     let rex = run_simulation("REX", &mut rex_nodes, &sim(60)).trace;
     let ms = run_simulation("MS", &mut ms_nodes, &sim(60)).trace;
 
@@ -69,7 +77,10 @@ fn rex_and_ms_converge_to_similar_quality() {
     let rex_first = rex.records.first().unwrap().rmse;
     let rex_final = rex.final_rmse().unwrap();
     let ms_final = ms.final_rmse().unwrap();
-    assert!(rex_final < rex_first - 0.02, "REX did not converge: {rex_first} -> {rex_final}");
+    assert!(
+        rex_final < rex_first - 0.02,
+        "REX did not converge: {rex_first} -> {rex_final}"
+    );
     assert!(
         (rex_final - ms_final).abs() < 0.08,
         "plateaus diverged: REX {rex_final} vs MS {ms_final}"
@@ -123,7 +134,11 @@ fn centralized_baseline_is_fastest_to_quality() {
         30,
         2,
     );
-    let mut rex_nodes = fleet(SharingMode::RawData, GossipAlgorithm::DPsgd, TopologySpec::SmallWorld);
+    let mut rex_nodes = fleet(
+        SharingMode::RawData,
+        GossipAlgorithm::DPsgd,
+        TopologySpec::SmallWorld,
+    );
     let rex = run_simulation("REX", &mut rex_nodes, &sim(40)).trace;
     assert!(
         central.final_rmse().unwrap() <= rex.final_rmse().unwrap() + 0.05,
@@ -134,7 +149,11 @@ fn centralized_baseline_is_fastest_to_quality() {
 #[test]
 fn raw_data_dissemination_fills_stores() {
     // REX gossip should spread data well beyond each node's initial share.
-    let mut nodes = fleet(SharingMode::RawData, GossipAlgorithm::DPsgd, TopologySpec::SmallWorld);
+    let mut nodes = fleet(
+        SharingMode::RawData,
+        GossipAlgorithm::DPsgd,
+        TopologySpec::SmallWorld,
+    );
     let initial: Vec<usize> = nodes.iter().map(|n| n.store().len()).collect();
     let _ = run_simulation("REX", &mut nodes, &sim(20));
     for (node, init) in nodes.iter().zip(initial) {
@@ -150,8 +169,16 @@ fn raw_data_dissemination_fills_stores() {
 fn rmw_cheaper_than_dpsgd_on_the_wire() {
     // Paper §IV-E-b: "RMW scales better than D-PSGD because of frugal
     // network usage".
-    let mut rmw = fleet(SharingMode::Model, GossipAlgorithm::Rmw, TopologySpec::ErdosRenyi);
-    let mut dpsgd = fleet(SharingMode::Model, GossipAlgorithm::DPsgd, TopologySpec::ErdosRenyi);
+    let mut rmw = fleet(
+        SharingMode::Model,
+        GossipAlgorithm::Rmw,
+        TopologySpec::ErdosRenyi,
+    );
+    let mut dpsgd = fleet(
+        SharingMode::Model,
+        GossipAlgorithm::DPsgd,
+        TopologySpec::ErdosRenyi,
+    );
     let r = run_simulation("rmw", &mut rmw, &sim(10)).trace;
     let d = run_simulation("dpsgd", &mut dpsgd, &sim(10)).trace;
     assert!(d.total_bytes_per_node() > 1.5 * r.total_bytes_per_node());
