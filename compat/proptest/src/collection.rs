@@ -1,4 +1,4 @@
-//! Collection strategies — here, [`vec`].
+//! Collection strategies — here, [`vec()`].
 
 use crate::strategy::Strategy;
 use crate::test_runner::TestRng;

@@ -144,10 +144,12 @@ fn bench_codec(c: &mut Criterion) {
 
 fn bench_transport(c: &mut Criterion) {
     // Encode + send + recv roundtrip through each Transport backend, per
-    // payload size — the baseline for future backend work (tokio/TCP,
-    // batching, zero-copy).
+    // payload size — the baseline for backend work (batching, zero-copy).
+    // The TCP variant includes the delivery barrier (flush), so it prices
+    // a *guaranteed-delivered* roundtrip through the kernel's TCP stack.
     use rex_net::channel::ChannelTransport;
     use rex_net::mem::MemNetwork;
+    use rex_net::tcp::TcpTransport;
     use rex_net::transport::Transport;
 
     let mut group = c.benchmark_group("transport_roundtrip");
@@ -171,6 +173,15 @@ fn bench_transport(c: &mut Criterion) {
             b.iter(|| {
                 let bytes = encode_plain(p);
                 Transport::send(&mut net, 0, 1, bytes);
+                Transport::recv(&mut net, 1)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("tcp", size), &plain, |b, p| {
+            let mut net = TcpTransport::loopback(2).expect("loopback fabric");
+            b.iter(|| {
+                let bytes = encode_plain(p);
+                Transport::send(&mut net, 0, 1, bytes);
+                net.flush();
                 Transport::recv(&mut net, 1)
             });
         });

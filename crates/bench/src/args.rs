@@ -6,6 +6,9 @@
 pub struct BenchArgs {
     /// Run the paper-scale configuration instead of the quick one.
     pub full: bool,
+    /// Run real-thread arms over the TCP loopback transport instead of
+    /// in-process channels (where the binary supports it).
+    pub tcp: bool,
     /// Override the epoch budget.
     pub epochs: Option<usize>,
     /// Override the node count (where meaningful).
@@ -18,6 +21,7 @@ impl Default for BenchArgs {
     fn default() -> Self {
         BenchArgs {
             full: false,
+            tcp: false,
             epochs: None,
             nodes: None,
             seed: 0xBE7C,
@@ -39,6 +43,7 @@ impl BenchArgs {
         while let Some(arg) = iter.next() {
             match arg.as_str() {
                 "--full" => out.full = true,
+                "--tcp" => out.tcp = true,
                 "--epochs" => {
                     out.epochs = Some(
                         iter.next()
@@ -71,7 +76,7 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
     }
-    eprintln!("usage: <bench> [--full] [--epochs N] [--nodes N] [--seed N]");
+    eprintln!("usage: <bench> [--full] [--tcp] [--epochs N] [--nodes N] [--seed N]");
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
 
@@ -92,8 +97,11 @@ mod tests {
 
     #[test]
     fn flags() {
-        let a = parse(&["--full", "--epochs", "42", "--nodes", "16", "--seed", "9"]);
+        let a = parse(&[
+            "--full", "--tcp", "--epochs", "42", "--nodes", "16", "--seed", "9",
+        ]);
         assert!(a.full);
+        assert!(a.tcp);
         assert_eq!(a.epochs, Some(42));
         assert_eq!(a.nodes, Some(16));
         assert_eq!(a.seed, 9);

@@ -1,0 +1,151 @@
+//! Transport microbenchmark with machine-readable output: times a
+//! guaranteed-delivered roundtrip (encode → send → flush → recv)
+//! through every `Transport` backend and writes
+//! `results/BENCH_transport.json` — the artifact CI uploads on every run
+//! to track the perf trajectory of the wire path.
+//!
+//! Quick mode (default) keeps total runtime around a second; `--full`
+//! measures longer. `ns_per_roundtrip` is a mean over the measured
+//! iterations; the TCP row includes the wire barrier, i.e. it prices real
+//! kernel socket delivery, not just an enqueue.
+
+use rex_bench::{output, BenchArgs};
+use rex_net::channel::ChannelTransport;
+use rex_net::codec::encode_plain;
+use rex_net::mem::MemNetwork;
+use rex_net::message::Plain;
+use rex_net::tcp::TcpTransport;
+use rex_net::transport::Transport;
+use std::time::Instant;
+
+const PAYLOAD_SIZES: [usize; 3] = [256, 4_096, 65_536];
+
+struct Row {
+    backend: &'static str,
+    payload_bytes: usize,
+    encoded_bytes: usize,
+    iters: u64,
+    ns_per_roundtrip: f64,
+    mib_per_sec: f64,
+}
+
+/// Times `roundtrip` adaptively: warm up once, then size the iteration
+/// count to fill `window_ms`.
+fn measure(window_ms: u64, mut roundtrip: impl FnMut()) -> (u64, f64) {
+    let probe = Instant::now();
+    roundtrip();
+    let once_ns = probe.elapsed().as_nanos().max(1) as u64;
+    let iters = (window_ms * 1_000_000 / once_ns).clamp(10, 200_000);
+    let start = Instant::now();
+    for _ in 0..iters {
+        roundtrip();
+    }
+    let total = start.elapsed().as_nanos() as f64;
+    (iters, total / iters as f64)
+}
+
+fn bench_backend(
+    backend: &'static str,
+    window_ms: u64,
+    plain: &Plain,
+    payload_bytes: usize,
+    mut net: impl Transport,
+    flush: bool,
+) -> Row {
+    let encoded_bytes = encode_plain(plain).len();
+    let (iters, ns) = measure(window_ms, || {
+        let bytes = encode_plain(plain);
+        net.send(0, 1, bytes);
+        if flush {
+            net.flush();
+        }
+        let got = net.recv(1);
+        assert!(!got.is_empty(), "{backend}: roundtrip lost the message");
+    });
+    Row {
+        backend,
+        payload_bytes,
+        encoded_bytes,
+        iters,
+        ns_per_roundtrip: ns,
+        mib_per_sec: encoded_bytes as f64 / (1024.0 * 1024.0) / (ns / 1e9),
+    }
+}
+
+fn json_escape_free(rows: &[Row], mode: &str) -> String {
+    // Hand-rolled JSON: fixed schema, no strings that need escaping.
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"bench\": \"transport_roundtrip\",\n  \"mode\": \"{mode}\",\n"
+    ));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"backend\": \"{}\", \"payload_bytes\": {}, \"encoded_bytes\": {}, \"iters\": {}, \"ns_per_roundtrip\": {:.1}, \"mib_per_sec\": {:.2}}}{}\n",
+            r.backend,
+            r.payload_bytes,
+            r.encoded_bytes,
+            r.iters,
+            r.ns_per_roundtrip,
+            r.mib_per_sec,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let window_ms = if args.full { 500 } else { 60 };
+    let mode = if args.full { "full" } else { "quick" };
+
+    let mut rows = Vec::new();
+    for size in PAYLOAD_SIZES {
+        let plain = Plain::Model {
+            bytes: vec![0xA5u8; size],
+            degree: 8,
+        };
+        rows.push(bench_backend(
+            "mem",
+            window_ms,
+            &plain,
+            size,
+            MemNetwork::new(2),
+            false,
+        ));
+        rows.push(bench_backend(
+            "channel",
+            window_ms,
+            &plain,
+            size,
+            ChannelTransport::new(2),
+            false,
+        ));
+        rows.push(bench_backend(
+            "tcp",
+            window_ms,
+            &plain,
+            size,
+            TcpTransport::loopback(2).expect("loopback fabric"),
+            true,
+        ));
+    }
+
+    println!("transport roundtrip ({mode} mode):");
+    for r in &rows {
+        println!(
+            "  {:<8} {:>7} B payload: {:>10.0} ns/rt  {:>9.2} MiB/s",
+            r.backend, r.payload_bytes, r.ns_per_roundtrip, r.mib_per_sec
+        );
+    }
+
+    let json = json_escape_free(&rows, mode);
+    match output::save("BENCH_transport.json", &json) {
+        Ok(path) => println!("[saved] {}", path.display()),
+        Err(e) => {
+            eprintln!("could not save BENCH_transport.json: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -2,12 +2,12 @@
 //! usage that explains it, for {RMW, D-PSGD} × {REX, MS} at both dataset
 //! scales (paper: REX ≤ 17 %, MS 51–135 %).
 
-use rex_bench::sgx_experiments::{overhead_row, run_arm, Arm, SgxScale};
+use rex_bench::sgx_experiments::{overhead_row, run_arm_on, Arm, ArmBackend, SgxScale};
 use rex_bench::{output, BenchArgs};
 use rex_core::config::{GossipAlgorithm, SharingMode};
 use rex_sim::report::overhead_table_markdown;
 
-fn run_scale(scale: &SgxScale, tag: &str) -> Vec<(String, f64, f64)> {
+fn run_scale(scale: &SgxScale, tag: &str, backend: ArmBackend) -> Vec<(String, f64, f64)> {
     let mut rows = Vec::new();
     for algorithm in [GossipAlgorithm::Rmw, GossipAlgorithm::DPsgd] {
         for sharing in [SharingMode::RawData, SharingMode::Model] {
@@ -20,21 +20,23 @@ fn run_scale(scale: &SgxScale, tag: &str) -> Vec<(String, f64, f64)> {
                 }
             );
             eprintln!("[table4] {label}");
-            let native = run_arm(
+            let native = run_arm_on(
                 scale,
                 Arm {
                     algorithm,
                     sharing,
                     sgx: false,
                 },
+                backend,
             );
-            let sgx = run_arm(
+            let sgx = run_arm_on(
                 scale,
                 Arm {
                     algorithm,
                     sharing,
                     sgx: true,
                 },
+                backend,
             );
             rows.push(overhead_row(&label, &sgx, &native));
         }
@@ -50,15 +52,20 @@ fn main() {
         (SgxScale::fig6_quick(&args), SgxScale::fig7_quick(&args))
     };
 
+    let backend = ArmBackend::from_args(&args);
     println!(
-        "Table IV: SGX overhead vs native. Small scale: {}u; large: {}u (EPC {})\n",
+        "Table IV: SGX overhead vs native{}. Small scale: {}u; large: {}u (EPC {})\n",
+        match backend {
+            ArmBackend::Channel => "",
+            ArmBackend::Tcp => ", over TCP loopback sockets",
+        },
         small.num_users,
         large.num_users,
         output::human_bytes(large.epc_limit_bytes as f64)
     );
 
-    let mut rows = run_scale(&small, &format!("{}u", small.num_users));
-    rows.extend(run_scale(&large, &format!("{}u", large.num_users)));
+    let mut rows = run_scale(&small, &format!("{}u", small.num_users), backend);
+    rows.extend(run_scale(&large, &format!("{}u", large.num_users), backend));
 
     let md = overhead_table_markdown(&rows);
     println!("{md}");

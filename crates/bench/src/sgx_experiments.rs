@@ -5,9 +5,11 @@
 use crate::args::BenchArgs;
 use rex_core::builder::{build_mf_nodes, NodeSeeds};
 use rex_core::config::{ExecutionMode, GossipAlgorithm, ProtocolConfig, SharingMode};
+use rex_core::engine::{Driver, Engine, EngineConfig, TimeAxis};
 use rex_core::threaded::{run_threaded, ThreadedConfig, ThreadedResult};
 use rex_data::{Partition, SyntheticConfig, TrainTestSplit};
-use rex_ml::MfHyperParams;
+use rex_ml::{MfHyperParams, MfModel};
+use rex_net::tcp::TcpTransport;
 use rex_tee::SgxCostModel;
 use rex_topology::TopologySpec;
 
@@ -131,8 +133,33 @@ pub fn all_arms() -> Vec<Arm> {
     arms
 }
 
-/// Runs one arm on the paper's 8-node fully connected deployment.
-pub fn run_arm(scale: &SgxScale, arm: Arm) -> ThreadedResult {
+/// Transport the real-thread arms run over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ArmBackend {
+    /// In-process crossbeam channels (default).
+    #[default]
+    Channel,
+    /// Real TCP sockets over loopback — the same run with every frame
+    /// crossing the kernel's network stack. Results are bit-identical;
+    /// only wall-clock timings differ.
+    Tcp,
+}
+
+impl ArmBackend {
+    /// Maps the shared `--tcp` CLI flag.
+    #[must_use]
+    pub fn from_args(args: &BenchArgs) -> Self {
+        if args.tcp {
+            ArmBackend::Tcp
+        } else {
+            ArmBackend::Channel
+        }
+    }
+}
+
+/// Runs one arm on the paper's 8-node fully connected deployment over
+/// the chosen transport backend.
+pub fn run_arm_on(scale: &SgxScale, arm: Arm, backend: ArmBackend) -> ThreadedResult {
     let dataset = SyntheticConfig {
         num_users: scale.num_users,
         num_items: scale.num_items,
@@ -164,16 +191,38 @@ pub fn run_arm(scale: &SgxScale, arm: Arm) -> ThreadedResult {
     } else {
         ExecutionMode::Native
     };
-    run_threaded(
-        &arm.label(),
-        nodes,
-        &ThreadedConfig {
-            epochs: scale.epochs,
-            execution,
-            processes_per_platform: 2, // the paper packs 2 processes/machine
-            seed: scale.seed ^ 0x991,
-        },
-    )
+    match backend {
+        ArmBackend::Channel => run_threaded(
+            &arm.label(),
+            nodes,
+            &ThreadedConfig {
+                epochs: scale.epochs,
+                execution,
+                processes_per_platform: 2, // the paper packs 2 processes/machine
+                seed: scale.seed ^ 0x991,
+            },
+        ),
+        ArmBackend::Tcp => {
+            let mut nodes = nodes;
+            Engine::<MfModel, TcpTransport>::new(
+                TcpTransport::loopback(nodes.len()).expect("loopback fabric"),
+                EngineConfig {
+                    epochs: scale.epochs,
+                    execution,
+                    time: TimeAxis::Wall,
+                    driver: Driver::ThreadPerNode,
+                    processes_per_platform: 2,
+                    seed: scale.seed ^ 0x991,
+                },
+            )
+            .run(&arm.label(), &mut nodes)
+        }
+    }
+}
+
+/// Runs one arm over the default channel backend.
+pub fn run_arm(scale: &SgxScale, arm: Arm) -> ThreadedResult {
+    run_arm_on(scale, arm, ArmBackend::Channel)
 }
 
 /// Mean epoch duration (seconds) excluding setup.
@@ -251,5 +300,30 @@ mod tests {
         assert!(ram > 0.0);
         // Overheads on tiny runs are noisy; just require a finite number.
         assert!(overhead.is_finite());
+    }
+
+    #[test]
+    fn tcp_backend_arm_matches_channel_backend() {
+        let scale = SgxScale {
+            num_users: 24,
+            num_items: 150,
+            num_ratings: 1_600,
+            epochs: 3,
+            epc_limit_bytes: SgxCostModel::default().epc_limit_bytes,
+            seed: 3,
+        };
+        let arm = Arm {
+            algorithm: GossipAlgorithm::DPsgd,
+            sharing: SharingMode::RawData,
+            sgx: false,
+        };
+        let channel = run_arm_on(&scale, arm, ArmBackend::Channel);
+        let tcp = run_arm_on(&scale, arm, ArmBackend::Tcp);
+        // Same learning and wire traffic; only the time axis may differ.
+        for (c, t) in channel.trace.records.iter().zip(&tcp.trace.records) {
+            assert_eq!(c.rmse.to_bits(), t.rmse.to_bits());
+            assert_eq!(c.bytes_per_node.to_bits(), t.bytes_per_node.to_bits());
+        }
+        assert_eq!(channel.final_stats, tcp.final_stats);
     }
 }

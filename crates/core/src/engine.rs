@@ -11,14 +11,18 @@
 //! * the **real-thread deployment** —
 //!   [`ChannelTransport`](rex_net::ChannelTransport),
 //!   [`Driver::ThreadPerNode`], [`TimeAxis::Wall`];
+//! * the **real-socket deployment** —
+//!   [`TcpTransport`](rex_net::TcpTransport), either driver: frames cross
+//!   the kernel's TCP stack, and the `rex-node` binary runs the same node
+//!   loop one process per node;
 //! * the **centralized baseline** — a one-node fabric with no neighbours
 //!   (see [`crate::centralized`]).
 //!
 //! The legacy entry points [`crate::runner::run_simulation`],
 //! [`crate::threaded::run_threaded`] and
 //! [`crate::centralized::run_centralized`] are thin configuration shims
-//! over [`Engine::run`]; new backends (e.g. a tokio/TCP transport between
-//! real enclave hosts) only implement the `rex-net` transport traits.
+//! over [`Engine::run`]; a further backend only implements the `rex-net`
+//! transport traits.
 //!
 //! # Determinism
 //! Inboxes are handed to nodes in canonical order (ascending sender id,
@@ -292,8 +296,11 @@ impl<M: Model, T: Transport> Engine<M, T> {
                     for (dest, bytes) in outgoing {
                         endpoint.send(dest, bytes);
                     }
-                    // All sends of this epoch complete before anyone
-                    // drains the next epoch's inbox.
+                    // All sends of this epoch complete — and, for fabrics
+                    // with real propagation delay (TCP), are *delivered*
+                    // (wire-level barrier) — before anyone drains the
+                    // next epoch's inbox.
+                    endpoint.sync();
                     barrier.wait();
                     reports.push((start.elapsed().as_nanos() as u64, report));
                 }

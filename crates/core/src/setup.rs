@@ -148,6 +148,11 @@ pub fn establish_tee<M: Model, T: Transport>(
     }
 
     // Drain the handshake traffic so epoch 0 starts with clean inboxes.
+    // The flush is the round barrier: on fabrics with real propagation
+    // delay (TCP) it guarantees every handshake frame has landed in its
+    // destination mailbox before the drain, so none can leak into the
+    // epoch loop; on the in-memory fabrics it is a no-op.
+    transport.flush();
     for id in 0..nodes.len() {
         let _ = transport.recv(id);
     }

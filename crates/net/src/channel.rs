@@ -25,6 +25,18 @@ pub struct AtomicStats {
 }
 
 impl AtomicStats {
+    /// Records an outgoing message of `bytes` payload bytes.
+    pub fn record_send(&self, bytes: u64) {
+        self.bytes_out.fetch_add(bytes, Ordering::Relaxed);
+        self.msgs_out.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an incoming message of `bytes` payload bytes.
+    pub fn record_recv(&self, bytes: u64) {
+        self.bytes_in.fetch_add(bytes, Ordering::Relaxed);
+        self.msgs_in.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Snapshot into a plain [`TrafficStats`].
     #[must_use]
     pub fn snapshot(&self) -> TrafficStats {
@@ -62,12 +74,8 @@ impl ChannelEndpoint {
         let sender = self.senders[to]
             .as_ref()
             .expect("destination is this endpoint");
-        self.stats[self.id]
-            .bytes_out
-            .fetch_add(size, Ordering::Relaxed);
-        self.stats[self.id].msgs_out.fetch_add(1, Ordering::Relaxed);
-        self.stats[to].bytes_in.fetch_add(size, Ordering::Relaxed);
-        self.stats[to].msgs_in.fetch_add(1, Ordering::Relaxed);
+        self.stats[self.id].record_send(size);
+        self.stats[to].record_recv(size);
         // Receiver dropped = peer finished; losing the message is fine for
         // the epoch-bounded experiments.
         let _ = sender.send(Envelope {

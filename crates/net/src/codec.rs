@@ -330,4 +330,118 @@ mod tests {
         buf.extend_from_slice(&u32::MAX.to_le_bytes());
         assert!(decode_payload(&buf).is_err());
     }
+
+    #[test]
+    fn every_truncation_of_every_payload_errors_never_panics() {
+        // Exhaustive prefix sweep over one encoding of each outer variant:
+        // any cut must yield a CodecError, not a panic or a bogus decode.
+        let payloads = [
+            Payload::Attestation(AttestationMsg::Hello {
+                quote: sample_quote(),
+            }),
+            Payload::Attestation(AttestationMsg::Reply {
+                quote: sample_quote(),
+            }),
+            Payload::Sealed(vec![7; 40]),
+            Payload::Clear(vec![8; 17]),
+        ];
+        for p in &payloads {
+            let bytes = encode_payload(p);
+            for cut in 0..bytes.len() {
+                assert!(
+                    decode_payload(&bytes[..cut]).is_err(),
+                    "prefix of {cut} bytes decoded as a payload"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_truncation_of_every_plain_errors_never_panics() {
+        let plains = [
+            Plain::RawData {
+                ratings: vec![
+                    Rating {
+                        user: 1,
+                        item: 2,
+                        value: 3.0,
+                    };
+                    5
+                ],
+                degree: 4,
+            },
+            Plain::Model {
+                bytes: vec![9; 33],
+                degree: 2,
+            },
+            Plain::Empty { degree: 1 },
+        ];
+        for p in &plains {
+            let bytes = encode_plain(p);
+            for cut in 0..bytes.len() {
+                assert!(
+                    decode_plain(&bytes[..cut]).is_err(),
+                    "prefix of {cut} bytes decoded as a plain"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_bad_tags_rejected() {
+        // Any unknown outer tag fails cleanly, including tags valid only
+        // for the *inner* codec (and vice versa).
+        for tag in [0u8, TAG_RAW_DATA, TAG_MODEL, TAG_EMPTY, 200, 255] {
+            let mut buf = vec![tag];
+            buf.extend_from_slice(&[0; 8]);
+            assert!(
+                matches!(decode_payload(&buf), Err(CodecError::Invalid(_))),
+                "outer tag {tag} accepted"
+            );
+        }
+        for tag in [0u8, TAG_ATTEST_HELLO, TAG_SEALED, TAG_CLEAR, 99] {
+            let mut buf = vec![tag];
+            buf.extend_from_slice(&[0; 12]);
+            assert!(decode_plain(&buf).is_err(), "inner tag {tag} accepted");
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefixes_rejected_before_allocation() {
+        // Length fields just past MAX_LEN and at u32::MAX, for every
+        // length-carrying variant: the decoder must refuse without trying
+        // to materialize the claimed buffer.
+        for hostile in [MAX_LEN + 1, u32::MAX] {
+            for tag in [TAG_SEALED, TAG_CLEAR] {
+                let mut buf = vec![tag];
+                buf.extend_from_slice(&hostile.to_le_bytes());
+                match decode_payload(&buf) {
+                    Err(CodecError::Invalid(m)) => assert!(m.contains("length")),
+                    other => panic!("tag {tag} with len {hostile}: {other:?}"),
+                }
+            }
+            for tag in [TAG_RAW_DATA, TAG_MODEL] {
+                let mut buf = vec![tag];
+                buf.extend_from_slice(&0u32.to_le_bytes()); // degree
+                buf.extend_from_slice(&hostile.to_le_bytes());
+                assert!(
+                    matches!(decode_plain(&buf), Err(CodecError::Invalid(_))),
+                    "inner tag {tag} with len {hostile} accepted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn short_errors_are_short_invalid_errors_are_invalid() {
+        // The two error classes stay distinguishable: truncation reports
+        // Short, structural garbage reports Invalid.
+        let mut truncated = encode_payload(&Payload::Sealed(vec![1, 2, 3]));
+        truncated.pop();
+        assert!(matches!(
+            decode_payload(&truncated),
+            Err(CodecError::Short(_))
+        ));
+        assert!(matches!(decode_payload(&[77]), Err(CodecError::Invalid(_))));
+    }
 }

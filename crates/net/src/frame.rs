@@ -1,0 +1,348 @@
+//! Length-prefixed wire framing for the TCP transport.
+//!
+//! Every byte that crosses a [`crate::tcp`] socket travels inside one
+//! frame: a 9-byte header — kind tag, sender node id, body length, all
+//! little-endian — followed by the body. Three kinds exist:
+//!
+//! * [`Frame::Hello`] — sent once by the dialing side of each connection
+//!   so the accepting side learns which peer it is talking to;
+//! * [`Frame::Data`] — carries one protocol message (an encoded
+//!   [`crate::message::Payload`]); only these bodies are accounted in
+//!   [`crate::stats::TrafficStats`], which keeps byte counts bit-identical
+//!   with the in-memory backends;
+//! * [`Frame::Barrier`] — a round-barrier token with a generation number;
+//!   control plane, never accounted.
+//!
+//! The codec is split into pure buffer functions ([`encode_frame`] /
+//! [`decode_frame`]) that the tests exercise exhaustively, and streaming
+//! wrappers ([`write_frame`] / [`read_frame`]) over [`std::io`] used by
+//! the socket reader/writer paths. Hostile or corrupt length fields are
+//! rejected before any allocation via [`MAX_BODY_LEN`].
+
+use std::io::{self, Read, Write};
+
+/// Frame kind tags on the wire.
+const KIND_HELLO: u8 = 1;
+const KIND_DATA: u8 = 2;
+const KIND_BARRIER: u8 = 3;
+
+/// Fixed header size: kind (1) + from (4) + body length (4).
+pub const HEADER_LEN: usize = 9;
+
+/// Sanity cap on frame bodies (256 MiB): far above any REX payload (the
+/// message codec caps vectors at 16 Mi entries) but small enough to stop a
+/// corrupt length prefix from attempting a huge allocation.
+pub const MAX_BODY_LEN: u32 = 256 * 1024 * 1024;
+
+/// One wire frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Connection bootstrap: "this connection speaks for node `from`".
+    Hello {
+        /// Dialing node's id.
+        from: usize,
+    },
+    /// One protocol message.
+    Data {
+        /// Sending node's id.
+        from: usize,
+        /// Encoded payload (what the in-memory backends would carry
+        /// verbatim; its length is what traffic stats record).
+        payload: Vec<u8>,
+    },
+    /// Round-barrier token.
+    Barrier {
+        /// Sending node's id.
+        from: usize,
+        /// Barrier generation the sender has entered.
+        generation: u64,
+    },
+}
+
+/// Framing failure.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// Structurally invalid frame (unknown kind, oversized or mismatched
+    /// length field, truncated buffer).
+    Invalid(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame io: {e}"),
+            FrameError::Invalid(m) => write!(f, "invalid frame: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+fn header(kind: u8, from: usize, len: usize) -> [u8; HEADER_LEN] {
+    // Mirror of the decode-side cap: silently truncating `len as u32`
+    // would desynchronize the stream and surface at the *peer* as a
+    // bogus disconnect. Oversized payloads are a protocol bug here.
+    assert!(
+        len as u64 <= u64::from(MAX_BODY_LEN),
+        "frame body of {len} bytes exceeds cap {MAX_BODY_LEN}"
+    );
+    let mut h = [0u8; HEADER_LEN];
+    h[0] = kind;
+    h[1..5].copy_from_slice(&(from as u32).to_le_bytes());
+    h[5..9].copy_from_slice(&(len as u32).to_le_bytes());
+    h
+}
+
+/// Encodes a frame into a contiguous buffer (header + body).
+#[must_use]
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    match frame {
+        Frame::Hello { from } => header(KIND_HELLO, *from, 0).to_vec(),
+        Frame::Data { from, payload } => {
+            let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
+            buf.extend_from_slice(&header(KIND_DATA, *from, payload.len()));
+            buf.extend_from_slice(payload);
+            buf
+        }
+        Frame::Barrier { from, generation } => {
+            let mut buf = Vec::with_capacity(HEADER_LEN + 8);
+            buf.extend_from_slice(&header(KIND_BARRIER, *from, 8));
+            buf.extend_from_slice(&generation.to_le_bytes());
+            buf
+        }
+    }
+}
+
+/// Parses a decoded header into `(kind, from, body_len)`, validating the
+/// length field.
+fn parse_header(h: &[u8; HEADER_LEN]) -> Result<(u8, usize, usize), FrameError> {
+    let kind = h[0];
+    let from = u32::from_le_bytes([h[1], h[2], h[3], h[4]]) as usize;
+    let len = u32::from_le_bytes([h[5], h[6], h[7], h[8]]);
+    if len > MAX_BODY_LEN {
+        return Err(FrameError::Invalid(format!(
+            "body length {len} exceeds cap {MAX_BODY_LEN}"
+        )));
+    }
+    Ok((kind, from, len as usize))
+}
+
+fn build_frame(kind: u8, from: usize, body: &[u8]) -> Result<Frame, FrameError> {
+    match kind {
+        KIND_HELLO => {
+            if !body.is_empty() {
+                return Err(FrameError::Invalid(format!(
+                    "hello frame with {}-byte body",
+                    body.len()
+                )));
+            }
+            Ok(Frame::Hello { from })
+        }
+        KIND_DATA => Ok(Frame::Data {
+            from,
+            payload: body.to_vec(),
+        }),
+        KIND_BARRIER => {
+            if body.len() != 8 {
+                return Err(FrameError::Invalid(format!(
+                    "barrier frame with {}-byte body",
+                    body.len()
+                )));
+            }
+            let mut g = [0u8; 8];
+            g.copy_from_slice(body);
+            Ok(Frame::Barrier {
+                from,
+                generation: u64::from_le_bytes(g),
+            })
+        }
+        other => Err(FrameError::Invalid(format!("unknown frame kind {other}"))),
+    }
+}
+
+/// Decodes one frame from the start of `buf`; returns the frame and the
+/// number of bytes consumed. Fails on truncation, unknown kinds, and
+/// hostile length fields — never panics.
+pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), FrameError> {
+    if buf.len() < HEADER_LEN {
+        return Err(FrameError::Invalid(format!(
+            "truncated header: {} of {HEADER_LEN} bytes",
+            buf.len()
+        )));
+    }
+    let mut h = [0u8; HEADER_LEN];
+    h.copy_from_slice(&buf[..HEADER_LEN]);
+    let (kind, from, len) = parse_header(&h)?;
+    let end = HEADER_LEN + len;
+    if buf.len() < end {
+        return Err(FrameError::Invalid(format!(
+            "truncated body: {} of {len} bytes",
+            buf.len() - HEADER_LEN
+        )));
+    }
+    Ok((build_frame(kind, from, &buf[HEADER_LEN..end])?, end))
+}
+
+/// Writes one frame to `w` (single `write_all`, so concurrent writers
+/// interleave only at frame granularity when externally serialized).
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
+    w.write_all(&encode_frame(frame))
+}
+
+/// Reads one frame from `r`. Returns `Ok(None)` on clean EOF at a frame
+/// boundary; mid-frame EOF and malformed frames are errors.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Frame>, FrameError> {
+    let mut h = [0u8; HEADER_LEN];
+    let mut filled = 0;
+    while filled < HEADER_LEN {
+        match r.read(&mut h[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(FrameError::Invalid(format!(
+                    "eof inside header after {filled} bytes"
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let (kind, from, len) = parse_header(&h)?;
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(Some(build_frame(kind, from, &body)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_kinds() {
+        for frame in [
+            Frame::Hello { from: 3 },
+            Frame::Data {
+                from: 7,
+                payload: vec![1, 2, 3, 4, 5],
+            },
+            Frame::Data {
+                from: 0,
+                payload: Vec::new(),
+            },
+            Frame::Barrier {
+                from: 2,
+                generation: 0xDEAD_BEEF_u64,
+            },
+        ] {
+            let bytes = encode_frame(&frame);
+            let (back, consumed) = decode_frame(&bytes).unwrap();
+            assert_eq!(back, frame);
+            assert_eq!(consumed, bytes.len());
+        }
+    }
+
+    #[test]
+    fn decode_consumes_exactly_one_frame() {
+        let mut buf = encode_frame(&Frame::Hello { from: 1 });
+        let second = encode_frame(&Frame::Barrier {
+            from: 1,
+            generation: 9,
+        });
+        buf.extend_from_slice(&second);
+        let (frame, consumed) = decode_frame(&buf).unwrap();
+        assert_eq!(frame, Frame::Hello { from: 1 });
+        let (frame2, _) = decode_frame(&buf[consumed..]).unwrap();
+        assert_eq!(
+            frame2,
+            Frame::Barrier {
+                from: 1,
+                generation: 9
+            }
+        );
+    }
+
+    #[test]
+    fn truncated_frames_error_never_panic() {
+        let full = encode_frame(&Frame::Data {
+            from: 4,
+            payload: vec![9; 32],
+        });
+        for cut in 0..full.len() {
+            assert!(
+                decode_frame(&full[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        let mut buf = encode_frame(&Frame::Hello { from: 0 });
+        buf[0] = 42;
+        assert!(decode_frame(&buf).is_err());
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected_before_allocation() {
+        let mut buf = header(KIND_DATA, 0, 0).to_vec();
+        buf[5..9].copy_from_slice(&u32::MAX.to_le_bytes());
+        match decode_frame(&buf) {
+            Err(FrameError::Invalid(m)) => assert!(m.contains("cap")),
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_fixed_size_bodies_rejected() {
+        // Hello with a body.
+        let mut buf = header(KIND_HELLO, 0, 3).to_vec();
+        buf.extend_from_slice(&[1, 2, 3]);
+        assert!(decode_frame(&buf).is_err());
+        // Barrier with a short body.
+        let mut buf = header(KIND_BARRIER, 0, 4).to_vec();
+        buf.extend_from_slice(&[0; 4]);
+        assert!(decode_frame(&buf).is_err());
+    }
+
+    #[test]
+    fn streaming_roundtrip_and_clean_eof() {
+        let frames = [
+            Frame::Hello { from: 5 },
+            Frame::Data {
+                from: 5,
+                payload: vec![0xA5; 100],
+            },
+            Frame::Barrier {
+                from: 5,
+                generation: 1,
+            },
+        ];
+        let mut wire = Vec::new();
+        for f in &frames {
+            write_frame(&mut wire, f).unwrap();
+        }
+        let mut r = &wire[..];
+        for f in &frames {
+            assert_eq!(read_frame(&mut r).unwrap().unwrap(), *f);
+        }
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn streaming_midframe_eof_is_error() {
+        let wire = encode_frame(&Frame::Data {
+            from: 1,
+            payload: vec![7; 16],
+        });
+        let mut r = &wire[..wire.len() - 1];
+        assert!(read_frame(&mut r).is_err());
+    }
+}

@@ -16,27 +16,36 @@
 //!   backend for the discrete-event simulator;
 //! * [`channel`] — [`ChannelTransport`], the crossbeam-channel backend for
 //!   the real-thread deployment;
+//! * [`frame`] — the length-prefixed socket framing (hello/data/barrier);
+//! * [`tcp`] — [`TcpTransport`]/[`tcp::TcpEndpoint`], the real-socket
+//!   backend: loopback fabric in-process, or one endpoint per OS process
+//!   for the `rex-node` distributed deployment;
 //! * [`stats`] — per-node traffic accounting;
 //! * [`link`] — a latency/bandwidth model that converts bytes to
 //!   simulated transfer time.
 //!
-//! Adding a deployment backend (e.g. tokio/TCP between real enclave
-//! hosts) means implementing [`Transport`] + [`Endpoint`] here; the
-//! protocol engine and every experiment binary are generic over it.
+//! All three [`Transport`] backends run the protocol bit-identically (the
+//! cross-backend equivalence tests hold them to it); a further backend
+//! only has to implement [`Transport`] + [`Endpoint`] here — the protocol
+//! engine and every experiment binary are generic over it.
 
 pub mod channel;
 pub mod codec;
 pub mod compress;
+pub mod frame;
 pub mod link;
 pub mod mem;
 pub mod message;
 pub mod stats;
+pub mod tcp;
 pub mod transport;
 
 pub use channel::ChannelTransport;
 pub use codec::CodecError;
+pub use frame::{Frame, FrameError};
 pub use link::LinkModel;
 pub use mem::{Envelope, MemNetwork};
 pub use message::{Payload, Plain};
 pub use stats::TrafficStats;
+pub use tcp::TcpTransport;
 pub use transport::{Clock, Endpoint, Transport, WallClock};

@@ -1,0 +1,653 @@
+//! Real-socket TCP transport: the deployment backend the paper's 8-node
+//! SGX testbed corresponds to.
+//!
+//! [`TcpTransport`] implements [`Transport`] over genuine TCP connections
+//! carrying the length-prefixed frames of [`crate::frame`]. It comes in
+//! two shapes:
+//!
+//! * **Loopback fabric** ([`TcpTransport::loopback`]) — all `n` endpoints
+//!   live in one process, fully connected over `127.0.0.1` sockets. This
+//!   is what the cross-backend equivalence tests and the benches drive:
+//!   every frame crosses the kernel's TCP stack, yet runs stay
+//!   bit-identical with [`crate::mem::MemNetwork`] and
+//!   [`crate::channel::ChannelTransport`].
+//! * **Distributed endpoint** ([`TcpEndpoint::connect`]) — one endpoint
+//!   per OS process, bootstrapped from a node-id → socket-address map.
+//!   The `rex-node` binary builds exactly this and runs one engine node
+//!   per process.
+//!
+//! # Bootstrap
+//! Node `i` listens on `addrs[i]`, dials every peer `j > i` (retrying
+//! until the peer's listener is up), and accepts one connection from every
+//! peer `j < i`. The dialing side opens with a [`Frame::Hello`] so the
+//! accepting side learns which node the connection speaks for. Each
+//! established connection gets one **reader thread** that decodes frames
+//! and feeds the owner's mailbox; [`Endpoint::recv`] drains the mailbox in
+//! canonical order (ascending sender id, per-sender FIFO — per-connection
+//! FIFO plus one reader per connection preserves it).
+//!
+//! # Delivery barrier
+//! TCP has real propagation delay, so "everything sent has arrived" must
+//! be established explicitly: [`Endpoint::sync`] sends a
+//! [`Frame::Barrier`] token to every peer and waits for every peer's token
+//! of the same generation. Because tokens follow data frames on the same
+//! FIFO connection, a completed sync guarantees the local mailbox holds
+//! every message any peer sent before *its* sync — the exact property the
+//! engine's round structure needs. The fabric-level [`Transport::flush`]
+//! runs the same two-phase barrier across all owned endpoints.
+//!
+//! # Byte accounting
+//! [`TrafficStats`] record **payload bytes of data frames only**, at the
+//! frame layer: `bytes_out` when a data frame is written, `bytes_in` when
+//! the reader thread delivers it. Hello/barrier control frames and the
+//! 9-byte frame headers are excluded, so counts are bit-identical with the
+//! in-memory backends; the physical wire volume (headers + control plane)
+//! is tracked separately and exposed via [`TcpEndpoint::wire_traffic`].
+
+use crate::channel::AtomicStats;
+use crate::frame::{read_frame, write_frame, Frame, FrameError, HEADER_LEN};
+use crate::mem::Envelope;
+use crate::stats::TrafficStats;
+use crate::transport::{canonicalize, Endpoint, Transport};
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long [`TcpEndpoint::connect`] keeps retrying peers that have not
+/// bound their listener yet.
+pub const DEFAULT_CONNECT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Upper bound on one barrier round; exceeding it means a peer died or
+/// the fleet deadlocked, and the run cannot produce a correct result.
+const BARRIER_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// Barrier bookkeeping shared with the reader threads, tracked per peer:
+/// generations are strictly increasing on each connection, so "peer `p`
+/// reached generation `g`" is simply `gens[p] >= g`. Per-peer tracking
+/// (rather than a per-generation count) makes teardown races benign — a
+/// peer closing its connection after its final token is harmless, while a
+/// peer dying *before* delivering an awaited token is detected.
+#[derive(Debug, Default)]
+struct BarrierState {
+    /// Highest barrier generation received from each peer (own slot is
+    /// pre-satisfied with `u64::MAX`).
+    gens: Vec<u64>,
+    /// Peers whose connection reached EOF or errored.
+    closed: Vec<bool>,
+}
+
+/// Mailbox + barrier state one endpoint shares with its reader threads.
+#[derive(Debug, Default)]
+struct Shared {
+    queue: Mutex<Vec<Envelope>>,
+    barriers: Mutex<BarrierState>,
+    barrier_cv: Condvar,
+    wire_bytes_in: AtomicU64,
+}
+
+impl Shared {
+    /// Handles one frame read off the connection to `peer`.
+    fn on_frame(&self, peer: usize, frame: Frame, stats: &AtomicStats) {
+        match frame {
+            Frame::Data { payload, .. } => {
+                stats.record_recv(payload.len() as u64);
+                self.wire_bytes_in
+                    .fetch_add((HEADER_LEN + payload.len()) as u64, Ordering::Relaxed);
+                // The connection is the sender's identity (established by
+                // the bootstrap hello); a frame's self-declared `from`
+                // cannot re-attribute it, which would break canonical
+                // ordering's per-sender FIFO invariant.
+                self.queue.lock().unwrap().push(Envelope {
+                    from: peer,
+                    bytes: payload,
+                });
+            }
+            Frame::Barrier { generation, .. } => {
+                self.wire_bytes_in
+                    .fetch_add((HEADER_LEN + 8) as u64, Ordering::Relaxed);
+                let mut state = self.barriers.lock().unwrap();
+                // The connection is the identity; generations only grow.
+                state.gens[peer] = state.gens[peer].max(generation);
+                self.barrier_cv.notify_all();
+            }
+            // Hello frames are consumed during bootstrap; one arriving
+            // later is a protocol violation from a peer — drop it.
+            Frame::Hello { .. } => {}
+        }
+    }
+
+    fn on_closed(&self, peer: usize) {
+        self.barriers.lock().unwrap().closed[peer] = true;
+        self.barrier_cv.notify_all();
+    }
+}
+
+/// One node's endpoint on a TCP fabric. See the module docs.
+pub struct TcpEndpoint {
+    id: usize,
+    n: usize,
+    /// Write halves, indexed by peer id (`None` at the own index).
+    writers: Vec<Option<TcpStream>>,
+    shared: Arc<Shared>,
+    stats: Arc<AtomicStats>,
+    /// Barrier generation this endpoint has entered.
+    generation: u64,
+    wire_bytes_out: u64,
+    readers: Vec<JoinHandle<()>>,
+}
+
+impl TcpEndpoint {
+    /// Assembles an endpoint from established peer connections and spawns
+    /// one reader thread per connection.
+    fn from_streams(id: usize, writers: Vec<Option<TcpStream>>) -> io::Result<Self> {
+        let n = writers.len();
+        let shared = Arc::new(Shared {
+            barriers: Mutex::new(BarrierState {
+                gens: (0..n).map(|p| if p == id { u64::MAX } else { 0 }).collect(),
+                closed: vec![false; n],
+            }),
+            ..Shared::default()
+        });
+        let stats = Arc::new(AtomicStats::default());
+        let mut readers = Vec::new();
+        for (peer, stream) in writers.iter().enumerate() {
+            let Some(stream) = stream else { continue };
+            stream.set_nodelay(true)?;
+            let read_half = stream.try_clone()?;
+            let shared = Arc::clone(&shared);
+            let stats = Arc::clone(&stats);
+            readers.push(std::thread::spawn(move || {
+                reader_loop(peer, read_half, &shared, &stats);
+            }));
+        }
+        Ok(TcpEndpoint {
+            id,
+            n,
+            writers,
+            shared,
+            stats,
+            generation: 0,
+            wire_bytes_out: 0,
+            readers,
+        })
+    }
+
+    /// Bootstraps the distributed endpoint for node `id`: binds
+    /// `addrs[id]`, dials every higher-id peer (retrying until `timeout`
+    /// while that peer starts up), accepts one connection from every
+    /// lower-id peer, and identifies each accepted connection by its
+    /// opening [`Frame::Hello`].
+    pub fn connect(id: usize, addrs: &[SocketAddr], timeout: Duration) -> io::Result<TcpEndpoint> {
+        let n = addrs.len();
+        assert!(id < n, "node id {id} outside cluster of {n}");
+        let deadline = Instant::now() + timeout;
+        // Retry AddrInUse within the deadline: ports reserved via
+        // [`reserve_loopback_addrs`] are released before this rebind, so
+        // another process can hold one transiently (e.g. parallel test
+        // suites reserving their own clusters).
+        let listener = loop {
+            match TcpListener::bind(addrs[id]) {
+                Ok(l) => break l,
+                Err(e) if e.kind() == io::ErrorKind::AddrInUse && Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => return Err(e),
+            }
+        };
+
+        let mut writers: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
+
+        // Dial upward: peer listeners may not be up yet, so retry.
+        for (peer, addr) in addrs.iter().enumerate().skip(id + 1) {
+            let stream = loop {
+                match TcpStream::connect(addr) {
+                    Ok(s) => break s,
+                    Err(e) => {
+                        if Instant::now() >= deadline {
+                            return Err(io::Error::new(
+                                io::ErrorKind::TimedOut,
+                                format!("node {id}: dialing peer {peer} at {addr}: {e}"),
+                            ));
+                        }
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                }
+            };
+            stream.set_nodelay(true)?;
+            write_frame(&mut &stream, &Frame::Hello { from: id })?;
+            writers[peer] = Some(stream);
+        }
+
+        // Accept downward: `id` peers will dial us; their hello says who
+        // they are.
+        for _ in 0..id {
+            listener.set_nonblocking(true)?;
+            let (stream, _) = loop {
+                match listener.accept() {
+                    Ok(conn) => break conn,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        if Instant::now() >= deadline {
+                            return Err(io::Error::new(
+                                io::ErrorKind::TimedOut,
+                                format!("node {id}: waiting for lower-id peers"),
+                            ));
+                        }
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(e) => return Err(e),
+                }
+            };
+            stream.set_nonblocking(false)?;
+            let peer = read_hello(&stream, deadline)?;
+            if peer >= n || writers[peer].is_some() || peer == id {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("node {id}: bogus hello from peer {peer}"),
+                ));
+            }
+            writers[peer] = Some(stream);
+        }
+
+        Self::from_streams(id, writers)
+    }
+
+    /// This endpoint's node id.
+    #[must_use]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Physical wire volume `(bytes_out, bytes_in)` including frame
+    /// headers and control frames — the framing overhead excluded from
+    /// [`TrafficStats`].
+    #[must_use]
+    pub fn wire_traffic(&self) -> (u64, u64) {
+        (
+            self.wire_bytes_out,
+            self.shared.wire_bytes_in.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Sends one data frame to `to`, accounting payload bytes at the
+    /// frame layer.
+    ///
+    /// # Panics
+    /// On self-send or unknown destination (protocol bugs).
+    pub fn send(&mut self, to: usize, bytes: Vec<u8>) {
+        assert_ne!(to, self.id, "self-send");
+        let stream = self.writers[to]
+            .as_ref()
+            .expect("destination is this endpoint");
+        self.stats.record_send(bytes.len() as u64);
+        self.wire_bytes_out += (HEADER_LEN + bytes.len()) as u64;
+        // Write failure = peer finished and closed; losing the message is
+        // fine for the epoch-bounded experiments (mirrors the channel
+        // backend's dropped-receiver policy).
+        let _ = write_frame(
+            &mut &*stream,
+            &Frame::Data {
+                from: self.id,
+                payload: bytes,
+            },
+        );
+    }
+
+    /// Phase one of the round barrier: announce this endpoint's new
+    /// generation to every peer.
+    fn sync_begin(&mut self) {
+        self.generation += 1;
+        for stream in self.writers.iter().flatten() {
+            self.wire_bytes_out += (HEADER_LEN + 8) as u64;
+            let _ = write_frame(
+                &mut &*stream,
+                &Frame::Barrier {
+                    from: self.id,
+                    generation: self.generation,
+                },
+            );
+        }
+    }
+
+    /// Phase two: wait until every peer's token of the current generation
+    /// arrived (hence, by FIFO, every message they sent before it).
+    ///
+    /// # Panics
+    /// If a peer connection closes mid-barrier or the round times out —
+    /// the fleet can no longer produce a correct result.
+    fn sync_wait(&self) {
+        let g = self.generation;
+        let deadline = Instant::now() + BARRIER_TIMEOUT;
+        let mut state = self.shared.barriers.lock().unwrap();
+        loop {
+            if state.gens.iter().all(|&seen| seen >= g) {
+                return;
+            }
+            let dead = state
+                .gens
+                .iter()
+                .zip(&state.closed)
+                .position(|(&seen, &closed)| closed && seen < g);
+            assert!(
+                dead.is_none(),
+                "node {}: peer {} disconnected before barrier {g}",
+                self.id,
+                dead.unwrap_or_default()
+            );
+            let timeout = deadline.saturating_duration_since(Instant::now());
+            assert!(
+                !timeout.is_zero(),
+                "node {}: barrier {} timed out",
+                self.id,
+                self.generation
+            );
+            let (guard, _) = self
+                .shared
+                .barrier_cv
+                .wait_timeout(state, timeout.min(Duration::from_millis(100)))
+                .unwrap();
+            state = guard;
+        }
+    }
+
+    /// Drains everything currently delivered, without blocking.
+    pub fn try_drain(&self) -> Vec<Envelope> {
+        std::mem::take(&mut *self.shared.queue.lock().unwrap())
+    }
+
+    /// Snapshot of this node's traffic stats.
+    #[must_use]
+    pub fn stats(&self) -> TrafficStats {
+        self.stats.snapshot()
+    }
+}
+
+impl Drop for TcpEndpoint {
+    fn drop(&mut self) {
+        // Shutdown (not just drop) so reader threads — ours via the
+        // cloned read half, the peer's via FIN — wake up and exit.
+        for stream in self.writers.iter().flatten() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        for handle in self.readers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Endpoint for TcpEndpoint {
+    fn id(&self) -> usize {
+        TcpEndpoint::id(self)
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    fn send(&mut self, to: usize, bytes: Vec<u8>) {
+        TcpEndpoint::send(self, to, bytes);
+    }
+
+    fn recv(&mut self) -> Vec<Envelope> {
+        let mut inbox = self.try_drain();
+        canonicalize(&mut inbox);
+        inbox
+    }
+
+    fn sync(&mut self) {
+        self.sync_begin();
+        self.sync_wait();
+    }
+
+    fn stats(&self) -> TrafficStats {
+        TcpEndpoint::stats(self)
+    }
+}
+
+/// Decodes frames off the connection to `peer` into the owner's mailbox
+/// until EOF or error.
+fn reader_loop(peer: usize, stream: TcpStream, shared: &Shared, stats: &AtomicStats) {
+    let mut reader = io::BufReader::new(stream);
+    loop {
+        match read_frame(&mut reader) {
+            Ok(Some(frame)) => shared.on_frame(peer, frame, stats),
+            Ok(None) | Err(FrameError::Io(_)) => break,
+            Err(FrameError::Invalid(_)) => break,
+        }
+    }
+    shared.on_closed(peer);
+}
+
+/// Reads the bootstrap hello off a fresh connection, bounded by
+/// `deadline`.
+fn read_hello(stream: &TcpStream, deadline: Instant) -> io::Result<usize> {
+    let budget = deadline.saturating_duration_since(Instant::now());
+    stream.set_read_timeout(Some(budget.max(Duration::from_millis(10))))?;
+    let result = match read_frame(&mut &*stream) {
+        Ok(Some(Frame::Hello { from })) => Ok(from),
+        Ok(other) => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("expected hello, got {other:?}"),
+        )),
+        Err(FrameError::Io(e)) => Err(e),
+        Err(e @ FrameError::Invalid(_)) => {
+            Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+        }
+    };
+    stream.set_read_timeout(None)?;
+    result
+}
+
+/// Reserves `n` distinct loopback addresses by binding ephemeral
+/// listeners and releasing them (listeners set `SO_REUSEADDR`, so the
+/// ports rebind immediately). Used by the multi-process launcher and
+/// tests to pre-agree on a cluster address map.
+pub fn reserve_loopback_addrs(n: usize) -> io::Result<Vec<SocketAddr>> {
+    // Hold all listeners before dropping any so the same port is never
+    // handed out twice.
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0"))
+        .collect::<io::Result<_>>()?;
+    listeners.iter().map(TcpListener::local_addr).collect()
+}
+
+/// A fully connected TCP fabric whose `n` endpoints all live in this
+/// process, wired over loopback sockets. See the module docs.
+pub struct TcpTransport {
+    endpoints: Vec<TcpEndpoint>,
+}
+
+impl TcpTransport {
+    /// Builds the fabric: binds `n` ephemeral loopback listeners and
+    /// connects every pair (`i` dials `j` for `i < j`, with the same
+    /// hello handshake the distributed bootstrap uses).
+    pub fn loopback(n: usize) -> io::Result<Self> {
+        let listeners: Vec<TcpListener> = (0..n)
+            .map(|_| TcpListener::bind("127.0.0.1:0"))
+            .collect::<io::Result<_>>()?;
+        let addrs: Vec<SocketAddr> = listeners
+            .iter()
+            .map(TcpListener::local_addr)
+            .collect::<io::Result<_>>()?;
+
+        let mut streams: Vec<Vec<Option<TcpStream>>> =
+            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+        let deadline = Instant::now() + DEFAULT_CONNECT_TIMEOUT;
+        // Both loop variables index the connection matrix symmetrically.
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..n {
+            for j in (i + 1)..n {
+                // The listener backlog completes the handshake without an
+                // accept() call, so same-thread connect-then-accept is
+                // safe.
+                let dialed = TcpStream::connect(addrs[j])?;
+                dialed.set_nodelay(true)?;
+                write_frame(&mut &dialed, &Frame::Hello { from: i })?;
+                let (accepted, _) = listeners[j].accept()?;
+                accepted.set_nodelay(true)?;
+                let peer = read_hello(&accepted, deadline)?;
+                debug_assert_eq!(peer, i, "loopback hello mismatch");
+                streams[i][j] = Some(dialed);
+                streams[j][i] = Some(accepted);
+            }
+        }
+
+        let endpoints = streams
+            .into_iter()
+            .enumerate()
+            .map(|(id, writers)| TcpEndpoint::from_streams(id, writers))
+            .collect::<io::Result<Vec<_>>>()?;
+        Ok(TcpTransport { endpoints })
+    }
+}
+
+impl Transport for TcpTransport {
+    type Endpoint = TcpEndpoint;
+
+    fn num_nodes(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    fn send(&mut self, from: usize, to: usize, bytes: Vec<u8>) {
+        self.endpoints[from].send(to, bytes);
+    }
+
+    fn recv(&mut self, node: usize) -> Vec<Envelope> {
+        let mut inbox = self.endpoints[node].try_drain();
+        canonicalize(&mut inbox);
+        inbox
+    }
+
+    fn flush(&mut self) {
+        // Two-phase across all owned endpoints: everyone announces the
+        // new generation, then everyone waits — a single-threaded caller
+        // must not wait on an endpoint before the others have sent their
+        // tokens.
+        for ep in &mut self.endpoints {
+            ep.sync_begin();
+        }
+        for ep in &self.endpoints {
+            ep.sync_wait();
+        }
+    }
+
+    fn stats(&self, node: usize) -> TrafficStats {
+        self.endpoints[node].stats()
+    }
+
+    fn all_stats(&self) -> Vec<TrafficStats> {
+        self.endpoints.iter().map(TcpEndpoint::stats).collect()
+    }
+
+    fn into_endpoints(self) -> Option<Vec<TcpEndpoint>> {
+        Some(self.endpoints)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_delivery_canonical_order_and_stats() {
+        let mut net = TcpTransport::loopback(3).unwrap();
+        Transport::send(&mut net, 2, 0, vec![1, 2, 3]);
+        Transport::send(&mut net, 1, 0, vec![4]);
+        Transport::send(&mut net, 2, 0, vec![5, 5]);
+        net.flush();
+        let inbox = Transport::recv(&mut net, 0);
+        let order: Vec<(usize, usize)> = inbox.iter().map(|e| (e.from, e.bytes.len())).collect();
+        assert_eq!(order, vec![(1, 1), (2, 3), (2, 2)]);
+
+        // Payload-only accounting, both ends.
+        assert_eq!(net.stats(0).bytes_in, 6);
+        assert_eq!(net.stats(0).msgs_in, 3);
+        assert_eq!(net.stats(2).bytes_out, 5);
+        assert_eq!(net.stats(2).msgs_out, 2);
+        assert_eq!(net.stats(1).bytes_out, 1);
+
+        // The wire itself carried more (headers + barrier tokens).
+        let (wire_out, _) = net.endpoints[2].wire_traffic();
+        assert!(wire_out > 5);
+    }
+
+    #[test]
+    fn endpoint_sync_guarantees_delivery() {
+        let net = TcpTransport::loopback(2).unwrap();
+        let mut eps = net.into_endpoints().unwrap();
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        let handle = std::thread::spawn(move || {
+            Endpoint::sync(&mut b);
+            // After the barrier, a's pre-barrier send must be here.
+            let inbox = Endpoint::recv(&mut b);
+            assert_eq!(inbox.len(), 1);
+            assert_eq!(inbox[0].bytes, vec![7; 1000]);
+            Endpoint::send(&mut b, 0, vec![9]);
+            Endpoint::sync(&mut b);
+            b.stats()
+        });
+        Endpoint::send(&mut a, 1, vec![7; 1000]);
+        Endpoint::sync(&mut a);
+        Endpoint::sync(&mut a);
+        let inbox = Endpoint::recv(&mut a);
+        assert_eq!(inbox.len(), 1);
+        assert_eq!(inbox[0].bytes, vec![9]);
+        let b_stats = handle.join().unwrap();
+        assert_eq!(b_stats.bytes_in, 1000);
+        assert_eq!(b_stats.bytes_out, 1);
+        assert_eq!(a.stats().bytes_out, 1000);
+        assert_eq!(a.stats().bytes_in, 1);
+    }
+
+    #[test]
+    fn distributed_bootstrap_connects_full_mesh() {
+        let addrs = reserve_loopback_addrs(3).unwrap();
+        let handles: Vec<_> = (0..3)
+            .map(|id| {
+                let addrs = addrs.clone();
+                std::thread::spawn(move || {
+                    let mut ep = TcpEndpoint::connect(id, &addrs, Duration::from_secs(10)).unwrap();
+                    // Everyone greets everyone, then proves the barrier
+                    // delivered all greetings.
+                    for peer in 0..3 {
+                        if peer != id {
+                            Endpoint::send(&mut ep, peer, vec![id as u8]);
+                        }
+                    }
+                    Endpoint::sync(&mut ep);
+                    let inbox = Endpoint::recv(&mut ep);
+                    let senders: Vec<usize> = inbox.iter().map(|e| e.from).collect();
+                    let expected: Vec<usize> = (0..3).filter(|&p| p != id).collect();
+                    assert_eq!(senders, expected);
+                    ep.stats()
+                })
+            })
+            .collect();
+        for h in handles {
+            let stats = h.join().unwrap();
+            assert_eq!(stats.msgs_out, 2);
+            assert_eq!(stats.msgs_in, 2);
+            assert_eq!(stats.bytes_in, 2);
+        }
+    }
+
+    #[test]
+    fn single_node_fabric_is_trivial() {
+        let mut net = TcpTransport::loopback(1).unwrap();
+        net.flush();
+        assert!(Transport::recv(&mut net, 0).is_empty());
+        assert_eq!(net.stats(0), TrafficStats::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-send")]
+    fn self_send_panics() {
+        let net = TcpTransport::loopback(2).unwrap();
+        let mut eps = net.into_endpoints().unwrap();
+        let mut a = eps.remove(0);
+        Endpoint::send(&mut a, 0, vec![1]);
+    }
+}

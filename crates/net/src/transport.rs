@@ -16,11 +16,13 @@
 //!   timestamps through this one interface either way.
 //!
 //! Implementations in this crate: [`crate::mem::MemNetwork`] (single-owner
-//! instrumented mailboxes for the simulator) and
+//! instrumented mailboxes for the simulator),
 //! [`crate::channel::ChannelTransport`] (crossbeam-style channels for the
-//! thread-per-node deployment). A future remote backend (tokio/TCP between
-//! real enclave hosts) only has to implement these traits; the engine and
-//! every experiment binary stay untouched.
+//! thread-per-node deployment), and [`crate::tcp::TcpTransport`] (real TCP
+//! sockets with length-prefixed framing — see [`crate::frame`] — used both
+//! in-process over loopback and by the `rex-node` multi-process
+//! deployment). The engine and every experiment binary are generic over
+//! these traits, so all three run the same protocol bit-identically.
 
 use crate::mem::Envelope;
 use crate::stats::TrafficStats;
@@ -81,6 +83,15 @@ pub trait Endpoint: Send {
     /// Drains every delivered message, in canonical order, without
     /// blocking.
     fn recv(&mut self) -> Vec<Envelope>;
+
+    /// Wire-level round barrier: returns once every message sent by any
+    /// endpoint *before its own `sync` of this round* has been delivered
+    /// to its destination mailbox. Endpoints with synchronous delivery
+    /// (channels) keep the default no-op; endpoints whose fabric has real
+    /// propagation delay (TCP) exchange barrier tokens here. The engine
+    /// calls this after applying an epoch's sends so the next `recv` is
+    /// complete and deterministic.
+    fn sync(&mut self) {}
 
     /// Cumulative traffic counters of this node.
     fn stats(&self) -> TrafficStats;

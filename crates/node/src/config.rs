@@ -1,0 +1,381 @@
+//! Cluster configuration for deployed REX nodes.
+//!
+//! One [`ClusterConfig`] file describes the whole deployment — the
+//! node-id → socket-address map plus every parameter needed to rebuild
+//! the fleet deterministically — and every process reads the *same* file.
+//! Determinism is the point: each process derives the full fleet (data
+//! partition, topology, seeds) locally and keeps only its own node, so no
+//! coordinator has to ship state around.
+//!
+//! The format is a TOML subset parsed without external crates: `#`
+//! comments, `key = value` lines, with integer, boolean, quoted-string
+//! and single-line string-array values. [`ClusterConfig::to_toml`]
+//! round-trips through [`ClusterConfig::parse`].
+
+use rex_core::config::{GossipAlgorithm, ProtocolConfig, SharingMode};
+use rex_topology::TopologySpec;
+use std::collections::HashMap;
+use std::net::SocketAddr;
+
+/// Everything a deployed node needs to know about its cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterConfig {
+    /// Socket address of every node, indexed by node id.
+    pub nodes: Vec<String>,
+    /// Epoch budget.
+    pub epochs: usize,
+    /// What nodes share ("raw" = REX, "model" = MS).
+    pub sharing: SharingMode,
+    /// Neighbour selection ("dpsgd" | "rmw").
+    pub algorithm: GossipAlgorithm,
+    /// Topology over the fleet ("full" | "smallworld" | "er" | "ring").
+    pub topology: TopologySpec,
+    /// Topology generation seed.
+    pub topology_seed: u64,
+    /// Synthetic dataset shape.
+    pub num_users: u32,
+    /// Items in the dataset.
+    pub num_items: u32,
+    /// Ratings in the dataset.
+    pub num_ratings: usize,
+    /// Dataset generation seed.
+    pub data_seed: u64,
+    /// Train/test split seed.
+    pub split_seed: u64,
+    /// Protocol seed (node `i` uses `protocol_seed + i`).
+    pub protocol_seed: u64,
+    /// Raw points shared per epoch (REX mode).
+    pub points_per_epoch: usize,
+    /// SGD steps per epoch.
+    pub steps_per_epoch: usize,
+    /// Run inside simulated SGX enclaves (attestation + sealing).
+    pub sgx: bool,
+    /// REX processes packed per SGX platform.
+    pub processes_per_platform: usize,
+    /// Infrastructure seed (attestation keys, platform provisioning).
+    pub infra_seed: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            nodes: Vec::new(),
+            epochs: 10,
+            sharing: SharingMode::RawData,
+            algorithm: GossipAlgorithm::DPsgd,
+            topology: TopologySpec::FullyConnected,
+            topology_seed: 5,
+            num_users: 24,
+            num_items: 160,
+            num_ratings: 2_000,
+            data_seed: 42,
+            split_seed: 7,
+            protocol_seed: 17,
+            points_per_epoch: 40,
+            steps_per_epoch: 120,
+            sgx: false,
+            processes_per_platform: 1,
+            infra_seed: 0xE0,
+        }
+    }
+}
+
+/// A parsed TOML-subset value.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Str(String),
+    Int(u64),
+    Bool(bool),
+    List(Vec<String>),
+}
+
+fn parse_value(raw: &str) -> Result<Value, String> {
+    let raw = raw.trim();
+    if raw == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if raw == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(body) = raw.strip_prefix('[') {
+        let body = body
+            .strip_suffix(']')
+            .ok_or_else(|| format!("unterminated array: {raw}"))?;
+        let mut items = Vec::new();
+        for piece in body.split(',') {
+            let piece = piece.trim();
+            if piece.is_empty() {
+                continue;
+            }
+            items.push(parse_quoted(piece)?);
+        }
+        return Ok(Value::List(items));
+    }
+    if raw.starts_with('"') {
+        return Ok(Value::Str(parse_quoted(raw)?));
+    }
+    raw.parse::<u64>()
+        .map(Value::Int)
+        .map_err(|_| format!("unparseable value: {raw}"))
+}
+
+fn parse_quoted(raw: &str) -> Result<String, String> {
+    let body = raw
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .ok_or_else(|| format!("expected quoted string: {raw}"))?;
+    if body.contains('"') {
+        return Err(format!("embedded quote in: {raw}"));
+    }
+    Ok(body.to_string())
+}
+
+/// Strips a `#` comment that is not inside a quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_quotes = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_quotes = !in_quotes,
+            '#' if !in_quotes => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_map(text: &str) -> Result<HashMap<String, Value>, String> {
+    let mut map = HashMap::new();
+    for (lineno, raw_line) in text.lines().enumerate() {
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("line {}: expected key = value", lineno + 1))?;
+        let key = key.trim().to_string();
+        let value = parse_value(value).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        if map.insert(key.clone(), value).is_some() {
+            return Err(format!("line {}: duplicate key {key}", lineno + 1));
+        }
+    }
+    Ok(map)
+}
+
+fn get_int<T: TryFrom<u64>>(
+    map: &HashMap<String, Value>,
+    key: &str,
+    default: u64,
+) -> Result<T, String> {
+    let raw = match map.get(key) {
+        Some(Value::Int(v)) => *v,
+        Some(other) => return Err(format!("{key}: expected integer, got {other:?}")),
+        None => default,
+    };
+    T::try_from(raw).map_err(|_| format!("{key}: {raw} out of range"))
+}
+
+fn get_bool(map: &HashMap<String, Value>, key: &str, default: bool) -> Result<bool, String> {
+    match map.get(key) {
+        Some(Value::Bool(v)) => Ok(*v),
+        Some(other) => Err(format!("{key}: expected bool, got {other:?}")),
+        None => Ok(default),
+    }
+}
+
+fn get_str(map: &HashMap<String, Value>, key: &str, default: &str) -> Result<String, String> {
+    match map.get(key) {
+        Some(Value::Str(v)) => Ok(v.clone()),
+        Some(other) => Err(format!("{key}: expected string, got {other:?}")),
+        None => Ok(default.to_string()),
+    }
+}
+
+impl ClusterConfig {
+    /// Parses a config file's contents.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let map = parse_map(text)?;
+        let d = ClusterConfig::default();
+        let nodes = match map.get("nodes") {
+            Some(Value::List(addrs)) => addrs.clone(),
+            Some(other) => return Err(format!("nodes: expected address array, got {other:?}")),
+            None => return Err("nodes: required".to_string()),
+        };
+        if nodes.is_empty() {
+            return Err("nodes: at least one address".to_string());
+        }
+        let sharing = match get_str(&map, "sharing", "raw")?.as_str() {
+            "raw" | "rex" => SharingMode::RawData,
+            "model" | "ms" => SharingMode::Model,
+            other => return Err(format!("sharing: unknown mode {other}")),
+        };
+        let algorithm = match get_str(&map, "algorithm", "dpsgd")?.as_str() {
+            "dpsgd" => GossipAlgorithm::DPsgd,
+            "rmw" => GossipAlgorithm::Rmw,
+            other => return Err(format!("algorithm: unknown algorithm {other}")),
+        };
+        let topology = match get_str(&map, "topology", "full")?.as_str() {
+            "full" => TopologySpec::FullyConnected,
+            "smallworld" => TopologySpec::SmallWorld,
+            "er" => TopologySpec::ErdosRenyi,
+            "ring" => TopologySpec::Ring,
+            other => return Err(format!("topology: unknown topology {other}")),
+        };
+        Ok(ClusterConfig {
+            nodes,
+            epochs: get_int(&map, "epochs", d.epochs as u64)?,
+            sharing,
+            algorithm,
+            topology,
+            topology_seed: get_int(&map, "topology_seed", d.topology_seed)?,
+            num_users: get_int(&map, "num_users", u64::from(d.num_users))?,
+            num_items: get_int(&map, "num_items", u64::from(d.num_items))?,
+            num_ratings: get_int(&map, "num_ratings", d.num_ratings as u64)?,
+            data_seed: get_int(&map, "data_seed", d.data_seed)?,
+            split_seed: get_int(&map, "split_seed", d.split_seed)?,
+            protocol_seed: get_int(&map, "protocol_seed", d.protocol_seed)?,
+            points_per_epoch: get_int(&map, "points_per_epoch", d.points_per_epoch as u64)?,
+            steps_per_epoch: get_int(&map, "steps_per_epoch", d.steps_per_epoch as u64)?,
+            sgx: get_bool(&map, "sgx", d.sgx)?,
+            processes_per_platform: get_int(
+                &map,
+                "processes_per_platform",
+                d.processes_per_platform as u64,
+            )?,
+            infra_seed: get_int(&map, "infra_seed", d.infra_seed)?,
+        })
+    }
+
+    /// Serializes to the TOML subset [`ClusterConfig::parse`] reads.
+    #[must_use]
+    pub fn to_toml(&self) -> String {
+        let addrs: Vec<String> = self.nodes.iter().map(|a| format!("\"{a}\"")).collect();
+        let sharing = match self.sharing {
+            SharingMode::RawData => "raw",
+            SharingMode::Model => "model",
+        };
+        let algorithm = match self.algorithm {
+            GossipAlgorithm::DPsgd => "dpsgd",
+            GossipAlgorithm::Rmw => "rmw",
+        };
+        let topology = match self.topology {
+            TopologySpec::FullyConnected => "full",
+            TopologySpec::SmallWorld => "smallworld",
+            TopologySpec::ErdosRenyi => "er",
+            TopologySpec::Ring => "ring",
+        };
+        format!(
+            "# REX cluster configuration (every process reads this same file)\n\
+             nodes = [{}]\n\
+             epochs = {}\n\
+             sharing = \"{sharing}\"\n\
+             algorithm = \"{algorithm}\"\n\
+             topology = \"{topology}\"\n\
+             topology_seed = {}\n\
+             num_users = {}\n\
+             num_items = {}\n\
+             num_ratings = {}\n\
+             data_seed = {}\n\
+             split_seed = {}\n\
+             protocol_seed = {}\n\
+             points_per_epoch = {}\n\
+             steps_per_epoch = {}\n\
+             sgx = {}\n\
+             processes_per_platform = {}\n\
+             infra_seed = {}\n",
+            addrs.join(", "),
+            self.epochs,
+            self.topology_seed,
+            self.num_users,
+            self.num_items,
+            self.num_ratings,
+            self.data_seed,
+            self.split_seed,
+            self.protocol_seed,
+            self.points_per_epoch,
+            self.steps_per_epoch,
+            self.sgx,
+            self.processes_per_platform,
+            self.infra_seed,
+        )
+    }
+
+    /// Number of nodes in the cluster.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The cluster's address map, parsed.
+    pub fn addrs(&self) -> Result<Vec<SocketAddr>, String> {
+        self.nodes
+            .iter()
+            .map(|a| a.parse().map_err(|e| format!("bad node address {a}: {e}")))
+            .collect()
+    }
+
+    /// The per-node protocol parameters this config describes.
+    #[must_use]
+    pub fn protocol(&self) -> ProtocolConfig {
+        ProtocolConfig {
+            sharing: self.sharing,
+            algorithm: self.algorithm,
+            points_per_epoch: self.points_per_epoch,
+            steps_per_epoch: self.steps_per_epoch,
+            seed: self.protocol_seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ClusterConfig {
+        ClusterConfig {
+            nodes: vec!["127.0.0.1:7101".into(), "127.0.0.1:7102".into()],
+            epochs: 6,
+            sharing: SharingMode::Model,
+            algorithm: GossipAlgorithm::Rmw,
+            topology: TopologySpec::Ring,
+            sgx: true,
+            ..ClusterConfig::default()
+        }
+    }
+
+    #[test]
+    fn toml_roundtrip() {
+        let cfg = sample();
+        let parsed = ClusterConfig::parse(&cfg.to_toml()).unwrap();
+        assert_eq!(parsed, cfg);
+    }
+
+    #[test]
+    fn parses_comments_defaults_and_arrays() {
+        let cfg = ClusterConfig::parse(
+            "# a cluster\nnodes = [\"127.0.0.1:9000\", \"127.0.0.1:9001\"] # two nodes\nepochs = 3\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.num_nodes(), 2);
+        assert_eq!(cfg.epochs, 3);
+        // Everything else defaulted.
+        assert_eq!(cfg.sharing, SharingMode::RawData);
+        assert!(!cfg.sgx);
+        assert_eq!(cfg.addrs().unwrap()[1].port(), 9001);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(ClusterConfig::parse("").is_err(), "nodes required");
+        assert!(ClusterConfig::parse("nodes = []").is_err());
+        assert!(ClusterConfig::parse("nodes = [\"a\"]\nepochs = soon").is_err());
+        assert!(ClusterConfig::parse("nodes = [\"a\"]\nsharing = \"gift\"").is_err());
+        assert!(ClusterConfig::parse("nodes = [\"a\"]\nepochs = 1\nepochs = 2").is_err());
+        assert!(
+            ClusterConfig::parse("nodes = [\"a\"\n").is_err(),
+            "unterminated array"
+        );
+        let bad_addr = ClusterConfig::parse("nodes = [\"not-an-addr\"]").unwrap();
+        assert!(bad_addr.addrs().is_err());
+    }
+}

@@ -1,0 +1,150 @@
+//! Multi-process loopback launcher: spawns one `rex-node` OS process per
+//! cluster node on this machine and collects their summaries.
+//!
+//! This is the zero-infrastructure deployment: reserve loopback ports,
+//! write one shared config file, start `n` real processes, wait. Tests
+//! use it to prove the distributed binary reproduces the in-process
+//! backends bit-for-bit; `examples/tcp_cluster.rs` uses it as a demo.
+
+use crate::config::ClusterConfig;
+use crate::NodeSummary;
+use rex_net::tcp::reserve_loopback_addrs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+
+/// Locates the `rex-node` binary next to the currently running test or
+/// example executable (`target/<profile>/rex-node`). Returns `None` when
+/// it has not been built — callers should skip rather than fail, so test
+/// runs that predate the binary stay green.
+#[must_use]
+pub fn find_node_binary() -> Option<PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    let mut dir = exe.parent()?;
+    for _ in 0..3 {
+        let candidate = dir.join("rex-node");
+        if candidate.is_file() {
+            return Some(candidate);
+        }
+        dir = dir.parent()?;
+    }
+    None
+}
+
+fn io_err(msg: String) -> io::Error {
+    io::Error::other(msg)
+}
+
+/// Assigns freshly reserved loopback ports to `cfg` and launches one
+/// `rex-node` process per node, all reading the same generated config
+/// file under `workdir` (created if missing). Blocks until every process
+/// exits, then parses and returns their summaries in node-id order.
+///
+/// # Errors
+/// If any process fails to spawn, exits non-zero, or emits an unreadable
+/// summary.
+pub fn launch_cluster(
+    binary: &Path,
+    cfg: &ClusterConfig,
+    workdir: &Path,
+) -> io::Result<Vec<NodeSummary>> {
+    let n = cfg.num_nodes();
+    let mut cfg = cfg.clone();
+    cfg.nodes = reserve_loopback_addrs(n)?
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+
+    std::fs::create_dir_all(workdir)?;
+    let config_path = workdir.join("cluster.toml");
+    std::fs::write(&config_path, cfg.to_toml())?;
+
+    let mut children = Vec::with_capacity(n);
+    for id in 0..n {
+        let out_path = workdir.join(format!("node{id}.summary"));
+        let child = Command::new(binary)
+            .arg("--config")
+            .arg(&config_path)
+            .arg("--id")
+            .arg(id.to_string())
+            .arg("--out")
+            .arg(&out_path)
+            // --quiet: per-epoch progress lines would fill the 64 KiB
+            // stderr pipes (drained only after exit) on long runs and
+            // deadlock the cluster against the wire barrier.
+            .arg("--quiet")
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .spawn()
+            .map_err(|e| io_err(format!("spawning node {id}: {e}")))?;
+        children.push((id, child, out_path));
+    }
+
+    // Wait on *every* child before propagating any failure — an early
+    // return would abandon still-running processes (blocked in the
+    // barrier once their peers vanish) with the workdir about to be
+    // deleted under them.
+    let mut summaries = Vec::with_capacity(n);
+    let mut failures = Vec::new();
+    for (id, child, out_path) in children {
+        let outcome = child.wait_with_output();
+        if !failures.is_empty() {
+            // Already failing: just reap the remaining children.
+            continue;
+        }
+        match outcome {
+            Err(e) => failures.push(format!("waiting on node {id}: {e}")),
+            Ok(output) if !output.status.success() => failures.push(format!(
+                "node {id} exited with {}: {}",
+                output.status,
+                String::from_utf8_lossy(&output.stderr).trim()
+            )),
+            Ok(_) => match std::fs::read_to_string(&out_path) {
+                Err(e) => failures.push(format!("reading node {id} summary: {e}")),
+                Ok(text) => match NodeSummary::parse(&text) {
+                    Err(e) => failures.push(e),
+                    Ok(summary) => summaries.push(summary),
+                },
+            },
+        }
+    }
+    if !failures.is_empty() {
+        return Err(io_err(failures.join("; ")));
+    }
+    summaries.sort_by_key(|s| s.id);
+    Ok(summaries)
+}
+
+/// A throwaway work directory under the system temp dir, unique per call.
+#[must_use]
+pub fn scratch_dir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NONCE: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "rex-{tag}-{}-{}",
+        std::process::id(),
+        NONCE.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_dirs_are_unique() {
+        assert_ne!(scratch_dir("t"), scratch_dir("t"));
+    }
+
+    #[test]
+    fn missing_binary_is_a_clean_error() {
+        let cfg = ClusterConfig {
+            nodes: vec!["127.0.0.1:1".into()],
+            ..ClusterConfig::default()
+        };
+        let dir = scratch_dir("missing-bin");
+        let err = launch_cluster(Path::new("/nonexistent/rex-node"), &cfg, &dir).unwrap_err();
+        assert!(err.to_string().contains("spawning node 0"));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

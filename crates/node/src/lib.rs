@@ -1,0 +1,390 @@
+//! Deployable REX node: one engine node per OS process, over real TCP.
+//!
+//! The paper evaluates REX on a real 8-node SGX testbed — separate
+//! processes on separate machines, ZeroMQ in between. This crate is our
+//! equivalent: the `rex-node` binary reads a [`ClusterConfig`], rebuilds
+//! the fleet deterministically (same seeds → same dataset partition,
+//! topology, and initial models in every process), keeps the node whose
+//! id it was given, bootstraps a [`TcpEndpoint`] against its peers, and
+//! runs the engine's per-node epoch loop with the transport's wire
+//! barrier standing in for the in-process one.
+//!
+//! Determinism carries across process boundaries: a multi-process cluster
+//! produces bit-identical per-node learning trajectories, byte counts and
+//! stores as the in-process backends (`tests/tcp_cluster.rs` holds it to
+//! that), because inboxes are drained in canonical order either way.
+//!
+//! In SGX mode, provisioning and pairwise attestation are replayed
+//! in-memory by every process from the shared infrastructure seed — each
+//! process derives the *same* platforms, enclaves and session keys, so no
+//! coordinator has to distribute them. The handshake's traffic is
+//! accounted from that replay and added to the wire stats, keeping
+//! reported totals comparable with in-process SGX runs.
+
+pub mod config;
+pub mod launcher;
+
+pub use config::ClusterConfig;
+
+use rex_core::builder::{build_mf_nodes, NodeSeeds};
+use rex_core::setup::establish_tee;
+use rex_core::Node;
+use rex_data::{Partition, SyntheticConfig, TrainTestSplit};
+use rex_ml::{MfHyperParams, MfModel};
+use rex_net::mem::MemNetwork;
+use rex_net::stats::TrafficStats;
+use rex_net::tcp::{TcpEndpoint, TcpTransport, DEFAULT_CONNECT_TIMEOUT};
+use rex_net::transport::{Endpoint, Transport};
+use rex_tee::SgxCostModel;
+
+/// Builds the full fleet a config describes — identically in every
+/// process that parses the same file.
+#[must_use]
+pub fn build_fleet(cfg: &ClusterConfig) -> Vec<Node<MfModel>> {
+    let n = cfg.num_nodes();
+    let dataset = SyntheticConfig {
+        num_users: cfg.num_users,
+        num_items: cfg.num_items,
+        num_ratings: cfg.num_ratings,
+        seed: cfg.data_seed,
+        ..SyntheticConfig::default()
+    }
+    .generate();
+    let split = TrainTestSplit::standard(&dataset, cfg.split_seed);
+    let partition = Partition::multi_user(&split, n);
+    let graph = cfg.topology.build(n, cfg.topology_seed);
+    build_mf_nodes(
+        &partition,
+        &graph,
+        dataset.num_users,
+        dataset.num_items,
+        MfHyperParams::default(),
+        cfg.protocol(),
+        NodeSeeds::default(),
+    )
+}
+
+/// What one deployed node reports when its run completes. Serializes to a
+/// `key = value` text block so the launcher (a different process) can
+/// collect and compare results bit-exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeSummary {
+    /// The node's id.
+    pub id: usize,
+    /// Epochs run.
+    pub epochs: usize,
+    /// Final local RMSE, as IEEE-754 bits (`None` when the node holds no
+    /// test ratings).
+    pub final_rmse_bits: Option<u64>,
+    /// Per-epoch local RMSE bits.
+    pub rmse_trace_bits: Vec<Option<u64>>,
+    /// Protocol + handshake traffic counters.
+    pub stats: TrafficStats,
+    /// Raw-data store size after the run.
+    pub store_len: usize,
+}
+
+impl NodeSummary {
+    /// Serializes for the `--out` file.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let fmt_rmse = |bits: &Option<u64>| match bits {
+            Some(b) => format!("{b:#x}"),
+            None => "none".to_string(),
+        };
+        let trace: Vec<String> = self.rmse_trace_bits.iter().map(fmt_rmse).collect();
+        format!(
+            "id = {}\nepochs = {}\nfinal_rmse = {}\nrmse_trace = {}\nbytes_out = {}\nbytes_in = {}\nmsgs_out = {}\nmsgs_in = {}\nstore_len = {}\n",
+            self.id,
+            self.epochs,
+            fmt_rmse(&self.final_rmse_bits),
+            trace.join(","),
+            self.stats.bytes_out,
+            self.stats.bytes_in,
+            self.stats.msgs_out,
+            self.stats.msgs_in,
+            self.store_len,
+        )
+    }
+
+    /// Parses a summary file's contents.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut fields = std::collections::HashMap::new();
+        for line in text.lines() {
+            if let Some((k, v)) = line.split_once('=') {
+                fields.insert(k.trim().to_string(), v.trim().to_string());
+            }
+        }
+        let get = |key: &str| {
+            fields
+                .get(key)
+                .cloned()
+                .ok_or_else(|| format!("summary missing {key}"))
+        };
+        let int = |key: &str| -> Result<u64, String> {
+            get(key)?.parse().map_err(|e| format!("summary {key}: {e}"))
+        };
+        let rmse = |raw: &str| -> Result<Option<u64>, String> {
+            if raw == "none" {
+                return Ok(None);
+            }
+            let hex = raw
+                .strip_prefix("0x")
+                .ok_or_else(|| format!("bad rmse bits: {raw}"))?;
+            u64::from_str_radix(hex, 16)
+                .map(Some)
+                .map_err(|e| format!("bad rmse bits {raw}: {e}"))
+        };
+        let trace_raw = get("rmse_trace")?;
+        let rmse_trace_bits = if trace_raw.is_empty() {
+            Vec::new()
+        } else {
+            trace_raw
+                .split(',')
+                .map(rmse)
+                .collect::<Result<Vec<_>, _>>()?
+        };
+        Ok(NodeSummary {
+            id: int("id")? as usize,
+            epochs: int("epochs")? as usize,
+            final_rmse_bits: rmse(&get("final_rmse")?)?,
+            rmse_trace_bits,
+            stats: TrafficStats {
+                bytes_out: int("bytes_out")?,
+                bytes_in: int("bytes_in")?,
+                msgs_out: int("msgs_out")?,
+                msgs_in: int("msgs_in")?,
+            },
+            store_len: int("store_len")? as usize,
+        })
+    }
+}
+
+fn add_stats(a: TrafficStats, b: TrafficStats) -> TrafficStats {
+    TrafficStats {
+        bytes_out: a.bytes_out + b.bytes_out,
+        bytes_in: a.bytes_in + b.bytes_in,
+        msgs_out: a.msgs_out + b.msgs_out,
+        msgs_in: a.msgs_in + b.msgs_in,
+    }
+}
+
+/// Replays TEE provisioning + attestation for the whole fleet in memory.
+/// Every process runs this with the same seed, deriving identical session
+/// keys — the distributed equivalent of the engine's fabric-level setup.
+/// Returns per-node handshake traffic so deployed stats stay comparable.
+fn replay_setup(cfg: &ClusterConfig, fleet: &mut [Node<MfModel>]) -> Vec<TrafficStats> {
+    let mut mem = MemNetwork::new(fleet.len());
+    let _ = establish_tee(
+        fleet,
+        &mut mem,
+        SgxCostModel::default(),
+        cfg.processes_per_platform,
+        cfg.infra_seed,
+    );
+    mem.all_stats()
+}
+
+/// The deployed per-node epoch loop: drain, wire barrier, train, send,
+/// wire barrier — the transport-level shape of the engine's
+/// thread-per-node driver, with [`Endpoint::sync`] replacing the
+/// in-process barrier. Returns the per-epoch local RMSE trace. Calls
+/// `progress` after each epoch with `(epoch, rmse)`.
+pub fn run_node_loop<E: Endpoint>(
+    node: &mut Node<MfModel>,
+    endpoint: &mut E,
+    epochs: usize,
+    mut progress: impl FnMut(usize, Option<f64>),
+) -> Vec<Option<u64>> {
+    let mut trace = Vec::with_capacity(epochs);
+    for epoch in 0..epochs {
+        let inbox = endpoint.recv();
+        // Everyone drains before anyone sends (the engine's first
+        // barrier), so a fast peer's epoch-e message cannot land in a
+        // slow node's epoch-e inbox.
+        endpoint.sync();
+        let (outgoing, report) = node.epoch(inbox);
+        for (dest, bytes) in outgoing {
+            endpoint.send(dest, bytes);
+        }
+        // All of this epoch's sends are delivered before anyone drains
+        // the next inbox (the engine's second barrier).
+        endpoint.sync();
+        trace.push(report.rmse.map(f64::to_bits));
+        progress(epoch, report.rmse);
+    }
+    trace
+}
+
+/// Runs one deployed node end to end: rebuild the fleet, keep node `id`,
+/// bootstrap TCP against the peers, run the epoch loop, and summarize.
+pub fn run_node(
+    cfg: &ClusterConfig,
+    id: usize,
+    mut progress: impl FnMut(usize, Option<f64>),
+) -> Result<NodeSummary, String> {
+    let n = cfg.num_nodes();
+    if id >= n {
+        return Err(format!("node id {id} outside cluster of {n}"));
+    }
+    let addrs = cfg.addrs()?;
+    let mut fleet = build_fleet(cfg);
+    let setup_stats = if cfg.sgx {
+        replay_setup(cfg, &mut fleet)
+    } else {
+        vec![TrafficStats::default(); n]
+    };
+    let mut node = fleet
+        .into_iter()
+        .nth(id)
+        .expect("fleet covers every node id");
+
+    let mut endpoint = TcpEndpoint::connect(id, &addrs, DEFAULT_CONNECT_TIMEOUT)
+        .map_err(|e| format!("node {id}: bootstrap failed: {e}"))?;
+    let rmse_trace_bits = run_node_loop(&mut node, &mut endpoint, cfg.epochs, &mut progress);
+
+    Ok(NodeSummary {
+        id,
+        epochs: cfg.epochs,
+        final_rmse_bits: node.local_rmse().map(f64::to_bits),
+        rmse_trace_bits,
+        stats: add_stats(endpoint.stats(), setup_stats[id]),
+        store_len: node.store().len(),
+    })
+}
+
+/// Runs the whole cluster in this process — one thread per node over a
+/// loopback TCP fabric, each thread executing exactly the deployed
+/// [`run_node_loop`]. The reference the multi-process launcher is
+/// compared against.
+pub fn run_cluster_in_process(cfg: &ClusterConfig) -> Result<Vec<NodeSummary>, String> {
+    let n = cfg.num_nodes();
+    let mut fleet = build_fleet(cfg);
+    let setup_stats = if cfg.sgx {
+        replay_setup(cfg, &mut fleet)
+    } else {
+        vec![TrafficStats::default(); n]
+    };
+    let fabric = TcpTransport::loopback(n).map_err(|e| format!("loopback fabric: {e}"))?;
+    let endpoints = fabric
+        .into_endpoints()
+        .expect("tcp fabric splits into endpoints");
+    let epochs = cfg.epochs;
+
+    let handles: Vec<_> = fleet
+        .into_iter()
+        .zip(endpoints)
+        .map(|(mut node, mut endpoint)| {
+            std::thread::spawn(move || {
+                let trace = run_node_loop(&mut node, &mut endpoint, epochs, |_, _| {});
+                (node, endpoint.stats(), trace)
+            })
+        })
+        .collect();
+
+    let mut summaries = Vec::with_capacity(n);
+    for (id, handle) in handles.into_iter().enumerate() {
+        let (node, stats, rmse_trace_bits) = handle
+            .join()
+            .map_err(|_| format!("node {id} thread panicked"))?;
+        summaries.push(NodeSummary {
+            id,
+            epochs,
+            final_rmse_bits: node.local_rmse().map(f64::to_bits),
+            rmse_trace_bits,
+            stats: add_stats(stats, setup_stats[id]),
+            store_len: node.store().len(),
+        });
+    }
+    Ok(summaries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rex_net::tcp::reserve_loopback_addrs;
+
+    fn tiny_cfg(n: usize) -> ClusterConfig {
+        ClusterConfig {
+            nodes: (0..n).map(|i| format!("127.0.0.1:{}", 7100 + i)).collect(),
+            epochs: 4,
+            num_users: 16,
+            num_items: 80,
+            num_ratings: 1_000,
+            points_per_epoch: 20,
+            steps_per_epoch: 60,
+            ..ClusterConfig::default()
+        }
+    }
+
+    #[test]
+    fn summary_text_roundtrip() {
+        let summary = NodeSummary {
+            id: 3,
+            epochs: 2,
+            final_rmse_bits: Some(0x3FF0_0000_0000_0001),
+            rmse_trace_bits: vec![None, Some(42)],
+            stats: TrafficStats {
+                bytes_out: 10,
+                bytes_in: 20,
+                msgs_out: 1,
+                msgs_in: 2,
+            },
+            store_len: 7,
+        };
+        assert_eq!(NodeSummary::parse(&summary.to_text()).unwrap(), summary);
+        assert!(NodeSummary::parse("id = 1").is_err());
+    }
+
+    #[test]
+    fn fleet_building_is_deterministic() {
+        let cfg = tiny_cfg(4);
+        let a = build_fleet(&cfg);
+        let b = build_fleet(&cfg);
+        assert_eq!(a.len(), 4);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id(), y.id());
+            assert_eq!(x.neighbors(), y.neighbors());
+            assert_eq!(
+                x.local_rmse().map(f64::to_bits),
+                y.local_rmse().map(f64::to_bits)
+            );
+        }
+    }
+
+    #[test]
+    fn in_process_cluster_learns_and_balances_traffic() {
+        let cfg = tiny_cfg(4);
+        let summaries = run_cluster_in_process(&cfg).unwrap();
+        assert_eq!(summaries.len(), 4);
+        for s in &summaries {
+            assert_eq!(s.rmse_trace_bits.len(), cfg.epochs);
+            // Fully connected, D-PSGD: every node shares with all three
+            // peers every epoch.
+            assert_eq!(s.stats.msgs_out, 3 * cfg.epochs as u64);
+            assert_eq!(s.stats.msgs_out, s.stats.msgs_in);
+        }
+    }
+
+    #[test]
+    fn distributed_node_threads_match_in_process_cluster() {
+        // Same config, real connect() bootstrap on reserved ports: the
+        // deployed path must agree with the loopback-fabric path.
+        let mut cfg = tiny_cfg(3);
+        cfg.epochs = 3;
+        let reference = run_cluster_in_process(&cfg).unwrap();
+
+        let addrs = reserve_loopback_addrs(3).unwrap();
+        cfg.nodes = addrs.iter().map(ToString::to_string).collect();
+        let handles: Vec<_> = (0..3)
+            .map(|id| {
+                let cfg = cfg.clone();
+                std::thread::spawn(move || run_node(&cfg, id, |_, _| {}).unwrap())
+            })
+            .collect();
+        for handle in handles {
+            let summary = handle.join().unwrap();
+            assert_eq!(summary, reference[summary.id]);
+        }
+    }
+}

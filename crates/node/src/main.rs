@@ -1,0 +1,117 @@
+//! `rex-node` — run one REX engine node as its own OS process.
+//!
+//! ```text
+//! rex-node --config cluster.toml --id 3 [--out node3.summary] [--epochs N] [--quiet]
+//! ```
+//!
+//! Every process of a cluster reads the same config file (see
+//! [`rex_node::ClusterConfig`] for the format) and is told which node id
+//! it is. The process rebuilds the fleet deterministically, connects to
+//! its peers over TCP, runs the epoch loop, prints per-epoch progress to
+//! stderr, and writes a machine-readable summary to `--out`.
+
+use rex_node::{run_node, ClusterConfig};
+use std::path::PathBuf;
+
+struct Args {
+    config: PathBuf,
+    id: usize,
+    out: Option<PathBuf>,
+    epochs: Option<usize>,
+    quiet: bool,
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: rex-node --config <cluster.toml> --id <node-id> [--out <path>] [--epochs N] [--quiet]"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+fn parse_args() -> Args {
+    let mut config = None;
+    let mut id = None;
+    let mut out = None;
+    let mut epochs = None;
+    let mut quiet = false;
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--config" => config = iter.next().map(PathBuf::from),
+            "--id" => {
+                id = Some(
+                    iter.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--id needs a number")),
+                );
+            }
+            "--out" => out = iter.next().map(PathBuf::from),
+            "--epochs" => {
+                epochs = Some(
+                    iter.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--epochs needs a number")),
+                );
+            }
+            "--quiet" => quiet = true,
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    Args {
+        config: config.unwrap_or_else(|| usage("--config is required")),
+        id: id.unwrap_or_else(|| usage("--id is required")),
+        out,
+        epochs,
+        quiet,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let text = std::fs::read_to_string(&args.config).unwrap_or_else(|e| {
+        usage(&format!("reading {}: {e}", args.config.display()));
+    });
+    let mut cfg = ClusterConfig::parse(&text).unwrap_or_else(|e| {
+        usage(&format!("parsing {}: {e}", args.config.display()));
+    });
+    if let Some(epochs) = args.epochs {
+        cfg.epochs = epochs;
+    }
+
+    let id = args.id;
+    if !args.quiet {
+        eprintln!(
+            "[rex-node {id}] cluster of {}, {} epochs, {} over {:?}{}",
+            cfg.num_nodes(),
+            cfg.epochs,
+            cfg.protocol().label(),
+            cfg.topology.label(),
+            if cfg.sgx { ", SGX" } else { "" },
+        );
+    }
+    let quiet = args.quiet;
+    let summary = run_node(&cfg, id, |epoch, rmse| {
+        if !quiet {
+            match rmse {
+                Some(r) => eprintln!("[rex-node {id}] epoch {epoch}: rmse {r:.4}"),
+                None => eprintln!("[rex-node {id}] epoch {epoch}: no test ratings"),
+            }
+        }
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("[rex-node {id}] fatal: {e}");
+        std::process::exit(1);
+    });
+
+    println!("{}", summary.to_text());
+    if let Some(out) = args.out {
+        if let Err(e) = std::fs::write(&out, summary.to_text()) {
+            eprintln!("[rex-node {id}] writing {}: {e}", out.display());
+            std::process::exit(1);
+        }
+    }
+}

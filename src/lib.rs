@@ -9,6 +9,7 @@ pub use rex_crypto as crypto;
 pub use rex_data as data;
 pub use rex_ml as ml;
 pub use rex_net as net;
+pub use rex_node as node;
 pub use rex_sim as sim;
 pub use rex_tee as tee;
 pub use rex_topology as topology;

@@ -3,11 +3,14 @@
 //!
 //! The same fixed-seed fleet must produce *identical* per-node RMSE
 //! trajectories and byte counts whether it runs through the discrete-event
-//! [`MemNetwork`] fabric (lockstep driver, simulated time) or the
+//! [`MemNetwork`] fabric (lockstep driver, simulated time), the
 //! [`ChannelTransport`] fabric (one real OS thread per node, wall-clock
-//! time). Only the time axis may differ. This holds because the engine
-//! hands every node its inbox in canonical order (ascending sender id,
-//! per-sender FIFO) regardless of physical arrival order.
+//! time), or the [`TcpTransport`] fabric (real loopback sockets with
+//! length-prefixed framing, either driver). Only the time axis may
+//! differ. This holds because the engine hands every node its inbox in
+//! canonical order (ascending sender id, per-sender FIFO) regardless of
+//! physical arrival order, and because the TCP backend's wire barrier
+//! makes message visibility deterministic despite real propagation delay.
 
 use rex_repro::core::builder::{build_mf_nodes, NodeSeeds};
 use rex_repro::core::config::{ExecutionMode, GossipAlgorithm, ProtocolConfig, SharingMode};
@@ -15,7 +18,7 @@ use rex_repro::core::engine::{Driver, Engine, EngineConfig, EngineResult, TimeAx
 use rex_repro::core::Node;
 use rex_repro::data::{Partition, SyntheticConfig, TrainTestSplit};
 use rex_repro::ml::{MfHyperParams, MfModel};
-use rex_repro::net::{ChannelTransport, MemNetwork};
+use rex_repro::net::{ChannelTransport, MemNetwork, TcpTransport};
 use rex_repro::tee::SgxCostModel;
 use rex_repro::topology::TopologySpec;
 
@@ -140,6 +143,38 @@ fn assert_equivalent(
     }
 }
 
+/// Runs the reference fleet over the mem fabric (lockstep, simulated
+/// time) and an identical fleet over real TCP loopback sockets with the
+/// given driver.
+#[allow(clippy::type_complexity)]
+fn run_mem_vs_tcp(
+    execution: ExecutionMode,
+    tcp_driver: Driver,
+) -> (
+    (EngineResult, Vec<Node<MfModel>>),
+    (EngineResult, Vec<Node<MfModel>>),
+) {
+    let mut sim_nodes = fleet(SharingMode::RawData, GossipAlgorithm::DPsgd);
+    let sim = Engine::<MfModel, MemNetwork>::new(
+        MemNetwork::new(sim_nodes.len()),
+        engine_config(
+            execution,
+            TimeAxis::Simulated(Default::default()),
+            Driver::Lockstep { parallel: false },
+        ),
+    )
+    .run("sim", &mut sim_nodes);
+
+    let mut tcp_nodes = fleet(SharingMode::RawData, GossipAlgorithm::DPsgd);
+    let tcp = Engine::<MfModel, TcpTransport>::new(
+        TcpTransport::loopback(tcp_nodes.len()).expect("loopback fabric"),
+        engine_config(execution, TimeAxis::Wall, tcp_driver),
+    )
+    .run("tcp", &mut tcp_nodes);
+
+    ((sim, sim_nodes), (tcp, tcp_nodes))
+}
+
 #[test]
 fn native_runs_agree_across_backends() {
     let (sim, threaded) = run_both(ExecutionMode::Native);
@@ -187,4 +222,34 @@ fn lockstep_channel_matches_mem_fabric() {
     .run("chan", &mut chan_nodes);
 
     assert_equivalent(&(mem, mem_nodes), &(chan, chan_nodes));
+}
+
+#[test]
+fn tcp_loopback_threaded_matches_mem_fabric() {
+    // Real sockets, one OS thread per node: the loopback stand-in for the
+    // paper's distributed testbed must match the simulator bit-for-bit.
+    let (sim, tcp) = run_mem_vs_tcp(ExecutionMode::Native, Driver::ThreadPerNode);
+    assert_equivalent(&sim, &tcp);
+    let first = sim.0.trace.records.first().unwrap().rmse;
+    let last = sim.0.trace.final_rmse().unwrap();
+    assert!(last < first, "no learning: {first} -> {last}");
+}
+
+#[test]
+fn tcp_loopback_lockstep_matches_mem_fabric() {
+    // The same sockets driven in lockstep (fabric view, no node threads).
+    let (sim, tcp) = run_mem_vs_tcp(ExecutionMode::Native, Driver::Lockstep { parallel: false });
+    assert_equivalent(&sim, &tcp);
+}
+
+#[test]
+fn sgx_tcp_loopback_matches_mem_fabric() {
+    // SGX mode sends the attestation handshake through the sockets too
+    // (and the setup drain must not leak handshake frames into epoch 0).
+    let (sim, tcp) = run_mem_vs_tcp(
+        ExecutionMode::Sgx(SgxCostModel::default()),
+        Driver::ThreadPerNode,
+    );
+    assert_equivalent(&sim, &tcp);
+    assert!(sim.0.setup_ns > 0 && tcp.0.setup_ns > 0);
 }

@@ -1,0 +1,128 @@
+//! Multi-process deployment oracle: a cluster of real `rex-node` OS
+//! processes talking TCP over loopback must reproduce the in-process
+//! backends bit-for-bit — per-node RMSE trajectories, byte counts, and
+//! final stores.
+//!
+//! The launcher needs the `rex-node` binary, which `cargo test` builds as
+//! part of the workspace; if it is missing (e.g. a filtered build), the
+//! tests skip with a notice instead of failing.
+
+use rex_repro::core::config::ExecutionMode;
+use rex_repro::core::engine::{Driver, Engine, EngineConfig, TimeAxis};
+use rex_repro::ml::MfModel;
+use rex_repro::net::ChannelTransport;
+use rex_repro::node::launcher::{find_node_binary, launch_cluster, scratch_dir};
+use rex_repro::node::{build_fleet, run_cluster_in_process, ClusterConfig, NodeSummary};
+use rex_repro::tee::SgxCostModel;
+use std::path::PathBuf;
+
+fn tiny_cfg(n: usize, sgx: bool) -> ClusterConfig {
+    ClusterConfig {
+        // Placeholder addresses; the launcher reserves real ports.
+        nodes: (0..n).map(|i| format!("127.0.0.1:{}", 7200 + i)).collect(),
+        epochs: 4,
+        num_users: 16,
+        num_items: 80,
+        num_ratings: 1_000,
+        points_per_epoch: 20,
+        steps_per_epoch: 60,
+        sgx,
+        ..ClusterConfig::default()
+    }
+}
+
+fn require_binary() -> Option<PathBuf> {
+    let bin = find_node_binary();
+    if bin.is_none() {
+        eprintln!("[tcp_cluster] rex-node binary not built; skipping");
+    }
+    bin
+}
+
+fn launch(cfg: &ClusterConfig, tag: &str) -> Option<Vec<NodeSummary>> {
+    let bin = require_binary()?;
+    let dir = scratch_dir(tag);
+    let result = launch_cluster(&bin, cfg, &dir);
+    let _ = std::fs::remove_dir_all(&dir);
+    Some(result.expect("cluster run failed"))
+}
+
+#[test]
+fn processes_match_in_process_cluster_bit_for_bit() {
+    let cfg = tiny_cfg(4, false);
+    let Some(deployed) = launch(&cfg, "native") else {
+        return;
+    };
+    let reference = run_cluster_in_process(&cfg).expect("in-process reference");
+    assert_eq!(deployed, reference);
+}
+
+#[test]
+fn processes_match_engine_results() {
+    // Tie the deployed loop back to the Engine itself: same fleet through
+    // the channel-transport thread-per-node driver.
+    let cfg = tiny_cfg(4, false);
+    let Some(deployed) = launch(&cfg, "engine-cmp") else {
+        return;
+    };
+
+    let mut nodes = build_fleet(&cfg);
+    let result = Engine::<MfModel, ChannelTransport>::new(
+        ChannelTransport::new(nodes.len()),
+        EngineConfig {
+            epochs: cfg.epochs,
+            execution: ExecutionMode::Native,
+            time: TimeAxis::Wall,
+            driver: Driver::ThreadPerNode,
+            processes_per_platform: cfg.processes_per_platform,
+            seed: cfg.infra_seed,
+        },
+    )
+    .run("reference", &mut nodes);
+
+    for (summary, node) in deployed.iter().zip(&nodes) {
+        assert_eq!(
+            summary.final_rmse_bits,
+            node.local_rmse().map(f64::to_bits),
+            "node {}: final rmse diverged between processes and engine",
+            summary.id
+        );
+        assert_eq!(summary.store_len, node.store().len());
+        assert_eq!(
+            summary.stats, result.final_stats[summary.id],
+            "node {}: traffic counters diverged",
+            summary.id
+        );
+    }
+}
+
+#[test]
+fn sgx_processes_reproduce_attested_run() {
+    // Every process replays provisioning + attestation from the shared
+    // seed, deriving identical session keys — sealed traffic and
+    // handshake byte accounting must match the in-process SGX run.
+    let cfg = tiny_cfg(4, true);
+    let Some(deployed) = launch(&cfg, "sgx") else {
+        return;
+    };
+    let reference = run_cluster_in_process(&cfg).expect("in-process reference");
+    assert_eq!(deployed, reference);
+
+    let mut nodes = build_fleet(&cfg);
+    let result = Engine::<MfModel, ChannelTransport>::new(
+        ChannelTransport::new(nodes.len()),
+        EngineConfig {
+            epochs: cfg.epochs,
+            execution: ExecutionMode::Sgx(SgxCostModel::default()),
+            time: TimeAxis::Wall,
+            driver: Driver::ThreadPerNode,
+            processes_per_platform: cfg.processes_per_platform,
+            seed: cfg.infra_seed,
+        },
+    )
+    .run("sgx-reference", &mut nodes);
+    for (summary, node) in deployed.iter().zip(&nodes) {
+        assert_eq!(summary.final_rmse_bits, node.local_rmse().map(f64::to_bits));
+        assert_eq!(summary.stats, result.final_stats[summary.id]);
+    }
+}
