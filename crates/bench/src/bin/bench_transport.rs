@@ -8,10 +8,16 @@
 //! measures longer. `ns_per_roundtrip` is a mean over the measured
 //! iterations; the TCP row includes the wire barrier, i.e. it prices real
 //! kernel socket delivery, not just an enqueue.
+//!
+//! A second section sweeps the fault-injection layer over the TCP
+//! backend: drop rate vs. per-cycle cost and realized delivery
+//! fraction, so CI tracks both the wrapper's overhead (the 0-rate row
+//! vs. the plain TCP row) and its behaviour under loss.
 
 use rex_bench::{output, BenchArgs};
 use rex_net::channel::ChannelTransport;
 use rex_net::codec::encode_plain;
+use rex_net::fault::{FaultPlan, FaultyTransport, LinkFaults};
 use rex_net::mem::MemNetwork;
 use rex_net::message::Plain;
 use rex_net::tcp::TcpTransport;
@@ -72,7 +78,51 @@ fn bench_backend(
     }
 }
 
-fn json_escape_free(rows: &[Row], mode: &str) -> String {
+/// One row of the drop-rate sweep over the fault-wrapped TCP backend.
+struct FaultRow {
+    drop_rate: f64,
+    iters: u64,
+    ns_per_cycle: f64,
+    delivered_fraction: f64,
+}
+
+/// Times `send → flush (wire barrier) → recv` cycles through
+/// `FaultyTransport<TcpTransport>` at the given drop rate, counting how
+/// many messages actually came out the far end.
+fn bench_fault_sweep(window_ms: u64, payload: usize) -> Vec<FaultRow> {
+    [0.0, 0.1, 0.3, 0.5]
+        .into_iter()
+        .map(|drop_rate| {
+            let plan = FaultPlan::uniform(0xBE9C, LinkFaults::drop_rate(drop_rate));
+            let mut net =
+                FaultyTransport::new(TcpTransport::loopback(2).expect("loopback fabric"), plan);
+            net.epoch_begin(0);
+            let plain = Plain::Model {
+                bytes: vec![0x5Au8; payload],
+                degree: 8,
+            };
+            let (iters, ns) = measure(window_ms, || {
+                let bytes = encode_plain(&plain);
+                net.send(0, 1, bytes);
+                net.flush();
+                // Drain so the mailbox stays bounded; the realized
+                // fraction comes from the delivery counters below, which
+                // also cover the warm-up probe's send.
+                net.recv(1);
+            });
+            let counts = net.take_delivery();
+            let attempts = counts.delivered + counts.dropped;
+            FaultRow {
+                drop_rate,
+                iters,
+                ns_per_cycle: ns,
+                delivered_fraction: counts.delivered as f64 / attempts.max(1) as f64,
+            }
+        })
+        .collect()
+}
+
+fn json_escape_free(rows: &[Row], fault_rows: &[FaultRow], mode: &str) -> String {
     // Hand-rolled JSON: fixed schema, no strings that need escaping.
     let mut out = String::from("{\n");
     out.push_str(&format!(
@@ -89,6 +139,17 @@ fn json_escape_free(rows: &[Row], mode: &str) -> String {
             r.ns_per_roundtrip,
             r.mib_per_sec,
             if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n  \"fault_sweep\": [\n");
+    for (i, r) in fault_rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"backend\": \"tcp+fault\", \"drop_rate\": {:.2}, \"iters\": {}, \"ns_per_cycle\": {:.1}, \"delivered_fraction\": {:.4}}}{}\n",
+            r.drop_rate,
+            r.iters,
+            r.ns_per_cycle,
+            r.delivered_fraction,
+            if i + 1 < fault_rows.len() { "," } else { "" },
         ));
     }
     out.push_str("  ]\n}\n");
@@ -140,7 +201,18 @@ fn main() {
         );
     }
 
-    let json = json_escape_free(&rows, mode);
+    let fault_rows = bench_fault_sweep(window_ms, PAYLOAD_SIZES[0]);
+    println!("fault-injected tcp sweep ({} B payload):", PAYLOAD_SIZES[0]);
+    for r in &fault_rows {
+        println!(
+            "  drop {:>4.2}: {:>10.0} ns/cycle  delivered {:>6.2}%",
+            r.drop_rate,
+            r.ns_per_cycle,
+            100.0 * r.delivered_fraction
+        );
+    }
+
+    let json = json_escape_free(&rows, &fault_rows, mode);
     match output::save("BENCH_transport.json", &json) {
         Ok(path) => println!("[saved] {}", path.display()),
         Err(e) => {

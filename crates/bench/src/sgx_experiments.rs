@@ -213,6 +213,7 @@ pub fn run_arm_on(scale: &SgxScale, arm: Arm, backend: ArmBackend) -> ThreadedRe
                     driver: Driver::ThreadPerNode,
                     processes_per_platform: 2,
                     seed: scale.seed ^ 0x991,
+                    faults: None,
                 },
             )
             .run(&arm.label(), &mut nodes)

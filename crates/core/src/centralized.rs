@@ -55,6 +55,7 @@ pub fn run_centralized<M: Model>(
             driver: Driver::Lockstep { parallel: false },
             processes_per_platform: 1,
             seed,
+            faults: None,
         },
     )
     .run(name, &mut nodes);

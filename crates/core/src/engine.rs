@@ -31,14 +31,28 @@
 //! learning trajectories and byte counts across *all* drivers and
 //! backends. `tests/cross_backend.rs` in the workspace root holds this as
 //! the refactor's correctness oracle.
+//!
+//! # Resilience
+//! [`EngineConfig::faults`] attaches a seeded [`FaultPlan`]. The engine
+//! owns the plan's
+//! *crash-stop* semantics: a down node runs no epoch, sends nothing, and
+//! discards its mailbox; nodes dead for the whole run are pruned from
+//! every neighbour list before TEE setup (crash-aware attestation,
+//! renormalized Metropolis–Hastings degrees). Per-epoch records carry
+//! liveness ([`EpochRecord::live_nodes`]) and the fabric's
+//! delivered/dropped/late/duplicated counts
+//! ([`EpochRecord::delivery`], filled in when the transport is wrapped
+//! in [`rex_net::fault::FaultyTransport`] with the same plan). Both
+//! drivers replay a plan bit-for-bit; `tests/chaos.rs` holds them to it.
 
 use crate::config::ExecutionMode;
 use crate::node::{EpochReport, Node};
 use crate::setup::{establish_tee, SetupReport};
 use rex_ml::Model;
+use rex_net::fault::FaultPlan;
 use rex_net::link::LinkModel;
 use rex_net::mem::Envelope;
-use rex_net::stats::TrafficStats;
+use rex_net::stats::{DeliveryStats, TrafficStats};
 use rex_net::transport::{Clock, Endpoint, Transport, WallClock};
 use rex_sim::clock::VirtualClock;
 use rex_sim::stage::StageTimes;
@@ -93,6 +107,16 @@ pub struct EngineConfig {
     pub processes_per_platform: usize,
     /// Seed for infrastructure randomness (attestation keys).
     pub seed: u64,
+    /// Fault schedule for resilience experiments. The engine enforces the
+    /// plan's *crash-stop* semantics itself (a down node runs no epoch,
+    /// sends nothing, and discards whatever landed in its mailbox; nodes
+    /// dead for the whole run are pruned from every neighbour list before
+    /// TEE setup, so attestation is crash-aware and Metropolis–Hastings
+    /// weights renormalize over surviving degrees). *Link* faults
+    /// (drop/delay/duplicate/reorder, partitions) only take effect when
+    /// the transport is wrapped in
+    /// [`rex_net::fault::FaultyTransport`] carrying the same plan.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for EngineConfig {
@@ -104,6 +128,7 @@ impl Default for EngineConfig {
             driver: Driver::Lockstep { parallel: true },
             processes_per_platform: 1,
             seed: 0x1234,
+            faults: None,
         }
     }
 }
@@ -123,9 +148,14 @@ pub struct EngineResult {
 /// messages as `(destination, bytes)` pairs, plus the report.
 type EpochOutput = (Vec<(usize, Vec<u8>)>, EpochReport);
 
+/// What one node's thread records per epoch: the wall timestamp, the
+/// report (`None` while crash-stopped), and the endpoint's outgoing
+/// delivery accounting for the epoch.
+type ThreadEpoch = (u64, Option<EpochReport>, DeliveryStats);
+
 /// What one node's thread hands back to the engine: the (trained) node,
-/// its per-epoch `(wall_ns, report)` pairs, and its traffic counters.
-type NodeRun<M> = (Node<M>, Vec<(u64, EpochReport)>, TrafficStats);
+/// its per-epoch records, and its traffic counters.
+type NodeRun<M> = (Node<M>, Vec<ThreadEpoch>, TrafficStats);
 
 /// The transport-generic protocol engine. See the module docs.
 pub struct Engine<M: Model, T: Transport> {
@@ -172,6 +202,15 @@ impl<M: Model, T: Transport> Engine<M, T> {
             "Driver::ThreadPerNode records wall-clock time; use TimeAxis::Wall"
         );
 
+        // Crash-aware setup: see `setup::prune_dead_nodes` — whole-run
+        // dead nodes leave the overlay before TEE provisioning, so
+        // attestation skips their edges and surviving Metropolis–
+        // Hastings degrees renormalize.
+        if let Some(plan) = &self.cfg.faults {
+            plan.validate(nodes.len());
+            crate::setup::prune_dead_nodes(nodes, plan);
+        }
+
         let setup = match self.cfg.execution {
             ExecutionMode::Native => SetupReport::default(),
             ExecutionMode::Sgx(cost) => establish_tee(
@@ -210,28 +249,50 @@ impl<M: Model, T: Transport> Engine<M, T> {
         let mut trace = ExperimentTrace::new(name);
 
         for epoch in 0..self.cfg.epochs {
-            // Deliver last epoch's messages, canonically ordered.
-            let inboxes: Vec<Vec<Envelope>> = (0..n).map(|id| self.transport.recv(id)).collect();
+            self.transport.epoch_begin(epoch);
+            let down = down_mask(self.cfg.faults.as_ref(), n, epoch);
 
-            let results = run_epoch(nodes, inboxes, parallel);
+            // Deliver last epoch's messages, canonically ordered. A
+            // crash-stopped node's mailbox is drained and discarded —
+            // whatever was in flight to it is lost, exactly as in the
+            // thread-per-node driver.
+            let inboxes: Vec<Vec<Envelope>> = (0..n)
+                .map(|id| {
+                    let inbox = self.transport.recv(id);
+                    if down[id] {
+                        Vec::new()
+                    } else {
+                        inbox
+                    }
+                })
+                .collect();
+
+            let results = run_epoch(nodes, inboxes, &down, parallel);
 
             // Apply sends in deterministic node order, then make them
             // visible for the next round.
             let mut reports = Vec::with_capacity(n);
-            for (from, (outgoing, report)) in results.into_iter().enumerate() {
-                for (dest, bytes) in outgoing {
-                    self.transport.send(from, dest, bytes);
+            for (from, result) in results.into_iter().enumerate() {
+                match result {
+                    Some((outgoing, report)) => {
+                        for (dest, bytes) in outgoing {
+                            self.transport.send(from, dest, bytes);
+                        }
+                        reports.push(Some(report));
+                    }
+                    None => reports.push(None),
                 }
-                reports.push(report);
             }
             self.transport.flush();
+            let delivery = self.transport.take_delivery();
 
             match &self.cfg.time {
                 TimeAxis::Simulated(link) => {
-                    // Epoch duration: slowest node's compute + its link
-                    // time (full-duplex: the max of its up/down volumes).
+                    // Epoch duration: slowest live node's compute + its
+                    // link time (full-duplex: the max of its up/down
+                    // volumes).
                     let mut epoch_ns = 0u64;
-                    for report in &reports {
+                    for report in reports.iter().flatten() {
                         let volume = report.bytes_out.max(report.bytes_in);
                         let net_ns = if volume > 0 {
                             link.transfer_ns(volume)
@@ -246,12 +307,17 @@ impl<M: Model, T: Transport> Engine<M, T> {
                     // Wall time elapses on its own; advance the clock by
                     // the modelled hardware charge of the slowest node
                     // (WallClock accumulates it on top of elapsed time).
-                    let max_sgx = reports.iter().map(|r| r.sgx_overhead_ns).max().unwrap_or(0);
+                    let max_sgx = reports
+                        .iter()
+                        .flatten()
+                        .map(|r| r.sgx_overhead_ns)
+                        .max()
+                        .unwrap_or(0);
                     clock.advance(max_sgx);
                 }
             }
 
-            trace.push(aggregate_epoch(epoch, clock.now_ns(), &reports));
+            trace.push(aggregate_epoch(epoch, clock.now_ns(), &reports, delivery));
         }
 
         EngineResult {
@@ -279,30 +345,47 @@ impl<M: Model, T: Transport> Engine<M, T> {
         let barrier = Arc::new(Barrier::new(n));
         let start = Instant::now();
         let fleet = std::mem::take(nodes);
+        let plan = Arc::new(self.cfg.faults.clone());
 
         let mut handles = Vec::with_capacity(n);
         for (mut node, mut endpoint) in fleet.into_iter().zip(endpoints) {
             let barrier = Arc::clone(&barrier);
+            let plan = Arc::clone(&plan);
             handles.push(std::thread::spawn(move || {
-                let mut reports: Vec<(u64, EpochReport)> = Vec::with_capacity(epochs);
-                for _ in 0..epochs {
+                let mut reports: Vec<ThreadEpoch> = Vec::with_capacity(epochs);
+                for epoch in 0..epochs {
+                    endpoint.epoch_begin(epoch);
                     let inbox = endpoint.recv();
+                    let down = plan
+                        .as_ref()
+                        .as_ref()
+                        .is_some_and(|p| p.is_down(node.id(), epoch));
                     // Everyone drains before anyone sends: without this a
                     // fast peer's epoch-e message could land in a slow
                     // node's epoch-e inbox, making delivery epochs racy
                     // (and runs irreproducible across backends).
                     barrier.wait();
-                    let (outgoing, report) = node.epoch(inbox);
-                    for (dest, bytes) in outgoing {
-                        endpoint.send(dest, bytes);
-                    }
+                    // A crash-stopped node discards its inbox and sits
+                    // the epoch out — but keeps serving the round
+                    // barriers, which are infrastructure, not protocol.
+                    let report = if down {
+                        drop(inbox);
+                        None
+                    } else {
+                        let (outgoing, report) = node.epoch(inbox);
+                        for (dest, bytes) in outgoing {
+                            endpoint.send(dest, bytes);
+                        }
+                        Some(report)
+                    };
                     // All sends of this epoch complete — and, for fabrics
                     // with real propagation delay (TCP), are *delivered*
                     // (wire-level barrier) — before anyone drains the
                     // next epoch's inbox.
                     endpoint.sync();
+                    let delivery = endpoint.take_delivery();
                     barrier.wait();
-                    reports.push((start.elapsed().as_nanos() as u64, report));
+                    reports.push((start.elapsed().as_nanos() as u64, report, delivery));
                 }
                 (node, reports, endpoint.stats())
             }));
@@ -319,19 +402,27 @@ impl<M: Model, T: Transport> Engine<M, T> {
         let mut cumulative_sgx_ns = 0u64;
         for epoch in 0..epochs {
             let mut end_ns = 0u64;
-            let reports: Vec<EpochReport> = joined
+            let mut delivery = DeliveryStats::default();
+            let reports: Vec<Option<EpochReport>> = joined
                 .iter()
                 .map(|(_, per_epoch, _)| {
-                    let (t, report) = per_epoch[epoch];
+                    let (t, report, node_delivery) = per_epoch[epoch];
                     end_ns = end_ns.max(t);
+                    delivery.absorb(&node_delivery);
                     report
                 })
                 .collect();
-            cumulative_sgx_ns += reports.iter().map(|r| r.sgx_overhead_ns).max().unwrap_or(0);
+            cumulative_sgx_ns += reports
+                .iter()
+                .flatten()
+                .map(|r| r.sgx_overhead_ns)
+                .max()
+                .unwrap_or(0);
             trace.push(aggregate_epoch(
                 epoch,
                 setup_ns + end_ns + cumulative_sgx_ns,
                 &reports,
+                delivery,
             ));
         }
 
@@ -346,20 +437,30 @@ impl<M: Model, T: Transport> Engine<M, T> {
     }
 }
 
-/// Runs every node's epoch once, sequentially or on a scoped thread pool.
-/// Results are in node order either way, so the two modes are
-/// bit-identical.
+/// The per-node crash mask for one epoch (all-false without a plan).
+fn down_mask(plan: Option<&FaultPlan>, n: usize, epoch: usize) -> Vec<bool> {
+    match plan {
+        Some(p) => (0..n).map(|i| p.is_down(i, epoch)).collect(),
+        None => vec![false; n],
+    }
+}
+
+/// Runs every live node's epoch once, sequentially or on a scoped thread
+/// pool; crash-stopped nodes (`down`) yield `None`. Results are in node
+/// order either way, so the two modes are bit-identical.
 fn run_epoch<M: Model>(
     nodes: &mut [Node<M>],
     inboxes: Vec<Vec<Envelope>>,
+    down: &[bool],
     parallel: bool,
-) -> Vec<EpochOutput> {
+) -> Vec<Option<EpochOutput>> {
     let n = nodes.len();
     if !parallel || n < 2 {
         return nodes
             .iter_mut()
             .zip(inboxes)
-            .map(|(node, inbox)| node.epoch(inbox))
+            .zip(down)
+            .map(|((node, inbox), &d)| if d { None } else { Some(node.epoch(inbox)) })
             .collect();
     }
 
@@ -382,12 +483,14 @@ fn run_epoch<M: Model>(
         let handles: Vec<_> = nodes
             .chunks_mut(chunk)
             .zip(inbox_chunks)
-            .map(|(node_chunk, chunk_inboxes)| {
+            .zip(down.chunks(chunk))
+            .map(|((node_chunk, chunk_inboxes), chunk_down)| {
                 scope.spawn(move || {
                     node_chunk
                         .iter_mut()
                         .zip(chunk_inboxes)
-                        .map(|(node, inbox)| node.epoch(inbox))
+                        .zip(chunk_down)
+                        .map(|((node, inbox), &d)| if d { None } else { Some(node.epoch(inbox)) })
                         .collect::<Vec<_>>()
                 })
             })
@@ -399,27 +502,35 @@ fn run_epoch<M: Model>(
     })
 }
 
-/// Folds one epoch's per-node reports into the trace record (fleet means,
-/// in node order — the folds are order-stable so runs are reproducible).
-fn aggregate_epoch(epoch: usize, time_ns: u64, reports: &[EpochReport]) -> EpochRecord {
-    let n = reports.len().max(1);
-    let rmses: Vec<f64> = reports.iter().filter_map(|r| r.rmse).collect();
+/// Folds one epoch's per-node reports into the trace record: fleet means
+/// over the **live** nodes, in node order — the folds are order-stable so
+/// runs are reproducible. Crash-stopped nodes (`None`) contribute nothing
+/// but are counted out of `live_nodes`.
+fn aggregate_epoch(
+    epoch: usize,
+    time_ns: u64,
+    reports: &[Option<EpochReport>],
+    delivery: DeliveryStats,
+) -> EpochRecord {
+    let live: Vec<&EpochReport> = reports.iter().flatten().collect();
+    let n = live.len().max(1);
+    let rmses: Vec<f64> = live.iter().filter_map(|r| r.rmse).collect();
     let mean_rmse = if rmses.is_empty() {
         f64::NAN
     } else {
         rmses.iter().sum::<f64>() / rmses.len() as f64
     };
-    let mean_bytes = reports
+    let mean_bytes = live
         .iter()
         .map(|r| (r.bytes_in + r.bytes_out) as f64)
         .sum::<f64>()
         / n as f64;
-    let mean_ram = reports.iter().map(|r| r.ram_bytes as f64).sum::<f64>() / n as f64;
-    let mean_stages = reports
+    let mean_ram = live.iter().map(|r| r.ram_bytes as f64).sum::<f64>() / n as f64;
+    let mean_stages = live
         .iter()
         .fold(StageTimes::new(), |acc, r| acc.plus(&r.stage_times))
         .mean_over(n as u64);
-    let mean_sgx = reports.iter().map(|r| r.sgx_overhead_ns).sum::<u64>() / n as u64;
+    let mean_sgx = live.iter().map(|r| r.sgx_overhead_ns).sum::<u64>() / n as u64;
 
     EpochRecord {
         epoch,
@@ -429,5 +540,7 @@ fn aggregate_epoch(epoch: usize, time_ns: u64, reports: &[EpochReport]) -> Epoch
         stage_times: mean_stages,
         ram_bytes: mean_ram,
         sgx_overhead_ns: mean_sgx,
+        live_nodes: live.len(),
+        delivery,
     }
 }

@@ -103,6 +103,21 @@ impl<M: Model> Node<M> {
         self.neighbors.len() as u32
     }
 
+    /// Removes `peer` from the neighbour list (crash-stop repair: a node
+    /// that is dead for the whole run is pruned from everyone's view
+    /// before TEE setup, so it is neither attested nor addressed and the
+    /// Metropolis–Hastings weights renormalize over the surviving
+    /// degree). Returns whether the peer was present; removing an absent
+    /// peer is a no-op.
+    pub fn remove_neighbor(&mut self, peer: usize) -> bool {
+        let before = self.neighbors.len();
+        self.neighbors.retain(|&n| n != peer);
+        if let Some(tee) = self.tee.as_mut() {
+            tee.sessions.remove(&peer);
+        }
+        self.neighbors.len() != before
+    }
+
     /// The local model (read access).
     #[must_use]
     pub fn model(&self) -> &M {
@@ -514,6 +529,23 @@ mod tests {
         let moved =
             (b.model().predict(0, 0) - pred_before).abs() > 1e-9 || b.local_rmse() != rmse_before;
         assert!(moved);
+    }
+
+    #[test]
+    fn remove_neighbor_prunes_and_renormalizes_degree() {
+        let mut n = mk_node(
+            0,
+            vec![1, 2, 3],
+            cfg(SharingMode::RawData, GossipAlgorithm::DPsgd),
+        );
+        assert!(n.remove_neighbor(2));
+        assert!(!n.remove_neighbor(2), "second removal is a no-op");
+        assert_eq!(n.neighbors(), &[1, 3]);
+        assert_eq!(n.degree(), 2);
+        // D-PSGD now shares with the surviving neighbours only.
+        let (out, _) = n.epoch(Vec::new());
+        let dests: Vec<usize> = out.iter().map(|(d, _)| *d).collect();
+        assert_eq!(dests, vec![1, 3]);
     }
 
     #[test]

@@ -69,6 +69,7 @@ pub fn run_simulation<M: Model>(
             },
             processes_per_platform: 1, // one platform per simulated node
             seed: sim.seed,
+            faults: None,
         },
     )
     .run(name, nodes)

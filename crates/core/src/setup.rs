@@ -14,6 +14,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rex_ml::Model;
 use rex_net::codec::encode_payload;
+use rex_net::fault::FaultPlan;
 use rex_net::link::LinkModel;
 use rex_net::message::Payload;
 use rex_net::transport::Transport;
@@ -51,6 +52,33 @@ impl SetupReport {
     #[must_use]
     pub fn wall_ns(&self) -> u64 {
         self.measured_ns
+    }
+}
+
+/// The crash-aware pre-setup step: prunes nodes that a fault plan keeps
+/// down for the entire run (crash at epoch 0, no rejoin) out of the
+/// overlay — every survivor drops them from its neighbour list (so
+/// Metropolis–Hastings weights renormalize over the surviving degree)
+/// and the dead nodes' own lists are cleared (so [`establish_tee`],
+/// whose edge list derives from the neighbour views, attests no edge
+/// touching them). The engine and the deployed `rex-node` fleet builder
+/// both run exactly this function, which is what keeps multi-process
+/// attestation replay bit-identical with the in-process engine.
+pub fn prune_dead_nodes<M: Model>(nodes: &mut [Node<M>], plan: &FaultPlan) {
+    let dead = plan.dead_at_setup(nodes.len());
+    if !dead.iter().any(|&d| d) {
+        return;
+    }
+    for (id, node) in nodes.iter_mut().enumerate() {
+        if dead[id] {
+            for peer in node.neighbors().to_vec() {
+                node.remove_neighbor(peer);
+            }
+        } else {
+            for (peer, _) in dead.iter().enumerate().filter(|(_, &d)| d) {
+                node.remove_neighbor(peer);
+            }
+        }
     }
 }
 

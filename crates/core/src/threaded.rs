@@ -57,6 +57,7 @@ pub fn run_threaded<M: Model>(
             driver: Driver::ThreadPerNode,
             processes_per_platform: cfg.processes_per_platform,
             seed: cfg.seed,
+            faults: None,
         },
     )
     .run(name, &mut nodes)

@@ -1,0 +1,896 @@
+//! Deterministic fault injection over any [`Transport`] backend.
+//!
+//! The REX evaluation assumes a fully reliable fabric, but the paper's
+//! own premise — edge devices gossiping raw data — lives on networks
+//! that drop, delay, and churn. This module makes unreliability a
+//! first-class, *reproducible* experiment input:
+//!
+//! * [`FaultPlan`] — a seeded, serializable schedule of faults: per-link
+//!   drop/delay/duplicate/reorder rates (with per-link overrides for
+//!   asymmetric links), flash [`PartitionSpec`]s, and per-node
+//!   crash-stop/rejoin [`CrashSpec`]s;
+//! * [`FaultyTransport`] / [`FaultyEndpoint`] — wrappers that compose
+//!   over *any* backend (mem, channel, TCP) and apply the plan's link
+//!   faults at send time, counting every decision in
+//!   [`DeliveryStats`].
+//!
+//! # Determinism
+//! Fault decisions never consult a stateful RNG shared across links.
+//! The fate of message `k` on the directed link `from → to` is a pure
+//! hash of `(plan seed, fault kind, from, to, k)`, so:
+//!
+//! * the same plan replays **bit-for-bit** across reruns;
+//! * lockstep and thread-per-node drivers agree (each directed link's
+//!   messages are emitted by exactly one node in deterministic order,
+//!   so the per-link counters agree no matter how threads interleave);
+//! * all three backends agree — the wrapper sits above the backend's
+//!   delivery machinery and below the engine's canonical ordering.
+//!
+//! # Division of labor with the engine
+//! The wrapper owns **link** faults only. Crash-stop semantics (a down
+//! node runs no epoch, sends nothing, and discards whatever landed in
+//! its mailbox) live in the engine's drivers, which read the same
+//! [`FaultPlan`] — that way crash behaviour is identical whether or not
+//! a run is wrapped. Messages sent *while an epoch is not active*
+//! (TEE provisioning + attestation) always pass through unfaulted: the
+//! wrapper activates on the first [`Transport::epoch_begin`] /
+//! [`Endpoint::epoch_begin`] call.
+//!
+//! # Byte accounting
+//! The wrapper sits *above* the backend's [`TrafficStats`], which
+//! therefore record what the fabric actually carried end-to-end: a
+//! dropped message is accounted at **neither** end, a duplicate at
+//! both ends twice, and a message delayed past the end of the run not
+//! at all. Losses are visible in [`DeliveryStats`], not in the byte
+//! counters — which keeps the counters bit-comparable across backends
+//! and with the delivered payload volume.
+//!
+//! # Fate semantics
+//! Checked in priority order, each against its own hash stream:
+//! drop → delay (held one full round: sent at epoch `e`, delivered into
+//! the epoch `e+2` inbox instead of `e+1`) → duplicate (two copies
+//! delivered) → reorder (moved to the back of the sender's FIFO for the
+//! round) → deliver. An active partition or a crashed endpoint on
+//! either side of the link drops the message outright before any rate
+//! is consulted.
+
+use crate::mem::Envelope;
+use crate::stats::{DeliveryStats, TrafficStats};
+use crate::transport::{Endpoint, Transport};
+
+/// Per-link fault rates, each a probability in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LinkFaults {
+    /// Probability a message is destroyed.
+    pub drop: f64,
+    /// Probability a message is delayed by one full round.
+    pub delay: f64,
+    /// Probability a message is delivered twice.
+    pub duplicate: f64,
+    /// Probability a message moves to the back of its sender's FIFO for
+    /// the round (visible because canonical order preserves per-sender
+    /// FIFO).
+    pub reorder: f64,
+}
+
+impl LinkFaults {
+    /// A uniform-loss profile.
+    #[must_use]
+    pub fn drop_rate(drop: f64) -> Self {
+        LinkFaults {
+            drop,
+            ..LinkFaults::default()
+        }
+    }
+
+    /// Whether every rate is zero.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.drop == 0.0 && self.delay == 0.0 && self.duplicate == 0.0 && self.reorder == 0.0
+    }
+
+    fn check(&self, what: &str) -> Result<(), String> {
+        for (name, rate) in [
+            ("drop", self.drop),
+            ("delay", self.delay),
+            ("duplicate", self.duplicate),
+            ("reorder", self.reorder),
+        ] {
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(format!("{what}: {name} rate {rate} outside [0,1]"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A flash partition: while active, messages crossing the cut are
+/// dropped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionSpec {
+    /// First epoch the cut is active.
+    pub start: usize,
+    /// First epoch after healing (exclusive; active for
+    /// `start <= epoch < end`).
+    pub end: usize,
+    /// One side of the cut; every node not listed is on the other side.
+    pub group: Vec<usize>,
+}
+
+impl PartitionSpec {
+    /// Whether this partition separates `from` and `to` at `epoch`.
+    #[must_use]
+    pub fn cuts(&self, epoch: usize, from: usize, to: usize) -> bool {
+        epoch >= self.start
+            && epoch < self.end
+            && (self.group.contains(&from) != self.group.contains(&to))
+    }
+}
+
+/// Crash-stop schedule for one node: down for
+/// `crash_epoch <= epoch < rejoin_epoch` (forever when `rejoin_epoch`
+/// is `None`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashSpec {
+    /// The crashing node.
+    pub node: usize,
+    /// First epoch the node is down.
+    pub crash_epoch: usize,
+    /// First epoch the node is back up (`None` = crash-stop forever).
+    pub rejoin_epoch: Option<usize>,
+}
+
+impl CrashSpec {
+    /// Whether this spec keeps `node` down at `epoch`.
+    #[must_use]
+    pub fn down_at(&self, node: usize, epoch: usize) -> bool {
+        self.node == node
+            && epoch >= self.crash_epoch
+            && self.rejoin_epoch.is_none_or(|r| epoch < r)
+    }
+}
+
+/// A complete, seeded fault schedule. See the module docs.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Seed of every probabilistic decision (drop/delay/duplicate/
+    /// reorder draws). Two runs with the same plan replay identically;
+    /// changing only the seed re-rolls every per-message fate.
+    pub seed: u64,
+    /// Default rates applied to every directed link.
+    pub link: LinkFaults,
+    /// Per-directed-link `(from, to, rates)` overrides — asymmetric
+    /// links are expressed by overriding only one direction.
+    pub link_overrides: Vec<(usize, usize, LinkFaults)>,
+    /// Flash partitions.
+    pub partitions: Vec<PartitionSpec>,
+    /// Crash-stop/rejoin schedules.
+    pub crashes: Vec<CrashSpec>,
+}
+
+/// What happens to one message. See the module docs for semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fate {
+    /// Delivered normally.
+    Deliver,
+    /// Destroyed.
+    Drop,
+    /// Held one full round.
+    Delay,
+    /// Delivered twice.
+    Duplicate,
+    /// Moved to the back of the sender's FIFO for the round.
+    Reorder,
+}
+
+/// Domain-separation salts, one per fault kind, so the four rate draws
+/// of a message are independent.
+const SALT_DROP: u64 = 0xD509_0000_0000_0001;
+const SALT_DELAY: u64 = 0xD509_0000_0000_0002;
+const SALT_DUP: u64 = 0xD509_0000_0000_0003;
+const SALT_REORDER: u64 = 0xD509_0000_0000_0004;
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// A plan with a seed and uniform link rates, no partitions or
+    /// crashes.
+    #[must_use]
+    pub fn uniform(seed: u64, link: LinkFaults) -> Self {
+        FaultPlan {
+            seed,
+            link,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Adds a per-directed-link override (builder style).
+    #[must_use]
+    pub fn with_link(mut self, from: usize, to: usize, faults: LinkFaults) -> Self {
+        self.link_overrides.push((from, to, faults));
+        self
+    }
+
+    /// Adds a flash partition (builder style).
+    #[must_use]
+    pub fn with_partition(mut self, start: usize, end: usize, group: Vec<usize>) -> Self {
+        self.partitions.push(PartitionSpec { start, end, group });
+        self
+    }
+
+    /// Adds a crash-stop (builder style); pass `rejoin_epoch = None` for
+    /// a permanent crash.
+    #[must_use]
+    pub fn with_crash(
+        mut self,
+        node: usize,
+        crash_epoch: usize,
+        rejoin_epoch: Option<usize>,
+    ) -> Self {
+        self.crashes.push(CrashSpec {
+            node,
+            crash_epoch,
+            rejoin_epoch,
+        });
+        self
+    }
+
+    /// Whether the plan injects nothing at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.link.is_clean()
+            && self.link_overrides.iter().all(|(_, _, f)| f.is_clean())
+            && self.partitions.is_empty()
+            && self.crashes.is_empty()
+    }
+
+    /// Checks internal consistency against a fleet of `n`, reporting the
+    /// first problem found (the `Result` twin of [`FaultPlan::validate`],
+    /// for config-parsing paths that must not panic).
+    pub fn check(&self, n: usize) -> Result<(), String> {
+        self.link.check("default link")?;
+        for (from, to, faults) in &self.link_overrides {
+            if !(*from < n && *to < n && from != to) {
+                return Err(format!(
+                    "link override {from}->{to} invalid for fleet of {n}"
+                ));
+            }
+            faults.check("link override")?;
+        }
+        for p in &self.partitions {
+            if p.start >= p.end {
+                return Err(format!("partition [{}, {}) is empty", p.start, p.end));
+            }
+            if let Some(v) = p.group.iter().find(|&&v| v >= n) {
+                return Err(format!(
+                    "partition group references node {v} outside fleet of {n}"
+                ));
+            }
+        }
+        for c in &self.crashes {
+            if c.node >= n {
+                return Err(format!("crash of node {} outside fleet of {n}", c.node));
+            }
+            if let Some(r) = c.rejoin_epoch {
+                if r <= c.crash_epoch {
+                    return Err(format!(
+                        "node {} rejoins at {r} before crashing at {}",
+                        c.node, c.crash_epoch
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Panics if the plan is internally inconsistent or references node
+    /// ids outside a fleet of `n` (the asserting twin of
+    /// [`FaultPlan::check`], used where a bad plan is a programming
+    /// error).
+    pub fn validate(&self, n: usize) {
+        if let Err(e) = self.check(n) {
+            panic!("invalid fault plan: {e}");
+        }
+    }
+
+    /// The rates governing the directed link `from → to`.
+    #[must_use]
+    pub fn link_faults(&self, from: usize, to: usize) -> LinkFaults {
+        self.link_overrides
+            .iter()
+            .find(|(f, t, _)| *f == from && *t == to)
+            .map_or(self.link, |(_, _, faults)| *faults)
+    }
+
+    /// Whether `node` is crashed at `epoch`.
+    #[must_use]
+    pub fn is_down(&self, node: usize, epoch: usize) -> bool {
+        self.crashes.iter().any(|c| c.down_at(node, epoch))
+    }
+
+    /// Nodes that are down for the whole run (crash at epoch 0, never
+    /// rejoin): they never attest, never hold sessions, and are pruned
+    /// from their neighbours' views before TEE setup.
+    #[must_use]
+    pub fn dead_at_setup(&self, n: usize) -> Vec<bool> {
+        (0..n)
+            .map(|node| {
+                self.crashes
+                    .iter()
+                    .any(|c| c.node == node && c.crash_epoch == 0 && c.rejoin_epoch.is_none())
+            })
+            .collect()
+    }
+
+    /// A uniform draw in `[0, 1)` for message `index` on `from → to`
+    /// under `salt` — a pure function, the heart of replayability.
+    fn unit(&self, salt: u64, from: usize, to: usize, index: u64) -> f64 {
+        let mut h = splitmix64(self.seed ^ salt);
+        h = splitmix64(h ^ (from as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+        h = splitmix64(h ^ (to as u64).wrapping_mul(0x9FB2_1C65_1E98_DF25));
+        h = splitmix64(h ^ index);
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Decides the fate of message `index` on `from → to` sent during
+    /// `epoch`.
+    #[must_use]
+    pub fn fate(&self, epoch: usize, from: usize, to: usize, index: u64) -> Fate {
+        if self.partitions.iter().any(|p| p.cuts(epoch, from, to)) {
+            return Fate::Drop;
+        }
+        let lf = self.link_faults(from, to);
+        if lf.drop > 0.0 && self.unit(SALT_DROP, from, to, index) < lf.drop {
+            return Fate::Drop;
+        }
+        if lf.delay > 0.0 && self.unit(SALT_DELAY, from, to, index) < lf.delay {
+            return Fate::Delay;
+        }
+        if lf.duplicate > 0.0 && self.unit(SALT_DUP, from, to, index) < lf.duplicate {
+            return Fate::Duplicate;
+        }
+        if lf.reorder > 0.0 && self.unit(SALT_REORDER, from, to, index) < lf.reorder {
+            return Fate::Reorder;
+        }
+        Fate::Deliver
+    }
+}
+
+/// A message the injector is holding back: released into the inner
+/// transport at the flush/sync of `release_epoch`.
+#[derive(Debug)]
+struct Held {
+    release_epoch: usize,
+    from: usize,
+    to: usize,
+    bytes: Vec<u8>,
+}
+
+/// The fault decision core shared by both wrapper shapes. `counters`
+/// indexes directed links as `from * n + to` for the fabric wrapper and
+/// as `to` for a single endpoint (whose `from` is fixed).
+#[derive(Debug)]
+struct Injector {
+    plan: FaultPlan,
+    /// `Some(epoch)` once the protocol phase began; `None` during setup
+    /// (faults inactive).
+    epoch: Option<usize>,
+    counters: Vec<u64>,
+    /// Messages reordered to the back of the current round.
+    reordered: Vec<Held>,
+    /// Messages delayed into a later round.
+    delayed: Vec<Held>,
+    delivery: DeliveryStats,
+}
+
+impl Injector {
+    fn new(plan: FaultPlan, links: usize) -> Self {
+        Injector {
+            plan,
+            epoch: None,
+            counters: vec![0; links],
+            reordered: Vec::new(),
+            delayed: Vec::new(),
+            delivery: DeliveryStats::default(),
+        }
+    }
+
+    /// Routes one send: forwards into `forward` zero, one, or two times
+    /// now, or holds the message for a later release.
+    fn route(
+        &mut self,
+        slot: usize,
+        from: usize,
+        to: usize,
+        bytes: Vec<u8>,
+        forward: &mut impl FnMut(usize, usize, Vec<u8>),
+    ) {
+        let Some(epoch) = self.epoch else {
+            // Setup phase: attestation traffic is never faulted (and not
+            // counted — delivery stats describe protocol rounds).
+            forward(from, to, bytes);
+            return;
+        };
+        let index = self.counters[slot];
+        self.counters[slot] += 1;
+        match self.plan.fate(epoch, from, to, index) {
+            Fate::Deliver => {
+                self.delivery.delivered += 1;
+                forward(from, to, bytes);
+            }
+            Fate::Drop => self.delivery.dropped += 1,
+            Fate::Delay => {
+                self.delivery.late += 1;
+                self.delayed.push(Held {
+                    release_epoch: epoch + 1,
+                    from,
+                    to,
+                    bytes,
+                });
+            }
+            Fate::Duplicate => {
+                self.delivery.delivered += 2;
+                self.delivery.duplicated += 1;
+                forward(from, to, bytes.clone());
+                forward(from, to, bytes);
+            }
+            Fate::Reorder => {
+                self.delivery.delivered += 1;
+                self.reordered.push(Held {
+                    release_epoch: epoch,
+                    from,
+                    to,
+                    bytes,
+                });
+            }
+        }
+    }
+
+    /// Releases held messages at a round boundary (wrapper `flush` /
+    /// `sync`, *before* the inner barrier): all reordered messages of
+    /// this round, plus delayed messages whose release round arrived.
+    fn release(&mut self, forward: &mut impl FnMut(usize, usize, Vec<u8>)) {
+        let Some(epoch) = self.epoch else { return };
+        for held in self.reordered.drain(..) {
+            forward(held.from, held.to, held.bytes);
+        }
+        let mut kept = Vec::new();
+        for held in self.delayed.drain(..) {
+            if held.release_epoch <= epoch {
+                self.delivery.delivered += 1;
+                forward(held.from, held.to, held.bytes);
+            } else {
+                kept.push(held);
+            }
+        }
+        self.delayed = kept;
+    }
+}
+
+/// Fault-injecting fabric wrapper: `FaultyTransport<MemNetwork>`,
+/// `FaultyTransport<ChannelTransport>`, `FaultyTransport<TcpTransport>`
+/// all run the same plan reproducibly. See the module docs.
+pub struct FaultyTransport<T: Transport> {
+    inner: T,
+    inj: Injector,
+}
+
+impl<T: Transport> FaultyTransport<T> {
+    /// Wraps `inner` under `plan`.
+    ///
+    /// # Panics
+    /// If the plan fails [`FaultPlan::validate`] against the fabric
+    /// size.
+    #[must_use]
+    pub fn new(inner: T, plan: FaultPlan) -> Self {
+        let n = inner.num_nodes();
+        plan.validate(n);
+        FaultyTransport {
+            inner,
+            inj: Injector::new(plan, n * n),
+        }
+    }
+
+    /// The wrapped plan.
+    #[must_use]
+    pub fn plan(&self) -> &FaultPlan {
+        &self.inj.plan
+    }
+
+    /// Read access to the wrapped fabric.
+    #[must_use]
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: Transport> Transport for FaultyTransport<T> {
+    type Endpoint = FaultyEndpoint<T::Endpoint>;
+
+    fn num_nodes(&self) -> usize {
+        self.inner.num_nodes()
+    }
+
+    fn send(&mut self, from: usize, to: usize, bytes: Vec<u8>) {
+        let n = self.inner.num_nodes();
+        let inner = &mut self.inner;
+        self.inj
+            .route(from * n + to, from, to, bytes, &mut |f, t, b| {
+                inner.send(f, t, b);
+            });
+    }
+
+    fn recv(&mut self, node: usize) -> Vec<Envelope> {
+        self.inner.recv(node)
+    }
+
+    fn flush(&mut self) {
+        let inner = &mut self.inner;
+        self.inj.release(&mut |f, t, b| inner.send(f, t, b));
+        self.inner.flush();
+    }
+
+    fn epoch_begin(&mut self, epoch: usize) {
+        self.inj.epoch = Some(epoch);
+        self.inner.epoch_begin(epoch);
+    }
+
+    fn take_delivery(&mut self) -> DeliveryStats {
+        std::mem::take(&mut self.inj.delivery)
+    }
+
+    fn stats(&self, node: usize) -> TrafficStats {
+        self.inner.stats(node)
+    }
+
+    fn all_stats(&self) -> Vec<TrafficStats> {
+        self.inner.all_stats()
+    }
+
+    fn into_endpoints(self) -> Option<Vec<FaultyEndpoint<T::Endpoint>>> {
+        let n = self.inner.num_nodes();
+        let plan = self.inj.plan;
+        let epoch = self.inj.epoch;
+        debug_assert!(
+            self.inj.delayed.is_empty() && self.inj.reordered.is_empty(),
+            "splitting a fabric with in-flight held messages"
+        );
+        let endpoints = self.inner.into_endpoints()?;
+        debug_assert_eq!(endpoints.len(), n);
+        Some(
+            endpoints
+                .into_iter()
+                .enumerate()
+                .map(|(id, inner)| {
+                    let mut inj = Injector::new(plan.clone(), n);
+                    inj.epoch = epoch;
+                    // Carry this node's outgoing per-link counters over so
+                    // a mid-run split (not something the engine does, but
+                    // legal) keeps the hash streams aligned.
+                    inj.counters
+                        .copy_from_slice(&self.inj.counters[id * n..(id + 1) * n]);
+                    FaultyEndpoint { inner, inj }
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Fault-injecting per-node endpoint wrapper; decisions for a link
+/// `self → to` are identical to the fabric wrapper's.
+pub struct FaultyEndpoint<E: Endpoint> {
+    inner: E,
+    inj: Injector,
+}
+
+impl<E: Endpoint> FaultyEndpoint<E> {
+    /// Wraps a single endpoint under `plan` (the distributed `rex-node`
+    /// shape: every process wraps its own endpoint with the same plan).
+    ///
+    /// # Panics
+    /// If the plan fails [`FaultPlan::validate`] against the fabric
+    /// size.
+    #[must_use]
+    pub fn new(inner: E, plan: FaultPlan) -> Self {
+        let n = inner.num_nodes();
+        plan.validate(n);
+        FaultyEndpoint {
+            inj: Injector::new(plan, n),
+            inner,
+        }
+    }
+
+    /// Read access to the wrapped endpoint.
+    #[must_use]
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+}
+
+impl<E: Endpoint> Endpoint for FaultyEndpoint<E> {
+    fn id(&self) -> usize {
+        self.inner.id()
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.inner.num_nodes()
+    }
+
+    fn send(&mut self, to: usize, bytes: Vec<u8>) {
+        let from = self.inner.id();
+        let inner = &mut self.inner;
+        self.inj.route(to, from, to, bytes, &mut |_, t, b| {
+            inner.send(t, b);
+        });
+    }
+
+    fn recv(&mut self) -> Vec<Envelope> {
+        self.inner.recv()
+    }
+
+    fn sync(&mut self) {
+        let inner = &mut self.inner;
+        self.inj.release(&mut |_, t, b| inner.send(t, b));
+        self.inner.sync();
+    }
+
+    fn drain_barrier(&mut self) {
+        // Barrier only — no release. The deployed node loop runs a wire
+        // barrier *before* sending too; releasing held messages there
+        // would both reorder them ahead of the epoch's normal sends and
+        // race slow peers' current-epoch drain. Held messages go out
+        // exclusively at the post-send `sync`, exactly where the
+        // engine's drivers release them.
+        self.inner.sync();
+    }
+
+    fn epoch_begin(&mut self, epoch: usize) {
+        self.inj.epoch = Some(epoch);
+        self.inner.epoch_begin(epoch);
+    }
+
+    fn take_delivery(&mut self) -> DeliveryStats {
+        std::mem::take(&mut self.inj.delivery)
+    }
+
+    fn stats(&self) -> TrafficStats {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemNetwork;
+
+    fn msg(b: u8) -> Vec<u8> {
+        vec![b]
+    }
+
+    #[test]
+    fn empty_plan_is_transparent() {
+        let mut net = FaultyTransport::new(MemNetwork::new(3), FaultPlan::default());
+        net.epoch_begin(0);
+        net.send(0, 1, msg(1));
+        net.send(2, 1, msg(2));
+        net.flush();
+        let inbox = net.recv(1);
+        assert_eq!(inbox.len(), 2);
+        assert_eq!(net.stats(0).bytes_out, 1);
+        assert_eq!(
+            net.take_delivery(),
+            DeliveryStats {
+                delivered: 2,
+                ..DeliveryStats::default()
+            }
+        );
+    }
+
+    #[test]
+    fn setup_phase_traffic_is_never_faulted() {
+        let plan = FaultPlan::uniform(1, LinkFaults::drop_rate(1.0));
+        let mut net = FaultyTransport::new(MemNetwork::new(2), plan);
+        // No epoch_begin yet: this is attestation-style setup traffic.
+        net.send(0, 1, msg(9));
+        net.flush();
+        assert_eq!(net.recv(1).len(), 1);
+        assert_eq!(net.take_delivery(), DeliveryStats::default());
+        // Once the first epoch begins, the same link loses everything.
+        net.epoch_begin(0);
+        net.send(0, 1, msg(9));
+        net.flush();
+        assert!(net.recv(1).is_empty());
+        assert_eq!(net.take_delivery().dropped, 1);
+    }
+
+    #[test]
+    fn full_drop_loses_everything_and_counts_it() {
+        let plan = FaultPlan::uniform(3, LinkFaults::drop_rate(1.0));
+        let mut net = FaultyTransport::new(MemNetwork::new(2), plan);
+        net.epoch_begin(0);
+        for i in 0..10 {
+            net.send(0, 1, msg(i));
+        }
+        net.flush();
+        assert!(net.recv(1).is_empty());
+        let d = net.take_delivery();
+        assert_eq!(d.dropped, 10);
+        assert_eq!(d.delivered, 0);
+    }
+
+    #[test]
+    fn drop_rate_is_roughly_honoured_and_replays_bitwise() {
+        let plan = FaultPlan::uniform(7, LinkFaults::drop_rate(0.3));
+        let run = |plan: FaultPlan| {
+            let mut net = FaultyTransport::new(MemNetwork::new(2), plan);
+            net.epoch_begin(0);
+            for i in 0..200u8 {
+                net.send(0, 1, msg(i));
+            }
+            net.flush();
+            let got: Vec<u8> = net.recv(1).iter().map(|e| e.bytes[0]).collect();
+            (got, net.take_delivery())
+        };
+        let (got_a, del_a) = run(plan.clone());
+        let (got_b, del_b) = run(plan);
+        assert_eq!(got_a, got_b, "same seed must replay bit-for-bit");
+        assert_eq!(del_a, del_b);
+        let dropped = del_a.dropped as f64 / 200.0;
+        assert!(
+            (0.15..=0.45).contains(&dropped),
+            "0.3 drop rate realized as {dropped}"
+        );
+        // A different seed re-rolls the fates.
+        let (got_c, _) = run(FaultPlan::uniform(8, LinkFaults::drop_rate(0.3)));
+        assert_ne!(got_a, got_c);
+    }
+
+    #[test]
+    fn delay_holds_one_full_round() {
+        let plan = FaultPlan::uniform(
+            0,
+            LinkFaults {
+                delay: 1.0,
+                ..LinkFaults::default()
+            },
+        );
+        let mut net = FaultyTransport::new(MemNetwork::new(2), plan);
+        net.epoch_begin(0);
+        net.send(0, 1, msg(42));
+        net.flush();
+        assert!(net.recv(1).is_empty(), "delayed out of its own round");
+        net.epoch_begin(1);
+        net.flush();
+        let inbox = net.recv(1);
+        assert_eq!(inbox.len(), 1, "released one round later");
+        assert_eq!(inbox[0].bytes, msg(42));
+        let d = net.take_delivery();
+        assert_eq!((d.late, d.delivered), (1, 1));
+    }
+
+    #[test]
+    fn duplicate_delivers_twice() {
+        let plan = FaultPlan::uniform(
+            0,
+            LinkFaults {
+                duplicate: 1.0,
+                ..LinkFaults::default()
+            },
+        );
+        let mut net = FaultyTransport::new(MemNetwork::new(2), plan);
+        net.epoch_begin(0);
+        net.send(0, 1, msg(5));
+        net.flush();
+        assert_eq!(net.recv(1).len(), 2);
+        let d = net.take_delivery();
+        assert_eq!((d.delivered, d.duplicated), (2, 1));
+    }
+
+    #[test]
+    fn reorder_moves_message_to_back_of_sender_fifo() {
+        let plan = FaultPlan::default().with_link(
+            0,
+            1,
+            LinkFaults {
+                reorder: 1.0,
+                ..LinkFaults::default()
+            },
+        );
+        let mut net = FaultyTransport::new(MemNetwork::new(3), plan);
+        net.epoch_begin(0);
+        net.send(0, 1, msg(1)); // reordered to the back
+        net.send(2, 1, msg(2)); // clean link, delivered in place
+        net.send(0, 1, msg(3)); // also reordered, after msg 1
+        net.flush();
+        let inbox = net.recv(1);
+        let order: Vec<(usize, u8)> = inbox.iter().map(|e| (e.from, e.bytes[0])).collect();
+        // Canonical order sorts by sender; within sender 0's FIFO the
+        // reorder pushed both to the release position, preserving their
+        // relative order.
+        assert_eq!(order, vec![(0, 1), (0, 3), (2, 2)]);
+    }
+
+    #[test]
+    fn partition_cuts_only_across_groups_and_heals() {
+        let plan = FaultPlan::default().with_partition(1, 2, vec![0]);
+        let mut net = FaultyTransport::new(MemNetwork::new(3), plan);
+        net.epoch_begin(1); // partition active
+        net.send(0, 1, msg(1)); // crosses the cut: dropped
+        net.send(1, 2, msg(2)); // same side: delivered
+        net.flush();
+        assert!(net.recv(1).is_empty());
+        assert_eq!(net.recv(2).len(), 1);
+        let d = net.take_delivery();
+        assert_eq!((d.dropped, d.delivered), (1, 1));
+        net.epoch_begin(2); // healed
+        net.send(0, 1, msg(3));
+        net.flush();
+        assert_eq!(net.recv(1).len(), 1);
+    }
+
+    #[test]
+    fn asymmetric_override_affects_one_direction() {
+        let plan = FaultPlan::default().with_link(0, 1, LinkFaults::drop_rate(1.0));
+        let mut net = FaultyTransport::new(MemNetwork::new(2), plan);
+        net.epoch_begin(0);
+        net.send(0, 1, msg(1));
+        net.send(1, 0, msg(2));
+        net.flush();
+        assert!(net.recv(1).is_empty(), "0->1 fully lossy");
+        assert_eq!(net.recv(0).len(), 1, "1->0 untouched");
+    }
+
+    #[test]
+    fn endpoint_and_fabric_wrappers_decide_identically() {
+        let plan = FaultPlan::uniform(11, LinkFaults::drop_rate(0.5));
+        // Fabric-level decisions.
+        let mut fabric = FaultyTransport::new(MemNetwork::new(2), plan.clone());
+        fabric.epoch_begin(0);
+        for i in 0..64u8 {
+            fabric.send(0, 1, msg(i));
+        }
+        fabric.flush();
+        let fabric_got: Vec<u8> = fabric.recv(1).iter().map(|e| e.bytes[0]).collect();
+
+        // Endpoint-level decisions over a channel backend.
+        let eps = crate::channel::channel_network(2);
+        let mut eps = eps.into_iter();
+        let mut a = FaultyEndpoint::new(eps.next().unwrap(), plan);
+        let mut b = eps.next().unwrap();
+        a.epoch_begin(0);
+        for i in 0..64u8 {
+            Endpoint::send(&mut a, 1, msg(i));
+        }
+        Endpoint::sync(&mut a);
+        let ep_got: Vec<u8> = Endpoint::recv(&mut b).iter().map(|e| e.bytes[0]).collect();
+        assert_eq!(fabric_got, ep_got);
+    }
+
+    #[test]
+    fn crash_windows_and_setup_deadness() {
+        let plan = FaultPlan::default()
+            .with_crash(1, 0, None)
+            .with_crash(2, 3, Some(5));
+        assert!(plan.is_down(1, 0) && plan.is_down(1, 100));
+        assert!(!plan.is_down(2, 2) && plan.is_down(2, 3) && plan.is_down(2, 4));
+        assert!(!plan.is_down(2, 5));
+        assert_eq!(plan.dead_at_setup(4), vec![false, true, false, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn bad_rate_rejected() {
+        FaultPlan::uniform(0, LinkFaults::drop_rate(1.5)).validate(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside fleet")]
+    fn crash_outside_fleet_rejected() {
+        FaultPlan::default().with_crash(9, 0, None).validate(4);
+    }
+}

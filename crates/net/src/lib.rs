@@ -16,6 +16,10 @@
 //!   backend for the discrete-event simulator;
 //! * [`channel`] — [`ChannelTransport`], the crossbeam-channel backend for
 //!   the real-thread deployment;
+//! * [`fault`] — [`FaultPlan`] and the [`FaultyTransport`] /
+//!   [`fault::FaultyEndpoint`] wrappers: deterministic, seeded
+//!   drop/delay/duplicate/reorder, partition and crash schedules
+//!   composing over any backend;
 //! * [`frame`] — the length-prefixed socket framing (hello/data/barrier);
 //! * [`tcp`] — [`TcpTransport`]/[`tcp::TcpEndpoint`], the real-socket
 //!   backend: loopback fabric in-process, or one endpoint per OS process
@@ -32,6 +36,7 @@
 pub mod channel;
 pub mod codec;
 pub mod compress;
+pub mod fault;
 pub mod frame;
 pub mod link;
 pub mod mem;
@@ -42,10 +47,11 @@ pub mod transport;
 
 pub use channel::ChannelTransport;
 pub use codec::CodecError;
+pub use fault::{CrashSpec, FaultPlan, FaultyTransport, LinkFaults, PartitionSpec};
 pub use frame::{Frame, FrameError};
 pub use link::LinkModel;
 pub use mem::{Envelope, MemNetwork};
 pub use message::{Payload, Plain};
-pub use stats::TrafficStats;
+pub use stats::{DeliveryStats, TrafficStats};
 pub use tcp::TcpTransport;
 pub use transport::{Clock, Endpoint, Transport, WallClock};

@@ -50,6 +50,34 @@ impl TrafficStats {
     }
 }
 
+/// Per-epoch message-delivery accounting of the fault-injection layer
+/// (see [`crate::fault`]): how many protocol messages the fabric
+/// delivered, dropped, delayed by a round, or duplicated. Plain
+/// transports report all-zero counters; only the faulty wrappers (and
+/// anything else that overrides the `take_delivery` hooks) fill them in.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeliveryStats {
+    /// Messages forwarded into a destination mailbox (duplicates and
+    /// released late messages count on delivery).
+    pub delivered: u64,
+    /// Messages destroyed by link loss or an active partition.
+    pub dropped: u64,
+    /// Messages held back one full round before delivery.
+    pub late: u64,
+    /// Extra copies injected by link duplication.
+    pub duplicated: u64,
+}
+
+impl DeliveryStats {
+    /// Folds another window's counters into this one.
+    pub fn absorb(&mut self, other: &DeliveryStats) {
+        self.delivered += other.delivered;
+        self.dropped += other.dropped;
+        self.late += other.late;
+        self.duplicated += other.duplicated;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -78,5 +106,31 @@ mod tests {
         assert_eq!(window.bytes_out, 40);
         assert_eq!(window.bytes_in, 7);
         assert_eq!(window.msgs_out, 1);
+    }
+
+    #[test]
+    fn delivery_absorb_folds_windows() {
+        let mut total = DeliveryStats::default();
+        total.absorb(&DeliveryStats {
+            delivered: 3,
+            dropped: 1,
+            late: 0,
+            duplicated: 0,
+        });
+        total.absorb(&DeliveryStats {
+            delivered: 2,
+            dropped: 0,
+            late: 1,
+            duplicated: 1,
+        });
+        assert_eq!(
+            total,
+            DeliveryStats {
+                delivered: 5,
+                dropped: 1,
+                late: 1,
+                duplicated: 1,
+            }
+        );
     }
 }

@@ -15,17 +15,24 @@
 //!   deployed runs read the wall clock; the engine records epoch
 //!   timestamps through this one interface either way.
 //!
-//! Implementations in this crate: [`crate::mem::MemNetwork`] (single-owner
-//! instrumented mailboxes for the simulator),
-//! [`crate::channel::ChannelTransport`] (crossbeam-style channels for the
-//! thread-per-node deployment), and [`crate::tcp::TcpTransport`] (real TCP
-//! sockets with length-prefixed framing — see [`crate::frame`] — used both
-//! in-process over loopback and by the `rex-node` multi-process
-//! deployment). The engine and every experiment binary are generic over
-//! these traits, so all three run the same protocol bit-identically.
+//! Implementations come in two layers. The *backends*:
+//! [`crate::mem::MemNetwork`] (single-owner instrumented mailboxes for
+//! the simulator), [`crate::channel::ChannelTransport`] (crossbeam-style
+//! channels for the thread-per-node deployment), and
+//! [`crate::tcp::TcpTransport`] (real TCP sockets with length-prefixed
+//! framing — see [`crate::frame`] — used both in-process over loopback
+//! and by the `rex-node` multi-process deployment). On top of them sit
+//! *wrappers* that compose over any backend:
+//! [`crate::fault::FaultyTransport`] / [`crate::fault::FaultyEndpoint`]
+//! inject a deterministic, seeded fault schedule (drop/delay/duplicate/
+//! reorder, partitions) and fill in the per-epoch delivery counters that
+//! the [`Transport::take_delivery`] / [`Endpoint::take_delivery`] hooks
+//! expose. The engine and every experiment binary are generic over these
+//! traits, so every backend — wrapped or not — runs the same protocol
+//! bit-identically.
 
 use crate::mem::Envelope;
-use crate::stats::TrafficStats;
+use crate::stats::{DeliveryStats, TrafficStats};
 use std::time::Instant;
 
 /// A message fabric connecting `n` nodes, viewed from a single owner.
@@ -55,6 +62,22 @@ pub trait Transport {
 
     /// Makes all prior sends visible to subsequent `recv` calls.
     fn flush(&mut self);
+
+    /// Marks the start of protocol epoch `epoch`. The engine calls this
+    /// before draining any inbox of the epoch. Plain backends ignore it;
+    /// layers with epoch-dependent behaviour (the fault wrappers, which
+    /// key partitions and delayed-message release off the round number)
+    /// override it. Sends made before the first `epoch_begin` belong to
+    /// the setup phase.
+    fn epoch_begin(&mut self, _epoch: usize) {}
+
+    /// Drains the delivery counters accumulated since the last call
+    /// (delivered/dropped/late/duplicated message counts). Plain
+    /// backends deliver everything and report zeros; fault wrappers
+    /// account every routing decision here.
+    fn take_delivery(&mut self) -> DeliveryStats {
+        DeliveryStats::default()
+    }
 
     /// Cumulative traffic counters of `node`.
     fn stats(&self, node: usize) -> TrafficStats;
@@ -92,6 +115,26 @@ pub trait Endpoint: Send {
     /// calls this after applying an epoch's sends so the next `recv` is
     /// complete and deterministic.
     fn sync(&mut self) {}
+
+    /// Pre-send round barrier: used by driver loops that need a wire
+    /// barrier *between draining and sending* (the deployed `rex-node`
+    /// loop), where `sync` is reserved for the post-send position.
+    /// Defaults to `sync`; layers with send-position-dependent behaviour
+    /// (the fault wrappers, which release held messages only at the
+    /// post-send barrier) override it to a barrier-only operation.
+    fn drain_barrier(&mut self) {
+        self.sync();
+    }
+
+    /// Per-endpoint twin of [`Transport::epoch_begin`]: called by the
+    /// node's own driver loop at the top of each epoch.
+    fn epoch_begin(&mut self, _epoch: usize) {}
+
+    /// Per-endpoint twin of [`Transport::take_delivery`]: drains this
+    /// node's *outgoing* routing decisions since the last call.
+    fn take_delivery(&mut self) -> DeliveryStats {
+        DeliveryStats::default()
+    }
 
     /// Cumulative traffic counters of this node.
     fn stats(&self) -> TrafficStats;

@@ -8,11 +8,16 @@
 //! coordinator has to ship state around.
 //!
 //! The format is a TOML subset parsed without external crates: `#`
-//! comments, `key = value` lines, with integer, boolean, quoted-string
-//! and single-line string-array values. [`ClusterConfig::to_toml`]
+//! comments, `key = value` lines — with integer, float, boolean,
+//! quoted-string and single-line string-array values — plus one
+//! optional `[faults]` section describing a [`FaultPlan`] (see
+//! [`ClusterConfig::faults`] for the key syntax). Every process parses
+//! the same plan, so a multi-process cluster replays the same fault
+//! schedule the in-process backends do. [`ClusterConfig::to_toml`]
 //! round-trips through [`ClusterConfig::parse`].
 
 use rex_core::config::{GossipAlgorithm, ProtocolConfig, SharingMode};
+use rex_net::fault::{CrashSpec, FaultPlan, LinkFaults, PartitionSpec};
 use rex_topology::TopologySpec;
 use std::collections::HashMap;
 use std::net::SocketAddr;
@@ -54,6 +59,22 @@ pub struct ClusterConfig {
     pub processes_per_platform: usize,
     /// Infrastructure seed (attestation keys, platform provisioning).
     pub infra_seed: u64,
+    /// Fault schedule, from the optional `[faults]` section:
+    ///
+    /// ```toml
+    /// [faults]
+    /// seed = 7            # fate-hash seed
+    /// drop = 0.1          # default per-link rates
+    /// delay = 0.0
+    /// duplicate = 0.0
+    /// reorder = 0.0
+    /// links = ["0>1:0.5/0/0/0"]  # from>to:drop/delay/duplicate/reorder
+    /// partitions = ["2-4:0|1|2"] # epochs [2,4), group {0,1,2} vs rest
+    /// crashes = ["3@2", "5@4-7"] # node@crash or node@crash-rejoin
+    /// ```
+    ///
+    /// `None` when the section is absent: a fully reliable fabric.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for ClusterConfig {
@@ -76,6 +97,7 @@ impl Default for ClusterConfig {
             sgx: false,
             processes_per_platform: 1,
             infra_seed: 0xE0,
+            faults: None,
         }
     }
 }
@@ -85,6 +107,7 @@ impl Default for ClusterConfig {
 enum Value {
     Str(String),
     Int(u64),
+    Float(f64),
     Bool(bool),
     List(Vec<String>),
 }
@@ -114,8 +137,11 @@ fn parse_value(raw: &str) -> Result<Value, String> {
     if raw.starts_with('"') {
         return Ok(Value::Str(parse_quoted(raw)?));
     }
-    raw.parse::<u64>()
-        .map(Value::Int)
+    if let Ok(v) = raw.parse::<u64>() {
+        return Ok(Value::Int(v));
+    }
+    raw.parse::<f64>()
+        .map(Value::Float)
         .map_err(|_| format!("unparseable value: {raw}"))
 }
 
@@ -143,23 +169,40 @@ fn strip_comment(line: &str) -> &str {
     line
 }
 
-fn parse_map(text: &str) -> Result<HashMap<String, Value>, String> {
+/// Parses the flat `key = value` map. `[section]` headers prefix the
+/// following keys with `section.`; the set of section names seen is
+/// returned alongside (a section can be present yet empty).
+fn parse_map(text: &str) -> Result<(HashMap<String, Value>, Vec<String>), String> {
     let mut map = HashMap::new();
+    let mut sections = Vec::new();
+    let mut prefix = String::new();
     for (lineno, raw_line) in text.lines().enumerate() {
         let line = strip_comment(raw_line).trim();
         if line.is_empty() {
             continue;
         }
+        if let Some(name) = line.strip_prefix('[') {
+            let name = name
+                .strip_suffix(']')
+                .ok_or_else(|| format!("line {}: unterminated section header", lineno + 1))?
+                .trim();
+            if name != "faults" {
+                return Err(format!("line {}: unknown section [{name}]", lineno + 1));
+            }
+            prefix = format!("{name}.");
+            sections.push(name.to_string());
+            continue;
+        }
         let (key, value) = line
             .split_once('=')
             .ok_or_else(|| format!("line {}: expected key = value", lineno + 1))?;
-        let key = key.trim().to_string();
+        let key = format!("{prefix}{}", key.trim());
         let value = parse_value(value).map_err(|e| format!("line {}: {e}", lineno + 1))?;
         if map.insert(key.clone(), value).is_some() {
             return Err(format!("line {}: duplicate key {key}", lineno + 1));
         }
     }
-    Ok(map)
+    Ok((map, sections))
 }
 
 fn get_int<T: TryFrom<u64>>(
@@ -191,10 +234,153 @@ fn get_str(map: &HashMap<String, Value>, key: &str, default: &str) -> Result<Str
     }
 }
 
+fn get_float(map: &HashMap<String, Value>, key: &str, default: f64) -> Result<f64, String> {
+    match map.get(key) {
+        Some(Value::Float(v)) => Ok(*v),
+        Some(Value::Int(v)) => Ok(*v as f64),
+        Some(other) => Err(format!("{key}: expected number, got {other:?}")),
+        None => Ok(default),
+    }
+}
+
+fn get_list(map: &HashMap<String, Value>, key: &str) -> Result<Vec<String>, String> {
+    match map.get(key) {
+        Some(Value::List(items)) => Ok(items.clone()),
+        Some(other) => Err(format!("{key}: expected string array, got {other:?}")),
+        None => Ok(Vec::new()),
+    }
+}
+
+/// Parses a `from>to:drop/delay/duplicate/reorder` link override.
+fn parse_link_override(raw: &str) -> Result<(usize, usize, LinkFaults), String> {
+    let err = || format!("links: expected \"from>to:drop/delay/dup/reorder\", got {raw}");
+    let (link, rates) = raw.split_once(':').ok_or_else(err)?;
+    let (from, to) = link.split_once('>').ok_or_else(err)?;
+    let from = from.trim().parse::<usize>().map_err(|_| err())?;
+    let to = to.trim().parse::<usize>().map_err(|_| err())?;
+    let parts: Vec<f64> = rates
+        .split('/')
+        .map(|r| r.trim().parse::<f64>().map_err(|_| err()))
+        .collect::<Result<_, _>>()?;
+    let [drop, delay, duplicate, reorder] = parts.as_slice() else {
+        return Err(err());
+    };
+    Ok((
+        from,
+        to,
+        LinkFaults {
+            drop: *drop,
+            delay: *delay,
+            duplicate: *duplicate,
+            reorder: *reorder,
+        },
+    ))
+}
+
+/// Parses a `start-end:a|b|c` partition spec.
+fn parse_partition(raw: &str) -> Result<PartitionSpec, String> {
+    let err = || format!("partitions: expected \"start-end:a|b|c\", got {raw}");
+    let (span, group) = raw.split_once(':').ok_or_else(err)?;
+    let (start, end) = span.split_once('-').ok_or_else(err)?;
+    let start = start.trim().parse::<usize>().map_err(|_| err())?;
+    let end = end.trim().parse::<usize>().map_err(|_| err())?;
+    let group: Vec<usize> = group
+        .split('|')
+        .map(|v| v.trim().parse::<usize>().map_err(|_| err()))
+        .collect::<Result<_, _>>()?;
+    Ok(PartitionSpec { start, end, group })
+}
+
+/// Parses a `node@crash` or `node@crash-rejoin` crash spec.
+fn parse_crash(raw: &str) -> Result<CrashSpec, String> {
+    let err = || format!("crashes: expected \"node@crash\" or \"node@crash-rejoin\", got {raw}");
+    let (node, span) = raw.split_once('@').ok_or_else(err)?;
+    let node = node.trim().parse::<usize>().map_err(|_| err())?;
+    let (crash_epoch, rejoin_epoch) = match span.split_once('-') {
+        Some((crash, rejoin)) => (
+            crash.trim().parse::<usize>().map_err(|_| err())?,
+            Some(rejoin.trim().parse::<usize>().map_err(|_| err())?),
+        ),
+        None => (span.trim().parse::<usize>().map_err(|_| err())?, None),
+    };
+    Ok(CrashSpec {
+        node,
+        crash_epoch,
+        rejoin_epoch,
+    })
+}
+
+/// Assembles the `[faults]` section into a [`FaultPlan`].
+fn parse_faults(map: &HashMap<String, Value>) -> Result<FaultPlan, String> {
+    Ok(FaultPlan {
+        seed: get_int(map, "faults.seed", 0)?,
+        link: LinkFaults {
+            drop: get_float(map, "faults.drop", 0.0)?,
+            delay: get_float(map, "faults.delay", 0.0)?,
+            duplicate: get_float(map, "faults.duplicate", 0.0)?,
+            reorder: get_float(map, "faults.reorder", 0.0)?,
+        },
+        link_overrides: get_list(map, "faults.links")?
+            .iter()
+            .map(|raw| parse_link_override(raw))
+            .collect::<Result<_, _>>()?,
+        partitions: get_list(map, "faults.partitions")?
+            .iter()
+            .map(|raw| parse_partition(raw))
+            .collect::<Result<_, _>>()?,
+        crashes: get_list(map, "faults.crashes")?
+            .iter()
+            .map(|raw| parse_crash(raw))
+            .collect::<Result<_, _>>()?,
+    })
+}
+
+/// Serializes a [`FaultPlan`] as the `[faults]` section
+/// [`parse_faults`] reads back.
+fn faults_to_toml(plan: &FaultPlan) -> String {
+    let links: Vec<String> = plan
+        .link_overrides
+        .iter()
+        .map(|(from, to, f)| {
+            format!(
+                "\"{from}>{to}:{}/{}/{}/{}\"",
+                f.drop, f.delay, f.duplicate, f.reorder
+            )
+        })
+        .collect();
+    let partitions: Vec<String> = plan
+        .partitions
+        .iter()
+        .map(|p| {
+            let group: Vec<String> = p.group.iter().map(ToString::to_string).collect();
+            format!("\"{}-{}:{}\"", p.start, p.end, group.join("|"))
+        })
+        .collect();
+    let crashes: Vec<String> = plan
+        .crashes
+        .iter()
+        .map(|c| match c.rejoin_epoch {
+            Some(r) => format!("\"{}@{}-{r}\"", c.node, c.crash_epoch),
+            None => format!("\"{}@{}\"", c.node, c.crash_epoch),
+        })
+        .collect();
+    format!(
+        "\n[faults]\nseed = {}\ndrop = {}\ndelay = {}\nduplicate = {}\nreorder = {}\nlinks = [{}]\npartitions = [{}]\ncrashes = [{}]\n",
+        plan.seed,
+        plan.link.drop,
+        plan.link.delay,
+        plan.link.duplicate,
+        plan.link.reorder,
+        links.join(", "),
+        partitions.join(", "),
+        crashes.join(", "),
+    )
+}
+
 impl ClusterConfig {
     /// Parses a config file's contents.
     pub fn parse(text: &str) -> Result<Self, String> {
-        let map = parse_map(text)?;
+        let (map, sections) = parse_map(text)?;
         let d = ClusterConfig::default();
         let nodes = match map.get("nodes") {
             Some(Value::List(addrs)) => addrs.clone(),
@@ -204,6 +390,7 @@ impl ClusterConfig {
         if nodes.is_empty() {
             return Err("nodes: at least one address".to_string());
         }
+        let num_nodes = nodes.len();
         let sharing = match get_str(&map, "sharing", "raw")?.as_str() {
             "raw" | "rex" => SharingMode::RawData,
             "model" | "ms" => SharingMode::Model,
@@ -243,6 +430,16 @@ impl ClusterConfig {
                 d.processes_per_platform as u64,
             )?,
             infra_seed: get_int(&map, "infra_seed", d.infra_seed)?,
+            faults: if sections.iter().any(|s| s == "faults") {
+                let plan = parse_faults(&map)?;
+                // Reject bad rates / out-of-range node ids here, through
+                // the parser's Result path — a malformed [faults] section
+                // must not become a panic inside the deployed binary.
+                plan.check(num_nodes).map_err(|e| format!("faults: {e}"))?;
+                Some(plan)
+            } else {
+                None
+            },
         })
     }
 
@@ -264,6 +461,7 @@ impl ClusterConfig {
             TopologySpec::ErdosRenyi => "er",
             TopologySpec::Ring => "ring",
         };
+        let faults = self.faults.as_ref().map(faults_to_toml).unwrap_or_default();
         format!(
             "# REX cluster configuration (every process reads this same file)\n\
              nodes = [{}]\n\
@@ -282,7 +480,7 @@ impl ClusterConfig {
              steps_per_epoch = {}\n\
              sgx = {}\n\
              processes_per_platform = {}\n\
-             infra_seed = {}\n",
+             infra_seed = {}\n{faults}",
             addrs.join(", "),
             self.epochs,
             self.topology_seed,
@@ -362,6 +560,81 @@ mod tests {
         assert_eq!(cfg.sharing, SharingMode::RawData);
         assert!(!cfg.sgx);
         assert_eq!(cfg.addrs().unwrap()[1].port(), 9001);
+    }
+
+    #[test]
+    fn faults_section_roundtrips() {
+        let cfg = ClusterConfig {
+            faults: Some(
+                FaultPlan {
+                    seed: 9,
+                    link: LinkFaults {
+                        drop: 0.1,
+                        delay: 0.05,
+                        duplicate: 0.0,
+                        reorder: 0.25,
+                    },
+                    ..FaultPlan::default()
+                }
+                .with_link(
+                    0,
+                    1,
+                    LinkFaults {
+                        drop: 0.5,
+                        ..LinkFaults::default()
+                    },
+                )
+                .with_partition(2, 4, vec![0, 1])
+                .with_crash(1, 2, None)
+                .with_crash(0, 3, Some(5)),
+            ),
+            ..sample()
+        };
+        let text = cfg.to_toml();
+        assert!(text.contains("[faults]"), "{text}");
+        let parsed = ClusterConfig::parse(&text).unwrap();
+        assert_eq!(parsed, cfg);
+    }
+
+    #[test]
+    fn faults_section_defaults_and_empty_section() {
+        // An empty [faults] section means "a plan with no faults" — still
+        // Some, so the cluster exercises the wrapper path.
+        let cfg = ClusterConfig::parse("nodes = [\"127.0.0.1:1\"]\n[faults]\n").unwrap();
+        assert_eq!(cfg.faults, Some(FaultPlan::default()));
+        // No section at all means None.
+        let cfg = ClusterConfig::parse("nodes = [\"127.0.0.1:1\"]\n").unwrap();
+        assert_eq!(cfg.faults, None);
+    }
+
+    #[test]
+    fn faults_section_rejects_malformed_specs() {
+        let base = "nodes = [\"127.0.0.1:1\"]\n[faults]\n";
+        for bad in [
+            "drop = \"lots\"\n",
+            "drop = 1.5\n",
+            "drop = nan\n",
+            "crashes = [\"3\"]\n",
+            "crashes = [\"x@2\"]\n",
+            "crashes = [\"9@0\"]\n",   // node 9 outside the 1-node cluster
+            "crashes = [\"0@5-2\"]\n", // rejoins before crashing
+            "partitions = [\"2:0|1\"]\n",
+            "links = [\"0>1:0.5\"]\n",
+            "links = [\"0-1:0/0/0/0\"]\n",
+        ] {
+            assert!(
+                ClusterConfig::parse(&format!("{base}{bad}")).is_err(),
+                "accepted {bad:?}"
+            );
+        }
+        assert!(
+            ClusterConfig::parse("nodes = [\"a\"]\n[buckets]\n").is_err(),
+            "unknown section accepted"
+        );
+        assert!(
+            ClusterConfig::parse("nodes = [\"a\"]\n[faults\n").is_err(),
+            "unterminated section accepted"
+        );
     }
 
     #[test]

@@ -31,6 +31,7 @@ use rex_core::setup::establish_tee;
 use rex_core::Node;
 use rex_data::{Partition, SyntheticConfig, TrainTestSplit};
 use rex_ml::{MfHyperParams, MfModel};
+use rex_net::fault::{FaultPlan, FaultyEndpoint};
 use rex_net::mem::MemNetwork;
 use rex_net::stats::TrafficStats;
 use rex_net::tcp::{TcpEndpoint, TcpTransport, DEFAULT_CONNECT_TIMEOUT};
@@ -38,7 +39,11 @@ use rex_net::transport::{Endpoint, Transport};
 use rex_tee::SgxCostModel;
 
 /// Builds the full fleet a config describes — identically in every
-/// process that parses the same file.
+/// process that parses the same file. When the config carries a
+/// `[faults]` plan, nodes that are dead for the whole run are pruned
+/// from every neighbour list here (the same crash-aware pre-setup step
+/// the engine performs), so attestation replay and per-node degrees
+/// agree across all processes.
 #[must_use]
 pub fn build_fleet(cfg: &ClusterConfig) -> Vec<Node<MfModel>> {
     let n = cfg.num_nodes();
@@ -53,7 +58,7 @@ pub fn build_fleet(cfg: &ClusterConfig) -> Vec<Node<MfModel>> {
     let split = TrainTestSplit::standard(&dataset, cfg.split_seed);
     let partition = Partition::multi_user(&split, n);
     let graph = cfg.topology.build(n, cfg.topology_seed);
-    build_mf_nodes(
+    let mut fleet = build_mf_nodes(
         &partition,
         &graph,
         dataset.num_users,
@@ -61,7 +66,14 @@ pub fn build_fleet(cfg: &ClusterConfig) -> Vec<Node<MfModel>> {
         MfHyperParams::default(),
         cfg.protocol(),
         NodeSeeds::default(),
-    )
+    );
+    if let Some(plan) = &cfg.faults {
+        plan.validate(n);
+        // The same crash-aware pre-setup step the engine runs — shared
+        // so cluster-vs-engine bit-identity cannot drift.
+        rex_core::setup::prune_dead_nodes(&mut fleet, plan);
+    }
+    fleet
 }
 
 /// What one deployed node reports when its run completes. Serializes to a
@@ -188,30 +200,46 @@ fn replay_setup(cfg: &ClusterConfig, fleet: &mut [Node<MfModel>]) -> Vec<Traffic
 /// The deployed per-node epoch loop: drain, wire barrier, train, send,
 /// wire barrier — the transport-level shape of the engine's
 /// thread-per-node driver, with [`Endpoint::sync`] replacing the
-/// in-process barrier. Returns the per-epoch local RMSE trace. Calls
+/// in-process barrier. When `faults` schedules this node down for an
+/// epoch it discards its inbox and sits the round out — while still
+/// serving both wire barriers, which are infrastructure, not protocol
+/// (the engine's thread driver does exactly the same). Returns the
+/// per-epoch local RMSE trace (`None` for down epochs). Calls
 /// `progress` after each epoch with `(epoch, rmse)`.
 pub fn run_node_loop<E: Endpoint>(
     node: &mut Node<MfModel>,
     endpoint: &mut E,
     epochs: usize,
+    faults: Option<&FaultPlan>,
     mut progress: impl FnMut(usize, Option<f64>),
 ) -> Vec<Option<u64>> {
     let mut trace = Vec::with_capacity(epochs);
     for epoch in 0..epochs {
+        endpoint.epoch_begin(epoch);
         let inbox = endpoint.recv();
+        let down = faults.is_some_and(|p| p.is_down(node.id(), epoch));
         // Everyone drains before anyone sends (the engine's first
         // barrier), so a fast peer's epoch-e message cannot land in a
-        // slow node's epoch-e inbox.
-        endpoint.sync();
-        let (outgoing, report) = node.epoch(inbox);
-        for (dest, bytes) in outgoing {
-            endpoint.send(dest, bytes);
-        }
+        // slow node's epoch-e inbox. This is the barrier-only variant:
+        // fault wrappers must not release held (delayed/reordered)
+        // messages here — that happens at the post-send `sync`, keeping
+        // the deployed loop bit-identical with the engine's drivers.
+        endpoint.drain_barrier();
+        let rmse = if down {
+            drop(inbox);
+            None
+        } else {
+            let (outgoing, report) = node.epoch(inbox);
+            for (dest, bytes) in outgoing {
+                endpoint.send(dest, bytes);
+            }
+            report.rmse
+        };
         // All of this epoch's sends are delivered before anyone drains
         // the next inbox (the engine's second barrier).
         endpoint.sync();
-        trace.push(report.rmse.map(f64::to_bits));
-        progress(epoch, report.rmse);
+        trace.push(rmse.map(f64::to_bits));
+        progress(epoch, rmse);
     }
     trace
 }
@@ -239,16 +267,37 @@ pub fn run_node(
         .nth(id)
         .expect("fleet covers every node id");
 
-    let mut endpoint = TcpEndpoint::connect(id, &addrs, DEFAULT_CONNECT_TIMEOUT)
+    let endpoint = TcpEndpoint::connect(id, &addrs, DEFAULT_CONNECT_TIMEOUT)
         .map_err(|e| format!("node {id}: bootstrap failed: {e}"))?;
-    let rmse_trace_bits = run_node_loop(&mut node, &mut endpoint, cfg.epochs, &mut progress);
+    // Under a fault plan the endpoint is wrapped exactly like the
+    // in-process backends: every process makes the same per-link hash
+    // decisions from the shared plan, so the cluster replays the same
+    // schedule bit-for-bit.
+    let (rmse_trace_bits, stats) = match cfg.faults.clone() {
+        Some(plan) => {
+            let mut endpoint = FaultyEndpoint::new(endpoint, plan);
+            let trace = run_node_loop(
+                &mut node,
+                &mut endpoint,
+                cfg.epochs,
+                cfg.faults.as_ref(),
+                &mut progress,
+            );
+            (trace, endpoint.stats())
+        }
+        None => {
+            let mut endpoint = endpoint;
+            let trace = run_node_loop(&mut node, &mut endpoint, cfg.epochs, None, &mut progress);
+            (trace, endpoint.stats())
+        }
+    };
 
     Ok(NodeSummary {
         id,
         epochs: cfg.epochs,
         final_rmse_bits: node.local_rmse().map(f64::to_bits),
         rmse_trace_bits,
-        stats: add_stats(endpoint.stats(), setup_stats[id]),
+        stats: add_stats(stats, setup_stats[id]),
         store_len: node.store().len(),
     })
 }
@@ -271,13 +320,24 @@ pub fn run_cluster_in_process(cfg: &ClusterConfig) -> Result<Vec<NodeSummary>, S
         .expect("tcp fabric splits into endpoints");
     let epochs = cfg.epochs;
 
+    let faults = cfg.faults.clone();
     let handles: Vec<_> = fleet
         .into_iter()
         .zip(endpoints)
-        .map(|(mut node, mut endpoint)| {
-            std::thread::spawn(move || {
-                let trace = run_node_loop(&mut node, &mut endpoint, epochs, |_, _| {});
-                (node, endpoint.stats(), trace)
+        .map(|(mut node, endpoint)| {
+            let faults = faults.clone();
+            std::thread::spawn(move || match faults {
+                Some(plan) => {
+                    let mut endpoint = FaultyEndpoint::new(endpoint, plan.clone());
+                    let trace =
+                        run_node_loop(&mut node, &mut endpoint, epochs, Some(&plan), |_, _| {});
+                    (node, endpoint.stats(), trace)
+                }
+                None => {
+                    let mut endpoint = endpoint;
+                    let trace = run_node_loop(&mut node, &mut endpoint, epochs, None, |_, _| {});
+                    (node, endpoint.stats(), trace)
+                }
             })
         })
         .collect();
@@ -364,6 +424,30 @@ mod tests {
             assert_eq!(s.stats.msgs_out, 3 * cfg.epochs as u64);
             assert_eq!(s.stats.msgs_out, s.stats.msgs_in);
         }
+    }
+
+    #[test]
+    fn faulty_cluster_is_deterministic_and_respects_crashes() {
+        use rex_net::fault::LinkFaults;
+        let mut cfg = tiny_cfg(4);
+        cfg.faults =
+            Some(FaultPlan::uniform(3, LinkFaults::drop_rate(0.25)).with_crash(2, 1, Some(3)));
+        let a = run_cluster_in_process(&cfg).unwrap();
+        let b = run_cluster_in_process(&cfg).unwrap();
+        assert_eq!(a, b, "same plan must replay bit-for-bit");
+        // Node 2 sat out epochs 1 and 2.
+        assert!(a[2].rmse_trace_bits[0].is_some());
+        assert!(a[2].rmse_trace_bits[1].is_none());
+        assert!(a[2].rmse_trace_bits[2].is_none());
+        assert!(a[2].rmse_trace_bits[3].is_some());
+        // Drops actually happened: someone received fewer messages than
+        // the reliable run would deliver (3 peers x 4 epochs, minus the
+        // crash window).
+        let reliable: u64 = 3 * cfg.epochs as u64;
+        assert!(
+            a.iter().any(|s| s.stats.msgs_in < reliable),
+            "no message was ever lost under a 25% drop plan"
+        );
     }
 
     #[test]

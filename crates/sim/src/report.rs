@@ -10,14 +10,14 @@ use std::fmt::Write as _;
 #[must_use]
 pub fn traces_to_csv(traces: &[&ExperimentTrace]) -> String {
     let mut out = String::from(
-        "series,epoch,time_s,rmse,bytes_per_node,ram_mib,sgx_overhead_ms,merge_ms,train_ms,share_ms,test_ms\n",
+        "series,epoch,time_s,rmse,bytes_per_node,ram_mib,sgx_overhead_ms,merge_ms,train_ms,share_ms,test_ms,live_nodes,delivered,dropped,late,duplicated\n",
     );
     for t in traces {
         for r in &t.records {
             let st = r.stage_times;
             let _ = writeln!(
                 out,
-                "{},{},{:.6},{:.6},{:.1},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3}",
+                "{},{},{:.6},{:.6},{:.1},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{},{},{},{},{}",
                 t.name,
                 r.epoch,
                 r.time_ns as f64 / 1e9,
@@ -29,6 +29,11 @@ pub fn traces_to_csv(traces: &[&ExperimentTrace]) -> String {
                 st.get(crate::stage::Stage::Train) as f64 / 1e6,
                 st.get(crate::stage::Stage::Share) as f64 / 1e6,
                 st.get(crate::stage::Stage::Test) as f64 / 1e6,
+                r.live_nodes,
+                r.delivery.delivered,
+                r.delivery.dropped,
+                r.delivery.late,
+                r.delivery.duplicated,
             );
         }
     }
@@ -137,6 +142,8 @@ mod tests {
                 stage_times: StageTimes::new(),
                 ram_bytes: 0.0,
                 sgx_overhead_ns: 0,
+                live_nodes: 4,
+                delivery: rex_net::stats::DeliveryStats::default(),
             });
         }
         t

@@ -2,15 +2,23 @@
 //! paper reports (time-to-target-error → Tables II/III; series → figures).
 
 use crate::stage::StageTimes;
+use rex_net::stats::DeliveryStats;
 
 /// Aggregated measurements of one epoch across all nodes.
+///
+/// Per-node metrics (`rmse`, `bytes_per_node`, `stage_times`,
+/// `ram_bytes`, `sgx_overhead_ns`) are means over the epoch's **live**
+/// nodes; `live_nodes` records how many that was (crash-stop nodes sit
+/// out their down epochs), and `delivery` carries the fabric's
+/// delivered/dropped/late/duplicated message counts for the epoch
+/// (all-zero on fault-free transports).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EpochRecord {
     /// Epoch index (0 = training on initial local data only).
     pub epoch: usize,
     /// Virtual time at the *end* of this epoch, ns.
     pub time_ns: u64,
-    /// Nodes-mean RMSE on local test sets (the paper's y-axis).
+    /// Live-nodes-mean RMSE on local test sets (the paper's y-axis).
     pub rmse: f64,
     /// Mean per-node data in+out during this epoch, bytes.
     pub bytes_per_node: f64,
@@ -20,6 +28,10 @@ pub struct EpochRecord {
     pub ram_bytes: f64,
     /// Mean per-node SGX overhead charged this epoch, ns (0 native).
     pub sgx_overhead_ns: u64,
+    /// Nodes that ran this epoch (crashed nodes excluded).
+    pub live_nodes: usize,
+    /// Fleet-wide message delivery accounting for this epoch.
+    pub delivery: DeliveryStats,
 }
 
 /// A named series of epoch records.
@@ -103,6 +115,24 @@ impl ExperimentTrace {
         self.records.iter().map(|r| r.ram_bytes).fold(0.0, f64::max)
     }
 
+    /// Total fleet-wide message-delivery accounting over the run (sums
+    /// the per-epoch [`DeliveryStats`]; all-zero for fault-free runs).
+    #[must_use]
+    pub fn total_delivery(&self) -> DeliveryStats {
+        let mut total = DeliveryStats::default();
+        for r in &self.records {
+            total.absorb(&r.delivery);
+        }
+        total
+    }
+
+    /// Smallest per-epoch live-node count of the run (equals the fleet
+    /// size unless churn took nodes down).
+    #[must_use]
+    pub fn min_live_nodes(&self) -> usize {
+        self.records.iter().map(|r| r.live_nodes).min().unwrap_or(0)
+    }
+
     /// Total virtual duration, seconds.
     #[must_use]
     pub fn duration_secs(&self) -> f64 {
@@ -150,6 +180,8 @@ mod tests {
             stage_times: StageTimes::new(),
             ram_bytes: 1e6,
             sgx_overhead_ns: 0,
+            live_nodes: 8,
+            delivery: DeliveryStats::default(),
         }
     }
 
@@ -189,6 +221,35 @@ mod tests {
         assert_eq!(t.total_bytes_per_node(), 200.0);
         assert_eq!(t.peak_ram_bytes(), 1e6);
         assert_eq!(t.duration_secs(), 2.0);
+    }
+
+    #[test]
+    fn delivery_and_liveness_aggregate() {
+        let mut t = ExperimentTrace::new("churn");
+        let mut a = record(0, 1.0, 1.5);
+        a.delivery = DeliveryStats {
+            delivered: 10,
+            dropped: 2,
+            late: 1,
+            duplicated: 0,
+        };
+        let mut b = record(1, 2.0, 1.4);
+        b.live_nodes = 6;
+        b.delivery = DeliveryStats {
+            delivered: 7,
+            dropped: 5,
+            late: 0,
+            duplicated: 1,
+        };
+        t.push(a);
+        t.push(b);
+        let total = t.total_delivery();
+        assert_eq!(
+            (total.delivered, total.dropped, total.late, total.duplicated),
+            (17, 7, 1, 1)
+        );
+        assert_eq!(t.min_live_nodes(), 6);
+        assert_eq!(ExperimentTrace::new("empty").min_live_nodes(), 0);
     }
 
     #[test]

@@ -4,17 +4,21 @@
 //! generator: 6 close connections per node, 3 % far-fetched probability) and
 //! an **Erdős–Rényi** random graph (p = 5 %, made connected by adding the
 //! missing edges). D-PSGD model merging additionally needs
-//! **Metropolis–Hastings weights** over the graph (§III-C2).
+//! **Metropolis–Hastings weights** over the graph (§III-C2). Churn
+//! scenarios use [`repair`] to restore overlay connectivity after
+//! crash-stop failures.
 
 pub mod erdos_renyi;
 pub mod graph;
 pub mod metrics;
 pub mod mh_weights;
+pub mod repair;
 pub mod small_world;
 
 pub use erdos_renyi::erdos_renyi;
 pub use graph::Graph;
 pub use mh_weights::metropolis_hastings_weight;
+pub use repair::{alive_connected, repair_after_crashes, without_nodes};
 pub use small_world::small_world;
 
 /// Named topology presets matching the paper's experimental setup.

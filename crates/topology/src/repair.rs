@@ -1,0 +1,132 @@
+//! Neighbour repair after crash-stop failures.
+//!
+//! When nodes crash-stop, the gossip overlay loses their edges; a graph
+//! that was connected can fall apart into islands that never exchange
+//! data again. The chaos scenarios (and, eventually, a live membership
+//! layer) repair the overlay the same way the Erdős–Rényi generator
+//! repairs an unlucky draw: isolate the dead nodes, then bridge the
+//! surviving components with fresh edges, deterministically from a seed.
+
+use crate::graph::Graph;
+use crate::metrics::components;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Returns `g` with every edge touching a dead node removed. Dead nodes
+/// stay in the id space (node ids are stable across a crash) but become
+/// isolated. `dead` may be shorter than the graph; missing entries mean
+/// alive.
+#[must_use]
+pub fn without_nodes(g: &Graph, dead: &[bool]) -> Graph {
+    let is_dead = |v: usize| dead.get(v).copied().unwrap_or(false);
+    let mut out = Graph::empty(g.len());
+    for (a, b) in g.edges() {
+        if !is_dead(a) && !is_dead(b) {
+            out.add_edge(a, b);
+        }
+    }
+    out
+}
+
+/// Repairs the overlay after crash-stop failures: removes the dead
+/// nodes' edges, then — if the surviving subgraph is disconnected —
+/// adds one bridging edge between consecutive surviving components
+/// (random endpoints, deterministic from `seed`). Dead nodes remain
+/// isolated; every pair of alive nodes ends up connected through alive
+/// nodes only.
+#[must_use]
+pub fn repair_after_crashes(g: &Graph, dead: &[bool], seed: u64) -> Graph {
+    let is_dead = |v: usize| dead.get(v).copied().unwrap_or(false);
+    let mut out = without_nodes(g, dead);
+    // Dead nodes are isolated, so they appear as singleton components;
+    // only the alive components need bridging.
+    let alive_comps: Vec<Vec<usize>> = components(&out)
+        .into_iter()
+        .filter(|comp| comp.iter().any(|&v| !is_dead(v)))
+        .collect();
+    if alive_comps.len() <= 1 {
+        return out;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    for window in alive_comps.windows(2) {
+        let a = window[0][rng.gen_range(0..window[0].len())];
+        let b = window[1][rng.gen_range(0..window[1].len())];
+        out.add_edge(a, b);
+    }
+    out
+}
+
+/// Whether every pair of alive nodes can reach each other through alive
+/// nodes only (vacuously true with fewer than two alive nodes).
+#[must_use]
+pub fn alive_connected(g: &Graph, dead: &[bool]) -> bool {
+    let is_dead = |v: usize| dead.get(v).copied().unwrap_or(false);
+    let stripped = without_nodes(g, dead);
+    let alive_comps = components(&stripped)
+        .into_iter()
+        .filter(|comp| comp.iter().any(|&v| !is_dead(v)))
+        .count();
+    alive_comps <= 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::small_world::small_world;
+
+    fn dead_mask(n: usize, dead: &[usize]) -> Vec<bool> {
+        let mut mask = vec![false; n];
+        for &d in dead {
+            mask[d] = true;
+        }
+        mask
+    }
+
+    #[test]
+    fn without_nodes_isolates_the_dead() {
+        let g = Graph::complete(5);
+        let stripped = without_nodes(&g, &dead_mask(5, &[2]));
+        assert_eq!(stripped.degree(2), 0);
+        for v in [0, 1, 3, 4] {
+            assert_eq!(stripped.degree(v), 3, "node {v}");
+            assert!(!stripped.has_edge(v, 2));
+        }
+    }
+
+    #[test]
+    fn ring_split_by_two_crashes_gets_bridged() {
+        // Killing two opposite ring nodes splits the survivors in half.
+        let g = Graph::ring(10);
+        let dead = dead_mask(10, &[0, 5]);
+        assert!(!alive_connected(&g, &dead));
+        let repaired = repair_after_crashes(&g, &dead, 7);
+        assert!(alive_connected(&repaired, &dead));
+        assert_eq!(repaired.degree(0), 0, "dead node stays isolated");
+        assert_eq!(repaired.degree(5), 0);
+    }
+
+    #[test]
+    fn repair_is_deterministic_in_the_seed() {
+        let g = small_world(40, 4, 0.05, 3);
+        let dead = dead_mask(40, &[1, 7, 20, 33]);
+        assert_eq!(
+            repair_after_crashes(&g, &dead, 9),
+            repair_after_crashes(&g, &dead, 9)
+        );
+    }
+
+    #[test]
+    fn connected_survivors_need_no_new_edges() {
+        let g = Graph::complete(6);
+        let dead = dead_mask(6, &[4]);
+        let repaired = repair_after_crashes(&g, &dead, 0);
+        assert_eq!(repaired.num_edges(), Graph::complete(6).num_edges() - 5);
+    }
+
+    #[test]
+    fn short_mask_means_alive() {
+        let g = Graph::ring(6);
+        assert!(alive_connected(&g, &[]));
+        assert_eq!(without_nodes(&g, &[]), g);
+    }
+}

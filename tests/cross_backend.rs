@@ -18,7 +18,8 @@ use rex_repro::core::engine::{Driver, Engine, EngineConfig, EngineResult, TimeAx
 use rex_repro::core::Node;
 use rex_repro::data::{Partition, SyntheticConfig, TrainTestSplit};
 use rex_repro::ml::{MfHyperParams, MfModel};
-use rex_repro::net::{ChannelTransport, MemNetwork, TcpTransport};
+use rex_repro::net::fault::{FaultPlan, FaultyTransport};
+use rex_repro::net::{ChannelTransport, MemNetwork, TcpTransport, Transport};
 use rex_repro::tee::SgxCostModel;
 use rex_repro::topology::TopologySpec;
 
@@ -61,6 +62,7 @@ fn engine_config(execution: ExecutionMode, time: TimeAxis, driver: Driver) -> En
         driver,
         processes_per_platform: 1, // identical platform packing on both sides
         seed: 0xE0,
+        faults: None,
     }
 }
 
@@ -173,6 +175,91 @@ fn run_mem_vs_tcp(
     .run("tcp", &mut tcp_nodes);
 
     ((sim, sim_nodes), (tcp, tcp_nodes))
+}
+
+/// Wraps any backend in the fault layer with an *empty* plan — the
+/// wrapper's identity oracle. A clean plan must change nothing: not one
+/// RMSE bit, not one payload byte.
+fn identity_wrapped<T: Transport>(inner: T) -> FaultyTransport<T> {
+    FaultyTransport::new(inner, FaultPlan::default())
+}
+
+/// Runs the reference fleet over the plain mem fabric and the same
+/// fleet over `identity_wrapped(backend)`; both must be equivalent.
+fn reference_run(execution: ExecutionMode) -> (EngineResult, Vec<Node<MfModel>>) {
+    let mut nodes = fleet(SharingMode::RawData, GossipAlgorithm::DPsgd);
+    let result = Engine::<MfModel, MemNetwork>::new(
+        MemNetwork::new(nodes.len()),
+        engine_config(
+            execution,
+            TimeAxis::Simulated(Default::default()),
+            Driver::Lockstep { parallel: false },
+        ),
+    )
+    .run("reference", &mut nodes);
+    (result, nodes)
+}
+
+#[test]
+fn empty_fault_plan_is_identity_on_every_backend_native() {
+    let reference = reference_run(ExecutionMode::Native);
+
+    let mut mem_nodes = fleet(SharingMode::RawData, GossipAlgorithm::DPsgd);
+    let mem = Engine::<MfModel, FaultyTransport<MemNetwork>>::new(
+        identity_wrapped(MemNetwork::new(mem_nodes.len())),
+        engine_config(
+            ExecutionMode::Native,
+            TimeAxis::Simulated(Default::default()),
+            Driver::Lockstep { parallel: false },
+        ),
+    )
+    .run("faulty-mem", &mut mem_nodes);
+    assert_equivalent(&reference, &(mem, mem_nodes));
+
+    let mut chan_nodes = fleet(SharingMode::RawData, GossipAlgorithm::DPsgd);
+    let chan = Engine::<MfModel, FaultyTransport<ChannelTransport>>::new(
+        identity_wrapped(ChannelTransport::new(chan_nodes.len())),
+        engine_config(ExecutionMode::Native, TimeAxis::Wall, Driver::ThreadPerNode),
+    )
+    .run("faulty-chan", &mut chan_nodes);
+    assert_equivalent(&reference, &(chan, chan_nodes));
+
+    let mut tcp_nodes = fleet(SharingMode::RawData, GossipAlgorithm::DPsgd);
+    let tcp = Engine::<MfModel, FaultyTransport<TcpTransport>>::new(
+        identity_wrapped(TcpTransport::loopback(tcp_nodes.len()).expect("loopback fabric")),
+        engine_config(ExecutionMode::Native, TimeAxis::Wall, Driver::ThreadPerNode),
+    )
+    .run("faulty-tcp", &mut tcp_nodes);
+    assert_equivalent(&reference, &(tcp, tcp_nodes));
+}
+
+#[test]
+fn empty_fault_plan_is_identity_on_every_backend_sgx() {
+    // SGX routes the attestation handshake through the (wrapped)
+    // transport too — the wrapper must pass setup traffic through
+    // untouched, native byte accounting included.
+    let execution = ExecutionMode::Sgx(SgxCostModel::default());
+    let reference = reference_run(execution);
+
+    let mut mem_nodes = fleet(SharingMode::RawData, GossipAlgorithm::DPsgd);
+    let mem = Engine::<MfModel, FaultyTransport<MemNetwork>>::new(
+        identity_wrapped(MemNetwork::new(mem_nodes.len())),
+        engine_config(
+            execution,
+            TimeAxis::Simulated(Default::default()),
+            Driver::Lockstep { parallel: false },
+        ),
+    )
+    .run("faulty-mem-sgx", &mut mem_nodes);
+    assert_equivalent(&reference, &(mem, mem_nodes));
+
+    let mut tcp_nodes = fleet(SharingMode::RawData, GossipAlgorithm::DPsgd);
+    let tcp = Engine::<MfModel, FaultyTransport<TcpTransport>>::new(
+        identity_wrapped(TcpTransport::loopback(tcp_nodes.len()).expect("loopback fabric")),
+        engine_config(execution, TimeAxis::Wall, Driver::ThreadPerNode),
+    )
+    .run("faulty-tcp-sgx", &mut tcp_nodes);
+    assert_equivalent(&reference, &(tcp, tcp_nodes));
 }
 
 #[test]

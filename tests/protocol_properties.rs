@@ -1,10 +1,17 @@
-//! Property-based integration tests over the protocol surfaces.
+//! Property-based integration tests over the protocol surfaces: wire
+//! codecs (message payloads and TCP framing), the raw-data store, and
+//! the topology generators the experiments run on.
 
 use proptest::prelude::*;
 use rex_repro::core::RawDataStore;
 use rex_repro::data::Rating;
 use rex_repro::net::codec::{decode_plain, encode_plain};
+use rex_repro::net::frame::{decode_frame, encode_frame, read_frame, Frame};
 use rex_repro::net::Plain;
+use rex_repro::topology::{
+    alive_connected, erdos_renyi, metrics, mh_weights::mixing_row, repair_after_crashes,
+    small_world,
+};
 
 fn arb_rating() -> impl Strategy<Value = Rating> {
     (0u32..500, 0u32..2000, 1u32..=10).prop_map(|(user, item, halves)| Rating {
@@ -58,6 +65,109 @@ proptest! {
         let distinct: std::collections::HashSet<_> =
             batch_a.iter().chain(&batch_b).map(|r| r.key()).collect();
         prop_assert_eq!(store.len(), distinct.len());
+    }
+
+    #[test]
+    fn frame_decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..320)) {
+        // The TCP frame layer's twin of the payload-codec garbage test:
+        // arbitrary bytes must produce Ok or Err, never a panic — this is
+        // what stands between a hostile peer and the reader thread.
+        let _ = decode_frame(&bytes);
+        let mut reader = &bytes[..];
+        // The streaming path must also survive (and terminate on) any
+        // prefix of garbage.
+        while let Ok(Some(_)) = read_frame(&mut reader) {}
+    }
+
+    #[test]
+    fn frame_roundtrips_and_consumes_exactly(
+        payload in proptest::collection::vec(any::<u8>(), 0..2048),
+        from in 0usize..1024,
+        trailer in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let frame = Frame::Data { from, payload };
+        let mut wire = encode_frame(&frame);
+        let framed_len = wire.len();
+        wire.extend_from_slice(&trailer);
+        let (back, consumed) = decode_frame(&wire).unwrap();
+        prop_assert_eq!(back, frame);
+        prop_assert_eq!(consumed, framed_len, "must not eat into the next frame");
+    }
+
+    #[test]
+    fn erdos_renyi_is_connected_at_paper_parameters(
+        seed in any::<u64>(),
+        n in 20usize..200,
+    ) {
+        // §IV-A2b: p = 5%, "made connected by adding the missing edges".
+        let g = erdos_renyi(n, 0.05, seed);
+        prop_assert_eq!(g.len(), n);
+        prop_assert!(metrics::is_connected(&g), "n={} seed={}", n, seed);
+    }
+
+    #[test]
+    fn small_world_connected_with_degree_bounds(
+        seed in any::<u64>(),
+        n in 8usize..160,
+    ) {
+        // §IV-A2a: k = 6 close connections, 3% far-fetched probability.
+        // The lattice guarantees every node at least k distinct
+        // neighbours; shortcuts add at most one edge per lattice edge.
+        let g = small_world(n, 6, 0.03, seed);
+        prop_assert!(metrics::is_connected(&g));
+        for v in 0..n {
+            prop_assert!(g.degree(v) >= 6, "node {} degree {}", v, g.degree(v));
+            prop_assert!(g.degree(v) < n);
+        }
+        prop_assert!(g.num_edges() <= n * 6, "too many edges: {}", g.num_edges());
+    }
+
+    #[test]
+    fn metropolis_hastings_rows_are_stochastic(
+        seed in any::<u64>(),
+        n in 8usize..120,
+        er in any::<bool>(),
+    ) {
+        // §III-C2: every mixing row sums to 1 with a non-negative
+        // self-weight, whatever connected topology the run uses.
+        let g = if er {
+            erdos_renyi(n, 0.05, seed)
+        } else {
+            small_world(n, 6, 0.03, seed)
+        };
+        for node in 0..n {
+            let (self_w, row) = mixing_row(&g, node);
+            let total: f64 = self_w + row.iter().map(|&(_, w)| w).sum::<f64>();
+            prop_assert!((total - 1.0).abs() < 1e-9, "row sum {}", total);
+            prop_assert!(self_w >= -1e-12, "negative self weight {}", self_w);
+            for &(_, w) in &row {
+                prop_assert!(w > 0.0 && w <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn crash_repair_reconnects_survivors(
+        seed in any::<u64>(),
+        n in 8usize..80,
+        dead_picks in proptest::collection::vec(any::<u64>(), 1..8),
+    ) {
+        // Kill up to 8 arbitrary nodes of a small world; the repaired
+        // overlay must keep every pair of survivors mutually reachable
+        // through survivors only.
+        let g = small_world(n, 6, 0.03, seed);
+        let mut dead = vec![false; n];
+        for pick in &dead_picks {
+            dead[(*pick as usize) % n] = true;
+        }
+        prop_assume!(dead.iter().filter(|&&d| !d).count() >= 2);
+        let repaired = repair_after_crashes(&g, &dead, seed ^ 0x5EED);
+        prop_assert!(alive_connected(&repaired, &dead));
+        for (v, &d) in dead.iter().enumerate() {
+            if d {
+                prop_assert_eq!(repaired.degree(v), 0, "dead node {} kept edges", v);
+            }
+        }
     }
 
     #[test]

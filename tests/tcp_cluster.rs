@@ -76,6 +76,7 @@ fn processes_match_engine_results() {
             driver: Driver::ThreadPerNode,
             processes_per_platform: cfg.processes_per_platform,
             seed: cfg.infra_seed,
+            faults: None,
         },
     )
     .run("reference", &mut nodes);
@@ -118,6 +119,7 @@ fn sgx_processes_reproduce_attested_run() {
             driver: Driver::ThreadPerNode,
             processes_per_platform: cfg.processes_per_platform,
             seed: cfg.infra_seed,
+            faults: None,
         },
     )
     .run("sgx-reference", &mut nodes);
