@@ -228,6 +228,7 @@ fn bench_protocol_epoch(c: &mut Criterion) {
                     points_per_epoch: 300,
                     steps_per_epoch: 300,
                     seed: 1,
+                    ..ProtocolConfig::default()
                 },
                 rex_core::builder::NodeSeeds::default(),
             );

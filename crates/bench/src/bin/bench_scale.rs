@@ -1,0 +1,228 @@
+//! Scale benchmark with machine-readable output: the work-stealing
+//! scheduler against the sequential lockstep driver on a large
+//! mem-backend fleet, plus the sparse wire codec against the dense
+//! baseline on the Table-IV synthetic workload. Writes
+//! `results/BENCH_scale.json` — the artifact CI uploads to track the
+//! scaling trajectory.
+//!
+//! Quick mode (default, the CI scale-smoke job): 512 nodes, 5 epochs.
+//! `--full`: 1024 nodes, 10 epochs (the committed artifact). `--nodes`
+//! and `--epochs` override either. Both schedulers run the *same* seeded
+//! fleet, so their final RMSE must agree to the bit — the benchmark
+//! fails loudly if the parallel run diverges, making the artifact an
+//! equivalence proof as well as a timing.
+//!
+//! Scheduler speedup is bounded by the host's cores (`host_cpus` in the
+//! JSON): on a single-core container the pool can only tie the
+//! sequential driver; the committed numbers record whatever the build
+//! host honestly measured.
+
+use rex_bench::{output, BenchArgs};
+use rex_core::builder::{build_mf_nodes, NodeSeeds};
+use rex_core::config::{ExecutionMode, GossipAlgorithm, ProtocolConfig, SharingMode, WireCodec};
+use rex_core::engine::{Driver, Engine, EngineConfig, EngineResult, TimeAxis};
+use rex_core::Node;
+use rex_data::{Partition, SyntheticConfig, TrainTestSplit};
+use rex_ml::{MfHyperParams, MfModel};
+use rex_net::mem::MemNetwork;
+use rex_topology::TopologySpec;
+use std::time::Instant;
+
+/// Builds the scheduler benchmark's fleet: `n` nodes over a small world,
+/// two users per node (the chaos suite's shape, scaled up).
+fn scale_fleet(n: usize, sharing: SharingMode) -> Vec<Node<MfModel>> {
+    let ds = SyntheticConfig {
+        num_users: (2 * n) as u32,
+        num_items: 160,
+        num_ratings: 125 * n,
+        seed: 42,
+        ..SyntheticConfig::default()
+    }
+    .generate();
+    let split = TrainTestSplit::standard(&ds, 7);
+    let part = Partition::multi_user(&split, n);
+    let graph = TopologySpec::SmallWorld.build(n, 5);
+    build_mf_nodes(
+        &part,
+        &graph,
+        ds.num_users,
+        ds.num_items,
+        MfHyperParams::default(),
+        ProtocolConfig {
+            sharing,
+            algorithm: GossipAlgorithm::DPsgd,
+            points_per_epoch: 40,
+            steps_per_epoch: 100,
+            seed: 17,
+            ..ProtocolConfig::default()
+        },
+        NodeSeeds::default(),
+    )
+}
+
+fn engine_config(epochs: usize, driver: Driver) -> EngineConfig {
+    EngineConfig {
+        epochs,
+        execution: ExecutionMode::Native,
+        time: TimeAxis::Simulated(Default::default()),
+        driver,
+        processes_per_platform: 1,
+        seed: 0xE0,
+        faults: None,
+    }
+}
+
+fn run_driver(n: usize, epochs: usize, driver: Driver) -> (f64, EngineResult) {
+    let mut nodes = scale_fleet(n, SharingMode::RawData);
+    let start = Instant::now();
+    let result =
+        Engine::<MfModel, MemNetwork>::new(MemNetwork::new(n), engine_config(epochs, driver))
+            .run("scale", &mut nodes);
+    (start.elapsed().as_secs_f64(), result)
+}
+
+/// One codec-comparison arm on the Table-IV quick workload (200 users ×
+/// 3000 items over 8 fully connected nodes — `SgxScale::fig6_quick`).
+struct CodecRow {
+    sharing: &'static str,
+    codec: &'static str,
+    bytes_per_node_per_epoch: f64,
+    final_rmse_bits: u64,
+}
+
+fn run_codec_arm(sharing: SharingMode, codec: WireCodec, epochs: usize) -> CodecRow {
+    let ds = SyntheticConfig {
+        num_users: 200,
+        num_items: 3_000,
+        num_ratings: 33_000,
+        seed: 0xBE7C,
+        ..SyntheticConfig::default()
+    }
+    .generate();
+    let split = TrainTestSplit::standard(&ds, 2);
+    let part = Partition::multi_user(&split, 8);
+    let graph = TopologySpec::FullyConnected.build(8, 0);
+    let mut nodes = build_mf_nodes(
+        &part,
+        &graph,
+        ds.num_users,
+        ds.num_items,
+        MfHyperParams::default(),
+        ProtocolConfig {
+            sharing,
+            codec,
+            ..ProtocolConfig::default()
+        },
+        NodeSeeds::default(),
+    );
+    let result = Engine::<MfModel, MemNetwork>::new(
+        MemNetwork::new(8),
+        engine_config(epochs, Driver::WorkSteal { workers: 0 }),
+    )
+    .run("codec", &mut nodes);
+    CodecRow {
+        sharing: match sharing {
+            SharingMode::RawData => "raw",
+            SharingMode::Model => "model",
+        },
+        codec: if codec.is_sparse() { "sparse" } else { "dense" },
+        bytes_per_node_per_epoch: result.trace.total_bytes_per_node() / epochs as f64,
+        final_rmse_bits: result.trace.final_rmse().unwrap_or(f64::NAN).to_bits(),
+    }
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let mode = if args.full { "full" } else { "quick" };
+    let nodes = args.nodes.unwrap_or(if args.full { 1024 } else { 512 });
+    let epochs = args.epochs.unwrap_or(if args.full { 10 } else { 5 });
+    let host_cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    // Warm both drivers (allocator, page cache) before timing anything,
+    // so run order does not bias the comparison.
+    let _ = run_driver(64, 1, Driver::Lockstep { parallel: false });
+    let _ = run_driver(64, 1, Driver::WorkSteal { workers: 0 });
+
+    eprintln!("[bench_scale] {nodes} nodes x {epochs} epochs, sequential driver...");
+    let (seq_secs, seq) = run_driver(nodes, epochs, Driver::Lockstep { parallel: false });
+    eprintln!("[bench_scale] work-stealing pool ({host_cpus} workers)...");
+    let (pool_secs, pool) = run_driver(nodes, epochs, Driver::WorkSteal { workers: 0 });
+
+    let seq_rmse = seq.trace.final_rmse().expect("sequential run has epochs");
+    let pool_rmse = pool.trace.final_rmse().expect("pool run has epochs");
+    assert_eq!(
+        seq_rmse.to_bits(),
+        pool_rmse.to_bits(),
+        "work-stealing scheduler diverged from the sequential driver"
+    );
+    let speedup = seq_secs / pool_secs;
+    println!(
+        "scheduler ({nodes} nodes x {epochs} epochs, {host_cpus} cores): \
+         sequential {seq_secs:.2}s, work-steal {pool_secs:.2}s, speedup {speedup:.2}x, \
+         final rmse {seq_rmse:.4} (bit-identical)"
+    );
+
+    let codec_epochs = if args.full { 10 } else { 5 };
+    let mut codec_rows = Vec::new();
+    for sharing in [SharingMode::RawData, SharingMode::Model] {
+        for codec in [WireCodec::Dense, WireCodec::sparse()] {
+            eprintln!("[bench_scale] codec arm: {:?} / {:?}...", sharing, codec);
+            codec_rows.push(run_codec_arm(sharing, codec, codec_epochs));
+        }
+    }
+    println!("codec (table4 workload, 8 nodes x {codec_epochs} epochs):");
+    for r in &codec_rows {
+        println!(
+            "  {:<6} {:<6}: {:>10.0} B/node/epoch",
+            r.sharing, r.codec, r.bytes_per_node_per_epoch
+        );
+    }
+    // The artifact's second claim: sparse moves fewer bytes in both
+    // sharing modes, and sparse model sharing learns identically.
+    for pair in codec_rows.chunks(2) {
+        assert!(
+            pair[1].bytes_per_node_per_epoch < pair[0].bytes_per_node_per_epoch,
+            "{}: sparse did not reduce bytes",
+            pair[0].sharing
+        );
+    }
+    assert_eq!(
+        codec_rows[2].final_rmse_bits, codec_rows[3].final_rmse_bits,
+        "sparse model sharing changed the learning trajectory"
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"bench\": \"scale\",\n  \"mode\": \"{mode}\",\n  \"host_cpus\": {host_cpus},\n"
+    ));
+    json.push_str(&format!(
+        "  \"scheduler\": {{\"nodes\": {nodes}, \"epochs\": {epochs}, \"workers\": {host_cpus}, \
+         \"sequential_secs\": {seq_secs:.3}, \"work_steal_secs\": {pool_secs:.3}, \
+         \"speedup\": {speedup:.3}, \"final_rmse_bits_equal\": true, \
+         \"final_rmse_bits\": \"{:#018x}\"}},\n",
+        seq_rmse.to_bits()
+    ));
+    json.push_str("  \"codec\": [\n");
+    for (i, r) in codec_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"sharing\": \"{}\", \"codec\": \"{}\", \"epochs\": {codec_epochs}, \
+             \"bytes_per_node_per_epoch\": {:.1}, \"final_rmse_bits\": \"{:#018x}\"}}{}\n",
+            r.sharing,
+            r.codec,
+            r.bytes_per_node_per_epoch,
+            r.final_rmse_bits,
+            if i + 1 < codec_rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    match output::save("BENCH_scale.json", &json) {
+        Ok(path) => println!("[saved] {}", path.display()),
+        Err(e) => {
+            eprintln!("could not save BENCH_scale.json: {e}");
+            std::process::exit(1);
+        }
+    }
+}

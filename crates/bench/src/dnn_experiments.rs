@@ -93,6 +93,7 @@ pub fn run_dnn_arm(
             points_per_epoch: scale.points_per_epoch,
             steps_per_epoch: scale.steps_per_epoch,
             seed: scale.seed ^ 0x0883,
+            ..ProtocolConfig::default()
         },
         NodeSeeds::default(),
     );

@@ -159,6 +159,7 @@ pub fn build_fleet(
             points_per_epoch: scale.points_per_epoch,
             steps_per_epoch: scale.steps_per_epoch,
             seed: scale.seed ^ 0x0DE5,
+            ..ProtocolConfig::default()
         },
         NodeSeeds::default(),
     )

@@ -183,6 +183,7 @@ pub fn run_arm_on(scale: &SgxScale, arm: Arm, backend: ArmBackend) -> ThreadedRe
             points_per_epoch: 300,
             steps_per_epoch: 300,
             seed: scale.seed ^ 0x3A1,
+            ..ProtocolConfig::default()
         },
         NodeSeeds::default(),
     );

@@ -43,6 +43,7 @@ pub fn run_centralized<M: Model>(
             points_per_epoch: 0,
             steps_per_epoch,
             seed,
+            ..ProtocolConfig::default()
         },
     );
     let mut nodes = vec![node];

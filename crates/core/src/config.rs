@@ -62,6 +62,49 @@ impl ExecutionMode {
     }
 }
 
+/// How payloads are laid out on the wire (the sparse-delta codec knob).
+///
+/// `Dense` is the paper's byte-accounting baseline: full triplet batches
+/// for raw sharing, the whole serialized model for model sharing.
+/// `Sparse` routes both sharing modes through the compact encodings:
+/// raw batches are delta/nibble-packed (`rex_net::compress`), models go
+/// out as **sparse deltas** — only the rows that changed since the
+/// fleet's shared initialization, falling back to the dense form once
+/// the changed-row density crosses `max_density`. Model deltas
+/// reconstruct bit-exactly, so sparse model sharing follows the *same*
+/// learning trajectory as dense mode with fewer wire bytes; sparse raw
+/// batches canonicalize order (batches are sets), which resamples the
+/// store growth order — still deterministic, just a different stream.
+///
+/// The whole fleet must agree on the codec (receivers of a sparse
+/// payload need the shared reference model to decode deltas against).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WireCodec {
+    /// Full payloads, byte-for-byte as the paper accounts them.
+    Dense,
+    /// Compact payloads: packed raw batches + sparse model deltas.
+    Sparse {
+        /// Changed-row density above which model deltas fall back to the
+        /// dense encoding (a delta row costs slightly more than a dense
+        /// row, so past ~0.9 the delta stops paying for itself).
+        max_density: f64,
+    },
+}
+
+impl WireCodec {
+    /// The sparse codec with its default fallback threshold.
+    #[must_use]
+    pub fn sparse() -> Self {
+        WireCodec::Sparse { max_density: 0.9 }
+    }
+
+    /// Whether this is a sparse codec.
+    #[must_use]
+    pub fn is_sparse(&self) -> bool {
+        matches!(self, WireCodec::Sparse { .. })
+    }
+}
+
 /// Per-node protocol parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProtocolConfig {
@@ -77,6 +120,8 @@ pub struct ProtocolConfig {
     pub steps_per_epoch: usize,
     /// Base RNG seed; node `i` uses `seed + i`.
     pub seed: u64,
+    /// Wire layout of the shared payloads.
+    pub codec: WireCodec,
 }
 
 impl Default for ProtocolConfig {
@@ -87,6 +132,7 @@ impl Default for ProtocolConfig {
             points_per_epoch: 300,
             steps_per_epoch: 300,
             seed: 7,
+            codec: WireCodec::Dense,
         }
     }
 }
@@ -123,5 +169,12 @@ mod tests {
     fn execution_mode_flags() {
         assert!(!ExecutionMode::Native.is_sgx());
         assert!(ExecutionMode::Sgx(SgxCostModel::default()).is_sgx());
+    }
+
+    #[test]
+    fn codec_flags_and_default() {
+        assert!(!WireCodec::Dense.is_sparse());
+        assert!(WireCodec::sparse().is_sparse());
+        assert_eq!(ProtocolConfig::default().codec, WireCodec::Dense);
     }
 }

@@ -89,6 +89,18 @@ pub enum Driver {
     /// barrier per epoch — the paper's deployment shape. Requires a
     /// transport whose [`Transport::into_endpoints`] returns `Some`.
     ThreadPerNode,
+    /// Lockstep rounds executed by a **fixed work-stealing worker pool**
+    /// ([`crate::pool`]): workers stay alive across epochs and steal node
+    /// epochs from each other's deques, so skewed per-node costs (growing
+    /// stores, crashed nodes) no longer stall a whole chunk. Scales the
+    /// fabric view to 1000+ nodes in-process; results are bit-identical
+    /// to [`Driver::Lockstep`] (outputs are keyed by node id and sends
+    /// are applied in canonical node order after each phase). Works with
+    /// any [`Transport`] and either time axis.
+    WorkSteal {
+        /// Worker threads; `0` means one per available CPU core.
+        workers: usize,
+    },
 }
 
 /// Full engine configuration.
@@ -229,7 +241,64 @@ impl<M: Model, T: Transport> Engine<M, T> {
         match self.cfg.driver {
             Driver::Lockstep { parallel } => self.run_lockstep(name, nodes, setup_ns, parallel),
             Driver::ThreadPerNode => self.run_thread_per_node(name, nodes, setup_ns),
+            Driver::WorkSteal { workers } => self.run_work_steal(name, nodes, setup_ns, workers),
         }
+    }
+
+    /// The shared round loop of the lockstep-shaped drivers
+    /// ([`Driver::Lockstep`] and [`Driver::WorkSteal`]): per epoch —
+    /// `epoch_begin`, crash mask, `execute` (drain every mailbox and run
+    /// every live node, however the driver schedules that), apply sends
+    /// in deterministic node order, `flush`, drain delivery counters,
+    /// advance the clock, record the trace. Keeping this sequencing in
+    /// exactly one place is what makes the drivers bit-identical *by
+    /// construction* — a scheduling strategy only supplies `execute`.
+    ///
+    /// `execute` receives the transport (for `recv`) and the epoch's
+    /// down mask, and returns per-node outputs in node order (`None` for
+    /// crash-stopped nodes).
+    fn run_rounds(
+        cfg: &EngineConfig,
+        transport: &mut T,
+        name: &str,
+        setup_ns: u64,
+        n: usize,
+        mut execute: impl FnMut(&mut T, &[bool]) -> Vec<Option<EpochOutput>>,
+    ) -> ExperimentTrace {
+        let mut clock: Box<dyn Clock> = match &cfg.time {
+            TimeAxis::Simulated(_) => Box::new(VirtualClock::new()),
+            TimeAxis::Wall => Box::new(WallClock::start()),
+        };
+        clock.advance(setup_ns);
+        let mut trace = ExperimentTrace::new(name);
+
+        for epoch in 0..cfg.epochs {
+            transport.epoch_begin(epoch);
+            let down = down_mask(cfg.faults.as_ref(), n, epoch);
+
+            let results = execute(transport, &down);
+
+            // Apply sends in deterministic node order, then make them
+            // visible for the next round.
+            let mut reports = Vec::with_capacity(n);
+            for (from, result) in results.into_iter().enumerate() {
+                match result {
+                    Some((outgoing, report)) => {
+                        for (dest, bytes) in outgoing {
+                            transport.send(from, dest, bytes);
+                        }
+                        reports.push(Some(report));
+                    }
+                    None => reports.push(None),
+                }
+            }
+            transport.flush();
+            let delivery = transport.take_delivery();
+
+            advance_epoch_clock(&cfg.time, clock.as_mut(), &reports);
+            trace.push(aggregate_epoch(epoch, clock.now_ns(), &reports, delivery));
+        }
+        trace
     }
 
     /// Lockstep rounds over the fabric view.
@@ -241,84 +310,100 @@ impl<M: Model, T: Transport> Engine<M, T> {
         parallel: bool,
     ) -> EngineResult {
         let n = nodes.len();
-        let mut clock: Box<dyn Clock> = match &self.cfg.time {
-            TimeAxis::Simulated(_) => Box::new(VirtualClock::new()),
-            TimeAxis::Wall => Box::new(WallClock::start()),
-        };
-        clock.advance(setup_ns);
-        let mut trace = ExperimentTrace::new(name);
-
-        for epoch in 0..self.cfg.epochs {
-            self.transport.epoch_begin(epoch);
-            let down = down_mask(self.cfg.faults.as_ref(), n, epoch);
-
-            // Deliver last epoch's messages, canonically ordered. A
-            // crash-stopped node's mailbox is drained and discarded —
-            // whatever was in flight to it is lost, exactly as in the
-            // thread-per-node driver.
-            let inboxes: Vec<Vec<Envelope>> = (0..n)
-                .map(|id| {
-                    let inbox = self.transport.recv(id);
-                    if down[id] {
-                        Vec::new()
-                    } else {
-                        inbox
-                    }
-                })
-                .collect();
-
-            let results = run_epoch(nodes, inboxes, &down, parallel);
-
-            // Apply sends in deterministic node order, then make them
-            // visible for the next round.
-            let mut reports = Vec::with_capacity(n);
-            for (from, result) in results.into_iter().enumerate() {
-                match result {
-                    Some((outgoing, report)) => {
-                        for (dest, bytes) in outgoing {
-                            self.transport.send(from, dest, bytes);
-                        }
-                        reports.push(Some(report));
-                    }
-                    None => reports.push(None),
-                }
-            }
-            self.transport.flush();
-            let delivery = self.transport.take_delivery();
-
-            match &self.cfg.time {
-                TimeAxis::Simulated(link) => {
-                    // Epoch duration: slowest live node's compute + its
-                    // link time (full-duplex: the max of its up/down
-                    // volumes).
-                    let mut epoch_ns = 0u64;
-                    for report in reports.iter().flatten() {
-                        let volume = report.bytes_out.max(report.bytes_in);
-                        let net_ns = if volume > 0 {
-                            link.transfer_ns(volume)
+        let cfg = self.cfg.clone();
+        let trace = Self::run_rounds(
+            &cfg,
+            &mut self.transport,
+            name,
+            setup_ns,
+            n,
+            |transport, down| {
+                // Deliver last epoch's messages, canonically ordered. A
+                // crash-stopped node's mailbox is drained and discarded —
+                // whatever was in flight to it is lost, exactly as in the
+                // thread-per-node driver.
+                let inboxes: Vec<Vec<Envelope>> = (0..n)
+                    .map(|id| {
+                        let inbox = transport.recv(id);
+                        if down[id] {
+                            Vec::new()
                         } else {
-                            0
-                        };
-                        epoch_ns = epoch_ns.max(report.stage_times.total() + net_ns);
-                    }
-                    clock.advance(epoch_ns);
-                }
-                TimeAxis::Wall => {
-                    // Wall time elapses on its own; advance the clock by
-                    // the modelled hardware charge of the slowest node
-                    // (WallClock accumulates it on top of elapsed time).
-                    let max_sgx = reports
-                        .iter()
-                        .flatten()
-                        .map(|r| r.sgx_overhead_ns)
-                        .max()
-                        .unwrap_or(0);
-                    clock.advance(max_sgx);
-                }
-            }
+                            inbox
+                        }
+                    })
+                    .collect();
+                run_epoch(nodes, inboxes, down, parallel)
+            },
+        );
 
-            trace.push(aggregate_epoch(epoch, clock.now_ns(), &reports, delivery));
+        EngineResult {
+            trace,
+            setup_ns,
+            final_stats: self.transport.all_stats(),
         }
+    }
+
+    /// Lockstep rounds on the fixed work-stealing pool: the same round
+    /// loop as [`Driver::Lockstep`] (shared via [`Engine::run_rounds`]),
+    /// but node epochs execute on workers that persist across epochs and
+    /// steal from each other. The fleet is owned by the pool for the run
+    /// and handed back afterwards.
+    fn run_work_steal(
+        mut self,
+        name: &str,
+        nodes: &mut Vec<Node<M>>,
+        setup_ns: u64,
+        workers: usize,
+    ) -> EngineResult {
+        let n = nodes.len();
+        let workers = if workers == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4)
+        } else {
+            workers
+        }
+        .min(n)
+        .max(1);
+
+        let cfg = self.cfg.clone();
+        let pool = crate::pool::WorkStealPool::new(std::mem::take(nodes), workers);
+        let trace = std::thread::scope(|scope| {
+            for w in 0..workers {
+                let pool = &pool;
+                scope.spawn(move || pool.worker_loop(w));
+            }
+            // Releases the workers on every exit path — including an
+            // unwind from a transport failure or a re-raised worker
+            // panic — so the scope join can never deadlock.
+            let _guard = crate::pool::ShutdownGuard(&pool);
+
+            Self::run_rounds(
+                &cfg,
+                &mut self.transport,
+                name,
+                setup_ns,
+                n,
+                |transport, down| {
+                    // Stage inputs: drain every mailbox (a crash-stopped
+                    // node's inbox is drained and discarded, as in the
+                    // other drivers), then run one pool phase over the
+                    // live ids.
+                    let mut live = Vec::with_capacity(n);
+                    for (id, &is_down) in down.iter().enumerate() {
+                        let inbox = transport.recv(id);
+                        pool.load(id, if is_down { Vec::new() } else { inbox });
+                        if !is_down {
+                            live.push(id);
+                        }
+                    }
+                    pool.run_phase(&live);
+                    pool.check_panic();
+                    (0..n).map(|id| pool.take_output(id)).collect()
+                },
+            )
+        });
+        *nodes = pool.into_nodes();
 
         EngineResult {
             trace,
@@ -433,6 +518,38 @@ impl<M: Model, T: Transport> Engine<M, T> {
             trace,
             setup_ns,
             final_stats,
+        }
+    }
+}
+
+/// Advances the epoch clock by the configured time model: on a simulated
+/// axis, the slowest live node's compute plus its link-model transfer
+/// time (full-duplex: the max of its up/down volumes); on the wall axis,
+/// only the modelled hardware charge of the slowest node (real time
+/// elapses on its own — `WallClock` stacks the charges on top).
+fn advance_epoch_clock(time: &TimeAxis, clock: &mut dyn Clock, reports: &[Option<EpochReport>]) {
+    match time {
+        TimeAxis::Simulated(link) => {
+            let mut epoch_ns = 0u64;
+            for report in reports.iter().flatten() {
+                let volume = report.bytes_out.max(report.bytes_in);
+                let net_ns = if volume > 0 {
+                    link.transfer_ns(volume)
+                } else {
+                    0
+                };
+                epoch_ns = epoch_ns.max(report.stage_times.total() + net_ns);
+            }
+            clock.advance(epoch_ns);
+        }
+        TimeAxis::Wall => {
+            let max_sgx = reports
+                .iter()
+                .flatten()
+                .map(|r| r.sgx_overhead_ns)
+                .max()
+                .unwrap_or(0);
+            clock.advance(max_sgx);
         }
     }
 }

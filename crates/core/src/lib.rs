@@ -28,8 +28,11 @@
 //! [`engine::Engine`]:
 //!
 //! * [`engine`] — the shared pipeline: TEE setup, the epoch loop
-//!   (lockstep or thread-per-node), and trace aggregation, generic over
-//!   `rex_net::Transport`;
+//!   (lockstep, thread-per-node, or the work-stealing pool), and trace
+//!   aggregation, generic over `rex_net::Transport`;
+//! * [`pool`] — the fixed work-stealing worker pool behind
+//!   [`engine::Driver::WorkSteal`], which scales the fabric view to
+//!   1000+ nodes in-process while staying bit-identical to lockstep;
 //! * [`setup`] — the one TEE provisioning + pairwise-attestation path;
 //! * [`runner::run_simulation`] — shim: `MemNetwork` fabric, lockstep
 //!   rounds, simulated time (discrete-event simulator, any node count);
@@ -43,13 +46,14 @@ pub mod centralized;
 pub mod config;
 pub mod engine;
 pub mod node;
+pub mod pool;
 pub mod runner;
 pub mod setup;
 pub mod store;
 pub mod threaded;
 
 pub use builder::{build_dnn_nodes, build_mf_nodes, NodeSeeds};
-pub use config::{ExecutionMode, GossipAlgorithm, ProtocolConfig, SharingMode};
+pub use config::{ExecutionMode, GossipAlgorithm, ProtocolConfig, SharingMode, WireCodec};
 pub use engine::{Driver, Engine, EngineConfig, EngineResult, TimeAxis};
 pub use node::Node;
 pub use runner::{run_simulation, SimulationConfig};

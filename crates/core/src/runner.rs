@@ -112,6 +112,7 @@ mod tests {
                 points_per_epoch: 40,
                 steps_per_epoch: 150,
                 seed: 11,
+                ..ProtocolConfig::default()
             },
             NodeSeeds::default(),
         )

@@ -97,6 +97,7 @@ mod tests {
                 points_per_epoch: 30,
                 steps_per_epoch: 100,
                 seed: 21,
+                ..ProtocolConfig::default()
             },
             NodeSeeds::default(),
         )

@@ -54,6 +54,7 @@ fn sgx_pair() -> Vec<Node<MfModel>> {
             points_per_epoch: 30,
             steps_per_epoch: 60,
             seed: 17,
+            ..ProtocolConfig::default()
         },
         NodeSeeds::default(),
     )

@@ -90,6 +90,15 @@ impl<'a> Reader<'a> {
         let bytes = self.take(n.div_ceil(8))?;
         Ok((0..n).map(|i| bytes[i / 8] & (1 << (i % 8)) != 0).collect())
     }
+
+    /// Reads `n` u32 values.
+    pub fn u32_vec(&mut self, n: usize) -> Result<Vec<u32>, ShortBuffer> {
+        let bytes = self.take(n * 4)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
 }
 
 /// Appends a u8.
@@ -123,6 +132,26 @@ pub fn put_f32_slice(buf: &mut Vec<u8>, vs: &[f32]) {
     for v in vs {
         buf.extend_from_slice(&v.to_le_bytes());
     }
+}
+
+/// Appends a slice of u32 values.
+pub fn put_u32_slice(buf: &mut Vec<u8>, vs: &[u32]) {
+    buf.reserve(vs.len() * 4);
+    for v in vs {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// FNV-1a 64-bit hash — the cheap content fingerprint the sparse-delta
+/// model codec uses to guard against mismatched decode references.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 /// Appends a bit-packed bool vector.
@@ -177,6 +206,22 @@ mod tests {
             let back = Reader::new(&buf).bool_vec(n).unwrap();
             assert_eq!(back, vs, "n = {n}");
         }
+    }
+
+    #[test]
+    fn u32_slice_roundtrip() {
+        let vs: Vec<u32> = (0..57).map(|i| i * 0x0101_0101).collect();
+        let mut buf = Vec::new();
+        put_u32_slice(&mut buf, &vs);
+        assert_eq!(buf.len(), 57 * 4);
+        assert_eq!(Reader::new(&buf).u32_vec(57).unwrap(), vs);
+    }
+
+    #[test]
+    fn fnv_discriminates_and_is_stable() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"rex"), fnv1a64(b"rex"));
+        assert_ne!(fnv1a64(b"rex"), fnv1a64(b"rfx"));
     }
 
     #[test]

@@ -13,6 +13,7 @@ use rex_data::dist::normal;
 use rex_data::Rating;
 
 const MAGIC: u32 = 0x4d46_3031; // "MF01"
+const MAGIC_DELTA: u32 = 0x4d46_4431; // "MFD1"
 
 /// Hyperparameters of the MF recommender.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -173,6 +174,83 @@ impl MfModel {
     #[must_use]
     pub fn has_item(&self, item: u32) -> bool {
         self.item_seen[item as usize]
+    }
+
+    /// Row indices of one table whose parameters differ from `reference`
+    /// (embedding row, bias, or seen flag — compared bit-for-bit via
+    /// `f32` equality, so reconstruction from the delta is exact).
+    #[allow(clippy::too_many_arguments)]
+    fn changed_rows(
+        rows: usize,
+        k: usize,
+        emb: &[f32],
+        bias: &[f32],
+        seen: &[bool],
+        ref_emb: &[f32],
+        ref_bias: &[f32],
+        ref_seen: &[bool],
+    ) -> Vec<u32> {
+        (0..rows)
+            .filter(|&row| {
+                bias[row] != ref_bias[row]
+                    || seen[row] != ref_seen[row]
+                    || emb[row * k..(row + 1) * k] != ref_emb[row * k..(row + 1) * k]
+            })
+            .map(|row| row as u32)
+            .collect()
+    }
+
+    fn put_delta_section(
+        buf: &mut Vec<u8>,
+        rows: &[u32],
+        k: usize,
+        emb: &[f32],
+        bias: &[f32],
+        seen: &[bool],
+    ) {
+        bytesio::put_u32(buf, rows.len() as u32);
+        bytesio::put_u32_slice(buf, rows);
+        let flags: Vec<bool> = rows.iter().map(|&row| seen[row as usize]).collect();
+        bytesio::put_bool_slice(buf, &flags);
+        for &row in rows {
+            let row = row as usize;
+            bytesio::put_f32(buf, bias[row]);
+            bytesio::put_f32_slice(buf, &emb[row * k..(row + 1) * k]);
+        }
+    }
+
+    fn read_delta_section(
+        r: &mut Reader<'_>,
+        rows: usize,
+        k: usize,
+        emb: &mut [f32],
+        bias: &mut [f32],
+        seen: &mut [bool],
+    ) -> Result<(), ModelCodecError> {
+        let count = r.u32()? as usize;
+        if count > rows {
+            return Err(ModelCodecError::Malformed(format!(
+                "delta claims {count} changed rows of {rows}"
+            )));
+        }
+        let ids = r.u32_vec(count)?;
+        for &row in &ids {
+            if row as usize >= rows {
+                return Err(ModelCodecError::Malformed(format!(
+                    "delta row {row} outside table of {rows}"
+                )));
+            }
+        }
+        // Seen flags travel bit-packed after the ids, one per carried row.
+        let flags = r.bool_vec(count)?;
+        for (&row, &flag) in ids.iter().zip(&flags) {
+            let row = row as usize;
+            bias[row] = r.f32()?;
+            let values = r.f32_vec(k)?;
+            emb[row * k..(row + 1) * k].copy_from_slice(&values);
+            seen[row] = flag;
+        }
+        Ok(())
     }
 
     fn check_compatible(&self, other: &Self) {
@@ -400,6 +478,120 @@ impl Model for MfModel {
     fn memory_bytes(&self) -> usize {
         self.param_count() * 4 + self.user_seen.len() + self.item_seen.len()
     }
+
+    /// Fingerprint over the parameter tables and seen masks — the global
+    /// mean is deliberately excluded, because every node's reference is
+    /// the fleet's shared initialization *except* for its locally derived
+    /// mean, and the delta carries the mean explicitly.
+    fn ref_fingerprint(&self) -> u64 {
+        let mut bytes = Vec::with_capacity(self.param_count() * 4);
+        bytesio::put_f32_slice(&mut bytes, &self.b);
+        bytesio::put_f32_slice(&mut bytes, &self.c);
+        bytesio::put_f32_slice(&mut bytes, &self.x);
+        bytesio::put_f32_slice(&mut bytes, &self.y);
+        bytesio::put_bool_slice(&mut bytes, &self.user_seen);
+        bytesio::put_bool_slice(&mut bytes, &self.item_seen);
+        bytesio::fnv1a64(&bytes)
+    }
+
+    fn delta_bytes(
+        &self,
+        reference: &Self,
+        ref_fingerprint: u64,
+        max_density: f64,
+    ) -> Option<Vec<u8>> {
+        self.check_compatible(reference);
+        let k = self.hp.k;
+        let users = Self::changed_rows(
+            self.num_users as usize,
+            k,
+            &self.x,
+            &self.b,
+            &self.user_seen,
+            &reference.x,
+            &reference.b,
+            &reference.user_seen,
+        );
+        let items = Self::changed_rows(
+            self.num_items as usize,
+            k,
+            &self.y,
+            &self.c,
+            &self.item_seen,
+            &reference.y,
+            &reference.c,
+            &reference.item_seen,
+        );
+        let total_rows = (self.num_users + self.num_items) as usize;
+        let density = (users.len() + items.len()) as f64 / total_rows.max(1) as f64;
+        if density > max_density {
+            return None;
+        }
+        let mut buf = Vec::with_capacity(32 + (users.len() + items.len()) * (8 + k * 4));
+        bytesio::put_u32(&mut buf, MAGIC_DELTA);
+        bytesio::put_u32(&mut buf, self.num_users);
+        bytesio::put_u32(&mut buf, self.num_items);
+        bytesio::put_u32(&mut buf, k as u32);
+        bytesio::put_u64(&mut buf, ref_fingerprint);
+        bytesio::put_f32(&mut buf, self.global_mean);
+        Self::put_delta_section(&mut buf, &users, k, &self.x, &self.b, &self.user_seen);
+        Self::put_delta_section(&mut buf, &items, k, &self.y, &self.c, &self.item_seen);
+        Some(buf)
+    }
+
+    fn apply_delta(
+        reference: &Self,
+        ref_fingerprint: u64,
+        bytes: &[u8],
+    ) -> Result<Self, ModelCodecError> {
+        let mut r = Reader::new(bytes);
+        if r.u32()? != MAGIC_DELTA {
+            return Err(ModelCodecError::Malformed("bad delta magic".into()));
+        }
+        let num_users = r.u32()?;
+        let num_items = r.u32()?;
+        let k = r.u32()? as usize;
+        if num_users != reference.num_users
+            || num_items != reference.num_items
+            || k != reference.hp.k
+        {
+            return Err(ModelCodecError::Incompatible(format!(
+                "delta shape {num_users}x{num_items} k={k} vs reference {}x{} k={}",
+                reference.num_users, reference.num_items, reference.hp.k
+            )));
+        }
+        let fingerprint = r.u64()?;
+        if fingerprint != ref_fingerprint {
+            return Err(ModelCodecError::Incompatible(format!(
+                "delta encoded against reference {fingerprint:#x}, ours is {ref_fingerprint:#x}"
+            )));
+        }
+        let mut model = reference.clone();
+        model.global_mean = r.f32()?;
+        Self::read_delta_section(
+            &mut r,
+            num_users as usize,
+            k,
+            &mut model.x,
+            &mut model.b,
+            &mut model.user_seen,
+        )?;
+        Self::read_delta_section(
+            &mut r,
+            num_items as usize,
+            k,
+            &mut model.y,
+            &mut model.c,
+            &mut model.item_seen,
+        )?;
+        if r.remaining() != 0 {
+            return Err(ModelCodecError::Malformed(format!(
+                "{} trailing bytes",
+                r.remaining()
+            )));
+        }
+        Ok(model)
+    }
 }
 
 #[cfg(test)]
@@ -601,6 +793,95 @@ mod tests {
         let mut a = MfModel::new(2, 2, MfHyperParams::default(), 3.0, 0);
         let b = MfModel::new(3, 2, MfHyperParams::default(), 3.0, 0);
         a.merge(&[(0.5, &b)], 0.5);
+    }
+
+    #[test]
+    fn delta_roundtrip_is_bit_exact() {
+        let reference = MfModel::new(20, 50, MfHyperParams::default(), 3.5, 1);
+        let fp = reference.ref_fingerprint();
+        let mut m = reference.clone();
+        m.set_global_mean(2.75);
+        let mut rng = StdRng::seed_from_u64(9);
+        m.train_steps(&tiny_data(), 40, &mut rng);
+        let delta = m.delta_bytes(&reference, fp, 1.0).expect("delta encodes");
+        let back = MfModel::apply_delta(&reference, fp, &delta).unwrap();
+        // Reconstruction is bit-exact: the full dense serializations agree.
+        assert_eq!(back.to_bytes(), m.to_bytes());
+        // And the delta beats the dense wire form for this few-rows case.
+        assert!(
+            delta.len() < m.wire_size(),
+            "{} vs {}",
+            delta.len(),
+            m.wire_size()
+        );
+    }
+
+    #[test]
+    fn empty_delta_carries_only_the_mean() {
+        let reference = MfModel::new(8, 8, MfHyperParams::default(), 3.5, 4);
+        let fp = reference.ref_fingerprint();
+        let mut m = reference.clone();
+        m.set_global_mean(4.25);
+        let delta = m
+            .delta_bytes(&reference, fp, 0.0)
+            .expect("zero rows changed");
+        let back = MfModel::apply_delta(&reference, fp, &delta).unwrap();
+        assert_eq!(back.to_bytes(), m.to_bytes());
+        // header (4 u32 + u64 + f32) + two zero-count sections.
+        assert_eq!(delta.len(), 16 + 8 + 4 + 2 * 4);
+    }
+
+    #[test]
+    fn dense_fallback_when_density_crosses_threshold() {
+        let reference = MfModel::new(4, 4, MfHyperParams::default(), 3.5, 4);
+        let fp = reference.ref_fingerprint();
+        let mut m = reference.clone();
+        // Touch one user row + one item row: density 2/8 = 0.25.
+        m.sgd_step(&Rating {
+            user: 1,
+            item: 2,
+            value: 4.0,
+        });
+        assert!(m.delta_bytes(&reference, fp, 0.25).is_some());
+        assert!(m.delta_bytes(&reference, fp, 0.2499).is_none());
+    }
+
+    #[test]
+    fn delta_rejects_wrong_reference_and_garbage() {
+        let reference = MfModel::new(8, 8, MfHyperParams::default(), 3.5, 4);
+        let fp = reference.ref_fingerprint();
+        let mut m = reference.clone();
+        m.sgd_step(&Rating {
+            user: 0,
+            item: 0,
+            value: 5.0,
+        });
+        let delta = m.delta_bytes(&reference, fp, 1.0).unwrap();
+        // A reference with different parameters has a different
+        // fingerprint: decode must refuse, not corrupt.
+        let other = MfModel::new(8, 8, MfHyperParams::default(), 3.5, 99);
+        let other_fp = other.ref_fingerprint();
+        assert_ne!(fp, other_fp);
+        assert!(matches!(
+            MfModel::apply_delta(&other, other_fp, &delta),
+            Err(ModelCodecError::Incompatible(_))
+        ));
+        // Same parameters but a different local mean: same fingerprint —
+        // deltas are exchangeable across nodes by design.
+        let mut mean_shifted = reference.clone();
+        mean_shifted.set_global_mean(1.0);
+        assert_eq!(mean_shifted.ref_fingerprint(), fp);
+        assert!(MfModel::apply_delta(&mean_shifted, fp, &delta).is_ok());
+        // Truncations and tag garbage fail cleanly.
+        for cut in 0..delta.len() {
+            assert!(
+                MfModel::apply_delta(&reference, fp, &delta[..cut]).is_err(),
+                "prefix {cut} accepted"
+            );
+        }
+        let mut bad = delta.clone();
+        bad[0] ^= 0xff;
+        assert!(MfModel::apply_delta(&reference, fp, &bad).is_err());
     }
 
     #[test]

@@ -77,4 +77,53 @@ pub trait Model: Clone + Send + Sync + 'static {
     /// Resident memory estimate in bytes: parameters plus optimizer state
     /// plus masks. Used by the EPC accounting in `rex-tee`.
     fn memory_bytes(&self) -> usize;
+
+    /// Content fingerprint of this model *as a sparse-delta reference*:
+    /// two models with the same fingerprint must be interchangeable as
+    /// the `reference` of [`Model::delta_bytes`] / [`Model::apply_delta`],
+    /// up to fields the delta carries explicitly. Implementations that
+    /// exclude per-node fields (e.g. MF's local global mean) let fleets
+    /// whose references differ only in those fields exchange deltas.
+    fn ref_fingerprint(&self) -> u64 {
+        crate::bytesio::fnv1a64(&self.to_bytes())
+    }
+
+    /// Serializes this model as a **sparse delta** against `reference`:
+    /// only the rows whose parameters differ, keyed by row index — the
+    /// REX wire optimization for model sharing, where early-epoch models
+    /// diverge from the fleet's shared initialization in few rows.
+    ///
+    /// Returns `None` when the changed-row density exceeds `max_density`
+    /// (the dense encoding is then no smaller, so callers fall back to
+    /// [`Model::to_bytes`]) or when the model has no sparse form. The
+    /// default implementation never produces a delta. `ref_fingerprint`
+    /// is the caller-cached [`Model::ref_fingerprint`] of `reference`;
+    /// it is embedded in the encoding so a decoder with a mismatched
+    /// reference rejects instead of silently corrupting.
+    fn delta_bytes(
+        &self,
+        _reference: &Self,
+        _ref_fingerprint: u64,
+        _max_density: f64,
+    ) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Reconstructs the sender's full model from a sparse delta produced
+    /// by [`Model::delta_bytes`]: clones `reference` and overwrites the
+    /// carried rows, bit-exactly. Fails when the embedded fingerprint
+    /// disagrees with `ref_fingerprint` (the decode reference is not the
+    /// encode reference) or the bytes are malformed.
+    fn apply_delta(
+        _reference: &Self,
+        _ref_fingerprint: u64,
+        _bytes: &[u8],
+    ) -> Result<Self, ModelCodecError>
+    where
+        Self: Sized,
+    {
+        Err(ModelCodecError::Incompatible(
+            "model has no sparse-delta form".into(),
+        ))
+    }
 }

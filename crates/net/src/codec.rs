@@ -46,6 +46,8 @@ const TAG_CLEAR: u8 = 4;
 const TAG_RAW_DATA: u8 = 10;
 const TAG_MODEL: u8 = 11;
 const TAG_EMPTY: u8 = 12;
+const TAG_RAW_PACKED: u8 = 13;
+const TAG_MODEL_DELTA: u8 = 14;
 
 /// Sanity cap on encoded vector lengths (16 Mi entries), protecting the
 /// decoder against hostile length fields.
@@ -156,6 +158,17 @@ pub fn encode_plain(p: &Plain) -> Vec<u8> {
             bytesio::put_u32(&mut buf, bytes.len() as u32);
             buf.extend_from_slice(bytes);
         }
+        Plain::RawPacked { ratings, degree } => {
+            bytesio::put_u8(&mut buf, TAG_RAW_PACKED);
+            bytesio::put_u32(&mut buf, *degree);
+            buf.extend_from_slice(&crate::compress::compress_batch(ratings));
+        }
+        Plain::ModelDelta { bytes, degree } => {
+            bytesio::put_u8(&mut buf, TAG_MODEL_DELTA);
+            bytesio::put_u32(&mut buf, *degree);
+            bytesio::put_u32(&mut buf, bytes.len() as u32);
+            buf.extend_from_slice(bytes);
+        }
         Plain::Empty { degree } => {
             bytesio::put_u8(&mut buf, TAG_EMPTY);
             bytesio::put_u32(&mut buf, *degree);
@@ -191,6 +204,24 @@ pub fn decode_plain(bytes: &[u8]) -> Result<Plain, CodecError> {
                 return Err(CodecError::Invalid(format!("model length {len}")));
             }
             Plain::Model {
+                bytes: r.bytes(len as usize)?.to_vec(),
+                degree,
+            }
+        }
+        TAG_RAW_PACKED => {
+            // The packed batch is self-delimiting and last: hand the
+            // decompressor the remainder, which consumes it exactly.
+            let n = r.remaining();
+            let ratings = crate::compress::decompress_batch(r.bytes(n)?)
+                .map_err(|e| CodecError::Invalid(format!("packed batch: {e}")))?;
+            Plain::RawPacked { ratings, degree }
+        }
+        TAG_MODEL_DELTA => {
+            let len = r.u32()?;
+            if len > MAX_LEN {
+                return Err(CodecError::Invalid(format!("delta length {len}")));
+            }
+            Plain::ModelDelta {
                 bytes: r.bytes(len as usize)?.to_vec(),
                 degree,
             }
@@ -292,6 +323,66 @@ mod tests {
             let bytes = encode_plain(&p);
             assert_eq!(decode_plain(&bytes).unwrap(), p);
         }
+    }
+
+    #[test]
+    fn raw_packed_roundtrips_as_a_set_and_beats_dense() {
+        // Half-star grid values survive the nibble packing exactly; order
+        // is canonicalized by the compressor (batches are sets).
+        let ratings: Vec<Rating> = (0..200)
+            .map(|i| Rating {
+                user: i % 7,
+                item: (i * 37) % 500,
+                value: ((i % 10) + 1) as f32 * 0.5,
+            })
+            .collect();
+        let packed = encode_plain(&Plain::RawPacked {
+            ratings: ratings.clone(),
+            degree: 6,
+        });
+        let dense = encode_plain(&Plain::RawData {
+            ratings: ratings.clone(),
+            degree: 6,
+        });
+        assert!(
+            packed.len() * 2 < dense.len(),
+            "packed {} vs dense {}",
+            packed.len(),
+            dense.len()
+        );
+        let back = decode_plain(&packed).unwrap();
+        let Plain::RawPacked {
+            ratings: got,
+            degree,
+        } = back
+        else {
+            panic!("variant changed in roundtrip");
+        };
+        assert_eq!(degree, 6);
+        let key = |r: &Rating| (r.user, r.item, (r.value * 2.0) as u32);
+        let mut a: Vec<_> = ratings.iter().map(key).collect();
+        let mut b: Vec<_> = got.iter().map(key).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn model_delta_roundtrips_and_rejects_hostility() {
+        let p = Plain::ModelDelta {
+            bytes: vec![0x5A; 97],
+            degree: 12,
+        };
+        let enc = encode_plain(&p);
+        assert_eq!(decode_plain(&enc).unwrap(), p);
+        for cut in 0..enc.len() {
+            assert!(decode_plain(&enc[..cut]).is_err(), "prefix {cut} accepted");
+        }
+        // Hostile length prefix refused before allocation.
+        let mut buf = vec![TAG_MODEL_DELTA];
+        buf.extend_from_slice(&0u32.to_le_bytes()); // degree
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(decode_plain(&buf), Err(CodecError::Invalid(_))));
     }
 
     #[test]

@@ -10,8 +10,11 @@
 //! * ratings are stored as **4-bit half-star indices**, two per byte.
 //!
 //! Typical batches shrink ~3× vs the plain 12-byte-triplet encoding,
-//! widening REX's network advantage further. The protocol treats this as
-//! an opt-in alternative to [`crate::codec::encode_plain`]'s raw form.
+//! widening REX's network advantage further. The sparse wire codec
+//! (`WireCodec::Sparse` in `rex-core`) routes raw-data shares through
+//! this encoding via the `Plain::RawPacked` payload variant of
+//! [`crate::codec::encode_plain`]; dense mode keeps the plain triplet
+//! form.
 
 use rex_data::Rating;
 
@@ -120,6 +123,16 @@ pub fn decompress_batch(buf: &[u8]) -> Result<Vec<Rating>, CompressError> {
     let count = read_varint(buf, &mut pos)? as usize;
     if count > 64 * 1024 * 1024 {
         return Err(CompressError(format!("hostile batch count {count}")));
+    }
+    // Reject before allocating: `count` entries need at least two 1-byte
+    // varints each plus the rating nibbles, so a hostile count cannot
+    // claim more entries than the buffer could possibly hold.
+    let min_needed = count * 2 + count.div_ceil(2);
+    if buf.len() - pos < min_needed {
+        return Err(CompressError(format!(
+            "count {count} needs ≥ {min_needed} bytes, {} remain",
+            buf.len() - pos
+        )));
     }
     let mut pairs = Vec::with_capacity(count);
     let mut prev_user = 0u32;
@@ -261,6 +274,21 @@ mod tests {
             );
         }
         assert!(decompress_batch(&[0xff; 4]).is_err());
+    }
+
+    #[test]
+    fn hostile_count_rejected_before_allocation() {
+        // A few header bytes claiming ~64Mi entries must be refused by
+        // the plausibility check, not answered with a half-GiB
+        // `Vec::with_capacity`.
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 64 * 1024 * 1024 - 1);
+        let err = decompress_batch(&buf).unwrap_err();
+        assert!(err.0.contains("needs"), "{err}");
+        // One past the cap hits the count guard instead.
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 64 * 1024 * 1024 + 1);
+        assert!(decompress_batch(&buf).unwrap_err().0.contains("hostile"));
     }
 
     #[test]

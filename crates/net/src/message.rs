@@ -42,6 +42,28 @@ pub enum Plain {
         /// Sender's degree in the topology.
         degree: u32,
     },
+    /// REX raw-data sharing through the sparse wire codec: the same
+    /// rating batch, but delta/nibble-packed on the wire (see
+    /// [`crate::compress`]). Decodes back to the full triplet batch;
+    /// receivers treat it exactly like [`Plain::RawData`]. Batch order
+    /// is not preserved (the store treats batches as sets).
+    RawPacked {
+        /// The carried ratings (encode-side input / decode-side output).
+        ratings: Vec<Rating>,
+        /// Sender's degree in the topology.
+        degree: u32,
+    },
+    /// Model sharing through the sparse wire codec: a `SparseDelta` of
+    /// changed rows against the fleet's shared model initialization
+    /// (`Model::delta_bytes` output). Receivers reconstruct the sender's
+    /// full model bit-exactly via `Model::apply_delta`, then merge as if
+    /// a [`Plain::Model`] had arrived.
+    ModelDelta {
+        /// `Model::delta_bytes` output.
+        bytes: Vec<u8>,
+        /// Sender's degree in the topology.
+        degree: u32,
+    },
     /// A content-free message that still satisfies barrier conditions
     /// (paper Algorithm 2: "a message (possibly empty) from all its
     /// neighbors").
@@ -58,6 +80,8 @@ impl Plain {
         match self {
             Plain::RawData { degree, .. }
             | Plain::Model { degree, .. }
+            | Plain::RawPacked { degree, .. }
+            | Plain::ModelDelta { degree, .. }
             | Plain::Empty { degree } => *degree,
         }
     }

@@ -16,7 +16,7 @@
 //! schedule the in-process backends do. [`ClusterConfig::to_toml`]
 //! round-trips through [`ClusterConfig::parse`].
 
-use rex_core::config::{GossipAlgorithm, ProtocolConfig, SharingMode};
+use rex_core::config::{GossipAlgorithm, ProtocolConfig, SharingMode, WireCodec};
 use rex_net::fault::{CrashSpec, FaultPlan, LinkFaults, PartitionSpec};
 use rex_topology::TopologySpec;
 use std::collections::HashMap;
@@ -53,6 +53,12 @@ pub struct ClusterConfig {
     pub points_per_epoch: usize,
     /// SGD steps per epoch.
     pub steps_per_epoch: usize,
+    /// Wire codec (`codec = "dense" | "sparse"`, with the optional
+    /// `sparse_max_density` float controlling the model-delta dense
+    /// fallback). Every node of a cluster must configure the same codec:
+    /// sparse receivers decode model deltas against the fleet's shared
+    /// initial model.
+    pub codec: WireCodec,
     /// Run inside simulated SGX enclaves (attestation + sealing).
     pub sgx: bool,
     /// REX processes packed per SGX platform.
@@ -94,6 +100,7 @@ impl Default for ClusterConfig {
             protocol_seed: 17,
             points_per_epoch: 40,
             steps_per_epoch: 120,
+            codec: WireCodec::Dense,
             sgx: false,
             processes_per_platform: 1,
             infra_seed: 0xE0,
@@ -408,6 +415,19 @@ impl ClusterConfig {
             "ring" => TopologySpec::Ring,
             other => return Err(format!("topology: unknown topology {other}")),
         };
+        let default_density = match WireCodec::sparse() {
+            WireCodec::Sparse { max_density } => max_density,
+            WireCodec::Dense => unreachable!(),
+        };
+        let max_density = get_float(&map, "sparse_max_density", default_density)?;
+        if !(0.0..=1.0).contains(&max_density) {
+            return Err(format!("sparse_max_density: {max_density} outside [0, 1]"));
+        }
+        let codec = match get_str(&map, "codec", "dense")?.as_str() {
+            "dense" => WireCodec::Dense,
+            "sparse" => WireCodec::Sparse { max_density },
+            other => return Err(format!("codec: unknown codec {other}")),
+        };
         Ok(ClusterConfig {
             nodes,
             epochs: get_int(&map, "epochs", d.epochs as u64)?,
@@ -423,6 +443,7 @@ impl ClusterConfig {
             protocol_seed: get_int(&map, "protocol_seed", d.protocol_seed)?,
             points_per_epoch: get_int(&map, "points_per_epoch", d.points_per_epoch as u64)?,
             steps_per_epoch: get_int(&map, "steps_per_epoch", d.steps_per_epoch as u64)?,
+            codec,
             sgx: get_bool(&map, "sgx", d.sgx)?,
             processes_per_platform: get_int(
                 &map,
@@ -462,6 +483,12 @@ impl ClusterConfig {
             TopologySpec::Ring => "ring",
         };
         let faults = self.faults.as_ref().map(faults_to_toml).unwrap_or_default();
+        let codec = match self.codec {
+            WireCodec::Dense => "codec = \"dense\"".to_string(),
+            WireCodec::Sparse { max_density } => {
+                format!("codec = \"sparse\"\nsparse_max_density = {max_density}")
+            }
+        };
         format!(
             "# REX cluster configuration (every process reads this same file)\n\
              nodes = [{}]\n\
@@ -478,6 +505,7 @@ impl ClusterConfig {
              protocol_seed = {}\n\
              points_per_epoch = {}\n\
              steps_per_epoch = {}\n\
+             {codec}\n\
              sgx = {}\n\
              processes_per_platform = {}\n\
              infra_seed = {}\n{faults}",
@@ -521,6 +549,7 @@ impl ClusterConfig {
             points_per_epoch: self.points_per_epoch,
             steps_per_epoch: self.steps_per_epoch,
             seed: self.protocol_seed,
+            codec: self.codec,
         }
     }
 }
@@ -560,6 +589,40 @@ mod tests {
         assert_eq!(cfg.sharing, SharingMode::RawData);
         assert!(!cfg.sgx);
         assert_eq!(cfg.addrs().unwrap()[1].port(), 9001);
+    }
+
+    #[test]
+    fn codec_knob_parses_roundtrips_and_rejects_garbage() {
+        // Default: dense.
+        let cfg = ClusterConfig::parse("nodes = [\"127.0.0.1:1\"]\n").unwrap();
+        assert_eq!(cfg.codec, WireCodec::Dense);
+        // Sparse with the default threshold.
+        let cfg = ClusterConfig::parse("nodes = [\"127.0.0.1:1\"]\ncodec = \"sparse\"\n").unwrap();
+        assert_eq!(cfg.codec, WireCodec::sparse());
+        // Sparse with an explicit threshold, and protocol() carries it.
+        let cfg = ClusterConfig::parse(
+            "nodes = [\"127.0.0.1:1\"]\ncodec = \"sparse\"\nsparse_max_density = 0.25\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.codec, WireCodec::Sparse { max_density: 0.25 });
+        assert_eq!(cfg.protocol().codec, cfg.codec);
+        // Both codecs survive the TOML roundtrip.
+        for codec in [WireCodec::Dense, WireCodec::Sparse { max_density: 0.25 }] {
+            let cfg = ClusterConfig { codec, ..sample() };
+            assert_eq!(ClusterConfig::parse(&cfg.to_toml()).unwrap(), cfg);
+        }
+        // Garbage refused.
+        for bad in [
+            "codec = \"zip\"\n",
+            "codec = 7\n",
+            "codec = \"sparse\"\nsparse_max_density = 1.5\n",
+            "codec = \"sparse\"\nsparse_max_density = -0.1\n",
+        ] {
+            assert!(
+                ClusterConfig::parse(&format!("nodes = [\"127.0.0.1:1\"]\n{bad}")).is_err(),
+                "accepted {bad:?}"
+            );
+        }
     }
 
     #[test]

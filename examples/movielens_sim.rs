@@ -69,6 +69,7 @@ fn main() {
             points_per_epoch: 300,
             steps_per_epoch: 300,
             seed: 3,
+            ..ProtocolConfig::default()
         },
         NodeSeeds::default(),
     );

@@ -58,6 +58,7 @@ fn main() {
                 points_per_epoch: 50,
                 steps_per_epoch: 200,
                 seed: 1,
+                ..ProtocolConfig::default()
             },
             NodeSeeds::default(),
         );

@@ -41,6 +41,7 @@ fn fleet(
             points_per_epoch: 100,
             steps_per_epoch: 200,
             seed: 5,
+            ..ProtocolConfig::default()
         },
         NodeSeeds::default(),
     )

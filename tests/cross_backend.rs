@@ -49,6 +49,7 @@ fn fleet(sharing: SharingMode, algorithm: GossipAlgorithm) -> Vec<Node<MfModel>>
             points_per_epoch: 40,
             steps_per_epoch: 120,
             seed: 17,
+            ..ProtocolConfig::default()
         },
         NodeSeeds::default(),
     )
@@ -260,6 +261,133 @@ fn empty_fault_plan_is_identity_on_every_backend_sgx() {
     )
     .run("faulty-tcp-sgx", &mut tcp_nodes);
     assert_equivalent(&reference, &(tcp, tcp_nodes));
+}
+
+/// Runs the reference fleet on the mem fabric under the work-stealing
+/// scheduler with the given worker count.
+fn work_steal_run(execution: ExecutionMode, workers: usize) -> (EngineResult, Vec<Node<MfModel>>) {
+    let mut nodes = fleet(SharingMode::RawData, GossipAlgorithm::DPsgd);
+    let result = Engine::<MfModel, MemNetwork>::new(
+        MemNetwork::new(nodes.len()),
+        engine_config(
+            execution,
+            TimeAxis::Simulated(Default::default()),
+            Driver::WorkSteal { workers },
+        ),
+    )
+    .run("work-steal", &mut nodes);
+    (result, nodes)
+}
+
+#[test]
+fn work_steal_scheduler_is_bit_identical_to_sequential_native() {
+    // The fixed worker pool must not change one bit of the learning
+    // trajectory, whatever the worker count (1 worker, several, more
+    // workers than the auto choice would pick).
+    let reference = reference_run(ExecutionMode::Native);
+    for workers in [1, 3, 0] {
+        let run = work_steal_run(ExecutionMode::Native, workers);
+        assert_equivalent(&reference, &run);
+    }
+}
+
+#[test]
+fn work_steal_scheduler_is_bit_identical_to_sequential_sgx() {
+    // SGX setup runs on the driver thread before the pool spins up; the
+    // sealed per-epoch traffic must still match bit-for-bit.
+    let reference = reference_run(ExecutionMode::Sgx(SgxCostModel::default()));
+    let run = work_steal_run(ExecutionMode::Sgx(SgxCostModel::default()), 4);
+    assert_equivalent(&reference, &run);
+    assert!(run.0.setup_ns > 0);
+}
+
+/// The chaos suite's headline scenario (32 nodes, 10% uniform loss, two
+/// crash-stop nodes) — the scheduler-equivalence oracle runs it through
+/// both drivers over the fault-wrapped mem fabric.
+fn headline_fleet() -> Vec<Node<MfModel>> {
+    let n = 32;
+    let ds = SyntheticConfig {
+        num_users: (2 * n) as u32,
+        num_items: 160,
+        num_ratings: 125 * n,
+        seed: 42,
+        ..SyntheticConfig::default()
+    }
+    .generate();
+    let split = TrainTestSplit::standard(&ds, 7);
+    let part = Partition::multi_user(&split, n);
+    let graph = TopologySpec::SmallWorld.build(n, 5);
+    build_mf_nodes(
+        &part,
+        &graph,
+        ds.num_users,
+        ds.num_items,
+        MfHyperParams::default(),
+        ProtocolConfig {
+            sharing: SharingMode::RawData,
+            algorithm: GossipAlgorithm::DPsgd,
+            points_per_epoch: 40,
+            steps_per_epoch: 100,
+            seed: 17,
+            ..ProtocolConfig::default()
+        },
+        NodeSeeds::default(),
+    )
+}
+
+fn headline_plan() -> FaultPlan {
+    use rex_repro::net::fault::LinkFaults;
+    FaultPlan::uniform(0xC4A05, LinkFaults::drop_rate(0.10))
+        .with_crash(5, 3, None)
+        .with_crash(17, 5, None)
+}
+
+fn run_headline(execution: ExecutionMode, driver: Driver) -> (EngineResult, Vec<Node<MfModel>>) {
+    let plan = headline_plan();
+    let mut nodes = headline_fleet();
+    let result = Engine::<MfModel, FaultyTransport<MemNetwork>>::new(
+        FaultyTransport::new(MemNetwork::new(nodes.len()), plan.clone()),
+        EngineConfig {
+            epochs: 10,
+            execution,
+            time: TimeAxis::Simulated(Default::default()),
+            driver,
+            processes_per_platform: 1,
+            seed: 0xE0,
+            faults: Some(plan),
+        },
+    )
+    .run("headline", &mut nodes);
+    (result, nodes)
+}
+
+#[test]
+fn work_steal_matches_sequential_under_chaos_headline_native() {
+    let seq = run_headline(ExecutionMode::Native, Driver::Lockstep { parallel: false });
+    let pool = run_headline(ExecutionMode::Native, Driver::WorkSteal { workers: 4 });
+    assert_equivalent(&seq, &pool);
+    // Fault accounting is part of the contract: liveness and the
+    // delivered/dropped/late/duplicated counters must match per epoch.
+    for (a, b) in seq.0.trace.records.iter().zip(&pool.0.trace.records) {
+        assert_eq!(a.live_nodes, b.live_nodes, "epoch {}: liveness", a.epoch);
+        assert_eq!(a.delivery, b.delivery, "epoch {}: delivery", a.epoch);
+    }
+    // And the plan really did degrade the fabric.
+    assert!(seq.0.trace.total_delivery().dropped > 0);
+    assert_eq!(seq.0.trace.min_live_nodes(), 30);
+}
+
+#[test]
+fn work_steal_matches_sequential_under_chaos_headline_sgx() {
+    let execution = ExecutionMode::Sgx(SgxCostModel::default());
+    let seq = run_headline(execution, Driver::Lockstep { parallel: false });
+    let pool = run_headline(execution, Driver::WorkSteal { workers: 4 });
+    assert_equivalent(&seq, &pool);
+    for (a, b) in seq.0.trace.records.iter().zip(&pool.0.trace.records) {
+        assert_eq!(a.live_nodes, b.live_nodes, "epoch {}: liveness", a.epoch);
+        assert_eq!(a.delivery, b.delivery, "epoch {}: delivery", a.epoch);
+    }
+    assert!(seq.0.setup_ns > 0 && pool.0.setup_ns > 0);
 }
 
 #[test]

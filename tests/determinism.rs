@@ -32,6 +32,7 @@ fn run_once(parallel: bool, seed: u64) -> Vec<(f64, f64)> {
             points_per_epoch: 60,
             steps_per_epoch: 120,
             seed,
+            ..ProtocolConfig::default()
         },
         NodeSeeds::default(),
     );

@@ -1,0 +1,326 @@
+//! Golden-trace conformance suite: pinned per-epoch RMSE/traffic
+//! fixtures, compared bit-for-bit against **every driver × backend**
+//! combination — the regression net under the scheduler and codec work.
+//!
+//! Three scenarios are pinned under `tests/fixtures/`:
+//!
+//! * `raw` — 8-node REX (raw-data sharing, D-PSGD) on a small world;
+//! * `model` — the same fleet sharing full models;
+//! * `chaos_headline` — the chaos suite's headline: 32 nodes, 10%
+//!   uniform loss, two crash-stop nodes.
+//!
+//! Each fixture records, per epoch, the fleet-mean RMSE and byte counts
+//! (as IEEE-754 bit patterns — *bit*-identical, not approximately equal),
+//! liveness, and the delivery counters, plus the final per-node traffic
+//! totals. Wall/simulated timestamps are deliberately excluded: they are
+//! the one thing allowed to differ across backends.
+//!
+//! Every run — mem fabric under the sequential, chunked-parallel and
+//! work-stealing drivers; channel fabric under thread-per-node,
+//! sequential lockstep and work-stealing; TCP loopback under sequential
+//! lockstep and work-stealing — must reproduce the fixture exactly,
+//! native mode. A mismatch means a scheduler or transport change
+//! altered the learning trajectory or the byte accounting.
+//!
+//! # Regenerating
+//! After an *intentional* trajectory change (new protocol semantics, new
+//! dataset shape), refresh the pinned files with:
+//!
+//! ```sh
+//! REX_REGEN_FIXTURES=1 cargo test --test golden_trace
+//! ```
+//!
+//! The regeneration path rewrites the fixtures from the sequential mem
+//! reference and then still checks every other driver against the fresh
+//! files, so a regen run cannot silently pin a divergent suite. Review
+//! the fixture diff like code: it *is* the experiment's contract.
+
+use rex_repro::core::builder::{build_mf_nodes, NodeSeeds};
+use rex_repro::core::config::{ExecutionMode, GossipAlgorithm, ProtocolConfig, SharingMode};
+use rex_repro::core::engine::{Driver, Engine, EngineConfig, EngineResult, TimeAxis};
+use rex_repro::core::Node;
+use rex_repro::data::{Partition, SyntheticConfig, TrainTestSplit};
+use rex_repro::ml::{MfHyperParams, MfModel};
+use rex_repro::net::fault::{FaultPlan, FaultyTransport, LinkFaults};
+use rex_repro::net::{ChannelTransport, MemNetwork, TcpTransport, Transport};
+use rex_repro::topology::TopologySpec;
+use std::path::PathBuf;
+
+/// One pinned scenario.
+struct Scenario {
+    name: &'static str,
+    nodes: usize,
+    sharing: SharingMode,
+    epochs: usize,
+    faults: Option<FaultPlan>,
+}
+
+fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "raw",
+            nodes: 8,
+            sharing: SharingMode::RawData,
+            epochs: 8,
+            faults: None,
+        },
+        Scenario {
+            name: "model",
+            nodes: 8,
+            sharing: SharingMode::Model,
+            epochs: 6,
+            faults: None,
+        },
+        Scenario {
+            name: "chaos_headline",
+            nodes: 32,
+            sharing: SharingMode::RawData,
+            epochs: 10,
+            faults: Some(
+                FaultPlan::uniform(0xC4A05, LinkFaults::drop_rate(0.10))
+                    .with_crash(5, 3, None)
+                    .with_crash(17, 5, None),
+            ),
+        },
+    ]
+}
+
+fn fleet(s: &Scenario) -> Vec<Node<MfModel>> {
+    let n = s.nodes;
+    let ds = SyntheticConfig {
+        num_users: (2 * n) as u32,
+        num_items: 160,
+        num_ratings: 125 * n,
+        seed: 42,
+        ..SyntheticConfig::default()
+    }
+    .generate();
+    let split = TrainTestSplit::standard(&ds, 7);
+    let part = Partition::multi_user(&split, n);
+    let graph = TopologySpec::SmallWorld.build(n, 5);
+    build_mf_nodes(
+        &part,
+        &graph,
+        ds.num_users,
+        ds.num_items,
+        MfHyperParams::default(),
+        ProtocolConfig {
+            sharing: s.sharing,
+            algorithm: GossipAlgorithm::DPsgd,
+            points_per_epoch: 40,
+            steps_per_epoch: 100,
+            seed: 17,
+            ..ProtocolConfig::default()
+        },
+        NodeSeeds::default(),
+    )
+}
+
+fn engine_config(s: &Scenario, time: TimeAxis, driver: Driver) -> EngineConfig {
+    EngineConfig {
+        epochs: s.epochs,
+        execution: ExecutionMode::Native,
+        time,
+        driver,
+        processes_per_platform: 1,
+        seed: 0xE0,
+        faults: s.faults.clone(),
+    }
+}
+
+/// Runs a scenario over one backend/driver combination, wrapping the
+/// fabric in the fault layer when the scenario carries a plan.
+fn run_combo<T: Transport>(
+    s: &Scenario,
+    transport: T,
+    time: TimeAxis,
+    driver: Driver,
+) -> EngineResult {
+    let mut nodes = fleet(s);
+    match s.faults.clone() {
+        Some(plan) => Engine::<MfModel, FaultyTransport<T>>::new(
+            FaultyTransport::new(transport, plan),
+            engine_config(s, time, driver),
+        )
+        .run(s.name, &mut nodes),
+        None => Engine::<MfModel, T>::new(transport, engine_config(s, time, driver))
+            .run(s.name, &mut nodes),
+    }
+}
+
+/// Serializes the fixture-relevant slice of a result (time excluded).
+fn render(result: &EngineResult) -> String {
+    let mut out = String::from(
+        "# golden trace fixture — regenerate with REX_REGEN_FIXTURES=1 (see tests/golden_trace.rs)\n\
+         # epoch,rmse_bits,bytes_bits,live,delivered,dropped,late,duplicated\n",
+    );
+    for r in &result.trace.records {
+        out.push_str(&format!(
+            "epoch,{},{:#018x},{:#018x},{},{},{},{},{}\n",
+            r.epoch,
+            r.rmse.to_bits(),
+            r.bytes_per_node.to_bits(),
+            r.live_nodes,
+            r.delivery.delivered,
+            r.delivery.dropped,
+            r.delivery.late,
+            r.delivery.duplicated,
+        ));
+    }
+    for (id, stats) in result.final_stats.iter().enumerate() {
+        out.push_str(&format!(
+            "stats,{id},{},{},{},{}\n",
+            stats.bytes_out, stats.bytes_in, stats.msgs_out, stats.msgs_in,
+        ));
+    }
+    out
+}
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(format!("golden_{name}.txt"))
+}
+
+/// Loads the pinned fixture — or, under `REX_REGEN_FIXTURES=1`, rewrites
+/// it from `reference` first.
+fn load_fixture(name: &str, reference: &EngineResult) -> String {
+    let path = fixture_path(name);
+    if std::env::var("REX_REGEN_FIXTURES").as_deref() == Ok("1") {
+        std::fs::write(&path, render(reference)).expect("write fixture");
+        eprintln!("[golden_trace] regenerated {}", path.display());
+    }
+    std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); run with REX_REGEN_FIXTURES=1 to create it",
+            path.display()
+        )
+    })
+}
+
+fn assert_matches_fixture(scenario: &str, combo: &str, fixture: &str, result: &EngineResult) {
+    let got = render(result);
+    if got != fixture {
+        for (want_line, got_line) in fixture.lines().zip(got.lines()) {
+            assert_eq!(
+                want_line, got_line,
+                "scenario {scenario}: {combo} diverged from the pinned trace"
+            );
+        }
+        panic!(
+            "scenario {scenario}: {combo} trace length differs from fixture \
+             ({} vs {} lines)",
+            fixture.lines().count(),
+            got.lines().count()
+        );
+    }
+}
+
+#[test]
+fn golden_traces_hold_on_every_driver_and_backend() {
+    for s in scenarios() {
+        let n = s.nodes;
+        let sim_time = || TimeAxis::Simulated(Default::default());
+
+        // Reference: mem fabric, sequential lockstep — the generator.
+        let reference = run_combo(
+            &s,
+            MemNetwork::new(n),
+            sim_time(),
+            Driver::Lockstep { parallel: false },
+        );
+        let fixture = load_fixture(s.name, &reference);
+        assert_matches_fixture(s.name, "mem/lockstep-seq", &fixture, &reference);
+
+        // The same scenario through every other driver × backend.
+        let combos: Vec<(&str, EngineResult)> = vec![
+            (
+                "mem/lockstep-parallel",
+                run_combo(
+                    &s,
+                    MemNetwork::new(n),
+                    sim_time(),
+                    Driver::Lockstep { parallel: true },
+                ),
+            ),
+            (
+                "mem/work-steal",
+                run_combo(
+                    &s,
+                    MemNetwork::new(n),
+                    sim_time(),
+                    Driver::WorkSteal { workers: 4 },
+                ),
+            ),
+            (
+                "channel/thread-per-node",
+                run_combo(
+                    &s,
+                    ChannelTransport::new(n),
+                    TimeAxis::Wall,
+                    Driver::ThreadPerNode,
+                ),
+            ),
+            (
+                "channel/work-steal",
+                run_combo(
+                    &s,
+                    ChannelTransport::new(n),
+                    TimeAxis::Wall,
+                    Driver::WorkSteal { workers: 3 },
+                ),
+            ),
+            (
+                "channel/lockstep-seq",
+                run_combo(
+                    &s,
+                    ChannelTransport::new(n),
+                    TimeAxis::Wall,
+                    Driver::Lockstep { parallel: false },
+                ),
+            ),
+            (
+                "tcp/lockstep-seq",
+                run_combo(
+                    &s,
+                    TcpTransport::loopback(n).expect("loopback fabric"),
+                    TimeAxis::Wall,
+                    Driver::Lockstep { parallel: false },
+                ),
+            ),
+            (
+                "tcp/work-steal",
+                run_combo(
+                    &s,
+                    TcpTransport::loopback(n).expect("loopback fabric"),
+                    TimeAxis::Wall,
+                    Driver::WorkSteal { workers: 2 },
+                ),
+            ),
+        ];
+        for (combo, result) in &combos {
+            assert_matches_fixture(s.name, combo, &fixture, result);
+        }
+    }
+}
+
+#[test]
+fn fixtures_are_committed_and_well_formed() {
+    // Guard against a fixture file silently vanishing from the tree (the
+    // conformance test above would then only fail with a regen hint) and
+    // against format drift.
+    for s in scenarios() {
+        let path = fixture_path(s.name);
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()));
+        let epoch_lines = text.lines().filter(|l| l.starts_with("epoch,")).count();
+        let stats_lines = text.lines().filter(|l| l.starts_with("stats,")).count();
+        assert_eq!(epoch_lines, s.epochs, "{}: epoch line count", s.name);
+        assert_eq!(stats_lines, s.nodes, "{}: stats line count", s.name);
+        for line in text.lines().filter(|l| l.starts_with("epoch,")) {
+            let fields: Vec<&str> = line.split(',').collect();
+            assert_eq!(fields.len(), 9, "{}: malformed line {line}", s.name);
+            assert!(fields[2].starts_with("0x") && fields[3].starts_with("0x"));
+        }
+    }
+}

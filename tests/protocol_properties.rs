@@ -5,6 +5,7 @@
 use proptest::prelude::*;
 use rex_repro::core::RawDataStore;
 use rex_repro::data::Rating;
+use rex_repro::ml::{MfHyperParams, MfModel, Model};
 use rex_repro::net::codec::{decode_plain, encode_plain};
 use rex_repro::net::frame::{decode_frame, encode_frame, read_frame, Frame};
 use rex_repro::net::Plain;
@@ -42,6 +43,108 @@ proptest! {
     #[test]
     fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
         let _ = decode_plain(&bytes); // must return Err, not panic
+    }
+
+    #[test]
+    fn raw_packed_roundtrips_as_a_set(
+        ratings in proptest::collection::vec(arb_rating(), 0..400),
+        degree in 0u32..1000,
+    ) {
+        // The sparse raw form canonicalizes order (batches are sets) but
+        // must preserve the exact multiset of grid-valued triplets — and
+        // never beat the dense form by losing data.
+        let enc = encode_plain(&Plain::RawPacked { ratings: ratings.clone(), degree });
+        let decoded = decode_plain(&enc).unwrap();
+        prop_assert!(matches!(decoded, Plain::RawPacked { .. }), "variant changed");
+        let Plain::RawPacked { ratings: back, degree: d } = decoded else {
+            unreachable!()
+        };
+        prop_assert_eq!(d, degree);
+        let key = |r: &Rating| (r.user, r.item, (r.value * 2.0) as u32);
+        let mut want: Vec<_> = ratings.iter().map(key).collect();
+        let mut got: Vec<_> = back.iter().map(key).collect();
+        want.sort_unstable();
+        got.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn model_delta_roundtrips_bit_exactly_over_random_sparsity(
+        steps in proptest::collection::vec(
+            (0u32..30, 0u32..60, 1u32..=10),
+            0..50,
+        ),
+        mean in 1u32..=9,
+        density_pct in 0u32..=100,
+    ) {
+        let max_density = f64::from(density_pct) / 100.0;
+        // Random sparsity patterns: each step dirties one user row and
+        // one item row of a 30x60 model. Whenever the delta encoder
+        // chooses to emit (density under the threshold), the decode must
+        // reconstruct the sender's model to the last bit; when it
+        // declines (dense fallback boundary), that is the only other
+        // acceptable outcome.
+        let reference = MfModel::new(30, 60, MfHyperParams::default(), 3.5, 77);
+        let fp = reference.ref_fingerprint();
+        let mut m = reference.clone();
+        m.set_global_mean(mean as f32 * 0.5);
+        for (user, item, halves) in &steps {
+            m.sgd_step(&Rating { user: *user, item: *item, value: *halves as f32 * 0.5 });
+        }
+        match m.delta_bytes(&reference, fp, max_density) {
+            Some(delta) => {
+                let back = MfModel::apply_delta(&reference, fp, &delta).unwrap();
+                prop_assert_eq!(back.to_bytes(), m.to_bytes());
+                // Wrapped in the wire codec it still roundtrips.
+                let enc = encode_plain(&Plain::ModelDelta { bytes: delta.clone(), degree: 3 });
+                prop_assert_eq!(
+                    decode_plain(&enc).unwrap(),
+                    Plain::ModelDelta { bytes: delta, degree: 3 }
+                );
+            }
+            None => {
+                // Fallback must only trigger when *something* changed and
+                // the threshold is below full density.
+                prop_assert!(max_density < 1.0);
+                prop_assert!(!steps.is_empty());
+            }
+        }
+        // An unchanged model (empty delta) always encodes, whatever the
+        // threshold, and reconstructs bit-exactly.
+        let mut untouched = reference.clone();
+        untouched.set_global_mean(4.5);
+        let empty = untouched.delta_bytes(&reference, fp, 0.0)
+            .expect("empty delta always under threshold");
+        let back = MfModel::apply_delta(&reference, fp, &empty).unwrap();
+        prop_assert_eq!(back.to_bytes(), untouched.to_bytes());
+    }
+
+    #[test]
+    fn model_delta_decoder_never_panics_on_garbage(
+        bytes in proptest::collection::vec(any::<u8>(), 0..320),
+    ) {
+        // Hostile length prefixes, truncations, random noise: Err, never
+        // a panic — this is what stands between a hostile peer and the
+        // merge stage.
+        let reference = MfModel::new(16, 16, MfHyperParams::default(), 3.5, 5);
+        let fp = reference.ref_fingerprint();
+        let _ = MfModel::apply_delta(&reference, fp, &bytes);
+    }
+
+    #[test]
+    fn model_delta_truncations_always_error(
+        steps in proptest::collection::vec((0u32..8, 0u32..8, 1u32..=10), 1..10),
+        cut_seed in any::<u64>(),
+    ) {
+        let reference = MfModel::new(8, 8, MfHyperParams::default(), 3.5, 6);
+        let fp = reference.ref_fingerprint();
+        let mut m = reference.clone();
+        for (user, item, halves) in &steps {
+            m.sgd_step(&Rating { user: *user, item: *item, value: *halves as f32 * 0.5 });
+        }
+        let delta = m.delta_bytes(&reference, fp, 1.0).expect("threshold 1.0 always encodes");
+        let cut = (cut_seed as usize) % delta.len();
+        prop_assert!(MfModel::apply_delta(&reference, fp, &delta[..cut]).is_err());
     }
 
     #[test]

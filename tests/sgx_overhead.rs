@@ -34,6 +34,7 @@ fn fleet(sharing: SharingMode) -> Vec<rex_repro::core::Node<rex_repro::ml::MfMod
             points_per_epoch: 100,
             steps_per_epoch: 150,
             seed: 8,
+            ..ProtocolConfig::default()
         },
         NodeSeeds::default(),
     )

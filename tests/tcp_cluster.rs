@@ -98,6 +98,41 @@ fn processes_match_engine_results() {
 }
 
 #[test]
+fn sparse_codec_cluster_learns_identically_with_fewer_bytes() {
+    // The `codec = "sparse"` TOML knob, end to end through the deployed
+    // node loop: model deltas reconstruct bit-exactly, so a sparse
+    // cluster's per-node RMSE trajectories equal the dense cluster's to
+    // the last bit — only the wire bytes shrink.
+    use rex_repro::core::config::{SharingMode, WireCodec};
+    let mut dense = tiny_cfg(4, false);
+    dense.sharing = SharingMode::Model;
+    let mut sparse = dense.clone();
+    sparse.codec = WireCodec::sparse();
+    // Round-trip the sparse config through its TOML form first, so this
+    // also covers the parser path the deployed binary takes.
+    let sparse = ClusterConfig::parse(&sparse.to_toml()).expect("sparse config parses");
+
+    let dense_run = run_cluster_in_process(&dense).expect("dense cluster");
+    let sparse_run = run_cluster_in_process(&sparse).expect("sparse cluster");
+    for (d, s) in dense_run.iter().zip(&sparse_run) {
+        assert_eq!(
+            d.rmse_trace_bits, s.rmse_trace_bits,
+            "node {}: sparse codec changed the learning trajectory",
+            d.id
+        );
+        assert!(
+            s.stats.bytes_out < d.stats.bytes_out,
+            "node {}: sparse {} B out vs dense {} B out",
+            d.id,
+            s.stats.bytes_out,
+            d.stats.bytes_out
+        );
+        assert_eq!(d.stats.msgs_out, s.stats.msgs_out);
+    }
+}
+
+#[test]
+#[ignore = "heaviest cluster scenario (4 OS processes + per-process attestation replay, twice); CI runs it via `cargo test --test tcp_cluster -- --ignored`"]
 fn sgx_processes_reproduce_attested_run() {
     // Every process replays provisioning + attestation from the shared
     // seed, deriving identical session keys — sealed traffic and
