@@ -21,6 +21,7 @@ use rex_bench::{output, BenchArgs};
 use rex_core::builder::{build_mf_nodes, NodeSeeds};
 use rex_core::config::{ExecutionMode, GossipAlgorithm, ProtocolConfig, SharingMode, WireCodec};
 use rex_core::engine::{Driver, Engine, EngineConfig, EngineResult, TimeAxis};
+use rex_core::membership::MembershipPlan;
 use rex_core::Node;
 use rex_data::{Partition, SyntheticConfig, TrainTestSplit};
 use rex_ml::{MfHyperParams, MfModel};
@@ -69,6 +70,7 @@ fn engine_config(epochs: usize, driver: Driver) -> EngineConfig {
         processes_per_platform: 1,
         seed: 0xE0,
         faults: None,
+        membership: None,
     }
 }
 
@@ -129,6 +131,45 @@ fn run_codec_arm(sharing: SharingMode, codec: WireCodec, epochs: usize) -> Codec
         bytes_per_node_per_epoch: result.trace.total_bytes_per_node() / epochs as f64,
         final_rmse_bits: result.trace.final_rmse().unwrap_or(f64::NAN).to_bits(),
     }
+}
+
+/// The join-wave arm: a quarter of the ids are not founders but join in
+/// waves (spread over the run's early epochs, sponsor-bootstrapped),
+/// and one founder leaves gracefully near the end — the
+/// dynamic-membership stress shape. Run under both lockstep and the
+/// work-stealing pool so the artifact doubles as a view-transition
+/// equivalence proof at scale.
+fn run_join_wave(n: usize, epochs: usize) -> (f64, f64, usize, EngineResult) {
+    assert!(epochs >= 3, "join wave needs at least 3 epochs");
+    let joiners = (n / 4).max(1);
+    let wave_epochs = epochs - 2; // joins land on 1..=epochs-2
+    let mut plan = MembershipPlan {
+        seed: 0x7A7E,
+        bootstrap_points: 40,
+        ..MembershipPlan::default()
+    };
+    for i in 0..joiners {
+        plan = plan.with_join(n - joiners + i, 1 + (i % wave_epochs), None);
+    }
+    plan = plan.with_leave(0, epochs - 1);
+
+    let run = |driver| {
+        let mut nodes = scale_fleet(n, SharingMode::RawData);
+        let mut cfg = engine_config(epochs, driver);
+        cfg.membership = Some(plan.clone());
+        let start = Instant::now();
+        let result = Engine::<MfModel, MemNetwork>::new(MemNetwork::new(n), cfg)
+            .run("join-wave", &mut nodes);
+        (start.elapsed().as_secs_f64(), result)
+    };
+    let (seq_secs, seq) = run(Driver::Lockstep { parallel: false });
+    let (pool_secs, pool) = run(Driver::WorkSteal { workers: 0 });
+    assert_eq!(
+        seq.trace.final_rmse().map(f64::to_bits),
+        pool.trace.final_rmse().map(f64::to_bits),
+        "join-wave run diverged between lockstep and the work-stealing pool"
+    );
+    (seq_secs, pool_secs, joiners, pool)
 }
 
 fn main() {
@@ -193,6 +234,23 @@ fn main() {
         "sparse model sharing changed the learning trajectory"
     );
 
+    // Join-wave arm: dynamic membership at the same fleet scale.
+    eprintln!("[bench_scale] join-wave arm ({nodes} ids, both drivers)...");
+    let (wave_seq_secs, wave_pool_secs, wave_joiners, wave) = run_join_wave(nodes, epochs.max(3));
+    let wave_first_live = wave.trace.records.first().map_or(0, |r| r.live_nodes);
+    let wave_last_live = wave.trace.records.last().map_or(0, |r| r.live_nodes);
+    println!(
+        "join wave ({nodes} ids, {wave_joiners} joiners, 1 leave): live {wave_first_live} -> \
+         {wave_last_live}, sequential {wave_seq_secs:.2}s, work-steal {wave_pool_secs:.2}s, \
+         bit-identical across drivers"
+    );
+    assert_eq!(wave_first_live, nodes - wave_joiners);
+    assert_eq!(
+        wave_last_live,
+        nodes - 1,
+        "everyone joined, one founder left"
+    );
+
     let mut json = String::from("{\n");
     json.push_str(&format!(
         "  \"bench\": \"scale\",\n  \"mode\": \"{mode}\",\n  \"host_cpus\": {host_cpus},\n"
@@ -216,7 +274,16 @@ fn main() {
             if i + 1 < codec_rows.len() { "," } else { "" },
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"membership\": {{\"nodes\": {nodes}, \"epochs\": {}, \"joiners\": {wave_joiners}, \
+         \"leaves\": 1, \"live_first\": {wave_first_live}, \"live_last\": {wave_last_live}, \
+         \"sequential_secs\": {wave_seq_secs:.3}, \"work_steal_secs\": {wave_pool_secs:.3}, \
+         \"final_rmse_bits_equal\": true, \"final_rmse_bits\": \"{:#018x}\"}}\n",
+        epochs.max(3),
+        wave.trace.final_rmse().unwrap_or(f64::NAN).to_bits()
+    ));
+    json.push_str("}\n");
 
     match output::save("BENCH_scale.json", &json) {
         Ok(path) => println!("[saved] {}", path.display()),

@@ -215,6 +215,7 @@ pub fn run_arm_on(scale: &SgxScale, arm: Arm, backend: ArmBackend) -> ThreadedRe
                     processes_per_platform: 2,
                     seed: scale.seed ^ 0x991,
                     faults: None,
+                    membership: None,
                 },
             )
             .run(&arm.label(), &mut nodes)

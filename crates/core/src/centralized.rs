@@ -57,6 +57,7 @@ pub fn run_centralized<M: Model>(
             processes_per_platform: 1,
             seed,
             faults: None,
+            membership: None,
         },
     )
     .run(name, &mut nodes);

@@ -32,6 +32,17 @@
 //! backends. `tests/cross_backend.rs` in the workspace root holds this as
 //! the refactor's correctness oracle.
 //!
+//! # Dynamic membership
+//! [`EngineConfig::membership`] attaches a seeded
+//! [`MembershipPlan`]: the engine advances a [`MembershipView`] at
+//! every round boundary and applies its transitions — joins with late
+//! attestation and sponsored raw-share bootstraps, graceful leaves with
+//! live topology rewiring — before any inbox of the epoch is drained.
+//! Non-members sit rounds out exactly like crash-stopped nodes;
+//! `tests/membership.rs` and the `golden_membership` fixture hold the
+//! transitions bit-identical across every lockstep-shaped driver ×
+//! backend combination.
+//!
 //! # Resilience
 //! [`EngineConfig::faults`] attaches a seeded [`FaultPlan`]. The engine
 //! owns the plan's
@@ -46,8 +57,10 @@
 //! drivers replay a plan bit-for-bit; `tests/chaos.rs` holds them to it.
 
 use crate::config::ExecutionMode;
+use crate::membership::{MembershipPlan, MembershipView, ViewTransition};
 use crate::node::{EpochReport, Node};
-use crate::setup::{establish_tee, SetupReport};
+use crate::setup::TeeDirectory;
+use crate::setup::{establish_tee_with_directory, overlay_of, prune_to_overlay, SetupReport};
 use rex_ml::Model;
 use rex_net::fault::FaultPlan;
 use rex_net::link::LinkModel;
@@ -129,6 +142,15 @@ pub struct EngineConfig {
     /// the transport is wrapped in
     /// [`rex_net::fault::FaultyTransport`] carrying the same plan.
     pub faults: Option<FaultPlan>,
+    /// Dynamic-membership schedule (joins with attested state bootstrap,
+    /// graceful leaves with live topology rewiring). The engine advances
+    /// a [`MembershipView`] at every round boundary and applies its
+    /// transitions before any inbox of the epoch is drained, so a
+    /// sponsor's bootstrap lands in the joiner's first inbox. Supported
+    /// by [`Driver::Lockstep`] and [`Driver::WorkSteal`] (the deployed
+    /// `rex-node` loop implements the same transitions over its own
+    /// endpoint); [`Driver::ThreadPerNode`] rejects a non-`None` plan.
+    pub membership: Option<MembershipPlan>,
 }
 
 impl Default for EngineConfig {
@@ -141,6 +163,7 @@ impl Default for EngineConfig {
             processes_per_platform: 1,
             seed: 0x1234,
             faults: None,
+            membership: None,
         }
     }
 }
@@ -169,6 +192,34 @@ type ThreadEpoch = (u64, Option<EpochReport>, DeliveryStats);
 /// its per-epoch records, and its traffic counters.
 type NodeRun<M> = (Node<M>, Vec<ThreadEpoch>, TrafficStats);
 
+/// Uniform mutable access to the fleet for the lockstep-shaped drivers,
+/// so membership transitions are implemented once whether the nodes live
+/// in a plain slice ([`Driver::Lockstep`]) or inside the work-stealing
+/// pool's slots ([`Driver::WorkSteal`]).
+pub(crate) trait Fleet<M: Model> {
+    /// Runs `f` on node `id` and returns its result.
+    fn mutate<R>(&mut self, id: usize, f: impl FnOnce(&mut Node<M>) -> R) -> R;
+}
+
+/// [`Fleet`] over a plain mutable slice.
+struct SliceFleet<'a, M: Model>(&'a mut [Node<M>]);
+
+impl<M: Model> Fleet<M> for SliceFleet<'_, M> {
+    fn mutate<R>(&mut self, id: usize, f: impl FnOnce(&mut Node<M>) -> R) -> R {
+        f(&mut self.0[id])
+    }
+}
+
+/// [`Fleet`] over the work-stealing pool's slots (driver thread only,
+/// between phases — no worker holds a slot then).
+struct PoolFleet<'a, M: Model>(&'a crate::pool::WorkStealPool<M>);
+
+impl<M: Model> Fleet<M> for PoolFleet<'_, M> {
+    fn mutate<R>(&mut self, id: usize, f: impl FnOnce(&mut Node<M>) -> R) -> R {
+        self.0.with_node(id, f)
+    }
+}
+
 /// The transport-generic protocol engine. See the module docs.
 pub struct Engine<M: Model, T: Transport> {
     transport: T,
@@ -196,9 +247,12 @@ impl<M: Model, T: Transport> Engine<M, T> {
     /// # Panics
     /// If `nodes` is empty, its length disagrees with the transport,
     /// [`Driver::ThreadPerNode`] is requested on a transport that cannot
-    /// split into endpoints, or [`Driver::ThreadPerNode`] is combined with
+    /// split into endpoints, [`Driver::ThreadPerNode`] is combined with
     /// [`TimeAxis::Simulated`] (thread-per-node epochs are timestamped
-    /// with real elapsed time, so a simulated axis cannot be honoured).
+    /// with real elapsed time, so a simulated axis cannot be honoured)
+    /// or with a membership plan (view transitions are driven by the
+    /// lockstep-shaped round loop; the deployed equivalent lives in
+    /// `rex-node`), or a membership plan fails validation.
     pub fn run(mut self, name: &str, nodes: &mut Vec<Node<M>>) -> EngineResult {
         assert!(!nodes.is_empty(), "engine needs at least one node");
         assert_eq!(
@@ -213,6 +267,11 @@ impl<M: Model, T: Transport> Engine<M, T> {
             ),
             "Driver::ThreadPerNode records wall-clock time; use TimeAxis::Wall"
         );
+        assert!(
+            !(matches!(self.cfg.driver, Driver::ThreadPerNode) && self.cfg.membership.is_some()),
+            "Driver::ThreadPerNode does not support membership plans; \
+             use Driver::Lockstep, Driver::WorkSteal, or the rex-node loop"
+        );
 
         // Crash-aware setup: see `setup::prune_dead_nodes` — whole-run
         // dead nodes leave the overlay before TEE provisioning, so
@@ -223,15 +282,35 @@ impl<M: Model, T: Transport> Engine<M, T> {
             crate::setup::prune_dead_nodes(nodes, plan);
         }
 
-        let setup = match self.cfg.execution {
-            ExecutionMode::Native => SetupReport::default(),
-            ExecutionMode::Sgx(cost) => establish_tee(
-                nodes,
-                &mut self.transport,
-                cost,
-                self.cfg.processes_per_platform,
-                self.cfg.seed,
-            ),
+        // Membership-aware setup: the epoch-0 view is built over the
+        // (fault-pruned) full topology; edges touching future joiners
+        // stay latent, so TEE setup attests exactly the founding
+        // overlay. Fault-dead-at-setup nodes are excluded from
+        // membership outright — repair never bridges to them.
+        let view = self.cfg.membership.clone().map(|plan| {
+            let excluded = self
+                .cfg
+                .faults
+                .as_ref()
+                .map(|p| p.dead_at_setup(nodes.len()))
+                .unwrap_or_default();
+            let view = MembershipView::new(plan, &overlay_of(nodes), &excluded);
+            prune_to_overlay(nodes, view.overlay());
+            view
+        });
+
+        let (setup, tee) = match self.cfg.execution {
+            ExecutionMode::Native => (SetupReport::default(), None),
+            ExecutionMode::Sgx(cost) => {
+                let (setup, dir) = establish_tee_with_directory(
+                    nodes,
+                    &mut self.transport,
+                    cost,
+                    self.cfg.processes_per_platform,
+                    self.cfg.seed,
+                );
+                (setup, Some(dir))
+            }
         };
         let setup_ns = match &self.cfg.time {
             TimeAxis::Simulated(link) => setup.simulated_ns(nodes.len(), link),
@@ -239,31 +318,42 @@ impl<M: Model, T: Transport> Engine<M, T> {
         };
 
         match self.cfg.driver {
-            Driver::Lockstep { parallel } => self.run_lockstep(name, nodes, setup_ns, parallel),
+            Driver::Lockstep { parallel } => {
+                self.run_lockstep(name, nodes, setup_ns, parallel, view, tee)
+            }
             Driver::ThreadPerNode => self.run_thread_per_node(name, nodes, setup_ns),
-            Driver::WorkSteal { workers } => self.run_work_steal(name, nodes, setup_ns, workers),
+            Driver::WorkSteal { workers } => {
+                self.run_work_steal(name, nodes, setup_ns, workers, view, tee)
+            }
         }
     }
 
     /// The shared round loop of the lockstep-shaped drivers
     /// ([`Driver::Lockstep`] and [`Driver::WorkSteal`]): per epoch —
-    /// `epoch_begin`, crash mask, `execute` (drain every mailbox and run
-    /// every live node, however the driver schedules that), apply sends
-    /// in deterministic node order, `flush`, drain delivery counters,
-    /// advance the clock, record the trace. Keeping this sequencing in
-    /// exactly one place is what makes the drivers bit-identical *by
-    /// construction* — a scheduling strategy only supplies `execute`.
-    ///
-    /// `execute` receives the transport (for `recv`) and the epoch's
-    /// down mask, and returns per-node outputs in node order (`None` for
-    /// crash-stopped nodes).
-    fn run_rounds(
+    /// `epoch_begin`, **membership view transition** (rewire the
+    /// overlay, late-attest materializing edges, send sponsor
+    /// bootstraps, flush so they land in this epoch's inboxes), crash +
+    /// membership mask, drain every mailbox (a down or non-member
+    /// node's inbox is drained and discarded), `execute` (run every
+    /// live node, however the driver schedules that), apply sends in
+    /// deterministic node order, `flush`, drain delivery counters,
+    /// advance the clock, record the trace. Keeping this sequencing —
+    /// including the view transitions — in exactly one place is what
+    /// makes the drivers bit-identical *by construction*: a scheduling
+    /// strategy only supplies `execute`, which receives the pre-drained
+    /// inboxes and the epoch's down mask and returns per-node outputs in
+    /// node order (`None` for nodes that sat the epoch out).
+    #[allow(clippy::too_many_arguments)]
+    fn run_rounds<FL: Fleet<M>>(
         cfg: &EngineConfig,
         transport: &mut T,
         name: &str,
         setup_ns: u64,
         n: usize,
-        mut execute: impl FnMut(&mut T, &[bool]) -> Vec<Option<EpochOutput>>,
+        mut view: Option<&mut MembershipView>,
+        tee: Option<&TeeDirectory>,
+        fleet: &mut FL,
+        mut execute: impl FnMut(&mut FL, Vec<Vec<Envelope>>, &[bool]) -> Vec<Option<EpochOutput>>,
     ) -> ExperimentTrace {
         let mut clock: Box<dyn Clock> = match &cfg.time {
             TimeAxis::Simulated(_) => Box::new(VirtualClock::new()),
@@ -274,9 +364,48 @@ impl<M: Model, T: Transport> Engine<M, T> {
 
         for epoch in 0..cfg.epochs {
             transport.epoch_begin(epoch);
-            let down = down_mask(cfg.faults.as_ref(), n, epoch);
+            let fault_down = down_mask(cfg.faults.as_ref(), n, epoch);
 
-            let results = execute(transport, &down);
+            if let Some(v) = view.as_deref_mut() {
+                if let Some(t) = v.advance(epoch) {
+                    // Fabric-level view sync first: layers with
+                    // in-flight state react to the change (the fault
+                    // wrapper purges a leaver's held messages before
+                    // any release point could target it).
+                    transport.view_sync(epoch, &t.joined, &t.left);
+                    Self::apply_transition(
+                        &t,
+                        fleet,
+                        transport,
+                        tee,
+                        v.plan().bootstrap_points,
+                        &fault_down,
+                    );
+                    // The view barrier: bootstraps are delivered before
+                    // any inbox of this epoch is drained.
+                    transport.flush();
+                }
+            }
+
+            // A node sits the epoch out when crash-stopped *or* outside
+            // the current membership view; either way its mailbox is
+            // drained and discarded — whatever was in flight to it is
+            // lost, exactly as in the thread-per-node driver.
+            let down: Vec<bool> = (0..n)
+                .map(|id| fault_down[id] || view.as_deref().is_some_and(|v| !v.is_member(id)))
+                .collect();
+            let inboxes: Vec<Vec<Envelope>> = (0..n)
+                .map(|id| {
+                    let inbox = transport.recv(id);
+                    if down[id] {
+                        Vec::new()
+                    } else {
+                        inbox
+                    }
+                })
+                .collect();
+
+            let results = execute(fleet, inboxes, &down);
 
             // Apply sends in deterministic node order, then make them
             // visible for the next round.
@@ -301,6 +430,98 @@ impl<M: Model, T: Transport> Engine<M, T> {
         trace
     }
 
+    /// Applies one membership view transition to the fleet and the
+    /// fabric, in the canonical order every execution path follows:
+    /// leavers' edges removed (sessions dropped, Metropolis–Hastings
+    /// degrees renormalize), joiners admission-checked (SGX: evidence
+    /// quote verified by a member through DCAP + the own-measurement
+    /// rule), new edges added with late-attested sessions installed at
+    /// both ends, then sponsor bootstraps sent (skipped for a sponsor
+    /// that is crash-stopped this epoch — its data, like everything else
+    /// it would send, is lost).
+    fn apply_transition<FL: Fleet<M>>(
+        t: &ViewTransition,
+        fleet: &mut FL,
+        transport: &mut T,
+        tee: Option<&TeeDirectory>,
+        bootstrap_points: usize,
+        fault_down: &[bool],
+    ) {
+        for &(a, b) in &t.removed_edges {
+            fleet.mutate(a, |n| n.remove_neighbor(b));
+            fleet.mutate(b, |n| n.remove_neighbor(a));
+        }
+
+        if let Some(dir) = tee {
+            for &j in &t.joined {
+                // Admission check: the joiner quotes its enclave; its
+                // first live partner (or, for a momentarily isolated
+                // joiner, the joiner's own enclave — same measurement)
+                // verifies the evidence before any session is installed.
+                let quote = fleet
+                    .mutate(j, |n| {
+                        rex_tee::join::joiner_evidence(
+                            dir.seed,
+                            t.epoch,
+                            j,
+                            n.enclave_mut().expect("SGX fleet has enclaves"),
+                            dir.platform_of(j),
+                        )
+                    })
+                    .expect("own platform quotes its enclave");
+                let checker = t
+                    .added_edges
+                    .iter()
+                    .find_map(|&(a, b)| {
+                        if a == j {
+                            Some(b)
+                        } else if b == j {
+                            Some(a)
+                        } else {
+                            None
+                        }
+                    })
+                    .unwrap_or(j);
+                fleet
+                    .mutate(checker, |n| {
+                        rex_tee::join::verify_joiner(
+                            dir.seed,
+                            t.epoch,
+                            j,
+                            &quote,
+                            &dir.dcap,
+                            n.enclave_mut().expect("SGX fleet has enclaves"),
+                        )
+                    })
+                    .expect("honest joiner passes admission");
+            }
+        }
+
+        for &(a, b) in &t.added_edges {
+            fleet.mutate(a, |n| n.add_neighbor(b));
+            fleet.mutate(b, |n| n.add_neighbor(a));
+            if let Some(dir) = tee {
+                let measurement = fleet.mutate(a, |n| {
+                    n.enclave_mut()
+                        .expect("SGX fleet has enclaves")
+                        .measurement()
+                });
+                let (sa, sb) =
+                    rex_tee::join::late_session_pair(dir.seed, t.epoch, a, b, measurement);
+                fleet.mutate(a, |n| n.install_session(b, sa));
+                fleet.mutate(b, |n| n.install_session(a, sb));
+            }
+        }
+
+        for &(s, j) in &t.bootstraps {
+            if bootstrap_points == 0 || fault_down[s] {
+                continue;
+            }
+            let bytes = fleet.mutate(s, |n| n.bootstrap_for(j, bootstrap_points));
+            transport.send(s, j, bytes);
+        }
+    }
+
     /// Lockstep rounds over the fabric view.
     fn run_lockstep(
         mut self,
@@ -308,32 +529,22 @@ impl<M: Model, T: Transport> Engine<M, T> {
         nodes: &mut [Node<M>],
         setup_ns: u64,
         parallel: bool,
+        mut view: Option<MembershipView>,
+        tee: Option<TeeDirectory>,
     ) -> EngineResult {
         let n = nodes.len();
         let cfg = self.cfg.clone();
+        let mut fleet = SliceFleet(nodes);
         let trace = Self::run_rounds(
             &cfg,
             &mut self.transport,
             name,
             setup_ns,
             n,
-            |transport, down| {
-                // Deliver last epoch's messages, canonically ordered. A
-                // crash-stopped node's mailbox is drained and discarded —
-                // whatever was in flight to it is lost, exactly as in the
-                // thread-per-node driver.
-                let inboxes: Vec<Vec<Envelope>> = (0..n)
-                    .map(|id| {
-                        let inbox = transport.recv(id);
-                        if down[id] {
-                            Vec::new()
-                        } else {
-                            inbox
-                        }
-                    })
-                    .collect();
-                run_epoch(nodes, inboxes, down, parallel)
-            },
+            view.as_mut(),
+            tee.as_ref(),
+            &mut fleet,
+            |fleet, inboxes, down| run_epoch(fleet.0, inboxes, down, parallel),
         );
 
         EngineResult {
@@ -354,6 +565,8 @@ impl<M: Model, T: Transport> Engine<M, T> {
         nodes: &mut Vec<Node<M>>,
         setup_ns: u64,
         workers: usize,
+        mut view: Option<MembershipView>,
+        tee: Option<TeeDirectory>,
     ) -> EngineResult {
         let n = nodes.len();
         let workers = if workers == 0 {
@@ -378,22 +591,24 @@ impl<M: Model, T: Transport> Engine<M, T> {
             // panic — so the scope join can never deadlock.
             let _guard = crate::pool::ShutdownGuard(&pool);
 
+            let mut fleet = PoolFleet(&pool);
             Self::run_rounds(
                 &cfg,
                 &mut self.transport,
                 name,
                 setup_ns,
                 n,
-                |transport, down| {
-                    // Stage inputs: drain every mailbox (a crash-stopped
-                    // node's inbox is drained and discarded, as in the
-                    // other drivers), then run one pool phase over the
-                    // live ids.
+                view.as_mut(),
+                tee.as_ref(),
+                &mut fleet,
+                |fleet, inboxes, down| {
+                    // Stage the pre-drained inputs, then run one pool
+                    // phase over the live ids.
+                    let pool = fleet.0;
                     let mut live = Vec::with_capacity(n);
-                    for (id, &is_down) in down.iter().enumerate() {
-                        let inbox = transport.recv(id);
-                        pool.load(id, if is_down { Vec::new() } else { inbox });
-                        if !is_down {
+                    for (id, inbox) in inboxes.into_iter().enumerate() {
+                        pool.load(id, inbox);
+                        if !down[id] {
                             live.push(id);
                         }
                     }

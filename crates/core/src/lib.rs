@@ -33,7 +33,12 @@
 //! * [`pool`] — the fixed work-stealing worker pool behind
 //!   [`engine::Driver::WorkSteal`], which scales the fabric view to
 //!   1000+ nodes in-process while staying bit-identical to lockstep;
-//! * [`setup`] — the one TEE provisioning + pairwise-attestation path;
+//! * [`membership`] — epoch-scoped views of the live fleet: online
+//!   joins with late attestation and sponsored raw-share bootstraps,
+//!   graceful leaves with live topology rewiring, all part of the
+//!   seeded scenario so churn replays bit-for-bit;
+//! * [`setup`] — the one TEE provisioning + pairwise-attestation path,
+//!   plus the [`setup::TeeDirectory`] late joins attest against;
 //! * [`runner::run_simulation`] — shim: `MemNetwork` fabric, lockstep
 //!   rounds, simulated time (discrete-event simulator, any node count);
 //! * [`threaded::run_threaded`] — shim: `ChannelTransport` fabric, one OS
@@ -45,6 +50,7 @@ pub mod builder;
 pub mod centralized;
 pub mod config;
 pub mod engine;
+pub mod membership;
 pub mod node;
 pub mod pool;
 pub mod runner;
@@ -55,6 +61,7 @@ pub mod threaded;
 pub use builder::{build_dnn_nodes, build_mf_nodes, NodeSeeds};
 pub use config::{ExecutionMode, GossipAlgorithm, ProtocolConfig, SharingMode, WireCodec};
 pub use engine::{Driver, Engine, EngineConfig, EngineResult, TimeAxis};
+pub use membership::{JoinSpec, LeaveSpec, MembershipPlan, MembershipView, ViewTransition};
 pub use node::Node;
 pub use runner::{run_simulation, SimulationConfig};
 pub use store::RawDataStore;

@@ -1,0 +1,726 @@
+//! First-class dynamic membership: epoch-scoped views of the live fleet.
+//!
+//! The seed engine froze the node set at `establish_tee` time — churn
+//! existed only as crash windows in a
+//! [`FaultPlan`](rex_net::fault::FaultPlan), and a node that was not
+//! alive at setup could never participate. This module makes membership
+//! a first-class, *epoch-scoped* concept:
+//!
+//! * [`MembershipPlan`] — a declarative, seeded schedule of **joins**
+//!   (a new node enters the fleet at an epoch boundary, attests late,
+//!   and receives a raw-share state bootstrap from a sponsor neighbour)
+//!   and **leaves** (a node departs gracefully; survivors rewire around
+//!   it). Like a fault plan, the schedule is part of the seeded scenario:
+//!   every process parses the same plan, so view transitions replay
+//!   bit-for-bit across drivers, backends, and OS processes.
+//! * [`MembershipView`] — the epoch-versioned view the engine (and each
+//!   deployed `rex-node` process) consults at every round boundary: who
+//!   is a member this epoch, what the live overlay looks like, and —
+//!   via [`MembershipView::advance`] — exactly which edges appear,
+//!   which disappear, and who bootstraps whom when the view changes.
+//!
+//! # Semantics
+//! A node joining at epoch `k` runs its first epoch at `k`: the view
+//! transition happens at the top of the round, **before** any inbox is
+//! drained, so the sponsor's bootstrap lands in the joiner's epoch-`k`
+//! inbox and is merged before its first training step. A node leaving at
+//! epoch `k` ran its last epoch at `k - 1`; whatever was still in flight
+//! to it is discarded, exactly like a crash-stopped node's mailbox.
+//!
+//! # Topology rewiring
+//! The full topology graph is generated over *all* `n` node ids up
+//! front (deterministically, as everything else), but edges touching a
+//! future joiner stay **latent**: they are stripped from every neighbour
+//! list before TEE setup and only materialize when both endpoints are
+//! members. If a transition leaves the member overlay disconnected —
+//! a leave that severed a bridge, or a joiner whose latent peers have
+//! not arrived yet — the view repairs it with
+//! [`rex_topology::repair::repair_after_crashes`], bridging surviving
+//! components deterministically from the plan seed. Metropolis–Hastings
+//! weights renormalize automatically because they derive from the
+//! neighbour lists the transition rewrites.
+
+use rex_crypto::splitmix64;
+use rex_topology::repair::repair_after_crashes;
+use rex_topology::Graph;
+
+/// One scheduled join.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinSpec {
+    /// The joining node's id (pre-allocated in the fleet's id space).
+    pub node: usize,
+    /// First epoch the node is a member (must be ≥ 1; founding members
+    /// simply have no join spec).
+    pub epoch: usize,
+    /// Explicit bootstrap sponsor. `None` selects the joiner's lowest-id
+    /// member neighbour in the post-rewire overlay.
+    pub sponsor: Option<usize>,
+}
+
+/// One scheduled graceful leave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeaveSpec {
+    /// The departing node's id.
+    pub node: usize,
+    /// First epoch the node is no longer a member.
+    pub epoch: usize,
+}
+
+/// A complete, seeded membership schedule. See the module docs.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MembershipPlan {
+    /// Seed of the deterministic overlay repair (bridge edge endpoints).
+    pub seed: u64,
+    /// Raw points the sponsor samples from its store for each joiner's
+    /// state bootstrap (`0` disables bootstrapping).
+    pub bootstrap_points: usize,
+    /// Scheduled joins.
+    pub joins: Vec<JoinSpec>,
+    /// Scheduled graceful leaves.
+    pub leaves: Vec<LeaveSpec>,
+}
+
+impl MembershipPlan {
+    /// Whether the plan schedules nothing at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.joins.is_empty() && self.leaves.is_empty()
+    }
+
+    /// Adds a join (builder style).
+    #[must_use]
+    pub fn with_join(mut self, node: usize, epoch: usize, sponsor: Option<usize>) -> Self {
+        self.joins.push(JoinSpec {
+            node,
+            epoch,
+            sponsor,
+        });
+        self
+    }
+
+    /// Adds a graceful leave (builder style).
+    #[must_use]
+    pub fn with_leave(mut self, node: usize, epoch: usize) -> Self {
+        self.leaves.push(LeaveSpec { node, epoch });
+        self
+    }
+
+    /// Sets the bootstrap sample size (builder style).
+    #[must_use]
+    pub fn with_bootstrap(mut self, points: usize) -> Self {
+        self.bootstrap_points = points;
+        self
+    }
+
+    /// The epoch `node` joins, if it is not a founding member.
+    #[must_use]
+    pub fn join_epoch(&self, node: usize) -> Option<usize> {
+        self.joins.iter().find(|j| j.node == node).map(|j| j.epoch)
+    }
+
+    /// The epoch `node` leaves, if it ever does.
+    #[must_use]
+    pub fn leave_epoch(&self, node: usize) -> Option<usize> {
+        self.leaves.iter().find(|l| l.node == node).map(|l| l.epoch)
+    }
+
+    /// Whether `node` is a member during `epoch`.
+    #[must_use]
+    pub fn is_member(&self, node: usize, epoch: usize) -> bool {
+        self.join_epoch(node).is_none_or(|j| epoch >= j)
+            && self.leave_epoch(node).is_none_or(|l| epoch < l)
+    }
+
+    /// The member mask of `epoch` over a fleet of `n`.
+    #[must_use]
+    pub fn members_at(&self, epoch: usize, n: usize) -> Vec<bool> {
+        (0..n).map(|node| self.is_member(node, epoch)).collect()
+    }
+
+    /// Nodes whose first member epoch is exactly `epoch`, ascending.
+    #[must_use]
+    pub fn joins_at(&self, epoch: usize) -> Vec<usize> {
+        let mut nodes: Vec<usize> = self
+            .joins
+            .iter()
+            .filter(|j| j.epoch == epoch)
+            .map(|j| j.node)
+            .collect();
+        nodes.sort_unstable();
+        nodes
+    }
+
+    /// Nodes whose first non-member epoch is exactly `epoch`, ascending.
+    #[must_use]
+    pub fn leaves_at(&self, epoch: usize) -> Vec<usize> {
+        let mut nodes: Vec<usize> = self
+            .leaves
+            .iter()
+            .filter(|l| l.epoch == epoch)
+            .map(|l| l.node)
+            .collect();
+        nodes.sort_unstable();
+        nodes
+    }
+
+    /// Epochs at which the view changes, ascending and deduplicated.
+    #[must_use]
+    pub fn event_epochs(&self) -> Vec<usize> {
+        let mut epochs: Vec<usize> = self
+            .joins
+            .iter()
+            .map(|j| j.epoch)
+            .chain(self.leaves.iter().map(|l| l.epoch))
+            .collect();
+        epochs.sort_unstable();
+        epochs.dedup();
+        epochs
+    }
+
+    /// Checks internal consistency against a fleet of `n`, reporting the
+    /// first problem found — the `Result` twin of
+    /// [`MembershipPlan::validate`], for config-parsing paths that must
+    /// not panic.
+    pub fn check(&self, n: usize) -> Result<(), String> {
+        for j in &self.joins {
+            if j.node >= n {
+                return Err(format!("join of node {} outside fleet of {n}", j.node));
+            }
+            if j.epoch == 0 {
+                return Err(format!(
+                    "node {} joins at epoch 0; founding members need no join spec",
+                    j.node
+                ));
+            }
+            if self.joins.iter().filter(|o| o.node == j.node).count() > 1 {
+                return Err(format!("node {} has multiple join specs", j.node));
+            }
+            if let Some(s) = j.sponsor {
+                if s >= n {
+                    return Err(format!(
+                        "sponsor {s} of joiner {} outside fleet of {n}",
+                        j.node
+                    ));
+                }
+                if s == j.node {
+                    return Err(format!("node {} sponsors its own join", j.node));
+                }
+                if !self.is_member(s, j.epoch) {
+                    return Err(format!(
+                        "sponsor {s} is not a member when node {} joins at epoch {}",
+                        j.node, j.epoch
+                    ));
+                }
+            }
+        }
+        for l in &self.leaves {
+            if l.node >= n {
+                return Err(format!("leave of node {} outside fleet of {n}", l.node));
+            }
+            if self.leaves.iter().filter(|o| o.node == l.node).count() > 1 {
+                return Err(format!("node {} has multiple leave specs", l.node));
+            }
+            if let Some(j) = self.join_epoch(l.node) {
+                if l.epoch <= j {
+                    return Err(format!(
+                        "node {} leaves at epoch {} before joining at {j}",
+                        l.node, l.epoch
+                    ));
+                }
+            }
+        }
+        if n > 0 && (0..n).all(|node| !self.is_member(node, 0)) {
+            return Err("the fleet has no founding members".to_string());
+        }
+        Ok(())
+    }
+
+    /// Panics if the plan is inconsistent (the asserting twin of
+    /// [`MembershipPlan::check`], used where a bad plan is a programming
+    /// error).
+    pub fn validate(&self, n: usize) {
+        if let Err(e) = self.check(n) {
+            panic!("invalid membership plan: {e}");
+        }
+    }
+
+    /// The repair seed of `epoch`'s transition.
+    #[must_use]
+    pub fn repair_seed(&self, epoch: usize) -> u64 {
+        splitmix64(self.seed ^ splitmix64(epoch as u64))
+    }
+}
+
+/// Everything one view transition changes, in the canonical order both
+/// the engine drivers and the deployed `rex-node` loop apply it:
+/// removed edges first (leavers detach), then added edges (latent edges
+/// materialize, bridges repair the overlay, late attestation installs
+/// sessions), then sponsor bootstraps.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ViewTransition {
+    /// The epoch this transition opens.
+    pub epoch: usize,
+    /// Nodes whose first member epoch this is, ascending.
+    pub joined: Vec<usize>,
+    /// Nodes that departed at this boundary, ascending.
+    pub left: Vec<usize>,
+    /// Overlay edges removed (every edge touched a leaver), `(lo, hi)`
+    /// ascending.
+    pub removed_edges: Vec<(usize, usize)>,
+    /// Overlay edges added — materialized latent edges plus repair
+    /// bridges — `(lo, hi)` ascending.
+    pub added_edges: Vec<(usize, usize)>,
+    /// `(sponsor, joiner)` state-bootstrap pairs, ascending by joiner.
+    /// Empty when [`MembershipPlan::bootstrap_points`] is `0`.
+    pub bootstraps: Vec<(usize, usize)>,
+}
+
+impl ViewTransition {
+    /// Whether the transition changes anything at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.joined.is_empty()
+            && self.left.is_empty()
+            && self.removed_edges.is_empty()
+            && self.added_edges.is_empty()
+    }
+}
+
+/// The epoch-versioned membership state machine. One instance per
+/// process (or per engine run), advanced exactly once per epoch; because
+/// it is a pure function of the plan and the full topology, every
+/// process that advances its own copy sees identical transitions.
+#[derive(Debug, Clone)]
+pub struct MembershipView {
+    plan: MembershipPlan,
+    /// Member mask of the current epoch.
+    members: Vec<bool>,
+    /// Nodes excluded from membership for the whole run (fault-plan
+    /// nodes dead from setup): never members, never bridged to.
+    excluded: Vec<bool>,
+    /// Live overlay: edges whose endpoints are both members.
+    overlay: Graph,
+    /// Full-topology edges waiting for an endpoint to join, `(lo, hi)`.
+    latent: Vec<(usize, usize)>,
+    /// Next epoch [`MembershipView::advance`] expects.
+    next_epoch: usize,
+}
+
+impl MembershipView {
+    /// Builds the epoch-0 view over the full topology. `excluded` marks
+    /// nodes that can never be members (crash-dead from setup under a
+    /// fault plan); pass `&[]` when there are none.
+    ///
+    /// # Panics
+    /// If the plan fails [`MembershipPlan::validate`] against the graph,
+    /// or a scheduled joiner is excluded (it could never materialize).
+    #[must_use]
+    pub fn new(plan: MembershipPlan, full: &Graph, excluded: &[bool]) -> Self {
+        let n = full.len();
+        plan.validate(n);
+        let is_excluded = |v: usize| excluded.get(v).copied().unwrap_or(false);
+        for j in &plan.joins {
+            assert!(
+                !is_excluded(j.node),
+                "node {} joins at epoch {} but is dead for the whole run",
+                j.node,
+                j.epoch
+            );
+        }
+        let members: Vec<bool> = (0..n)
+            .map(|v| plan.is_member(v, 0) && !is_excluded(v))
+            .collect();
+        let mut overlay = Graph::empty(n);
+        let mut latent = Vec::new();
+        for (a, b) in full.edges() {
+            if is_excluded(a) || is_excluded(b) {
+                continue; // dead-at-setup edges are gone, not latent
+            }
+            if members[a] && members[b] {
+                overlay.add_edge(a, b);
+            } else {
+                latent.push((a.min(b), a.max(b)));
+            }
+        }
+        latent.sort_unstable();
+        MembershipView {
+            plan,
+            members,
+            excluded: (0..n).map(is_excluded).collect(),
+            overlay,
+            latent,
+            next_epoch: 0,
+        }
+    }
+
+    /// The governing plan.
+    #[must_use]
+    pub fn plan(&self) -> &MembershipPlan {
+        &self.plan
+    }
+
+    /// Fleet size (member or not).
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The current epoch's member mask.
+    #[must_use]
+    pub fn members(&self) -> &[bool] {
+        &self.members
+    }
+
+    /// Whether `node` is a member in the current epoch.
+    #[must_use]
+    pub fn is_member(&self, node: usize) -> bool {
+        self.members[node]
+    }
+
+    /// Number of current members.
+    #[must_use]
+    pub fn member_count(&self) -> usize {
+        self.members.iter().filter(|&&m| m).count()
+    }
+
+    /// The current live overlay (edges among members only).
+    #[must_use]
+    pub fn overlay(&self) -> &Graph {
+        &self.overlay
+    }
+
+    /// Advances the view to `epoch` and returns the transition it opens
+    /// with, or `None` when the view is unchanged. Must be called once
+    /// per epoch, in order, starting at 0 (epoch 0 is always a no-op:
+    /// the initial view *is* epoch 0's).
+    ///
+    /// # Panics
+    /// If called out of order.
+    pub fn advance(&mut self, epoch: usize) -> Option<ViewTransition> {
+        assert_eq!(
+            epoch, self.next_epoch,
+            "membership view advanced out of order"
+        );
+        self.next_epoch += 1;
+        if epoch == 0 {
+            return None;
+        }
+
+        // A scheduled leave of a node that never became a member (e.g.
+        // excluded as crash-dead at setup) is vacuous.
+        let left: Vec<usize> = self
+            .plan
+            .leaves_at(epoch)
+            .into_iter()
+            .filter(|&l| self.members[l])
+            .collect();
+        let joined: Vec<usize> = self
+            .plan
+            .joins_at(epoch)
+            .into_iter()
+            .filter(|&j| !self.excluded[j])
+            .collect();
+        if left.is_empty() && joined.is_empty() {
+            return None;
+        }
+
+        // 1. Leavers detach: their overlay edges disappear, their latent
+        //    edges die with them (a joiner whose intended peer already
+        //    departed simply loses that edge).
+        let mut removed_edges = Vec::new();
+        for &l in &left {
+            for peer in self.overlay.neighbors(l).to_vec() {
+                removed_edges.push((l.min(peer), l.max(peer)));
+            }
+            self.members[l] = false;
+        }
+        // Two adjacent leavers would record their shared edge once from
+        // each side: keep set semantics.
+        removed_edges.sort_unstable();
+        removed_edges.dedup();
+        self.overlay = {
+            let dead: Vec<bool> = (0..self.num_nodes()).map(|v| left.contains(&v)).collect();
+            rex_topology::repair::without_nodes(&self.overlay, &dead)
+        };
+        self.latent
+            .retain(|&(a, b)| !left.contains(&a) && !left.contains(&b));
+
+        // 2. Joiners materialize their latent edges (both endpoints must
+        //    now be members).
+        let mut added_edges = Vec::new();
+        for &j in &joined {
+            self.members[j] = true;
+        }
+        self.latent.retain(|&(a, b)| {
+            if self.members[a] && self.members[b] {
+                self.overlay.add_edge(a, b);
+                added_edges.push((a, b));
+                false
+            } else {
+                true
+            }
+        });
+
+        // 3. Repair: if the member overlay fell apart (or a joiner
+        //    arrived with no live peers), bridge the surviving
+        //    components deterministically from the plan seed.
+        let dead: Vec<bool> = self.members.iter().map(|&m| !m).collect();
+        let repaired = repair_after_crashes(&self.overlay, &dead, self.plan.repair_seed(epoch));
+        for (a, b) in repaired.edges() {
+            if !self.overlay.has_edge(a, b) {
+                self.overlay.add_edge(a, b);
+                added_edges.push((a.min(b), a.max(b)));
+            }
+        }
+        added_edges.sort_unstable();
+
+        // 4. Sponsors: explicit spec, else the joiner's lowest-id member
+        //    neighbour in the post-rewire overlay.
+        let mut bootstraps = Vec::new();
+        if self.plan.bootstrap_points > 0 {
+            for &j in &joined {
+                let sponsor = self
+                    .plan
+                    .joins
+                    .iter()
+                    .find(|s| s.node == j)
+                    .and_then(|s| s.sponsor)
+                    .filter(|&s| self.members[s])
+                    .or_else(|| {
+                        self.overlay
+                            .neighbors(j)
+                            .iter()
+                            .copied()
+                            .find(|&p| self.members[p])
+                    });
+                if let Some(s) = sponsor {
+                    bootstraps.push((s, j));
+                }
+            }
+            bootstraps.sort_unstable_by_key(|&(_, j)| j);
+        }
+
+        Some(ViewTransition {
+            epoch,
+            joined,
+            left,
+            removed_edges,
+            added_edges,
+            bootstraps,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rex_topology::repair::alive_connected;
+
+    fn plan() -> MembershipPlan {
+        MembershipPlan::default()
+            .with_join(4, 2, None)
+            .with_leave(1, 4)
+            .with_bootstrap(20)
+    }
+
+    #[test]
+    fn membership_predicates() {
+        let p = plan();
+        assert!(p.is_member(0, 0) && p.is_member(0, 9));
+        assert!(!p.is_member(4, 0) && !p.is_member(4, 1) && p.is_member(4, 2));
+        assert!(p.is_member(1, 3) && !p.is_member(1, 4));
+        assert_eq!(p.members_at(0, 5), vec![true, true, true, true, false]);
+        assert_eq!(p.joins_at(2), vec![4]);
+        assert_eq!(p.leaves_at(4), vec![1]);
+        assert_eq!(p.event_epochs(), vec![2, 4]);
+    }
+
+    #[test]
+    fn check_rejects_inconsistent_plans() {
+        for (bad, what) in [
+            (MembershipPlan::default().with_join(9, 1, None), "node id"),
+            (MembershipPlan::default().with_join(1, 0, None), "epoch 0"),
+            (
+                MembershipPlan::default()
+                    .with_join(1, 2, None)
+                    .with_join(1, 3, None),
+                "duplicate join",
+            ),
+            (
+                MembershipPlan::default().with_join(1, 2, Some(1)),
+                "self-sponsor",
+            ),
+            (
+                MembershipPlan::default()
+                    .with_join(1, 2, Some(2))
+                    .with_join(2, 5, None),
+                "sponsor not yet a member",
+            ),
+            (
+                MembershipPlan::default()
+                    .with_join(1, 3, None)
+                    .with_leave(1, 2),
+                "leave before join",
+            ),
+            (
+                MembershipPlan::default().with_leave(0, 1).with_leave(0, 2),
+                "duplicate leave",
+            ),
+            (
+                MembershipPlan::default()
+                    .with_join(0, 1, None)
+                    .with_join(1, 1, None)
+                    .with_join(2, 1, None),
+                "no founders",
+            ),
+        ] {
+            assert!(bad.check(3).is_err(), "accepted: {what}");
+        }
+        plan().validate(5);
+    }
+
+    #[test]
+    fn join_materializes_latent_edges_and_bootstraps() {
+        // Ring over 5: node 4's ring edges {3,4} and {4,0} stay latent
+        // until it joins.
+        let full = Graph::ring(5);
+        let mut view = MembershipView::new(plan(), &full, &[]);
+        assert!(!view.is_member(4));
+        assert_eq!(view.overlay().degree(4), 0);
+        // Members 0..=3 lost the ring edges through 4; repair at epoch 0?
+        // No — the initial view is not repaired (the path 0-1-2-3 is
+        // still connected).
+        assert!(alive_connected(
+            view.overlay(),
+            &[false, false, false, false, true]
+        ));
+
+        assert!(view.advance(0).is_none());
+        assert!(view.advance(1).is_none());
+        let t = view.advance(2).expect("join transition");
+        assert_eq!(t.joined, vec![4]);
+        assert!(t.left.is_empty());
+        assert_eq!(t.added_edges, vec![(0, 4), (3, 4)]);
+        assert!(t.removed_edges.is_empty());
+        // Default sponsor: lowest-id member neighbour.
+        assert_eq!(t.bootstraps, vec![(0, 4)]);
+        assert!(view.is_member(4));
+        assert_eq!(view.overlay().degree(4), 2);
+    }
+
+    #[test]
+    fn leave_detaches_and_repairs_connectivity() {
+        // Path-like ring: removing node 1 from a 4-ring keeps the rest
+        // connected; removing opposite nodes of a larger ring would not.
+        let full = Graph::ring(6);
+        let p = MembershipPlan::default().with_leave(0, 3).with_leave(3, 3);
+        let mut view = MembershipView::new(p, &full, &[]);
+        for e in 0..3 {
+            let _ = view.advance(e);
+        }
+        let t = view.advance(3).expect("leave transition");
+        assert_eq!(t.left, vec![0, 3]);
+        assert_eq!(
+            t.removed_edges,
+            vec![(0, 1), (0, 5), (2, 3), (3, 4)],
+            "all four ring edges touching the leavers"
+        );
+        // {1,2} and {4,5} were separated: exactly one bridge was added.
+        assert_eq!(t.added_edges.len(), 1);
+        let dead = vec![true, false, false, true, false, false];
+        assert!(alive_connected(view.overlay(), &dead));
+        assert_eq!(view.member_count(), 4);
+    }
+
+    #[test]
+    fn adjacent_leavers_record_their_shared_edge_once() {
+        // Nodes 0 and 1 (ring neighbours) leave together: edge (0, 1)
+        // is seen from both sides but removed_edges keeps set semantics.
+        let full = Graph::ring(4);
+        let p = MembershipPlan::default().with_leave(0, 1).with_leave(1, 1);
+        let mut view = MembershipView::new(p, &full, &[]);
+        let _ = view.advance(0);
+        let t = view.advance(1).expect("leave transition");
+        assert_eq!(t.removed_edges, vec![(0, 1), (0, 3), (1, 2)]);
+    }
+
+    #[test]
+    fn isolated_joiner_is_bridged_to_the_fleet() {
+        // Node 3 joins but its only latent peer (4) joins later: repair
+        // must bridge 3 into the live overlay.
+        let mut full = Graph::ring(3);
+        // Grow to 5 ids with edges only between 3 and 4.
+        let mut g = Graph::empty(5);
+        for (a, b) in full.edges() {
+            g.add_edge(a, b);
+        }
+        g.add_edge(3, 4);
+        full = g;
+        let p = MembershipPlan::default()
+            .with_join(3, 1, None)
+            .with_join(4, 3, None)
+            .with_bootstrap(10);
+        let mut view = MembershipView::new(p, &full, &[]);
+        let _ = view.advance(0);
+        let t = view.advance(1).expect("join");
+        assert_eq!(t.joined, vec![3]);
+        assert_eq!(t.added_edges.len(), 1, "one repair bridge: {t:?}");
+        assert!(view.overlay().degree(3) >= 1);
+        // The bridge neighbour sponsors the bootstrap.
+        assert_eq!(t.bootstraps.len(), 1);
+        assert_eq!(t.bootstraps[0].1, 3);
+        let _ = view.advance(2);
+        let t = view.advance(3).expect("second join");
+        assert!(t.added_edges.contains(&(3, 4)), "latent edge materialized");
+    }
+
+    #[test]
+    fn transitions_replay_identically() {
+        let full = rex_topology::TopologySpec::SmallWorld.build(12, 5);
+        let p = MembershipPlan {
+            seed: 9,
+            bootstrap_points: 30,
+            ..MembershipPlan::default()
+        }
+        .with_join(10, 2, None)
+        .with_join(11, 4, Some(0))
+        .with_leave(3, 3)
+        .with_leave(10, 6);
+        let run = || {
+            let mut view = MembershipView::new(p.clone(), &full, &[]);
+            (0..8).map(|e| view.advance(e)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn excluded_nodes_never_join_the_overlay() {
+        let full = Graph::complete(4);
+        let p = MembershipPlan::default().with_leave(1, 2);
+        // Node 3 is crash-dead for the whole run: not a member, no
+        // overlay edges, and repair never bridges to it.
+        let excluded = vec![false, false, false, true];
+        let mut view = MembershipView::new(p, &full, &excluded);
+        assert!(!view.is_member(3));
+        assert_eq!(view.overlay().degree(3), 0);
+        let _ = view.advance(0);
+        let _ = view.advance(1);
+        let t = view.advance(2).expect("leave");
+        assert_eq!(t.left, vec![1]);
+        assert_eq!(view.overlay().degree(3), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn out_of_order_advance_is_a_bug() {
+        let mut view = MembershipView::new(MembershipPlan::default(), &Graph::ring(3), &[]);
+        let _ = view.advance(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "dead for the whole run")]
+    fn excluded_joiner_is_rejected() {
+        let p = MembershipPlan::default().with_join(2, 1, None);
+        let _ = MembershipView::new(p, &Graph::ring(3), &[false, false, true]);
+    }
+}

@@ -137,6 +137,67 @@ impl<M: Model> Node<M> {
         self.neighbors.len() != before
     }
 
+    /// Adds `peer` to the neighbour list, keeping it sorted ascending
+    /// (live topology rewiring: a joining node's latent edges
+    /// materialize, or an overlay repair bridges two components after a
+    /// leave — see [`crate::membership`]). The Metropolis–Hastings
+    /// weights renormalize automatically because they derive from the
+    /// degree. In SGX mode the caller installs the late-attested session
+    /// separately ([`Node::install_session`]). Returns whether the peer
+    /// was inserted; adding a present peer (or self) is a no-op.
+    pub fn add_neighbor(&mut self, peer: usize) -> bool {
+        if peer == self.id {
+            return false;
+        }
+        match self.neighbors.binary_search(&peer) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.neighbors.insert(pos, peer);
+                true
+            }
+        }
+    }
+
+    /// Whether an attested session with `peer` is installed.
+    #[must_use]
+    pub fn has_session(&self, peer: usize) -> bool {
+        self.tee
+            .as_ref()
+            .is_some_and(|t| t.sessions.contains_key(&peer))
+    }
+
+    /// Encodes a membership state bootstrap for a joining neighbour: a
+    /// sample of `points` raw ratings from the local store, wrapped
+    /// exactly like an epoch share (same codec, sealed under the
+    /// late-attested session in SGX mode), so the joiner's ordinary
+    /// merge path absorbs it. Consumes this node's protocol RNG — the
+    /// draw is part of the deterministic trajectory, like any epoch
+    /// sample.
+    ///
+    /// # Panics
+    /// In SGX mode, if no session with `peer` is installed (install the
+    /// late-attested session before bootstrapping — a protocol bug
+    /// otherwise).
+    pub fn bootstrap_for(&mut self, peer: usize, points: usize) -> Vec<u8> {
+        let ratings = self.store.sample(points, &mut self.rng);
+        let degree = self.degree();
+        let plain = match self.cfg.codec {
+            WireCodec::Dense => Plain::RawData { ratings, degree },
+            WireCodec::Sparse { .. } => Plain::RawPacked { ratings, degree },
+        };
+        let inner = encode_plain(&plain);
+        let payload = match self.tee.as_mut() {
+            Some(tee) => {
+                let session = tee.sessions.get_mut(&peer).unwrap_or_else(|| {
+                    panic!("node {}: bootstrap for unattested peer {peer}", self.id)
+                });
+                Payload::Sealed(session.seal(&Self::aad(self.id, peer), &inner))
+            }
+            None => Payload::Clear(inner),
+        };
+        encode_payload(&payload)
+    }
+
     /// The local model (read access).
     #[must_use]
     pub fn model(&self) -> &M {
@@ -601,6 +662,36 @@ mod tests {
         let (out, _) = n.epoch(Vec::new());
         let dests: Vec<usize> = out.iter().map(|(d, _)| *d).collect();
         assert_eq!(dests, vec![1, 3]);
+    }
+
+    #[test]
+    fn add_neighbor_keeps_order_and_rewires_sharing() {
+        let mut n = mk_node(
+            0,
+            vec![1, 3],
+            cfg(SharingMode::RawData, GossipAlgorithm::DPsgd),
+        );
+        assert!(n.add_neighbor(2));
+        assert!(!n.add_neighbor(2), "second insert is a no-op");
+        assert!(!n.add_neighbor(0), "self-edge refused");
+        assert_eq!(n.neighbors(), &[1, 2, 3]);
+        assert_eq!(n.degree(), 3);
+        let (out, _) = n.epoch(Vec::new());
+        let dests: Vec<usize> = out.iter().map(|(d, _)| *d).collect();
+        assert_eq!(dests, vec![1, 2, 3], "new neighbour shares immediately");
+    }
+
+    #[test]
+    fn bootstrap_message_grows_the_joiners_store() {
+        let c = cfg(SharingMode::RawData, GossipAlgorithm::DPsgd);
+        let mut sponsor = mk_node(0, vec![1], c);
+        let mut joiner = mk_node(1, vec![0], c);
+        let before = joiner.store().len();
+        let bytes = sponsor.bootstrap_for(1, 12);
+        let (_, report) = joiner.epoch(vec![Envelope { from: 0, bytes }]);
+        assert!(report.new_points > 0, "bootstrap merged into the store");
+        assert_eq!(joiner.store().len(), before + report.new_points);
+        assert!(!sponsor.has_session(1), "native mode: no sessions");
     }
 
     #[test]

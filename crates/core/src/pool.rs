@@ -131,6 +131,13 @@ impl<M: Model> WorkStealPool<M> {
         lock(&self.slots[id]).output.take()
     }
 
+    /// Runs `f` on node `id` (driver thread, between phases — no worker
+    /// holds a slot then). Membership view transitions rewire neighbour
+    /// lists and install late-attested sessions through this.
+    pub(crate) fn with_node<R>(&self, id: usize, f: impl FnOnce(&mut Node<M>) -> R) -> R {
+        f(&mut lock(&self.slots[id]).node)
+    }
+
     /// Re-raises a panic a worker caught during the last phase, on the
     /// driver thread — the pool's equivalent of `Driver::Lockstep`'s
     /// "epoch worker panicked" join failure. Call after [`Self::run_phase`].

@@ -70,6 +70,7 @@ pub fn run_simulation<M: Model>(
             processes_per_platform: 1, // one platform per simulated node
             seed: sim.seed,
             faults: None,
+            membership: None,
         },
     )
     .run(name, nodes)

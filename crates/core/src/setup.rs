@@ -55,6 +55,66 @@ impl SetupReport {
     }
 }
 
+/// The TEE infrastructure a fleet was provisioned with, retained past
+/// setup so **late joins** can attest after epoch 0: the DCAP service
+/// that knows every platform, the platforms themselves (quoting
+/// enclaves), the packing factor, and the infrastructure seed the
+/// deterministic joiner material derives from. Every process that
+/// replays setup from the same seed holds an identical directory, so
+/// late attestation needs no coordinator (see [`rex_tee::join`]).
+pub struct TeeDirectory {
+    /// The attestation verification service.
+    pub dcap: DcapService,
+    /// Provisioned platforms, `platforms[node / processes_per_platform]`
+    /// hosting `node`'s enclave.
+    pub platforms: Vec<SgxPlatform>,
+    /// REX processes packed per platform.
+    pub processes_per_platform: usize,
+    /// The infrastructure seed everything was derived from.
+    pub seed: u64,
+}
+
+impl TeeDirectory {
+    /// The platform hosting `node`'s enclave.
+    #[must_use]
+    pub fn platform_of(&self, node: usize) -> &SgxPlatform {
+        &self.platforms[node / self.processes_per_platform.max(1)]
+    }
+}
+
+/// Reduces every node's neighbour list to the edges of `overlay` — the
+/// membership twin of [`prune_dead_nodes`]: edges whose far end is not
+/// yet (or no longer) a member are stripped before TEE setup, so
+/// attestation covers exactly the founding overlay and latent edges are
+/// attested later, when they materialize. Run by the engine and by every
+/// deployed `rex-node` process, which is what keeps multi-process
+/// attestation replay bit-identical with the in-process engine.
+pub fn prune_to_overlay<M: Model>(nodes: &mut [Node<M>], overlay: &rex_topology::Graph) {
+    assert_eq!(nodes.len(), overlay.len(), "overlay/fleet size mismatch");
+    for (id, node) in nodes.iter_mut().enumerate() {
+        for peer in node.neighbors().to_vec() {
+            if !overlay.has_edge(id, peer) {
+                node.remove_neighbor(peer);
+            }
+        }
+    }
+}
+
+/// Rebuilds the overlay graph a fleet's neighbour lists currently
+/// describe (used to seed a
+/// [`MembershipView`](crate::membership::MembershipView) after the
+/// fault-plan pruning already ran).
+#[must_use]
+pub fn overlay_of<M: Model>(nodes: &[Node<M>]) -> rex_topology::Graph {
+    let mut g = rex_topology::Graph::empty(nodes.len());
+    for (id, node) in nodes.iter().enumerate() {
+        for &peer in node.neighbors() {
+            g.add_edge(id, peer);
+        }
+    }
+    g
+}
+
 /// The crash-aware pre-setup step: prunes nodes that a fault plan keeps
 /// down for the entire run (crash at epoch 0, no rejoin) out of the
 /// overlay — every survivor drops them from its neighbour list (so
@@ -101,6 +161,22 @@ pub fn establish_tee<M: Model, T: Transport>(
     processes_per_platform: usize,
     seed: u64,
 ) -> SetupReport {
+    establish_tee_with_directory(nodes, transport, cost, processes_per_platform, seed).0
+}
+
+/// [`establish_tee`], additionally returning the [`TeeDirectory`] the
+/// fleet was provisioned with — callers that support **late joins**
+/// (dynamic membership) retain it so joiners can attest after epoch 0.
+///
+/// # Panics
+/// As [`establish_tee`].
+pub fn establish_tee_with_directory<M: Model, T: Transport>(
+    nodes: &mut [Node<M>],
+    transport: &mut T,
+    cost: SgxCostModel,
+    processes_per_platform: usize,
+    seed: u64,
+) -> (SetupReport, TeeDirectory) {
     let sw = Stopwatch::start();
     let dcap = DcapService::new();
     let mut rng = StdRng::seed_from_u64(seed);
@@ -185,9 +261,17 @@ pub fn establish_tee<M: Model, T: Transport>(
         let _ = transport.recv(id);
     }
 
-    SetupReport {
-        measured_ns: sw.elapsed_ns(),
-        handshake_bytes_max,
-        edges: edges.len(),
-    }
+    (
+        SetupReport {
+            measured_ns: sw.elapsed_ns(),
+            handshake_bytes_max,
+            edges: edges.len(),
+        },
+        TeeDirectory {
+            dcap,
+            platforms,
+            processes_per_platform: ppp,
+            seed,
+        },
+    )
 }

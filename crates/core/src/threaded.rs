@@ -58,6 +58,7 @@ pub fn run_threaded<M: Model>(
             processes_per_platform: cfg.processes_per_platform,
             seed: cfg.seed,
             faults: None,
+            membership: None,
         },
     )
     .run(name, &mut nodes)

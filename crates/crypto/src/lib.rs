@@ -26,6 +26,7 @@ pub mod ct;
 pub mod error;
 pub mod hkdf;
 pub mod hmac;
+pub mod mix;
 pub mod poly1305;
 pub mod sha256;
 pub mod x25519;
@@ -34,5 +35,6 @@ pub use aead::ChaCha20Poly1305;
 pub use error::CryptoError;
 pub use hkdf::Hkdf;
 pub use hmac::HmacSha256;
+pub use mix::splitmix64;
 pub use sha256::Sha256;
 pub use x25519::{PublicKey, SharedSecret, StaticSecret};

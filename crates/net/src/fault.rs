@@ -57,6 +57,7 @@
 use crate::mem::Envelope;
 use crate::stats::{DeliveryStats, TrafficStats};
 use crate::transport::{Endpoint, Transport};
+use rex_crypto::splitmix64;
 
 /// Per-link fault rates, each a probability in `[0, 1]`.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -189,13 +190,6 @@ const SALT_DROP: u64 = 0xD509_0000_0000_0001;
 const SALT_DELAY: u64 = 0xD509_0000_0000_0002;
 const SALT_DUP: u64 = 0xD509_0000_0000_0003;
 const SALT_REORDER: u64 = 0xD509_0000_0000_0004;
-
-fn splitmix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
 
 impl FaultPlan {
     /// A plan with a seed and uniform link rates, no partitions or
@@ -451,6 +445,18 @@ impl Injector {
         }
     }
 
+    /// Drops every held message addressed to or sent by `node` — the
+    /// membership-leave purge: a graceful leaver's in-flight delayed
+    /// messages die with it, identically in the engine's central
+    /// wrapper and in each deployed process's endpoint wrapper (where a
+    /// release after retirement would otherwise target a torn-down
+    /// connection). The messages were already counted `late` when they
+    /// were held; they are never counted `delivered`.
+    fn forget_node(&mut self, node: usize) {
+        self.delayed.retain(|h| h.from != node && h.to != node);
+        self.reordered.retain(|h| h.from != node && h.to != node);
+    }
+
     /// Releases held messages at a round boundary (wrapper `flush` /
     /// `sync`, *before* the inner barrier): all reordered messages of
     /// this round, plus delayed messages whose release round arrived.
@@ -538,6 +544,13 @@ impl<T: Transport> Transport for FaultyTransport<T> {
     fn epoch_begin(&mut self, epoch: usize) {
         self.inj.epoch = Some(epoch);
         self.inner.epoch_begin(epoch);
+    }
+
+    fn view_sync(&mut self, epoch: usize, joined: &[usize], left: &[usize]) {
+        for &l in left {
+            self.inj.forget_node(l);
+        }
+        self.inner.view_sync(epoch, joined, left);
     }
 
     fn take_delivery(&mut self) -> DeliveryStats {
@@ -639,6 +652,36 @@ impl<E: Endpoint> Endpoint for FaultyEndpoint<E> {
         self.inner.sync();
     }
 
+    fn try_sync(&mut self) -> Result<(), crate::transport::TransportError> {
+        // Same release point as `sync` — held messages go out before the
+        // inner barrier, whichever error surface the caller uses.
+        let inner = &mut self.inner;
+        self.inj.release(&mut |_, t, b| inner.send(t, b));
+        self.inner.try_sync()
+    }
+
+    fn view_sync(
+        &mut self,
+        epoch: usize,
+        joined: &[usize],
+        left: &[usize],
+    ) -> Result<(), crate::transport::TransportError> {
+        // Membership is infrastructure, not protocol: admissions and
+        // retirements pass through unfaulted (the *bootstrap payload*
+        // is a normal epoch send and very much faultable). A leaver's
+        // held (delayed) messages die with it — releasing them after
+        // retirement would target a torn-down connection, and the
+        // engine's central wrapper purges the same set.
+        for &l in left {
+            self.inj.forget_node(l);
+        }
+        self.inner.view_sync(epoch, joined, left)
+    }
+
+    fn join_evidence(&mut self, peer: usize) -> Option<Vec<u8>> {
+        self.inner.join_evidence(peer)
+    }
+
     fn drain_barrier(&mut self) {
         // Barrier only — no release. The deployed node loop runs a wire
         // barrier *before* sending too; releasing held messages there
@@ -647,6 +690,11 @@ impl<E: Endpoint> Endpoint for FaultyEndpoint<E> {
         // exclusively at the post-send `sync`, exactly where the
         // engine's drivers release them.
         self.inner.sync();
+    }
+
+    fn try_drain_barrier(&mut self) -> Result<(), crate::transport::TransportError> {
+        // Barrier only, like `drain_barrier` — see above.
+        self.inner.try_sync()
     }
 
     fn epoch_begin(&mut self, epoch: usize) {

@@ -25,6 +25,8 @@ use std::io::{self, Read, Write};
 const KIND_HELLO: u8 = 1;
 const KIND_DATA: u8 = 2;
 const KIND_BARRIER: u8 = 3;
+const KIND_JOIN: u8 = 4;
+const KIND_WELCOME: u8 = 5;
 
 /// Fixed header size: kind (1) + from (4) + body length (4).
 pub const HEADER_LEN: usize = 9;
@@ -55,6 +57,31 @@ pub enum Frame {
         /// Sending node's id.
         from: usize,
         /// Barrier generation the sender has entered.
+        generation: u64,
+    },
+    /// Online-join bootstrap: "this connection speaks for node `from`,
+    /// which the shared membership schedule admits at `epoch`". Sent by
+    /// the dialing joiner; the accepting member validates it against its
+    /// own view and replies [`Frame::Welcome`]. Control plane, never
+    /// accounted in payload traffic.
+    Join {
+        /// Joining node's id.
+        from: usize,
+        /// The epoch the joiner enters the view.
+        epoch: u64,
+        /// Late-attestation evidence (an encoded quote payload; empty in
+        /// native mode).
+        evidence: Vec<u8>,
+    },
+    /// Join admission reply: carries the admitting member's current
+    /// barrier generation so the joiner can align with the running
+    /// cluster's wire barrier. Control plane, never accounted.
+    Welcome {
+        /// Admitting node's id.
+        from: usize,
+        /// The join epoch being acknowledged.
+        epoch: u64,
+        /// The admitting side's barrier generation at admission.
         generation: u64,
     },
 }
@@ -118,6 +145,28 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             buf.extend_from_slice(&generation.to_le_bytes());
             buf
         }
+        Frame::Join {
+            from,
+            epoch,
+            evidence,
+        } => {
+            let mut buf = Vec::with_capacity(HEADER_LEN + 8 + evidence.len());
+            buf.extend_from_slice(&header(KIND_JOIN, *from, 8 + evidence.len()));
+            buf.extend_from_slice(&epoch.to_le_bytes());
+            buf.extend_from_slice(evidence);
+            buf
+        }
+        Frame::Welcome {
+            from,
+            epoch,
+            generation,
+        } => {
+            let mut buf = Vec::with_capacity(HEADER_LEN + 16);
+            buf.extend_from_slice(&header(KIND_WELCOME, *from, 16));
+            buf.extend_from_slice(&epoch.to_le_bytes());
+            buf.extend_from_slice(&generation.to_le_bytes());
+            buf
+        }
     }
 }
 
@@ -161,6 +210,38 @@ fn build_frame(kind: u8, from: usize, body: &[u8]) -> Result<Frame, FrameError> 
             g.copy_from_slice(body);
             Ok(Frame::Barrier {
                 from,
+                generation: u64::from_le_bytes(g),
+            })
+        }
+        KIND_JOIN => {
+            if body.len() < 8 {
+                return Err(FrameError::Invalid(format!(
+                    "join frame with {}-byte body",
+                    body.len()
+                )));
+            }
+            let mut e = [0u8; 8];
+            e.copy_from_slice(&body[..8]);
+            Ok(Frame::Join {
+                from,
+                epoch: u64::from_le_bytes(e),
+                evidence: body[8..].to_vec(),
+            })
+        }
+        KIND_WELCOME => {
+            if body.len() != 16 {
+                return Err(FrameError::Invalid(format!(
+                    "welcome frame with {}-byte body",
+                    body.len()
+                )));
+            }
+            let mut e = [0u8; 8];
+            e.copy_from_slice(&body[..8]);
+            let mut g = [0u8; 8];
+            g.copy_from_slice(&body[8..]);
+            Ok(Frame::Welcome {
+                from,
+                epoch: u64::from_le_bytes(e),
                 generation: u64::from_le_bytes(g),
             })
         }
@@ -241,6 +322,21 @@ mod tests {
                 from: 2,
                 generation: 0xDEAD_BEEF_u64,
             },
+            Frame::Join {
+                from: 4,
+                epoch: 3,
+                evidence: vec![9, 8, 7],
+            },
+            Frame::Join {
+                from: 4,
+                epoch: 0,
+                evidence: Vec::new(),
+            },
+            Frame::Welcome {
+                from: 1,
+                epoch: 3,
+                generation: 6,
+            },
         ] {
             let bytes = encode_frame(&frame);
             let (back, consumed) = decode_frame(&bytes).unwrap();
@@ -309,6 +405,14 @@ mod tests {
         // Barrier with a short body.
         let mut buf = header(KIND_BARRIER, 0, 4).to_vec();
         buf.extend_from_slice(&[0; 4]);
+        assert!(decode_frame(&buf).is_err());
+        // Join too short to carry its epoch.
+        let mut buf = header(KIND_JOIN, 0, 4).to_vec();
+        buf.extend_from_slice(&[0; 4]);
+        assert!(decode_frame(&buf).is_err());
+        // Welcome with a short body.
+        let mut buf = header(KIND_WELCOME, 0, 8).to_vec();
+        buf.extend_from_slice(&[0; 8]);
         assert!(decode_frame(&buf).is_err());
     }
 

@@ -48,13 +48,22 @@ use crate::channel::AtomicStats;
 use crate::frame::{read_frame, write_frame, Frame, FrameError, HEADER_LEN};
 use crate::mem::Envelope;
 use crate::stats::TrafficStats;
-use crate::transport::{canonicalize, Endpoint, Transport};
+use crate::transport::{canonicalize, Endpoint, Transport, TransportError};
+use std::collections::HashMap;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Locks a mutex, recovering the guard from poisoning: a reader thread
+/// must never panic on a lock another thread poisoned while unwinding —
+/// that would escalate one failure into a process abort instead of a
+/// surfaced [`TransportError`].
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// How long [`TcpEndpoint::connect`] keeps retrying peers that have not
 /// bound their listener yet.
@@ -72,11 +81,18 @@ const BARRIER_TIMEOUT: Duration = Duration::from_secs(120);
 /// peer dying *before* delivering an awaited token is detected.
 #[derive(Debug, Default)]
 struct BarrierState {
-    /// Highest barrier generation received from each peer (own slot is
-    /// pre-satisfied with `u64::MAX`).
+    /// Highest barrier generation received from each peer. The own slot
+    /// — and every peer without a live connection (a scheduled joiner
+    /// that has not been admitted yet, or a retired leaver) — is
+    /// pre-satisfied with `u64::MAX`, which is what scopes the wire
+    /// barrier to the *current membership view*.
     gens: Vec<u64>,
     /// Peers whose connection reached EOF or errored.
     closed: Vec<bool>,
+    /// Why a peer's connection was torn down, when the reader knows
+    /// more than "closed" (a protocol violation, an io error) — surfaced
+    /// through [`TransportError`] at the next barrier.
+    reasons: Vec<Option<String>>,
 }
 
 /// Mailbox + barrier state one endpoint shares with its reader threads.
@@ -100,7 +116,7 @@ impl Shared {
                 // the bootstrap hello); a frame's self-declared `from`
                 // cannot re-attribute it, which would break canonical
                 // ordering's per-sender FIFO invariant.
-                self.queue.lock().unwrap().push(Envelope {
+                lock(&self.queue).push(Envelope {
                     from: peer,
                     bytes: payload,
                 });
@@ -108,19 +124,24 @@ impl Shared {
             Frame::Barrier { generation, .. } => {
                 self.wire_bytes_in
                     .fetch_add((HEADER_LEN + 8) as u64, Ordering::Relaxed);
-                let mut state = self.barriers.lock().unwrap();
+                let mut state = lock(&self.barriers);
                 // The connection is the identity; generations only grow.
                 state.gens[peer] = state.gens[peer].max(generation);
                 self.barrier_cv.notify_all();
             }
-            // Hello frames are consumed during bootstrap; one arriving
-            // later is a protocol violation from a peer — drop it.
-            Frame::Hello { .. } => {}
+            // Hello/join/welcome frames are consumed during bootstrap or
+            // admission; one arriving later is a protocol violation from
+            // a peer — drop it.
+            Frame::Hello { .. } | Frame::Join { .. } | Frame::Welcome { .. } => {}
         }
     }
 
-    fn on_closed(&self, peer: usize) {
-        self.barriers.lock().unwrap().closed[peer] = true;
+    fn on_closed(&self, peer: usize, reason: Option<String>) {
+        let mut state = lock(&self.barriers);
+        state.closed[peer] = true;
+        if state.reasons[peer].is_none() {
+            state.reasons[peer] = reason;
+        }
         self.barrier_cv.notify_all();
     }
 }
@@ -129,50 +150,92 @@ impl Shared {
 pub struct TcpEndpoint {
     id: usize,
     n: usize,
-    /// Write halves, indexed by peer id (`None` at the own index).
+    /// Write halves, indexed by peer id (`None` at the own index, at
+    /// peers without a live connection — scheduled joiners not yet
+    /// admitted — and at retired leavers).
     writers: Vec<Option<TcpStream>>,
+    /// The listening socket, retained after bootstrap so scheduled
+    /// joiners can be admitted mid-run (`None` for loopback-fabric
+    /// endpoints, which are fully pre-connected).
+    listener: Option<TcpListener>,
     shared: Arc<Shared>,
     stats: Arc<AtomicStats>,
     /// Barrier generation this endpoint has entered.
     generation: u64,
     wire_bytes_out: u64,
+    /// Late-attestation evidence carried by admitted `Join` frames,
+    /// keyed by joiner id, drained by [`Endpoint::join_evidence`].
+    evidence: HashMap<usize, Vec<u8>>,
+    /// Join connections that dialed in **early** — a joiner process may
+    /// start (and dial) long before its scheduled epoch, even while the
+    /// founders are still bootstrapping their mesh. They wait here,
+    /// outside the barrier set, until [`TcpEndpoint::view_sync`] admits
+    /// them at the epoch the shared schedule names.
+    parked: Vec<(usize, u64, Vec<u8>, TcpStream)>,
     readers: Vec<JoinHandle<()>>,
 }
 
 impl TcpEndpoint {
     /// Assembles an endpoint from established peer connections and spawns
-    /// one reader thread per connection.
-    fn from_streams(id: usize, writers: Vec<Option<TcpStream>>) -> io::Result<Self> {
+    /// one reader thread per connection. Peers without a connection are
+    /// pre-satisfied in the barrier state (outside the current view)
+    /// until [`TcpEndpoint::view_sync`] admits them.
+    fn from_streams(
+        id: usize,
+        writers: Vec<Option<TcpStream>>,
+        listener: Option<TcpListener>,
+    ) -> io::Result<Self> {
         let n = writers.len();
         let shared = Arc::new(Shared {
             barriers: Mutex::new(BarrierState {
-                gens: (0..n).map(|p| if p == id { u64::MAX } else { 0 }).collect(),
+                gens: (0..n)
+                    .map(|p| {
+                        if p == id || writers[p].is_none() {
+                            u64::MAX
+                        } else {
+                            0
+                        }
+                    })
+                    .collect(),
                 closed: vec![false; n],
+                reasons: vec![None; n],
             }),
             ..Shared::default()
         });
-        let stats = Arc::new(AtomicStats::default());
-        let mut readers = Vec::new();
-        for (peer, stream) in writers.iter().enumerate() {
-            let Some(stream) = stream else { continue };
-            stream.set_nodelay(true)?;
-            let read_half = stream.try_clone()?;
-            let shared = Arc::clone(&shared);
-            let stats = Arc::clone(&stats);
-            readers.push(std::thread::spawn(move || {
-                reader_loop(peer, read_half, &shared, &stats);
-            }));
-        }
-        Ok(TcpEndpoint {
+        let mut endpoint = TcpEndpoint {
             id,
             n,
-            writers,
+            writers: (0..n).map(|_| None).collect(),
+            listener,
             shared,
-            stats,
+            stats: Arc::new(AtomicStats::default()),
             generation: 0,
             wire_bytes_out: 0,
-            readers,
-        })
+            evidence: HashMap::new(),
+            parked: Vec::new(),
+            readers: Vec::new(),
+        };
+        for (peer, stream) in writers.into_iter().enumerate() {
+            let Some(stream) = stream else { continue };
+            endpoint.attach(peer, stream)?;
+        }
+        Ok(endpoint)
+    }
+
+    /// Wires one established connection in: nodelay, reader thread,
+    /// write half. The caller is responsible for the barrier-state
+    /// bookkeeping (bootstrap pre-sets it; admission aligns it to the
+    /// current generation).
+    fn attach(&mut self, peer: usize, stream: TcpStream) -> io::Result<()> {
+        stream.set_nodelay(true)?;
+        let read_half = stream.try_clone()?;
+        let shared = Arc::clone(&self.shared);
+        let stats = Arc::clone(&self.stats);
+        self.readers.push(std::thread::spawn(move || {
+            reader_loop(peer, read_half, &shared, &stats);
+        }));
+        self.writers[peer] = Some(stream);
+        Ok(())
     }
 
     /// Bootstraps the distributed endpoint for node `id`: binds
@@ -181,8 +244,25 @@ impl TcpEndpoint {
     /// lower-id peer, and identifies each accepted connection by its
     /// opening [`Frame::Hello`].
     pub fn connect(id: usize, addrs: &[SocketAddr], timeout: Duration) -> io::Result<TcpEndpoint> {
+        let all: Vec<usize> = (0..addrs.len()).collect();
+        Self::connect_among(id, addrs, &all, timeout)
+    }
+
+    /// [`TcpEndpoint::connect`] over a **subset** of the id space: the
+    /// mesh spans only `peers` (which must contain `id`) — the founding
+    /// members of a dynamic-membership cluster. Ids outside `peers` stay
+    /// unconnected and outside the barrier set until
+    /// [`Endpoint::view_sync`] admits them at their scheduled join
+    /// epoch.
+    pub fn connect_among(
+        id: usize,
+        addrs: &[SocketAddr],
+        peers: &[usize],
+        timeout: Duration,
+    ) -> io::Result<TcpEndpoint> {
         let n = addrs.len();
         assert!(id < n, "node id {id} outside cluster of {n}");
+        assert!(peers.contains(&id), "node {id} outside its own mesh");
         let deadline = Instant::now() + timeout;
         // Retry AddrInUse within the deadline: ports reserved via
         // [`reserve_loopback_addrs`] are released before this rebind, so
@@ -201,7 +281,8 @@ impl TcpEndpoint {
         let mut writers: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
 
         // Dial upward: peer listeners may not be up yet, so retry.
-        for (peer, addr) in addrs.iter().enumerate().skip(id + 1) {
+        for &peer in peers.iter().filter(|&&p| p > id) {
+            let addr = &addrs[peer];
             let stream = loop {
                 match TcpStream::connect(addr) {
                     Ok(s) => break s,
@@ -221,9 +302,15 @@ impl TcpEndpoint {
             writers[peer] = Some(stream);
         }
 
-        // Accept downward: `id` peers will dial us; their hello says who
-        // they are.
-        for _ in 0..id {
+        // Accept downward: every lower-id mesh peer will dial us; their
+        // hello says who they are. A scheduled joiner's process may dial
+        // in at any point (it starts whenever it starts) — its opening
+        // `Join` frame identifies it, and the connection is parked until
+        // its epoch's admission instead of failing the bootstrap.
+        let expected_hellos = peers.iter().filter(|&&p| p < id).count();
+        let mut hellos = 0;
+        let mut parked: Vec<(usize, u64, Vec<u8>, TcpStream)> = Vec::new();
+        while hellos < expected_hellos {
             listener.set_nonblocking(true)?;
             let (stream, _) = loop {
                 match listener.accept() {
@@ -241,17 +328,177 @@ impl TcpEndpoint {
                 }
             };
             stream.set_nonblocking(false)?;
-            let peer = read_hello(&stream, deadline)?;
-            if peer >= n || writers[peer].is_some() || peer == id {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("node {id}: bogus hello from peer {peer}"),
-                ));
+            match read_first_frame(&stream, deadline)? {
+                Frame::Hello { from: peer }
+                    if peer < n
+                        && writers[peer].is_none()
+                        && peer != id
+                        && peers.contains(&peer) =>
+                {
+                    writers[peer] = Some(stream);
+                    hellos += 1;
+                }
+                Frame::Join {
+                    from,
+                    epoch,
+                    evidence,
+                } if from < n
+                    && from != id
+                    && !peers.contains(&from)
+                    && parked.iter().all(|(p, ..)| *p != from) =>
+                {
+                    parked.push((from, epoch, evidence, stream));
+                }
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("node {id}: bogus bootstrap frame {other:?}"),
+                    ));
+                }
             }
+        }
+
+        // Back to blocking: the retained listener serves mid-run join
+        // admissions, which manage their own deadlines.
+        listener.set_nonblocking(false)?;
+        let mut endpoint = Self::from_streams(id, writers, Some(listener))?;
+        endpoint.parked = parked;
+        Ok(endpoint)
+    }
+
+    /// Bootstraps the endpoint of a **scheduled joiner**: binds
+    /// `addrs[id]`, dials every node in `dial` (the members it joins,
+    /// plus any same-epoch joiner with a higher id), opening each
+    /// connection with a [`Frame::Join`] carrying `epoch` and the
+    /// late-attestation `evidence`; waits for every dialed peer's
+    /// [`Frame::Welcome`] (members send it when the shared schedule
+    /// reaches the join epoch, so this blocks until the running cluster
+    /// arrives there); then accepts one `Join` from every same-epoch
+    /// joiner in `accept_from` (lower ids dial higher ids) and welcomes
+    /// them at the learned generation.
+    ///
+    /// Returns the endpoint with its barrier generation aligned to the
+    /// running cluster's, ready to enter the join epoch's view barrier.
+    ///
+    /// # Errors
+    /// On socket failure, timeout, disagreeing welcome generations (the
+    /// cluster and this process follow different schedules), or a
+    /// protocol-violating peer.
+    pub fn connect_as_joiner(
+        id: usize,
+        addrs: &[SocketAddr],
+        epoch: usize,
+        dial: &[usize],
+        accept_from: &[usize],
+        evidence: Vec<u8>,
+        timeout: Duration,
+    ) -> Result<TcpEndpoint, TransportError> {
+        let n = addrs.len();
+        assert!(id < n, "node id {id} outside cluster of {n}");
+        let deadline = Instant::now() + timeout;
+        let listener = TcpListener::bind(addrs[id]).map_err(TransportError::from)?;
+
+        // Dial everyone first (connections complete via the peers'
+        // listener backlogs even before they admit), so no admission
+        // order can deadlock.
+        let mut writers: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
+        for &peer in dial {
+            assert!(
+                peer < n && peer != id,
+                "joiner {id} dialing bogus peer {peer}"
+            );
+            let stream = loop {
+                match TcpStream::connect(addrs[peer]) {
+                    Ok(s) => break s,
+                    Err(e) => {
+                        if Instant::now() >= deadline {
+                            return Err(TransportError::Timeout {
+                                what: format!("joiner {id}: dialing peer {peer}: {e}"),
+                            });
+                        }
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                }
+            };
+            stream.set_nodelay(true).map_err(TransportError::from)?;
+            write_frame(
+                &mut &stream,
+                &Frame::Join {
+                    from: id,
+                    epoch: epoch as u64,
+                    evidence: evidence.clone(),
+                },
+            )
+            .map_err(TransportError::from)?;
             writers[peer] = Some(stream);
         }
 
-        Self::from_streams(id, writers)
+        // Collect every dialed peer's welcome. They all arrive at the
+        // same schedule point, so the generations must agree.
+        let mut generation = None;
+        for &peer in dial {
+            let stream = writers[peer].as_ref().expect("dialed above");
+            let (w_epoch, w_gen) = read_welcome(stream, peer, deadline)?;
+            if w_epoch != epoch as u64 {
+                return Err(TransportError::Protocol {
+                    peer,
+                    detail: format!("welcomed epoch {w_epoch}, expected {epoch}"),
+                });
+            }
+            if *generation.get_or_insert(w_gen) != w_gen {
+                return Err(TransportError::Protocol {
+                    peer,
+                    detail: format!(
+                        "welcome generation {w_gen} disagrees with {}",
+                        generation.unwrap_or_default()
+                    ),
+                });
+            }
+        }
+        let generation = generation.unwrap_or(0);
+
+        // Same-epoch joiners with lower ids dial us; welcome them at the
+        // generation the members taught us. A *later* epoch's joiner may
+        // also dial in early (its process starts whenever it starts) —
+        // park that connection for its own admission, exactly like the
+        // founder bootstrap and `view_sync` admissions do.
+        let mut pending: Vec<usize> = accept_from.to_vec();
+        let mut parked: Vec<(usize, u64, Vec<u8>, TcpStream)> = Vec::new();
+        while !pending.is_empty() {
+            let (stream, remote) = accept_until(&listener, deadline, id)?;
+            let (peer, join_epoch, peer_evidence) = read_join(&stream, remote, deadline)?;
+            if pending.contains(&peer) && join_epoch == epoch as u64 {
+                pending.retain(|&p| p != peer);
+                write_frame(
+                    &mut &stream,
+                    &Frame::Welcome {
+                        from: id,
+                        epoch: epoch as u64,
+                        generation,
+                    },
+                )
+                .map_err(TransportError::from)?;
+                writers[peer] = Some(stream);
+            } else if peer < n
+                && peer != id
+                && join_epoch > epoch as u64
+                && writers[peer].is_none()
+                && parked.iter().all(|(p, ..)| *p != peer)
+            {
+                parked.push((peer, join_epoch, peer_evidence, stream));
+            } else {
+                return Err(TransportError::Protocol {
+                    peer,
+                    detail: format!("unexpected join for epoch {join_epoch} at joiner {id}"),
+                });
+            }
+        }
+
+        let mut endpoint =
+            Self::from_streams(id, writers, Some(listener)).map_err(TransportError::from)?;
+        endpoint.generation = generation;
+        endpoint.parked = parked;
+        Ok(endpoint)
     }
 
     /// This endpoint's node id.
@@ -313,48 +560,171 @@ impl TcpEndpoint {
 
     /// Phase two: wait until every peer's token of the current generation
     /// arrived (hence, by FIFO, every message they sent before it).
-    ///
-    /// # Panics
-    /// If a peer connection closes mid-barrier or the round times out —
-    /// the fleet can no longer produce a correct result.
-    fn sync_wait(&self) {
+    /// Surfaces a dead peer or a timed-out round as a
+    /// [`TransportError`] — the fleet can no longer produce a correct
+    /// result, and the caller decides whether that panics (the engine)
+    /// or exits cleanly (the deployed binary).
+    fn sync_wait(&self) -> Result<(), TransportError> {
         let g = self.generation;
         let deadline = Instant::now() + BARRIER_TIMEOUT;
-        let mut state = self.shared.barriers.lock().unwrap();
+        let mut state = lock(&self.shared.barriers);
         loop {
             if state.gens.iter().all(|&seen| seen >= g) {
-                return;
+                return Ok(());
             }
-            let dead = state
+            if let Some(peer) = state
                 .gens
                 .iter()
                 .zip(&state.closed)
-                .position(|(&seen, &closed)| closed && seen < g);
-            assert!(
-                dead.is_none(),
-                "node {}: peer {} disconnected before barrier {g}",
-                self.id,
-                dead.unwrap_or_default()
-            );
+                .position(|(&seen, &closed)| closed && seen < g)
+            {
+                let detail = state.reasons[peer]
+                    .clone()
+                    .unwrap_or_else(|| format!("disconnected before barrier {g}"));
+                return Err(TransportError::PeerLost { peer, detail });
+            }
             let timeout = deadline.saturating_duration_since(Instant::now());
-            assert!(
-                !timeout.is_zero(),
-                "node {}: barrier {} timed out",
-                self.id,
-                self.generation
-            );
+            if timeout.is_zero() {
+                return Err(TransportError::Timeout {
+                    what: format!("node {}: barrier {g}", self.id),
+                });
+            }
             let (guard, _) = self
                 .shared
                 .barrier_cv
                 .wait_timeout(state, timeout.min(Duration::from_millis(100)))
-                .unwrap();
+                .unwrap_or_else(PoisonError::into_inner);
             state = guard;
+        }
+    }
+
+    /// Admits the pending `Join` connections of `expected` (scheduled
+    /// joiners of `epoch` that dialed this node), in arrival order:
+    /// accept, validate the `Join` frame against the schedule, stash its
+    /// evidence, reply [`Frame::Welcome`] with the current barrier
+    /// generation, and wire the connection into the mailbox and barrier
+    /// set at that generation.
+    fn admit(&mut self, epoch: usize, expected: &[usize]) -> Result<(), TransportError> {
+        if expected.is_empty() {
+            return Ok(());
+        }
+        // Temporarily detach the listener so admissions can mutate the
+        // endpoint while accepting (restored below on every path).
+        let Some(listener) = self.listener.take() else {
+            return Err(TransportError::Io {
+                detail: format!(
+                    "node {}: no listener to admit joiners {expected:?}",
+                    self.id
+                ),
+            });
+        };
+        let result = self.admit_on(&listener, epoch, expected);
+        self.listener = Some(listener);
+        result
+    }
+
+    fn admit_on(
+        &mut self,
+        listener: &TcpListener,
+        epoch: usize,
+        expected: &[usize],
+    ) -> Result<(), TransportError> {
+        let deadline = Instant::now() + BARRIER_TIMEOUT;
+        let mut pending: Vec<usize> = expected.to_vec();
+
+        // Early dial-ins parked during bootstrap (or a previous
+        // admission) first; connections for later epochs stay parked.
+        for (peer, join_epoch, evidence, stream) in std::mem::take(&mut self.parked) {
+            if pending.contains(&peer) {
+                if join_epoch != epoch as u64 {
+                    return Err(TransportError::Protocol {
+                        peer,
+                        detail: format!("joined for epoch {join_epoch}, schedule says {epoch}"),
+                    });
+                }
+                pending.retain(|&p| p != peer);
+                self.welcome_and_attach(peer, epoch, evidence, stream)?;
+            } else {
+                self.parked.push((peer, join_epoch, evidence, stream));
+            }
+        }
+
+        while !pending.is_empty() {
+            let (stream, remote) = accept_until(listener, deadline, self.id)?;
+            let (peer, join_epoch, evidence) = read_join(&stream, remote, deadline)?;
+            if pending.contains(&peer) {
+                if join_epoch != epoch as u64 {
+                    return Err(TransportError::Protocol {
+                        peer,
+                        detail: format!("joined for epoch {join_epoch}, schedule says {epoch}"),
+                    });
+                }
+                pending.retain(|&p| p != peer);
+                self.welcome_and_attach(peer, epoch, evidence, stream)?;
+            } else if peer < self.n
+                && peer != self.id
+                && self.writers[peer].is_none()
+                && self.parked.iter().all(|(p, ..)| *p != peer)
+            {
+                // A later epoch's joiner dialing early: park it.
+                self.parked.push((peer, join_epoch, evidence, stream));
+            } else {
+                return Err(TransportError::Protocol {
+                    peer,
+                    detail: format!(
+                        "unexpected join at node {} (expected {expected:?} at epoch {epoch})",
+                        self.id
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Completes one admission: welcome the joiner at the current
+    /// generation, stash its evidence, and wire the connection into the
+    /// mailbox and barrier set.
+    fn welcome_and_attach(
+        &mut self,
+        peer: usize,
+        epoch: usize,
+        evidence: Vec<u8>,
+        stream: TcpStream,
+    ) -> Result<(), TransportError> {
+        write_frame(
+            &mut &stream,
+            &Frame::Welcome {
+                from: self.id,
+                epoch: epoch as u64,
+                generation: self.generation,
+            },
+        )
+        .map_err(TransportError::from)?;
+        self.wire_bytes_out += (HEADER_LEN + 16) as u64;
+        self.evidence.insert(peer, evidence);
+        {
+            let mut state = lock(&self.shared.barriers);
+            state.gens[peer] = self.generation;
+            state.closed[peer] = false;
+            state.reasons[peer] = None;
+        }
+        self.attach(peer, stream).map_err(TransportError::from)
+    }
+
+    /// Retires a departed peer from the barrier set (its slot is
+    /// pre-satisfied forever) and tears down the connection. Graceful:
+    /// the leaver stopped participating at this exact schedule point, so
+    /// nothing is in flight.
+    fn retire(&mut self, peer: usize) {
+        lock(&self.shared.barriers).gens[peer] = u64::MAX;
+        if let Some(stream) = self.writers[peer].take() {
+            let _ = stream.shutdown(Shutdown::Both);
         }
     }
 
     /// Drains everything currently delivered, without blocking.
     pub fn try_drain(&self) -> Vec<Envelope> {
-        std::mem::take(&mut *self.shared.queue.lock().unwrap())
+        std::mem::take(&mut *lock(&self.shared.queue))
     }
 
     /// Snapshot of this node's traffic stats.
@@ -397,8 +767,47 @@ impl Endpoint for TcpEndpoint {
     }
 
     fn sync(&mut self) {
+        self.try_sync()
+            .unwrap_or_else(|e| panic!("node {}: barrier failed: {e}", self.id));
+    }
+
+    fn try_sync(&mut self) -> Result<(), TransportError> {
         self.sync_begin();
-        self.sync_wait();
+        self.sync_wait()
+    }
+
+    fn try_drain_barrier(&mut self) -> Result<(), TransportError> {
+        // TCP's drain barrier is a full wire barrier (the default
+        // `drain_barrier` = `sync`); this is its fallible form.
+        self.sync_begin();
+        self.sync_wait()
+    }
+
+    fn view_sync(
+        &mut self,
+        epoch: usize,
+        joined: &[usize],
+        left: &[usize],
+    ) -> Result<(), TransportError> {
+        for &l in left {
+            if l != self.id {
+                self.retire(l);
+            }
+        }
+        // Admit only joiners we are not already connected to: on a
+        // pre-connected loopback fabric (or for the joiner itself) this
+        // is a no-op, on a distributed member it accepts the pending
+        // dial-ins.
+        let expected: Vec<usize> = joined
+            .iter()
+            .copied()
+            .filter(|&j| j != self.id && self.writers[j].is_none())
+            .collect();
+        self.admit(epoch, &expected)
+    }
+
+    fn join_evidence(&mut self, peer: usize) -> Option<Vec<u8>> {
+        self.evidence.remove(&peer)
     }
 
     fn stats(&self) -> TrafficStats {
@@ -407,29 +816,128 @@ impl Endpoint for TcpEndpoint {
 }
 
 /// Decodes frames off the connection to `peer` into the owner's mailbox
-/// until EOF or error.
+/// until EOF or error. Never panics: a hostile or broken peer is
+/// recorded as a closed connection with a reason, which the next
+/// barrier surfaces as a [`TransportError`].
 fn reader_loop(peer: usize, stream: TcpStream, shared: &Shared, stats: &AtomicStats) {
     let mut reader = io::BufReader::new(stream);
-    loop {
+    let reason = loop {
         match read_frame(&mut reader) {
             Ok(Some(frame)) => shared.on_frame(peer, frame, stats),
-            Ok(None) | Err(FrameError::Io(_)) => break,
-            Err(FrameError::Invalid(_)) => break,
+            Ok(None) => break None, // clean EOF at a frame boundary
+            Err(FrameError::Io(e)) => break Some(format!("connection error: {e}")),
+            Err(FrameError::Invalid(m)) => break Some(format!("sent an invalid frame: {m}")),
         }
-    }
-    shared.on_closed(peer);
+    };
+    shared.on_closed(peer, reason);
 }
 
-/// Reads the bootstrap hello off a fresh connection, bounded by
-/// `deadline`.
-fn read_hello(stream: &TcpStream, deadline: Instant) -> io::Result<usize> {
+/// Accepts one connection, bounded by `deadline`.
+fn accept_until(
+    listener: &TcpListener,
+    deadline: Instant,
+    id: usize,
+) -> Result<(TcpStream, SocketAddr), TransportError> {
+    listener
+        .set_nonblocking(true)
+        .map_err(TransportError::from)?;
+    let conn = loop {
+        match listener.accept() {
+            Ok(conn) => break conn,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return Err(TransportError::Timeout {
+                        what: format!("node {id}: accepting a join connection"),
+                    });
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => return Err(e.into()),
+        }
+    };
+    listener
+        .set_nonblocking(false)
+        .map_err(TransportError::from)?;
+    conn.0
+        .set_nonblocking(false)
+        .map_err(TransportError::from)?;
+    Ok(conn)
+}
+
+/// Reads the opening [`Frame::Join`] off a fresh connection, bounded by
+/// `deadline`. Returns `(joiner, epoch, evidence)`.
+fn read_join(
+    stream: &TcpStream,
+    remote: SocketAddr,
+    deadline: Instant,
+) -> Result<(usize, u64, Vec<u8>), TransportError> {
+    let budget = deadline.saturating_duration_since(Instant::now());
+    stream
+        .set_read_timeout(Some(budget.max(Duration::from_millis(10))))
+        .map_err(TransportError::from)?;
+    let result = match read_frame(&mut &*stream) {
+        Ok(Some(Frame::Join {
+            from,
+            epoch,
+            evidence,
+        })) => Ok((from, epoch, evidence)),
+        Ok(other) => Err(TransportError::Protocol {
+            peer: TransportError::UNIDENTIFIED_PEER,
+            detail: format!("dialer at {remote}: expected join, got {other:?}"),
+        }),
+        Err(FrameError::Io(e)) => Err(e.into()),
+        Err(e @ FrameError::Invalid(_)) => Err(TransportError::Protocol {
+            peer: TransportError::UNIDENTIFIED_PEER,
+            detail: format!("dialer at {remote}: {e}"),
+        }),
+    };
+    stream
+        .set_read_timeout(None)
+        .map_err(TransportError::from)?;
+    result
+}
+
+/// Reads the [`Frame::Welcome`] a dialed member replies with, bounded by
+/// `deadline`. Returns `(epoch, generation)`.
+fn read_welcome(
+    stream: &TcpStream,
+    peer: usize,
+    deadline: Instant,
+) -> Result<(u64, u64), TransportError> {
+    let budget = deadline.saturating_duration_since(Instant::now());
+    stream
+        .set_read_timeout(Some(budget.max(Duration::from_millis(10))))
+        .map_err(TransportError::from)?;
+    let result = match read_frame(&mut &*stream) {
+        Ok(Some(Frame::Welcome {
+            epoch, generation, ..
+        })) => Ok((epoch, generation)),
+        Ok(other) => Err(TransportError::Protocol {
+            peer,
+            detail: format!("expected welcome, got {other:?}"),
+        }),
+        Err(FrameError::Io(e)) => Err(e.into()),
+        Err(e @ FrameError::Invalid(_)) => Err(TransportError::Protocol {
+            peer,
+            detail: e.to_string(),
+        }),
+    };
+    stream
+        .set_read_timeout(None)
+        .map_err(TransportError::from)?;
+    result
+}
+
+/// Reads the first frame off a fresh connection, bounded by `deadline`
+/// (bootstrap hellos and early join dial-ins).
+fn read_first_frame(stream: &TcpStream, deadline: Instant) -> io::Result<Frame> {
     let budget = deadline.saturating_duration_since(Instant::now());
     stream.set_read_timeout(Some(budget.max(Duration::from_millis(10))))?;
     let result = match read_frame(&mut &*stream) {
-        Ok(Some(Frame::Hello { from })) => Ok(from),
-        Ok(other) => Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("expected hello, got {other:?}"),
+        Ok(Some(frame)) => Ok(frame),
+        Ok(None) => Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "eof before the bootstrap frame",
         )),
         Err(FrameError::Io(e)) => Err(e),
         Err(e @ FrameError::Invalid(_)) => {
@@ -438,6 +946,18 @@ fn read_hello(stream: &TcpStream, deadline: Instant) -> io::Result<usize> {
     };
     stream.set_read_timeout(None)?;
     result
+}
+
+/// Reads the bootstrap hello off a fresh connection, bounded by
+/// `deadline`.
+fn read_hello(stream: &TcpStream, deadline: Instant) -> io::Result<usize> {
+    match read_first_frame(stream, deadline)? {
+        Frame::Hello { from } => Ok(from),
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("expected hello, got {other:?}"),
+        )),
+    }
 }
 
 /// Reserves `n` distinct loopback addresses by binding ephemeral
@@ -497,7 +1017,7 @@ impl TcpTransport {
         let endpoints = streams
             .into_iter()
             .enumerate()
-            .map(|(id, writers)| TcpEndpoint::from_streams(id, writers))
+            .map(|(id, writers)| TcpEndpoint::from_streams(id, writers, None))
             .collect::<io::Result<Vec<_>>>()?;
         Ok(TcpTransport { endpoints })
     }
@@ -529,7 +1049,8 @@ impl Transport for TcpTransport {
             ep.sync_begin();
         }
         for ep in &self.endpoints {
-            ep.sync_wait();
+            ep.sync_wait()
+                .unwrap_or_else(|e| panic!("node {}: barrier failed: {e}", ep.id));
         }
     }
 
@@ -649,5 +1170,154 @@ mod tests {
         let mut eps = net.into_endpoints().unwrap();
         let mut a = eps.remove(0);
         Endpoint::send(&mut a, 0, vec![1]);
+    }
+
+    #[test]
+    fn joiner_is_admitted_into_mesh_barrier_and_mailboxes() {
+        // 2 founders (ids 0, 1) mesh among themselves; node 2 joins at
+        // "epoch 1": founders admit via view_sync, the joiner dials in
+        // with a Join frame carrying evidence, everyone barrier-syncs
+        // together afterwards and data flows both ways. Finally node 0
+        // "leaves" and the survivors' barrier keeps working.
+        // Every thread follows the deployed node-loop shape per epoch:
+        // [transition: view_sync + view barrier] → recv → drain_barrier
+        // → send → sync.
+        let addrs = reserve_loopback_addrs(3).unwrap();
+        let founders = vec![0usize, 1];
+        let founder = |id: usize, addrs: Vec<SocketAddr>| {
+            let founders = founders.clone();
+            std::thread::spawn(move || {
+                let mut ep =
+                    TcpEndpoint::connect_among(id, &addrs, &founders, Duration::from_secs(10))
+                        .unwrap();
+                // Epoch 0: one round between the founders only.
+                assert!(Endpoint::recv(&mut ep).is_empty());
+                ep.drain_barrier();
+                Endpoint::send(&mut ep, 1 - id, vec![id as u8]);
+                Endpoint::sync(&mut ep);
+
+                // Epoch 1: admit the joiner, check its evidence, view
+                // barrier (where a sponsor's bootstrap would travel).
+                ep.view_sync(1, &[2], &[]).unwrap();
+                assert_eq!(ep.join_evidence(2).as_deref(), Some(&b"quote"[..]));
+                assert!(ep.join_evidence(2).is_none(), "evidence drains");
+                ep.try_sync().unwrap();
+                assert_eq!(Endpoint::recv(&mut ep).len(), 1, "epoch-0 round");
+                ep.drain_barrier();
+                Endpoint::send(&mut ep, 2, vec![10 + id as u8]);
+                ep.try_sync().unwrap();
+
+                // Epoch 2: node 0 departs gracefully before any barrier;
+                // node 1 retires it and continues with the joiner.
+                if id == 0 {
+                    return ep.stats();
+                }
+                ep.view_sync(2, &[], &[0]).unwrap();
+                ep.try_sync().unwrap();
+                let from_joiner = Endpoint::recv(&mut ep);
+                assert_eq!(from_joiner.len(), 1);
+                assert_eq!(from_joiner[0].from, 2);
+                ep.drain_barrier();
+                Endpoint::send(&mut ep, 2, vec![99]);
+                ep.try_sync().unwrap();
+                ep.stats()
+            })
+        };
+        let f0 = founder(0, addrs.clone());
+        let f1 = founder(1, addrs.clone());
+
+        let joiner = std::thread::spawn({
+            let addrs = addrs.clone();
+            move || {
+                let mut ep = TcpEndpoint::connect_as_joiner(
+                    2,
+                    &addrs,
+                    1,
+                    &[0, 1],
+                    &[],
+                    b"quote".to_vec(),
+                    Duration::from_secs(10),
+                )
+                .unwrap();
+                // Epoch 1, from the view barrier onward.
+                ep.try_sync().unwrap();
+                assert!(Endpoint::recv(&mut ep).is_empty());
+                ep.drain_barrier();
+                Endpoint::send(&mut ep, 0, vec![42]);
+                Endpoint::send(&mut ep, 1, vec![42]);
+                ep.try_sync().unwrap();
+
+                // Epoch 2: node 0 left; rounds continue with node 1.
+                ep.view_sync(2, &[], &[0]).unwrap();
+                ep.try_sync().unwrap();
+                let inbox = Endpoint::recv(&mut ep);
+                let got: Vec<(usize, u8)> = inbox.iter().map(|e| (e.from, e.bytes[0])).collect();
+                assert_eq!(got, vec![(0, 10), (1, 11)]);
+                ep.drain_barrier();
+                ep.try_sync().unwrap();
+
+                // Epoch 3 drain: node 1's epoch-2 message.
+                let inbox = Endpoint::recv(&mut ep);
+                assert_eq!(inbox.len(), 1);
+                assert_eq!(inbox[0].bytes, vec![99]);
+                ep.stats()
+            }
+        });
+
+        let s0 = f0.join().unwrap();
+        let s1 = f1.join().unwrap();
+        let s2 = joiner.join().unwrap();
+        // Payload accounting covers the join-era traffic; control frames
+        // (join/welcome/barrier) stay out of it.
+        assert_eq!(s0.msgs_out, 2); // founder round + to joiner
+        assert_eq!(s1.msgs_out, 3); // + post-leave send
+        assert_eq!(s2.msgs_out, 2);
+        assert_eq!(s2.msgs_in, 3);
+    }
+
+    #[test]
+    fn barrier_surfaces_peer_death_as_transport_error() {
+        let net = TcpTransport::loopback(2).unwrap();
+        let mut eps = net.into_endpoints().unwrap();
+        let b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        drop(b); // peer vanishes without serving the barrier
+        let err = a.try_sync().expect_err("dead peer must surface");
+        match err {
+            TransportError::PeerLost { peer, .. } => assert_eq!(peer, 1),
+            other => panic!("expected PeerLost, got {other}"),
+        }
+    }
+
+    #[test]
+    fn invalid_frames_surface_reason_not_panic() {
+        // A hostile peer writes garbage: the reader thread records the
+        // reason and the next barrier reports it instead of panicking.
+        let addrs = reserve_loopback_addrs(2).unwrap();
+        let victim = {
+            let addrs = addrs.clone();
+            std::thread::spawn(move || {
+                let mut ep = TcpEndpoint::connect(0, &addrs, Duration::from_secs(10)).unwrap();
+                ep.try_sync().expect_err("hostile peer must surface")
+            })
+        };
+        let hostile = std::thread::spawn(move || {
+            use std::io::Write;
+            let mut ep = TcpEndpoint::connect(1, &addrs, Duration::from_secs(10)).unwrap();
+            // Raw garbage straight onto the wire, then hang up.
+            let stream = ep.writers[0].take().unwrap();
+            write_frame(&mut &stream, &Frame::Hello { from: 1 }).unwrap(); // ignored, legal
+            (&stream).write_all(&[0xFF; 32]).unwrap();
+            let _ = stream.shutdown(Shutdown::Both);
+        });
+        hostile.join().unwrap();
+        let err = victim.join().unwrap();
+        match err {
+            TransportError::PeerLost { peer, detail } => {
+                assert_eq!(peer, 1);
+                assert!(detail.contains("invalid frame"), "detail: {detail}");
+            }
+            other => panic!("expected PeerLost, got {other}"),
+        }
     }
 }

@@ -35,6 +35,78 @@ use crate::mem::Envelope;
 use crate::stats::{DeliveryStats, TrafficStats};
 use std::time::Instant;
 
+/// A transport-level failure surfaced to the caller instead of
+/// panicking the process: the deployed `rex-node` loop turns these into
+/// clean process exits (and, for recoverable membership operations, into
+/// retries), while the in-process engine — where a dead peer means the
+/// experiment is unsalvageable — still converts them into panics at the
+/// call site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// A peer's connection closed (or broke) while the protocol still
+    /// needed it.
+    PeerLost {
+        /// The peer whose connection died.
+        peer: usize,
+        /// What the transport knows about the failure.
+        detail: String,
+    },
+    /// A peer violated the wire protocol (malformed frame, bogus hello
+    /// or join, wrong epoch).
+    Protocol {
+        /// The offending peer — [`TransportError::UNIDENTIFIED_PEER`]
+        /// when the connection never identified itself (the `detail`
+        /// then carries its remote address).
+        peer: usize,
+        /// What it sent.
+        detail: String,
+    },
+    /// A blocking operation exceeded its deadline.
+    Timeout {
+        /// What was being waited for.
+        what: String,
+    },
+    /// A local socket-level failure.
+    Io {
+        /// The underlying error, stringified.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::PeerLost { peer, detail } => {
+                write!(f, "peer {peer} lost: {detail}")
+            }
+            TransportError::Protocol { peer, detail } if *peer == Self::UNIDENTIFIED_PEER => {
+                write!(f, "unidentified peer protocol violation: {detail}")
+            }
+            TransportError::Protocol { peer, detail } => {
+                write!(f, "peer {peer} protocol violation: {detail}")
+            }
+            TransportError::Timeout { what } => write!(f, "timed out waiting for {what}"),
+            TransportError::Io { detail } => write!(f, "transport io: {detail}"),
+        }
+    }
+}
+
+impl TransportError {
+    /// Sentinel `peer` value for protocol violations on a connection
+    /// that never completed identification (no hello/join accepted).
+    pub const UNIDENTIFIED_PEER: usize = usize::MAX;
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<std::io::Error> for TransportError {
+    fn from(e: std::io::Error) -> Self {
+        TransportError::Io {
+            detail: e.to_string(),
+        }
+    }
+}
+
 /// A message fabric connecting `n` nodes, viewed from a single owner.
 ///
 /// # Delivery contract
@@ -70,6 +142,16 @@ pub trait Transport {
     /// override it. Sends made before the first `epoch_begin` belong to
     /// the setup phase.
     fn epoch_begin(&mut self, _epoch: usize) {}
+
+    /// Fabric-level twin of [`Endpoint::view_sync`]: the engine calls
+    /// this when the membership view changes, before applying the
+    /// transition. Plain backends ignore it; layers holding in-flight
+    /// state (the fault wrappers, which purge a leaver's held delayed
+    /// messages) override it. Infallible — the single-owner fabrics
+    /// have no connection state that can fail here.
+    fn view_sync(&mut self, epoch: usize, joined: &[usize], left: &[usize]) {
+        let _ = (epoch, joined, left);
+    }
 
     /// Drains the delivery counters accumulated since the last call
     /// (delivered/dropped/late/duplicated message counts). Plain
@@ -116,6 +198,16 @@ pub trait Endpoint: Send {
     /// complete and deterministic.
     fn sync(&mut self) {}
 
+    /// Fallible twin of [`Endpoint::sync`]: surfaces peer loss, protocol
+    /// violations, and barrier timeouts as a
+    /// [`TransportError`] instead of panicking — the deployed `rex-node`
+    /// loop runs on this so a dying peer becomes a clean process exit.
+    /// Endpoints whose `sync` cannot fail keep the default.
+    fn try_sync(&mut self) -> Result<(), TransportError> {
+        self.sync();
+        Ok(())
+    }
+
     /// Pre-send round barrier: used by driver loops that need a wire
     /// barrier *between draining and sending* (the deployed `rex-node`
     /// loop), where `sync` is reserved for the post-send position.
@@ -124,6 +216,42 @@ pub trait Endpoint: Send {
     /// post-send barrier) override it to a barrier-only operation.
     fn drain_barrier(&mut self) {
         self.sync();
+    }
+
+    /// Fallible twin of [`Endpoint::drain_barrier`], mirroring
+    /// [`Endpoint::try_sync`].
+    fn try_drain_barrier(&mut self) -> Result<(), TransportError> {
+        self.drain_barrier();
+        Ok(())
+    }
+
+    /// Membership view-synchronization hook, called by the deployed
+    /// node loop when the epoch-scoped view changes: `joined` nodes
+    /// enter the view this epoch, `left` nodes departed at this
+    /// boundary. Endpoints with live connection state act on it — the
+    /// TCP endpoint **admits** pending `join` connections from new
+    /// peers (accept, validate the `Join` control frame, reply
+    /// `Welcome` with the current barrier generation) and **retires**
+    /// departed peers from its barrier set. In-memory endpoints, whose
+    /// fabric has no per-connection state, keep the default no-op; the
+    /// engine's lockstep drivers perform the equivalent transition
+    /// centrally.
+    fn view_sync(
+        &mut self,
+        epoch: usize,
+        joined: &[usize],
+        left: &[usize],
+    ) -> Result<(), TransportError> {
+        let _ = (epoch, joined, left);
+        Ok(())
+    }
+
+    /// The late-attestation evidence a `Join` control frame carried for
+    /// `peer`, if this endpoint admitted one (drained: a second call
+    /// returns `None`). Default: no join machinery, no evidence.
+    fn join_evidence(&mut self, peer: usize) -> Option<Vec<u8>> {
+        let _ = peer;
+        None
     }
 
     /// Per-endpoint twin of [`Transport::epoch_begin`]: called by the

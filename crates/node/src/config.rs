@@ -17,6 +17,7 @@
 //! round-trips through [`ClusterConfig::parse`].
 
 use rex_core::config::{GossipAlgorithm, ProtocolConfig, SharingMode, WireCodec};
+use rex_core::membership::MembershipPlan;
 use rex_net::fault::{CrashSpec, FaultPlan, LinkFaults, PartitionSpec};
 use rex_topology::TopologySpec;
 use std::collections::HashMap;
@@ -81,6 +82,22 @@ pub struct ClusterConfig {
     ///
     /// `None` when the section is absent: a fully reliable fabric.
     pub faults: Option<FaultPlan>,
+    /// Dynamic-membership schedule, from the optional `[membership]`
+    /// section:
+    ///
+    /// ```toml
+    /// [membership]
+    /// seed = 11              # overlay-repair bridge seed
+    /// bootstrap_points = 80  # sponsor's raw-share sample per joiner
+    /// joins = ["4@3", "5@6<2"]  # node@epoch, optional <sponsor
+    /// leaves = ["1@8"]          # node@epoch
+    /// ```
+    ///
+    /// Every process parses the same schedule, so view transitions —
+    /// joins with attested state bootstrap, graceful leaves with live
+    /// topology rewiring — replay bit-for-bit across the whole cluster.
+    /// `None` when the section is absent: the node set is static.
+    pub membership: Option<MembershipPlan>,
 }
 
 impl Default for ClusterConfig {
@@ -105,6 +122,7 @@ impl Default for ClusterConfig {
             processes_per_platform: 1,
             infra_seed: 0xE0,
             faults: None,
+            membership: None,
         }
     }
 }
@@ -193,7 +211,7 @@ fn parse_map(text: &str) -> Result<(HashMap<String, Value>, Vec<String>), String
                 .strip_suffix(']')
                 .ok_or_else(|| format!("line {}: unterminated section header", lineno + 1))?
                 .trim();
-            if name != "faults" {
+            if name != "faults" && name != "membership" {
                 return Err(format!("line {}: unknown section [{name}]", lineno + 1));
             }
             prefix = format!("{name}.");
@@ -317,6 +335,74 @@ fn parse_crash(raw: &str) -> Result<CrashSpec, String> {
     })
 }
 
+/// Parses a `node@epoch` or `node@epoch<sponsor` join spec.
+fn parse_join(raw: &str) -> Result<(usize, usize, Option<usize>), String> {
+    let err = || format!("joins: expected \"node@epoch\" or \"node@epoch<sponsor\", got {raw}");
+    let (node, rest) = raw.split_once('@').ok_or_else(err)?;
+    let node = node.trim().parse::<usize>().map_err(|_| err())?;
+    let (epoch, sponsor) = match rest.split_once('<') {
+        Some((epoch, sponsor)) => (
+            epoch.trim().parse::<usize>().map_err(|_| err())?,
+            Some(sponsor.trim().parse::<usize>().map_err(|_| err())?),
+        ),
+        None => (rest.trim().parse::<usize>().map_err(|_| err())?, None),
+    };
+    Ok((node, epoch, sponsor))
+}
+
+/// Parses a `node@epoch` leave spec.
+fn parse_leave(raw: &str) -> Result<(usize, usize), String> {
+    let err = || format!("leaves: expected \"node@epoch\", got {raw}");
+    let (node, epoch) = raw.split_once('@').ok_or_else(err)?;
+    Ok((
+        node.trim().parse::<usize>().map_err(|_| err())?,
+        epoch.trim().parse::<usize>().map_err(|_| err())?,
+    ))
+}
+
+/// Assembles the `[membership]` section into a [`MembershipPlan`].
+fn parse_membership(map: &HashMap<String, Value>) -> Result<MembershipPlan, String> {
+    let mut plan = MembershipPlan {
+        seed: get_int(map, "membership.seed", 0)?,
+        bootstrap_points: get_int(map, "membership.bootstrap_points", 0)?,
+        ..MembershipPlan::default()
+    };
+    for raw in get_list(map, "membership.joins")? {
+        let (node, epoch, sponsor) = parse_join(&raw)?;
+        plan = plan.with_join(node, epoch, sponsor);
+    }
+    for raw in get_list(map, "membership.leaves")? {
+        let (node, epoch) = parse_leave(&raw)?;
+        plan = plan.with_leave(node, epoch);
+    }
+    Ok(plan)
+}
+
+/// Serializes a [`MembershipPlan`] as the `[membership]` section
+/// [`parse_membership`] reads back.
+fn membership_to_toml(plan: &MembershipPlan) -> String {
+    let joins: Vec<String> = plan
+        .joins
+        .iter()
+        .map(|j| match j.sponsor {
+            Some(s) => format!("\"{}@{}<{s}\"", j.node, j.epoch),
+            None => format!("\"{}@{}\"", j.node, j.epoch),
+        })
+        .collect();
+    let leaves: Vec<String> = plan
+        .leaves
+        .iter()
+        .map(|l| format!("\"{}@{}\"", l.node, l.epoch))
+        .collect();
+    format!(
+        "\n[membership]\nseed = {}\nbootstrap_points = {}\njoins = [{}]\nleaves = [{}]\n",
+        plan.seed,
+        plan.bootstrap_points,
+        joins.join(", "),
+        leaves.join(", "),
+    )
+}
+
 /// Assembles the `[faults]` section into a [`FaultPlan`].
 fn parse_faults(map: &HashMap<String, Value>) -> Result<FaultPlan, String> {
     Ok(FaultPlan {
@@ -428,6 +514,42 @@ impl ClusterConfig {
             "sparse" => WireCodec::Sparse { max_density },
             other => return Err(format!("codec: unknown codec {other}")),
         };
+        let faults = if sections.iter().any(|s| s == "faults") {
+            let plan = parse_faults(&map)?;
+            // Reject bad rates / out-of-range node ids here, through
+            // the parser's Result path — a malformed [faults] section
+            // must not become a panic inside the deployed binary.
+            plan.check(num_nodes).map_err(|e| format!("faults: {e}"))?;
+            Some(plan)
+        } else {
+            None
+        };
+        let membership = if sections.iter().any(|s| s == "membership") {
+            let plan = parse_membership(&map)?;
+            // Reject bad schedules (out-of-range ids, epoch-0 joins,
+            // self-sponsors…) through the parser's Result path — a
+            // malformed [membership] section must not become a panic
+            // inside the deployed binary.
+            plan.check(num_nodes)
+                .map_err(|e| format!("membership: {e}"))?;
+            // Cross-section consistency: a node the fault plan keeps
+            // dead for the whole run can never materialize its join.
+            if let Some(faults) = &faults {
+                let dead = faults.dead_at_setup(num_nodes);
+                for join in &plan.joins {
+                    if dead.get(join.node).copied().unwrap_or(false) {
+                        return Err(format!(
+                            "membership: node {} joins at epoch {}, but the [faults] \
+                             section crashes it at epoch 0 with no rejoin",
+                            join.node, join.epoch
+                        ));
+                    }
+                }
+            }
+            Some(plan)
+        } else {
+            None
+        };
         Ok(ClusterConfig {
             nodes,
             epochs: get_int(&map, "epochs", d.epochs as u64)?,
@@ -451,16 +573,8 @@ impl ClusterConfig {
                 d.processes_per_platform as u64,
             )?,
             infra_seed: get_int(&map, "infra_seed", d.infra_seed)?,
-            faults: if sections.iter().any(|s| s == "faults") {
-                let plan = parse_faults(&map)?;
-                // Reject bad rates / out-of-range node ids here, through
-                // the parser's Result path — a malformed [faults] section
-                // must not become a panic inside the deployed binary.
-                plan.check(num_nodes).map_err(|e| format!("faults: {e}"))?;
-                Some(plan)
-            } else {
-                None
-            },
+            faults,
+            membership,
         })
     }
 
@@ -483,6 +597,11 @@ impl ClusterConfig {
             TopologySpec::Ring => "ring",
         };
         let faults = self.faults.as_ref().map(faults_to_toml).unwrap_or_default();
+        let membership = self
+            .membership
+            .as_ref()
+            .map(membership_to_toml)
+            .unwrap_or_default();
         let codec = match self.codec {
             WireCodec::Dense => "codec = \"dense\"".to_string(),
             WireCodec::Sparse { max_density } => {
@@ -508,7 +627,7 @@ impl ClusterConfig {
              {codec}\n\
              sgx = {}\n\
              processes_per_platform = {}\n\
-             infra_seed = {}\n{faults}",
+             infra_seed = {}\n{faults}{membership}",
             addrs.join(", "),
             self.epochs,
             self.topology_seed,
@@ -698,6 +817,92 @@ mod tests {
             ClusterConfig::parse("nodes = [\"a\"]\n[faults\n").is_err(),
             "unterminated section accepted"
         );
+    }
+
+    #[test]
+    fn membership_section_roundtrips() {
+        let cfg = ClusterConfig {
+            nodes: (0..6).map(|i| format!("127.0.0.1:{}", 7300 + i)).collect(),
+            membership: Some(
+                MembershipPlan {
+                    seed: 11,
+                    bootstrap_points: 80,
+                    ..MembershipPlan::default()
+                }
+                .with_join(4, 3, None)
+                .with_join(5, 6, Some(2))
+                .with_leave(1, 8),
+            ),
+            ..ClusterConfig::default()
+        };
+        let text = cfg.to_toml();
+        assert!(text.contains("[membership]"), "{text}");
+        assert!(text.contains("\"5@6<2\""), "{text}");
+        let parsed = ClusterConfig::parse(&text).unwrap();
+        assert_eq!(parsed, cfg);
+        // Faults and membership sections coexist.
+        let both = ClusterConfig {
+            faults: Some(FaultPlan::uniform(3, LinkFaults::drop_rate(0.1))),
+            ..cfg
+        };
+        assert_eq!(ClusterConfig::parse(&both.to_toml()).unwrap(), both);
+    }
+
+    #[test]
+    fn membership_section_defaults_and_empty_section() {
+        // An empty [membership] section means "a static plan" — still
+        // Some, so the cluster exercises the view machinery.
+        let cfg = ClusterConfig::parse("nodes = [\"127.0.0.1:1\"]\n[membership]\n").unwrap();
+        assert_eq!(cfg.membership, Some(MembershipPlan::default()));
+        // No section at all means None.
+        let cfg = ClusterConfig::parse("nodes = [\"127.0.0.1:1\"]\n").unwrap();
+        assert_eq!(cfg.membership, None);
+    }
+
+    #[test]
+    fn join_of_a_setup_dead_node_is_a_parse_error_not_a_panic() {
+        // Cross-section consistency: [faults] crashing a node at epoch 0
+        // forever contradicts a [membership] join for the same node —
+        // the deployed binary must refuse the config, not panic later.
+        let text = "nodes = [\"a\", \"b\", \"c\"]\n\
+                    [faults]\ncrashes = [\"2@0\"]\n\
+                    [membership]\njoins = [\"2@1\"]\n";
+        let err = ClusterConfig::parse(text).unwrap_err();
+        assert!(err.contains("crashes it at epoch 0"), "got: {err}");
+        // A crash *window* (with a rejoin) over the join epoch is legal:
+        // the node joins the view and sits its crash window out.
+        let text = "nodes = [\"a\", \"b\", \"c\"]\n\
+                    [faults]\ncrashes = [\"2@0-2\"]\n\
+                    [membership]\njoins = [\"2@1\"]\n";
+        assert!(ClusterConfig::parse(text).is_ok());
+    }
+
+    #[test]
+    fn membership_section_rejects_malformed_specs() {
+        let base = "nodes = [\"127.0.0.1:1\", \"127.0.0.1:2\"]\n[membership]\n";
+        for bad in [
+            "joins = [\"1\"]\n",                       // no epoch
+            "joins = [\"x@2\"]\n",                     // bad node
+            "joins = [\"1@y\"]\n",                     // bad epoch
+            "joins = [\"1@2<z\"]\n",                   // bad sponsor
+            "joins = [\"9@2\"]\n",                     // node outside fleet
+            "joins = [\"1@0\"]\n",                     // epoch-0 join
+            "joins = [\"1@2<1\"]\n",                   // self-sponsor
+            "joins = [\"1@2\", \"1@3\"]\n",            // duplicate join
+            "joins = [\"0@1\", \"1@1\"]\n",            // no founding members
+            "leaves = [\"1\"]\n",                      // no epoch
+            "leaves = [\"9@2\"]\n",                    // node outside fleet
+            "leaves = [\"1@2\", \"1@4\"]\n",           // duplicate leave
+            "joins = [\"1@3\"]\nleaves = [\"1@2\"]\n", // leaves before joining
+            "seed = \"lots\"\n",
+            "bootstrap_points = -1\n",
+            "joins = 7\n",
+        ] {
+            assert!(
+                ClusterConfig::parse(&format!("{base}{bad}")).is_err(),
+                "accepted {bad:?}"
+            );
+        }
     }
 
     #[test]

@@ -62,11 +62,23 @@ pub fn launch_cluster(
     let mut children = Vec::with_capacity(n);
     for id in 0..n {
         let out_path = workdir.join(format!("node{id}.summary"));
-        let child = Command::new(binary)
+        let mut command = Command::new(binary);
+        command
             .arg("--config")
             .arg(&config_path)
             .arg("--id")
-            .arg(id.to_string())
+            .arg(id.to_string());
+        // Scheduled joiners get the explicit flag, exercising the same
+        // path an operator would use to dial a node into a running
+        // cluster.
+        if cfg
+            .membership
+            .as_ref()
+            .is_some_and(|p| p.join_epoch(id).is_some())
+        {
+            command.arg("--join");
+        }
+        let child = command
             .arg("--out")
             .arg(&out_path)
             // --quiet: per-epoch progress lines would fill the 64 KiB

@@ -27,23 +27,64 @@ pub mod launcher;
 pub use config::ClusterConfig;
 
 use rex_core::builder::{build_mf_nodes, NodeSeeds};
-use rex_core::setup::establish_tee;
+use rex_core::membership::{MembershipView, ViewTransition};
+use rex_core::setup::{establish_tee_with_directory, overlay_of, prune_to_overlay, TeeDirectory};
 use rex_core::Node;
 use rex_data::{Partition, SyntheticConfig, TrainTestSplit};
 use rex_ml::{MfHyperParams, MfModel};
+use rex_net::codec::{decode_payload, encode_payload};
 use rex_net::fault::{FaultPlan, FaultyEndpoint};
 use rex_net::mem::MemNetwork;
+use rex_net::message::Payload;
 use rex_net::stats::TrafficStats;
 use rex_net::tcp::{TcpEndpoint, TcpTransport, DEFAULT_CONNECT_TIMEOUT};
 use rex_net::transport::{Endpoint, Transport};
+use rex_tee::attestation::AttestationMsg;
 use rex_tee::SgxCostModel;
+use std::time::Duration;
+
+/// How long a scheduled joiner waits for the running cluster to reach
+/// its join epoch (the cluster may be several epochs away when the
+/// joiner process starts). This bounds the join window: the cluster
+/// must arrive at the join epoch within this budget — and, mirrored on
+/// the member side, admission waits at most the barrier timeout for the
+/// joiner's dial-in — so start the joiner within ~2 minutes of the
+/// cluster reaching its epoch (the launcher starts everything together,
+/// well inside the window).
+pub const JOIN_TIMEOUT: Duration = Duration::from_secs(120);
 
 /// Builds the full fleet a config describes — identically in every
-/// process that parses the same file. When the config carries a
-/// `[faults]` plan, nodes that are dead for the whole run are pruned
-/// from every neighbour list here (the same crash-aware pre-setup step
-/// the engine performs), so attestation replay and per-node degrees
-/// agree across all processes.
+/// process that parses the same file — plus the epoch-0
+/// [`MembershipView`] when the config schedules churn. When the config
+/// carries a `[faults]` plan, nodes that are dead for the whole run are
+/// pruned from every neighbour list here (the same crash-aware
+/// pre-setup step the engine performs); when it carries a
+/// `[membership]` plan, edges touching future joiners are likewise
+/// stripped to their latent state, so attestation replay and per-node
+/// degrees agree across all processes.
+#[must_use]
+pub fn build_fleet_and_view(cfg: &ClusterConfig) -> (Vec<Node<MfModel>>, Option<MembershipView>) {
+    let n = cfg.num_nodes();
+    let mut fleet = build_fleet(cfg);
+    let view = cfg.membership.clone().map(|plan| {
+        let excluded = cfg
+            .faults
+            .as_ref()
+            .map(|p| p.dead_at_setup(n))
+            .unwrap_or_default();
+        let view = MembershipView::new(plan, &overlay_of(&fleet), &excluded);
+        prune_to_overlay(&mut fleet, view.overlay());
+        view
+    });
+    (fleet, view)
+}
+
+/// [`build_fleet_and_view`] **without** the membership pruning: the
+/// full (fault-pruned) fleet over the complete topology. This is what
+/// engine-level callers want — [`rex_core::engine::Engine::run`]
+/// derives its own [`MembershipView`] from
+/// [`rex_core::engine::EngineConfig::membership`] and must see the
+/// latent edges to strip them itself.
 #[must_use]
 pub fn build_fleet(cfg: &ClusterConfig) -> Vec<Node<MfModel>> {
     let n = cfg.num_nodes();
@@ -184,47 +225,218 @@ fn add_stats(a: TrafficStats, b: TrafficStats) -> TrafficStats {
 /// Replays TEE provisioning + attestation for the whole fleet in memory.
 /// Every process runs this with the same seed, deriving identical session
 /// keys — the distributed equivalent of the engine's fabric-level setup.
-/// Returns per-node handshake traffic so deployed stats stay comparable.
-fn replay_setup(cfg: &ClusterConfig, fleet: &mut [Node<MfModel>]) -> Vec<TrafficStats> {
+/// Returns per-node handshake traffic so deployed stats stay comparable,
+/// plus the [`TeeDirectory`] late joins attest against.
+fn replay_setup(
+    cfg: &ClusterConfig,
+    fleet: &mut [Node<MfModel>],
+) -> (Vec<TrafficStats>, TeeDirectory) {
     let mut mem = MemNetwork::new(fleet.len());
-    let _ = establish_tee(
+    let (_, dir) = establish_tee_with_directory(
         fleet,
         &mut mem,
         SgxCostModel::default(),
         cfg.processes_per_platform,
         cfg.infra_seed,
     );
-    mem.all_stats()
+    (mem.all_stats(), dir)
 }
 
-/// The deployed per-node epoch loop: drain, wire barrier, train, send,
-/// wire barrier — the transport-level shape of the engine's
-/// thread-per-node driver, with [`Endpoint::sync`] replacing the
-/// in-process barrier. When `faults` schedules this node down for an
-/// epoch it discards its inbox and sits the round out — while still
-/// serving both wire barriers, which are infrastructure, not protocol
-/// (the engine's thread driver does exactly the same). Returns the
-/// per-epoch local RMSE trace (`None` for down epochs). Calls
+/// Encodes a joiner's late-attestation evidence for the wire: the quote
+/// travels as an attestation payload inside the `Join` control frame.
+fn encode_evidence(
+    dir: &TeeDirectory,
+    node: &mut Node<MfModel>,
+    epoch: usize,
+) -> Result<Vec<u8>, String> {
+    let id = node.id();
+    let quote = rex_tee::join::joiner_evidence(
+        dir.seed,
+        epoch,
+        id,
+        node.enclave_mut()
+            .ok_or_else(|| format!("node {id}: SGX join without an enclave"))?,
+        dir.platform_of(id),
+    )?;
+    Ok(encode_payload(&Payload::Attestation(
+        AttestationMsg::Hello { quote },
+    )))
+}
+
+/// A member's admission check on the evidence a `Join` frame carried.
+fn verify_evidence(
+    dir: &TeeDirectory,
+    node: &mut Node<MfModel>,
+    joiner: usize,
+    epoch: usize,
+    evidence: &[u8],
+) -> Result<(), String> {
+    let id = node.id();
+    let payload = decode_payload(evidence)
+        .map_err(|e| format!("node {id}: joiner {joiner} evidence undecodable: {e}"))?;
+    let Payload::Attestation(AttestationMsg::Hello { quote }) = payload else {
+        return Err(format!(
+            "node {id}: joiner {joiner} evidence is not an attestation hello"
+        ));
+    };
+    let own = node
+        .enclave_mut()
+        .ok_or_else(|| format!("node {id}: SGX admission without an enclave"))?;
+    rex_tee::join::verify_joiner(dir.seed, epoch, joiner, &quote, &dir.dcap, own)
+        .map_err(|e| format!("node {id}: joiner {joiner} failed admission: {e}"))
+}
+
+/// Applies the slice of one view transition that touches this node (the
+/// per-process twin of the engine's central transition): admission-check
+/// evidence the endpoint collected, rewire the local neighbour list,
+/// install late-attested sessions on materializing edges, and — when
+/// this node sponsors a joiner and is not crash-stopped this epoch —
+/// send the raw-share state bootstrap.
+fn apply_node_transition<E: Endpoint>(
+    node: &mut Node<MfModel>,
+    endpoint: &mut E,
+    t: &ViewTransition,
+    bootstrap_points: usize,
+    faults: Option<&FaultPlan>,
+    tee: Option<&TeeDirectory>,
+) -> Result<(), String> {
+    let id = node.id();
+    if let Some(dir) = tee {
+        for &j in &t.joined {
+            if j == id {
+                continue;
+            }
+            // Evidence is present exactly when this endpoint admitted
+            // the joiner's connection (the distributed TCP path); on
+            // pre-connected fabrics admission is central and there is
+            // nothing to check here.
+            if let Some(evidence) = endpoint.join_evidence(j) {
+                verify_evidence(dir, node, j, t.epoch, &evidence)?;
+            }
+        }
+    }
+    for &(a, b) in &t.removed_edges {
+        if a == id {
+            node.remove_neighbor(b);
+        } else if b == id {
+            node.remove_neighbor(a);
+        }
+    }
+    for &(a, b) in &t.added_edges {
+        let peer = if a == id {
+            Some(b)
+        } else if b == id {
+            Some(a)
+        } else {
+            None
+        };
+        let Some(peer) = peer else { continue };
+        node.add_neighbor(peer);
+        if let Some(dir) = tee {
+            let measurement = node
+                .enclave_mut()
+                .ok_or_else(|| format!("node {id}: SGX rewire without an enclave"))?
+                .measurement();
+            let (sa, sb) = rex_tee::join::late_session_pair(dir.seed, t.epoch, a, b, measurement);
+            node.install_session(peer, if a == id { sa } else { sb });
+        }
+    }
+    for &(s, j) in &t.bootstraps {
+        if s == id && bootstrap_points > 0 && !faults.is_some_and(|p| p.is_down(s, t.epoch)) {
+            let bytes = node.bootstrap_for(j, bootstrap_points);
+            endpoint.send(j, bytes);
+        }
+    }
+    Ok(())
+}
+
+/// The deployed per-node epoch loop: view transition (when the epoch
+/// opens one), drain, wire barrier, train, send, wire barrier — the
+/// transport-level shape of the engine's round loop, with
+/// [`Endpoint::sync`]-family barriers replacing the in-process ones.
+/// When `faults` schedules this node down for an epoch it discards its
+/// inbox and sits the round out — while still serving the wire
+/// barriers, which are infrastructure, not protocol. A node outside the
+/// current membership view does the same (pre-connected fabrics) until
+/// its join epoch. A node whose **own leave** opens an epoch stops
+/// before any of that epoch's barriers — its peers retire it at the
+/// same schedule point.
+///
+/// Runs epochs `start_epoch..epochs` and returns the per-epoch local
+/// RMSE trace over exactly that range, ending early at a graceful
+/// leave (`None` entries for down / non-member epochs). Calls
 /// `progress` after each epoch with `(epoch, rmse)`.
+///
+/// # Errors
+/// When the transport surfaces a peer failure
+/// ([`rex_net::transport::TransportError`]) or SGX admission fails —
+/// the deployed binary exits cleanly instead of panicking.
+#[allow(clippy::too_many_arguments)]
 pub fn run_node_loop<E: Endpoint>(
     node: &mut Node<MfModel>,
     endpoint: &mut E,
     epochs: usize,
+    start_epoch: usize,
     faults: Option<&FaultPlan>,
+    mut view: Option<&mut MembershipView>,
+    tee: Option<&TeeDirectory>,
     mut progress: impl FnMut(usize, Option<f64>),
-) -> Vec<Option<u64>> {
-    let mut trace = Vec::with_capacity(epochs);
-    for epoch in 0..epochs {
+) -> Result<Vec<Option<u64>>, String> {
+    let id = node.id();
+    fn barrier_err(
+        id: usize,
+        what: &'static str,
+        epoch: usize,
+    ) -> impl FnOnce(rex_net::transport::TransportError) -> String {
+        move |e| format!("node {id}: {what} at epoch {epoch}: {e}")
+    }
+    let mut trace = Vec::with_capacity(epochs.saturating_sub(start_epoch));
+    for epoch in start_epoch..epochs {
         endpoint.epoch_begin(epoch);
+        if let Some(v) = view.as_deref_mut() {
+            if let Some(t) = v.advance(epoch) {
+                if t.left.contains(&id) {
+                    // Graceful departure: peers retire this node at this
+                    // exact schedule point; no further barriers.
+                    break;
+                }
+                endpoint
+                    .view_sync(epoch, &t.joined, &t.left)
+                    .map_err(barrier_err(id, "view sync", epoch))?;
+                apply_node_transition(node, endpoint, &t, v.plan().bootstrap_points, faults, tee)?;
+                // The view barrier: sponsor bootstraps are delivered
+                // before any member drains the epoch's inbox.
+                endpoint
+                    .try_sync()
+                    .map_err(barrier_err(id, "view barrier", epoch))?;
+            }
+            if !v.is_member(id) {
+                // Outside the view (a pre-connected fabric's future
+                // joiner, or a node excluded as crash-dead): serve the
+                // round's infrastructure barriers, run no protocol.
+                let _ = endpoint.recv();
+                endpoint
+                    .try_drain_barrier()
+                    .map_err(barrier_err(id, "drain barrier", epoch))?;
+                endpoint
+                    .try_sync()
+                    .map_err(barrier_err(id, "round barrier", epoch))?;
+                trace.push(None);
+                progress(epoch, None);
+                continue;
+            }
+        }
         let inbox = endpoint.recv();
-        let down = faults.is_some_and(|p| p.is_down(node.id(), epoch));
+        let down = faults.is_some_and(|p| p.is_down(id, epoch));
         // Everyone drains before anyone sends (the engine's first
         // barrier), so a fast peer's epoch-e message cannot land in a
         // slow node's epoch-e inbox. This is the barrier-only variant:
         // fault wrappers must not release held (delayed/reordered)
         // messages here — that happens at the post-send `sync`, keeping
         // the deployed loop bit-identical with the engine's drivers.
-        endpoint.drain_barrier();
+        endpoint
+            .try_drain_barrier()
+            .map_err(barrier_err(id, "drain barrier", epoch))?;
         let rmse = if down {
             drop(inbox);
             None
@@ -237,15 +449,24 @@ pub fn run_node_loop<E: Endpoint>(
         };
         // All of this epoch's sends are delivered before anyone drains
         // the next inbox (the engine's second barrier).
-        endpoint.sync();
+        endpoint
+            .try_sync()
+            .map_err(barrier_err(id, "round barrier", epoch))?;
         trace.push(rmse.map(f64::to_bits));
         progress(epoch, rmse);
     }
-    trace
+    Ok(trace)
 }
 
-/// Runs one deployed node end to end: rebuild the fleet, keep node `id`,
-/// bootstrap TCP against the peers, run the epoch loop, and summarize.
+/// Runs one deployed node end to end: rebuild the fleet (and the
+/// membership view, when scheduled), keep node `id`, bootstrap TCP
+/// against the peers — a **founding member** meshes with the other
+/// founders at startup; a **scheduled joiner** dials the running
+/// cluster with a `Join` control frame (carrying its late-attestation
+/// evidence in SGX mode) and blocks until the shared schedule admits it
+/// — then run the epoch loop and summarize. The returned summary's RMSE
+/// trace spans all `epochs`: `None` before a join, after a leave, and
+/// during crash windows.
 pub fn run_node(
     cfg: &ClusterConfig,
     id: usize,
@@ -256,41 +477,150 @@ pub fn run_node(
         return Err(format!("node id {id} outside cluster of {n}"));
     }
     let addrs = cfg.addrs()?;
-    let mut fleet = build_fleet(cfg);
-    let setup_stats = if cfg.sgx {
-        replay_setup(cfg, &mut fleet)
+    let (mut fleet, mut view) = build_fleet_and_view(cfg);
+    let (setup_stats, dir) = if cfg.sgx {
+        let (stats, dir) = replay_setup(cfg, &mut fleet);
+        (stats, Some(dir))
     } else {
-        vec![TrafficStats::default(); n]
+        (vec![TrafficStats::default(); n], None)
     };
+    run_node_connected(
+        cfg,
+        id,
+        &addrs,
+        fleet,
+        view.as_mut(),
+        dir.as_ref(),
+        setup_stats,
+        &mut progress,
+    )
+}
+
+/// The join epoch of `id` under the config's schedule (`None` for
+/// founders — including nodes with no schedule at all).
+fn join_epoch_of(cfg: &ClusterConfig, id: usize) -> Option<usize> {
+    cfg.membership.as_ref().and_then(|p| p.join_epoch(id))
+}
+
+/// Everything [`run_node`] does after the fleet (and, in SGX mode, the
+/// replayed [`TeeDirectory`]) is built.
+#[allow(clippy::too_many_arguments)]
+fn run_node_connected(
+    cfg: &ClusterConfig,
+    id: usize,
+    addrs: &[std::net::SocketAddr],
+    fleet: Vec<Node<MfModel>>,
+    mut view: Option<&mut MembershipView>,
+    tee: Option<&TeeDirectory>,
+    setup_stats: Vec<TrafficStats>,
+    progress: &mut impl FnMut(usize, Option<f64>),
+) -> Result<NodeSummary, String> {
+    let n = cfg.num_nodes();
     let mut node = fleet
         .into_iter()
         .nth(id)
         .expect("fleet covers every node id");
 
-    let endpoint = TcpEndpoint::connect(id, &addrs, DEFAULT_CONNECT_TIMEOUT)
-        .map_err(|e| format!("node {id}: bootstrap failed: {e}"))?;
+    let (endpoint, start_epoch) = match join_epoch_of(cfg, id) {
+        None => {
+            // Founders mesh among every non-joiner id (nodes excluded as
+            // crash-dead still serve barriers, exactly like a static
+            // fault deployment).
+            let founders: Vec<usize> = (0..n)
+                .filter(|&v| join_epoch_of(cfg, v).is_none())
+                .collect();
+            let endpoint =
+                TcpEndpoint::connect_among(id, addrs, &founders, DEFAULT_CONNECT_TIMEOUT)
+                    .map_err(|e| format!("node {id}: bootstrap failed: {e}"))?;
+            (endpoint, 0)
+        }
+        Some(k) => {
+            let plan = cfg.membership.as_ref().expect("join implies a schedule");
+            if k >= cfg.epochs {
+                return Err(format!(
+                    "node {id} joins at epoch {k}, but the run has only {} epochs",
+                    cfg.epochs
+                ));
+            }
+            // Dial every node alive in the view at the join epoch —
+            // founders that have not left, earlier joiners — plus
+            // same-epoch joiners with a higher id; accept from
+            // same-epoch joiners with a lower id (they dial us).
+            let joins_now = plan.joins_at(k);
+            let dial: Vec<usize> = (0..n)
+                .filter(|&v| v != id)
+                .filter(|&v| plan.leave_epoch(v).is_none_or(|l| l > k))
+                .filter(|&v| match plan.join_epoch(v) {
+                    None => true,
+                    Some(jk) => jk < k || (jk == k && v > id),
+                })
+                .collect();
+            let accept_from: Vec<usize> = joins_now.iter().copied().filter(|&v| v < id).collect();
+            let evidence = match tee {
+                Some(dir) => encode_evidence(dir, &mut node, k)?,
+                None => Vec::new(),
+            };
+            let endpoint = TcpEndpoint::connect_as_joiner(
+                id,
+                addrs,
+                k,
+                &dial,
+                &accept_from,
+                evidence,
+                JOIN_TIMEOUT,
+            )
+            .map_err(|e| format!("node {id}: join bootstrap failed: {e}"))?;
+            // Catch the local view up to the epochs the running cluster
+            // already executed without us.
+            if let Some(v) = view.as_deref_mut() {
+                for epoch in 0..k {
+                    let _ = v.advance(epoch);
+                }
+            }
+            (endpoint, k)
+        }
+    };
+
     // Under a fault plan the endpoint is wrapped exactly like the
     // in-process backends: every process makes the same per-link hash
     // decisions from the shared plan, so the cluster replays the same
     // schedule bit-for-bit.
-    let (rmse_trace_bits, stats) = match cfg.faults.clone() {
+    let (loop_trace, stats) = match cfg.faults.clone() {
         Some(plan) => {
             let mut endpoint = FaultyEndpoint::new(endpoint, plan);
             let trace = run_node_loop(
                 &mut node,
                 &mut endpoint,
                 cfg.epochs,
+                start_epoch,
                 cfg.faults.as_ref(),
-                &mut progress,
-            );
+                view.as_deref_mut(),
+                tee,
+                &mut *progress,
+            )?;
             (trace, endpoint.stats())
         }
         None => {
             let mut endpoint = endpoint;
-            let trace = run_node_loop(&mut node, &mut endpoint, cfg.epochs, None, &mut progress);
+            let trace = run_node_loop(
+                &mut node,
+                &mut endpoint,
+                cfg.epochs,
+                start_epoch,
+                None,
+                view,
+                tee,
+                &mut *progress,
+            )?;
             (trace, endpoint.stats())
         }
     };
+
+    // Pad the trace to the run's full span: `None` before a join and
+    // after a graceful leave.
+    let mut rmse_trace_bits = vec![None; start_epoch];
+    rmse_trace_bits.extend(loop_trace);
+    rmse_trace_bits.resize(cfg.epochs, None);
 
     Ok(NodeSummary {
         id,
@@ -305,14 +635,18 @@ pub fn run_node(
 /// Runs the whole cluster in this process — one thread per node over a
 /// loopback TCP fabric, each thread executing exactly the deployed
 /// [`run_node_loop`]. The reference the multi-process launcher is
-/// compared against.
+/// compared against. Under a membership schedule the fabric is
+/// pre-connected, so a scheduled joiner's thread serves the
+/// infrastructure barriers until its epoch (protocol-identical to the
+/// multi-process cluster, where the joiner's process dials in late).
 pub fn run_cluster_in_process(cfg: &ClusterConfig) -> Result<Vec<NodeSummary>, String> {
     let n = cfg.num_nodes();
-    let mut fleet = build_fleet(cfg);
-    let setup_stats = if cfg.sgx {
-        replay_setup(cfg, &mut fleet)
+    let (mut fleet, view) = build_fleet_and_view(cfg);
+    let (setup_stats, dir) = if cfg.sgx {
+        let (stats, dir) = replay_setup(cfg, &mut fleet);
+        (stats, Some(dir))
     } else {
-        vec![TrafficStats::default(); n]
+        (vec![TrafficStats::default(); n], None)
     };
     let fabric = TcpTransport::loopback(n).map_err(|e| format!("loopback fabric: {e}"))?;
     let endpoints = fabric
@@ -321,32 +655,66 @@ pub fn run_cluster_in_process(cfg: &ClusterConfig) -> Result<Vec<NodeSummary>, S
     let epochs = cfg.epochs;
 
     let faults = cfg.faults.clone();
-    let handles: Vec<_> = fleet
-        .into_iter()
-        .zip(endpoints)
-        .map(|(mut node, endpoint)| {
-            let faults = faults.clone();
-            std::thread::spawn(move || match faults {
-                Some(plan) => {
-                    let mut endpoint = FaultyEndpoint::new(endpoint, plan.clone());
-                    let trace =
-                        run_node_loop(&mut node, &mut endpoint, epochs, Some(&plan), |_, _| {});
-                    (node, endpoint.stats(), trace)
-                }
-                None => {
-                    let mut endpoint = endpoint;
-                    let trace = run_node_loop(&mut node, &mut endpoint, epochs, None, |_, _| {});
-                    (node, endpoint.stats(), trace)
-                }
+    let dir = dir.as_ref();
+    let handles: Vec<_> = std::thread::scope(|scope| {
+        let join_handles: Vec<_> = fleet
+            .into_iter()
+            .zip(endpoints)
+            .map(|(mut node, endpoint)| {
+                let faults = faults.clone();
+                let mut view = view.clone();
+                scope.spawn(move || {
+                    let result = match faults {
+                        Some(plan) => {
+                            let mut endpoint = FaultyEndpoint::new(endpoint, plan.clone());
+                            let trace = run_node_loop(
+                                &mut node,
+                                &mut endpoint,
+                                epochs,
+                                0,
+                                Some(&plan),
+                                view.as_mut(),
+                                dir,
+                                |_, _| {},
+                            );
+                            trace.map(|t| (endpoint.stats(), t))
+                        }
+                        None => {
+                            let mut endpoint = endpoint;
+                            let trace = run_node_loop(
+                                &mut node,
+                                &mut endpoint,
+                                epochs,
+                                0,
+                                None,
+                                view.as_mut(),
+                                dir,
+                                |_, _| {},
+                            );
+                            trace.map(|t| (endpoint.stats(), t))
+                        }
+                    };
+                    result.map(|(stats, trace)| (node, stats, trace))
+                })
             })
-        })
-        .collect();
+            .collect();
+        join_handles
+            .into_iter()
+            .enumerate()
+            .map(|(id, handle)| {
+                handle
+                    .join()
+                    .map_err(|_| format!("node {id} thread panicked"))
+                    .and_then(|r| r)
+            })
+            .collect()
+    });
 
     let mut summaries = Vec::with_capacity(n);
-    for (id, handle) in handles.into_iter().enumerate() {
-        let (node, stats, rmse_trace_bits) = handle
-            .join()
-            .map_err(|_| format!("node {id} thread panicked"))?;
+    for (id, outcome) in handles.into_iter().enumerate() {
+        let (node, stats, loop_trace) = outcome?;
+        let mut rmse_trace_bits = loop_trace;
+        rmse_trace_bits.resize(epochs, None);
         summaries.push(NodeSummary {
             id,
             epochs,
@@ -448,6 +816,166 @@ mod tests {
             a.iter().any(|s| s.stats.msgs_in < reliable),
             "no message was ever lost under a 25% drop plan"
         );
+    }
+
+    fn churn_cfg(n: usize) -> ClusterConfig {
+        use rex_core::membership::MembershipPlan;
+        let mut cfg = tiny_cfg(n);
+        cfg.epochs = 6;
+        cfg.membership = Some(
+            MembershipPlan {
+                seed: 0x77,
+                bootstrap_points: 25,
+                ..MembershipPlan::default()
+            }
+            .with_join(n - 1, 2, None)
+            .with_leave(1, 5),
+        );
+        cfg
+    }
+
+    #[test]
+    fn membership_cluster_replays_and_tracks_the_view() {
+        let cfg = churn_cfg(5);
+        let a = run_cluster_in_process(&cfg).unwrap();
+        let b = run_cluster_in_process(&cfg).unwrap();
+        assert_eq!(a, b, "same schedule must replay bit-for-bit");
+
+        // The joiner sat out epochs 0–1, then ran 2–5.
+        let joiner = &a[4];
+        assert!(joiner.rmse_trace_bits[0].is_none());
+        assert!(joiner.rmse_trace_bits[1].is_none());
+        assert!(joiner.rmse_trace_bits[2].is_some());
+        assert!(joiner.rmse_trace_bits[5].is_some());
+        assert!(joiner.stats.msgs_in > 0, "joiner received gossip");
+
+        // The leaver ran epochs 0–4 and departed at 5.
+        let leaver = &a[1];
+        assert!(leaver.rmse_trace_bits[4].is_some());
+        assert!(leaver.rmse_trace_bits[5].is_none());
+    }
+
+    #[test]
+    fn membership_threads_match_in_process_cluster() {
+        // The real joiner path — connect_as_joiner dialing a running
+        // mesh — must agree bit-for-bit with the pre-connected loopback
+        // cluster.
+        let mut cfg = churn_cfg(4);
+        let reference = run_cluster_in_process(&cfg).unwrap();
+
+        let addrs = reserve_loopback_addrs(4).unwrap();
+        cfg.nodes = addrs.iter().map(ToString::to_string).collect();
+        let handles: Vec<_> = (0..4)
+            .map(|id| {
+                let cfg = cfg.clone();
+                std::thread::spawn(move || run_node(&cfg, id, |_, _| {}).unwrap())
+            })
+            .collect();
+        for handle in handles {
+            let summary = handle.join().unwrap();
+            assert_eq!(summary, reference[summary.id]);
+        }
+    }
+
+    #[test]
+    fn delayed_faults_with_leave_match_engine_and_replay() {
+        // Delay faults hold messages across the leave boundary: a held
+        // message to (or from) the leaver must be purged identically in
+        // the deployed per-endpoint wrappers and the engine's central
+        // one — previously the post-retirement release panicked the
+        // deployed process on the torn-down connection.
+        use rex_core::config::ExecutionMode;
+        use rex_core::engine::{Driver, Engine, EngineConfig, TimeAxis};
+        use rex_core::membership::MembershipPlan;
+        use rex_net::fault::{FaultyTransport, LinkFaults};
+        let mut cfg = tiny_cfg(4);
+        cfg.epochs = 5;
+        cfg.faults = Some(FaultPlan::uniform(
+            0xDE1A,
+            LinkFaults {
+                delay: 0.9,
+                ..LinkFaults::default()
+            },
+        ));
+        cfg.membership = Some(
+            MembershipPlan {
+                seed: 0x6C,
+                bootstrap_points: 15,
+                ..MembershipPlan::default()
+            }
+            .with_join(3, 1, None)
+            .with_leave(1, 3),
+        );
+        let a = run_cluster_in_process(&cfg).unwrap();
+        let b = run_cluster_in_process(&cfg).unwrap();
+        assert_eq!(a, b, "delayed churn must replay bit-for-bit");
+
+        let mut nodes = build_fleet(&cfg);
+        let plan = cfg.faults.clone().unwrap();
+        let result = Engine::<MfModel, FaultyTransport<rex_net::mem::MemNetwork>>::new(
+            FaultyTransport::new(rex_net::mem::MemNetwork::new(4), plan.clone()),
+            EngineConfig {
+                epochs: cfg.epochs,
+                execution: ExecutionMode::Native,
+                time: TimeAxis::Wall,
+                driver: Driver::Lockstep { parallel: false },
+                processes_per_platform: cfg.processes_per_platform,
+                seed: cfg.infra_seed,
+                faults: Some(plan),
+                membership: cfg.membership.clone(),
+            },
+        )
+        .run("delayed-churn", &mut nodes);
+        assert!(
+            result.trace.total_delivery().late > 0,
+            "the plan actually delayed messages"
+        );
+        for (summary, node) in a.iter().zip(&nodes) {
+            assert_eq!(
+                summary.final_rmse_bits,
+                node.local_rmse().map(f64::to_bits),
+                "node {}: deployed loop diverged from the engine under delay + leave",
+                summary.id
+            );
+            assert_eq!(summary.store_len, node.store().len());
+            assert_eq!(summary.stats, result.final_stats[summary.id]);
+        }
+    }
+
+    #[test]
+    fn staggered_multi_joiner_threads_match_in_process_cluster() {
+        // Three joiners across two epochs, all processes started
+        // together: joiner 3 must accept same-epoch joiner 2 while
+        // joiner 4 (epoch 4) may dial either of them early — those
+        // connections park until their own admission. Every arrival
+        // interleaving must converge to the same bit-exact run.
+        use rex_core::membership::MembershipPlan;
+        let mut cfg = tiny_cfg(5);
+        cfg.epochs = 6;
+        cfg.membership = Some(
+            MembershipPlan {
+                seed: 0x3B,
+                bootstrap_points: 20,
+                ..MembershipPlan::default()
+            }
+            .with_join(2, 2, None)
+            .with_join(3, 2, None)
+            .with_join(4, 4, None),
+        );
+        let reference = run_cluster_in_process(&cfg).unwrap();
+
+        let addrs = reserve_loopback_addrs(5).unwrap();
+        cfg.nodes = addrs.iter().map(ToString::to_string).collect();
+        let handles: Vec<_> = (0..5)
+            .map(|id| {
+                let cfg = cfg.clone();
+                std::thread::spawn(move || run_node(&cfg, id, |_, _| {}).unwrap())
+            })
+            .collect();
+        for handle in handles {
+            let summary = handle.join().unwrap();
+            assert_eq!(summary, reference[summary.id]);
+        }
     }
 
     #[test]

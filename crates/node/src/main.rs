@@ -1,7 +1,7 @@
 //! `rex-node` — run one REX engine node as its own OS process.
 //!
 //! ```text
-//! rex-node --config cluster.toml --id 3 [--out node3.summary] [--epochs N] [--quiet]
+//! rex-node --config cluster.toml --id 3 [--join] [--out node3.summary] [--epochs N] [--quiet]
 //! ```
 //!
 //! Every process of a cluster reads the same config file (see
@@ -9,6 +9,12 @@
 //! it is. The process rebuilds the fleet deterministically, connects to
 //! its peers over TCP, runs the epoch loop, prints per-epoch progress to
 //! stderr, and writes a machine-readable summary to `--out`.
+//!
+//! `--join` asserts that the config's `[membership]` section schedules
+//! this node as an **online joiner**: the process dials the running
+//! cluster and blocks until the shared schedule admits it at its join
+//! epoch. (The join path is selected by the schedule either way; the
+//! flag catches the operator error of pointing it at a founding id.)
 
 use rex_node::{run_node, ClusterConfig};
 use std::path::PathBuf;
@@ -16,6 +22,7 @@ use std::path::PathBuf;
 struct Args {
     config: PathBuf,
     id: usize,
+    join: bool,
     out: Option<PathBuf>,
     epochs: Option<usize>,
     quiet: bool,
@@ -26,7 +33,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: rex-node --config <cluster.toml> --id <node-id> [--out <path>] [--epochs N] [--quiet]"
+        "usage: rex-node --config <cluster.toml> --id <node-id> [--join] [--out <path>] [--epochs N] [--quiet]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -34,6 +41,7 @@ fn usage(err: &str) -> ! {
 fn parse_args() -> Args {
     let mut config = None;
     let mut id = None;
+    let mut join = false;
     let mut out = None;
     let mut epochs = None;
     let mut quiet = false;
@@ -48,6 +56,7 @@ fn parse_args() -> Args {
                         .unwrap_or_else(|| usage("--id needs a number")),
                 );
             }
+            "--join" => join = true,
             "--out" => out = iter.next().map(PathBuf::from),
             "--epochs" => {
                 epochs = Some(
@@ -64,6 +73,7 @@ fn parse_args() -> Args {
     Args {
         config: config.unwrap_or_else(|| usage("--config is required")),
         id: id.unwrap_or_else(|| usage("--id is required")),
+        join,
         out,
         epochs,
         quiet,
@@ -83,6 +93,17 @@ fn main() {
     }
 
     let id = args.id;
+    let join_epoch = cfg.membership.as_ref().and_then(|p| p.join_epoch(id));
+    if args.join && join_epoch.is_none() {
+        usage(&format!(
+            "--join given, but the [membership] schedule does not make node {id} a joiner"
+        ));
+    }
+    if !args.quiet {
+        if let Some(k) = join_epoch {
+            eprintln!("[rex-node {id}] online joiner: dialing the cluster, admission at epoch {k}");
+        }
+    }
     if !args.quiet {
         eprintln!(
             "[rex-node {id}] cluster of {}, {} epochs, {} over {:?}{}",

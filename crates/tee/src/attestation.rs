@@ -16,6 +16,7 @@
 
 use crate::dcap::DcapService;
 use crate::enclave::Enclave;
+use crate::measurement::Measurement;
 use crate::quote::Quote;
 use crate::report::USER_DATA_LEN;
 use crate::session::SecureSession;
@@ -137,6 +138,44 @@ impl Attestor {
             return Err(AttestationError::UnexpectedMessage);
         };
         self.establish(enclave, dcap, peer_quote, own_quote, true)
+    }
+
+    /// Derives the session pair of an edge directly from both parties'
+    /// ephemeral state, without routing quotes through the two-message
+    /// protocol — the key schedule of a **late join** (see
+    /// [`crate::join`]), where both ephemerals are re-derived
+    /// deterministically from the fleet seed and quote verification
+    /// happens separately. The HKDF inputs mirror [`Attestor::respond`] /
+    /// [`Attestor::finish`]: both nonces in initiator-then-responder
+    /// order, the shared ECDH secret, and the fleet measurement — so two
+    /// processes that derive the same ephemerals install byte-identical
+    /// directional keys. Returns `(initiator_session, responder_session)`.
+    pub fn session_pair(
+        initiator: &Attestor,
+        responder: &Attestor,
+        measurement: Measurement,
+    ) -> Result<(SecureSession, SecureSession), AttestationError> {
+        let shared = initiator
+            .secret
+            .diffie_hellman(&responder.public)
+            .map_err(|_| AttestationError::BadKeyExchange)?;
+        let mut salt = Vec::with_capacity(64);
+        salt.extend_from_slice(&initiator.nonce);
+        salt.extend_from_slice(&responder.nonce);
+        let mut info = Vec::with_capacity(32 + 24);
+        info.extend_from_slice(b"rex-attested-session-v1");
+        info.extend_from_slice(&measurement.0);
+
+        let okm: [u8; 64] = Hkdf::derive(&salt, shared.as_bytes(), &info);
+        let mut k_i2r = [0u8; 32];
+        let mut k_r2i = [0u8; 32];
+        k_i2r.copy_from_slice(&okm[..32]);
+        k_r2i.copy_from_slice(&okm[32..]);
+
+        Ok((
+            SecureSession::new(k_i2r, k_r2i, true, measurement),
+            SecureSession::new(k_r2i, k_i2r, false, measurement),
+        ))
     }
 
     fn establish(

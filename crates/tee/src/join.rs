@@ -1,0 +1,238 @@
+//! Late attestation for nodes that join a running fleet.
+//!
+//! [`crate::attestation`] covers the setup-time handshake: every topology
+//! edge is attested before epoch 0, with ephemerals drawn from one
+//! sequential infrastructure RNG. A node that joins at epoch `k` cannot
+//! use that stream — by then every process has consumed a different
+//! amount of it — so late joins derive their material from **pure
+//! per-edge functions of the shared fleet seed** instead:
+//!
+//! * [`edge_attestors`] re-derives both ephemeral key pairs of a joining
+//!   edge from `(fleet_seed, epoch, a, b)`. Any process — the joiner, the
+//!   sponsor, an in-process engine — computes the same pair, so both ends
+//!   install byte-identical directional session keys without a
+//!   coordinator (the same replay trick the deployed `rex-node` uses for
+//!   setup attestation).
+//! * [`late_session_pair`] runs the key schedule over those ephemerals
+//!   (initiator = lower node id, matching setup-time convention).
+//! * [`joiner_evidence`] / [`verify_joiner`] carry the *attestation* half:
+//!   the joiner quotes its enclave (user-data bound to its derived
+//!   ephemeral identity) and members verify the quote through DCAP plus
+//!   the own-measurement check of paper §III-A before admitting it.
+//!
+//! Determinism is the point: a join is part of the seeded scenario, so
+//! the sessions — and therefore every sealed byte after the join — replay
+//! bit-for-bit across reruns, drivers, backends, and OS processes.
+
+use crate::attestation::{AttestationError, Attestor};
+use crate::dcap::DcapService;
+use crate::enclave::Enclave;
+use crate::platform::SgxPlatform;
+use crate::quote::Quote;
+use crate::session::SecureSession;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rex_crypto::splitmix64;
+
+/// Domain-separation salts for the late-join RNG streams (distinct from
+/// the fault-injection salts in `rex-net`).
+const SALT_EDGE: u64 = 0x10A7_0000_0000_0001;
+const SALT_EVIDENCE: u64 = 0x10A7_0000_0000_0002;
+
+fn mix(seed: u64, salt: u64, parts: &[u64]) -> u64 {
+    let mut h = splitmix64(seed ^ salt);
+    for &p in parts {
+        h = splitmix64(h ^ p);
+    }
+    h
+}
+
+/// The deterministic ephemeral pair of the edge `{a, b}` attested at
+/// `epoch`: `(initiator, responder)` with the initiator at the lower node
+/// id, matching the setup-time convention of `establish_tee`.
+#[must_use]
+pub fn edge_attestors(fleet_seed: u64, epoch: usize, a: usize, b: usize) -> (Attestor, Attestor) {
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    let mut rng = StdRng::seed_from_u64(mix(
+        fleet_seed,
+        SALT_EDGE,
+        &[epoch as u64, lo as u64, hi as u64],
+    ));
+    let initiator = Attestor::new(&mut rng);
+    let responder = Attestor::new(&mut rng);
+    (initiator, responder)
+}
+
+/// Derives the session pair of the late-attested edge `{a, b}`:
+/// returns `(session_for_a, session_for_b)`. Pure in
+/// `(fleet_seed, epoch, a, b, measurement)`, so every process installs
+/// the same keys.
+///
+/// # Panics
+/// On `a == b` (no self-edges) or a degenerate derived ECDH point — both
+/// programming errors, not input conditions.
+#[must_use]
+pub fn late_session_pair(
+    fleet_seed: u64,
+    epoch: usize,
+    a: usize,
+    b: usize,
+    measurement: crate::measurement::Measurement,
+) -> (SecureSession, SecureSession) {
+    assert_ne!(a, b, "late attestation of a self-edge");
+    let (initiator, responder) = edge_attestors(fleet_seed, epoch, a, b);
+    let (init_session, resp_session) = Attestor::session_pair(&initiator, &responder, measurement)
+        .expect("derived ephemerals are never degenerate");
+    if a < b {
+        (init_session, resp_session)
+    } else {
+        (resp_session, init_session)
+    }
+}
+
+/// The deterministic identity attestor of a node joining at `epoch` —
+/// the ephemeral whose public half is bound into the joiner's quote
+/// user-data so evidence is reproducible (and therefore comparable)
+/// across processes.
+#[must_use]
+pub fn joiner_attestor(fleet_seed: u64, epoch: usize, node: usize) -> Attestor {
+    let mut rng =
+        StdRng::seed_from_u64(mix(fleet_seed, SALT_EVIDENCE, &[epoch as u64, node as u64]));
+    Attestor::new(&mut rng)
+}
+
+/// Produces the joiner's late-attestation evidence: a quote over its
+/// enclave carrying the derived identity in user-data. The quote travels
+/// in the `Join` control frame of the TCP transport (or is produced
+/// in-process by the engine) and is checked by [`verify_joiner`].
+///
+/// # Errors
+/// If the hosting platform's quoting enclave rejects the report (the
+/// enclave does not belong to `platform`).
+pub fn joiner_evidence(
+    fleet_seed: u64,
+    epoch: usize,
+    node: usize,
+    enclave: &mut Enclave,
+    platform: &SgxPlatform,
+) -> Result<Quote, String> {
+    let attestor = joiner_attestor(fleet_seed, epoch, node);
+    let report = enclave.create_report(attestor.user_data());
+    platform
+        .quote_report(&report)
+        .map_err(|e| format!("joiner {node}: quoting failed: {e:?}"))
+}
+
+/// A member's admission check on joiner evidence: the quote must verify
+/// through DCAP, carry the checker's own measurement (all honest REX
+/// nodes run identical code — §III-A), and bind the joiner's derived
+/// identity.
+pub fn verify_joiner(
+    fleet_seed: u64,
+    epoch: usize,
+    node: usize,
+    quote: &Quote,
+    dcap: &DcapService,
+    own: &Enclave,
+) -> Result<(), AttestationError> {
+    if !dcap.verify(quote) {
+        return Err(AttestationError::UntrustedPlatform);
+    }
+    if !quote.measurement.ct_eq(&own.measurement()) {
+        return Err(AttestationError::MeasurementMismatch);
+    }
+    let expected = joiner_attestor(fleet_seed, epoch, node).user_data();
+    if quote.user_data != expected {
+        return Err(AttestationError::UnexpectedMessage);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::SgxCostModel;
+    use crate::measurement::REX_ENCLAVE_V1;
+
+    fn rig() -> (DcapService, SgxPlatform, Enclave) {
+        let dcap = DcapService::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let platform = SgxPlatform::provision(0, &dcap, &mut rng);
+        let enclave = platform.create_enclave(REX_ENCLAVE_V1, SgxCostModel::default());
+        (dcap, platform, enclave)
+    }
+
+    #[test]
+    fn session_pair_is_deterministic_and_interoperable() {
+        let (_, _, enclave) = rig();
+        let m = enclave.measurement();
+        let (mut a1, mut b1) = late_session_pair(7, 3, 2, 5, m);
+        let (mut a2, mut b2) = late_session_pair(7, 3, 2, 5, m);
+        // Both derivations agree: a frame sealed by one a-side opens with
+        // the other derivation's b-side, in both directions.
+        let frame = a1.seal(b"aad", b"raw shares");
+        assert_eq!(b2.open(b"aad", &frame).unwrap(), b"raw shares");
+        let back = b1.seal(b"aad", b"ack");
+        assert_eq!(a2.open(b"aad", &back).unwrap(), b"ack");
+    }
+
+    #[test]
+    fn session_pair_is_symmetric_in_argument_order() {
+        let (_, _, enclave) = rig();
+        let m = enclave.measurement();
+        // (a, b) and (b, a) describe the same edge: node 2's session is
+        // the same object either way.
+        let (for_2, for_5) = late_session_pair(7, 3, 2, 5, m);
+        let (for_5_swapped, mut for_2_swapped) = late_session_pair(7, 3, 5, 2, m);
+        let mut for_2 = for_2;
+        let frame = for_2.seal(b"", b"x");
+        let mut for_5b = for_5_swapped;
+        assert_eq!(for_5b.open(b"", &frame).unwrap(), b"x");
+        let mut for_5 = for_5;
+        let frame = for_5.seal(b"", b"y");
+        assert_eq!(for_2_swapped.open(b"", &frame).unwrap(), b"y");
+    }
+
+    #[test]
+    fn different_edges_epochs_and_seeds_derive_distinct_keys() {
+        let (_, _, enclave) = rig();
+        let m = enclave.measurement();
+        let (mut base, _) = late_session_pair(7, 3, 2, 5, m);
+        let frame = base.seal(b"", b"secret");
+        for (seed, epoch, a, b) in [(8, 3, 2, 5), (7, 4, 2, 5), (7, 3, 2, 6), (7, 3, 1, 5)] {
+            let (_, mut other_b) = late_session_pair(seed, epoch, a, b, m);
+            assert!(
+                other_b.open(b"", &frame).is_err(),
+                "({seed},{epoch},{a},{b}) derived the base edge's keys"
+            );
+        }
+    }
+
+    #[test]
+    fn evidence_verifies_and_tampering_is_rejected() {
+        let (dcap, platform, mut enclave) = rig();
+        let quote = joiner_evidence(9, 4, 6, &mut enclave, &platform).unwrap();
+        verify_joiner(9, 4, 6, &quote, &dcap, &enclave).unwrap();
+
+        // Wrong join parameters: identity binding fails.
+        assert_eq!(
+            verify_joiner(9, 5, 6, &quote, &dcap, &enclave).unwrap_err(),
+            AttestationError::UnexpectedMessage
+        );
+        assert_eq!(
+            verify_joiner(9, 4, 7, &quote, &dcap, &enclave).unwrap_err(),
+            AttestationError::UnexpectedMessage
+        );
+        // Unknown platform: DCAP rejects.
+        assert_eq!(
+            verify_joiner(9, 4, 6, &quote, &DcapService::new(), &enclave).unwrap_err(),
+            AttestationError::UntrustedPlatform
+        );
+        // Rogue build: measurement mismatch.
+        let rogue = platform.create_enclave(b"rogue-code", SgxCostModel::default());
+        assert_eq!(
+            verify_joiner(9, 4, 6, &quote, &dcap, &rogue).unwrap_err(),
+            AttestationError::MeasurementMismatch
+        );
+    }
+}

@@ -25,6 +25,7 @@ pub mod cost;
 pub mod dcap;
 pub mod enclave;
 pub mod epc;
+pub mod join;
 pub mod measurement;
 pub mod meter;
 pub mod platform;

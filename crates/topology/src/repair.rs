@@ -129,4 +129,70 @@ mod tests {
         assert!(alive_connected(&g, &[]));
         assert_eq!(without_nodes(&g, &[]), g);
     }
+
+    #[test]
+    fn fully_dead_graph_repairs_to_isolation() {
+        // Every node dead: nothing to bridge, nothing to connect — the
+        // repaired graph is edgeless and vacuously alive-connected.
+        let g = Graph::complete(5);
+        let dead = vec![true; 5];
+        let repaired = repair_after_crashes(&g, &dead, 3);
+        assert_eq!(repaired.num_edges(), 0);
+        assert!(alive_connected(&repaired, &dead));
+        assert!(alive_connected(&g, &dead), "vacuous before repair too");
+    }
+
+    #[test]
+    fn single_survivor_needs_no_bridges() {
+        // One alive node is one component: connectivity is vacuous and
+        // repair must not invent edges to corpses.
+        let g = Graph::ring(6);
+        let dead = dead_mask(6, &[0, 1, 2, 4, 5]);
+        let repaired = repair_after_crashes(&g, &dead, 11);
+        assert_eq!(repaired.num_edges(), 0);
+        assert_eq!(repaired.degree(3), 0);
+        assert!(alive_connected(&repaired, &dead));
+    }
+
+    #[test]
+    fn three_components_get_exactly_two_bridges() {
+        // Three disjoint alive triangles plus one dead hub: repair must
+        // chain the components with exactly two new edges, each joining
+        // consecutive components, touching no dead node.
+        let mut g = Graph::empty(10);
+        for base in [0, 3, 6] {
+            g.add_edge(base, base + 1);
+            g.add_edge(base + 1, base + 2);
+            g.add_edge(base, base + 2);
+        }
+        // Node 9 was the hub holding them together.
+        for v in [0, 3, 6] {
+            g.add_edge(9, v);
+        }
+        let dead = dead_mask(10, &[9]);
+        assert!(!alive_connected(&g, &dead));
+        let repaired = repair_after_crashes(&g, &dead, 21);
+        assert!(alive_connected(&repaired, &dead));
+        assert_eq!(
+            repaired.num_edges(),
+            9 + 2,
+            "three triangles plus exactly two bridges"
+        );
+        assert_eq!(repaired.degree(9), 0, "dead hub stays isolated");
+    }
+
+    #[test]
+    fn repeated_repair_is_idempotent() {
+        // Repairing an already-repaired overlay (same dead set, any
+        // seed) changes nothing: connectivity holds, so no bridge rolls.
+        let g = small_world(30, 4, 0.1, 8);
+        let dead = dead_mask(30, &[2, 9, 14, 15, 16, 28]);
+        let once = repair_after_crashes(&g, &dead, 5);
+        let twice = repair_after_crashes(&once, &dead, 5);
+        assert_eq!(once, twice);
+        // Even with a different seed: nothing is disconnected, so the
+        // RNG is never consulted.
+        let reseeded = repair_after_crashes(&once, &dead, 99);
+        assert_eq!(once, reseeded);
+    }
 }

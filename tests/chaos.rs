@@ -78,6 +78,7 @@ fn cfg(
         processes_per_platform: 1,
         seed: 0xE0,
         faults: Some(plan.clone()),
+        membership: None,
     }
 }
 
@@ -498,6 +499,7 @@ fn deployed_cluster_replays_delay_plan_bit_identically_with_engine() {
         nodes: (0..4).map(|i| format!("127.0.0.1:{}", 7501 + i)).collect(),
         epochs: 6,
         faults: Some(plan.clone()),
+        membership: None,
         ..ClusterConfig::default()
     };
     let summaries = run_cluster_in_process(&cfg).expect("in-process cluster");
@@ -513,6 +515,7 @@ fn deployed_cluster_replays_delay_plan_bit_identically_with_engine() {
             processes_per_platform: cfg.processes_per_platform,
             seed: cfg.infra_seed,
             faults: Some(plan),
+            membership: None,
         },
     )
     .run("engine-reference", &mut nodes);

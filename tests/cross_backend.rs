@@ -64,6 +64,7 @@ fn engine_config(execution: ExecutionMode, time: TimeAxis, driver: Driver) -> En
         processes_per_platform: 1, // identical platform packing on both sides
         seed: 0xE0,
         faults: None,
+        membership: None,
     }
 }
 
@@ -355,6 +356,7 @@ fn run_headline(execution: ExecutionMode, driver: Driver) -> (EngineResult, Vec<
             processes_per_platform: 1,
             seed: 0xE0,
             faults: Some(plan),
+            membership: None,
         },
     )
     .run("headline", &mut nodes);

@@ -77,6 +77,7 @@ fn processes_match_engine_results() {
             processes_per_platform: cfg.processes_per_platform,
             seed: cfg.infra_seed,
             faults: None,
+            membership: None,
         },
     )
     .run("reference", &mut nodes);
@@ -132,6 +133,75 @@ fn sparse_codec_cluster_learns_identically_with_fewer_bytes() {
 }
 
 #[test]
+fn fifth_process_joins_running_cluster_bit_for_bit() {
+    // The dynamic-membership acceptance path: a 5-node config whose
+    // fifth id joins at epoch 2. The launcher starts all five OS
+    // processes; the four founders mesh and run, the fifth dials in
+    // with a `Join` control frame (via `rex-node --join`) and is
+    // admitted at the epoch boundary the shared schedule names, with a
+    // raw-share bootstrap from its sponsor. The whole run must
+    // reproduce the in-process cluster *and* the engine bit-for-bit.
+    use rex_repro::core::membership::MembershipPlan;
+    use rex_repro::net::MemNetwork;
+
+    let mut cfg = tiny_cfg(5, false);
+    cfg.epochs = 5;
+    cfg.membership = Some(
+        MembershipPlan {
+            seed: 0x5A,
+            bootstrap_points: 30,
+            ..MembershipPlan::default()
+        }
+        .with_join(4, 2, None)
+        .with_leave(1, 4),
+    );
+    let Some(deployed) = launch(&cfg, "join") else {
+        return;
+    };
+    let reference = run_cluster_in_process(&cfg).expect("in-process reference");
+    assert_eq!(deployed, reference);
+
+    // The joiner's trace shows the lifecycle: out, out, in, in, in.
+    let joiner = &deployed[4];
+    assert!(joiner.rmse_trace_bits[0].is_none() && joiner.rmse_trace_bits[1].is_none());
+    assert!(joiner.rmse_trace_bits[2].is_some() && joiner.rmse_trace_bits[4].is_some());
+    assert!(joiner.stats.msgs_in > 0, "joiner converged into the gossip");
+    assert!(deployed[1].rmse_trace_bits[4].is_none(), "leaver departed");
+
+    // And the engine agrees: same fleet, same schedule, lockstep over
+    // the mem fabric — per-node final models, stores, and traffic.
+    let mut nodes = rex_repro::node::build_fleet(&cfg);
+    let result = Engine::<MfModel, MemNetwork>::new(
+        MemNetwork::new(nodes.len()),
+        EngineConfig {
+            epochs: cfg.epochs,
+            execution: ExecutionMode::Native,
+            time: TimeAxis::Wall,
+            driver: Driver::Lockstep { parallel: false },
+            processes_per_platform: cfg.processes_per_platform,
+            seed: cfg.infra_seed,
+            faults: None,
+            membership: cfg.membership.clone(),
+        },
+    )
+    .run("join-reference", &mut nodes);
+    for (summary, node) in deployed.iter().zip(&nodes) {
+        assert_eq!(
+            summary.final_rmse_bits,
+            node.local_rmse().map(f64::to_bits),
+            "node {}: final rmse diverged between processes and engine",
+            summary.id
+        );
+        assert_eq!(summary.store_len, node.store().len());
+        assert_eq!(
+            summary.stats, result.final_stats[summary.id],
+            "node {}: traffic counters diverged",
+            summary.id
+        );
+    }
+}
+
+#[test]
 #[ignore = "heaviest cluster scenario (4 OS processes + per-process attestation replay, twice); CI runs it via `cargo test --test tcp_cluster -- --ignored`"]
 fn sgx_processes_reproduce_attested_run() {
     // Every process replays provisioning + attestation from the shared
@@ -155,6 +225,7 @@ fn sgx_processes_reproduce_attested_run() {
             processes_per_platform: cfg.processes_per_platform,
             seed: cfg.infra_seed,
             faults: None,
+            membership: None,
         },
     )
     .run("sgx-reference", &mut nodes);
