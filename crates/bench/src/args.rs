@@ -15,6 +15,9 @@ pub struct BenchArgs {
     pub nodes: Option<usize>,
     /// Base seed.
     pub seed: u64,
+    /// Compare against a committed baseline JSON and exit non-zero on
+    /// regression (where the binary supports it — see `bench_transport`).
+    pub check_baseline: Option<String>,
 }
 
 impl Default for BenchArgs {
@@ -25,6 +28,7 @@ impl Default for BenchArgs {
             epochs: None,
             nodes: None,
             seed: 0xBE7C,
+            check_baseline: None,
         }
     }
 }
@@ -64,6 +68,12 @@ impl BenchArgs {
                         .and_then(|v| v.parse().ok())
                         .unwrap_or_else(|| usage("--seed needs a number"));
                 }
+                "--check-baseline" => {
+                    out.check_baseline = Some(
+                        iter.next()
+                            .unwrap_or_else(|| usage("--check-baseline needs a path")),
+                    );
+                }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other}")),
             }
@@ -76,7 +86,10 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
     }
-    eprintln!("usage: <bench> [--full] [--tcp] [--epochs N] [--nodes N] [--seed N]");
+    eprintln!(
+        "usage: <bench> [--full] [--tcp] [--epochs N] [--nodes N] [--seed N] \
+         [--check-baseline PATH]"
+    );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
 
@@ -98,12 +111,25 @@ mod tests {
     #[test]
     fn flags() {
         let a = parse(&[
-            "--full", "--tcp", "--epochs", "42", "--nodes", "16", "--seed", "9",
+            "--full",
+            "--tcp",
+            "--epochs",
+            "42",
+            "--nodes",
+            "16",
+            "--seed",
+            "9",
+            "--check-baseline",
+            "results/BENCH_transport.json",
         ]);
         assert!(a.full);
         assert!(a.tcp);
         assert_eq!(a.epochs, Some(42));
         assert_eq!(a.nodes, Some(16));
         assert_eq!(a.seed, 9);
+        assert_eq!(
+            a.check_baseline.as_deref(),
+            Some("results/BENCH_transport.json")
+        );
     }
 }

@@ -13,6 +13,17 @@
 //! backend: drop rate vs. per-cycle cost and realized delivery
 //! fraction, so CI tracks both the wrapper's overhead (the 0-rate row
 //! vs. the plain TCP row) and its behaviour under loss.
+//!
+//! A third section prices connection *scale* on a star fabric: one hub
+//! endpoint fans in a full epoch of frames from 64–512 spokes through a
+//! single poller thread, so CI tracks the reactor's per-connection cost
+//! at the fan-ins the paper's 610-node deployments imply.
+//!
+//! `--check-baseline <path>` compares this run's `tcp_mem_ratio_256`
+//! (TCP roundtrip cost over the in-memory backend's, 256 B payload —
+//! a machine-speed-independent gauge of wire-path overhead) against a
+//! committed baseline JSON and exits non-zero when it regressed more
+//! than 25%.
 
 use rex_bench::{output, BenchArgs};
 use rex_net::channel::ChannelTransport;
@@ -24,7 +35,11 @@ use rex_net::tcp::TcpTransport;
 use rex_net::transport::Transport;
 use std::time::Instant;
 
-const PAYLOAD_SIZES: [usize; 3] = [256, 4_096, 65_536];
+const PAYLOAD_SIZES: [usize; 4] = [256, 4_096, 65_536, 262_144];
+const STAR_FAN_INS: [usize; 3] = [64, 256, 512];
+/// Fail `--check-baseline` when `tcp_mem_ratio_256` regresses by more
+/// than this factor over the committed run.
+const BASELINE_TOLERANCE: f64 = 1.25;
 
 struct Row {
     backend: &'static str,
@@ -122,7 +137,61 @@ fn bench_fault_sweep(window_ms: u64, payload: usize) -> Vec<FaultRow> {
         .collect()
 }
 
-fn json_escape_free(rows: &[Row], fault_rows: &[FaultRow], mode: &str) -> String {
+/// One row of the connection-scale arm: a full fan-in epoch on a star
+/// fabric (`peers` spokes each deliver one 256 B frame to the hub, all
+/// links flush, the hub drains).
+struct ScaleRow {
+    peers: usize,
+    iters: u64,
+    ns_per_epoch: f64,
+    ns_per_message: f64,
+}
+
+fn bench_conn_scale(window_ms: u64) -> Vec<ScaleRow> {
+    STAR_FAN_INS
+        .into_iter()
+        .map(|peers| {
+            let mut net = TcpTransport::star(peers + 1).expect("star fabric");
+            net.epoch_begin(0);
+            let plain = Plain::Model {
+                bytes: vec![0xA5u8; PAYLOAD_SIZES[0]],
+                degree: 8,
+            };
+            let bytes = encode_plain(&plain);
+            let (iters, ns) = measure(window_ms, || {
+                for spoke in 1..=peers {
+                    net.send(spoke, 0, bytes.clone());
+                }
+                net.flush();
+                let got = net.recv(0);
+                assert_eq!(got.len(), peers, "star fan-in lost frames");
+            });
+            ScaleRow {
+                peers,
+                iters,
+                ns_per_epoch: ns,
+                ns_per_message: ns / peers as f64,
+            }
+        })
+        .collect()
+}
+
+/// Extracts `"tcp_mem_ratio_256": <number>` from a baseline JSON without
+/// a JSON parser (fixed schema, written by this binary).
+fn parse_baseline_ratio(text: &str) -> Option<f64> {
+    let key = "\"tcp_mem_ratio_256\":";
+    let rest = &text[text.find(key)? + key.len()..];
+    let end = rest.find(['}', ',', '\n'])?;
+    rest[..end].trim().parse().ok()
+}
+
+fn json_escape_free(
+    rows: &[Row],
+    fault_rows: &[FaultRow],
+    scale_rows: &[ScaleRow],
+    tcp_mem_ratio_256: f64,
+    mode: &str,
+) -> String {
     // Hand-rolled JSON: fixed schema, no strings that need escaping.
     let mut out = String::from("{\n");
     out.push_str(&format!(
@@ -152,7 +221,20 @@ fn json_escape_free(rows: &[Row], fault_rows: &[FaultRow], mode: &str) -> String
             if i + 1 < fault_rows.len() { "," } else { "" },
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n  \"conn_scale\": [\n");
+    for (i, r) in scale_rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"backend\": \"tcp-star\", \"peers\": {}, \"iters\": {}, \"ns_per_epoch\": {:.1}, \"ns_per_message\": {:.1}}}{}\n",
+            r.peers,
+            r.iters,
+            r.ns_per_epoch,
+            r.ns_per_message,
+            if i + 1 < scale_rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str(&format!(
+        "  ],\n  \"summary\": {{\"tcp_mem_ratio_256\": {tcp_mem_ratio_256:.2}}}\n}}\n"
+    ));
     out
 }
 
@@ -212,12 +294,61 @@ fn main() {
         );
     }
 
-    let json = json_escape_free(&rows, &fault_rows, mode);
+    let scale_rows = bench_conn_scale(window_ms);
+    println!(
+        "connection-scale star fan-in ({} B payload):",
+        PAYLOAD_SIZES[0]
+    );
+    for r in &scale_rows {
+        println!(
+            "  {:>4} peers: {:>12.0} ns/epoch  {:>8.0} ns/message",
+            r.peers, r.ns_per_epoch, r.ns_per_message
+        );
+    }
+
+    let ns_at = |backend: &str| {
+        rows.iter()
+            .find(|r| r.backend == backend && r.payload_bytes == PAYLOAD_SIZES[0])
+            .expect("sweep covers every backend at 256 B")
+            .ns_per_roundtrip
+    };
+    let tcp_mem_ratio_256 = ns_at("tcp") / ns_at("mem");
+    println!("summary: tcp/mem roundtrip ratio at 256 B = {tcp_mem_ratio_256:.2}");
+
+    // Read the baseline *before* saving: the committed baseline is
+    // usually the same results/ file this run is about to overwrite.
+    let baseline = args.check_baseline.as_ref().map(|path| {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("could not read baseline {path}: {e}");
+            std::process::exit(1);
+        });
+        parse_baseline_ratio(&text).unwrap_or_else(|| {
+            eprintln!("baseline {path} has no tcp_mem_ratio_256 summary");
+            std::process::exit(1);
+        })
+    });
+
+    let json = json_escape_free(&rows, &fault_rows, &scale_rows, tcp_mem_ratio_256, mode);
     match output::save("BENCH_transport.json", &json) {
         Ok(path) => println!("[saved] {}", path.display()),
         Err(e) => {
             eprintln!("could not save BENCH_transport.json: {e}");
             std::process::exit(1);
         }
+    }
+
+    if let Some(baseline) = baseline {
+        let ceiling = baseline * BASELINE_TOLERANCE;
+        if tcp_mem_ratio_256 > ceiling {
+            eprintln!(
+                "REGRESSION: tcp_mem_ratio_256 = {tcp_mem_ratio_256:.2} exceeds \
+                 {ceiling:.2} (baseline {baseline:.2} x {BASELINE_TOLERANCE})"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "baseline check: {tcp_mem_ratio_256:.2} within {ceiling:.2} \
+             (baseline {baseline:.2} x {BASELINE_TOLERANCE})"
+        );
     }
 }

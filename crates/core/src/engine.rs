@@ -114,6 +114,27 @@ pub enum Driver {
         /// Worker threads; `0` means one per available CPU core.
         workers: usize,
     },
+    /// **Bounded-staleness asynchronous rounds**: the epoch barrier
+    /// becomes optional — a node proceeds once shares from at least `k`
+    /// distinct neighbours have arrived for the epoch, and the remaining
+    /// neighbours' shares are applied **one epoch late**, merged under
+    /// the canonical-order rule (ascending sender id, per-sender FIFO,
+    /// stale before fresh). This is the speed-vs-fidelity axis the
+    /// deployed barrier-free `rex-node` loop runs on; in-process the
+    /// engine models it deterministically: which neighbours are "late"
+    /// at node `v` in epoch `e` is drawn from a seeded hash of
+    /// `(seed, e, sender, v)`, so a fixed `(seed, k)` yields a
+    /// bit-identical trajectory on any backend — and `k ≥ max degree`
+    /// degenerates to [`Driver::Lockstep`] exactly. Staleness is
+    /// bounded at one epoch: a share deferred once is delivered at the
+    /// next epoch unconditionally. Not composable with fault or
+    /// membership plans (those schedules are keyed to synchronized
+    /// round boundaries).
+    BoundedAsync {
+        /// Minimum distinct neighbour shares a node waits for per epoch.
+        /// `0` is legal (pure gossip: every share may arrive late).
+        k: usize,
+    },
 }
 
 /// Full engine configuration.
@@ -272,6 +293,12 @@ impl<M: Model, T: Transport> Engine<M, T> {
             "Driver::ThreadPerNode does not support membership plans; \
              use Driver::Lockstep, Driver::WorkSteal, or the rex-node loop"
         );
+        assert!(
+            !(matches!(self.cfg.driver, Driver::BoundedAsync { .. })
+                && (self.cfg.faults.is_some() || self.cfg.membership.is_some())),
+            "Driver::BoundedAsync does not compose with fault or membership plans; \
+             their schedules are keyed to synchronized round boundaries"
+        );
 
         // Crash-aware setup: see `setup::prune_dead_nodes` — whole-run
         // dead nodes leave the overlay before TEE provisioning, so
@@ -325,6 +352,13 @@ impl<M: Model, T: Transport> Engine<M, T> {
             Driver::WorkSteal { workers } => {
                 self.run_work_steal(name, nodes, setup_ns, workers, view, tee)
             }
+            // Bounded staleness reuses the lockstep executor; the
+            // arrival model lives in `run_rounds` (keyed off the
+            // driver), so any lockstep-shaped executor would see the
+            // same deferred inboxes.
+            Driver::BoundedAsync { .. } => {
+                self.run_lockstep(name, nodes, setup_ns, true, view, tee)
+            }
         }
     }
 
@@ -361,6 +395,11 @@ impl<M: Model, T: Transport> Engine<M, T> {
         };
         clock.advance(setup_ns);
         let mut trace = ExperimentTrace::new(name);
+        // Shares deferred by the bounded-staleness arrival model, per
+        // receiver; delivered unconditionally at the next epoch (max
+        // staleness one epoch). Whatever is left at run end is dropped,
+        // like any message in flight past the final round.
+        let mut deferred: Vec<Vec<Envelope>> = vec![Vec::new(); n];
 
         for epoch in 0..cfg.epochs {
             transport.epoch_begin(epoch);
@@ -394,7 +433,7 @@ impl<M: Model, T: Transport> Engine<M, T> {
             let down: Vec<bool> = (0..n)
                 .map(|id| fault_down[id] || view.as_deref().is_some_and(|v| !v.is_member(id)))
                 .collect();
-            let inboxes: Vec<Vec<Envelope>> = (0..n)
+            let mut inboxes: Vec<Vec<Envelope>> = (0..n)
                 .map(|id| {
                     let inbox = transport.recv(id);
                     if down[id] {
@@ -404,6 +443,12 @@ impl<M: Model, T: Transport> Engine<M, T> {
                     }
                 })
                 .collect();
+
+            if let Driver::BoundedAsync { k } = cfg.driver {
+                for (receiver, inbox) in inboxes.iter_mut().enumerate() {
+                    apply_staleness(cfg.seed, epoch, receiver, k, inbox, &mut deferred[receiver]);
+                }
+            }
 
             let results = execute(fleet, inboxes, &down);
 
@@ -767,6 +812,57 @@ fn advance_epoch_clock(time: &TimeAxis, clock: &mut dyn Clock, reports: &[Option
             clock.advance(max_sgx);
         }
     }
+}
+
+/// The [`Driver::BoundedAsync`] arrival model for one receiver's epoch:
+/// of the distinct senders with fresh shares in `inbox`, the `k` ranked
+/// first by the seeded hash `splitmix64(seed, epoch, sender, receiver)`
+/// arrive "in time"; every other sender's shares are deferred into
+/// `deferred`, which simultaneously releases the previous epoch's
+/// deferrals (bounded staleness: nothing is deferred twice). The
+/// resulting inbox is re-canonicalized — stale shares sort before fresh
+/// ones from the same sender, preserving per-sender FIFO across the
+/// epoch boundary.
+fn apply_staleness(
+    seed: u64,
+    epoch: usize,
+    receiver: usize,
+    k: usize,
+    inbox: &mut Vec<Envelope>,
+    deferred: &mut Vec<Envelope>,
+) {
+    let fresh = std::mem::take(inbox);
+    let mut senders: Vec<usize> = fresh.iter().map(|e| e.from).collect();
+    senders.sort_unstable();
+    senders.dedup();
+
+    let mut late: Vec<usize> = Vec::new();
+    if senders.len() > k {
+        // Deterministic arrival order: rank senders by a seeded hash,
+        // sender id breaking (astronomically unlikely) ties. The first
+        // k "arrived"; the rest are this epoch's stragglers.
+        let rank = |s: usize| {
+            rex_crypto::splitmix64(
+                seed ^ rex_crypto::splitmix64((epoch as u64) << 32 | receiver as u64)
+                    ^ rex_crypto::splitmix64(0x5741_u64 << 48 | s as u64),
+            )
+        };
+        senders.sort_by_key(|&s| (rank(s), s));
+        late = senders.split_off(k);
+        late.sort_unstable();
+    }
+
+    // Last epoch's stragglers deliver now, ahead of the fresh shares so
+    // the stable canonical sort keeps per-sender FIFO.
+    *inbox = std::mem::take(deferred);
+    for env in fresh {
+        if late.binary_search(&env.from).is_ok() {
+            deferred.push(env);
+        } else {
+            inbox.push(env);
+        }
+    }
+    rex_net::transport::canonicalize(inbox);
 }
 
 /// The per-node crash mask for one epoch (all-false without a plan).

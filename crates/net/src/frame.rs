@@ -128,46 +128,54 @@ fn header(kind: u8, from: usize, len: usize) -> [u8; HEADER_LEN] {
     h
 }
 
-/// Encodes a frame into a contiguous buffer (header + body).
-#[must_use]
-pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+/// Appends a frame's wire encoding (header + body) to `buf` without
+/// allocating: the destination is caller-owned and reusable, so hot send
+/// paths (the TCP endpoint's per-peer output buffers) stage many frames
+/// into one buffer and amortize its capacity across epochs.
+pub fn encode_frame_into(frame: &Frame, buf: &mut Vec<u8>) {
     match frame {
-        Frame::Hello { from } => header(KIND_HELLO, *from, 0).to_vec(),
+        Frame::Hello { from } => buf.extend_from_slice(&header(KIND_HELLO, *from, 0)),
         Frame::Data { from, payload } => {
-            let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
+            buf.reserve(HEADER_LEN + payload.len());
             buf.extend_from_slice(&header(KIND_DATA, *from, payload.len()));
             buf.extend_from_slice(payload);
-            buf
         }
         Frame::Barrier { from, generation } => {
-            let mut buf = Vec::with_capacity(HEADER_LEN + 8);
+            buf.reserve(HEADER_LEN + 8);
             buf.extend_from_slice(&header(KIND_BARRIER, *from, 8));
             buf.extend_from_slice(&generation.to_le_bytes());
-            buf
         }
         Frame::Join {
             from,
             epoch,
             evidence,
         } => {
-            let mut buf = Vec::with_capacity(HEADER_LEN + 8 + evidence.len());
+            buf.reserve(HEADER_LEN + 8 + evidence.len());
             buf.extend_from_slice(&header(KIND_JOIN, *from, 8 + evidence.len()));
             buf.extend_from_slice(&epoch.to_le_bytes());
             buf.extend_from_slice(evidence);
-            buf
         }
         Frame::Welcome {
             from,
             epoch,
             generation,
         } => {
-            let mut buf = Vec::with_capacity(HEADER_LEN + 16);
+            buf.reserve(HEADER_LEN + 16);
             buf.extend_from_slice(&header(KIND_WELCOME, *from, 16));
             buf.extend_from_slice(&epoch.to_le_bytes());
             buf.extend_from_slice(&generation.to_le_bytes());
-            buf
         }
     }
+}
+
+/// Encodes a frame into a fresh contiguous buffer (header + body). Thin
+/// wrapper over [`encode_frame_into`] for callers that want an owned
+/// buffer; hot paths should use [`encode_frame_into`] directly.
+#[must_use]
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut buf = Vec::new();
+    encode_frame_into(frame, &mut buf);
+    buf
 }
 
 /// Parses a decoded header into `(kind, from, body_len)`, validating the
@@ -273,9 +281,19 @@ pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), FrameError> {
 }
 
 /// Writes one frame to `w` (single `write_all`, so concurrent writers
-/// interleave only at frame granularity when externally serialized).
+/// interleave only at frame granularity when externally serialized). The
+/// encoding stages through a thread-local scratch buffer routed via
+/// [`encode_frame_into`], so steady-state calls allocate nothing.
 pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
-    w.write_all(&encode_frame(frame))
+    thread_local! {
+        static SCRATCH: std::cell::RefCell<Vec<u8>> = const { std::cell::RefCell::new(Vec::new()) };
+    }
+    SCRATCH.with(|cell| {
+        let mut buf = cell.borrow_mut();
+        buf.clear();
+        encode_frame_into(frame, &mut buf);
+        w.write_all(&buf)
+    })
 }
 
 /// Reads one frame from `r`. Returns `Ok(None)` on clean EOF at a frame
@@ -300,6 +318,74 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Frame>, FrameError> {
     let mut body = vec![0u8; len];
     r.read_exact(&mut body)?;
     Ok(Some(build_frame(kind, from, &body)?))
+}
+
+/// Incremental frame decoder over a **reusable** buffer: feed raw socket
+/// bytes in with [`FrameAssembler::extend`] in whatever chunks the kernel
+/// hands out, pull complete frames with [`FrameAssembler::next_frame`].
+/// Unlike [`decode_frame`], an incomplete frame is not an error — it is
+/// `Ok(None)` ("need more bytes") — while hostile headers (unknown kind,
+/// oversized length) fail before any body is buffered. The internal
+/// buffer is compacted in place and its capacity reused across frames,
+/// so a steady message stream decodes without per-frame allocation
+/// (frame *payloads* are still copied out, matching
+/// [`crate::mem::Envelope`] ownership).
+#[derive(Debug, Default)]
+pub struct FrameAssembler {
+    buf: Vec<u8>,
+    /// Start of un-decoded bytes within `buf`; everything before it has
+    /// been consumed and awaits compaction.
+    pos: usize,
+}
+
+impl FrameAssembler {
+    /// Fresh assembler with an empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw bytes read off the wire.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Compact before growing: once the consumed prefix dominates the
+        // buffer, shifting the live tail down is cheaper than letting the
+        // allocation creep.
+        if self.pos > 0 && (self.pos >= self.buf.len() || self.pos >= 4096) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Decodes the next complete frame, if the buffer holds one.
+    ///
+    /// # Errors
+    /// On a structurally invalid frame (unknown kind, hostile length
+    /// field, malformed fixed-size body) — the stream is unrecoverable
+    /// past that point and the connection should be torn down.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, FrameError> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let mut h = [0u8; HEADER_LEN];
+        h.copy_from_slice(&avail[..HEADER_LEN]);
+        let (kind, from, len) = parse_header(&h)?;
+        if avail.len() < HEADER_LEN + len {
+            return Ok(None);
+        }
+        let frame = build_frame(kind, from, &avail[HEADER_LEN..HEADER_LEN + len])?;
+        self.pos += HEADER_LEN + len;
+        Ok(Some(frame))
+    }
+
+    /// Whether bytes of a partially received frame are pending — at EOF
+    /// this distinguishes a clean close (frame boundary) from a peer
+    /// dying mid-frame.
+    #[must_use]
+    pub fn mid_frame(&self) -> bool {
+        self.pos < self.buf.len()
+    }
 }
 
 #[cfg(test)]
@@ -438,6 +524,122 @@ mod tests {
             assert_eq!(read_frame(&mut r).unwrap().unwrap(), *f);
         }
         assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn encode_into_matches_encode_and_appends() {
+        let frames = [
+            Frame::Hello { from: 3 },
+            Frame::Data {
+                from: 7,
+                payload: vec![1, 2, 3],
+            },
+            Frame::Barrier {
+                from: 2,
+                generation: 10,
+            },
+            Frame::Join {
+                from: 4,
+                epoch: 3,
+                evidence: vec![9],
+            },
+            Frame::Welcome {
+                from: 1,
+                epoch: 3,
+                generation: 6,
+            },
+        ];
+        // Staging all frames into one buffer is byte-for-byte the
+        // concatenation of the individual encodings — the coalesced
+        // write path cannot change the wire format.
+        let mut staged = Vec::new();
+        let mut concat = Vec::new();
+        for f in &frames {
+            encode_frame_into(f, &mut staged);
+            concat.extend_from_slice(&encode_frame(f));
+        }
+        assert_eq!(staged, concat);
+    }
+
+    #[test]
+    fn assembler_reassembles_byte_by_byte() {
+        let frames = [
+            Frame::Hello { from: 5 },
+            Frame::Data {
+                from: 5,
+                payload: vec![0xA5; 100],
+            },
+            Frame::Barrier {
+                from: 5,
+                generation: 1,
+            },
+        ];
+        let mut wire = Vec::new();
+        for f in &frames {
+            encode_frame_into(f, &mut wire);
+        }
+        // Worst-case fragmentation: one byte per extend.
+        let mut asm = FrameAssembler::new();
+        let mut out = Vec::new();
+        for b in &wire {
+            asm.extend(std::slice::from_ref(b));
+            while let Some(f) = asm.next_frame().unwrap() {
+                out.push(f);
+            }
+        }
+        assert_eq!(out, frames);
+        assert!(!asm.mid_frame(), "stream ended at a frame boundary");
+    }
+
+    #[test]
+    fn assembler_handles_bulk_chunks_spanning_frames() {
+        let mut wire = Vec::new();
+        for i in 0..50usize {
+            encode_frame_into(
+                &Frame::Data {
+                    from: i,
+                    payload: vec![i as u8; i * 7],
+                },
+                &mut wire,
+            );
+        }
+        let mut asm = FrameAssembler::new();
+        let mut got = 0usize;
+        for chunk in wire.chunks(97) {
+            asm.extend(chunk);
+            while let Some(f) = asm.next_frame().unwrap() {
+                match f {
+                    Frame::Data { from, payload } => {
+                        assert_eq!(payload, vec![from as u8; from * 7]);
+                        assert_eq!(from, got);
+                        got += 1;
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+        }
+        assert_eq!(got, 50);
+        assert!(!asm.mid_frame());
+    }
+
+    #[test]
+    fn assembler_rejects_hostile_header_mid_stream() {
+        let mut asm = FrameAssembler::new();
+        asm.extend(&encode_frame(&Frame::Hello { from: 1 }));
+        assert!(matches!(asm.next_frame(), Ok(Some(Frame::Hello { .. }))));
+        // A corrupt length prefix after a valid frame fails without
+        // buffering the claimed body.
+        asm.extend(&[0xFF; 9]);
+        assert!(matches!(asm.next_frame(), Err(FrameError::Invalid(_))));
+        // And a partial frame reports mid-frame state for EOF handling.
+        let mut asm = FrameAssembler::new();
+        let full = encode_frame(&Frame::Data {
+            from: 1,
+            payload: vec![7; 16],
+        });
+        asm.extend(&full[..full.len() - 1]);
+        assert!(asm.next_frame().unwrap().is_none());
+        assert!(asm.mid_frame());
     }
 
     #[test]

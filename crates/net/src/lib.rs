@@ -41,6 +41,7 @@ pub mod frame;
 pub mod link;
 pub mod mem;
 pub mod message;
+mod reactor;
 pub mod stats;
 pub mod tcp;
 pub mod transport;

@@ -189,6 +189,27 @@ pub trait Endpoint: Send {
     /// blocking.
     fn recv(&mut self) -> Vec<Envelope>;
 
+    /// Blocks until at least one message is deliverable (or `timeout`
+    /// elapses), then drains like [`Endpoint::recv`]. The
+    /// bounded-staleness node loop waits on this instead of a barrier —
+    /// it needs "some shares arrived", not "everything arrived".
+    /// Endpoints with synchronous delivery keep the default (an
+    /// immediate drain: everything sent is already visible).
+    fn recv_wait(&mut self, timeout: std::time::Duration) -> Vec<Envelope> {
+        let _ = timeout;
+        self.recv()
+    }
+
+    /// Pushes all locally staged output onto the wire **without** a
+    /// round barrier: returns once every previously sent message has
+    /// left this endpoint (not necessarily arrived). Barrier-free
+    /// drivers call this where lockstep drivers call
+    /// [`Endpoint::sync`]. Endpoints that transmit eagerly keep the
+    /// default no-op.
+    fn flush_sends(&mut self) -> Result<(), TransportError> {
+        Ok(())
+    }
+
     /// Wire-level round barrier: returns once every message sent by any
     /// endpoint *before its own `sync` of this round* has been delivered
     /// to its destination mailbox. Endpoints with synchronous delivery

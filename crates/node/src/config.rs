@@ -23,6 +23,25 @@ use rex_topology::TopologySpec;
 use std::collections::HashMap;
 use std::net::SocketAddr;
 
+/// How the deployed node loop schedules its epochs
+/// (`driver = "lockstep" | "bounded-async"`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeDriver {
+    /// Barrier-synchronized rounds: every epoch runs between two wire
+    /// barriers, bit-identical with the in-process engine drivers. The
+    /// default.
+    Lockstep,
+    /// Bounded-staleness rounds (`staleness_k = k`): no per-epoch wire
+    /// barrier — a node proceeds once shares from ≥ k distinct
+    /// neighbours are consumable, applying stragglers' shares late
+    /// under the canonical-order rule. See
+    /// [`crate::run_node_loop_async`] for the determinism contract.
+    BoundedAsync {
+        /// Minimum distinct neighbour shares consumed per epoch.
+        k: usize,
+    },
+}
+
 /// Everything a deployed node needs to know about its cluster.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClusterConfig {
@@ -98,6 +117,14 @@ pub struct ClusterConfig {
     /// topology rewiring — replay bit-for-bit across the whole cluster.
     /// `None` when the section is absent: the node set is static.
     pub membership: Option<MembershipPlan>,
+    /// Epoch scheduling of the deployed loop (`driver = "lockstep"` —
+    /// the default — or `"bounded-async"` with `staleness_k`).
+    /// Bounded-async requires `algorithm = "dpsgd"` (every neighbour
+    /// ships a share every epoch, which is what makes "wait for k
+    /// shares" deadlock-free) and is incompatible with `[faults]` and
+    /// `[membership]` sections: those schedules are keyed to
+    /// synchronized round boundaries the async loop does not run.
+    pub driver: NodeDriver,
 }
 
 impl Default for ClusterConfig {
@@ -123,6 +150,7 @@ impl Default for ClusterConfig {
             infra_seed: 0xE0,
             faults: None,
             membership: None,
+            driver: NodeDriver::Lockstep,
         }
     }
 }
@@ -524,6 +552,36 @@ impl ClusterConfig {
         } else {
             None
         };
+        let driver = match get_str(&map, "driver", "lockstep")?.as_str() {
+            "lockstep" => {
+                if map.contains_key("staleness_k") {
+                    return Err(
+                        "staleness_k: only meaningful with driver = \"bounded-async\"".to_string(),
+                    );
+                }
+                NodeDriver::Lockstep
+            }
+            "bounded-async" => NodeDriver::BoundedAsync {
+                k: get_int(&map, "staleness_k", 1)?,
+            },
+            other => return Err(format!("driver: unknown driver {other}")),
+        };
+        if matches!(driver, NodeDriver::BoundedAsync { .. }) {
+            if algorithm != GossipAlgorithm::DPsgd {
+                return Err(
+                    "driver: bounded-async requires algorithm = \"dpsgd\" (every neighbour \
+                     shares every epoch, which keeps \"wait for k shares\" deadlock-free)"
+                        .to_string(),
+                );
+            }
+            if sections.iter().any(|s| s == "faults" || s == "membership") {
+                return Err(
+                    "driver: bounded-async does not compose with [faults] or [membership] \
+                     sections; their schedules are keyed to synchronized round boundaries"
+                        .to_string(),
+                );
+            }
+        }
         let membership = if sections.iter().any(|s| s == "membership") {
             let plan = parse_membership(&map)?;
             // Reject bad schedules (out-of-range ids, epoch-0 joins,
@@ -575,6 +633,7 @@ impl ClusterConfig {
             infra_seed: get_int(&map, "infra_seed", d.infra_seed)?,
             faults,
             membership,
+            driver,
         })
     }
 
@@ -608,6 +667,12 @@ impl ClusterConfig {
                 format!("codec = \"sparse\"\nsparse_max_density = {max_density}")
             }
         };
+        let driver = match self.driver {
+            NodeDriver::Lockstep => "driver = \"lockstep\"".to_string(),
+            NodeDriver::BoundedAsync { k } => {
+                format!("driver = \"bounded-async\"\nstaleness_k = {k}")
+            }
+        };
         format!(
             "# REX cluster configuration (every process reads this same file)\n\
              nodes = [{}]\n\
@@ -627,7 +692,8 @@ impl ClusterConfig {
              {codec}\n\
              sgx = {}\n\
              processes_per_platform = {}\n\
-             infra_seed = {}\n{faults}{membership}",
+             infra_seed = {}\n\
+             {driver}\n{faults}{membership}",
             addrs.join(", "),
             self.epochs,
             self.topology_seed,
@@ -736,6 +802,48 @@ mod tests {
             "codec = 7\n",
             "codec = \"sparse\"\nsparse_max_density = 1.5\n",
             "codec = \"sparse\"\nsparse_max_density = -0.1\n",
+        ] {
+            assert!(
+                ClusterConfig::parse(&format!("nodes = [\"127.0.0.1:1\"]\n{bad}")).is_err(),
+                "accepted {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn driver_knob_parses_roundtrips_and_validates() {
+        // Default: lockstep.
+        let cfg = ClusterConfig::parse("nodes = [\"127.0.0.1:1\"]\n").unwrap();
+        assert_eq!(cfg.driver, NodeDriver::Lockstep);
+        // Bounded-async with the default k.
+        let cfg = ClusterConfig::parse("nodes = [\"127.0.0.1:1\"]\ndriver = \"bounded-async\"\n")
+            .unwrap();
+        assert_eq!(cfg.driver, NodeDriver::BoundedAsync { k: 1 });
+        // Explicit k.
+        let cfg = ClusterConfig::parse(
+            "nodes = [\"127.0.0.1:1\"]\ndriver = \"bounded-async\"\nstaleness_k = 3\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.driver, NodeDriver::BoundedAsync { k: 3 });
+        // Both drivers survive the TOML roundtrip.
+        for driver in [NodeDriver::Lockstep, NodeDriver::BoundedAsync { k: 2 }] {
+            let cfg = ClusterConfig {
+                driver,
+                // sample() uses rmw; bounded-async needs dpsgd.
+                algorithm: GossipAlgorithm::DPsgd,
+                ..sample()
+            };
+            assert_eq!(ClusterConfig::parse(&cfg.to_toml()).unwrap(), cfg);
+        }
+        // Garbage and invalid combinations refused.
+        for bad in [
+            "driver = \"warp\"\n",
+            "driver = 7\n",
+            "staleness_k = 2\n", // k without bounded-async
+            "driver = \"bounded-async\"\nstaleness_k = -1\n",
+            "driver = \"bounded-async\"\nalgorithm = \"rmw\"\n",
+            "driver = \"bounded-async\"\n[faults]\n",
+            "driver = \"bounded-async\"\n[membership]\n",
         ] {
             assert!(
                 ClusterConfig::parse(&format!("nodes = [\"127.0.0.1:1\"]\n{bad}")).is_err(),
