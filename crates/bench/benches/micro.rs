@@ -189,6 +189,47 @@ fn bench_transport(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_store(c: &mut Criterion) {
+    // RawDataStore::append_batch is the merge stage's hot path: every
+    // epoch each node appends all neighbor shares in one call. Priced
+    // flat (arrival-order Vec, single reserve) and sharded (plus the
+    // per-user row index maintenance).
+    use rex_core::store::RawDataStore;
+    use rex_data::UserBlock;
+
+    let mut group = c.benchmark_group("store/append_batch");
+    for batch_size in [64usize, 1_024, 16_384] {
+        let batch: Vec<Rating> = (0..batch_size)
+            .map(|i| Rating {
+                user: (i % 256) as u32,
+                item: (i * 13 % 4_096) as u32,
+                value: 3.5,
+            })
+            .collect();
+        group.throughput(Throughput::Elements(batch_size as u64));
+        group.bench_with_input(BenchmarkId::new("flat", batch_size), &batch, |b, batch| {
+            b.iter(|| {
+                let mut store = RawDataStore::new();
+                store.append_batch(batch);
+                store
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("sharded_256u", batch_size),
+            &batch,
+            |b, batch| {
+                b.iter(|| {
+                    let mut store =
+                        RawDataStore::with_shard(UserBlock { start: 0, end: 256 }, Vec::new());
+                    store.append_batch(batch);
+                    store
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_topology(c: &mut Criterion) {
     c.bench_function("topology/small_world_610", |b| {
         b.iter(|| small_world(610, 6, 0.03, 1));
@@ -246,6 +287,7 @@ criterion_group!(
     bench_mf,
     bench_codec,
     bench_transport,
+    bench_store,
     bench_topology,
     bench_protocol_epoch
 );

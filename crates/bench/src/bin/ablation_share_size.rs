@@ -8,7 +8,7 @@
 use rex_bench::mf_experiments::{build_fleet, MfScale};
 use rex_bench::{output, BenchArgs};
 use rex_core::config::{ExecutionMode, GossipAlgorithm, SharingMode};
-use rex_core::runner::{run_simulation, SimulationConfig};
+use rex_core::runner::{run, Backend, SimulationConfig};
 use rex_topology::TopologySpec;
 
 fn main() {
@@ -24,12 +24,12 @@ fn main() {
         base.epochs
     );
 
-    let sim = SimulationConfig {
+    let sim = Backend::Simulated(SimulationConfig {
         epochs: base.epochs,
         execution: ExecutionMode::Native,
         parallel: true,
         ..Default::default()
-    };
+    });
 
     let mut traces = Vec::new();
     for points in [10usize, 50, 100, 300, 1000, 3000] {
@@ -42,7 +42,7 @@ fn main() {
             SharingMode::RawData,
             GossipAlgorithm::DPsgd,
         );
-        let trace = run_simulation(&format!("REX, {points} pts"), &mut nodes, &sim).trace;
+        let trace = run(&sim, &format!("REX, {points} pts"), &mut nodes).trace;
         traces.push(trace);
     }
 

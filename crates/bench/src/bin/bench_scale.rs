@@ -1,16 +1,25 @@
 //! Scale benchmark with machine-readable output: the work-stealing
 //! scheduler against the sequential lockstep driver on a large
-//! mem-backend fleet, plus the sparse wire codec against the dense
-//! baseline on the Table-IV synthetic workload. Writes
-//! `results/BENCH_scale.json` — the artifact CI uploads to track the
-//! scaling trajectory.
+//! mem-backend fleet, the sparse wire codec against the dense baseline
+//! on the Table-IV synthetic workload, and the **user-sharded** fleet
+//! arms (each node hosts a contiguous block of virtual users, up to the
+//! 1M-user configuration) with RAM-per-user and epoch-time curves.
+//! Writes `results/BENCH_scale.json` — the artifact CI uploads to track
+//! the scaling trajectory.
 //!
-//! Quick mode (default, the CI scale-smoke job): 512 nodes, 5 epochs.
-//! `--full`: 1024 nodes, 10 epochs (the committed artifact). `--nodes`
-//! and `--epochs` override either. Both schedulers run the *same* seeded
-//! fleet, so their final RMSE must agree to the bit — the benchmark
-//! fails loudly if the parallel run diverges, making the artifact an
-//! equivalence proof as well as a timing.
+//! Quick mode (default, the CI scale-smoke job): 512 nodes, 5 epochs,
+//! and one 64-shard × 1024-users-per-node arm per sharing mode.
+//! `--full`: 1024 nodes, 10 epochs, sharded curves up to 16 × 65536
+//! (1,048,576 virtual users) — the committed artifact. `--nodes` and
+//! `--epochs` override the fleet shape. Both schedulers run the *same*
+//! seeded fleet, so their final RMSE must agree to the bit — the
+//! benchmark fails loudly if the parallel run diverges, making the
+//! artifact an equivalence proof as well as a timing.
+//!
+//! `--check-baseline PATH` reads a previously committed
+//! `BENCH_scale.json` *before* overwriting it and exits non-zero if the
+//! quick sharded arm's RAM-per-user grew more than 25% — the CI
+//! regression gate on per-user memory.
 //!
 //! Scheduler speedup is bounded by the host's cores (`host_cpus` in the
 //! JSON): on a single-core container the pool can only tie the
@@ -18,7 +27,7 @@
 //! host honestly measured.
 
 use rex_bench::{output, BenchArgs};
-use rex_core::builder::{build_mf_nodes, NodeSeeds};
+use rex_core::builder::{build_mf_nodes, build_mf_nodes_sharded, NodeSeeds};
 use rex_core::config::{ExecutionMode, GossipAlgorithm, ProtocolConfig, SharingMode, WireCodec};
 use rex_core::engine::{Driver, Engine, EngineConfig, EngineResult, TimeAxis};
 use rex_core::membership::MembershipPlan;
@@ -172,6 +181,101 @@ fn run_join_wave(n: usize, epochs: usize) -> (f64, f64, usize, EngineResult) {
     (seq_secs, pool_secs, joiners, pool)
 }
 
+/// One user-sharded fleet arm: `shards` enclave nodes, each hosting a
+/// contiguous block of `users_per_node` virtual users behind a single
+/// wire endpoint (aggregate-then-share: one message per shard per
+/// neighbor, never one per user).
+struct ShardRow {
+    shards: usize,
+    users_per_node: u32,
+    users: u64,
+    sharing: &'static str,
+    epochs: usize,
+    epoch_secs: f64,
+    ram_per_user: f64,
+    bytes_per_node_per_epoch: f64,
+    final_rmse_bits: u64,
+}
+
+fn run_shard_arm(
+    shards: usize,
+    users_per_node: u32,
+    sharing: SharingMode,
+    epochs: usize,
+) -> ShardRow {
+    let num_users = shards as u32 * users_per_node;
+    let ds = SyntheticConfig {
+        num_users,
+        num_items: 160,
+        num_ratings: 5 * num_users as usize,
+        seed: 42,
+        ..SyntheticConfig::default()
+    }
+    .generate();
+    let split = TrainTestSplit::standard(&ds, 7);
+    let (part, blocks) = Partition::user_blocks(&split, shards);
+    let graph = TopologySpec::SmallWorld.build(shards, 5);
+    // Model sharing at these scales only makes sense over the sparse
+    // delta codec (a dense 1M-row embedding table per message would
+    // swamp the fabric); raw sharing keeps the dense rating encoding.
+    let codec = match sharing {
+        SharingMode::RawData => WireCodec::Dense,
+        SharingMode::Model => WireCodec::sparse(),
+    };
+    let mut nodes = build_mf_nodes_sharded(
+        &part,
+        &blocks,
+        &graph,
+        ds.num_users,
+        ds.num_items,
+        MfHyperParams::default(),
+        ProtocolConfig {
+            sharing,
+            codec,
+            algorithm: GossipAlgorithm::DPsgd,
+            points_per_epoch: 40,
+            steps_per_epoch: 100,
+            seed: 17,
+        },
+        NodeSeeds::default(),
+    );
+    let start = Instant::now();
+    let result = Engine::<MfModel, MemNetwork>::new(
+        MemNetwork::new(shards),
+        engine_config(epochs, Driver::Lockstep { parallel: false }),
+    )
+    .run("shard", &mut nodes);
+    let secs = start.elapsed().as_secs_f64();
+    let last = result.trace.records.last().expect("shard arm ran epochs");
+    ShardRow {
+        shards,
+        users_per_node,
+        users: u64::from(num_users),
+        sharing: match sharing {
+            SharingMode::RawData => "raw",
+            SharingMode::Model => "model",
+        },
+        epochs,
+        epoch_secs: secs / epochs as f64,
+        ram_per_user: last.ram_bytes / f64::from(users_per_node),
+        bytes_per_node_per_epoch: result.trace.total_bytes_per_node() / epochs as f64,
+        final_rmse_bits: result.trace.final_rmse().unwrap_or(f64::NAN).to_bits(),
+    }
+}
+
+/// Extracts `"shard_ram_per_user_64x1024_raw": <number>` from a baseline
+/// JSON without a JSON parser (fixed schema, written by this binary).
+fn parse_baseline_ram_per_user(text: &str) -> Option<f64> {
+    let key = "\"shard_ram_per_user_64x1024_raw\":";
+    let rest = &text[text.find(key)? + key.len()..];
+    let end = rest.find(['}', ',', '\n'])?;
+    rest[..end].trim().parse().ok()
+}
+
+/// CI gate: the quick sharded arm's RAM-per-user may grow at most 25%
+/// over the committed baseline.
+const RAM_BASELINE_TOLERANCE: f64 = 1.25;
+
 fn main() {
     let args = BenchArgs::parse();
     let mode = if args.full { "full" } else { "quick" };
@@ -251,6 +355,83 @@ fn main() {
         "everyone joined, one founder left"
     );
 
+    // User-sharded arms: RAM-per-user and epoch-time curves. Quick mode
+    // runs the CI smoke shape (64 shards x 1024 users, both sharing
+    // modes); full mode extends the raw curve through 262k users and the
+    // 1M-user configuration, and gives model sharing a second point.
+    let shard_arms: &[(usize, u32, SharingMode)] = if args.full {
+        &[
+            (64, 1024, SharingMode::RawData),
+            (64, 2048, SharingMode::RawData),
+            (64, 4096, SharingMode::RawData),
+            (16, 65536, SharingMode::RawData), // 1,048,576 virtual users
+            (64, 1024, SharingMode::Model),
+            (64, 2048, SharingMode::Model),
+        ]
+    } else {
+        &[
+            (64, 1024, SharingMode::RawData),
+            (64, 1024, SharingMode::Model),
+        ]
+    };
+    let mut shard_rows = Vec::new();
+    for &(shards, upn, sharing) in shard_arms {
+        eprintln!(
+            "[bench_scale] sharded arm: {shards} shards x {upn} users ({:?})...",
+            sharing
+        );
+        shard_rows.push(run_shard_arm(shards, upn, sharing, epochs));
+    }
+    println!("user sharding ({epochs} epochs per arm):");
+    for r in &shard_rows {
+        println!(
+            "  {:>3} shards x {:>6} users ({:<5}): {:>8.1} B/user RAM, {:>7.3} s/epoch, \
+             {:>10.0} B/node/epoch",
+            r.shards,
+            r.users_per_node,
+            r.sharing,
+            r.ram_per_user,
+            r.epoch_secs,
+            r.bytes_per_node_per_epoch
+        );
+    }
+
+    // Wire-traffic claim: bytes per node per epoch track the shard
+    // count (a shard sends one aggregate message per neighbor), not the
+    // user count — quadrupling users per shard must not move traffic by
+    // more than encoding slack.
+    let wire_small = run_shard_arm(32, 256, SharingMode::RawData, epochs);
+    let wire_large = run_shard_arm(32, 1024, SharingMode::RawData, epochs);
+    let wire_ratio = wire_large.bytes_per_node_per_epoch / wire_small.bytes_per_node_per_epoch;
+    println!(
+        "wire scaling (32 shards, raw): {:>8.0} B/node/epoch at 256 u/shard, {:>8.0} at 1024 \
+         u/shard (ratio {wire_ratio:.3})",
+        wire_small.bytes_per_node_per_epoch, wire_large.bytes_per_node_per_epoch
+    );
+    assert!(
+        wire_ratio < 1.10,
+        "wire traffic scaled with user count (ratio {wire_ratio:.3}), not shard count"
+    );
+
+    let quick_ram_per_user = shard_rows
+        .iter()
+        .find(|r| r.shards == 64 && r.users_per_node == 1024 && r.sharing == "raw")
+        .expect("every mode runs the 64x1024 raw arm")
+        .ram_per_user;
+
+    // Read the baseline *before* saving: the committed baseline is
+    // usually the same results/ file this run is about to overwrite.
+    let baseline = args.check_baseline.as_ref().map(|path| {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("could not read baseline {path}: {e}");
+            std::process::exit(1);
+        });
+        parse_baseline_ram_per_user(&text).unwrap_or_else(|| {
+            eprintln!("baseline {path} has no shard_ram_per_user_64x1024_raw summary");
+            std::process::exit(1);
+        })
+    });
+
     let mut json = String::from("{\n");
     json.push_str(&format!(
         "  \"bench\": \"scale\",\n  \"mode\": \"{mode}\",\n  \"host_cpus\": {host_cpus},\n"
@@ -279,9 +460,37 @@ fn main() {
         "  \"membership\": {{\"nodes\": {nodes}, \"epochs\": {}, \"joiners\": {wave_joiners}, \
          \"leaves\": 1, \"live_first\": {wave_first_live}, \"live_last\": {wave_last_live}, \
          \"sequential_secs\": {wave_seq_secs:.3}, \"work_steal_secs\": {wave_pool_secs:.3}, \
-         \"final_rmse_bits_equal\": true, \"final_rmse_bits\": \"{:#018x}\"}}\n",
+         \"final_rmse_bits_equal\": true, \"final_rmse_bits\": \"{:#018x}\"}},\n",
         epochs.max(3),
         wave.trace.final_rmse().unwrap_or(f64::NAN).to_bits()
+    ));
+    json.push_str("  \"sharding\": [\n");
+    for (i, r) in shard_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"shards\": {}, \"users_per_node\": {}, \"users\": {}, \"sharing\": \"{}\", \
+             \"epochs\": {}, \"ram_per_user_bytes\": {:.1}, \"epoch_secs\": {:.4}, \
+             \"bytes_per_node_per_epoch\": {:.1}, \"final_rmse_bits\": \"{:#018x}\"}}{}\n",
+            r.shards,
+            r.users_per_node,
+            r.users,
+            r.sharing,
+            r.epochs,
+            r.ram_per_user,
+            r.epoch_secs,
+            r.bytes_per_node_per_epoch,
+            r.final_rmse_bits,
+            if i + 1 < shard_rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"wire_scaling\": {{\"shards\": 32, \"sharing\": \"raw\", \
+         \"bytes_per_node_per_epoch_256u\": {:.1}, \"bytes_per_node_per_epoch_1024u\": {:.1}, \
+         \"ratio\": {wire_ratio:.4}}},\n",
+        wire_small.bytes_per_node_per_epoch, wire_large.bytes_per_node_per_epoch
+    ));
+    json.push_str(&format!(
+        "  \"summary\": {{\"shard_ram_per_user_64x1024_raw\": {quick_ram_per_user:.1}}}\n"
     ));
     json.push_str("}\n");
 
@@ -291,5 +500,20 @@ fn main() {
             eprintln!("could not save BENCH_scale.json: {e}");
             std::process::exit(1);
         }
+    }
+
+    if let Some(baseline) = baseline {
+        let ceiling = baseline * RAM_BASELINE_TOLERANCE;
+        if quick_ram_per_user > ceiling {
+            eprintln!(
+                "REGRESSION: shard_ram_per_user_64x1024_raw = {quick_ram_per_user:.1} exceeds \
+                 {ceiling:.1} (baseline {baseline:.1} x {RAM_BASELINE_TOLERANCE})"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "baseline check: {quick_ram_per_user:.1} B/user within {ceiling:.1} \
+             (baseline {baseline:.1} x {RAM_BASELINE_TOLERANCE})"
+        );
     }
 }

@@ -8,7 +8,7 @@
 use rex_bench::mf_experiments::{build_fleet, MfScale};
 use rex_bench::{output, BenchArgs};
 use rex_core::config::{ExecutionMode, GossipAlgorithm, SharingMode};
-use rex_core::runner::{run_simulation, SimulationConfig};
+use rex_core::runner::{run, Backend, SimulationConfig};
 use rex_topology::TopologySpec;
 
 fn main() {
@@ -26,12 +26,12 @@ fn main() {
         scale.epochs
     );
 
-    let sim = SimulationConfig {
+    let sim = Backend::Simulated(SimulationConfig {
         epochs: scale.epochs,
         execution: ExecutionMode::Native,
         parallel: true,
         ..Default::default()
-    };
+    });
 
     let mut traces = Vec::new();
     for sharing in [SharingMode::Model, SharingMode::RawData] {
@@ -46,7 +46,7 @@ fn main() {
                 GossipAlgorithm::DPsgd,
             );
             let name = format!("{}, D-PSGD, SW, k={k}", sharing.label());
-            traces.push(run_simulation(&name, &mut nodes, &sim).trace);
+            traces.push(run(&sim, &name, &mut nodes).trace);
         }
     }
 

@@ -4,7 +4,7 @@
 use crate::args::BenchArgs;
 use rex_core::builder::{build_dnn_nodes, NodeSeeds};
 use rex_core::config::{ExecutionMode, GossipAlgorithm, ProtocolConfig, SharingMode};
-use rex_core::runner::{run_simulation, SimulationConfig};
+use rex_core::runner::{run, Backend, SimulationConfig};
 use rex_data::{Partition, SyntheticConfig, TrainTestSplit};
 use rex_ml::dnn::DnnHyperParams;
 use rex_sim::trace::ExperimentTrace;
@@ -98,15 +98,15 @@ pub fn run_dnn_arm(
         NodeSeeds::default(),
     );
     let name = format!("{}, D-PSGD, {}", sharing.label(), topology.label());
-    run_simulation(
-        &name,
-        &mut nodes,
-        &SimulationConfig {
+    run(
+        &Backend::Simulated(SimulationConfig {
             epochs: scale.epochs,
             execution: ExecutionMode::Native,
             parallel: true,
             ..Default::default()
-        },
+        }),
+        &name,
+        &mut nodes,
     )
     .trace
 }

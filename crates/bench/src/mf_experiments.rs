@@ -2,10 +2,10 @@
 
 use crate::args::BenchArgs;
 use rex_core::builder::{build_mf_nodes, NodeSeeds};
-use rex_core::centralized::run_centralized;
+use rex_core::centralized::run_baseline as run_centralized_baseline;
 use rex_core::config::{ExecutionMode, GossipAlgorithm, ProtocolConfig, SharingMode};
 use rex_core::node::Node;
-use rex_core::runner::{run_simulation, SimulationConfig};
+use rex_core::runner::{run, Backend, SimulationConfig};
 use rex_data::{Partition, SyntheticConfig, TrainTestSplit};
 use rex_ml::{MfHyperParams, MfModel};
 use rex_sim::trace::ExperimentTrace;
@@ -173,17 +173,17 @@ pub fn run_panel(
     topology: TopologySpec,
     execution: ExecutionMode,
 ) -> (ExperimentTrace, ExperimentTrace) {
-    let sim = SimulationConfig {
+    let sim = Backend::Simulated(SimulationConfig {
         epochs: scale.epochs,
         execution,
         parallel: true,
         ..Default::default()
-    };
+    });
     let mut rex_nodes = build_fleet(scale, topology, SharingMode::RawData, algorithm);
-    let rex = run_simulation(&format!("REX, {label}"), &mut rex_nodes, &sim);
+    let rex = run(&sim, &format!("REX, {label}"), &mut rex_nodes);
     drop(rex_nodes);
     let mut ms_nodes = build_fleet(scale, topology, SharingMode::Model, algorithm);
-    let ms = run_simulation(&format!("MS, {label}"), &mut ms_nodes, &sim);
+    let ms = run(&sim, &format!("MS, {label}"), &mut ms_nodes);
     (rex.trace, ms.trace)
 }
 
@@ -198,7 +198,7 @@ pub fn run_baseline(scale: &MfScale) -> ExperimentTrace {
         dataset.mean_rating() as f32,
         NodeSeeds::default().model_init,
     );
-    run_centralized(
+    run_centralized_baseline(
         "Centralized",
         &mut model,
         &split.train,

@@ -6,7 +6,7 @@ use crate::args::BenchArgs;
 use rex_core::builder::{build_mf_nodes, NodeSeeds};
 use rex_core::config::{ExecutionMode, GossipAlgorithm, ProtocolConfig, SharingMode};
 use rex_core::engine::{Driver, Engine, EngineConfig, TimeAxis};
-use rex_core::threaded::{run_threaded, ThreadedConfig, ThreadedResult};
+use rex_core::runner::{run, Backend, ThreadedConfig, ThreadedResult};
 use rex_data::{Partition, SyntheticConfig, TrainTestSplit};
 use rex_ml::{MfHyperParams, MfModel};
 use rex_net::tcp::TcpTransport;
@@ -193,16 +193,19 @@ pub fn run_arm_on(scale: &SgxScale, arm: Arm, backend: ArmBackend) -> ThreadedRe
         ExecutionMode::Native
     };
     match backend {
-        ArmBackend::Channel => run_threaded(
-            &arm.label(),
-            nodes,
-            &ThreadedConfig {
-                epochs: scale.epochs,
-                execution,
-                processes_per_platform: 2, // the paper packs 2 processes/machine
-                seed: scale.seed ^ 0x991,
-            },
-        ),
+        ArmBackend::Channel => {
+            let mut nodes = nodes;
+            run(
+                &Backend::Threaded(ThreadedConfig {
+                    epochs: scale.epochs,
+                    execution,
+                    processes_per_platform: 2, // the paper packs 2 processes/machine
+                    seed: scale.seed ^ 0x991,
+                }),
+                &arm.label(),
+                &mut nodes,
+            )
+        }
         ArmBackend::Tcp => {
             let mut nodes = nodes;
             Engine::<MfModel, TcpTransport>::new(

@@ -2,7 +2,7 @@
 
 use crate::config::ProtocolConfig;
 use crate::node::Node;
-use rex_data::{Partition, Rating};
+use rex_data::{Partition, Rating, UserBlock};
 use rex_ml::dnn::{DnnHyperParams, DnnModel};
 use rex_ml::{MfHyperParams, MfModel};
 use rex_topology::Graph;
@@ -54,14 +54,58 @@ pub fn build_mf_nodes(
             let train = partition.train[id].clone();
             let mut model = MfModel::new(num_users, num_items, hp, 3.5, seeds.model_init);
             model.set_global_mean(local_mean(&train));
-            Node::new(
-                id,
-                graph.neighbors(id).to_vec(),
-                model,
-                train,
-                partition.test[id].clone(),
-                cfg,
-            )
+            Node::builder(id, model)
+                .neighbors(graph.neighbors(id).to_vec())
+                .train(train)
+                .test(partition.test[id].clone())
+                .protocol(cfg)
+                .build()
+        })
+        .collect()
+}
+
+/// Builds one **user-sharded** MF node per partition slot: slot `id`
+/// hosts the contiguous user-row block `blocks[id]` (see
+/// [`Partition::user_blocks`]). Width-1 blocks degrade to the exact
+/// legacy per-user node — a `users_per_node = 1` sharded fleet is
+/// bit-identical to [`build_mf_nodes`] over a per-user partition.
+///
+/// # Panics
+/// If the partition, block list and graph disagree on node count.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn build_mf_nodes_sharded(
+    partition: &Partition,
+    blocks: &[UserBlock],
+    graph: &Graph,
+    num_users: u32,
+    num_items: u32,
+    hp: MfHyperParams,
+    cfg: ProtocolConfig,
+    seeds: NodeSeeds,
+) -> Vec<Node<MfModel>> {
+    assert_eq!(
+        partition.num_nodes(),
+        graph.len(),
+        "partition/topology node count mismatch"
+    );
+    assert_eq!(
+        partition.num_nodes(),
+        blocks.len(),
+        "partition/block count mismatch"
+    );
+    (0..partition.num_nodes())
+        .map(|id| {
+            let train = partition.train[id].clone();
+            let mut model = MfModel::new(num_users, num_items, hp, 3.5, seeds.model_init);
+            model.set_global_mean(local_mean(&train));
+            Node::builder(id, model)
+                .neighbors(graph.neighbors(id).to_vec())
+                .train(train)
+                .test(partition.test[id].clone())
+                .protocol(cfg)
+                .shard(blocks[id])
+                .build()
         })
         .collect()
 }
@@ -90,14 +134,12 @@ pub fn build_dnn_nodes(
             let train = partition.train[id].clone();
             let mean = local_mean(&train);
             let model = DnnModel::new(num_users, num_items, hp.clone(), mean, seeds.model_init);
-            Node::new(
-                id,
-                graph.neighbors(id).to_vec(),
-                model,
-                train,
-                partition.test[id].clone(),
-                cfg,
-            )
+            Node::builder(id, model)
+                .neighbors(graph.neighbors(id).to_vec())
+                .train(train)
+                .test(partition.test[id].clone())
+                .protocol(cfg)
+                .build()
         })
         .collect()
 }
@@ -106,6 +148,7 @@ pub fn build_dnn_nodes(
 mod tests {
     use super::*;
     use rex_data::{SyntheticConfig, TrainTestSplit};
+    use rex_ml::Model;
     use rex_topology::TopologySpec;
 
     fn partition(nodes: usize) -> (Partition, u32, u32) {
@@ -162,6 +205,80 @@ mod tests {
         for (id, n) in nodes.iter().enumerate() {
             let expected = local_mean(&part.train[id]);
             assert!((n.model().global_mean() - expected).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn sharded_fleet_hosts_user_blocks() {
+        let ds = SyntheticConfig {
+            num_users: 20,
+            num_items: 100,
+            num_ratings: 800,
+            seed: 4,
+            ..SyntheticConfig::default()
+        }
+        .generate();
+        let split = TrainTestSplit::standard(&ds, 1);
+        let (part, blocks) = Partition::user_blocks(&split, 5);
+        let graph = TopologySpec::Ring.build(5, 0);
+        let nodes = build_mf_nodes_sharded(
+            &part,
+            &blocks,
+            &graph,
+            ds.num_users,
+            ds.num_items,
+            MfHyperParams::default(),
+            ProtocolConfig::default(),
+            NodeSeeds::default(),
+        );
+        assert_eq!(nodes.len(), 5);
+        for (id, n) in nodes.iter().enumerate() {
+            assert_eq!(n.shard_block(), Some(blocks[id]));
+            assert_eq!(n.users_hosted(), 4);
+        }
+    }
+
+    #[test]
+    fn width_one_sharded_fleet_matches_legacy_builder() {
+        // The users_per_node = 1 contract at the builder level: sharded
+        // construction over width-1 blocks yields byte-identical nodes.
+        let ds = SyntheticConfig {
+            num_users: 20,
+            num_items: 100,
+            num_ratings: 800,
+            seed: 4,
+            ..SyntheticConfig::default()
+        }
+        .generate();
+        let split = TrainTestSplit::standard(&ds, 1);
+        let (sharded_part, blocks) = Partition::user_blocks(&split, 20);
+        let legacy_part = Partition::one_user_per_node(&split);
+        let graph = TopologySpec::Ring.build(20, 0);
+        let sharded = build_mf_nodes_sharded(
+            &sharded_part,
+            &blocks,
+            &graph,
+            ds.num_users,
+            ds.num_items,
+            MfHyperParams::default(),
+            ProtocolConfig::default(),
+            NodeSeeds::default(),
+        );
+        let legacy = build_mf_nodes(
+            &legacy_part,
+            &graph,
+            ds.num_users,
+            ds.num_items,
+            MfHyperParams::default(),
+            ProtocolConfig::default(),
+            NodeSeeds::default(),
+        );
+        for (s, l) in sharded.iter().zip(&legacy) {
+            assert_eq!(s.shard_block(), None, "width-1 shard must normalize away");
+            assert_eq!(s.users_hosted(), 1);
+            assert_eq!(s.model().to_bytes(), l.model().to_bytes());
+            assert_eq!(s.store().ratings(), l.store().ratings());
+            assert_eq!(s.store().memory_bytes(), l.store().memory_bytes());
         }
     }
 

@@ -1,20 +1,19 @@
 //! Centralized baseline (the paper's dashed reference line in Figs 1, 2,
 //! 4): one model trained on the full dataset, no network.
 //!
-//! Since the engine refactor this is the engine's degenerate deployment: a
-//! single node with no neighbours on a one-slot [`MemNetwork`] fabric. The
-//! node's merge and share stages are no-ops (nothing arrives, nobody to
-//! send to), leaving exactly the paper's baseline loop — `steps_per_epoch`
-//! SGD steps then an RMSE measurement per epoch, on the simulated
-//! (measured-compute) time axis.
+//! Since the runner unification this is [`Backend::Centralized`] with a
+//! one-node fleet: a single node with no neighbours, whose merge and share
+//! stages are no-ops (nothing arrives, nobody to send to), leaving exactly
+//! the paper's baseline loop — `steps_per_epoch` SGD steps then an RMSE
+//! measurement per epoch, on the simulated (measured-compute) time axis.
+//! [`run_baseline`] wraps that construction; the old [`run_centralized`]
+//! name forwards to it.
 
 use crate::config::{GossipAlgorithm, ProtocolConfig, SharingMode};
-use crate::engine::{Driver, Engine, EngineConfig, TimeAxis};
 use crate::node::Node;
+use crate::runner::{run, Backend};
 use rex_data::Rating;
 use rex_ml::Model;
-use rex_net::link::LinkModel;
-use rex_net::mem::MemNetwork;
 use rex_sim::trace::ExperimentTrace;
 
 /// Runs the centralized baseline for `epochs` epochs of `steps_per_epoch`
@@ -22,6 +21,42 @@ use rex_sim::trace::ExperimentTrace;
 ///
 /// `model` is trained in place, exactly as if the caller had run the SGD
 /// loop directly.
+pub fn run_baseline<M: Model>(
+    name: &str,
+    model: &mut M,
+    train: &[Rating],
+    test: &[Rating],
+    steps_per_epoch: usize,
+    epochs: usize,
+    seed: u64,
+) -> ExperimentTrace {
+    let node = Node::builder(0, model.clone())
+        // no neighbours: share/merge are no-ops
+        .train(train.to_vec())
+        .test(test.to_vec())
+        .protocol(ProtocolConfig {
+            sharing: SharingMode::RawData,
+            algorithm: GossipAlgorithm::DPsgd,
+            points_per_epoch: 0,
+            steps_per_epoch,
+            seed,
+            ..ProtocolConfig::default()
+        })
+        .build();
+    let mut nodes = vec![node];
+    let mut result = run(&Backend::Centralized { epochs, seed }, name, &mut nodes);
+    *model = nodes.pop().expect("one node").into_model();
+    // The baseline's RAM column means "the model" (the node-level figure
+    // would also count the whole training set living in the single node's
+    // store, which no decentralized arm pays as one block).
+    for record in &mut result.trace.records {
+        record.ram_bytes = model.memory_bytes() as f64;
+    }
+    result.trace
+}
+
+/// Runs the centralized baseline (legacy name).
+#[deprecated(since = "0.7.0", note = "use run_baseline")]
 pub fn run_centralized<M: Model>(
     name: &str,
     model: &mut M,
@@ -31,44 +66,7 @@ pub fn run_centralized<M: Model>(
     epochs: usize,
     seed: u64,
 ) -> ExperimentTrace {
-    let node = Node::new(
-        0,
-        Vec::new(), // no neighbours: share/merge are no-ops
-        model.clone(),
-        train.to_vec(),
-        test.to_vec(),
-        ProtocolConfig {
-            sharing: SharingMode::RawData,
-            algorithm: GossipAlgorithm::DPsgd,
-            points_per_epoch: 0,
-            steps_per_epoch,
-            seed,
-            ..ProtocolConfig::default()
-        },
-    );
-    let mut nodes = vec![node];
-    let mut result = Engine::<M, MemNetwork>::new(
-        MemNetwork::new(1),
-        EngineConfig {
-            epochs,
-            execution: crate::config::ExecutionMode::Native,
-            time: TimeAxis::Simulated(LinkModel::infinite()),
-            driver: Driver::Lockstep { parallel: false },
-            processes_per_platform: 1,
-            seed,
-            faults: None,
-            membership: None,
-        },
-    )
-    .run(name, &mut nodes);
-    *model = nodes.pop().expect("one node").into_model();
-    // The baseline's RAM column means "the model" (the node-level figure
-    // would also count the whole training set living in the single node's
-    // store, which no decentralized arm pays as one block).
-    for record in &mut result.trace.records {
-        record.ram_bytes = model.memory_bytes() as f64;
-    }
-    result.trace
+    run_baseline(name, model, train, test, steps_per_epoch, epochs, seed)
 }
 
 #[cfg(test)]
@@ -89,7 +87,7 @@ mod tests {
         .generate();
         let split = TrainTestSplit::standard(&ds, 0);
         let mut model = MfModel::new(40, 200, MfHyperParams::default(), 3.5, 0);
-        let trace = run_centralized(
+        let trace = run_baseline(
             "Centralized",
             &mut model,
             &split.train,
@@ -118,11 +116,31 @@ mod tests {
         let split = TrainTestSplit::standard(&ds, 0);
         let mut model = MfModel::new(10, 40, MfHyperParams::default(), 3.5, 0);
         let untrained = model.clone();
-        run_centralized("c", &mut model, &split.train, &split.test, 200, 3, 1);
+        run_baseline("c", &mut model, &split.train, &split.test, 200, 3, 1);
         assert_ne!(
             model.to_bytes(),
             untrained.to_bytes(),
             "model not written back"
         );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_run_centralized_still_forwards() {
+        let ds = SyntheticConfig {
+            num_users: 10,
+            num_items: 40,
+            num_ratings: 300,
+            seed: 4,
+            ..SyntheticConfig::default()
+        }
+        .generate();
+        let split = TrainTestSplit::standard(&ds, 0);
+        let mut via_shim = MfModel::new(10, 40, MfHyperParams::default(), 3.5, 0);
+        let mut via_new = via_shim.clone();
+        let a = run_centralized("c", &mut via_shim, &split.train, &split.test, 100, 3, 1);
+        let b = run_baseline("c", &mut via_new, &split.train, &split.test, 100, 3, 1);
+        assert_eq!(via_shim.to_bytes(), via_new.to_bytes());
+        assert_eq!(a.records.len(), b.records.len());
     }
 }

@@ -18,10 +18,9 @@
 //! * the **centralized baseline** — a one-node fabric with no neighbours
 //!   (see [`crate::centralized`]).
 //!
-//! The legacy entry points [`crate::runner::run_simulation`],
-//! [`crate::threaded::run_threaded`] and
-//! [`crate::centralized::run_centralized`] are thin configuration shims
-//! over [`Engine::run`]; a further backend only implements the `rex-net`
+//! The unified entry point [`crate::runner::run`] (selecting a
+//! [`crate::runner::Backend`]) is a thin configuration shim over
+//! [`Engine::run`]; a further backend only implements the `rex-net`
 //! transport traits.
 //!
 //! # Determinism

@@ -39,12 +39,32 @@
 //!   seeded scenario so churn replays bit-for-bit;
 //! * [`setup`] — the one TEE provisioning + pairwise-attestation path,
 //!   plus the [`setup::TeeDirectory`] late joins attest against;
-//! * [`runner::run_simulation`] — shim: `MemNetwork` fabric, lockstep
-//!   rounds, simulated time (discrete-event simulator, any node count);
-//! * [`threaded::run_threaded`] — shim: `ChannelTransport` fabric, one OS
-//!   thread per node, wall-clock time (the paper's 8-node deployment);
-//! * [`centralized::run_centralized`] — shim: the engine's degenerate
-//!   single-node deployment (the baseline curve).
+//! * [`runner::run`] — the single entry point over every deployment
+//!   style, selected by [`runner::Backend`]: `Simulated` (`MemNetwork`
+//!   fabric, lockstep rounds, simulated time — the discrete-event
+//!   simulator at any node count), `Threaded` (`ChannelTransport`
+//!   fabric, one OS thread per node, wall-clock time — the paper's
+//!   8-node deployment) or `Centralized` (the engine's degenerate
+//!   no-fabric deployment behind [`centralized::run_baseline`], the
+//!   baseline curve). The pre-unification names `run_simulation`,
+//!   `run_threaded` and `run_centralized` survive as deprecated
+//!   one-line forwards.
+//!
+//! # User shards
+//!
+//! A node may host a **user shard** — a contiguous block of user rows
+//! ([`rex_data::UserBlock`], cut by [`rex_data::Partition::user_blocks`])
+//! instead of a single user — pushing one in-process fleet to hundreds of
+//! thousands to millions of *virtual users* across ordinary node counts.
+//! Construction goes through [`node::NodeBuilder::shard`] (or
+//! [`builder::build_mf_nodes_sharded`]); the store grows a row index
+//! ([`store::RawDataStore::with_shard`]), training switches to the
+//! row-block-batched [`rex_ml::Model::train_steps_batched`], EPC
+//! accounting reports the index as its own `rex_tee` region, and the
+//! share stage aggregates the whole shard into one wire message per
+//! recipient (traffic scales with shards, not users). Width-1 shards
+//! normalize away at build time, so `users_per_node = 1` deployments are
+//! bit-identical to the legacy per-user fleet on every backend.
 
 pub mod builder;
 pub mod centralized;
@@ -58,10 +78,13 @@ pub mod setup;
 pub mod store;
 pub mod threaded;
 
-pub use builder::{build_dnn_nodes, build_mf_nodes, NodeSeeds};
+pub use builder::{build_dnn_nodes, build_mf_nodes, build_mf_nodes_sharded, NodeSeeds};
+pub use centralized::run_baseline;
 pub use config::{ExecutionMode, GossipAlgorithm, ProtocolConfig, SharingMode, WireCodec};
 pub use engine::{Driver, Engine, EngineConfig, EngineResult, TimeAxis};
 pub use membership::{JoinSpec, LeaveSpec, MembershipPlan, MembershipView, ViewTransition};
-pub use node::Node;
-pub use runner::{run_simulation, SimulationConfig};
+pub use node::{Node, NodeBuilder};
+#[allow(deprecated)]
+pub use runner::run_simulation;
+pub use runner::{run, Backend, SimulationConfig, ThreadedConfig};
 pub use store::RawDataStore;

@@ -10,7 +10,7 @@ use crate::store::RawDataStore;
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
-use rex_data::Rating;
+use rex_data::{Rating, UserBlock};
 use rex_ml::metrics::rmse;
 use rex_ml::Model;
 use rex_net::codec::{decode_payload, decode_plain, encode_payload, encode_plain};
@@ -72,10 +72,127 @@ pub struct Node<M: Model> {
     rng: StdRng,
     tee: Option<NodeTee>,
     sparse: Option<SparseRef<M>>,
+    /// The contiguous user-row block this node hosts, when it is a
+    /// multi-user shard (width > 1). `None` runs the legacy per-user
+    /// paths bit-for-bit — the `users_per_node = 1` determinism anchor.
+    shard: Option<UserBlock>,
+}
+
+/// Assembles a [`Node`]: the builder carries everything
+/// [`Node::epoch`] needs, so new parameters (like the shard block) grow
+/// a named setter instead of another positional argument.
+///
+/// ```
+/// # use rex_core::Node;
+/// # use rex_core::config::ProtocolConfig;
+/// # use rex_ml::{MfHyperParams, MfModel};
+/// let node: Node<MfModel> =
+///     Node::builder(0, MfModel::new(4, 8, MfHyperParams::default(), 3.5, 1))
+///         .neighbors(vec![1, 2])
+///         .protocol(ProtocolConfig::default())
+///         .build();
+/// assert_eq!(node.degree(), 2);
+/// ```
+pub struct NodeBuilder<M: Model> {
+    id: usize,
+    model: M,
+    neighbors: Vec<usize>,
+    train: Vec<Rating>,
+    test: Vec<Rating>,
+    cfg: ProtocolConfig,
+    shard: Option<UserBlock>,
+}
+
+impl<M: Model> NodeBuilder<M> {
+    /// Neighbour list in the gossip topology (default: isolated).
+    #[must_use]
+    pub fn neighbors(mut self, neighbors: Vec<usize>) -> Self {
+        self.neighbors = neighbors;
+        self
+    }
+
+    /// Initial local training ratings (default: empty store).
+    #[must_use]
+    pub fn train(mut self, train: Vec<Rating>) -> Self {
+        self.train = train;
+        self
+    }
+
+    /// Local held-out test ratings (default: none — RMSE is `None`).
+    #[must_use]
+    pub fn test(mut self, test: Vec<Rating>) -> Self {
+        self.test = test;
+        self
+    }
+
+    /// Protocol parameters (default: [`ProtocolConfig::default`]).
+    #[must_use]
+    pub fn protocol(mut self, cfg: ProtocolConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Declares this node a **user shard** hosting the contiguous row
+    /// block `block`: the store gains a row index and training routes
+    /// through the model's batched row-block path. Width-1 blocks are
+    /// normalized away — a single-user shard *is* the legacy node, and
+    /// keeps its bit-exact trajectory.
+    #[must_use]
+    pub fn shard(mut self, block: UserBlock) -> Self {
+        self.shard = Some(block);
+        self
+    }
+
+    /// Builds the node (Algorithm 2, ecall_init).
+    #[must_use]
+    pub fn build(self) -> Node<M> {
+        let shard = self.shard.filter(|b| b.width() > 1);
+        // Sparse mode snapshots the untrained model as the fleet-shared
+        // delta reference (costs one model clone of resident memory).
+        let sparse = self.cfg.codec.is_sparse().then(|| SparseRef {
+            fingerprint: self.model.ref_fingerprint(),
+            reference: self.model.clone(),
+        });
+        let store = match shard {
+            Some(block) => RawDataStore::with_shard(block, self.train),
+            None => RawDataStore::with_initial(self.train),
+        };
+        Node {
+            id: self.id,
+            neighbors: self.neighbors,
+            model: self.model,
+            store,
+            test_data: self.test,
+            cfg: self.cfg,
+            rng: StdRng::seed_from_u64(self.cfg.seed.wrapping_add(self.id as u64)),
+            tee: None,
+            sparse,
+            shard,
+        }
+    }
 }
 
 impl<M: Model> Node<M> {
-    /// Creates a node with its initial local data (Algorithm 2, ecall_init).
+    /// Starts building a node from the two mandatory pieces: its id and
+    /// its initial model. Everything else is a named setter.
+    #[must_use]
+    pub fn builder(id: usize, model: M) -> NodeBuilder<M> {
+        NodeBuilder {
+            id,
+            model,
+            neighbors: Vec::new(),
+            train: Vec::new(),
+            test: Vec::new(),
+            cfg: ProtocolConfig::default(),
+            shard: None,
+        }
+    }
+
+    /// Creates a node with its initial local data.
+    #[deprecated(
+        since = "0.7.0",
+        note = "use Node::builder(id, model).neighbors(..).train(..).test(..).protocol(..).build()"
+    )]
     #[must_use]
     pub fn new(
         id: usize,
@@ -85,23 +202,12 @@ impl<M: Model> Node<M> {
         test: Vec<Rating>,
         cfg: ProtocolConfig,
     ) -> Self {
-        // Sparse mode snapshots the untrained model as the fleet-shared
-        // delta reference (costs one model clone of resident memory).
-        let sparse = cfg.codec.is_sparse().then(|| SparseRef {
-            fingerprint: model.ref_fingerprint(),
-            reference: model.clone(),
-        });
-        Node {
-            id,
-            neighbors,
-            model,
-            store: RawDataStore::with_initial(train),
-            test_data: test,
-            cfg,
-            rng: StdRng::seed_from_u64(cfg.seed.wrapping_add(id as u64)),
-            tee: None,
-            sparse,
-        }
+        Node::builder(id, model)
+            .neighbors(neighbors)
+            .train(train)
+            .test(test)
+            .protocol(cfg)
+            .build()
     }
 
     /// Node id.
@@ -216,6 +322,20 @@ impl<M: Model> Node<M> {
         &self.store
     }
 
+    /// The contiguous user-row block this node hosts, when it is a
+    /// multi-user shard (`None` for legacy per-user nodes and width-1
+    /// shards, which are the same thing).
+    #[must_use]
+    pub fn shard_block(&self) -> Option<UserBlock> {
+        self.shard
+    }
+
+    /// How many virtual users this node hosts (1 when unsharded).
+    #[must_use]
+    pub fn users_hosted(&self) -> u32 {
+        self.shard.map_or(1, |b| b.width())
+    }
+
     /// Local test data.
     #[must_use]
     pub fn test_data(&self) -> &[Rating] {
@@ -295,6 +415,13 @@ impl<M: Model> Node<M> {
     ///
     /// `inbox` holds everything received since the previous epoch. Returns
     /// the encoded outgoing messages (destination, bytes) and the report.
+    ///
+    /// Sharded nodes **aggregate-then-share**: the share stage samples
+    /// (or serializes a delta of) the *whole shard* — one wire message
+    /// per recipient carries the sampled ratings of every hosted user,
+    /// or one model delta covering the shard's contiguous user rows — so
+    /// wire traffic scales with the number of shards, not the number of
+    /// virtual users behind them.
     pub fn epoch(&mut self, inbox: Vec<Envelope>) -> (Vec<(usize, Vec<u8>)>, EpochReport) {
         let mut stage_times = StageTimes::new();
         let mut charges_ns = 0u64;
@@ -379,18 +506,34 @@ impl<M: Model> Node<M> {
         );
 
         // ---- train -----------------------------------------------------
-        self.model.train_steps(
-            self.store.ratings(),
-            self.cfg.steps_per_epoch,
-            &mut self.rng,
-        );
+        // Multi-user shards route through the batched row-block path
+        // (same RNG consumption, updates swept in row order); width-1
+        // nodes keep the sequential path and its bit-exact trajectory.
+        match self.shard {
+            Some(_) => self.model.train_steps_batched(
+                self.store.ratings(),
+                self.cfg.steps_per_epoch,
+                &mut self.rng,
+            ),
+            None => self.model.train_steps(
+                self.store.ratings(),
+                self.cfg.steps_per_epoch,
+                &mut self.rng,
+            ),
+        }
         let train_compute = sw.lap();
         if let Some(tee) = self.tee.as_mut() {
+            let index_bytes = self.store.index_bytes() as u64;
             tee.enclave.set_region(Region::MergeBuffers, 0);
             tee.enclave
                 .set_region(Region::Model, self.model.memory_bytes() as u64);
-            tee.enclave
-                .set_region(Region::DataStore, self.store.memory_bytes() as u64);
+            // The shard row index is accounted apart from the triplets,
+            // so per-shard deployments can read its cost directly.
+            tee.enclave.set_region(
+                Region::DataStore,
+                self.store.memory_bytes() as u64 - index_bytes,
+            );
+            tee.enclave.set_region(Region::ShardIndex, index_bytes);
             charges_ns += tee.enclave.charge_compute(train_compute);
             charges_ns += tee
                 .enclave
@@ -544,14 +687,12 @@ mod tests {
         .generate();
         let by_user = ds.by_user();
         let model = MfModel::new(4, 20, MfHyperParams::default(), 3.5, 42);
-        Node::new(
-            id,
-            neighbors,
-            model,
-            by_user[id].clone(),
-            by_user[(id + 1) % 4].clone(),
-            cfg,
-        )
+        Node::builder(id, model)
+            .neighbors(neighbors)
+            .train(by_user[id].clone())
+            .test(by_user[(id + 1) % 4].clone())
+            .protocol(cfg)
+            .build()
     }
 
     fn cfg(sharing: SharingMode, algorithm: GossipAlgorithm) -> ProtocolConfig {
@@ -822,5 +963,138 @@ mod tests {
         let (_, r2) = n.epoch(inbox);
         assert!(r1.rmse.is_some() && r2.rmse.is_some());
         assert!(n.store().len() > 60 / 4);
+    }
+
+    /// Fixed multi-user data for the shard tests: 8 users, 30 items.
+    fn shard_data() -> Vec<Vec<Rating>> {
+        SyntheticConfig {
+            num_users: 8,
+            num_items: 30,
+            num_ratings: 240,
+            seed: 2,
+            ..SyntheticConfig::default()
+        }
+        .generate()
+        .by_user()
+    }
+
+    #[test]
+    fn sharded_node_runs_epochs_over_its_block() {
+        let by_user = shard_data();
+        let block = UserBlock { start: 0, end: 4 };
+        let train: Vec<Rating> = by_user[..4].iter().flatten().copied().collect();
+        let test: Vec<Rating> = by_user[4].clone();
+        let model = MfModel::new(8, 30, MfHyperParams::default(), 3.5, 42);
+        let mut n = Node::builder(0, model)
+            .neighbors(vec![1])
+            .train(train)
+            .test(test)
+            .protocol(cfg(SharingMode::RawData, GossipAlgorithm::DPsgd))
+            .shard(block)
+            .build();
+        assert_eq!(n.shard_block(), Some(block));
+        assert_eq!(n.users_hosted(), 4);
+        let mut first = None;
+        let mut last = None;
+        for _ in 0..8 {
+            let (out, report) = n.epoch(Vec::new());
+            // Aggregate-then-share: one message per neighbour regardless
+            // of how many users the shard hosts.
+            assert_eq!(out.len(), 1);
+            first = first.or(report.rmse);
+            last = report.rmse;
+        }
+        assert!(last.unwrap() < first.unwrap(), "shard did not learn");
+    }
+
+    #[test]
+    fn width_one_shard_node_is_bit_identical_to_legacy_over_epochs() {
+        // The users_per_node = 1 determinism contract at the node level:
+        // same models, same stores, same wire bytes, every epoch.
+        let by_user = shard_data();
+        let c = cfg(SharingMode::RawData, GossipAlgorithm::Rmw);
+        let model = MfModel::new(8, 30, MfHyperParams::default(), 3.5, 42);
+        let mut sharded = Node::builder(0, model.clone())
+            .neighbors(vec![1, 2])
+            .train(by_user[0].clone())
+            .test(by_user[1].clone())
+            .protocol(c)
+            .shard(UserBlock { start: 0, end: 1 })
+            .build();
+        let mut legacy = Node::builder(0, model)
+            .neighbors(vec![1, 2])
+            .train(by_user[0].clone())
+            .test(by_user[1].clone())
+            .protocol(c)
+            .build();
+        assert_eq!(sharded.shard_block(), None);
+        for epoch in 0..6 {
+            let (out_s, rep_s) = sharded.epoch(Vec::new());
+            let (out_l, rep_l) = legacy.epoch(Vec::new());
+            assert_eq!(out_s, out_l, "wire bytes diverged at epoch {epoch}");
+            assert_eq!(
+                rep_s.rmse.map(f64::to_bits),
+                rep_l.rmse.map(f64::to_bits),
+                "rmse diverged at epoch {epoch}"
+            );
+        }
+        assert_eq!(sharded.model().to_bytes(), legacy.model().to_bytes());
+    }
+
+    #[test]
+    fn sharded_node_reports_index_as_its_own_epc_region() {
+        use rand::SeedableRng;
+        use rex_tee::dcap::DcapService;
+        use rex_tee::measurement::REX_ENCLAVE_V1;
+        use rex_tee::platform::SgxPlatform;
+        use rex_tee::SgxCostModel;
+        let by_user = shard_data();
+        let train: Vec<Rating> = by_user.iter().flatten().copied().collect();
+        let model = MfModel::new(8, 30, MfHyperParams::default(), 3.5, 42);
+        let mut n = Node::builder(0, model)
+            .train(train)
+            .test(Vec::new())
+            .protocol(cfg(SharingMode::RawData, GossipAlgorithm::DPsgd))
+            .shard(UserBlock { start: 0, end: 8 })
+            .build();
+        let dcap = DcapService::new();
+        let mut rng = StdRng::seed_from_u64(0xAB);
+        let platform = SgxPlatform::provision(0, &dcap, &mut rng);
+        n.install_enclave(platform.create_enclave(REX_ENCLAVE_V1, SgxCostModel::default()));
+        let _ = n.epoch(Vec::new());
+        let index_bytes = n.store().index_bytes() as u64;
+        assert!(index_bytes > 0);
+        let tee = n.enclave_mut().unwrap();
+        assert_eq!(tee.epc().region_bytes(Region::ShardIndex), index_bytes);
+        // The store region excludes the index — no double counting.
+        assert_eq!(
+            tee.epc().region_bytes(Region::DataStore) + index_bytes,
+            n.store().memory_bytes() as u64
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_node_new_still_builds_the_same_node() {
+        let by_user = shard_data();
+        let c = cfg(SharingMode::RawData, GossipAlgorithm::DPsgd);
+        let model = MfModel::new(8, 30, MfHyperParams::default(), 3.5, 42);
+        let mut old = Node::new(
+            0,
+            vec![1],
+            model.clone(),
+            by_user[0].clone(),
+            by_user[1].clone(),
+            c,
+        );
+        let mut new = Node::builder(0, model)
+            .neighbors(vec![1])
+            .train(by_user[0].clone())
+            .test(by_user[1].clone())
+            .protocol(c)
+            .build();
+        let (out_old, _) = old.epoch(Vec::new());
+        let (out_new, _) = new.epoch(Vec::new());
+        assert_eq!(out_old, out_new);
     }
 }

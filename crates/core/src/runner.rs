@@ -1,27 +1,32 @@
-//! Discrete-event simulation entry point (the paper's "simulated
-//! scenarios", §IV-A: 610- and 50-node runs on a single machine).
+//! The unified experiment runner: one [`run`] entry point over every
+//! execution backend.
 //!
-//! Since the engine refactor this module is a thin configuration shim: it
-//! maps [`SimulationConfig`] onto [`Engine`] with a
-//! [`MemNetwork`] fabric, [`Driver::Lockstep`] scheduling and the
-//! [`TimeAxis::Simulated`] time axis. Per epoch every node runs
-//! Algorithm 2 once; sends are delivered before the next epoch. D-PSGD's
-//! barrier ("a message from all its neighbors") holds structurally: all
-//! neighbours send every epoch. RMW delivers whatever arrived (0..k
-//! models).
+//! Historically each deployment style had its own top-level function
+//! (`run_simulation`, `run_threaded`, `run_centralized`), each a thin shim
+//! mapping a config struct onto [`Engine`]. They are now collapsed into a
+//! single `run(&Backend, name, &mut nodes)`; the old names survive as
+//! `#[deprecated]` one-line forwards. Pick the backend, not the function:
 //!
-//! The simulated time axis composes, per node and epoch,
-//! `measured compute + SGX charges + link-model transfer time`; the epoch
-//! advances the clock by the slowest node (synchronized rounds).
+//! - [`Backend::Simulated`] — discrete-event simulation on a
+//!   [`MemNetwork`] fabric, lockstep scheduling, simulated time (the
+//!   paper's 610- and 50-node single-machine scenarios, §IV-A).
+//! - [`Backend::Threaded`] — real concurrency, one OS thread per node
+//!   over [`ChannelTransport`] endpoints, wall-clock time (the paper's
+//!   distributed SGX deployment shape, §IV-C).
+//! - [`Backend::Centralized`] — the engine's degenerate deployment: the
+//!   given nodes run with no fabric effects on a one-slot-per-node
+//!   [`MemNetwork`], infinite links, sequential lockstep. Used by
+//!   [`crate::run_baseline`] for the paper's dashed reference line.
 
 use crate::config::ExecutionMode;
 use crate::engine::{Driver, Engine, EngineConfig, EngineResult, TimeAxis};
 use crate::node::Node;
 use rex_ml::Model;
+use rex_net::channel::ChannelTransport;
 use rex_net::link::LinkModel;
 use rex_net::mem::MemNetwork;
 
-/// Driver parameters.
+/// Simulated-backend parameters.
 #[derive(Debug, Clone)]
 pub struct SimulationConfig {
     /// Number of epochs to run (epoch 0 trains on initial local data).
@@ -49,31 +54,116 @@ impl Default for SimulationConfig {
     }
 }
 
+/// Threaded-backend parameters.
+#[derive(Debug, Clone)]
+pub struct ThreadedConfig {
+    /// Number of epochs.
+    pub epochs: usize,
+    /// Native or SGX.
+    pub execution: ExecutionMode,
+    /// REX processes sharing one SGX machine (the paper packs 2 per
+    /// server); only affects platform assignment.
+    pub processes_per_platform: usize,
+    /// Infrastructure seed.
+    pub seed: u64,
+}
+
+impl Default for ThreadedConfig {
+    fn default() -> Self {
+        ThreadedConfig {
+            epochs: 50,
+            execution: ExecutionMode::Native,
+            processes_per_platform: 2,
+            seed: 99,
+        }
+    }
+}
+
 /// Output of a simulation run (the engine's result shape).
 pub type SimulationResult = EngineResult;
 
+/// Output of a threaded run (the engine's result shape).
+pub type ThreadedResult = EngineResult;
+
+/// Which execution backend [`run`] deploys the fleet on.
+#[derive(Debug, Clone)]
+pub enum Backend {
+    /// Discrete-event simulation: [`MemNetwork`], lockstep,
+    /// [`TimeAxis::Simulated`].
+    Simulated(SimulationConfig),
+    /// Real concurrency: [`ChannelTransport`], one thread per node,
+    /// [`TimeAxis::Wall`].
+    Threaded(ThreadedConfig),
+    /// No network effects: sequential lockstep over infinite links on the
+    /// simulated time axis. The nodes' merge/share stages still run, so a
+    /// one-node fleet degenerates to the paper's centralized baseline.
+    Centralized {
+        /// Number of epochs.
+        epochs: usize,
+        /// Infrastructure seed.
+        seed: u64,
+    },
+}
+
+/// Runs `nodes` for the backend's epoch count; `name` becomes the trace
+/// label. Nodes are trained in place and remain usable afterwards.
+pub fn run<M: Model>(backend: &Backend, name: &str, nodes: &mut Vec<Node<M>>) -> EngineResult {
+    match backend {
+        Backend::Simulated(sim) => Engine::<M, MemNetwork>::new(
+            MemNetwork::new(nodes.len()),
+            EngineConfig {
+                epochs: sim.epochs,
+                execution: sim.execution,
+                time: TimeAxis::Simulated(sim.link),
+                driver: Driver::Lockstep {
+                    parallel: sim.parallel,
+                },
+                processes_per_platform: 1, // one platform per simulated node
+                seed: sim.seed,
+                faults: None,
+                membership: None,
+            },
+        )
+        .run(name, nodes),
+        Backend::Threaded(cfg) => Engine::<M, ChannelTransport>::new(
+            ChannelTransport::new(nodes.len()),
+            EngineConfig {
+                epochs: cfg.epochs,
+                execution: cfg.execution,
+                time: TimeAxis::Wall,
+                driver: Driver::ThreadPerNode,
+                processes_per_platform: cfg.processes_per_platform,
+                seed: cfg.seed,
+                faults: None,
+                membership: None,
+            },
+        )
+        .run(name, nodes),
+        Backend::Centralized { epochs, seed } => Engine::<M, MemNetwork>::new(
+            MemNetwork::new(nodes.len()),
+            EngineConfig {
+                epochs: *epochs,
+                execution: ExecutionMode::Native,
+                time: TimeAxis::Simulated(LinkModel::infinite()),
+                driver: Driver::Lockstep { parallel: false },
+                processes_per_platform: 1,
+                seed: *seed,
+                faults: None,
+                membership: None,
+            },
+        )
+        .run(name, nodes),
+    }
+}
+
 /// Runs a full simulated experiment; `name` becomes the trace label.
+#[deprecated(since = "0.7.0", note = "use run(&Backend::Simulated(sim), ..)")]
 pub fn run_simulation<M: Model>(
     name: &str,
     nodes: &mut Vec<Node<M>>,
     sim: &SimulationConfig,
 ) -> SimulationResult {
-    Engine::<M, MemNetwork>::new(
-        MemNetwork::new(nodes.len()),
-        EngineConfig {
-            epochs: sim.epochs,
-            execution: sim.execution,
-            time: TimeAxis::Simulated(sim.link),
-            driver: Driver::Lockstep {
-                parallel: sim.parallel,
-            },
-            processes_per_platform: 1, // one platform per simulated node
-            seed: sim.seed,
-            faults: None,
-            membership: None,
-        },
-    )
-    .run(name, nodes)
+    run(&Backend::Simulated(sim.clone()), name, nodes)
 }
 
 #[cfg(test)]
@@ -119,19 +209,19 @@ mod tests {
         )
     }
 
-    fn quick_sim(epochs: usize, execution: ExecutionMode) -> SimulationConfig {
-        SimulationConfig {
+    fn quick_sim(epochs: usize, execution: ExecutionMode) -> Backend {
+        Backend::Simulated(SimulationConfig {
             epochs,
             execution,
             parallel: false,
             ..Default::default()
-        }
+        })
     }
 
     #[test]
     fn rex_converges_on_ring() {
         let mut nodes = fleet(SharingMode::RawData, GossipAlgorithm::DPsgd);
-        let result = run_simulation("REX", &mut nodes, &quick_sim(25, ExecutionMode::Native));
+        let result = run(&quick_sim(25, ExecutionMode::Native), "REX", &mut nodes);
         let first = result.trace.records.first().unwrap().rmse;
         let last = result.trace.final_rmse().unwrap();
         assert!(last < first - 0.02, "no convergence: {first} -> {last}");
@@ -142,7 +232,7 @@ mod tests {
     #[test]
     fn ms_converges_too() {
         let mut nodes = fleet(SharingMode::Model, GossipAlgorithm::DPsgd);
-        let result = run_simulation("MS", &mut nodes, &quick_sim(25, ExecutionMode::Native));
+        let result = run(&quick_sim(25, ExecutionMode::Native), "MS", &mut nodes);
         let first = result.trace.records.first().unwrap().rmse;
         let last = result.trace.final_rmse().unwrap();
         assert!(last < first - 0.02, "no convergence: {first} -> {last}");
@@ -152,8 +242,8 @@ mod tests {
     fn rex_moves_far_fewer_bytes_than_ms() {
         let mut rex_nodes = fleet(SharingMode::RawData, GossipAlgorithm::DPsgd);
         let mut ms_nodes = fleet(SharingMode::Model, GossipAlgorithm::DPsgd);
-        let rex = run_simulation("REX", &mut rex_nodes, &quick_sim(10, ExecutionMode::Native));
-        let ms = run_simulation("MS", &mut ms_nodes, &quick_sim(10, ExecutionMode::Native));
+        let rex = run(&quick_sim(10, ExecutionMode::Native), "REX", &mut rex_nodes);
+        let ms = run(&quick_sim(10, ExecutionMode::Native), "MS", &mut ms_nodes);
         let rex_bytes = rex.trace.total_bytes_per_node();
         let ms_bytes = ms.trace.total_bytes_per_node();
         // At this miniature scale (24 users x 120 items) the model is only
@@ -169,16 +259,16 @@ mod tests {
     fn parallel_and_sequential_agree() {
         let mut a = fleet(SharingMode::RawData, GossipAlgorithm::DPsgd);
         let mut b = fleet(SharingMode::RawData, GossipAlgorithm::DPsgd);
-        let seq = run_simulation("seq", &mut a, &quick_sim(8, ExecutionMode::Native));
-        let par = run_simulation(
-            "par",
-            &mut b,
-            &SimulationConfig {
+        let seq = run(&quick_sim(8, ExecutionMode::Native), "seq", &mut a);
+        let par = run(
+            &Backend::Simulated(SimulationConfig {
                 epochs: 8,
                 parallel: true,
                 execution: ExecutionMode::Native,
                 ..Default::default()
-            },
+            }),
+            "par",
+            &mut b,
         );
         for (x, y) in seq.trace.records.iter().zip(&par.trace.records) {
             assert!((x.rmse - y.rmse).abs() < 1e-12, "rmse diverged");
@@ -189,10 +279,10 @@ mod tests {
     #[test]
     fn sgx_mode_attests_and_charges() {
         let mut nodes = fleet(SharingMode::RawData, GossipAlgorithm::DPsgd);
-        let result = run_simulation(
+        let result = run(
+            &quick_sim(5, ExecutionMode::Sgx(SgxCostModel::default())),
             "REX/SGX",
             &mut nodes,
-            &quick_sim(5, ExecutionMode::Sgx(SgxCostModel::default())),
         );
         assert!(result.setup_ns > 0, "attestation setup must cost time");
         // Every epoch charges transitions.
@@ -210,15 +300,15 @@ mod tests {
         // SGX must not change learning semantics, only time.
         let mut native_nodes = fleet(SharingMode::RawData, GossipAlgorithm::Rmw);
         let mut sgx_nodes = fleet(SharingMode::RawData, GossipAlgorithm::Rmw);
-        let native = run_simulation(
+        let native = run(
+            &quick_sim(12, ExecutionMode::Native),
             "n",
             &mut native_nodes,
-            &quick_sim(12, ExecutionMode::Native),
         );
-        let sgx = run_simulation(
+        let sgx = run(
+            &quick_sim(12, ExecutionMode::Sgx(SgxCostModel::default())),
             "s",
             &mut sgx_nodes,
-            &quick_sim(12, ExecutionMode::Sgx(SgxCostModel::default())),
         );
         let n_rmse = native.trace.final_rmse().unwrap();
         let s_rmse = sgx.trace.final_rmse().unwrap();
@@ -234,8 +324,26 @@ mod tests {
     fn rmw_uses_less_bandwidth_than_dpsgd() {
         let mut rmw = fleet(SharingMode::Model, GossipAlgorithm::Rmw);
         let mut dpsgd = fleet(SharingMode::Model, GossipAlgorithm::DPsgd);
-        let r = run_simulation("rmw", &mut rmw, &quick_sim(6, ExecutionMode::Native));
-        let d = run_simulation("dpsgd", &mut dpsgd, &quick_sim(6, ExecutionMode::Native));
+        let r = run(&quick_sim(6, ExecutionMode::Native), "rmw", &mut rmw);
+        let d = run(&quick_sim(6, ExecutionMode::Native), "dpsgd", &mut dpsgd);
         assert!(d.trace.total_bytes_per_node() > r.trace.total_bytes_per_node());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_run_simulation_still_forwards() {
+        let mut via_shim = fleet(SharingMode::RawData, GossipAlgorithm::DPsgd);
+        let mut via_run = fleet(SharingMode::RawData, GossipAlgorithm::DPsgd);
+        let sim = SimulationConfig {
+            epochs: 4,
+            parallel: false,
+            ..Default::default()
+        };
+        let a = run_simulation("shim", &mut via_shim, &sim);
+        let b = run(&Backend::Simulated(sim), "run", &mut via_run);
+        for (x, y) in a.trace.records.iter().zip(&b.trace.records) {
+            assert_eq!(x.rmse.to_bits(), y.rmse.to_bits());
+            assert_eq!(x.bytes_per_node, y.bytes_per_node);
+        }
     }
 }

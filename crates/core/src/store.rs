@@ -6,17 +6,51 @@
 //! into the local store" after a duplicate check). Sampling for the share
 //! step is stateless — the same point may be sent twice across epochs
 //! (§III-E).
+//!
+//! # User shards
+//!
+//! A store may be **sharded**: keyed by a contiguous [`UserBlock`] of
+//! user rows, it maintains a row index (per-row posting lists into the
+//! flat rating vector, plus an overflow list for gossiped ratings whose
+//! user falls outside the block). The flat arrival-order vector stays
+//! the canonical representation — training and sampling read it exactly
+//! as an unsharded store would, so a node's learning trajectory never
+//! depends on the index. Blocks of width ≤ 1 skip the index entirely:
+//! a `users_per_node = 1` deployment is *representationally* identical
+//! to the legacy per-user store, byte accounting included.
 
 use rand::rngs::StdRng;
 use rand::seq::index::sample as index_sample;
-use rex_data::Rating;
+use rex_data::{Rating, UserBlock};
 use std::collections::HashSet;
+
+/// Row index over a sharded store (built only for blocks wider than one
+/// user — see the module docs for the width-1 determinism contract).
+#[derive(Debug, Clone)]
+struct ShardIndex {
+    block: UserBlock,
+    /// `rows[local_row]` lists rating-vector indices for that user row,
+    /// in arrival order.
+    rows: Vec<Vec<u32>>,
+    /// Rating-vector indices of gossiped ratings outside the block.
+    alien: Vec<u32>,
+}
+
+impl ShardIndex {
+    fn note(&mut self, rating_idx: u32, user: u32) {
+        match self.block.local_row(user) {
+            Some(row) => self.rows[row as usize].push(rating_idx),
+            None => self.alien.push(rating_idx),
+        }
+    }
+}
 
 /// Deduplicating store of rating triplets.
 #[derive(Debug, Clone, Default)]
 pub struct RawDataStore {
     ratings: Vec<Rating>,
     keys: HashSet<(u32, u32)>,
+    shard: Option<ShardIndex>,
 }
 
 impl RawDataStore {
@@ -34,11 +68,42 @@ impl RawDataStore {
         store
     }
 
+    /// Sharded store keyed by a contiguous user-row block, seeded with
+    /// the shard's initial data. Blocks of width ≤ 1 build no index —
+    /// the resulting store is indistinguishable from
+    /// [`RawDataStore::with_initial`]'s, memory accounting included.
+    #[must_use]
+    pub fn with_shard(block: UserBlock, initial: Vec<Rating>) -> Self {
+        let mut store = Self::new();
+        if block.width() > 1 {
+            store.shard = Some(ShardIndex {
+                block,
+                rows: vec![Vec::new(); block.width() as usize],
+                alien: Vec::new(),
+            });
+        }
+        store.append_batch(&initial);
+        store
+    }
+
+    /// The user-row block this store is sharded by, if any (width > 1).
+    #[must_use]
+    pub fn shard_block(&self) -> Option<UserBlock> {
+        self.shard.as_ref().map(|s| s.block)
+    }
+
     /// Appends non-duplicate items; returns how many were new.
     pub fn append_batch(&mut self, batch: &[Rating]) -> usize {
+        // Reserve up front: this is the gossip hot path, and growth-by-
+        // doubling mid-batch re-hashes the whole key set.
+        self.ratings.reserve(batch.len());
+        self.keys.reserve(batch.len());
         let mut added = 0;
         for r in batch {
             if self.keys.insert(r.key()) {
+                if let Some(shard) = self.shard.as_mut() {
+                    shard.note(self.ratings.len() as u32, r.user);
+                }
                 self.ratings.push(*r);
                 added += 1;
             }
@@ -50,6 +115,37 @@ impl RawDataStore {
     #[must_use]
     pub fn ratings(&self) -> &[Rating] {
         &self.ratings
+    }
+
+    /// A sharded store's ratings for one hosted user, in arrival order.
+    /// `None` when the store is unsharded or `user` is outside the block.
+    #[must_use]
+    pub fn row_ratings(&self, user: u32) -> Option<Vec<Rating>> {
+        let shard = self.shard.as_ref()?;
+        let row = shard.block.local_row(user)?;
+        Some(
+            shard.rows[row as usize]
+                .iter()
+                .map(|&i| self.ratings[i as usize])
+                .collect(),
+        )
+    }
+
+    /// How many stored ratings belong to the shard's own user rows.
+    /// Equals [`RawDataStore::len`] for unsharded stores.
+    #[must_use]
+    pub fn in_block_len(&self) -> usize {
+        match &self.shard {
+            Some(shard) => self.ratings.len() - shard.alien.len(),
+            None => self.ratings.len(),
+        }
+    }
+
+    /// How many stored ratings were gossiped in from outside the shard's
+    /// block (0 for unsharded stores).
+    #[must_use]
+    pub fn alien_len(&self) -> usize {
+        self.shard.as_ref().map_or(0, |s| s.alien.len())
     }
 
     /// Number of stored (distinct) ratings.
@@ -80,11 +176,26 @@ impl RawDataStore {
             .collect()
     }
 
+    /// Resident bytes of the shard row index alone (0 when unsharded):
+    /// one `u32` per indexed entry plus per-row list headers. Reported
+    /// as its own EPC region so sharded deployments can read the cost of
+    /// hosting many users directly.
+    #[must_use]
+    pub fn index_bytes(&self) -> usize {
+        match &self.shard {
+            Some(shard) => {
+                let entries = self.ratings.len(); // every rating indexed once
+                entries * 4 + shard.rows.len() * 24
+            }
+            None => 0,
+        }
+    }
+
     /// Resident bytes: triplets plus the dedup index (12 B payload + ~24 B
-    /// hash-set entry per item).
+    /// hash-set entry per item), plus the shard row index when sharded.
     #[must_use]
     pub fn memory_bytes(&self) -> usize {
-        self.ratings.len() * (Rating::WIRE_SIZE + 24)
+        self.ratings.len() * (Rating::WIRE_SIZE + 24) + self.index_bytes()
     }
 }
 
@@ -148,5 +259,49 @@ mod tests {
         let m0 = s.memory_bytes();
         s.append_batch(&(0..100).map(|i| r(i, i, 1.0)).collect::<Vec<_>>());
         assert!(s.memory_bytes() > m0);
+    }
+
+    #[test]
+    fn sharded_store_indexes_rows_and_aliens() {
+        let block = UserBlock { start: 4, end: 8 };
+        let initial: Vec<Rating> = (4..8)
+            .flat_map(|u| (0..3).map(move |i| r(u, i, 2.0)))
+            .collect();
+        let mut s = RawDataStore::with_shard(block, initial);
+        assert_eq!(s.shard_block(), Some(block));
+        assert_eq!(s.in_block_len(), 12);
+        assert_eq!(s.alien_len(), 0);
+        assert_eq!(s.row_ratings(5).unwrap().len(), 3);
+        assert_eq!(s.row_ratings(9), None, "outside the block");
+        // Gossiped ratings from other shards land in the overflow list
+        // but still train (flat vector) and count in memory.
+        s.append_batch(&[r(0, 0, 1.0), r(6, 9, 4.0)]);
+        assert_eq!(s.alien_len(), 1);
+        assert_eq!(s.in_block_len(), 13);
+        assert_eq!(s.row_ratings(6).unwrap().len(), 4);
+        assert!(s.index_bytes() > 0);
+    }
+
+    #[test]
+    fn row_ratings_preserve_arrival_order() {
+        let block = UserBlock { start: 0, end: 2 };
+        let mut s = RawDataStore::with_shard(block, vec![r(0, 5, 1.0)]);
+        s.append_batch(&[r(0, 2, 2.0), r(1, 0, 3.0), r(0, 9, 4.0)]);
+        let row0: Vec<u32> = s.row_ratings(0).unwrap().iter().map(|x| x.item).collect();
+        assert_eq!(row0, vec![5, 2, 9]);
+    }
+
+    #[test]
+    fn width_one_shard_is_representationally_legacy() {
+        // The users_per_node = 1 contract: a width-1 block builds no
+        // index, so the store is byte-for-byte the legacy one.
+        let block = UserBlock { start: 3, end: 4 };
+        let data: Vec<Rating> = (0..6).map(|i| r(3, i, 1.0)).collect();
+        let sharded = RawDataStore::with_shard(block, data.clone());
+        let legacy = RawDataStore::with_initial(data);
+        assert_eq!(sharded.shard_block(), None);
+        assert_eq!(sharded.index_bytes(), 0);
+        assert_eq!(sharded.memory_bytes(), legacy.memory_bytes());
+        assert_eq!(sharded.ratings(), legacy.ratings());
     }
 }

@@ -2,73 +2,31 @@
 //! endpoints, used for the paper's distributed SGX deployment (§IV-C: 8
 //! nodes on 4 machines, 2 processes each, fully connected).
 //!
-//! Since the engine refactor this module is a thin configuration shim: it
-//! maps [`ThreadedConfig`] onto [`Engine`] with a [`ChannelTransport`]
-//! fabric, [`Driver::ThreadPerNode`] scheduling and the [`TimeAxis::Wall`]
-//! time axis (real wall-clock time plus the per-epoch SGX charges, which
-//! model hardware effects the host CPU does not exhibit).
+//! Since the runner unification this module only re-hosts the deprecated
+//! [`run_threaded`] shim; the configuration ([`ThreadedConfig`]) and the
+//! execution path live in [`crate::runner`] behind
+//! [`Backend::Threaded`](crate::runner::Backend).
 
-use crate::config::ExecutionMode;
-use crate::engine::{Driver, Engine, EngineConfig, EngineResult, TimeAxis};
 use crate::node::Node;
+use crate::runner::{run, Backend};
+pub use crate::runner::{ThreadedConfig, ThreadedResult};
 use rex_ml::Model;
-use rex_net::channel::ChannelTransport;
-
-/// Threaded-runner parameters.
-#[derive(Debug, Clone)]
-pub struct ThreadedConfig {
-    /// Number of epochs.
-    pub epochs: usize,
-    /// Native or SGX.
-    pub execution: ExecutionMode,
-    /// REX processes sharing one SGX machine (the paper packs 2 per
-    /// server); only affects platform assignment.
-    pub processes_per_platform: usize,
-    /// Infrastructure seed.
-    pub seed: u64,
-}
-
-impl Default for ThreadedConfig {
-    fn default() -> Self {
-        ThreadedConfig {
-            epochs: 50,
-            execution: ExecutionMode::Native,
-            processes_per_platform: 2,
-            seed: 99,
-        }
-    }
-}
-
-/// Output of a threaded run (the engine's result shape).
-pub type ThreadedResult = EngineResult;
 
 /// Runs the fleet with one thread per node.
+#[deprecated(since = "0.7.0", note = "use run(&Backend::Threaded(cfg), ..)")]
 pub fn run_threaded<M: Model>(
     name: &str,
     mut nodes: Vec<Node<M>>,
     cfg: &ThreadedConfig,
 ) -> ThreadedResult {
-    Engine::<M, ChannelTransport>::new(
-        ChannelTransport::new(nodes.len()),
-        EngineConfig {
-            epochs: cfg.epochs,
-            execution: cfg.execution,
-            time: TimeAxis::Wall,
-            driver: Driver::ThreadPerNode,
-            processes_per_platform: cfg.processes_per_platform,
-            seed: cfg.seed,
-            faults: None,
-            membership: None,
-        },
-    )
-    .run(name, &mut nodes)
+    run(&Backend::Threaded(cfg.clone()), name, &mut nodes)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::builder::{build_mf_nodes, NodeSeeds};
-    use crate::config::{GossipAlgorithm, ProtocolConfig, SharingMode};
+    use crate::config::{ExecutionMode, GossipAlgorithm, ProtocolConfig, SharingMode};
     use rex_data::{Partition, SyntheticConfig, TrainTestSplit};
     use rex_ml::MfHyperParams;
     use rex_tee::SgxCostModel;
@@ -106,13 +64,14 @@ mod tests {
 
     #[test]
     fn eight_node_native_run() {
-        let result = run_threaded(
-            "native",
-            fleet(SharingMode::RawData),
-            &ThreadedConfig {
+        let mut nodes = fleet(SharingMode::RawData);
+        let result = run(
+            &Backend::Threaded(ThreadedConfig {
                 epochs: 10,
                 ..Default::default()
-            },
+            }),
+            "native",
+            &mut nodes,
         );
         assert_eq!(result.trace.records.len(), 10);
         let first = result.trace.records.first().unwrap().rmse;
@@ -127,14 +86,15 @@ mod tests {
 
     #[test]
     fn eight_node_sgx_run_attests_and_charges() {
-        let result = run_threaded(
-            "sgx",
-            fleet(SharingMode::RawData),
-            &ThreadedConfig {
+        let mut nodes = fleet(SharingMode::RawData);
+        let result = run(
+            &Backend::Threaded(ThreadedConfig {
                 epochs: 6,
                 execution: ExecutionMode::Sgx(SgxCostModel::default()),
                 ..Default::default()
-            },
+            }),
+            "sgx",
+            &mut nodes,
         );
         assert!(result.setup_ns > 0);
         for r in &result.trace.records {
@@ -148,22 +108,28 @@ mod tests {
 
     #[test]
     fn ms_heavier_than_rex_on_wire() {
-        let rex = run_threaded(
-            "rex",
+        let mut rex_nodes = fleet(SharingMode::RawData);
+        let mut ms_nodes = fleet(SharingMode::Model);
+        let quick = Backend::Threaded(ThreadedConfig {
+            epochs: 5,
+            ..Default::default()
+        });
+        let rex = run(&quick, "rex", &mut rex_nodes);
+        let ms = run(&quick, "ms", &mut ms_nodes);
+        assert!(ms.trace.total_bytes_per_node() > 10.0 * rex.trace.total_bytes_per_node());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_run_threaded_still_forwards() {
+        let result = run_threaded(
+            "shim",
             fleet(SharingMode::RawData),
             &ThreadedConfig {
-                epochs: 5,
+                epochs: 3,
                 ..Default::default()
             },
         );
-        let ms = run_threaded(
-            "ms",
-            fleet(SharingMode::Model),
-            &ThreadedConfig {
-                epochs: 5,
-                ..Default::default()
-            },
-        );
-        assert!(ms.trace.total_bytes_per_node() > 10.0 * rex.trace.total_bytes_per_node());
+        assert_eq!(result.trace.records.len(), 3);
     }
 }

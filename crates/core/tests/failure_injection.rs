@@ -6,7 +6,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rex_core::builder::{build_mf_nodes, NodeSeeds};
 use rex_core::config::{ExecutionMode, GossipAlgorithm, ProtocolConfig, SharingMode};
-use rex_core::runner::{run_simulation, SimulationConfig};
+use rex_core::runner::{run, Backend, SimulationConfig};
 use rex_core::Node;
 use rex_data::{Partition, SyntheticConfig, TrainTestSplit};
 use rex_ml::{MfHyperParams, MfModel};
@@ -17,15 +17,15 @@ use rex_topology::TopologySpec;
 /// Attests the pair without running any protocol epochs (so both ends'
 /// session counters start aligned at zero).
 fn attest_only(nodes: &mut Vec<Node<MfModel>>) {
-    let result = run_simulation(
-        "setup",
-        nodes,
-        &SimulationConfig {
+    let result = run(
+        &Backend::Simulated(SimulationConfig {
             epochs: 0,
             execution: ExecutionMode::Sgx(SgxCostModel::default()),
             parallel: false,
             ..Default::default()
-        },
+        }),
+        "setup",
+        nodes,
     );
     assert!(result.setup_ns > 0);
 }

@@ -9,6 +9,53 @@
 use crate::rating::Rating;
 use crate::split::TrainTestSplit;
 
+/// A contiguous half-open block of user rows `[start, end)` hosted by one
+/// node — a **user shard**. Contiguity is what makes shard-local training
+/// a row-block sweep over the embedding tables (`rex-ml`'s batched path)
+/// instead of a random walk, and it gives every shard a closed-form
+/// `user → local row` mapping with no lookup table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UserBlock {
+    /// First user row of the block (inclusive).
+    pub start: u32,
+    /// One past the last user row of the block (exclusive).
+    pub end: u32,
+}
+
+impl UserBlock {
+    /// Number of user rows in the block.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// Whether `user` falls inside the block.
+    #[must_use]
+    pub fn contains(&self, user: u32) -> bool {
+        (self.start..self.end).contains(&user)
+    }
+
+    /// The block-local row of `user`, or `None` when outside the block.
+    #[must_use]
+    pub fn local_row(&self, user: u32) -> Option<u32> {
+        self.contains(user).then(|| user - self.start)
+    }
+}
+
+/// How a sharded deployment groups users into per-node shards
+/// (`shard_strategy` in the `[sharding]` TOML section).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardStrategy {
+    /// Contiguous equal row blocks: node `n` hosts users
+    /// `[n·w, (n+1)·w)`. Enables the row-block batched training path.
+    /// The default.
+    Contiguous,
+    /// Round-robin (the legacy multi-user layout): user `u` lives on node
+    /// `u mod n`. Cohorts are strided, so nodes get no contiguous block
+    /// and train through the per-user path.
+    RoundRobin,
+}
+
 /// A mapping of users onto nodes, plus the per-node train/test data derived
 /// from a [`TrainTestSplit`].
 #[derive(Debug, Clone)]
@@ -60,6 +107,50 @@ impl Partition {
             }
         }
         Partition { users, train, test }
+    }
+
+    /// Shard-level grouping: splits the user universe into `num_nodes`
+    /// **contiguous row blocks** whose widths differ by at most one
+    /// (node `n` hosts `[⌊n·U/N⌋, ⌊(n+1)·U/N⌋)`), and returns the
+    /// partition together with the per-node [`UserBlock`]s. With
+    /// `num_nodes == num_users` every block has width 1 and the per-node
+    /// data is exactly [`Partition::one_user_per_node`]'s — the
+    /// determinism anchor for `users_per_node = 1` deployments.
+    ///
+    /// # Panics
+    /// If `num_nodes` is zero or exceeds the number of users.
+    #[must_use]
+    pub fn user_blocks(split: &TrainTestSplit, num_nodes: usize) -> (Self, Vec<UserBlock>) {
+        assert!(num_nodes > 0, "need at least one node");
+        assert!(
+            num_nodes <= split.num_users as usize,
+            "more nodes ({num_nodes}) than users ({})",
+            split.num_users
+        );
+        let total = split.num_users as usize;
+        let blocks: Vec<UserBlock> = (0..num_nodes)
+            .map(|n| UserBlock {
+                start: (n * total / num_nodes) as u32,
+                end: ((n + 1) * total / num_nodes) as u32,
+            })
+            .collect();
+        let train_by_user = split.train_by_user();
+        let test_by_user = split.test_by_user();
+        let mut users = Vec::with_capacity(num_nodes);
+        let mut train = Vec::with_capacity(num_nodes);
+        let mut test = Vec::with_capacity(num_nodes);
+        for block in &blocks {
+            users.push((block.start..block.end).collect::<Vec<u32>>());
+            let mut node_train = Vec::new();
+            let mut node_test = Vec::new();
+            for u in block.start..block.end {
+                node_train.extend_from_slice(&train_by_user[u as usize]);
+                node_test.extend_from_slice(&test_by_user[u as usize]);
+            }
+            train.push(node_train);
+            test.push(node_test);
+        }
+        (Partition { users, train, test }, blocks)
     }
 
     /// Number of nodes.
@@ -146,6 +237,60 @@ mod tests {
     fn rejects_more_nodes_than_users() {
         let s = split();
         let _ = Partition::multi_user(&s, 62);
+    }
+
+    #[test]
+    fn user_blocks_are_contiguous_and_balanced() {
+        let s = split(); // 61 users
+        let (p, blocks) = Partition::user_blocks(&s, 8);
+        assert_eq!(p.num_nodes(), 8);
+        assert_eq!(blocks.len(), 8);
+        // Blocks tile [0, 61) without gaps or overlap, widths differ <= 1.
+        assert_eq!(blocks[0].start, 0);
+        assert_eq!(blocks.last().unwrap().end, 61);
+        for w in blocks.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+        let widths: Vec<u32> = blocks.iter().map(UserBlock::width).collect();
+        let (min, max) = (*widths.iter().min().unwrap(), *widths.iter().max().unwrap());
+        assert!(max - min <= 1, "widths {widths:?}");
+        // Every node's data belongs to its block.
+        for (node, block) in blocks.iter().enumerate() {
+            assert!(p.train[node].iter().all(|r| block.contains(r.user)));
+            assert!(p.test[node].iter().all(|r| block.contains(r.user)));
+        }
+        assert_eq!(p.total_train(), s.train.len());
+        assert_eq!(p.total_test(), s.test.len());
+    }
+
+    #[test]
+    fn width_one_blocks_match_one_user_per_node() {
+        // The users_per_node = 1 determinism anchor: a sharded partition
+        // at width 1 is exactly the per-user partition.
+        let s = split();
+        let (sharded, blocks) = Partition::user_blocks(&s, 61);
+        let legacy = Partition::one_user_per_node(&s);
+        assert!(blocks.iter().all(|b| b.width() == 1));
+        assert_eq!(sharded.users, legacy.users);
+        assert_eq!(sharded.train, legacy.train);
+        assert_eq!(sharded.test, legacy.test);
+    }
+
+    #[test]
+    fn user_block_row_mapping() {
+        let b = UserBlock { start: 10, end: 14 };
+        assert_eq!(b.width(), 4);
+        assert!(b.contains(10) && b.contains(13));
+        assert!(!b.contains(9) && !b.contains(14));
+        assert_eq!(b.local_row(12), Some(2));
+        assert_eq!(b.local_row(14), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "more nodes")]
+    fn user_blocks_reject_more_nodes_than_users() {
+        let s = split();
+        let _ = Partition::user_blocks(&s, 62);
     }
 
     #[test]

@@ -335,6 +335,23 @@ impl Model for MfModel {
         }
     }
 
+    fn train_steps_batched(&mut self, data: &[Rating], steps: usize, rng: &mut StdRng) {
+        if data.is_empty() {
+            return;
+        }
+        // Draw exactly the same index sequence train_steps would (the
+        // node's RNG consumption must not depend on which path runs),
+        // then bucket by user row: the stable sort keeps draw order
+        // within a user while the sweep walks the x table front-to-back.
+        let mut picks: Vec<u32> = (0..steps)
+            .map(|_| rng.gen_range(0..data.len()) as u32)
+            .collect();
+        picks.sort_by_key(|&idx| data[idx as usize].user);
+        for idx in picks {
+            self.sgd_step(&data[idx as usize]);
+        }
+    }
+
     fn predict(&self, user: u32, item: u32) -> f32 {
         let (u, i) = (user as usize, item as usize);
         let mut pred = self.global_mean;
@@ -635,6 +652,93 @@ mod tests {
         }
         assert!(m.loss(&data) < before_loss);
         assert!(rmse(&m, &data).unwrap() < before_rmse - 0.05);
+    }
+
+    #[test]
+    fn batched_training_reduces_loss_and_is_deterministic() {
+        let data = tiny_data();
+        let run = || {
+            let mut m = MfModel::new(20, 50, MfHyperParams::default(), 3.5, 1);
+            let mut rng = StdRng::seed_from_u64(7);
+            for _ in 0..30 {
+                m.train_steps_batched(&data, data.len(), &mut rng);
+            }
+            m
+        };
+        let before = MfModel::new(20, 50, MfHyperParams::default(), 3.5, 1).loss(&data);
+        let a = run();
+        assert!(a.loss(&data) < before, "batched training must learn");
+        assert_eq!(a.to_bytes(), run().to_bytes(), "batched path not seeded");
+    }
+
+    #[test]
+    fn batched_path_consumes_rng_like_the_sequential_path() {
+        // The protocol's determinism contract: a node's RNG state after
+        // training must not depend on which path ran — both draw exactly
+        // `steps` uniform indices.
+        let data = tiny_data();
+        let mut seq_rng = StdRng::seed_from_u64(11);
+        let mut bat_rng = StdRng::seed_from_u64(11);
+        let mut seq = MfModel::new(20, 50, MfHyperParams::default(), 3.5, 1);
+        let mut bat = seq.clone();
+        seq.train_steps(&data, 137, &mut seq_rng);
+        bat.train_steps_batched(&data, 137, &mut bat_rng);
+        assert_eq!(
+            seq_rng.gen::<u64>(),
+            bat_rng.gen::<u64>(),
+            "RNG streams diverged between the two training paths"
+        );
+    }
+
+    #[test]
+    fn batched_path_is_bit_identical_on_single_user_data() {
+        // Width-1 shards: grouping by user is a no-op, so the batched
+        // sweep must replay the sequential update order bit-for-bit.
+        let data: Vec<Rating> = tiny_data().into_iter().filter(|r| r.user == 3).collect();
+        assert!(data.len() > 5, "need some single-user data");
+        let mut seq = MfModel::new(20, 50, MfHyperParams::default(), 3.5, 1);
+        let mut bat = seq.clone();
+        let mut seq_rng = StdRng::seed_from_u64(5);
+        let mut bat_rng = StdRng::seed_from_u64(5);
+        seq.train_steps(&data, 200, &mut seq_rng);
+        bat.train_steps_batched(&data, 200, &mut bat_rng);
+        assert_eq!(seq.to_bytes(), bat.to_bytes());
+    }
+
+    #[test]
+    fn batched_path_groups_updates_by_ascending_user_row() {
+        // Two interleaved users: the batched sweep applies all of user
+        // 0's draws before user 1's regardless of draw order, which a
+        // deliberately order-sensitive probe can observe — while the
+        // same-user subsequences stay in draw order (stable sort).
+        let data = vec![
+            Rating {
+                user: 1,
+                item: 0,
+                value: 5.0,
+            },
+            Rating {
+                user: 0,
+                item: 0,
+                value: 1.0,
+            },
+        ];
+        let mut seq = MfModel::new(2, 1, MfHyperParams::default(), 3.0, 9);
+        let mut bat = seq.clone();
+        let mut seq_rng = StdRng::seed_from_u64(1);
+        let mut bat_rng = StdRng::seed_from_u64(1);
+        seq.train_steps(&data, 64, &mut seq_rng);
+        bat.train_steps_batched(&data, 64, &mut bat_rng);
+        // Both saw the same multiset of samples, so both learned both
+        // users; the item row (shared) differs because the update order
+        // across users changed.
+        assert!(bat.has_user(0) && bat.has_user(1));
+        assert!(seq.has_user(0) && seq.has_user(1));
+        assert_ne!(
+            seq.to_bytes(),
+            bat.to_bytes(),
+            "reordering across users should perturb the shared item row"
+        );
     }
 
     #[test]

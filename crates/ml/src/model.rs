@@ -44,6 +44,28 @@ pub trait Model: Clone + Send + Sync + 'static {
     /// (paper §III-E).
     fn train_steps(&mut self, data: &[Rating], steps: usize, rng: &mut StdRng);
 
+    /// Batched variant of [`Model::train_steps`] for **user-sharded**
+    /// nodes hosting a contiguous block of user rows: draws the same
+    /// `steps` uniform sample indices from the caller's RNG (identical
+    /// RNG consumption, so a node's trajectory stays a pure function of
+    /// its seed), then applies them **grouped by user row in ascending
+    /// order** — a shard's updates sweep contiguous embedding rows
+    /// instead of hopping across the table. Within one user's group the
+    /// draw order is preserved.
+    ///
+    /// Grouping reorders float updates across users, so this is *not*
+    /// bit-identical to [`Model::train_steps`] on multi-user data; the
+    /// protocol layer only routes through it when a shard hosts more
+    /// than one user (`users_per_node = 1` keeps the legacy path and its
+    /// bit-exact trajectories). On single-user data the grouping is a
+    /// no-op, making the two paths bit-identical by construction.
+    ///
+    /// The default falls back to [`Model::train_steps`] — models without
+    /// a row-block structure (e.g. dense DNNs) need no override.
+    fn train_steps_batched(&mut self, data: &[Rating], steps: usize, rng: &mut StdRng) {
+        self.train_steps(data, steps, rng);
+    }
+
     /// Predicts the rating of `user` for `item`, clamped to the valid
     /// rating range. Falls back to bias terms / global mean for users or
     /// items this model has never seen.

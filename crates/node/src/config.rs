@@ -18,6 +18,7 @@
 
 use rex_core::config::{GossipAlgorithm, ProtocolConfig, SharingMode, WireCodec};
 use rex_core::membership::MembershipPlan;
+use rex_data::ShardStrategy;
 use rex_net::fault::{CrashSpec, FaultPlan, LinkFaults, PartitionSpec};
 use rex_topology::TopologySpec;
 use std::collections::HashMap;
@@ -40,6 +41,29 @@ pub enum NodeDriver {
         /// Minimum distinct neighbour shares consumed per epoch.
         k: usize,
     },
+}
+
+/// User-sharding parameters, from the optional `[sharding]` section.
+///
+/// When present, every node hosts a shard of `users_per_node` virtual
+/// users instead of the legacy one-slot-per-partition grouping:
+///
+/// ```toml
+/// [sharding]
+/// users_per_node = 1024          # required; >= 1, and
+///                                # users_per_node x nodes == num_users
+/// shard_strategy = "contiguous"  # or "round-robin" (default contiguous)
+/// ```
+///
+/// `users_per_node = 1` is the determinism escape hatch: width-1 shards
+/// normalize away at node construction, so the fleet is bit-identical to
+/// an unsharded per-user deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardingConfig {
+    /// Virtual users hosted per node (the user-row block width).
+    pub users_per_node: u32,
+    /// How user rows group into per-node shards.
+    pub strategy: ShardStrategy,
 }
 
 /// Everything a deployed node needs to know about its cluster.
@@ -117,6 +141,10 @@ pub struct ClusterConfig {
     /// topology rewiring — replay bit-for-bit across the whole cluster.
     /// `None` when the section is absent: the node set is static.
     pub membership: Option<MembershipPlan>,
+    /// User-sharding parameters, from the optional `[sharding]` section
+    /// (see [`ShardingConfig`]). `None` when the section is absent: the
+    /// legacy multi-user grouping, exactly as before sharding existed.
+    pub sharding: Option<ShardingConfig>,
     /// Epoch scheduling of the deployed loop (`driver = "lockstep"` —
     /// the default — or `"bounded-async"` with `staleness_k`).
     /// Bounded-async requires `algorithm = "dpsgd"` (every neighbour
@@ -150,6 +178,7 @@ impl Default for ClusterConfig {
             infra_seed: 0xE0,
             faults: None,
             membership: None,
+            sharding: None,
             driver: NodeDriver::Lockstep,
         }
     }
@@ -239,7 +268,7 @@ fn parse_map(text: &str) -> Result<(HashMap<String, Value>, Vec<String>), String
                 .strip_suffix(']')
                 .ok_or_else(|| format!("line {}: unterminated section header", lineno + 1))?
                 .trim();
-            if name != "faults" && name != "membership" {
+            if name != "faults" && name != "membership" && name != "sharding" {
                 return Err(format!("line {}: unknown section [{name}]", lineno + 1));
             }
             prefix = format!("{name}.");
@@ -431,6 +460,53 @@ fn membership_to_toml(plan: &MembershipPlan) -> String {
     )
 }
 
+/// Assembles the `[sharding]` section into a [`ShardingConfig`],
+/// validating against the cluster shape: `users_per_node` is required,
+/// must be at least 1, and must tile the dataset exactly
+/// (`users_per_node x num_nodes == num_users`).
+fn parse_sharding(
+    map: &HashMap<String, Value>,
+    num_nodes: usize,
+    num_users: u32,
+) -> Result<ShardingConfig, String> {
+    let users_per_node: u32 = match map.get("sharding.users_per_node") {
+        Some(_) => get_int(map, "sharding.users_per_node", 0)?,
+        None => return Err("sharding.users_per_node: required".to_string()),
+    };
+    if users_per_node == 0 {
+        return Err("sharding.users_per_node: must be at least 1".to_string());
+    }
+    let hosted = users_per_node as u64 * num_nodes as u64;
+    if hosted != u64::from(num_users) {
+        return Err(format!(
+            "sharding.users_per_node: {users_per_node} x {num_nodes} nodes = {hosted} \
+             users, but num_users = {num_users} (shards must tile the dataset exactly)"
+        ));
+    }
+    let strategy = match get_str(map, "sharding.shard_strategy", "contiguous")?.as_str() {
+        "contiguous" => ShardStrategy::Contiguous,
+        "round-robin" => ShardStrategy::RoundRobin,
+        other => return Err(format!("sharding.shard_strategy: unknown strategy {other}")),
+    };
+    Ok(ShardingConfig {
+        users_per_node,
+        strategy,
+    })
+}
+
+/// Serializes a [`ShardingConfig`] as the `[sharding]` section
+/// [`parse_sharding`] reads back.
+fn sharding_to_toml(cfg: &ShardingConfig) -> String {
+    let strategy = match cfg.strategy {
+        ShardStrategy::Contiguous => "contiguous",
+        ShardStrategy::RoundRobin => "round-robin",
+    };
+    format!(
+        "\n[sharding]\nusers_per_node = {}\nshard_strategy = \"{strategy}\"\n",
+        cfg.users_per_node,
+    )
+}
+
 /// Assembles the `[faults]` section into a [`FaultPlan`].
 fn parse_faults(map: &HashMap<String, Value>) -> Result<FaultPlan, String> {
     Ok(FaultPlan {
@@ -608,6 +684,15 @@ impl ClusterConfig {
         } else {
             None
         };
+        let num_users: u32 = get_int(&map, "num_users", u64::from(d.num_users))?;
+        let sharding = if sections.iter().any(|s| s == "sharding") {
+            // Validated through the parser's Result path — a [sharding]
+            // section that does not tile the dataset must not become a
+            // partitioning panic inside the deployed binary.
+            Some(parse_sharding(&map, num_nodes, num_users)?)
+        } else {
+            None
+        };
         Ok(ClusterConfig {
             nodes,
             epochs: get_int(&map, "epochs", d.epochs as u64)?,
@@ -615,7 +700,7 @@ impl ClusterConfig {
             algorithm,
             topology,
             topology_seed: get_int(&map, "topology_seed", d.topology_seed)?,
-            num_users: get_int(&map, "num_users", u64::from(d.num_users))?,
+            num_users,
             num_items: get_int(&map, "num_items", u64::from(d.num_items))?,
             num_ratings: get_int(&map, "num_ratings", d.num_ratings as u64)?,
             data_seed: get_int(&map, "data_seed", d.data_seed)?,
@@ -633,6 +718,7 @@ impl ClusterConfig {
             infra_seed: get_int(&map, "infra_seed", d.infra_seed)?,
             faults,
             membership,
+            sharding,
             driver,
         })
     }
@@ -660,6 +746,11 @@ impl ClusterConfig {
             .membership
             .as_ref()
             .map(membership_to_toml)
+            .unwrap_or_default();
+        let sharding = self
+            .sharding
+            .as_ref()
+            .map(sharding_to_toml)
             .unwrap_or_default();
         let codec = match self.codec {
             WireCodec::Dense => "codec = \"dense\"".to_string(),
@@ -693,7 +784,7 @@ impl ClusterConfig {
              sgx = {}\n\
              processes_per_platform = {}\n\
              infra_seed = {}\n\
-             {driver}\n{faults}{membership}",
+             {driver}\n{faults}{membership}{sharding}",
             addrs.join(", "),
             self.epochs,
             self.topology_seed,
@@ -1011,6 +1102,67 @@ mod tests {
                 "accepted {bad:?}"
             );
         }
+    }
+
+    #[test]
+    fn sharding_section_roundtrips() {
+        for strategy in [ShardStrategy::Contiguous, ShardStrategy::RoundRobin] {
+            let cfg = ClusterConfig {
+                num_users: 24, // 2 nodes x 12 users/node (sample() has 2 nodes)
+                sharding: Some(ShardingConfig {
+                    users_per_node: 12,
+                    strategy,
+                }),
+                ..sample()
+            };
+            let text = cfg.to_toml();
+            assert!(text.contains("[sharding]"), "{text}");
+            assert!(text.contains("users_per_node = 12"), "{text}");
+            let parsed = ClusterConfig::parse(&text).unwrap();
+            assert_eq!(parsed, cfg);
+        }
+        // No section at all means None: the legacy grouping.
+        let cfg = ClusterConfig::parse("nodes = [\"127.0.0.1:1\"]\n").unwrap();
+        assert_eq!(cfg.sharding, None);
+    }
+
+    #[test]
+    fn sharding_strategy_defaults_to_contiguous() {
+        let cfg = ClusterConfig::parse(
+            "nodes = [\"127.0.0.1:1\", \"127.0.0.1:2\"]\nnum_users = 8\n\
+             [sharding]\nusers_per_node = 4\n",
+        )
+        .unwrap();
+        assert_eq!(
+            cfg.sharding,
+            Some(ShardingConfig {
+                users_per_node: 4,
+                strategy: ShardStrategy::Contiguous,
+            })
+        );
+    }
+
+    #[test]
+    fn sharding_section_rejects_malformed_specs() {
+        // 2 nodes x num_users = 24 (the default).
+        let base = "nodes = [\"127.0.0.1:1\", \"127.0.0.1:2\"]\n[sharding]\n";
+        for bad in [
+            "",                                                 // users_per_node missing
+            "users_per_node = 0\n",                             // zero
+            "users_per_node = 1000000\n",                       // huge: does not tile
+            "users_per_node = 7\n",                             // 7 x 2 != 24
+            "users_per_node = -3\n",                            // negative
+            "users_per_node = \"lots\"\n",                      // wrong type
+            "users_per_node = 12\nshard_strategy = \"hash\"\n", // unknown strategy
+            "users_per_node = 12\nshard_strategy = 7\n",        // wrong type
+        ] {
+            assert!(
+                ClusterConfig::parse(&format!("{base}{bad}")).is_err(),
+                "accepted {bad:?}"
+            );
+        }
+        // The exact-tiling configuration is accepted.
+        assert!(ClusterConfig::parse(&format!("{base}users_per_node = 12\n")).is_ok());
     }
 
     #[test]

@@ -24,13 +24,13 @@
 pub mod config;
 pub mod launcher;
 
-pub use config::{ClusterConfig, NodeDriver};
+pub use config::{ClusterConfig, NodeDriver, ShardingConfig};
 
-use rex_core::builder::{build_mf_nodes, NodeSeeds};
+use rex_core::builder::{build_mf_nodes, build_mf_nodes_sharded, NodeSeeds};
 use rex_core::membership::{MembershipView, ViewTransition};
 use rex_core::setup::{establish_tee_with_directory, overlay_of, prune_to_overlay, TeeDirectory};
 use rex_core::Node;
-use rex_data::{Partition, SyntheticConfig, TrainTestSplit};
+use rex_data::{Partition, ShardStrategy, SyntheticConfig, TrainTestSplit};
 use rex_ml::{MfHyperParams, MfModel};
 use rex_net::codec::{decode_payload, encode_payload};
 use rex_net::fault::{FaultPlan, FaultyEndpoint};
@@ -97,17 +97,49 @@ pub fn build_fleet(cfg: &ClusterConfig) -> Vec<Node<MfModel>> {
     }
     .generate();
     let split = TrainTestSplit::standard(&dataset, cfg.split_seed);
-    let partition = Partition::multi_user(&split, n);
     let graph = cfg.topology.build(n, cfg.topology_seed);
-    let mut fleet = build_mf_nodes(
-        &partition,
-        &graph,
-        dataset.num_users,
-        dataset.num_items,
-        MfHyperParams::default(),
-        cfg.protocol(),
-        NodeSeeds::default(),
-    );
+    let mut fleet = match cfg.sharding {
+        // Contiguous user-row blocks: node `i` hosts users
+        // [i*upn, (i+1)*upn) behind a sharded store and the batched
+        // train path. Width-1 blocks normalize away inside the node
+        // builder, keeping users_per_node = 1 bit-identical to the
+        // legacy per-user fleet.
+        Some(ShardingConfig {
+            strategy: ShardStrategy::Contiguous,
+            ..
+        }) => {
+            let (partition, blocks) = Partition::user_blocks(&split, n);
+            build_mf_nodes_sharded(
+                &partition,
+                &blocks,
+                &graph,
+                dataset.num_users,
+                dataset.num_items,
+                MfHyperParams::default(),
+                cfg.protocol(),
+                NodeSeeds::default(),
+            )
+        }
+        // Round-robin striping is exactly the legacy multi-user grouping
+        // (user u on node u % n), kept as the non-contiguous reference
+        // arm: no row blocks, no shard index, legacy train path.
+        Some(ShardingConfig {
+            strategy: ShardStrategy::RoundRobin,
+            ..
+        })
+        | None => {
+            let partition = Partition::multi_user(&split, n);
+            build_mf_nodes(
+                &partition,
+                &graph,
+                dataset.num_users,
+                dataset.num_items,
+                MfHyperParams::default(),
+                cfg.protocol(),
+                NodeSeeds::default(),
+            )
+        }
+    };
     if let Some(plan) = &cfg.faults {
         plan.validate(n);
         // The same crash-aware pre-setup step the engine runs — shared
@@ -886,6 +918,62 @@ mod tests {
         };
         assert_eq!(NodeSummary::parse(&summary.to_text()).unwrap(), summary);
         assert!(NodeSummary::parse("id = 1").is_err());
+    }
+
+    #[test]
+    fn sharded_fleet_hosts_contiguous_blocks() {
+        let cfg = ClusterConfig {
+            sharding: Some(ShardingConfig {
+                users_per_node: 4, // 4 nodes x 4 users = 16 = num_users
+                strategy: ShardStrategy::Contiguous,
+            }),
+            ..tiny_cfg(4)
+        };
+        let fleet = build_fleet(&cfg);
+        assert_eq!(fleet.len(), 4);
+        for (id, node) in fleet.iter().enumerate() {
+            let block = node.shard_block().expect("width-4 shard");
+            assert_eq!(block.start, 4 * id as u32);
+            assert_eq!(block.end, 4 * (id as u32 + 1));
+            assert_eq!(node.users_hosted(), 4);
+        }
+    }
+
+    #[test]
+    fn round_robin_sharding_is_the_legacy_grouping() {
+        let sharded = build_fleet(&ClusterConfig {
+            sharding: Some(ShardingConfig {
+                users_per_node: 4,
+                strategy: ShardStrategy::RoundRobin,
+            }),
+            ..tiny_cfg(4)
+        });
+        let legacy = build_fleet(&tiny_cfg(4));
+        for (s, l) in sharded.iter().zip(&legacy) {
+            assert_eq!(s.shard_block(), None);
+            assert_eq!(s.store().ratings(), l.store().ratings());
+        }
+    }
+
+    #[test]
+    fn width_one_sharded_fleet_is_bit_identical_to_legacy() {
+        // The determinism contract end-to-end through the config layer:
+        // users_per_node = 1 (16 nodes hosting 16 users) must build the
+        // exact fleet the unsharded config builds.
+        let sharded = build_fleet(&ClusterConfig {
+            sharding: Some(ShardingConfig {
+                users_per_node: 1,
+                strategy: ShardStrategy::Contiguous,
+            }),
+            ..tiny_cfg(16)
+        });
+        let legacy = build_fleet(&tiny_cfg(16));
+        assert_eq!(sharded.len(), legacy.len());
+        for (s, l) in sharded.iter().zip(&legacy) {
+            assert_eq!(s.shard_block(), None, "width-1 shard must normalize away");
+            assert_eq!(s.store().ratings(), l.store().ratings());
+            assert_eq!(s.store().memory_bytes(), l.store().memory_bytes());
+        }
     }
 
     #[test]

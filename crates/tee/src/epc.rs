@@ -15,6 +15,11 @@ pub enum Region {
     Model,
     /// The raw-rating store (grows as REX gossips data).
     DataStore,
+    /// The user-shard row index over the store: per-row posting lists
+    /// plus the out-of-block overflow list. Zero for unsharded nodes, so
+    /// sharded deployments can read the indexing overhead of hosting
+    /// many users off the per-region accounting directly.
+    ShardIndex,
     /// Deserialized neighbour models held during a merge (MS only).
     MergeBuffers,
     /// Serialized in/out message buffers.
@@ -23,15 +28,16 @@ pub enum Region {
     Other,
 }
 
-const NUM_REGIONS: usize = 5;
+const NUM_REGIONS: usize = 6;
 
 fn region_index(r: Region) -> usize {
     match r {
         Region::Model => 0,
         Region::DataStore => 1,
-        Region::MergeBuffers => 2,
-        Region::MessageBuffers => 3,
-        Region::Other => 4,
+        Region::ShardIndex => 2,
+        Region::MergeBuffers => 3,
+        Region::MessageBuffers => 4,
+        Region::Other => 5,
     }
 }
 
@@ -109,6 +115,16 @@ mod tests {
         t.set_region(Region::MergeBuffers, 0);
         assert_eq!(t.resident_bytes(), 0);
         assert_eq!(t.peak_bytes(), 1000);
+    }
+
+    #[test]
+    fn shard_index_is_a_distinct_region() {
+        let mut t = EpcTracker::new();
+        t.set_region(Region::DataStore, 100);
+        t.set_region(Region::ShardIndex, 40);
+        assert_eq!(t.region_bytes(Region::DataStore), 100);
+        assert_eq!(t.region_bytes(Region::ShardIndex), 40);
+        assert_eq!(t.resident_bytes(), 140);
     }
 
     #[test]

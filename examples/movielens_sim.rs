@@ -9,7 +9,7 @@
 
 use rex_repro::core::builder::{build_mf_nodes, NodeSeeds};
 use rex_repro::core::config::{ExecutionMode, GossipAlgorithm, ProtocolConfig, SharingMode};
-use rex_repro::core::runner::{run_simulation, SimulationConfig};
+use rex_repro::core::runner::{run, Backend, SimulationConfig};
 use rex_repro::data::{Partition, SyntheticConfig, TrainTestSplit};
 use rex_repro::ml::MfHyperParams;
 use rex_repro::tee::SgxCostModel;
@@ -79,7 +79,13 @@ fn main() {
     } else {
         ExecutionMode::Native
     };
-    let result = run_simulation(
+    let result = run(
+        &Backend::Simulated(SimulationConfig {
+            epochs,
+            execution,
+            parallel: true,
+            ..Default::default()
+        }),
         &format!(
             "{}, {}, {}",
             sharing.label(),
@@ -87,12 +93,6 @@ fn main() {
             topology.label()
         ),
         &mut fleet,
-        &SimulationConfig {
-            epochs,
-            execution,
-            parallel: true,
-            ..Default::default()
-        },
     );
 
     if sgx {

@@ -6,9 +6,9 @@
 //! ```
 
 use rex_repro::core::builder::{build_mf_nodes, NodeSeeds};
-use rex_repro::core::centralized::run_centralized;
+use rex_repro::core::centralized::run_baseline;
 use rex_repro::core::config::{ExecutionMode, GossipAlgorithm, ProtocolConfig, SharingMode};
-use rex_repro::core::runner::{run_simulation, SimulationConfig};
+use rex_repro::core::runner::{run, Backend, SimulationConfig};
 use rex_repro::data::{Partition, SyntheticConfig, TrainTestSplit};
 use rex_repro::ml::{MfHyperParams, MfModel};
 use rex_repro::topology::TopologySpec;
@@ -38,12 +38,12 @@ fn main() {
     let graph = TopologySpec::SmallWorld.build(16, 3);
 
     // 3. Run REX (raw-data sharing) and the model-sharing baseline.
-    let sim = SimulationConfig {
+    let sim = Backend::Simulated(SimulationConfig {
         epochs: 60,
         execution: ExecutionMode::Native,
         parallel: true,
         ..Default::default()
-    };
+    });
     let mut results = Vec::new();
     for sharing in [SharingMode::RawData, SharingMode::Model] {
         let mut nodes = build_mf_nodes(
@@ -62,7 +62,7 @@ fn main() {
             },
             NodeSeeds::default(),
         );
-        let result = run_simulation(sharing.label(), &mut nodes, &sim);
+        let result = run(&sim, sharing.label(), &mut nodes);
         results.push(result.trace);
     }
 
@@ -74,7 +74,7 @@ fn main() {
         dataset.mean_rating() as f32,
         NodeSeeds::default().model_init,
     );
-    let central_trace = run_centralized(
+    let central_trace = run_baseline(
         "Centralized",
         &mut central,
         &split.train,

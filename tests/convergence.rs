@@ -2,9 +2,9 @@
 //! paper's headline orderings must hold end to end.
 
 use rex_repro::core::builder::{build_mf_nodes, NodeSeeds};
-use rex_repro::core::centralized::run_centralized;
+use rex_repro::core::centralized::run_baseline;
 use rex_repro::core::config::{ExecutionMode, GossipAlgorithm, ProtocolConfig, SharingMode};
-use rex_repro::core::runner::{run_simulation, SimulationConfig};
+use rex_repro::core::runner::{run, Backend, SimulationConfig};
 use rex_repro::data::{Partition, SyntheticConfig, TrainTestSplit};
 use rex_repro::ml::{MfHyperParams, MfModel};
 use rex_repro::topology::TopologySpec;
@@ -47,13 +47,13 @@ fn fleet(
     )
 }
 
-fn sim(epochs: usize) -> SimulationConfig {
-    SimulationConfig {
+fn sim(epochs: usize) -> Backend {
+    Backend::Simulated(SimulationConfig {
         epochs,
         execution: ExecutionMode::Native,
         parallel: true,
         ..Default::default()
-    }
+    })
 }
 
 #[test]
@@ -69,8 +69,8 @@ fn rex_and_ms_converge_to_similar_quality() {
         GossipAlgorithm::DPsgd,
         TopologySpec::SmallWorld,
     );
-    let rex = run_simulation("REX", &mut rex_nodes, &sim(60)).trace;
-    let ms = run_simulation("MS", &mut ms_nodes, &sim(60)).trace;
+    let rex = run(&sim(60), "REX", &mut rex_nodes).trace;
+    let ms = run(&sim(60), "MS", &mut ms_nodes).trace;
 
     // The synthetic data's mean-only baseline is already strong (~0.61
     // RMSE), so convergence deltas are small in absolute terms; what
@@ -94,8 +94,8 @@ fn rex_beats_ms_in_time_and_bytes_on_every_topology_algorithm_combo() {
         for algorithm in [GossipAlgorithm::Rmw, GossipAlgorithm::DPsgd] {
             let mut rex_nodes = fleet(SharingMode::RawData, algorithm, topology);
             let mut ms_nodes = fleet(SharingMode::Model, algorithm, topology);
-            let rex = run_simulation("REX", &mut rex_nodes, &sim(15)).trace;
-            let ms = run_simulation("MS", &mut ms_nodes, &sim(15)).trace;
+            let rex = run(&sim(15), "REX", &mut rex_nodes).trace;
+            let ms = run(&sim(15), "MS", &mut ms_nodes).trace;
             assert!(
                 ms.total_bytes_per_node() > 5.0 * rex.total_bytes_per_node(),
                 "{topology:?}/{algorithm:?}: byte gap missing"
@@ -126,7 +126,7 @@ fn centralized_baseline_is_fastest_to_quality() {
         ds.mean_rating() as f32,
         0,
     );
-    let central = run_centralized(
+    let central = run_baseline(
         "central",
         &mut model,
         &split.train,
@@ -140,7 +140,7 @@ fn centralized_baseline_is_fastest_to_quality() {
         GossipAlgorithm::DPsgd,
         TopologySpec::SmallWorld,
     );
-    let rex = run_simulation("REX", &mut rex_nodes, &sim(40)).trace;
+    let rex = run(&sim(40), "REX", &mut rex_nodes).trace;
     assert!(
         central.final_rmse().unwrap() <= rex.final_rmse().unwrap() + 0.05,
         "centralized should reach at least comparable quality"
@@ -156,7 +156,7 @@ fn raw_data_dissemination_fills_stores() {
         TopologySpec::SmallWorld,
     );
     let initial: Vec<usize> = nodes.iter().map(|n| n.store().len()).collect();
-    let _ = run_simulation("REX", &mut nodes, &sim(20));
+    let _ = run(&sim(20), "REX", &mut nodes);
     for (node, init) in nodes.iter().zip(initial) {
         assert!(
             node.store().len() > 2 * init,
@@ -180,7 +180,7 @@ fn rmw_cheaper_than_dpsgd_on_the_wire() {
         GossipAlgorithm::DPsgd,
         TopologySpec::ErdosRenyi,
     );
-    let r = run_simulation("rmw", &mut rmw, &sim(10)).trace;
-    let d = run_simulation("dpsgd", &mut dpsgd, &sim(10)).trace;
+    let r = run(&sim(10), "rmw", &mut rmw).trace;
+    let d = run(&sim(10), "dpsgd", &mut dpsgd).trace;
     assert!(d.total_bytes_per_node() > 1.5 * r.total_bytes_per_node());
 }

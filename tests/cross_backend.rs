@@ -12,7 +12,7 @@
 //! physical arrival order, and because the TCP backend's wire barrier
 //! makes message visibility deterministic despite real propagation delay.
 
-use rex_repro::core::builder::{build_mf_nodes, NodeSeeds};
+use rex_repro::core::builder::{build_mf_nodes, build_mf_nodes_sharded, NodeSeeds};
 use rex_repro::core::config::{ExecutionMode, GossipAlgorithm, ProtocolConfig, SharingMode};
 use rex_repro::core::engine::{Driver, Engine, EngineConfig, EngineResult, TimeAxis};
 use rex_repro::core::Node;
@@ -390,6 +390,110 @@ fn work_steal_matches_sequential_under_chaos_headline_sgx() {
         assert_eq!(a.delivery, b.delivery, "epoch {}: delivery", a.epoch);
     }
     assert!(seq.0.setup_ns > 0 && pool.0.setup_ns > 0);
+}
+
+/// One node per user (24 nodes), either through the pre-sharding
+/// per-user partition or through width-1 user blocks on the sharded
+/// construction path. The two must be indistinguishable — this is the
+/// sharding determinism contract (`users_per_node = 1` stays bit-exact).
+fn per_user_fleet(sharded: bool) -> Vec<Node<MfModel>> {
+    let ds = SyntheticConfig {
+        num_users: 24,
+        num_items: 160,
+        num_ratings: 2_000,
+        seed: 42,
+        ..SyntheticConfig::default()
+    }
+    .generate();
+    let split = TrainTestSplit::standard(&ds, 7);
+    let graph = TopologySpec::SmallWorld.build(24, 5);
+    let cfg = ProtocolConfig {
+        sharing: SharingMode::RawData,
+        algorithm: GossipAlgorithm::DPsgd,
+        points_per_epoch: 40,
+        steps_per_epoch: 120,
+        seed: 17,
+        ..ProtocolConfig::default()
+    };
+    if sharded {
+        let (part, blocks) = Partition::user_blocks(&split, 24);
+        build_mf_nodes_sharded(
+            &part,
+            &blocks,
+            &graph,
+            ds.num_users,
+            ds.num_items,
+            MfHyperParams::default(),
+            cfg,
+            NodeSeeds::default(),
+        )
+    } else {
+        let part = Partition::one_user_per_node(&split);
+        build_mf_nodes(
+            &part,
+            &graph,
+            ds.num_users,
+            ds.num_items,
+            MfHyperParams::default(),
+            cfg,
+            NodeSeeds::default(),
+        )
+    }
+}
+
+#[test]
+fn width_one_sharded_fleet_matches_legacy_per_user_run_everywhere() {
+    // The pre-PR trajectory: the legacy per-user fleet on the reference
+    // backend (mem fabric, sequential lockstep, simulated time).
+    let mut legacy_nodes = per_user_fleet(false);
+    let legacy = Engine::<MfModel, MemNetwork>::new(
+        MemNetwork::new(legacy_nodes.len()),
+        engine_config(
+            ExecutionMode::Native,
+            TimeAxis::Simulated(Default::default()),
+            Driver::Lockstep { parallel: false },
+        ),
+    )
+    .run("legacy", &mut legacy_nodes);
+    let reference = (legacy, legacy_nodes);
+
+    // The users_per_node = 1 sharded fleet must reproduce it bit-for-bit
+    // on every fabric and driver.
+    let drivers = [
+        Driver::Lockstep { parallel: false },
+        Driver::WorkSteal { workers: 4 },
+    ];
+    for driver in drivers {
+        let mut nodes = per_user_fleet(true);
+        let result = Engine::<MfModel, MemNetwork>::new(
+            MemNetwork::new(nodes.len()),
+            engine_config(
+                ExecutionMode::Native,
+                TimeAxis::Simulated(Default::default()),
+                driver,
+            ),
+        )
+        .run("sharded-mem", &mut nodes);
+        assert_equivalent(&reference, &(result, nodes));
+    }
+    for driver in drivers {
+        let mut nodes = per_user_fleet(true);
+        let result = Engine::<MfModel, ChannelTransport>::new(
+            ChannelTransport::new(nodes.len()),
+            engine_config(ExecutionMode::Native, TimeAxis::Wall, driver),
+        )
+        .run("sharded-chan", &mut nodes);
+        assert_equivalent(&reference, &(result, nodes));
+    }
+    for driver in drivers {
+        let mut nodes = per_user_fleet(true);
+        let result = Engine::<MfModel, TcpTransport>::new(
+            TcpTransport::loopback(nodes.len()).expect("loopback fabric"),
+            engine_config(ExecutionMode::Native, TimeAxis::Wall, driver),
+        )
+        .run("sharded-tcp", &mut nodes);
+        assert_equivalent(&reference, &(result, nodes));
+    }
 }
 
 #[test]

@@ -3,7 +3,7 @@
 
 use rex_repro::core::builder::{build_mf_nodes, NodeSeeds};
 use rex_repro::core::config::{ExecutionMode, GossipAlgorithm, ProtocolConfig, SharingMode};
-use rex_repro::core::runner::{run_simulation, SimulationConfig};
+use rex_repro::core::runner::{run, Backend, SimulationConfig};
 use rex_repro::data::{Partition, SyntheticConfig, TrainTestSplit};
 use rex_repro::ml::MfHyperParams;
 use rex_repro::topology::TopologySpec;
@@ -36,15 +36,15 @@ fn run_once(parallel: bool, seed: u64) -> Vec<(f64, f64)> {
         },
         NodeSeeds::default(),
     );
-    let trace = run_simulation(
-        "det",
-        &mut nodes,
-        &SimulationConfig {
+    let trace = run(
+        &Backend::Simulated(SimulationConfig {
             epochs: 15,
             execution: ExecutionMode::Native,
             parallel,
             ..Default::default()
-        },
+        }),
+        "det",
+        &mut nodes,
     )
     .trace;
     trace

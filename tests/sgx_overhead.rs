@@ -4,7 +4,7 @@
 
 use rex_repro::core::builder::{build_mf_nodes, NodeSeeds};
 use rex_repro::core::config::{ExecutionMode, GossipAlgorithm, ProtocolConfig, SharingMode};
-use rex_repro::core::runner::{run_simulation, SimulationConfig};
+use rex_repro::core::runner::{run, Backend, SimulationConfig};
 use rex_repro::data::{Partition, SyntheticConfig, TrainTestSplit};
 use rex_repro::ml::MfHyperParams;
 use rex_repro::tee::SgxCostModel;
@@ -42,15 +42,15 @@ fn fleet(sharing: SharingMode) -> Vec<rex_repro::core::Node<rex_repro::ml::MfMod
 
 fn charged_overhead(sharing: SharingMode, cost: SgxCostModel) -> u64 {
     let mut nodes = fleet(sharing);
-    let result = run_simulation(
-        "sgx",
-        &mut nodes,
-        &SimulationConfig {
+    let result = run(
+        &Backend::Simulated(SimulationConfig {
             epochs: 10,
             execution: ExecutionMode::Sgx(cost),
             parallel: false,
             ..Default::default()
-        },
+        }),
+        "sgx",
+        &mut nodes,
     );
     result.trace.mean_sgx_overhead_ns()
 }
@@ -84,15 +84,15 @@ fn epc_overcommit_amplifies_overhead() {
 fn sgx_does_not_change_model_quality() {
     let run = |execution| {
         let mut nodes = fleet(SharingMode::RawData);
-        run_simulation(
-            "q",
-            &mut nodes,
-            &SimulationConfig {
+        run(
+            &Backend::Simulated(SimulationConfig {
                 epochs: 12,
                 execution,
                 parallel: false,
                 ..Default::default()
-            },
+            }),
+            "q",
+            &mut nodes,
         )
         .trace
         .final_rmse()
