@@ -1,0 +1,289 @@
+//! Per-epoch signed model-digest commitments — the verifiable-epochs
+//! building block.
+//!
+//! The paper's trust story rests on TEEs attesting *code*, but nothing in
+//! the protocol so far checks that a node actually ran the training it
+//! claims. Determinism closes that gap: every epoch is exactly replayable
+//! from the shared seeds, so a node can *commit* to its post-epoch model
+//! and any other party can recompute the expected commitment and compare.
+//!
+//! Each node keeps a [`CommitmentChain`]:
+//!
+//! * **digest chaining** — `d_e = SHA-256("rex-commit-link-v1" ‖ d_{e-1}
+//!   ‖ e_le ‖ model_bytes)`, seeded with a domain-separated genesis
+//!   digest derived from `(protocol seed, node id)`. Chaining makes each
+//!   epoch's commitment bind the *entire* history: a node cannot
+//!   retroactively swap an early epoch without every later digest
+//!   changing.
+//! * **identity binding** — `t_e = HMAC-SHA-256(k_node, d_e ‖ e_le)`
+//!   where `k_node` is derived from the same `(seed, id)` pair. In the
+//!   simulated-SGX trust model every party can re-derive `k_node` (all
+//!   key material flows from the shared scenario seeds); on real
+//!   hardware it would be an enclave-held session key, making the tag a
+//!   genuine signature-equivalent. Here it pins a commitment to the node
+//!   identity that produced it, so a frame cannot be replayed as another
+//!   node's.
+//!
+//! Because model trajectories are bit-identical across
+//! mem/channel/tcp × lockstep/work-steal (the cross-backend oracle), the
+//! chained digests are too — the challenger can audit any backend's run
+//! by replaying on any other backend.
+
+use rex_crypto::{HmacSha256, Sha256};
+
+/// Domain-separation label for the per-node MAC key.
+const KEY_LABEL: &[u8] = b"rex-commit-key-v1";
+/// Domain-separation label for the genesis digest of a chain.
+const GENESIS_LABEL: &[u8] = b"rex-commit-genesis-v1";
+/// Domain-separation label for every chain link.
+const LINK_LABEL: &[u8] = b"rex-commit-link-v1";
+
+/// One epoch's commitment: the chained model digest plus the HMAC tag
+/// binding it to the producing node's identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EpochCommitment {
+    /// Chained SHA-256 digest over the node's model history up to and
+    /// including this epoch.
+    pub digest: [u8; 32],
+    /// `HMAC(k_node, digest ‖ epoch_le)` under the node's derived key.
+    pub tag: [u8; 32],
+}
+
+impl EpochCommitment {
+    /// Renders `digest:tag` as lowercase hex (64 + 1 + 64 chars), the
+    /// form the deployed node writes into its summary file.
+    #[must_use]
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(129);
+        for b in self.digest {
+            s.push_str(&format!("{b:02x}"));
+        }
+        s.push(':');
+        for b in self.tag {
+            s.push_str(&format!("{b:02x}"));
+        }
+        s
+    }
+
+    /// Parses the `digest:tag` hex form produced by
+    /// [`EpochCommitment::to_hex`].
+    pub fn from_hex(s: &str) -> Result<EpochCommitment, String> {
+        let (d, t) = s
+            .split_once(':')
+            .ok_or_else(|| format!("commitment `{s}`: expected digest:tag"))?;
+        Ok(EpochCommitment {
+            digest: hex32(d)?,
+            tag: hex32(t)?,
+        })
+    }
+}
+
+fn hex32(s: &str) -> Result<[u8; 32], String> {
+    if s.len() != 64 {
+        return Err(format!("hex field has {} chars, expected 64", s.len()));
+    }
+    let mut out = [0u8; 32];
+    for (i, chunk) in s.as_bytes().chunks_exact(2).enumerate() {
+        let hi = hex_val(chunk[0])?;
+        let lo = hex_val(chunk[1])?;
+        out[i] = (hi << 4) | lo;
+    }
+    Ok(out)
+}
+
+fn hex_val(c: u8) -> Result<u8, String> {
+    match c {
+        b'0'..=b'9' => Ok(c - b'0'),
+        b'a'..=b'f' => Ok(c - b'a' + 10),
+        b'A'..=b'F' => Ok(c - b'A' + 10),
+        other => Err(format!("invalid hex char {:?}", other as char)),
+    }
+}
+
+/// The per-node commitment chain. Deterministic in `(seed, id)`: a
+/// challenger reconstructs the same chain by replaying the node's epochs
+/// and advancing a fresh chain with the replayed model bytes.
+#[derive(Debug, Clone)]
+pub struct CommitmentChain {
+    key: [u8; 32],
+    digest: [u8; 32],
+}
+
+impl CommitmentChain {
+    /// Starts the chain for node `id` under the protocol `seed`, with
+    /// the domain-separated genesis digest and derived MAC key.
+    #[must_use]
+    pub fn new(seed: u64, id: usize) -> CommitmentChain {
+        CommitmentChain {
+            key: derive_key(seed, id),
+            digest: Sha256::digest_parts(&[
+                GENESIS_LABEL,
+                &seed.to_le_bytes(),
+                &(id as u64).to_le_bytes(),
+            ]),
+        }
+    }
+
+    /// Advances the chain over epoch `epoch`'s serialized post-epoch
+    /// model and returns the signed commitment.
+    pub fn advance(&mut self, epoch: usize, model_bytes: &[u8]) -> EpochCommitment {
+        let epoch_le = (epoch as u64).to_le_bytes();
+        self.digest = Sha256::digest_parts(&[LINK_LABEL, &self.digest, &epoch_le, model_bytes]);
+        EpochCommitment {
+            digest: self.digest,
+            tag: HmacSha256::mac(&self.key, &tag_message(&self.digest, epoch)),
+        }
+    }
+
+    /// Resumes node `id`'s chain at a known head digest. This is the
+    /// challenger-side primitive: once a prefix of a recorded chain is
+    /// verified, the audit can extend from its head (e.g. to re-derive
+    /// what a suspect's chain *would* look like had it trained a
+    /// different model from some epoch on) without replaying the prefix.
+    #[must_use]
+    pub fn resume(seed: u64, id: usize, head: [u8; 32]) -> CommitmentChain {
+        CommitmentChain {
+            key: derive_key(seed, id),
+            digest: head,
+        }
+    }
+
+    /// The current chain head.
+    #[must_use]
+    pub fn head(&self) -> [u8; 32] {
+        self.digest
+    }
+}
+
+/// Derives node `id`'s MAC key from the protocol seed (the simulated
+/// stand-in for an enclave session key).
+#[must_use]
+pub fn derive_key(seed: u64, id: usize) -> [u8; 32] {
+    Sha256::digest_parts(&[KEY_LABEL, &seed.to_le_bytes(), &(id as u64).to_le_bytes()])
+}
+
+/// Verifies that `commitment.tag` binds `commitment.digest` at `epoch`
+/// to node `id` under the protocol `seed` (constant-time compare).
+#[must_use]
+pub fn verify_tag(seed: u64, id: usize, epoch: usize, commitment: &EpochCommitment) -> bool {
+    HmacSha256::verify(
+        &derive_key(seed, id),
+        &tag_message(&commitment.digest, epoch),
+        &commitment.tag,
+    )
+}
+
+fn tag_message(digest: &[u8; 32], epoch: usize) -> [u8; 40] {
+    let mut msg = [0u8; 40];
+    msg[..32].copy_from_slice(digest);
+    msg[32..].copy_from_slice(&(epoch as u64).to_le_bytes());
+    msg
+}
+
+/// Folds one epoch's per-node commitments into the single aggregate the
+/// trace records (Hegemon-style: many per-node proofs, one checkable
+/// artifact). Order-sensitive — callers pass `(id, commitment)` in
+/// ascending node order, which every backend produces identically.
+#[must_use]
+pub fn aggregate_root(commitments: &[(usize, EpochCommitment)]) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(b"rex-commit-root-v1");
+    for (id, c) in commitments {
+        h.update(&(*id as u64).to_le_bytes());
+        h.update(&c.digest);
+        h.update(&c.tag);
+    }
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_is_deterministic_in_seed_and_id() {
+        let mut a = CommitmentChain::new(42, 3);
+        let mut b = CommitmentChain::new(42, 3);
+        for e in 0..4 {
+            let model = vec![e as u8; 64];
+            assert_eq!(a.advance(e, &model), b.advance(e, &model));
+        }
+        assert_eq!(a.head(), b.head());
+    }
+
+    #[test]
+    fn chain_separates_seed_id_epoch_and_payload() {
+        let base = CommitmentChain::new(42, 0).advance(0, b"model");
+        assert_ne!(CommitmentChain::new(43, 0).advance(0, b"model"), base);
+        assert_ne!(CommitmentChain::new(42, 1).advance(0, b"model"), base);
+        assert_ne!(CommitmentChain::new(42, 0).advance(1, b"model"), base);
+        assert_ne!(CommitmentChain::new(42, 0).advance(0, b"modeL"), base);
+    }
+
+    #[test]
+    fn chaining_binds_history() {
+        // Same epoch-1 payload, different epoch-0 payload: the epoch-1
+        // digests must differ — an early swap is never invisible later.
+        let mut a = CommitmentChain::new(7, 0);
+        let mut b = CommitmentChain::new(7, 0);
+        a.advance(0, b"alpha");
+        b.advance(0, b"beta");
+        assert_ne!(a.advance(1, b"same"), b.advance(1, b"same"));
+    }
+
+    #[test]
+    fn resumed_chain_continues_identically() {
+        let mut full = CommitmentChain::new(42, 3);
+        full.advance(0, b"m0");
+        full.advance(1, b"m1");
+        let mut resumed = CommitmentChain::resume(42, 3, full.head());
+        // The key still belongs to (seed, id): a resume under the wrong
+        // identity chains the same digests but signs different tags.
+        let mut wrong = CommitmentChain::resume(42, 4, full.head());
+        let honest = full.advance(2, b"m2");
+        assert_eq!(honest, resumed.advance(2, b"m2"));
+        let forged = wrong.advance(2, b"m2");
+        assert_eq!(honest.digest, forged.digest);
+        assert_ne!(honest.tag, forged.tag);
+    }
+
+    #[test]
+    fn tags_verify_and_reject_forgery() {
+        let mut chain = CommitmentChain::new(42, 5);
+        let c = chain.advance(0, b"model");
+        assert!(verify_tag(42, 5, 0, &c));
+        // Wrong node, wrong epoch, wrong seed: all rejected.
+        assert!(!verify_tag(42, 6, 0, &c));
+        assert!(!verify_tag(42, 5, 1, &c));
+        assert!(!verify_tag(41, 5, 0, &c));
+        // Tampered digest with the stale tag: rejected.
+        let mut forged = c;
+        forged.digest[0] ^= 1;
+        assert!(!verify_tag(42, 5, 0, &forged));
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let mut chain = CommitmentChain::new(1, 2);
+        let c = chain.advance(0, b"x");
+        let s = c.to_hex();
+        assert_eq!(s.len(), 129);
+        assert_eq!(EpochCommitment::from_hex(&s).unwrap(), c);
+        assert!(EpochCommitment::from_hex("nope").is_err());
+        assert!(EpochCommitment::from_hex("ab:cd").is_err());
+        let bad = s.replace(':', ";");
+        assert!(EpochCommitment::from_hex(&bad).is_err());
+    }
+
+    #[test]
+    fn aggregate_root_is_order_and_content_sensitive() {
+        let mut c0 = CommitmentChain::new(9, 0);
+        let mut c1 = CommitmentChain::new(9, 1);
+        let a = c0.advance(0, b"m0");
+        let b = c1.advance(0, b"m1");
+        let root = aggregate_root(&[(0, a), (1, b)]);
+        assert_ne!(root, aggregate_root(&[(1, b), (0, a)]));
+        assert_ne!(root, aggregate_root(&[(0, a)]));
+        assert_eq!(root, aggregate_root(&[(0, a), (1, b)]));
+    }
+}

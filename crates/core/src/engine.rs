@@ -958,6 +958,19 @@ fn aggregate_epoch(
         .fold(StageTimes::new(), |acc, r| acc.plus(&r.stage_times))
         .mean_over(n as u64);
     let mean_sgx = live.iter().map(|r| r.sgx_overhead_ns).sum::<u64>() / n as u64;
+    // The verifiable-epochs audit root: every live node's signed model
+    // commitment, folded in node order (the reports vector is indexed by
+    // node id, so the iteration order is canonical on every backend).
+    let commitments: Vec<(usize, crate::commitment::EpochCommitment)> = reports
+        .iter()
+        .enumerate()
+        .filter_map(|(id, r)| r.as_ref().map(|rep| (id, rep.commitment)))
+        .collect();
+    let commitment_root = if commitments.is_empty() {
+        [0; 32]
+    } else {
+        crate::commitment::aggregate_root(&commitments)
+    };
 
     EpochRecord {
         epoch,
@@ -969,5 +982,6 @@ fn aggregate_epoch(
         sgx_overhead_ns: mean_sgx,
         live_nodes: live.len(),
         delivery,
+        commitment_root,
     }
 }

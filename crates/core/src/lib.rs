@@ -37,6 +37,10 @@
 //!   joins with late attestation and sponsored raw-share bootstraps,
 //!   graceful leaves with live topology rewiring, all part of the
 //!   seeded scenario so churn replays bit-for-bit;
+//! * [`commitment`] — per-epoch signed model-digest commitments: every
+//!   node chains a SHA-256 digest over its epoch history and binds it to
+//!   its identity with an HMAC tag, making any epoch auditable by replay
+//!   (the `rex-node --challenge` workflow);
 //! * [`setup`] — the one TEE provisioning + pairwise-attestation path,
 //!   plus the [`setup::TeeDirectory`] late joins attest against;
 //! * [`runner::run`] — the single entry point over every deployment
@@ -68,6 +72,7 @@
 
 pub mod builder;
 pub mod centralized;
+pub mod commitment;
 pub mod config;
 pub mod engine;
 pub mod membership;
@@ -80,6 +85,7 @@ pub mod threaded;
 
 pub use builder::{build_dnn_nodes, build_mf_nodes, build_mf_nodes_sharded, NodeSeeds};
 pub use centralized::run_baseline;
+pub use commitment::{CommitmentChain, EpochCommitment};
 pub use config::{ExecutionMode, GossipAlgorithm, ProtocolConfig, SharingMode, WireCodec};
 pub use engine::{Driver, Engine, EngineConfig, EngineResult, TimeAxis};
 pub use membership::{JoinSpec, LeaveSpec, MembershipPlan, MembershipView, ViewTransition};

@@ -5,6 +5,7 @@
 //! Drivers (`runner`, `threaded`) own scheduling: they deliver each node's
 //! inbox, forward its outgoing messages, and assemble the global trace.
 
+use crate::commitment::{CommitmentChain, EpochCommitment};
 use crate::config::{GossipAlgorithm, ProtocolConfig, SharingMode, WireCodec};
 use crate::store::RawDataStore;
 use rand::rngs::StdRng;
@@ -48,6 +49,10 @@ pub struct EpochReport {
     pub bytes_out: u64,
     /// Bytes received this epoch.
     pub bytes_in: u64,
+    /// The node's signed commitment to its post-epoch model: the chained
+    /// digest over its epoch history plus the identity-binding HMAC tag
+    /// (see [`crate::commitment`]).
+    pub commitment: EpochCommitment,
 }
 
 /// The decode/encode reference of the sparse model-delta codec: a
@@ -76,6 +81,13 @@ pub struct Node<M: Model> {
     /// multi-user shard (width > 1). `None` runs the legacy per-user
     /// paths bit-for-bit — the `users_per_node = 1` determinism anchor.
     shard: Option<UserBlock>,
+    /// Chained model-digest commitment state, advanced once per executed
+    /// epoch over the serialized post-epoch model.
+    chain: CommitmentChain,
+    /// Epochs this node has executed (the chain's link counter — counts
+    /// *executed* epochs, so a late joiner's chain starts at its first
+    /// member epoch, identically on every backend).
+    epochs_run: usize,
 }
 
 /// Assembles a [`Node`]: the builder carries everything
@@ -158,6 +170,7 @@ impl<M: Model> NodeBuilder<M> {
             None => RawDataStore::with_initial(self.train),
         };
         Node {
+            chain: CommitmentChain::new(self.cfg.seed, self.id),
             id: self.id,
             neighbors: self.neighbors,
             model: self.model,
@@ -168,6 +181,7 @@ impl<M: Model> NodeBuilder<M> {
             tee: None,
             sparse,
             shard,
+            epochs_run: 0,
         }
     }
 }
@@ -640,6 +654,15 @@ impl<M: Model> Node<M> {
             .map(|t| t.enclave.take_meter().total_overhead_ns())
             .unwrap_or(0);
 
+        // ---- commit ----------------------------------------------------
+        // Chain the post-epoch model into the node's commitment history
+        // and sign it. Model bytes are bit-identical across backends, so
+        // the commitment is too; the challenger re-derives this exact
+        // chain by replay. Outside the staged timing: auditing overhead
+        // is not part of the paper's epoch cost model.
+        let commitment = self.chain.advance(self.epochs_run, &self.model.to_bytes());
+        self.epochs_run += 1;
+
         (
             outgoing,
             EpochReport {
@@ -650,6 +673,7 @@ impl<M: Model> Node<M> {
                 new_points,
                 bytes_out,
                 bytes_in,
+                commitment,
             },
         )
     }

@@ -66,6 +66,19 @@ impl Sha256 {
         h.finalize()
     }
 
+    /// One-shot digest of the concatenation of `parts` — the building
+    /// block of domain-separated chained hashes (epoch commitments): the
+    /// caller passes label, prior digest and payload as distinct slices
+    /// without allocating the concatenation.
+    #[must_use]
+    pub fn digest_parts(parts: &[&[u8]]) -> [u8; DIGEST_LEN] {
+        let mut h = Self::new();
+        for part in parts {
+            h.update(part);
+        }
+        h.finalize()
+    }
+
     /// Absorbs `data`.
     pub fn update(&mut self, mut data: &[u8]) {
         self.total_len = self.total_len.wrapping_add(data.len() as u64);
@@ -228,6 +241,14 @@ mod tests {
             h.update(&data[split..]);
             assert_eq!(h.finalize(), Sha256::digest(&data), "split at {split}");
         }
+    }
+
+    #[test]
+    fn digest_parts_matches_concatenation() {
+        let parts: [&[u8]; 3] = [b"rex-commit-v1", &42u64.to_le_bytes(), &[7u8; 100]];
+        let concat: Vec<u8> = parts.iter().flat_map(|p| p.iter().copied()).collect();
+        assert_eq!(Sha256::digest_parts(&parts), Sha256::digest(&concat));
+        assert_eq!(Sha256::digest_parts(&[]), Sha256::digest(b""));
     }
 
     #[test]

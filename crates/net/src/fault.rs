@@ -706,6 +706,17 @@ impl<E: Endpoint> Endpoint for FaultyEndpoint<E> {
         std::mem::take(&mut self.inj.delivery)
     }
 
+    fn send_commitment(&mut self, epoch: u64, digest: [u8; 32], tag: [u8; 32]) {
+        // Commitments are audit infrastructure, not protocol traffic:
+        // they pass through unfaulted (dropping one would fake
+        // misbehaviour where there is none), like membership admissions.
+        self.inner.send_commitment(epoch, digest, tag);
+    }
+
+    fn take_commitments(&mut self) -> Vec<crate::transport::PeerCommitment> {
+        self.inner.take_commitments()
+    }
+
     fn stats(&self) -> TrafficStats {
         self.inner.stats()
     }

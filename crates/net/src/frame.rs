@@ -2,7 +2,7 @@
 //!
 //! Every byte that crosses a [`crate::tcp`] socket travels inside one
 //! frame: a 9-byte header — kind tag, sender node id, body length, all
-//! little-endian — followed by the body. Three kinds exist:
+//! little-endian — followed by the body. The kinds:
 //!
 //! * [`Frame::Hello`] — sent once by the dialing side of each connection
 //!   so the accepting side learns which peer it is talking to;
@@ -11,7 +11,11 @@
 //!   [`crate::stats::TrafficStats`], which keeps byte counts bit-identical
 //!   with the in-memory backends;
 //! * [`Frame::Barrier`] — a round-barrier token with a generation number;
-//!   control plane, never accounted.
+//!   control plane, never accounted;
+//! * [`Frame::Join`] / [`Frame::Welcome`] — the online-join admission
+//!   handshake; control plane, never accounted;
+//! * [`Frame::Commitment`] — a per-epoch signed model-digest commitment
+//!   (fixed 72-byte body); control plane, never accounted.
 //!
 //! The codec is split into pure buffer functions ([`encode_frame`] /
 //! [`decode_frame`]) that the tests exercise exhaustively, and streaming
@@ -27,6 +31,11 @@ const KIND_DATA: u8 = 2;
 const KIND_BARRIER: u8 = 3;
 const KIND_JOIN: u8 = 4;
 const KIND_WELCOME: u8 = 5;
+const KIND_COMMITMENT: u8 = 6;
+
+/// Fixed body size of a [`Frame::Commitment`]: epoch (8) + digest (32) +
+/// tag (32).
+const COMMITMENT_BODY_LEN: usize = 72;
 
 /// Fixed header size: kind (1) + from (4) + body length (4).
 pub const HEADER_LEN: usize = 9;
@@ -83,6 +92,23 @@ pub enum Frame {
         epoch: u64,
         /// The admitting side's barrier generation at admission.
         generation: u64,
+    },
+    /// Per-epoch signed model-digest commitment (`rex-core`'s
+    /// commitment chain): the sender's chained SHA-256 digest after
+    /// `epoch`, bound to its identity by an HMAC tag. Ships alongside
+    /// the epoch's data frames so peers (and a later challenger) hold
+    /// the claims a replay is audited against. Control plane, never
+    /// accounted in payload traffic — byte counts stay bit-identical
+    /// with the in-memory backends.
+    Commitment {
+        /// Committing node's id.
+        from: usize,
+        /// The epoch the commitment covers.
+        epoch: u64,
+        /// Chained model digest after this epoch.
+        digest: [u8; 32],
+        /// HMAC tag binding the digest to the sender's identity.
+        tag: [u8; 32],
     },
 }
 
@@ -164,6 +190,18 @@ pub fn encode_frame_into(frame: &Frame, buf: &mut Vec<u8>) {
             buf.extend_from_slice(&header(KIND_WELCOME, *from, 16));
             buf.extend_from_slice(&epoch.to_le_bytes());
             buf.extend_from_slice(&generation.to_le_bytes());
+        }
+        Frame::Commitment {
+            from,
+            epoch,
+            digest,
+            tag,
+        } => {
+            buf.reserve(HEADER_LEN + COMMITMENT_BODY_LEN);
+            buf.extend_from_slice(&header(KIND_COMMITMENT, *from, COMMITMENT_BODY_LEN));
+            buf.extend_from_slice(&epoch.to_le_bytes());
+            buf.extend_from_slice(digest);
+            buf.extend_from_slice(tag);
         }
     }
 }
@@ -251,6 +289,26 @@ fn build_frame(kind: u8, from: usize, body: &[u8]) -> Result<Frame, FrameError> 
                 from,
                 epoch: u64::from_le_bytes(e),
                 generation: u64::from_le_bytes(g),
+            })
+        }
+        KIND_COMMITMENT => {
+            if body.len() != COMMITMENT_BODY_LEN {
+                return Err(FrameError::Invalid(format!(
+                    "commitment frame with {}-byte body",
+                    body.len()
+                )));
+            }
+            let mut e = [0u8; 8];
+            e.copy_from_slice(&body[..8]);
+            let mut digest = [0u8; 32];
+            digest.copy_from_slice(&body[8..40]);
+            let mut tag = [0u8; 32];
+            tag.copy_from_slice(&body[40..]);
+            Ok(Frame::Commitment {
+                from,
+                epoch: u64::from_le_bytes(e),
+                digest,
+                tag,
             })
         }
         other => Err(FrameError::Invalid(format!("unknown frame kind {other}"))),
@@ -423,6 +481,12 @@ mod tests {
                 epoch: 3,
                 generation: 6,
             },
+            Frame::Commitment {
+                from: 6,
+                epoch: 9,
+                digest: [0xAB; 32],
+                tag: [0xCD; 32],
+            },
         ] {
             let bytes = encode_frame(&frame);
             let (back, consumed) = decode_frame(&bytes).unwrap();
@@ -500,6 +564,10 @@ mod tests {
         let mut buf = header(KIND_WELCOME, 0, 8).to_vec();
         buf.extend_from_slice(&[0; 8]);
         assert!(decode_frame(&buf).is_err());
+        // Commitment with a truncated tag.
+        let mut buf = header(KIND_COMMITMENT, 0, 40).to_vec();
+        buf.extend_from_slice(&[0; 40]);
+        assert!(decode_frame(&buf).is_err());
     }
 
     #[test]
@@ -547,6 +615,12 @@ mod tests {
                 from: 1,
                 epoch: 3,
                 generation: 6,
+            },
+            Frame::Commitment {
+                from: 2,
+                epoch: 4,
+                digest: [0x11; 32],
+                tag: [0x22; 32],
             },
         ];
         // Staging all frames into one buffer is byte-for-byte the

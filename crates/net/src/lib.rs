@@ -55,4 +55,4 @@ pub use mem::{Envelope, MemNetwork};
 pub use message::{Payload, Plain};
 pub use stats::{DeliveryStats, TrafficStats};
 pub use tcp::TcpTransport;
-pub use transport::{Clock, Endpoint, Transport, TransportError, WallClock};
+pub use transport::{Clock, Endpoint, PeerCommitment, Transport, TransportError, WallClock};

@@ -55,8 +55,8 @@
 //! # Byte accounting
 //! [`TrafficStats`] record **payload bytes of data frames only**, at the
 //! frame layer: `bytes_out` when a data frame is staged, `bytes_in` when
-//! the poller delivers it. Hello/barrier control frames and the 9-byte
-//! frame headers are excluded, so counts are bit-identical with the
+//! the poller delivers it. Hello/barrier/commitment control frames and the
+//! 9-byte frame headers are excluded, so counts are bit-identical with the
 //! in-memory backends; the physical wire volume (headers + control
 //! plane) is tracked separately and exposed via
 //! [`TcpEndpoint::wire_traffic`], and the number of `write` syscalls the
@@ -67,7 +67,7 @@ use crate::frame::{encode_frame_into, read_frame, write_frame, Frame, FrameError
 use crate::mem::Envelope;
 use crate::reactor::{Reactor, ReactorSink};
 use crate::stats::TrafficStats;
-use crate::transport::{canonicalize, Endpoint, Transport, TransportError};
+use crate::transport::{canonicalize, Endpoint, PeerCommitment, Transport, TransportError};
 use std::collections::HashMap;
 use std::io::{self, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -169,6 +169,10 @@ struct Shared {
     queue_cv: Condvar,
     barriers: Mutex<BarrierState>,
     barrier_cv: Condvar,
+    /// Peer commitments delivered by the poller, in arrival order,
+    /// drained by [`Endpoint::take_commitments`]. Control plane — kept
+    /// out of the data mailbox so canonical inbox order is untouched.
+    commitments: Mutex<Vec<PeerCommitment>>,
     wire_bytes_in: AtomicU64,
 }
 
@@ -197,6 +201,20 @@ impl Shared {
                 // The connection is the identity; generations only grow.
                 state.gens[peer] = state.gens[peer].max(generation);
                 self.barrier_cv.notify_all();
+            }
+            Frame::Commitment {
+                epoch, digest, tag, ..
+            } => {
+                self.wire_bytes_in
+                    .fetch_add((HEADER_LEN + 72) as u64, Ordering::Relaxed);
+                // Connection-attributed like data frames: the frame's
+                // self-declared `from` cannot impersonate another peer.
+                lock(&self.commitments).push(PeerCommitment {
+                    from: peer,
+                    epoch,
+                    digest,
+                    tag,
+                });
             }
             // Hello/join/welcome frames are consumed during bootstrap or
             // admission; one arriving later is a protocol violation from
@@ -1108,6 +1126,27 @@ impl Endpoint for TcpEndpoint {
         self.evidence.remove(&peer)
     }
 
+    fn send_commitment(&mut self, epoch: u64, digest: [u8; 32], tag: [u8; 32]) {
+        // Staged like a barrier token: behind the epoch's data frames on
+        // every live connection, leaving with the same coalesced flush.
+        // Control plane — accounted in wire bytes only, never in payload
+        // stats.
+        let frame = Frame::Commitment {
+            from: self.id,
+            epoch,
+            digest,
+            tag,
+        };
+        for conn in self.conns.iter_mut().flatten() {
+            self.wire_bytes_out += (HEADER_LEN + 72) as u64;
+            conn.stage(&frame);
+        }
+    }
+
+    fn take_commitments(&mut self) -> Vec<PeerCommitment> {
+        std::mem::take(&mut *lock(&self.shared.commitments))
+    }
+
     fn stats(&self) -> TrafficStats {
         TcpEndpoint::stats(self)
     }
@@ -1612,6 +1651,47 @@ mod tests {
         assert_eq!(s1.msgs_out, 3); // + post-leave send
         assert_eq!(s2.msgs_out, 2);
         assert_eq!(s2.msgs_in, 3);
+    }
+
+    #[test]
+    fn commitments_travel_control_plane_and_drain() {
+        let net = TcpTransport::loopback(3).unwrap();
+        let mut eps = net.into_endpoints().unwrap();
+        let mut c = eps.pop().unwrap();
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        let payload_before = a.stats();
+        let (wire_before, _) = b.wire_traffic();
+
+        // Node 1 and node 2 commit and flush (barrier-free — a single
+        // thread cannot serve three barriers); node 0 drains both,
+        // connection-attributed, with payload stats untouched.
+        Endpoint::send_commitment(&mut b, 4, [0x11; 32], [0x22; 32]);
+        Endpoint::send_commitment(&mut c, 4, [0x33; 32], [0x44; 32]);
+        b.flush_sends().unwrap();
+        c.flush_sends().unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut got = Vec::new();
+        while got.len() < 2 && Instant::now() < deadline {
+            got.extend(Endpoint::take_commitments(&mut a));
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let mut senders: Vec<usize> = got.iter().map(|pc| pc.from).collect();
+        senders.sort_unstable();
+        assert_eq!(senders, vec![1, 2]);
+        let from1 = got.iter().find(|pc| pc.from == 1).unwrap();
+        assert_eq!(from1.epoch, 4);
+        assert_eq!(from1.digest, [0x11; 32]);
+        assert_eq!(from1.tag, [0x22; 32]);
+        assert!(
+            Endpoint::take_commitments(&mut a).is_empty(),
+            "drained on first take"
+        );
+
+        // Payload accounting unchanged; the wire carried the frames.
+        assert_eq!(a.stats(), payload_before);
+        let (wire_after, _) = b.wire_traffic();
+        assert!(wire_after >= wire_before + (HEADER_LEN as u64 + 72) * 2);
     }
 
     #[test]

@@ -107,6 +107,24 @@ impl From<std::io::Error> for TransportError {
     }
 }
 
+/// One peer's received per-epoch commitment — a decoded
+/// `Frame::Commitment`: the chained model digest the peer claims after
+/// `epoch`, with the HMAC tag binding it to the peer's identity.
+/// Collected by endpoints with a commitment channel (TCP) and drained
+/// through [`Endpoint::take_commitments`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeerCommitment {
+    /// The committing peer's node id (connection-attributed, like data
+    /// frames — a frame cannot re-attribute itself).
+    pub from: usize,
+    /// The epoch the commitment covers.
+    pub epoch: u64,
+    /// The peer's chained model digest after that epoch.
+    pub digest: [u8; 32],
+    /// HMAC tag binding the digest to the peer's identity.
+    pub tag: [u8; 32],
+}
+
 /// A message fabric connecting `n` nodes, viewed from a single owner.
 ///
 /// # Delivery contract
@@ -278,6 +296,22 @@ pub trait Endpoint: Send {
     /// Per-endpoint twin of [`Transport::epoch_begin`]: called by the
     /// node's own driver loop at the top of each epoch.
     fn epoch_begin(&mut self, _epoch: usize) {}
+
+    /// Broadcasts this node's signed commitment for `epoch` to every
+    /// connected peer, on the control plane (never accounted in payload
+    /// [`TrafficStats`], so byte counts stay bit-identical across
+    /// backends). Endpoints without a wire (in-memory fabrics, where the
+    /// engine reads commitments straight out of the epoch reports) keep
+    /// the default no-op.
+    fn send_commitment(&mut self, epoch: u64, digest: [u8; 32], tag: [u8; 32]) {
+        let _ = (epoch, digest, tag);
+    }
+
+    /// Drains the peer commitments received since the last call, in
+    /// arrival order. Default: no commitment channel, nothing to drain.
+    fn take_commitments(&mut self) -> Vec<PeerCommitment> {
+        Vec::new()
+    }
 
     /// Per-endpoint twin of [`Transport::take_delivery`]: drains this
     /// node's *outgoing* routing decisions since the last call.

@@ -52,8 +52,12 @@ pub enum NodeDriver {
 /// [sharding]
 /// users_per_node = 1024          # required; >= 1, and
 ///                                # users_per_node x nodes == num_users
-/// shard_strategy = "contiguous"  # or "round-robin" (default contiguous)
+/// shard_strategy = "contiguous"  # the only deployable strategy
 /// ```
+///
+/// `shard_strategy = "round-robin"` is rejected at parse time: striped
+/// shards have no strided row index, so the builder would silently fall
+/// back to the legacy grouping and ignore `users_per_node`.
 ///
 /// `users_per_node = 1` is the determinism escape hatch: width-1 shards
 /// normalize away at node construction, so the fleet is bit-identical to
@@ -64,6 +68,40 @@ pub struct ShardingConfig {
     pub users_per_node: u32,
     /// How user rows group into per-node shards.
     pub strategy: ShardStrategy,
+}
+
+/// Verifiable-epochs wire audit, from the optional `[audit]` section.
+///
+/// When present, every node signs a chained SHA-256 digest of its
+/// post-epoch model each epoch (see [`rex_core::commitment`]) and ships
+/// it to its connected peers as a `Commitment` control frame:
+///
+/// ```toml
+/// [audit]
+/// broadcast = true  # ship this node's signed commitments (default)
+/// verify = true     # HMAC-check every commitment received (default)
+/// ```
+///
+/// Commitments ride the control plane: they never count toward protocol
+/// payload traffic, so enabling the section does not perturb the
+/// cross-backend byte-identity contract. A commitment whose tag fails
+/// verification aborts the run with an error naming the sender — the
+/// operator then replays it offline with `rex-node --challenge`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuditConfig {
+    /// Ship this node's signed per-epoch commitments to its peers.
+    pub broadcast: bool,
+    /// HMAC-verify every commitment received from a peer.
+    pub verify: bool,
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        AuditConfig {
+            broadcast: true,
+            verify: true,
+        }
+    }
 }
 
 /// Everything a deployed node needs to know about its cluster.
@@ -145,6 +183,10 @@ pub struct ClusterConfig {
     /// (see [`ShardingConfig`]). `None` when the section is absent: the
     /// legacy multi-user grouping, exactly as before sharding existed.
     pub sharding: Option<ShardingConfig>,
+    /// Verifiable-epochs wire audit, from the optional `[audit]`
+    /// section (see [`AuditConfig`]). `None` when the section is
+    /// absent: no commitment traffic, the pre-audit wire behaviour.
+    pub audit: Option<AuditConfig>,
     /// Epoch scheduling of the deployed loop (`driver = "lockstep"` —
     /// the default — or `"bounded-async"` with `staleness_k`).
     /// Bounded-async requires `algorithm = "dpsgd"` (every neighbour
@@ -179,6 +221,7 @@ impl Default for ClusterConfig {
             faults: None,
             membership: None,
             sharding: None,
+            audit: None,
             driver: NodeDriver::Lockstep,
         }
     }
@@ -268,7 +311,7 @@ fn parse_map(text: &str) -> Result<(HashMap<String, Value>, Vec<String>), String
                 .strip_suffix(']')
                 .ok_or_else(|| format!("line {}: unterminated section header", lineno + 1))?
                 .trim();
-            if name != "faults" && name != "membership" && name != "sharding" {
+            if name != "faults" && name != "membership" && name != "sharding" && name != "audit" {
                 return Err(format!("line {}: unknown section [{name}]", lineno + 1));
             }
             prefix = format!("{name}.");
@@ -485,7 +528,19 @@ fn parse_sharding(
     }
     let strategy = match get_str(map, "sharding.shard_strategy", "contiguous")?.as_str() {
         "contiguous" => ShardStrategy::Contiguous,
-        "round-robin" => ShardStrategy::RoundRobin,
+        // Striped shards have no strided row index: the node builder
+        // would quietly ignore users_per_node and build the legacy
+        // grouping. Refuse here instead of deploying something other
+        // than what the operator asked for.
+        "round-robin" => {
+            return Err(
+                "sharding.shard_strategy: \"round-robin\" is not deployable — striped \
+                 shards have no row index, so the builder would silently fall back to \
+                 the legacy per-user grouping and ignore users_per_node; use \
+                 \"contiguous\", or drop the [sharding] section for the legacy grouping"
+                    .to_string(),
+            )
+        }
         other => return Err(format!("sharding.shard_strategy: unknown strategy {other}")),
     };
     Ok(ShardingConfig {
@@ -504,6 +559,24 @@ fn sharding_to_toml(cfg: &ShardingConfig) -> String {
     format!(
         "\n[sharding]\nusers_per_node = {}\nshard_strategy = \"{strategy}\"\n",
         cfg.users_per_node,
+    )
+}
+
+/// Assembles the `[audit]` section into an [`AuditConfig`].
+fn parse_audit(map: &HashMap<String, Value>) -> Result<AuditConfig, String> {
+    let d = AuditConfig::default();
+    Ok(AuditConfig {
+        broadcast: get_bool(map, "audit.broadcast", d.broadcast)?,
+        verify: get_bool(map, "audit.verify", d.verify)?,
+    })
+}
+
+/// Serializes an [`AuditConfig`] as the `[audit]` section
+/// [`parse_audit`] reads back.
+fn audit_to_toml(cfg: &AuditConfig) -> String {
+    format!(
+        "\n[audit]\nbroadcast = {}\nverify = {}\n",
+        cfg.broadcast, cfg.verify,
     )
 }
 
@@ -693,6 +766,11 @@ impl ClusterConfig {
         } else {
             None
         };
+        let audit = if sections.iter().any(|s| s == "audit") {
+            Some(parse_audit(&map)?)
+        } else {
+            None
+        };
         Ok(ClusterConfig {
             nodes,
             epochs: get_int(&map, "epochs", d.epochs as u64)?,
@@ -719,6 +797,7 @@ impl ClusterConfig {
             faults,
             membership,
             sharding,
+            audit,
             driver,
         })
     }
@@ -752,6 +831,7 @@ impl ClusterConfig {
             .as_ref()
             .map(sharding_to_toml)
             .unwrap_or_default();
+        let audit = self.audit.as_ref().map(audit_to_toml).unwrap_or_default();
         let codec = match self.codec {
             WireCodec::Dense => "codec = \"dense\"".to_string(),
             WireCodec::Sparse { max_density } => {
@@ -784,7 +864,7 @@ impl ClusterConfig {
              sgx = {}\n\
              processes_per_platform = {}\n\
              infra_seed = {}\n\
-             {driver}\n{faults}{membership}{sharding}",
+             {driver}\n{faults}{membership}{sharding}{audit}",
             addrs.join(", "),
             self.epochs,
             self.topology_seed,
@@ -1106,24 +1186,89 @@ mod tests {
 
     #[test]
     fn sharding_section_roundtrips() {
-        for strategy in [ShardStrategy::Contiguous, ShardStrategy::RoundRobin] {
-            let cfg = ClusterConfig {
-                num_users: 24, // 2 nodes x 12 users/node (sample() has 2 nodes)
-                sharding: Some(ShardingConfig {
-                    users_per_node: 12,
-                    strategy,
-                }),
-                ..sample()
-            };
-            let text = cfg.to_toml();
-            assert!(text.contains("[sharding]"), "{text}");
-            assert!(text.contains("users_per_node = 12"), "{text}");
-            let parsed = ClusterConfig::parse(&text).unwrap();
-            assert_eq!(parsed, cfg);
-        }
+        let cfg = ClusterConfig {
+            num_users: 24, // 2 nodes x 12 users/node (sample() has 2 nodes)
+            sharding: Some(ShardingConfig {
+                users_per_node: 12,
+                strategy: ShardStrategy::Contiguous,
+            }),
+            ..sample()
+        };
+        let text = cfg.to_toml();
+        assert!(text.contains("[sharding]"), "{text}");
+        assert!(text.contains("users_per_node = 12"), "{text}");
+        let parsed = ClusterConfig::parse(&text).unwrap();
+        assert_eq!(parsed, cfg);
         // No section at all means None: the legacy grouping.
         let cfg = ClusterConfig::parse("nodes = [\"127.0.0.1:1\"]\n").unwrap();
         assert_eq!(cfg.sharding, None);
+    }
+
+    #[test]
+    fn round_robin_sharding_is_rejected_not_silently_ignored() {
+        // The pinned contract: "round-robin" has no strided row index,
+        // so the config layer refuses it with a clear error instead of
+        // letting the builder quietly ignore users_per_node.
+        let err = ClusterConfig::parse(
+            "nodes = [\"127.0.0.1:1\", \"127.0.0.1:2\"]\n\
+             [sharding]\nusers_per_node = 12\nshard_strategy = \"round-robin\"\n",
+        )
+        .unwrap_err();
+        assert!(err.contains("round-robin"), "got: {err}");
+        assert!(err.contains("contiguous"), "error must name the fix: {err}");
+        // A programmatically built round-robin config serializes but no
+        // longer survives the roundtrip — it is not a deployable state.
+        let cfg = ClusterConfig {
+            num_users: 24,
+            sharding: Some(ShardingConfig {
+                users_per_node: 12,
+                strategy: ShardStrategy::RoundRobin,
+            }),
+            ..sample()
+        };
+        assert!(ClusterConfig::parse(&cfg.to_toml()).is_err());
+    }
+
+    #[test]
+    fn audit_section_parses_roundtrips_and_defaults() {
+        // No section at all means None: no commitment traffic.
+        let cfg = ClusterConfig::parse("nodes = [\"127.0.0.1:1\"]\n").unwrap();
+        assert_eq!(cfg.audit, None);
+        // An empty section enables the audit with both knobs on.
+        let cfg = ClusterConfig::parse("nodes = [\"127.0.0.1:1\"]\n[audit]\n").unwrap();
+        assert_eq!(cfg.audit, Some(AuditConfig::default()));
+        assert!(cfg.audit.unwrap().broadcast && cfg.audit.unwrap().verify);
+        // Explicit knobs parse.
+        let cfg = ClusterConfig::parse(
+            "nodes = [\"127.0.0.1:1\"]\n[audit]\nbroadcast = true\nverify = false\n",
+        )
+        .unwrap();
+        assert_eq!(
+            cfg.audit,
+            Some(AuditConfig {
+                broadcast: true,
+                verify: false,
+            })
+        );
+        // The section survives the TOML roundtrip.
+        let cfg = ClusterConfig {
+            audit: Some(AuditConfig {
+                broadcast: false,
+                verify: true,
+            }),
+            ..sample()
+        };
+        let text = cfg.to_toml();
+        assert!(text.contains("[audit]"), "{text}");
+        assert_eq!(ClusterConfig::parse(&text).unwrap(), cfg);
+        // Wrong types refused.
+        for bad in ["broadcast = 7\n", "verify = \"yes\"\n"] {
+            assert!(
+                ClusterConfig::parse(&format!("nodes = [\"127.0.0.1:1\"]\n[audit]\n{bad}"))
+                    .is_err(),
+                "accepted {bad:?}"
+            );
+        }
     }
 
     #[test]

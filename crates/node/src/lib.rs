@@ -21,12 +21,15 @@
 //! accounted from that replay and added to the wire stats, keeping
 //! reported totals comparable with in-process SGX runs.
 
+pub mod challenge;
 pub mod config;
 pub mod launcher;
 
-pub use config::{ClusterConfig, NodeDriver, ShardingConfig};
+pub use challenge::{challenge_node, ChallengeVerdict};
+pub use config::{AuditConfig, ClusterConfig, NodeDriver, ShardingConfig};
 
 use rex_core::builder::{build_mf_nodes, build_mf_nodes_sharded, NodeSeeds};
+use rex_core::commitment::{verify_tag, EpochCommitment};
 use rex_core::membership::{MembershipView, ViewTransition};
 use rex_core::setup::{establish_tee_with_directory, overlay_of, prune_to_overlay, TeeDirectory};
 use rex_core::Node;
@@ -85,6 +88,12 @@ pub fn build_fleet_and_view(cfg: &ClusterConfig) -> (Vec<Node<MfModel>>, Option<
 /// derives its own [`MembershipView`] from
 /// [`rex_core::engine::EngineConfig::membership`] and must see the
 /// latent edges to strip them itself.
+///
+/// # Panics
+/// On a round-robin [`ShardingConfig`]: striped shards have no strided
+/// row index, and [`ClusterConfig::parse`] rejects the combination — a
+/// programmatically built one must fail loudly too, not silently build
+/// the legacy grouping it used to.
 #[must_use]
 pub fn build_fleet(cfg: &ClusterConfig) -> Vec<Node<MfModel>> {
     let n = cfg.num_nodes();
@@ -120,14 +129,18 @@ pub fn build_fleet(cfg: &ClusterConfig) -> Vec<Node<MfModel>> {
                 NodeSeeds::default(),
             )
         }
-        // Round-robin striping is exactly the legacy multi-user grouping
-        // (user u on node u % n), kept as the non-contiguous reference
-        // arm: no row blocks, no shard index, legacy train path.
+        // Round-robin striping has no strided row index: the old code
+        // silently built the legacy grouping here, ignoring
+        // users_per_node. The config layer rejects the combination;
+        // refuse programmatic construction just as loudly.
         Some(ShardingConfig {
             strategy: ShardStrategy::RoundRobin,
             ..
-        })
-        | None => {
+        }) => panic!(
+            "round-robin sharding is not buildable (no strided row index); \
+             use Contiguous, or no [sharding] for the legacy grouping"
+        ),
+        None => {
             let partition = Partition::multi_user(&split, n);
             build_mf_nodes(
                 &partition,
@@ -167,6 +180,10 @@ pub struct NodeSummary {
     pub stats: TrafficStats,
     /// Raw-data store size after the run.
     pub store_len: usize,
+    /// Per-epoch signed model-digest commitments (`None` for epochs the
+    /// node sat out: before a join, after a leave, crash windows). The
+    /// recorded trace `rex-node --challenge` replays against.
+    pub commitments: Vec<Option<EpochCommitment>>,
 }
 
 impl NodeSummary {
@@ -178,8 +195,16 @@ impl NodeSummary {
             None => "none".to_string(),
         };
         let trace: Vec<String> = self.rmse_trace_bits.iter().map(fmt_rmse).collect();
+        let commitments: Vec<String> = self
+            .commitments
+            .iter()
+            .map(|c| match c {
+                Some(c) => c.to_hex(),
+                None => "none".to_string(),
+            })
+            .collect();
         format!(
-            "id = {}\nepochs = {}\nfinal_rmse = {}\nrmse_trace = {}\nbytes_out = {}\nbytes_in = {}\nmsgs_out = {}\nmsgs_in = {}\nstore_len = {}\n",
+            "id = {}\nepochs = {}\nfinal_rmse = {}\nrmse_trace = {}\nbytes_out = {}\nbytes_in = {}\nmsgs_out = {}\nmsgs_in = {}\nstore_len = {}\ncommitments = {}\n",
             self.id,
             self.epochs,
             fmt_rmse(&self.final_rmse_bits),
@@ -189,6 +214,7 @@ impl NodeSummary {
             self.stats.msgs_out,
             self.stats.msgs_in,
             self.store_len,
+            commitments.join(","),
         )
     }
 
@@ -229,6 +255,18 @@ impl NodeSummary {
                 .map(rmse)
                 .collect::<Result<Vec<_>, _>>()?
         };
+        // Absent in summaries recorded before verifiable epochs existed:
+        // parse those as "no commitment log" rather than failing.
+        let commitments = match fields.get("commitments").filter(|raw| !raw.is_empty()) {
+            None => Vec::new(),
+            Some(raw) => raw
+                .split(',')
+                .map(|piece| match piece {
+                    "none" => Ok(None),
+                    hex => EpochCommitment::from_hex(hex).map(Some),
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        };
         Ok(NodeSummary {
             id: int("id")? as usize,
             epochs: int("epochs")? as usize,
@@ -241,6 +279,7 @@ impl NodeSummary {
                 msgs_in: int("msgs_in")?,
             },
             store_len: int("store_len")? as usize,
+            commitments,
         })
     }
 }
@@ -382,6 +421,72 @@ fn apply_node_transition<E: Endpoint>(
     Ok(())
 }
 
+/// One epoch's outcome in the deployed loop: the local RMSE (as IEEE-754
+/// bits; `None` when the node holds no test ratings or sat the epoch
+/// out) and the signed model-digest commitment (`None` only when the
+/// epoch did not execute — down, non-member, or departed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EpochOutcome {
+    /// Local RMSE bits for the epoch.
+    pub rmse_bits: Option<u64>,
+    /// The epoch's chained commitment.
+    pub commitment: Option<EpochCommitment>,
+}
+
+/// Wire-audit posture of a deployed loop, assembled from the config's
+/// `[audit]` section plus the protocol seed the commitment keys derive
+/// from ([`rex_core::commitment::derive_key`]).
+#[derive(Debug, Clone, Copy)]
+pub struct WireAudit {
+    /// Ship this node's signed commitments to its connected peers.
+    pub broadcast: bool,
+    /// HMAC-verify every commitment received from a peer.
+    pub verify: bool,
+    /// The cluster's shared protocol seed.
+    pub seed: u64,
+}
+
+impl WireAudit {
+    /// The audit posture a config asks for (`None` when it has no
+    /// `[audit]` section).
+    #[must_use]
+    pub fn from_config(cfg: &ClusterConfig) -> Option<WireAudit> {
+        cfg.audit.map(|a| WireAudit {
+            broadcast: a.broadcast,
+            verify: a.verify,
+            seed: cfg.protocol_seed,
+        })
+    }
+}
+
+/// Drains the commitments the endpoint collected and, when the audit
+/// posture asks for it, HMAC-checks each against the sender's derived
+/// key. A bad tag is a protocol violation worth stopping the run for:
+/// either the frame was forged or the peer's key material diverged.
+fn drain_peer_commitments<E: Endpoint>(
+    id: usize,
+    audit: &WireAudit,
+    endpoint: &mut E,
+) -> Result<(), String> {
+    for pc in endpoint.take_commitments() {
+        if !audit.verify {
+            continue;
+        }
+        let commitment = EpochCommitment {
+            digest: pc.digest,
+            tag: pc.tag,
+        };
+        if !verify_tag(audit.seed, pc.from, pc.epoch as usize, &commitment) {
+            return Err(format!(
+                "node {id}: commitment from node {} at epoch {} failed HMAC \
+                 verification — replay it with `rex-node --challenge {}`",
+                pc.from, pc.epoch, pc.from
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// The deployed per-node epoch loop: view transition (when the epoch
 /// opens one), drain, wire barrier, train, send, wire barrier — the
 /// transport-level shape of the engine's round loop, with
@@ -394,15 +499,21 @@ fn apply_node_transition<E: Endpoint>(
 /// before any of that epoch's barriers — its peers retire it at the
 /// same schedule point.
 ///
-/// Runs epochs `start_epoch..epochs` and returns the per-epoch local
-/// RMSE trace over exactly that range, ending early at a graceful
-/// leave (`None` entries for down / non-member epochs). Calls
-/// `progress` after each epoch with `(epoch, rmse)`.
+/// Runs epochs `start_epoch..epochs` and returns the per-epoch
+/// [`EpochOutcome`] trace over exactly that range, ending early at a
+/// graceful leave (default entries for down / non-member epochs). When
+/// `audit` asks for it, each executed epoch's signed commitment is
+/// broadcast as a control frame (keyed by the node's *chain index* —
+/// its executed-epoch count, which is what the HMAC tag binds) and
+/// every commitment received from a peer is drained and verified after
+/// the round barrier. Calls `progress` after each epoch with
+/// `(epoch, rmse)`.
 ///
 /// # Errors
 /// When the transport surfaces a peer failure
-/// ([`rex_net::transport::TransportError`]) or SGX admission fails —
-/// the deployed binary exits cleanly instead of panicking.
+/// ([`rex_net::transport::TransportError`]), SGX admission fails, or a
+/// peer's commitment fails HMAC verification — the deployed binary
+/// exits cleanly instead of panicking.
 #[allow(clippy::too_many_arguments)]
 pub fn run_node_loop<E: Endpoint>(
     node: &mut Node<MfModel>,
@@ -412,9 +523,13 @@ pub fn run_node_loop<E: Endpoint>(
     faults: Option<&FaultPlan>,
     mut view: Option<&mut MembershipView>,
     tee: Option<&TeeDirectory>,
+    audit: Option<WireAudit>,
     mut progress: impl FnMut(usize, Option<f64>),
-) -> Result<Vec<Option<u64>>, String> {
+) -> Result<Vec<EpochOutcome>, String> {
     let id = node.id();
+    // Mirrors the node's internal chain index: node.epoch() is called
+    // exactly once per executed epoch, and only from this loop.
+    let mut executed: u64 = 0;
     fn barrier_err(
         id: usize,
         what: &'static str,
@@ -453,7 +568,12 @@ pub fn run_node_loop<E: Endpoint>(
                 endpoint
                     .try_sync()
                     .map_err(barrier_err(id, "round barrier", epoch))?;
-                trace.push(None);
+                // Members broadcast while we serve barriers: drain (and
+                // check) their commitments so the buffer stays bounded.
+                if let Some(a) = &audit {
+                    drain_peer_commitments(id, a, endpoint)?;
+                }
+                trace.push(EpochOutcome::default());
                 progress(epoch, None);
                 continue;
             }
@@ -469,22 +589,35 @@ pub fn run_node_loop<E: Endpoint>(
         endpoint
             .try_drain_barrier()
             .map_err(barrier_err(id, "drain barrier", epoch))?;
-        let rmse = if down {
+        let (rmse, commitment) = if down {
             drop(inbox);
-            None
+            (None, None)
         } else {
             let (outgoing, report) = node.epoch(inbox);
             for (dest, bytes) in outgoing {
                 endpoint.send(dest, bytes);
             }
-            report.rmse
+            // The commitment rides the control plane alongside this
+            // epoch's shares; per-link FIFO means it lands before the
+            // peers' round barrier completes.
+            if audit.is_some_and(|a| a.broadcast) {
+                endpoint.send_commitment(executed, report.commitment.digest, report.commitment.tag);
+            }
+            executed += 1;
+            (report.rmse, Some(report.commitment))
         };
         // All of this epoch's sends are delivered before anyone drains
         // the next inbox (the engine's second barrier).
         endpoint
             .try_sync()
             .map_err(barrier_err(id, "round barrier", epoch))?;
-        trace.push(rmse.map(f64::to_bits));
+        if let Some(a) = &audit {
+            drain_peer_commitments(id, a, endpoint)?;
+        }
+        trace.push(EpochOutcome {
+            rmse_bits: rmse.map(f64::to_bits),
+            commitment,
+        });
         progress(epoch, rmse);
     }
     Ok(trace)
@@ -523,14 +656,19 @@ pub const ASYNC_EPOCH_TIMEOUT: Duration = Duration::from_secs(120);
 ///
 /// # Errors
 /// When an epoch's share floor does not arrive within
-/// [`ASYNC_EPOCH_TIMEOUT`] or the transport fails a flush.
+/// [`ASYNC_EPOCH_TIMEOUT`], the transport fails a flush, or a peer's
+/// commitment fails HMAC verification. Commitments are broadcast and
+/// checked exactly as in [`run_node_loop`] — there is no barrier here,
+/// so a peer's commitment may be drained an epoch late, but each frame
+/// verifies statelessly against its own chain index.
 pub fn run_node_loop_async<E: Endpoint>(
     node: &mut Node<MfModel>,
     endpoint: &mut E,
     epochs: usize,
     k: usize,
+    audit: Option<WireAudit>,
     mut progress: impl FnMut(usize, Option<f64>),
-) -> Result<Vec<Option<u64>>, String> {
+) -> Result<Vec<EpochOutcome>, String> {
     let id = node.id();
     let neighbors: Vec<usize> = node.neighbors().to_vec();
     let width = neighbors.iter().copied().max().map_or(0, |m| m + 1);
@@ -586,12 +724,27 @@ pub fn run_node_loop_async<E: Endpoint>(
         for (dest, bytes) in outgoing {
             endpoint.send(dest, bytes);
         }
+        // Every epoch executes under this driver, so the chain index is
+        // the epoch itself.
+        if audit.is_some_and(|a| a.broadcast) {
+            endpoint.send_commitment(
+                epoch as u64,
+                report.commitment.digest,
+                report.commitment.tag,
+            );
+        }
         // Push the staged frames onto the wire without waiting for
         // anyone: flush is the only synchronous part of the round.
         endpoint
             .flush_sends()
             .map_err(|e| format!("node {id}: flush at epoch {epoch}: {e}"))?;
-        trace.push(report.rmse.map(f64::to_bits));
+        if let Some(a) = &audit {
+            drain_peer_commitments(id, a, endpoint)?;
+        }
+        trace.push(EpochOutcome {
+            rmse_bits: report.rmse.map(f64::to_bits),
+            commitment: Some(report.commitment),
+        });
         progress(epoch, report.rmse);
     }
     Ok(trace)
@@ -658,7 +811,7 @@ fn run_node_connected(
     let mut node = fleet
         .into_iter()
         .nth(id)
-        .expect("fleet covers every node id");
+        .ok_or_else(|| format!("node {id}: the built fleet of {n} does not cover this id"))?;
 
     let (endpoint, start_epoch) = match join_epoch_of(cfg, id) {
         None => {
@@ -674,7 +827,15 @@ fn run_node_connected(
             (endpoint, 0)
         }
         Some(k) => {
-            let plan = cfg.membership.as_ref().expect("join implies a schedule");
+            // join_epoch_of only returns Some when the section exists,
+            // but a panic here would take down a deployed process —
+            // surface a config error instead.
+            let Some(plan) = cfg.membership.as_ref() else {
+                return Err(format!(
+                    "node {id}: scheduled as a joiner but the config has no \
+                     [membership] section"
+                ));
+            };
             if k >= cfg.epochs {
                 return Err(format!(
                     "node {id} joins at epoch {k}, but the run has only {} epochs",
@@ -724,6 +885,7 @@ fn run_node_connected(
     // in-process backends: every process makes the same per-link hash
     // decisions from the shared plan, so the cluster replays the same
     // schedule bit-for-bit.
+    let audit = WireAudit::from_config(cfg);
     let (loop_trace, stats) = match cfg.faults.clone() {
         Some(plan) => {
             let mut endpoint = FaultyEndpoint::new(endpoint, plan);
@@ -735,6 +897,7 @@ fn run_node_connected(
                 cfg.faults.as_ref(),
                 view.as_deref_mut(),
                 tee,
+                audit,
                 &mut *progress,
             )?;
             (trace, endpoint.stats())
@@ -750,23 +913,34 @@ fn run_node_connected(
                     None,
                     view,
                     tee,
+                    audit,
                     &mut *progress,
                 )?,
                 // Config validation pins bounded-async to fault-free,
                 // churn-free D-PSGD, so `start_epoch` is always 0 here.
-                NodeDriver::BoundedAsync { k } => {
-                    run_node_loop_async(&mut node, &mut endpoint, cfg.epochs, k, &mut *progress)?
-                }
+                NodeDriver::BoundedAsync { k } => run_node_loop_async(
+                    &mut node,
+                    &mut endpoint,
+                    cfg.epochs,
+                    k,
+                    audit,
+                    &mut *progress,
+                )?,
             };
             (trace, endpoint.stats())
         }
     };
 
-    // Pad the trace to the run's full span: `None` before a join and
+    // Pad the traces to the run's full span: `None` before a join and
     // after a graceful leave.
     let mut rmse_trace_bits = vec![None; start_epoch];
-    rmse_trace_bits.extend(loop_trace);
+    let mut commitments = vec![None; start_epoch];
+    for outcome in loop_trace {
+        rmse_trace_bits.push(outcome.rmse_bits);
+        commitments.push(outcome.commitment);
+    }
     rmse_trace_bits.resize(cfg.epochs, None);
+    commitments.resize(cfg.epochs, None);
 
     Ok(NodeSummary {
         id,
@@ -775,6 +949,7 @@ fn run_node_connected(
         rmse_trace_bits,
         stats: add_stats(stats, setup_stats[id]),
         store_len: node.store().len(),
+        commitments,
     })
 }
 
@@ -797,9 +972,10 @@ pub fn run_cluster_in_process(cfg: &ClusterConfig) -> Result<Vec<NodeSummary>, S
     let fabric = TcpTransport::loopback(n).map_err(|e| format!("loopback fabric: {e}"))?;
     let endpoints = fabric
         .into_endpoints()
-        .expect("tcp fabric splits into endpoints");
+        .ok_or_else(|| "tcp fabric did not split into endpoints".to_string())?;
     let epochs = cfg.epochs;
 
+    let audit = WireAudit::from_config(cfg);
     let faults = cfg.faults.clone();
     let driver = cfg.driver;
     let dir = dir.as_ref();
@@ -822,6 +998,7 @@ pub fn run_cluster_in_process(cfg: &ClusterConfig) -> Result<Vec<NodeSummary>, S
                                 Some(&plan),
                                 view.as_mut(),
                                 dir,
+                                audit,
                                 |_, _| {},
                             );
                             trace.map(|t| (endpoint.stats(), t))
@@ -837,6 +1014,7 @@ pub fn run_cluster_in_process(cfg: &ClusterConfig) -> Result<Vec<NodeSummary>, S
                                     None,
                                     view.as_mut(),
                                     dir,
+                                    audit,
                                     |_, _| {},
                                 ),
                                 NodeDriver::BoundedAsync { k } => run_node_loop_async(
@@ -844,6 +1022,7 @@ pub fn run_cluster_in_process(cfg: &ClusterConfig) -> Result<Vec<NodeSummary>, S
                                     &mut endpoint,
                                     epochs,
                                     k,
+                                    audit,
                                     |_, _| {},
                                 ),
                             };
@@ -869,8 +1048,12 @@ pub fn run_cluster_in_process(cfg: &ClusterConfig) -> Result<Vec<NodeSummary>, S
     let mut summaries = Vec::with_capacity(n);
     for (id, outcome) in handles.into_iter().enumerate() {
         let (node, stats, loop_trace) = outcome?;
-        let mut rmse_trace_bits = loop_trace;
+        let mut rmse_trace_bits: Vec<Option<u64>> =
+            loop_trace.iter().map(|o| o.rmse_bits).collect();
+        let mut commitments: Vec<Option<EpochCommitment>> =
+            loop_trace.iter().map(|o| o.commitment).collect();
         rmse_trace_bits.resize(epochs, None);
+        commitments.resize(epochs, None);
         summaries.push(NodeSummary {
             id,
             epochs,
@@ -878,6 +1061,7 @@ pub fn run_cluster_in_process(cfg: &ClusterConfig) -> Result<Vec<NodeSummary>, S
             rmse_trace_bits,
             stats: add_stats(stats, setup_stats[id]),
             store_len: node.store().len(),
+            commitments,
         });
     }
     Ok(summaries)
@@ -903,6 +1087,7 @@ mod tests {
 
     #[test]
     fn summary_text_roundtrip() {
+        let mut chain = rex_core::CommitmentChain::new(17, 3);
         let summary = NodeSummary {
             id: 3,
             epochs: 2,
@@ -915,9 +1100,26 @@ mod tests {
                 msgs_in: 2,
             },
             store_len: 7,
+            commitments: vec![None, Some(chain.advance(0, b"model"))],
         };
         assert_eq!(NodeSummary::parse(&summary.to_text()).unwrap(), summary);
         assert!(NodeSummary::parse("id = 1").is_err());
+        // Summaries recorded before verifiable epochs parse with an
+        // empty commitment log.
+        let legacy = NodeSummary {
+            commitments: Vec::new(),
+            ..summary.clone()
+        };
+        let text = legacy
+            .to_text()
+            .lines()
+            .filter(|l| !l.starts_with("commitments"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert_eq!(NodeSummary::parse(&text).unwrap(), legacy);
+        // A corrupted commitment line is an error, not a silent skip.
+        let bad = summary.to_text().replace(':', ";");
+        assert!(NodeSummary::parse(&bad).is_err());
     }
 
     #[test]
@@ -940,19 +1142,19 @@ mod tests {
     }
 
     #[test]
-    fn round_robin_sharding_is_the_legacy_grouping() {
-        let sharded = build_fleet(&ClusterConfig {
+    #[should_panic(expected = "round-robin sharding is not buildable")]
+    fn round_robin_sharding_panics_instead_of_silently_degrading() {
+        // The config layer rejects round-robin at parse time; a
+        // programmatically built config must fail just as loudly
+        // instead of building the legacy grouping and ignoring
+        // users_per_node, as it silently did before.
+        let _ = build_fleet(&ClusterConfig {
             sharding: Some(ShardingConfig {
                 users_per_node: 4,
                 strategy: ShardStrategy::RoundRobin,
             }),
             ..tiny_cfg(4)
         });
-        let legacy = build_fleet(&tiny_cfg(4));
-        for (s, l) in sharded.iter().zip(&legacy) {
-            assert_eq!(s.shard_block(), None);
-            assert_eq!(s.store().ratings(), l.store().ratings());
-        }
     }
 
     #[test]
@@ -1049,6 +1251,41 @@ mod tests {
             assert!(summary.rmse_trace_bits.iter().all(Option::is_some));
             assert_eq!(summary.stats.msgs_out, 2 * 3);
             assert!(summary.final_rmse_bits.is_some());
+        }
+    }
+
+    #[test]
+    fn audited_cluster_commits_every_epoch_and_verifies_on_the_wire() {
+        use rex_core::commitment::verify_tag;
+        let mut cfg = tiny_cfg(4);
+        cfg.audit = Some(AuditConfig::default());
+        let summaries = run_cluster_in_process(&cfg).unwrap();
+        for s in &summaries {
+            assert_eq!(s.commitments.len(), cfg.epochs);
+            for (epoch, c) in s.commitments.iter().enumerate() {
+                let c = c.expect("every epoch of a static fleet commits");
+                assert!(
+                    verify_tag(cfg.protocol_seed, s.id, epoch, &c),
+                    "node {} epoch {epoch}: tag does not verify",
+                    s.id
+                );
+            }
+            // Commitments ride the control plane: protocol payload
+            // traffic is identical to an unaudited run.
+            assert_eq!(s.stats.msgs_out, 3 * cfg.epochs as u64);
+        }
+        // The audit does not perturb determinism — and an unaudited run
+        // reaches the exact same models (same commitment chain, derived
+        // locally either way, just never shipped).
+        let again = run_cluster_in_process(&cfg).unwrap();
+        assert_eq!(summaries, again, "audited runs replay bit-for-bit");
+        let mut silent = cfg.clone();
+        silent.audit = None;
+        let unaudited = run_cluster_in_process(&silent).unwrap();
+        for (a, b) in summaries.iter().zip(&unaudited) {
+            assert_eq!(a.rmse_trace_bits, b.rmse_trace_bits);
+            assert_eq!(a.commitments, b.commitments);
+            assert_eq!(a.stats, b.stats);
         }
     }
 

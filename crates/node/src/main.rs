@@ -15,17 +15,27 @@
 //! cluster and blocks until the shared schedule admits it at its join
 //! epoch. (The join path is selected by the schedule either way; the
 //! flag catches the operator error of pointing it at a founding id.)
+//!
+//! `--challenge <node-id>` switches the binary into **challenger mode**:
+//! instead of joining the cluster it replays the whole run in process
+//! from the config's seeds, audits the suspect's recorded summary
+//! (`--summary <path>`) against the replayed commitment chain, and — on
+//! divergence — demonstrates the eviction by re-running the fleet with
+//! the suspect scheduled out. Exit status: 0 when the recorded chain is
+//! honest, 1 when it diverges.
 
-use rex_node::{run_node, ClusterConfig};
+use rex_node::{challenge_node, run_node, ChallengeVerdict, ClusterConfig, NodeSummary};
 use std::path::PathBuf;
 
 struct Args {
     config: PathBuf,
-    id: usize,
+    id: Option<usize>,
     join: bool,
     out: Option<PathBuf>,
     epochs: Option<usize>,
     quiet: bool,
+    challenge: Option<usize>,
+    summary: Option<PathBuf>,
 }
 
 fn usage(err: &str) -> ! {
@@ -33,7 +43,8 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: rex-node --config <cluster.toml> --id <node-id> [--join] [--out <path>] [--epochs N] [--quiet]"
+        "usage: rex-node --config <cluster.toml> --id <node-id> [--join] [--out <path>] [--epochs N] [--quiet]\n\
+         \x20      rex-node --config <cluster.toml> --challenge <node-id> --summary <recorded.summary>"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -45,6 +56,8 @@ fn parse_args() -> Args {
     let mut out = None;
     let mut epochs = None;
     let mut quiet = false;
+    let mut challenge = None;
+    let mut summary = None;
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -66,17 +79,76 @@ fn parse_args() -> Args {
                 );
             }
             "--quiet" => quiet = true,
+            "--challenge" => {
+                challenge = Some(
+                    iter.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--challenge needs a node id")),
+                );
+            }
+            "--summary" => summary = iter.next().map(PathBuf::from),
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag {other}")),
         }
     }
+    if challenge.is_none() && id.is_none() {
+        usage("--id is required");
+    }
     Args {
         config: config.unwrap_or_else(|| usage("--config is required")),
-        id: id.unwrap_or_else(|| usage("--id is required")),
+        id,
         join,
         out,
         epochs,
         quiet,
+        challenge,
+        summary,
+    }
+}
+
+/// Challenger mode: audit a recorded summary against a full replay.
+fn run_challenge(cfg: &ClusterConfig, suspect: usize, summary_path: &PathBuf) -> ! {
+    let text = std::fs::read_to_string(summary_path).unwrap_or_else(|e| {
+        usage(&format!("reading {}: {e}", summary_path.display()));
+    });
+    let recorded = NodeSummary::parse(&text).unwrap_or_else(|e| {
+        usage(&format!("parsing {}: {e}", summary_path.display()));
+    });
+    eprintln!(
+        "[rex-node] challenging node {suspect}: replaying {} epochs over {} nodes",
+        cfg.epochs,
+        cfg.num_nodes()
+    );
+    match challenge_node(cfg, suspect, &recorded) {
+        Ok(ChallengeVerdict::Honest {
+            epochs_checked,
+            epochs_committed,
+        }) => {
+            println!(
+                "verdict = honest\nepochs_checked = {epochs_checked}\nepochs_committed = {epochs_committed}"
+            );
+            std::process::exit(0);
+        }
+        Ok(ChallengeVerdict::Divergent {
+            epoch,
+            reason,
+            eviction_epoch,
+            post_eviction,
+        }) => {
+            println!(
+                "verdict = divergent\ndivergent_epoch = {epoch}\nreason = {reason}\neviction_epoch = {eviction_epoch}"
+            );
+            let survivors = post_eviction
+                .iter()
+                .filter(|s| s.id != suspect && s.final_rmse_bits.is_some())
+                .count();
+            println!("post_eviction_survivors = {survivors}");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("[rex-node] challenge failed: {e}");
+            std::process::exit(2);
+        }
     }
 }
 
@@ -92,7 +164,15 @@ fn main() {
         cfg.epochs = epochs;
     }
 
-    let id = args.id;
+    if let Some(suspect) = args.challenge {
+        let summary = args
+            .summary
+            .unwrap_or_else(|| usage("--challenge needs --summary <recorded.summary>"));
+        run_challenge(&cfg, suspect, &summary);
+    }
+    let Some(id) = args.id else {
+        usage("--id is required");
+    };
     let join_epoch = cfg.membership.as_ref().and_then(|p| p.join_epoch(id));
     if args.join && join_epoch.is_none() {
         usage(&format!(

@@ -144,6 +144,7 @@ mod tests {
                 sgx_overhead_ns: 0,
                 live_nodes: 4,
                 delivery: rex_net::stats::DeliveryStats::default(),
+                commitment_root: [0; 32],
             });
         }
         t

@@ -32,6 +32,11 @@ pub struct EpochRecord {
     pub live_nodes: usize,
     /// Fleet-wide message delivery accounting for this epoch.
     pub delivery: DeliveryStats,
+    /// SHA-256 aggregate over the live nodes' signed per-epoch model
+    /// commitments, in node order — one checkable artifact per epoch
+    /// (the verifiable-epochs audit root; all-zero when no node
+    /// reported, e.g. a fully idle epoch).
+    pub commitment_root: [u8; 32],
 }
 
 /// A named series of epoch records.
@@ -182,6 +187,7 @@ mod tests {
             sgx_overhead_ns: 0,
             live_nodes: 8,
             delivery: DeliveryStats::default(),
+            commitment_root: [0; 32],
         }
     }
 
