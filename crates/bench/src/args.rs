@@ -47,6 +47,9 @@ impl BenchArgs {
         while let Some(arg) = iter.next() {
             match arg.as_str() {
                 "--full" => out.full = true,
+                // Quick is the default; the flag exists so CI jobs can
+                // spell the mode they mean.
+                "--quick" => out.full = false,
                 "--tcp" => out.tcp = true,
                 "--epochs" => {
                     out.epochs = Some(
@@ -87,7 +90,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: <bench> [--full] [--tcp] [--epochs N] [--nodes N] [--seed N] \
+        "usage: <bench> [--full | --quick] [--tcp] [--epochs N] [--nodes N] [--seed N] \
          [--check-baseline PATH]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
@@ -106,6 +109,8 @@ mod tests {
         let a = parse(&[]);
         assert!(!a.full);
         assert!(a.epochs.is_none());
+        assert!(!parse(&["--quick"]).full);
+        assert!(!parse(&["--full", "--quick"]).full, "last flag wins");
     }
 
     #[test]

@@ -41,6 +41,11 @@
 //!   node chains a SHA-256 digest over its epoch history and binds it to
 //!   its identity with an HMAC tag, making any epoch auditable by replay
 //!   (the `rex-node --challenge` workflow);
+//! * [`serve`] — the read side: blocked, bound-pruned top-k scoring
+//!   over a node's live factors ([`serve::Scorer`]), the brute-force
+//!   oracle it is tested against, the seeded query stream, and the
+//!   epoch-consistent [`serve::SnapshotQueue`] serve threads consume
+//!   while training continues;
 //! * [`setup`] — the one TEE provisioning + pairwise-attestation path,
 //!   plus the [`setup::TeeDirectory`] late joins attest against;
 //! * [`runner::run`] — the single entry point over every deployment
@@ -79,6 +84,7 @@ pub mod membership;
 pub mod node;
 pub mod pool;
 pub mod runner;
+pub mod serve;
 pub mod setup;
 pub mod store;
 pub mod threaded;
@@ -93,4 +99,8 @@ pub use node::{Node, NodeBuilder};
 #[allow(deprecated)]
 pub use runner::run_simulation;
 pub use runner::{run, Backend, SimulationConfig, ThreadedConfig};
+pub use serve::{
+    naive_top_k, score_one, snapshot_digest, ModelSnapshot, QueryStream, ScoredItem, Scorer,
+    SnapshotQueue, TopKQuery,
+};
 pub use store::RawDataStore;

@@ -176,6 +176,27 @@ impl RawDataStore {
             .collect()
     }
 
+    /// The distinct items `user` has rated in this store, sorted
+    /// ascending — the serve path's per-shard candidate-pruning list
+    /// (items already rated are excluded from top-k answers). Uses the
+    /// shard row index when `user` is a hosted row; falls back to a
+    /// linear scan otherwise (unsharded stores, or out-of-block users).
+    #[must_use]
+    pub fn rated_items(&self, user: u32) -> Vec<u32> {
+        let mut items: Vec<u32> = match self.row_ratings(user) {
+            Some(row) => row.iter().map(|r| r.item).collect(),
+            None => self
+                .ratings
+                .iter()
+                .filter(|r| r.user == user)
+                .map(|r| r.item)
+                .collect(),
+        };
+        items.sort_unstable();
+        items.dedup();
+        items
+    }
+
     /// Resident bytes of the shard row index alone (0 when unsharded):
     /// one `u32` per indexed entry plus per-row list headers. Reported
     /// as its own EPC region so sharded deployments can read the cost of
@@ -223,6 +244,29 @@ mod tests {
         let mut s = RawDataStore::with_initial(batch.clone());
         assert_eq!(s.append_batch(&batch), 0);
         assert_eq!(s.len(), 50);
+    }
+
+    #[test]
+    fn rated_items_sorted_deduped_on_both_paths() {
+        // Unsharded: linear-scan path.
+        let s = RawDataStore::with_initial(vec![
+            r(1, 9, 3.0),
+            r(1, 2, 4.0),
+            r(0, 5, 2.0),
+            r(1, 2, 5.0), // duplicate cell, dropped by the store itself
+        ]);
+        assert_eq!(s.rated_items(1), vec![2, 9]);
+        assert_eq!(s.rated_items(0), vec![5]);
+        assert_eq!(s.rated_items(7), Vec::<u32>::new());
+
+        // Sharded: the row-index path must agree with a linear scan,
+        // and out-of-block users still fall back to the scan.
+        let block = UserBlock { start: 4, end: 8 };
+        let mut sh = RawDataStore::with_shard(block, vec![r(5, 3, 1.0), r(5, 1, 2.0)]);
+        sh.append_batch(&[r(5, 3, 4.0), r(6, 0, 3.0), r(2, 8, 1.5)]);
+        assert_eq!(sh.rated_items(5), vec![1, 3]);
+        assert_eq!(sh.rated_items(6), vec![0]);
+        assert_eq!(sh.rated_items(2), vec![8], "alien user uses linear scan");
     }
 
     #[test]

@@ -15,6 +15,17 @@ use rex_data::Rating;
 const MAGIC: u32 = 0x4d46_3031; // "MF01"
 const MAGIC_DELTA: u32 = 0x4d46_4431; // "MFD1"
 
+/// Process-wide stamp source for [`MfModel::factor_version`]. Every
+/// mutation takes a fresh stamp, so two models carry the same version
+/// only when one is an unmutated clone of the other — which makes the
+/// version a sound cache key for derived read-side data (item norms in
+/// `rex_core::serve`) across *any* set of models in the process.
+static FACTOR_STAMP: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+fn next_factor_stamp() -> u64 {
+    FACTOR_STAMP.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
+
 /// Hyperparameters of the MF recommender.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MfHyperParams {
@@ -61,6 +72,10 @@ pub struct MfModel {
     c: Vec<f32>,
     user_seen: Vec<bool>,
     item_seen: Vec<bool>,
+    /// In-memory mutation stamp (see [`MfModel::factor_version`]).
+    /// Deliberately *not* serialized: wire bytes and fingerprints are
+    /// unchanged by its existence.
+    version: u64,
 }
 
 impl MfModel {
@@ -96,7 +111,76 @@ impl MfModel {
             c: vec![0.0; ni],
             user_seen: vec![false; nu],
             item_seen: vec![false; ni],
+            version: next_factor_stamp(),
         }
+    }
+
+    /// The model's current factor version: a process-unique stamp that
+    /// changes on every mutation (SGD step, merge, mean update, codec
+    /// reconstruction). Read-side consumers key caches of derived data
+    /// (e.g. per-item factor norms) on it: an unchanged version
+    /// guarantees bit-identical parameters, so the cache is exact, and
+    /// any row delta — however small — invalidates it. Cloning preserves
+    /// the version (a clone *is* bit-identical until mutated). The stamp
+    /// is in-memory only: it never reaches the wire or the digests.
+    #[must_use]
+    pub fn factor_version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of user rows in the embedding table.
+    #[must_use]
+    pub fn num_users(&self) -> u32 {
+        self.num_users
+    }
+
+    /// Number of item rows in the embedding table.
+    #[must_use]
+    pub fn num_items(&self) -> u32 {
+        self.num_items
+    }
+
+    /// The user's embedding row `x_u` (length `k`).
+    ///
+    /// # Panics
+    /// When `user` is outside the model's user universe.
+    #[must_use]
+    pub fn user_factors(&self, user: u32) -> &[f32] {
+        let k = self.hp.k;
+        let u = user as usize;
+        &self.x[u * k..(u + 1) * k]
+    }
+
+    /// The user's bias `b_u`.
+    ///
+    /// # Panics
+    /// When `user` is outside the model's user universe.
+    #[must_use]
+    pub fn user_bias(&self, user: u32) -> f32 {
+        self.b[user as usize]
+    }
+
+    /// The full item embedding table `Y`, row-major `num_items × k` —
+    /// the serve path's blocked scan iterates this contiguously.
+    #[must_use]
+    pub fn item_factors(&self) -> &[f32] {
+        &self.y
+    }
+
+    /// The item bias vector `c`.
+    #[must_use]
+    pub fn item_biases(&self) -> &[f32] {
+        &self.c
+    }
+
+    /// The per-item seen mask (`item_seen[i]` ⇔ [`MfModel::has_item`]).
+    #[must_use]
+    pub fn item_seen_mask(&self) -> &[bool] {
+        &self.item_seen
+    }
+
+    fn touch(&mut self) {
+        self.version = next_factor_stamp();
     }
 
     /// Hyperparameters.
@@ -114,6 +198,7 @@ impl MfModel {
     /// Sets the global mean (normally derived from local training data).
     pub fn set_global_mean(&mut self, mean: f32) {
         self.global_mean = mean;
+        self.touch();
     }
 
     /// One SGD step on a single rating.
@@ -139,6 +224,7 @@ impl MfModel {
         }
         self.user_seen[u] = true;
         self.item_seen[i] = true;
+        self.touch();
     }
 
     /// Training loss (MSE + L2 terms) over `data`, for tests/diagnostics.
@@ -416,6 +502,7 @@ impl Model for MfModel {
             |m| (m.y.as_slice(), m.c.as_slice(), m.item_seen.as_slice()),
             &mut scratch,
         );
+        self.touch();
     }
 
     fn param_count(&self) -> usize {
@@ -489,6 +576,7 @@ impl Model for MfModel {
             c,
             user_seen,
             item_seen,
+            version: next_factor_stamp(),
         })
     }
 
@@ -607,6 +695,7 @@ impl Model for MfModel {
                 r.remaining()
             )));
         }
+        model.touch();
         Ok(model)
     }
 }
@@ -986,6 +1075,80 @@ mod tests {
         let mut bad = delta.clone();
         bad[0] ^= 0xff;
         assert!(MfModel::apply_delta(&reference, fp, &bad).is_err());
+    }
+
+    #[test]
+    fn factor_version_changes_on_every_mutation_path() {
+        let data = tiny_data();
+        let mut m = MfModel::new(20, 50, MfHyperParams::default(), 3.5, 1);
+        let v0 = m.factor_version();
+
+        // Clone preserves the stamp: a clone is bit-identical.
+        let clone = m.clone();
+        assert_eq!(clone.factor_version(), v0);
+
+        // Every mutation path re-stamps.
+        m.sgd_step(&data[0]);
+        let v1 = m.factor_version();
+        assert_ne!(v1, v0, "sgd_step must invalidate");
+        m.set_global_mean(3.75);
+        let v2 = m.factor_version();
+        assert_ne!(v2, v1, "set_global_mean must invalidate");
+        let other = MfModel::new(20, 50, MfHyperParams::default(), 3.5, 2);
+        m.merge(&[(0.5, &other)], 0.5);
+        let v3 = m.factor_version();
+        assert_ne!(v3, v2, "merge must invalidate");
+        let mut rng = StdRng::seed_from_u64(4);
+        m.train_steps_batched(&data, 10, &mut rng);
+        assert_ne!(m.factor_version(), v3, "batched training must invalidate");
+
+        // Codec reconstructions are distinct objects: fresh stamps, so a
+        // cache keyed on another model's version can never alias them.
+        let decoded = MfModel::from_bytes(&m.to_bytes()).unwrap();
+        assert_ne!(decoded.factor_version(), m.factor_version());
+        let fp = clone.ref_fingerprint();
+        let delta = m.delta_bytes(&clone, fp, 1.0).unwrap();
+        let applied = MfModel::apply_delta(&clone, fp, &delta).unwrap();
+        assert_ne!(applied.factor_version(), clone.factor_version());
+
+        // The stamp is process-unique: two different models never share.
+        let a = MfModel::new(2, 2, MfHyperParams::default(), 3.0, 0);
+        let b = MfModel::new(2, 2, MfHyperParams::default(), 3.0, 0);
+        assert_ne!(a.factor_version(), b.factor_version());
+    }
+
+    #[test]
+    fn factor_accessors_expose_the_predict_inputs() {
+        let data = tiny_data();
+        let mut m = MfModel::new(20, 50, MfHyperParams::default(), 3.5, 1);
+        let mut rng = StdRng::seed_from_u64(3);
+        m.train_steps(&data, 400, &mut rng);
+        assert_eq!(m.num_users(), 20);
+        assert_eq!(m.num_items(), 50);
+        let k = m.hyper_params().k;
+        assert_eq!(m.item_factors().len(), 50 * k);
+        assert_eq!(m.item_biases().len(), 50);
+        assert_eq!(m.item_seen_mask().len(), 50);
+        // Recomposing predict() from the accessors matches it bit-for-bit.
+        for (u, i) in [(0u32, 0u32), (3, 7), (19, 49)] {
+            let mut score = m.global_mean();
+            if m.has_user(u) {
+                score += m.user_bias(u);
+            }
+            if m.has_item(i) {
+                score += m.item_biases()[i as usize];
+            }
+            if m.has_user(u) && m.has_item(i) {
+                let yi = &m.item_factors()[i as usize * k..(i as usize + 1) * k];
+                let dot: f32 = m.user_factors(u).iter().zip(yi).map(|(a, b)| a * b).sum();
+                score += dot;
+            }
+            assert_eq!(score.clamp(0.5, 5.0).to_bits(), m.predict(u, i).to_bits());
+        }
+        assert_eq!(
+            m.item_seen_mask().iter().filter(|&&s| s).count(),
+            (0..50).filter(|&i| m.has_item(i)).count()
+        );
     }
 
     #[test]

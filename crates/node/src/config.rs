@@ -104,6 +104,56 @@ impl Default for AuditConfig {
     }
 }
 
+/// Online serving, from the optional `[serve]` section.
+///
+/// When present, every node runs a serve thread next to its training
+/// loop: after each executed epoch the trainer publishes an immutable
+/// model snapshot (see [`rex_core::serve::SnapshotQueue`]) and the serve
+/// thread answers a seeded top-k query stream against it, folding every
+/// answer into a per-node serve digest reported in the node summary:
+///
+/// ```toml
+/// [serve]
+/// queries_per_epoch = 32   # top-k queries answered per snapshot
+/// top_k = 10               # result-set size
+/// seed = 0x5E37            # query-stream seed (node i uses seed + i)
+/// exclude_rated = true     # prune items the user already rated
+/// verify_snapshots = false # recompute + check each snapshot digest
+/// ```
+///
+/// Serving is read-only and off the wire: enabling the section changes
+/// no protocol traffic and no training trajectory, and the serve digest
+/// is a pure function of the cluster seeds — bit-identical across
+/// backends, drivers, and deployment shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Top-k queries answered per published snapshot (≥ 1).
+    pub queries_per_epoch: usize,
+    /// Result-set size per query (≥ 1).
+    pub top_k: usize,
+    /// Query-stream seed; node `i` streams from `seed + i`.
+    pub seed: u64,
+    /// Exclude each query user's already-rated items (per-shard
+    /// candidate pruning from the node's *initial* local store).
+    pub exclude_rated: bool,
+    /// Recompute each snapshot's wire-bytes digest on the serve thread
+    /// and fail the run on mismatch (torn-read detector; costs one
+    /// serialization per epoch).
+    pub verify_snapshots: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queries_per_epoch: 32,
+            top_k: 10,
+            seed: 0x5E37,
+            exclude_rated: true,
+            verify_snapshots: false,
+        }
+    }
+}
+
 /// Everything a deployed node needs to know about its cluster.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClusterConfig {
@@ -187,6 +237,10 @@ pub struct ClusterConfig {
     /// section (see [`AuditConfig`]). `None` when the section is
     /// absent: no commitment traffic, the pre-audit wire behaviour.
     pub audit: Option<AuditConfig>,
+    /// Online serving, from the optional `[serve]` section (see
+    /// [`ServeConfig`]). `None` when the section is absent: no serve
+    /// thread, the training-only behaviour.
+    pub serve: Option<ServeConfig>,
     /// Epoch scheduling of the deployed loop (`driver = "lockstep"` —
     /// the default — or `"bounded-async"` with `staleness_k`).
     /// Bounded-async requires `algorithm = "dpsgd"` (every neighbour
@@ -222,6 +276,7 @@ impl Default for ClusterConfig {
             membership: None,
             sharding: None,
             audit: None,
+            serve: None,
             driver: NodeDriver::Lockstep,
         }
     }
@@ -311,7 +366,12 @@ fn parse_map(text: &str) -> Result<(HashMap<String, Value>, Vec<String>), String
                 .strip_suffix(']')
                 .ok_or_else(|| format!("line {}: unterminated section header", lineno + 1))?
                 .trim();
-            if name != "faults" && name != "membership" && name != "sharding" && name != "audit" {
+            if name != "faults"
+                && name != "membership"
+                && name != "sharding"
+                && name != "audit"
+                && name != "serve"
+            {
                 return Err(format!("line {}: unknown section [{name}]", lineno + 1));
             }
             prefix = format!("{name}.");
@@ -580,6 +640,35 @@ fn audit_to_toml(cfg: &AuditConfig) -> String {
     )
 }
 
+/// Assembles the `[serve]` section into a [`ServeConfig`].
+fn parse_serve(map: &HashMap<String, Value>) -> Result<ServeConfig, String> {
+    let d = ServeConfig::default();
+    let cfg = ServeConfig {
+        queries_per_epoch: get_int(map, "serve.queries_per_epoch", d.queries_per_epoch as u64)?,
+        top_k: get_int(map, "serve.top_k", d.top_k as u64)?,
+        seed: get_int(map, "serve.seed", d.seed)?,
+        exclude_rated: get_bool(map, "serve.exclude_rated", d.exclude_rated)?,
+        verify_snapshots: get_bool(map, "serve.verify_snapshots", d.verify_snapshots)?,
+    };
+    if cfg.queries_per_epoch == 0 {
+        return Err("serve.queries_per_epoch: must be >= 1".to_string());
+    }
+    if cfg.top_k == 0 {
+        return Err("serve.top_k: must be >= 1".to_string());
+    }
+    Ok(cfg)
+}
+
+/// Serializes a [`ServeConfig`] as the `[serve]` section
+/// [`parse_serve`] reads back.
+fn serve_to_toml(cfg: &ServeConfig) -> String {
+    format!(
+        "\n[serve]\nqueries_per_epoch = {}\ntop_k = {}\nseed = {}\nexclude_rated = {}\n\
+         verify_snapshots = {}\n",
+        cfg.queries_per_epoch, cfg.top_k, cfg.seed, cfg.exclude_rated, cfg.verify_snapshots,
+    )
+}
+
 /// Assembles the `[faults]` section into a [`FaultPlan`].
 fn parse_faults(map: &HashMap<String, Value>) -> Result<FaultPlan, String> {
     Ok(FaultPlan {
@@ -771,6 +860,11 @@ impl ClusterConfig {
         } else {
             None
         };
+        let serve = if sections.iter().any(|s| s == "serve") {
+            Some(parse_serve(&map)?)
+        } else {
+            None
+        };
         Ok(ClusterConfig {
             nodes,
             epochs: get_int(&map, "epochs", d.epochs as u64)?,
@@ -798,6 +892,7 @@ impl ClusterConfig {
             membership,
             sharding,
             audit,
+            serve,
             driver,
         })
     }
@@ -832,6 +927,7 @@ impl ClusterConfig {
             .map(sharding_to_toml)
             .unwrap_or_default();
         let audit = self.audit.as_ref().map(audit_to_toml).unwrap_or_default();
+        let serve = self.serve.as_ref().map(serve_to_toml).unwrap_or_default();
         let codec = match self.codec {
             WireCodec::Dense => "codec = \"dense\"".to_string(),
             WireCodec::Sparse { max_density } => {
@@ -864,7 +960,7 @@ impl ClusterConfig {
              sgx = {}\n\
              processes_per_platform = {}\n\
              infra_seed = {}\n\
-             {driver}\n{faults}{membership}{sharding}{audit}",
+             {driver}\n{faults}{membership}{sharding}{audit}{serve}",
             addrs.join(", "),
             self.epochs,
             self.topology_seed,
@@ -1266,6 +1362,65 @@ mod tests {
             assert!(
                 ClusterConfig::parse(&format!("nodes = [\"127.0.0.1:1\"]\n[audit]\n{bad}"))
                     .is_err(),
+                "accepted {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn serve_section_parses_roundtrips_and_defaults() {
+        // No section at all means None: no serve thread.
+        let cfg = ClusterConfig::parse("nodes = [\"127.0.0.1:1\"]\n").unwrap();
+        assert_eq!(cfg.serve, None);
+        // An empty section enables serving with the defaults.
+        let cfg = ClusterConfig::parse("nodes = [\"127.0.0.1:1\"]\n[serve]\n").unwrap();
+        assert_eq!(cfg.serve, Some(ServeConfig::default()));
+        // Explicit knobs parse.
+        let cfg = ClusterConfig::parse(
+            "nodes = [\"127.0.0.1:1\"]\n[serve]\nqueries_per_epoch = 4\ntop_k = 3\n\
+             seed = 99\nexclude_rated = false\nverify_snapshots = true\n",
+        )
+        .unwrap();
+        assert_eq!(
+            cfg.serve,
+            Some(ServeConfig {
+                queries_per_epoch: 4,
+                top_k: 3,
+                seed: 99,
+                exclude_rated: false,
+                verify_snapshots: true,
+            })
+        );
+        // The section survives the TOML roundtrip.
+        let cfg = ClusterConfig {
+            serve: Some(ServeConfig {
+                queries_per_epoch: 7,
+                top_k: 2,
+                seed: 0xABC,
+                exclude_rated: true,
+                verify_snapshots: true,
+            }),
+            ..sample()
+        };
+        let text = cfg.to_toml();
+        assert!(text.contains("[serve]"), "{text}");
+        assert_eq!(ClusterConfig::parse(&text).unwrap(), cfg);
+    }
+
+    #[test]
+    fn serve_section_rejects_malformed_knobs() {
+        let base = "nodes = [\"127.0.0.1:1\"]\n[serve]\n";
+        for bad in [
+            "queries_per_epoch = 0\n",       // zero
+            "top_k = 0\n",                   // zero
+            "queries_per_epoch = -2\n",      // negative
+            "top_k = \"ten\"\n",             // wrong type
+            "seed = \"x\"\n",                // wrong type
+            "exclude_rated = 1\n",           // wrong type
+            "verify_snapshots = \"true\"\n", // wrong type
+        ] {
+            assert!(
+                ClusterConfig::parse(&format!("{base}{bad}")).is_err(),
                 "accepted {bad:?}"
             );
         }

@@ -26,11 +26,15 @@ pub mod config;
 pub mod launcher;
 
 pub use challenge::{challenge_node, ChallengeVerdict};
-pub use config::{AuditConfig, ClusterConfig, NodeDriver, ShardingConfig};
+pub use config::{AuditConfig, ClusterConfig, NodeDriver, ServeConfig, ShardingConfig};
 
 use rex_core::builder::{build_mf_nodes, build_mf_nodes_sharded, NodeSeeds};
 use rex_core::commitment::{verify_tag, EpochCommitment};
 use rex_core::membership::{MembershipView, ViewTransition};
+use rex_core::serve::{
+    fold_topk, snapshot_digest, ModelSnapshot, QueryStream, Scorer, SnapshotQueue,
+    SERVE_DIGEST_SEED,
+};
 use rex_core::setup::{establish_tee_with_directory, overlay_of, prune_to_overlay, TeeDirectory};
 use rex_core::Node;
 use rex_data::{Partition, ShardStrategy, SyntheticConfig, TrainTestSplit};
@@ -44,6 +48,7 @@ use rex_net::tcp::{TcpEndpoint, TcpTransport, DEFAULT_CONNECT_TIMEOUT};
 use rex_net::transport::{Endpoint, Transport};
 use rex_tee::attestation::AttestationMsg;
 use rex_tee::SgxCostModel;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// How long a scheduled joiner waits for the running cluster to reach
@@ -184,6 +189,22 @@ pub struct NodeSummary {
     /// node sat out: before a join, after a leave, crash windows). The
     /// recorded trace `rex-node --challenge` replays against.
     pub commitments: Vec<Option<EpochCommitment>>,
+    /// The serve thread's tally (`None` when the config has no `[serve]`
+    /// section). The digest pins the full served answer stream, so it is
+    /// part of the cross-shape bit-identity contract.
+    pub serve: Option<ServeSummary>,
+}
+
+/// What a node's serve thread reports when the run completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Top-k queries answered across the run.
+    pub queries: u64,
+    /// Running FNV-1a fold over every `(epoch, query, top-k answer)`
+    /// served ([`rex_core::serve::fold_topk`]): a pure function of the
+    /// cluster seeds, bit-identical across backends and deployment
+    /// shapes.
+    pub digest: u64,
 }
 
 impl NodeSummary {
@@ -203,8 +224,17 @@ impl NodeSummary {
                 None => "none".to_string(),
             })
             .collect();
+        let serve = self
+            .serve
+            .map(|s| {
+                format!(
+                    "serve_queries = {}\nserve_digest = {:#x}\n",
+                    s.queries, s.digest
+                )
+            })
+            .unwrap_or_default();
         format!(
-            "id = {}\nepochs = {}\nfinal_rmse = {}\nrmse_trace = {}\nbytes_out = {}\nbytes_in = {}\nmsgs_out = {}\nmsgs_in = {}\nstore_len = {}\ncommitments = {}\n",
+            "id = {}\nepochs = {}\nfinal_rmse = {}\nrmse_trace = {}\nbytes_out = {}\nbytes_in = {}\nmsgs_out = {}\nmsgs_in = {}\nstore_len = {}\ncommitments = {}\n{serve}",
             self.id,
             self.epochs,
             fmt_rmse(&self.final_rmse_bits),
@@ -267,6 +297,24 @@ impl NodeSummary {
                 })
                 .collect::<Result<Vec<_>, _>>()?,
         };
+        // Absent in summaries recorded by training-only configs (or
+        // before serving existed): parse those as "no serve thread".
+        let serve = match (fields.get("serve_queries"), fields.get("serve_digest")) {
+            (None, None) => None,
+            (Some(queries), Some(digest)) => {
+                let hex = digest
+                    .strip_prefix("0x")
+                    .ok_or_else(|| format!("bad serve digest: {digest}"))?;
+                Some(ServeSummary {
+                    queries: queries
+                        .parse()
+                        .map_err(|e| format!("summary serve_queries: {e}"))?,
+                    digest: u64::from_str_radix(hex, 16)
+                        .map_err(|e| format!("bad serve digest {digest}: {e}"))?,
+                })
+            }
+            _ => return Err("summary has serve_queries xor serve_digest".to_string()),
+        };
         Ok(NodeSummary {
             id: int("id")? as usize,
             epochs: int("epochs")? as usize,
@@ -280,6 +328,7 @@ impl NodeSummary {
             },
             store_len: int("store_len")? as usize,
             commitments,
+            serve,
         })
     }
 }
@@ -487,6 +536,111 @@ fn drain_peer_commitments<E: Endpoint>(
     Ok(())
 }
 
+/// How long a serve thread waits for the next model snapshot before
+/// declaring the trainer wedged. Generous for the same reason the
+/// barrier timeout is: slow CI machines, not protocol latency, set the
+/// ceiling.
+pub const SERVE_POP_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// One node's serve session: the snapshot queue its training loop
+/// publishes into, plus the thread answering the seeded query stream
+/// against every published snapshot.
+struct ServeSession {
+    queue: Arc<SnapshotQueue<MfModel>>,
+    handle: std::thread::JoinHandle<Result<ServeSummary, String>>,
+}
+
+impl ServeSession {
+    /// Starts the serve thread for `node`. Must be called **before** the
+    /// epoch loop runs: the exclusion lists are frozen from the node's
+    /// *initial* local store — the store grows with gossiped raw data
+    /// during the run, which would make exclusions depend on delivery
+    /// order and break the cross-shape digest contract.
+    fn start(cfg: &ServeConfig, node: &Node<MfModel>, num_users: u32) -> ServeSession {
+        let queue = Arc::new(SnapshotQueue::new());
+        let exclusions: Vec<Vec<u32>> = if cfg.exclude_rated {
+            (0..num_users)
+                .map(|u| node.store().rated_items(u))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let handle = std::thread::spawn({
+            let queue = Arc::clone(&queue);
+            let cfg = *cfg;
+            let id = node.id();
+            move || serve_loop(&cfg, id, num_users, &exclusions, &queue)
+        });
+        ServeSession { queue, handle }
+    }
+
+    /// Ends the session: closes the queue (the thread drains what is
+    /// buffered, then sees end-of-stream) and joins.
+    fn finish(self) -> Result<ServeSummary, String> {
+        self.queue.close();
+        self.handle
+            .join()
+            .map_err(|_| "serve thread panicked".to_string())?
+    }
+}
+
+/// The serve thread body: for every snapshot the trainer publishes,
+/// answer `queries_per_epoch` queries from the node's seeded stream and
+/// fold each answer into the running serve digest.
+fn serve_loop(
+    cfg: &ServeConfig,
+    id: usize,
+    num_users: u32,
+    exclusions: &[Vec<u32>],
+    queue: &SnapshotQueue<MfModel>,
+) -> Result<ServeSummary, String> {
+    let mut stream = QueryStream::new(cfg.seed.wrapping_add(id as u64), num_users, cfg.top_k);
+    let mut scorer = Scorer::default();
+    let mut digest = SERVE_DIGEST_SEED;
+    let mut queries: u64 = 0;
+    while let Some(snap) = queue
+        .pop_wait(SERVE_POP_TIMEOUT)
+        .map_err(|e| format!("node {id}: {e}"))?
+    {
+        if cfg.verify_snapshots {
+            let recomputed = snapshot_digest(snap.model.as_ref());
+            if recomputed != snap.digest {
+                return Err(format!(
+                    "node {id}: snapshot digest mismatch at epoch {} — torn model read \
+                     ({recomputed:#018x} != {:#018x})",
+                    snap.epoch, snap.digest
+                ));
+            }
+        }
+        for _ in 0..cfg.queries_per_epoch {
+            let query = stream.next_query();
+            let exclude = exclusions
+                .get(query.user as usize)
+                .map_or(&[][..], Vec::as_slice);
+            let results = scorer.top_k(snap.model.as_ref(), &query, exclude);
+            digest = fold_topk(digest, snap.epoch, &query, &results);
+            queries += 1;
+        }
+    }
+    Ok(ServeSummary { queries, digest })
+}
+
+/// Publishes `node`'s current model into a serve queue as an immutable,
+/// epoch-pinned snapshot. The clone is what makes mid-epoch tearing
+/// structurally impossible: the serve thread only ever sees frozen
+/// copies, never the trainer's live instance.
+fn publish_snapshot(serve: Option<&SnapshotQueue<MfModel>>, node: &Node<MfModel>, epoch: usize) {
+    if let Some(queue) = serve {
+        let model = Arc::new(node.model().clone());
+        let digest = snapshot_digest(model.as_ref());
+        queue.publish(ModelSnapshot {
+            epoch,
+            model,
+            digest,
+        });
+    }
+}
+
 /// The deployed per-node epoch loop: view transition (when the epoch
 /// opens one), drain, wire barrier, train, send, wire barrier — the
 /// transport-level shape of the engine's round loop, with
@@ -509,6 +663,14 @@ fn drain_peer_commitments<E: Endpoint>(
 /// the round barrier. Calls `progress` after each epoch with
 /// `(epoch, rmse)`.
 ///
+/// When `serve` is given, every **member** epoch publishes an immutable
+/// post-epoch model snapshot into it — including crash-window epochs
+/// (the model is unchanged, but the epoch stream must stay contiguous),
+/// and *not* non-member epochs — so an in-process joiner thread (which
+/// serves barriers from epoch 0) publishes exactly the epochs a
+/// late-dialing joiner process does, keeping serve digests identical
+/// across deployment shapes.
+///
 /// # Errors
 /// When the transport surfaces a peer failure
 /// ([`rex_net::transport::TransportError`]), SGX admission fails, or a
@@ -524,6 +686,7 @@ pub fn run_node_loop<E: Endpoint>(
     mut view: Option<&mut MembershipView>,
     tee: Option<&TeeDirectory>,
     audit: Option<WireAudit>,
+    serve: Option<&SnapshotQueue<MfModel>>,
     mut progress: impl FnMut(usize, Option<f64>),
 ) -> Result<Vec<EpochOutcome>, String> {
     let id = node.id();
@@ -618,6 +781,7 @@ pub fn run_node_loop<E: Endpoint>(
             rmse_bits: rmse.map(f64::to_bits),
             commitment,
         });
+        publish_snapshot(serve, node, epoch);
         progress(epoch, rmse);
     }
     Ok(trace)
@@ -667,6 +831,7 @@ pub fn run_node_loop_async<E: Endpoint>(
     epochs: usize,
     k: usize,
     audit: Option<WireAudit>,
+    serve: Option<&SnapshotQueue<MfModel>>,
     mut progress: impl FnMut(usize, Option<f64>),
 ) -> Result<Vec<EpochOutcome>, String> {
     let id = node.id();
@@ -745,6 +910,11 @@ pub fn run_node_loop_async<E: Endpoint>(
             rmse_bits: report.rmse.map(f64::to_bits),
             commitment: Some(report.commitment),
         });
+        // Every epoch executes under this driver, so every epoch serves.
+        // Serve digests inherit this driver's speed-vs-fidelity trade:
+        // arrival timing shapes the models, so they are not
+        // bit-reproducible across runs on real sockets.
+        publish_snapshot(serve, node, epoch);
         progress(epoch, report.rmse);
     }
     Ok(trace)
@@ -886,10 +1056,20 @@ fn run_node_connected(
     // decisions from the shared plan, so the cluster replays the same
     // schedule bit-for-bit.
     let audit = WireAudit::from_config(cfg);
-    let (loop_trace, stats) = match cfg.faults.clone() {
+    // The serve thread starts before the loop (exclusions freeze from
+    // the initial store) and is finished after it either way: a loop
+    // error must still close the queue and join rather than leak a
+    // thread blocked on the next snapshot.
+    let session = cfg
+        .serve
+        .as_ref()
+        .map(|s| ServeSession::start(s, &node, cfg.num_users));
+    let queue = session.as_ref().map(|s| Arc::clone(&s.queue));
+    let serve_queue = queue.as_deref();
+    let loop_result = match cfg.faults.clone() {
         Some(plan) => {
             let mut endpoint = FaultyEndpoint::new(endpoint, plan);
-            let trace = run_node_loop(
+            run_node_loop(
                 &mut node,
                 &mut endpoint,
                 cfg.epochs,
@@ -898,13 +1078,14 @@ fn run_node_connected(
                 view.as_deref_mut(),
                 tee,
                 audit,
+                serve_queue,
                 &mut *progress,
-            )?;
-            (trace, endpoint.stats())
+            )
+            .map(|trace| (trace, endpoint.stats()))
         }
         None => {
             let mut endpoint = endpoint;
-            let trace = match cfg.driver {
+            match cfg.driver {
                 NodeDriver::Lockstep => run_node_loop(
                     &mut node,
                     &mut endpoint,
@@ -914,8 +1095,9 @@ fn run_node_connected(
                     view,
                     tee,
                     audit,
+                    serve_queue,
                     &mut *progress,
-                )?,
+                ),
                 // Config validation pins bounded-async to fault-free,
                 // churn-free D-PSGD, so `start_epoch` is always 0 here.
                 NodeDriver::BoundedAsync { k } => run_node_loop_async(
@@ -924,12 +1106,24 @@ fn run_node_connected(
                     cfg.epochs,
                     k,
                     audit,
+                    serve_queue,
                     &mut *progress,
-                )?,
-            };
-            (trace, endpoint.stats())
+                ),
+            }
+            .map(|trace| (trace, endpoint.stats()))
         }
     };
+    let serve = match session {
+        Some(session) => match session.finish() {
+            Ok(summary) => Some(summary),
+            // A loop error is the root cause; the serve error (usually a
+            // pop timeout behind it) only surfaces when the loop was fine.
+            Err(e) if loop_result.is_ok() => return Err(e),
+            Err(_) => None,
+        },
+        None => None,
+    };
+    let (loop_trace, stats) = loop_result?;
 
     // Pad the traces to the run's full span: `None` before a join and
     // after a graceful leave.
@@ -950,6 +1144,7 @@ fn run_node_connected(
         stats: add_stats(stats, setup_stats[id]),
         store_len: node.store().len(),
         commitments,
+        serve,
     })
 }
 
@@ -978,6 +1173,8 @@ pub fn run_cluster_in_process(cfg: &ClusterConfig) -> Result<Vec<NodeSummary>, S
     let audit = WireAudit::from_config(cfg);
     let faults = cfg.faults.clone();
     let driver = cfg.driver;
+    let serve_cfg = cfg.serve;
+    let num_users = cfg.num_users;
     let dir = dir.as_ref();
     let handles: Vec<_> = std::thread::scope(|scope| {
         let join_handles: Vec<_> = fleet
@@ -987,6 +1184,11 @@ pub fn run_cluster_in_process(cfg: &ClusterConfig) -> Result<Vec<NodeSummary>, S
                 let faults = faults.clone();
                 let mut view = view.clone();
                 scope.spawn(move || {
+                    let session = serve_cfg
+                        .as_ref()
+                        .map(|s| ServeSession::start(s, &node, num_users));
+                    let queue = session.as_ref().map(|s| Arc::clone(&s.queue));
+                    let serve_queue = queue.as_deref();
                     let result = match faults {
                         Some(plan) => {
                             let mut endpoint = FaultyEndpoint::new(endpoint, plan.clone());
@@ -999,6 +1201,7 @@ pub fn run_cluster_in_process(cfg: &ClusterConfig) -> Result<Vec<NodeSummary>, S
                                 view.as_mut(),
                                 dir,
                                 audit,
+                                serve_queue,
                                 |_, _| {},
                             );
                             trace.map(|t| (endpoint.stats(), t))
@@ -1015,6 +1218,7 @@ pub fn run_cluster_in_process(cfg: &ClusterConfig) -> Result<Vec<NodeSummary>, S
                                     view.as_mut(),
                                     dir,
                                     audit,
+                                    serve_queue,
                                     |_, _| {},
                                 ),
                                 NodeDriver::BoundedAsync { k } => run_node_loop_async(
@@ -1023,13 +1227,24 @@ pub fn run_cluster_in_process(cfg: &ClusterConfig) -> Result<Vec<NodeSummary>, S
                                     epochs,
                                     k,
                                     audit,
+                                    serve_queue,
                                     |_, _| {},
                                 ),
                             };
                             trace.map(|t| (endpoint.stats(), t))
                         }
                     };
-                    result.map(|(stats, trace)| (node, stats, trace))
+                    let serve = match session {
+                        Some(session) => match session.finish() {
+                            Ok(summary) => Some(summary),
+                            // Loop errors outrank the serve timeout that
+                            // usually trails them.
+                            Err(e) if result.is_ok() => return Err(e),
+                            Err(_) => None,
+                        },
+                        None => None,
+                    };
+                    result.map(|(stats, trace)| (node, stats, trace, serve))
                 })
             })
             .collect();
@@ -1047,7 +1262,7 @@ pub fn run_cluster_in_process(cfg: &ClusterConfig) -> Result<Vec<NodeSummary>, S
 
     let mut summaries = Vec::with_capacity(n);
     for (id, outcome) in handles.into_iter().enumerate() {
-        let (node, stats, loop_trace) = outcome?;
+        let (node, stats, loop_trace, serve) = outcome?;
         let mut rmse_trace_bits: Vec<Option<u64>> =
             loop_trace.iter().map(|o| o.rmse_bits).collect();
         let mut commitments: Vec<Option<EpochCommitment>> =
@@ -1062,6 +1277,7 @@ pub fn run_cluster_in_process(cfg: &ClusterConfig) -> Result<Vec<NodeSummary>, S
             stats: add_stats(stats, setup_stats[id]),
             store_len: node.store().len(),
             commitments,
+            serve,
         });
     }
     Ok(summaries)
@@ -1101,9 +1317,29 @@ mod tests {
             },
             store_len: 7,
             commitments: vec![None, Some(chain.advance(0, b"model"))],
+            serve: Some(ServeSummary {
+                queries: 64,
+                digest: 0xDEAD_BEEF_0123_4567,
+            }),
         };
         assert_eq!(NodeSummary::parse(&summary.to_text()).unwrap(), summary);
         assert!(NodeSummary::parse("id = 1").is_err());
+        // Training-only summaries (no [serve] section) omit the lines.
+        let unserved = NodeSummary {
+            serve: None,
+            ..summary.clone()
+        };
+        let text = unserved.to_text();
+        assert!(!text.contains("serve_"), "{text}");
+        assert_eq!(NodeSummary::parse(&text).unwrap(), unserved);
+        // One serve line without the other is corruption, not legacy.
+        let torn = summary
+            .to_text()
+            .lines()
+            .filter(|l| !l.starts_with("serve_digest"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(NodeSummary::parse(&torn).is_err());
         // Summaries recorded before verifiable epochs parse with an
         // empty commitment log.
         let legacy = NodeSummary {
@@ -1286,6 +1522,104 @@ mod tests {
             assert_eq!(a.rmse_trace_bits, b.rmse_trace_bits);
             assert_eq!(a.commitments, b.commitments);
             assert_eq!(a.stats, b.stats);
+        }
+    }
+
+    #[test]
+    fn serving_cluster_replays_and_leaves_training_untouched() {
+        let mut cfg = tiny_cfg(4);
+        cfg.serve = Some(ServeConfig {
+            queries_per_epoch: 8,
+            top_k: 5,
+            verify_snapshots: true,
+            ..ServeConfig::default()
+        });
+        let a = run_cluster_in_process(&cfg).unwrap();
+        let b = run_cluster_in_process(&cfg).unwrap();
+        assert_eq!(a, b, "served runs replay bit-for-bit");
+        for s in &a {
+            let serve = s.serve.expect("[serve] section → serve summary");
+            assert_eq!(serve.queries, (cfg.epochs * 8) as u64);
+        }
+        // Per-node query streams diverge (seed + id), so digests do too.
+        assert_ne!(a[0].serve, a[1].serve);
+        // Serving is read-only: the training side of the summaries is
+        // bit-identical to a training-only run.
+        let mut silent = cfg.clone();
+        silent.serve = None;
+        let unserved = run_cluster_in_process(&silent).unwrap();
+        for (served, plain) in a.iter().zip(&unserved) {
+            assert_eq!(served.rmse_trace_bits, plain.rmse_trace_bits);
+            assert_eq!(served.stats, plain.stats);
+            assert_eq!(served.store_len, plain.store_len);
+            assert_eq!(plain.serve, None);
+        }
+    }
+
+    #[test]
+    fn serving_node_threads_match_in_process_cluster() {
+        // The deployed path: serve digests must agree bit-for-bit with
+        // the loopback-fabric reference, including through the summary
+        // text roundtrip the launcher uses.
+        let mut cfg = tiny_cfg(3);
+        cfg.epochs = 3;
+        cfg.serve = Some(ServeConfig {
+            queries_per_epoch: 6,
+            top_k: 4,
+            verify_snapshots: true,
+            ..ServeConfig::default()
+        });
+        let reference = run_cluster_in_process(&cfg).unwrap();
+
+        let addrs = reserve_loopback_addrs(3).unwrap();
+        cfg.nodes = addrs.iter().map(ToString::to_string).collect();
+        let handles: Vec<_> = (0..3)
+            .map(|id| {
+                let cfg = cfg.clone();
+                std::thread::spawn(move || run_node(&cfg, id, |_, _| {}).unwrap())
+            })
+            .collect();
+        for handle in handles {
+            let summary = handle.join().unwrap();
+            assert_eq!(summary, reference[summary.id]);
+            assert_eq!(
+                NodeSummary::parse(&summary.to_text()).unwrap(),
+                summary,
+                "serve fields must survive the launcher's text roundtrip"
+            );
+        }
+    }
+
+    #[test]
+    fn serving_joiner_digests_match_across_deployment_shapes() {
+        // The publish rule under churn: an in-process joiner thread
+        // (barrier-serving from epoch 0) must publish exactly the member
+        // epochs a late-dialing joiner process does — same snapshot set,
+        // same serve digest. The leaver stops publishing at its leave.
+        let mut cfg = churn_cfg(4);
+        cfg.serve = Some(ServeConfig {
+            queries_per_epoch: 4,
+            top_k: 3,
+            verify_snapshots: true,
+            ..ServeConfig::default()
+        });
+        let reference = run_cluster_in_process(&cfg).unwrap();
+        let joiner = reference[3].serve.unwrap();
+        assert_eq!(joiner.queries, 4 * 4, "joined at 2 of 6 epochs → 4 served");
+        let leaver = reference[1].serve.unwrap();
+        assert_eq!(leaver.queries, 5 * 4, "left at 5 → epochs 0–4 served");
+
+        let addrs = reserve_loopback_addrs(4).unwrap();
+        cfg.nodes = addrs.iter().map(ToString::to_string).collect();
+        let handles: Vec<_> = (0..4)
+            .map(|id| {
+                let cfg = cfg.clone();
+                std::thread::spawn(move || run_node(&cfg, id, |_, _| {}).unwrap())
+            })
+            .collect();
+        for handle in handles {
+            let summary = handle.join().unwrap();
+            assert_eq!(summary, reference[summary.id]);
         }
     }
 

@@ -23,11 +23,12 @@
 use rex_repro::core::builder::{build_mf_nodes, NodeSeeds};
 use rex_repro::core::config::{ExecutionMode, GossipAlgorithm, ProtocolConfig, SharingMode};
 use rex_repro::core::engine::{Driver, Engine, EngineConfig, EngineResult, TimeAxis};
+use rex_repro::core::membership::MembershipPlan;
 use rex_repro::core::Node;
 use rex_repro::data::{Partition, SyntheticConfig, TrainTestSplit};
 use rex_repro::ml::{MfHyperParams, MfModel};
 use rex_repro::net::fault::{FaultPlan, FaultyTransport, LinkFaults};
-use rex_repro::net::{ChannelTransport, MemNetwork, TcpTransport};
+use rex_repro::net::{ChannelTransport, MemNetwork, TcpTransport, Transport};
 use rex_repro::tee::SgxCostModel;
 use rex_repro::topology::{alive_connected, repair_after_crashes, TopologySpec};
 
@@ -534,6 +535,118 @@ fn deployed_cluster_replays_delay_plan_bit_identically_with_engine() {
         assert_eq!(summary.store_len, node.store().len());
         assert_eq!(summary.stats, result.final_stats[summary.id]);
     }
+}
+
+/// Audit-under-churn: the verifiable-epochs commitment root must stay
+/// auditable while the membership view *and* the fabric both misbehave.
+///
+/// The aggregate root folds every live node's signed model commitment in
+/// node order, so it is the single value an external auditor checks per
+/// epoch. This scenario runs a join/join/leave schedule under 10% packet
+/// loss and asserts the per-epoch roots are (a) bit-identical across
+/// mem/channel/TCP backends and reruns, (b) never zero — a membership
+/// transition must not produce an epoch with no attested commitments —
+/// and (c) pairwise distinct across epochs, because models keep moving
+/// and the root binds their exact wire bytes.
+#[test]
+fn audit_roots_survive_churn_and_loss_on_all_backends() {
+    const NODES: usize = 8;
+    const EPOCHS: usize = 8;
+    let faults = FaultPlan::uniform(0xA0D1, LinkFaults::drop_rate(0.10));
+    let membership = MembershipPlan {
+        seed: 0x11,
+        bootstrap_points: 30,
+        ..MembershipPlan::default()
+    }
+    .with_join(6, 2, None)
+    .with_join(7, 4, Some(1))
+    .with_leave(2, 6);
+
+    fn run_churn<T: Transport>(
+        transport: T,
+        time: TimeAxis,
+        driver: Driver,
+        faults: &FaultPlan,
+        membership: &MembershipPlan,
+    ) -> EngineResult {
+        let mut nodes = fleet(8, 40);
+        Engine::<MfModel, FaultyTransport<T>>::new(
+            FaultyTransport::new(transport, faults.clone()),
+            EngineConfig {
+                epochs: 8,
+                execution: ExecutionMode::Native,
+                time,
+                driver,
+                processes_per_platform: 1,
+                seed: 0xE0,
+                faults: Some(faults.clone()),
+                membership: Some(membership.clone()),
+            },
+        )
+        .run("audit-churn", &mut nodes)
+    }
+
+    let roots = |r: &EngineResult| -> Vec<[u8; 32]> {
+        r.trace.records.iter().map(|e| e.commitment_root).collect()
+    };
+
+    let mem = run_churn(
+        MemNetwork::new(NODES),
+        TimeAxis::Simulated(Default::default()),
+        Driver::Lockstep { parallel: true },
+        &faults,
+        &membership,
+    );
+    let chan = run_churn(
+        ChannelTransport::new(NODES),
+        TimeAxis::Wall,
+        Driver::WorkSteal { workers: 3 },
+        &faults,
+        &membership,
+    );
+    let tcp = run_churn(
+        TcpTransport::loopback(NODES).expect("loopback fabric"),
+        TimeAxis::Wall,
+        Driver::Lockstep { parallel: false },
+        &faults,
+        &membership,
+    );
+    let rerun = run_churn(
+        MemNetwork::new(NODES),
+        TimeAxis::Simulated(Default::default()),
+        Driver::Lockstep { parallel: true },
+        &faults,
+        &membership,
+    );
+
+    // (a) One auditable root stream, regardless of fabric or scheduler.
+    let reference = roots(&mem);
+    assert_eq!(reference.len(), EPOCHS);
+    assert_eq!(reference, roots(&chan), "channel roots diverged");
+    assert_eq!(reference, roots(&tcp), "tcp roots diverged");
+    assert_eq!(reference, roots(&rerun), "rerun roots diverged");
+
+    // (b) Every epoch stays attested through joins and the leave.
+    assert!(
+        reference.iter().all(|r| r != &[0u8; 32]),
+        "an epoch lost its commitment root under churn"
+    );
+    // (c) Roots are distinct epoch to epoch: they bind the evolving
+    // model bytes, the live set, and the epoch index.
+    for (i, a) in reference.iter().enumerate() {
+        for b in reference.iter().skip(i + 1) {
+            assert_ne!(a, b, "two epochs produced the same root");
+        }
+    }
+
+    // The churn schedule actually ran: 6 founders, +1 at epoch 2, +1 at
+    // epoch 4, -1 at epoch 6 — and the loss plan actually dropped.
+    let live: Vec<usize> = mem.trace.records.iter().map(|r| r.live_nodes).collect();
+    assert_eq!(live, vec![6, 6, 7, 7, 8, 8, 7, 7]);
+    assert!(
+        mem.trace.total_delivery().dropped > 0,
+        "loss plan was inert"
+    );
 }
 
 #[test]

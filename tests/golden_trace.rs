@@ -15,9 +15,21 @@
 //!
 //! Each fixture records, per epoch, the fleet-mean RMSE and byte counts
 //! (as IEEE-754 bit patterns — *bit*-identical, not approximately equal),
-//! liveness, and the delivery counters, plus the final per-node traffic
-//! totals. Wall/simulated timestamps are deliberately excluded: they are
+//! liveness, the delivery counters, and the verifiable-epochs
+//! `commitment_root` (the aggregate over every live node's signed model
+//! commitment — pinning it here means a scheduler or codec change that
+//! perturbs any model's wire bytes fails the fixture, not just the
+//! audit suite), plus the final per-node traffic totals.
+//! Wall/simulated timestamps are deliberately excluded: they are
 //! the one thing allowed to differ across backends.
+//!
+//! A fifth fixture, `golden_serve.txt`, pins the **serve path**: after
+//! each training run, a seeded query stream is replayed against every
+//! node's final model through the pruned/blocked [`Scorer`], with the
+//! node's own rated items excluded. Every backend × driver combination
+//! must produce the same top-k items *and score bits* as the pinned
+//! trace — the serving contract under the same regression net as the
+//! learning trajectory.
 //!
 //! Every run — mem fabric under the sequential, chunked-parallel and
 //! work-stealing drivers; channel fabric under thread-per-node,
@@ -43,6 +55,7 @@ use rex_repro::core::builder::{build_mf_nodes, NodeSeeds};
 use rex_repro::core::config::{ExecutionMode, GossipAlgorithm, ProtocolConfig, SharingMode};
 use rex_repro::core::engine::{Driver, Engine, EngineConfig, EngineResult, TimeAxis};
 use rex_repro::core::membership::MembershipPlan;
+use rex_repro::core::serve::{QueryStream, Scorer, TopKQuery};
 use rex_repro::core::Node;
 use rex_repro::data::{Partition, SyntheticConfig, TrainTestSplit};
 use rex_repro::ml::{MfHyperParams, MfModel};
@@ -155,16 +168,15 @@ fn engine_config(s: &Scenario, time: TimeAxis, driver: Driver) -> EngineConfig {
     }
 }
 
+/// A combination run's outputs: the trace plus the post-run fleet, so
+/// the serve fixture can replay queries against the final models.
+type ComboRun = (EngineResult, Vec<Node<MfModel>>);
+
 /// Runs a scenario over one backend/driver combination, wrapping the
 /// fabric in the fault layer when the scenario carries a plan.
-fn run_combo<T: Transport>(
-    s: &Scenario,
-    transport: T,
-    time: TimeAxis,
-    driver: Driver,
-) -> EngineResult {
+fn run_combo<T: Transport>(s: &Scenario, transport: T, time: TimeAxis, driver: Driver) -> ComboRun {
     let mut nodes = fleet(s);
-    match s.faults.clone() {
+    let result = match s.faults.clone() {
         Some(plan) => Engine::<MfModel, FaultyTransport<T>>::new(
             FaultyTransport::new(transport, plan),
             engine_config(s, time, driver),
@@ -172,18 +184,24 @@ fn run_combo<T: Transport>(
         .run(s.name, &mut nodes),
         None => Engine::<MfModel, T>::new(transport, engine_config(s, time, driver))
             .run(s.name, &mut nodes),
-    }
+    };
+    (result, nodes)
 }
 
 /// Serializes the fixture-relevant slice of a result (time excluded).
 fn render(result: &EngineResult) -> String {
     let mut out = String::from(
         "# golden trace fixture — regenerate with REX_REGEN_FIXTURES=1 (see tests/golden_trace.rs)\n\
-         # epoch,rmse_bits,bytes_bits,live,delivered,dropped,late,duplicated\n",
+         # epoch,rmse_bits,bytes_bits,live,delivered,dropped,late,duplicated,commitment_root\n",
     );
     for r in &result.trace.records {
+        let root: String = r
+            .commitment_root
+            .iter()
+            .map(|b| format!("{b:02x}"))
+            .collect();
         out.push_str(&format!(
-            "epoch,{},{:#018x},{:#018x},{},{},{},{},{}\n",
+            "epoch,{},{:#018x},{:#018x},{},{},{},{},{},{root}\n",
             r.epoch,
             r.rmse.to_bits(),
             r.bytes_per_node.to_bits(),
@@ -203,6 +221,51 @@ fn render(result: &EngineResult) -> String {
     out
 }
 
+/// Queries each node replays against its final model for the serve
+/// fixture, and the requested list length (the paper's k = 10).
+const SERVE_QUERIES: usize = 6;
+const SERVE_K: usize = 10;
+const SERVE_SEED: u64 = 0x5E37; // matches `ServeConfig::default().seed`
+
+/// Replays the seeded query stream of the deployed serve path against
+/// every node's final model: per node, [`SERVE_QUERIES`] queries drawn
+/// from `QueryStream` (seeded the way `rex-node` seeds its per-node
+/// serve thread), answered by the pruned/blocked [`Scorer`] with the
+/// node's own rated items excluded. One line per query:
+///
+/// ```text
+/// serve,<scenario>,<node>,<user>,<k>,<item>:<score_bits>;...
+/// ```
+///
+/// Score bits are the unclamped f32 predictions — the fixture pins the
+/// exact arithmetic, not just the ranking.
+fn render_serve(s: &Scenario, nodes: &[Node<MfModel>]) -> String {
+    let num_users = (2 * s.nodes) as u32;
+    let mut out = String::new();
+    for node in nodes {
+        let id = node.id();
+        let mut stream = QueryStream::new(SERVE_SEED.wrapping_add(id as u64), num_users, SERVE_K);
+        let mut scorer = Scorer::default();
+        for _ in 0..SERVE_QUERIES {
+            let q: TopKQuery = stream.next_query();
+            let exclude = node.store().rated_items(q.user);
+            let top = scorer.top_k(node.model(), &q, &exclude);
+            let items: Vec<String> = top
+                .iter()
+                .map(|r| format!("{}:{:#010x}", r.item, r.score.to_bits()))
+                .collect();
+            out.push_str(&format!(
+                "serve,{},{id},{},{},{}\n",
+                s.name,
+                q.user,
+                q.k,
+                items.join(";"),
+            ));
+        }
+    }
+    out
+}
+
 fn fixture_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("tests/fixtures")
@@ -210,11 +273,11 @@ fn fixture_path(name: &str) -> PathBuf {
 }
 
 /// Loads the pinned fixture — or, under `REX_REGEN_FIXTURES=1`, rewrites
-/// it from `reference` first.
-fn load_fixture(name: &str, reference: &EngineResult) -> String {
+/// it from the rendered `reference` text first.
+fn load_fixture(name: &str, reference: &str) -> String {
     let path = fixture_path(name);
     if std::env::var("REX_REGEN_FIXTURES").as_deref() == Ok("1") {
-        std::fs::write(&path, render(reference)).expect("write fixture");
+        std::fs::write(&path, reference).expect("write fixture");
         eprintln!("[golden_trace] regenerated {}", path.display());
     }
     std::fs::read_to_string(&path).unwrap_or_else(|e| {
@@ -245,26 +308,31 @@ fn assert_matches_fixture(scenario: &str, combo: &str, fixture: &str, result: &E
 
 #[test]
 fn golden_traces_hold_on_every_driver_and_backend() {
+    let serve_header = "# golden serve fixture — regenerate with REX_REGEN_FIXTURES=1 (see tests/golden_trace.rs)\n\
+         # serve,scenario,node,user,k,item:score_bits;...\n";
+    let mut serve_reference = String::from(serve_header);
     for s in scenarios() {
         let n = s.nodes;
         let sim_time = || TimeAxis::Simulated(Default::default());
 
         // Reference: mem fabric, sequential lockstep — the generator.
-        let reference = run_combo(
+        let (reference, reference_nodes) = run_combo(
             &s,
             MemNetwork::new(n),
             sim_time(),
             Driver::Lockstep { parallel: false },
         );
-        let fixture = load_fixture(s.name, &reference);
+        let fixture = load_fixture(s.name, &render(&reference));
         assert_matches_fixture(s.name, "mem/lockstep-seq", &fixture, &reference);
+        let serve_ref = render_serve(&s, &reference_nodes);
+        serve_reference.push_str(&serve_ref);
 
         // The same scenario through every other driver × backend. The
         // thread-per-node driver rejects membership plans (view
         // transitions are driven by the lockstep-shaped round loop; its
         // deployed equivalent is pinned by `tests/tcp_cluster.rs`), so
         // churn scenarios skip that one combination.
-        let mut combos: Vec<(&str, EngineResult)> = vec![
+        let mut combos: Vec<(&str, ComboRun)> = vec![
             (
                 "mem/lockstep-parallel",
                 run_combo(
@@ -333,10 +401,25 @@ fn golden_traces_hold_on_every_driver_and_backend() {
                 ),
             ),
         ]);
-        for (combo, result) in &combos {
+        for (combo, (result, nodes)) in &combos {
             assert_matches_fixture(s.name, combo, &fixture, result);
+            // The serve replay — final models through the pruned scorer
+            // — must also be bit-identical across every combination.
+            assert_eq!(
+                render_serve(&s, nodes),
+                serve_ref,
+                "scenario {}: {combo} serve replay diverged from mem/lockstep-seq",
+                s.name
+            );
         }
     }
+
+    // Pin the accumulated serve trace across *all* scenarios.
+    let pinned = load_fixture("serve", &serve_reference);
+    assert_eq!(
+        serve_reference, pinned,
+        "serve replay diverged from the pinned golden_serve.txt fixture"
+    );
 }
 
 #[test]
@@ -354,8 +437,39 @@ fn fixtures_are_committed_and_well_formed() {
         assert_eq!(stats_lines, s.nodes, "{}: stats line count", s.name);
         for line in text.lines().filter(|l| l.starts_with("epoch,")) {
             let fields: Vec<&str> = line.split(',').collect();
-            assert_eq!(fields.len(), 9, "{}: malformed line {line}", s.name);
+            assert_eq!(fields.len(), 10, "{}: malformed line {line}", s.name);
             assert!(fields[2].starts_with("0x") && fields[3].starts_with("0x"));
+            // The commitment root is 32 bytes of lowercase hex, and the
+            // verifiable-epochs machinery means it is never all-zero on
+            // a run with live nodes.
+            let root = fields[9];
+            assert_eq!(root.len(), 64, "{}: bad root width in {line}", s.name);
+            assert!(root.chars().all(|c| c.is_ascii_hexdigit()));
+            assert_ne!(root, "0".repeat(64), "{}: zero commitment root", s.name);
+        }
+    }
+
+    // The serve fixture: one line per (scenario, node, query), k results
+    // ordered score-descending with id tie-breaks — checked structurally
+    // here, bit-exactly by the conformance test above.
+    let serve_path = fixture_path("serve");
+    let serve_text = std::fs::read_to_string(&serve_path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", serve_path.display()));
+    let expected: usize = scenarios().iter().map(|s| s.nodes * SERVE_QUERIES).sum();
+    let serve_lines: Vec<&str> = serve_text
+        .lines()
+        .filter(|l| l.starts_with("serve,"))
+        .collect();
+    assert_eq!(serve_lines.len(), expected, "serve line count");
+    for line in serve_lines {
+        let fields: Vec<&str> = line.split(',').collect();
+        assert_eq!(fields.len(), 6, "malformed serve line {line}");
+        let results: Vec<&str> = fields[5].split(';').collect();
+        assert_eq!(results.len(), SERVE_K, "short result list in {line}");
+        for r in results {
+            let (item, bits) = r.split_once(':').expect("item:bits pair");
+            item.parse::<u32>().expect("item id");
+            assert!(bits.starts_with("0x") && bits.len() == 10, "bad bits {r}");
         }
     }
 }

@@ -1,0 +1,85 @@
+//! Serve-under-training stress: queries answered mid-epoch from a
+//! separate thread, on every node of a TCP-loopback cluster, while the
+//! chaos headline fault plan (10% uniform loss + two permanent crashes)
+//! degrades the fabric — over 100+ epochs.
+//!
+//! The torn-row assertion is `verify_snapshots = true`: the trainer
+//! digests each model's wire bytes at publish time and the serve thread
+//! re-serializes and re-digests before answering queries against it. A
+//! single mid-epoch SGD write leaking into a served model would flip
+//! the digest and fail the run. The replay assertion then pins the
+//! whole served answer stream: two runs of the same config must produce
+//! bit-identical serve digests on every node.
+
+use rex_repro::net::fault::{FaultPlan, LinkFaults};
+use rex_repro::node::{run_cluster_in_process, ClusterConfig, ServeConfig};
+
+const NODES: usize = 18;
+const EPOCHS: usize = 120;
+const QUERIES_PER_EPOCH: usize = 4;
+
+/// The chaos suite's headline plan, verbatim: 10% uniform packet loss,
+/// node 5 crash-stopped from epoch 3 and node 17 from epoch 5 (no
+/// rejoin) — both inside this fleet and both spanning most of the run.
+fn headline_plan() -> FaultPlan {
+    FaultPlan::uniform(0xC4A05, LinkFaults::drop_rate(0.10))
+        .with_crash(5, 3, None)
+        .with_crash(17, 5, None)
+}
+
+fn stress_cfg() -> ClusterConfig {
+    ClusterConfig {
+        nodes: (0..NODES)
+            .map(|i| format!("127.0.0.1:{}", 7300 + i))
+            .collect(),
+        epochs: EPOCHS,
+        num_users: 2 * NODES as u32,
+        num_items: 60,
+        num_ratings: 1_400,
+        points_per_epoch: 5,
+        steps_per_epoch: 10,
+        faults: Some(headline_plan()),
+        serve: Some(ServeConfig {
+            queries_per_epoch: QUERIES_PER_EPOCH,
+            top_k: 5,
+            verify_snapshots: true, // the torn-read detector
+            ..ServeConfig::default()
+        }),
+        ..ClusterConfig::default()
+    }
+}
+
+#[test]
+fn serve_survives_120_epochs_of_headline_chaos_and_replays() {
+    let cfg = stress_cfg();
+    // Run 1: 18 serve threads each re-digest 120 snapshots while their
+    // trainer thread keeps mutating the live model next door. Any torn
+    // read fails the run with a digest mismatch naming the epoch.
+    let a = run_cluster_in_process(&cfg).expect("no torn snapshot in 18 x 120 epochs");
+
+    for s in &a {
+        let serve = s.serve.expect("[serve] section → summary on every node");
+        // Every member epoch publishes — crash windows included (the
+        // model is frozen, not absent): 120 snapshots per node.
+        assert_eq!(
+            serve.queries,
+            (EPOCHS * QUERIES_PER_EPOCH) as u64,
+            "node {}: served epochs must span the whole run",
+            s.id
+        );
+    }
+    // The crashed nodes trained less but served the full run.
+    assert!(a[5].rmse_trace_bits[3..].iter().all(Option::is_none));
+    assert!(a[17].rmse_trace_bits[5..].iter().all(Option::is_none));
+    // Loss actually degraded the fabric (the plan was live).
+    let reliable = ((NODES - 1) * EPOCHS) as u64;
+    assert!(
+        a.iter().any(|s| s.stats.msgs_in < reliable),
+        "10% drop plan delivered everything"
+    );
+
+    // Run 2: the served answer streams — not just the models — must
+    // replay bit-for-bit under the identical fault schedule.
+    let b = run_cluster_in_process(&cfg).expect("replay run failed");
+    assert_eq!(a, b, "serve digests must replay bit-for-bit under chaos");
+}
