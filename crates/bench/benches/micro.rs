@@ -67,6 +67,49 @@ fn bench_attestation(c: &mut Criterion) {
     });
 }
 
+fn bench_kernels(c: &mut Criterion) {
+    // The SIMD kernel layer, per dispatch level: the MF hot-path float
+    // primitives at the paper's embedding scale and the 4/8-block-wide
+    // ChaCha20 keystream behind share sealing.
+    use rex_crypto::chacha20;
+    use rex_ml::kernel;
+
+    let k = 32usize;
+    let a: Vec<f32> = (0..k).map(|i| (i as f32 - 16.0) * 0.031).collect();
+    let b_vec: Vec<f32> = (0..k).map(|i| (i as f32 - 7.0) * 0.017).collect();
+
+    let mut group = c.benchmark_group("kernel/dot_k32");
+    for level in kernel::available_levels() {
+        group.bench_function(level.name(), |bch| {
+            bch.iter(|| kernel::dot_with(level, &a, &b_vec));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("kernel/axpy_k32");
+    for level in kernel::available_levels() {
+        group.bench_function(level.name(), |bch| {
+            let mut y = b_vec.clone();
+            bch.iter(|| kernel::axpy_with(level, 0.37, &a, &mut y));
+        });
+    }
+    group.finish();
+
+    // 4 blocks = 256 bytes: the smallest batch the SSE2 wide kernel
+    // runs whole, so every level prices the same work.
+    let mut group = c.benchmark_group("kernel/chacha20_4block");
+    group.throughput(Throughput::Bytes(4 * chacha20::BLOCK_LEN as u64));
+    for level in rex_crypto::simd::available_levels() {
+        group.bench_function(level.name(), |bch| {
+            let key = [7u8; 32];
+            let nonce = [9u8; 12];
+            let mut buf = vec![0u8; 4 * chacha20::BLOCK_LEN];
+            bch.iter(|| chacha20::xor_stream_with(level, &key, 1, &nonce, &mut buf));
+        });
+    }
+    group.finish();
+}
+
 fn mf_training_set() -> Vec<Rating> {
     SyntheticConfig {
         num_users: 200,
@@ -284,6 +327,7 @@ criterion_group!(
     benches,
     bench_crypto,
     bench_attestation,
+    bench_kernels,
     bench_mf,
     bench_codec,
     bench_transport,

@@ -95,13 +95,10 @@ pub fn score_one(model: &MfModel, user: u32, item: u32) -> f32 {
     }
     if user_ok && item_ok {
         let k = model.hyper_params().k;
-        let dot: f32 = model
-            .user_factors(user)
-            .iter()
-            .zip(&model.item_factors()[i * k..(i + 1) * k])
-            .map(|(a, b)| a * b)
-            .sum();
-        score += dot;
+        score += rex_ml::kernel::dot(
+            model.user_factors(user),
+            &model.item_factors()[i * k..(i + 1) * k],
+        );
     }
     score
 }
@@ -227,11 +224,7 @@ impl Scorer {
                 if seen[i] {
                     s.any_seen = true;
                     s.max_bias = s.max_bias.max(f64::from(c[i]));
-                    let norm = y[i * k..(i + 1) * k]
-                        .iter()
-                        .map(|v| f64::from(*v) * f64::from(*v))
-                        .sum::<f64>()
-                        .sqrt();
+                    let norm = rex_ml::kernel::norm_sq(&y[i * k..(i + 1) * k]).sqrt();
                     s.max_norm = s.max_norm.max(norm);
                 } else {
                     s.any_unseen = true;
@@ -274,12 +267,7 @@ impl Scorer {
             };
         // ‖x_u‖ caps the dot-product contribution via Cauchy–Schwarz.
         let user_norm = if user_ok {
-            model
-                .user_factors(user)
-                .iter()
-                .map(|v| f64::from(*v) * f64::from(*v))
-                .sum::<f64>()
-                .sqrt()
+            rex_ml::kernel::norm_sq(model.user_factors(user)).sqrt()
         } else {
             0.0
         };

@@ -1,4 +1,14 @@
 //! The ChaCha20 stream cipher (RFC 8439 §2.3–2.4).
+//!
+//! The keystream generator is a **multi-block kernel**: on x86_64 the
+//! 20-round permutation runs 4 blocks wide (SSE2, one block per 32-bit
+//! lane) or 8 blocks wide (AVX2), dispatched at runtime by
+//! [`crate::simd::level`] and overridable with `REX_KERNEL`. ChaCha20
+//! is pure integer arithmetic, so every path produces bit-identical
+//! keystream by construction; the RFC vectors and the kernel-parity
+//! suite pin it anyway.
+
+use crate::simd::{self, SimdLevel};
 
 /// Key length in bytes.
 pub const KEY_LEN: usize = 32;
@@ -6,8 +16,25 @@ pub const KEY_LEN: usize = 32;
 pub const NONCE_LEN: usize = 12;
 /// Keystream block size in bytes.
 pub const BLOCK_LEN: usize = 64;
+/// Widest batch any kernel generates per call (AVX2: 8 blocks).
+pub const MAX_WIDE_BLOCKS: usize = 8;
 
 const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+/// The RFC 8439 initial state for (`key`, `counter`, `nonce`).
+#[inline]
+fn init_state(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u32; 16] {
+    let mut state = [0u32; 16];
+    state[..4].copy_from_slice(&SIGMA);
+    for i in 0..8 {
+        state[4 + i] = u32::from_le_bytes(key[i * 4..i * 4 + 4].try_into().unwrap());
+    }
+    state[12] = counter;
+    for i in 0..3 {
+        state[13 + i] = u32::from_le_bytes(nonce[i * 4..i * 4 + 4].try_into().unwrap());
+    }
+    state
+}
 
 #[inline(always)]
 fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
@@ -21,18 +48,11 @@ fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) 
     state[b] = (state[b] ^ state[c]).rotate_left(7);
 }
 
-/// Computes one 64-byte keystream block for (`key`, `counter`, `nonce`).
+/// Computes one 64-byte keystream block for (`key`, `counter`, `nonce`)
+/// — the scalar reference every wide kernel must match bit-for-bit.
 #[must_use]
 pub fn block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8; BLOCK_LEN] {
-    let mut state = [0u32; 16];
-    state[..4].copy_from_slice(&SIGMA);
-    for i in 0..8 {
-        state[4 + i] = u32::from_le_bytes(key[i * 4..i * 4 + 4].try_into().unwrap());
-    }
-    state[12] = counter;
-    for i in 0..3 {
-        state[13 + i] = u32::from_le_bytes(nonce[i * 4..i * 4 + 4].try_into().unwrap());
-    }
+    let state = init_state(key, counter, nonce);
 
     let mut working = state;
     for _ in 0..10 {
@@ -56,16 +76,190 @@ pub fn block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8;
     out
 }
 
+/// The x86_64 multi-block keystream kernels. One 32-bit lane per block:
+/// all 16 state words live in vector registers, the counter word holds
+/// lanes `counter + {0..width-1}`, and the 20 rounds run on every block
+/// at once. Rotations are `slli | srli` pairs; everything is wrapping
+/// integer arithmetic, so the output is bit-identical to [`block`].
+#[cfg(target_arch = "x86_64")]
+mod wide {
+    use super::BLOCK_LEN;
+    #[cfg(target_arch = "x86_64")]
+    use std::arch::x86_64::*;
+
+    macro_rules! rotl128 {
+        ($v:expr, $n:literal) => {
+            _mm_or_si128(_mm_slli_epi32($v, $n), _mm_srli_epi32($v, 32 - $n))
+        };
+    }
+    macro_rules! qr128 {
+        ($v:ident, $a:literal, $b:literal, $c:literal, $d:literal) => {
+            $v[$a] = _mm_add_epi32($v[$a], $v[$b]);
+            $v[$d] = rotl128!(_mm_xor_si128($v[$d], $v[$a]), 16);
+            $v[$c] = _mm_add_epi32($v[$c], $v[$d]);
+            $v[$b] = rotl128!(_mm_xor_si128($v[$b], $v[$c]), 12);
+            $v[$a] = _mm_add_epi32($v[$a], $v[$b]);
+            $v[$d] = rotl128!(_mm_xor_si128($v[$d], $v[$a]), 8);
+            $v[$c] = _mm_add_epi32($v[$c], $v[$d]);
+            $v[$b] = rotl128!(_mm_xor_si128($v[$b], $v[$c]), 7);
+        };
+    }
+    macro_rules! rotl256 {
+        ($v:expr, $n:literal) => {
+            _mm256_or_si256(_mm256_slli_epi32($v, $n), _mm256_srli_epi32($v, 32 - $n))
+        };
+    }
+    macro_rules! qr256 {
+        ($v:ident, $a:literal, $b:literal, $c:literal, $d:literal) => {
+            $v[$a] = _mm256_add_epi32($v[$a], $v[$b]);
+            $v[$d] = rotl256!(_mm256_xor_si256($v[$d], $v[$a]), 16);
+            $v[$c] = _mm256_add_epi32($v[$c], $v[$d]);
+            $v[$b] = rotl256!(_mm256_xor_si256($v[$b], $v[$c]), 12);
+            $v[$a] = _mm256_add_epi32($v[$a], $v[$b]);
+            $v[$d] = rotl256!(_mm256_xor_si256($v[$d], $v[$a]), 8);
+            $v[$c] = _mm256_add_epi32($v[$c], $v[$d]);
+            $v[$b] = rotl256!(_mm256_xor_si256($v[$b], $v[$c]), 7);
+        };
+    }
+
+    macro_rules! double_round {
+        ($qr:ident, $v:ident) => {
+            // Column rounds.
+            $qr!($v, 0, 4, 8, 12);
+            $qr!($v, 1, 5, 9, 13);
+            $qr!($v, 2, 6, 10, 14);
+            $qr!($v, 3, 7, 11, 15);
+            // Diagonal rounds.
+            $qr!($v, 0, 5, 10, 15);
+            $qr!($v, 1, 6, 11, 12);
+            $qr!($v, 2, 7, 8, 13);
+            $qr!($v, 3, 4, 9, 14);
+        };
+    }
+
+    /// Writes 4 keystream blocks (counters `state[12] + {0,1,2,3}`) into
+    /// `out[..256]`.
+    ///
+    /// # Safety
+    /// SSE2 (baseline on x86_64).
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn blocks4_sse2(state: &[u32; 16], out: &mut [u8]) {
+        debug_assert!(out.len() >= 4 * BLOCK_LEN);
+        let mut v = [_mm_setzero_si128(); 16];
+        for (vi, &w) in v.iter_mut().zip(state.iter()) {
+            *vi = _mm_set1_epi32(w as i32);
+        }
+        v[12] = _mm_add_epi32(v[12], _mm_set_epi32(3, 2, 1, 0));
+        let init = v;
+        for _ in 0..10 {
+            double_round!(qr128, v);
+        }
+        let mut lanes = [0u32; 4];
+        for (i, (&w, &s)) in v.iter().zip(init.iter()).enumerate() {
+            let sum = _mm_add_epi32(w, s);
+            _mm_storeu_si128(lanes.as_mut_ptr().cast::<__m128i>(), sum);
+            for (b, &lane) in lanes.iter().enumerate() {
+                out[b * BLOCK_LEN + i * 4..b * BLOCK_LEN + i * 4 + 4]
+                    .copy_from_slice(&lane.to_le_bytes());
+            }
+        }
+    }
+
+    /// Writes 8 keystream blocks (counters `state[12] + {0..7}`) into
+    /// `out[..512]`.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2 support.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn blocks8_avx2(state: &[u32; 16], out: &mut [u8]) {
+        debug_assert!(out.len() >= 8 * BLOCK_LEN);
+        let mut v = [_mm256_setzero_si256(); 16];
+        for (vi, &w) in v.iter_mut().zip(state.iter()) {
+            *vi = _mm256_set1_epi32(w as i32);
+        }
+        v[12] = _mm256_add_epi32(v[12], _mm256_set_epi32(7, 6, 5, 4, 3, 2, 1, 0));
+        let init = v;
+        for _ in 0..10 {
+            double_round!(qr256, v);
+        }
+        let mut lanes = [0u32; 8];
+        for (i, (&w, &s)) in v.iter().zip(init.iter()).enumerate() {
+            let sum = _mm256_add_epi32(w, s);
+            _mm256_storeu_si256(lanes.as_mut_ptr().cast::<__m256i>(), sum);
+            for (b, &lane) in lanes.iter().enumerate() {
+                out[b * BLOCK_LEN + i * 4..b * BLOCK_LEN + i * 4 + 4]
+                    .copy_from_slice(&lane.to_le_bytes());
+            }
+        }
+    }
+}
+
 /// XORs the ChaCha20 keystream (starting at `initial_counter`) into `data`
-/// in place. Encryption and decryption are the same operation.
+/// in place, via the process-wide [`simd::level`] kernel. Encryption and
+/// decryption are the same operation.
 pub fn xor_stream(
     key: &[u8; KEY_LEN],
     initial_counter: u32,
     nonce: &[u8; NONCE_LEN],
     data: &mut [u8],
 ) {
+    xor_stream_with(simd::level(), key, initial_counter, nonce, data);
+}
+
+/// [`xor_stream`] pinned to a specific dispatch level (bench/parity hook).
+///
+/// # Panics
+/// When this host cannot execute `level`.
+pub fn xor_stream_with(
+    level: SimdLevel,
+    key: &[u8; KEY_LEN],
+    initial_counter: u32,
+    nonce: &[u8; NONCE_LEN],
+    data: &mut [u8],
+) {
+    assert!(
+        level.is_available(),
+        "simd level {} unavailable",
+        level.name()
+    );
     let mut counter = initial_counter;
-    for chunk in data.chunks_mut(BLOCK_LEN) {
+    let mut off = 0usize;
+
+    // Widths cascade: AVX2 drains 8-block batches, then (AVX2 implies
+    // SSE2) a 4-block batch picks up a medium remainder, and the scalar
+    // loop below finishes whatever is left. Every path emits the same
+    // RFC keystream, so the split points are invisible in the output.
+    #[cfg(target_arch = "x86_64")]
+    {
+        let mut ks = [0u8; MAX_WIDE_BLOCKS * BLOCK_LEN];
+        let mut run_batches = |width: usize, off: &mut usize, counter: &mut u32| {
+            let batch = width * BLOCK_LEN;
+            while data.len() - *off >= batch {
+                let state = init_state(key, *counter, nonce);
+                // SAFETY: availability asserted above; `ks` holds
+                // `width` blocks; AVX2 implies SSE2.
+                unsafe {
+                    match width {
+                        8 => wide::blocks8_avx2(&state, &mut ks),
+                        _ => wide::blocks4_sse2(&state, &mut ks[..batch]),
+                    }
+                }
+                for (byte, k) in data[*off..*off + batch].iter_mut().zip(ks[..batch].iter()) {
+                    *byte ^= k;
+                }
+                *counter = counter.wrapping_add(width as u32);
+                *off += batch;
+            }
+        };
+        if level == SimdLevel::Avx2 {
+            run_batches(8, &mut off, &mut counter);
+        }
+        if level != SimdLevel::Scalar {
+            run_batches(4, &mut off, &mut counter);
+        }
+    }
+
+    for chunk in data[off..].chunks_mut(BLOCK_LEN) {
         let ks = block(key, counter, nonce);
         for (byte, k) in chunk.iter_mut().zip(ks.iter()) {
             *byte ^= k;
@@ -133,6 +327,33 @@ only one tip for the future, sunscreen would be it."
         assert_ne!(data, plaintext);
         xor_stream(&key, 0, &nonce, &mut data);
         assert_eq!(data, plaintext);
+    }
+
+    // Every available kernel produces byte-identical streams, including
+    // ragged lengths that exercise wide batches + scalar remainders and
+    // counters that wrap through u32::MAX mid-batch.
+    #[test]
+    fn all_levels_agree_on_every_length() {
+        let key = [0xa5u8; 32];
+        let nonce = [0x5au8; 12];
+        let lens = [0usize, 1, 63, 64, 65, 255, 256, 257, 511, 512, 513, 1000];
+        for &counter in &[0u32, 1, u32::MAX - 2] {
+            for &len in &lens {
+                let mut reference: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+                let plain = reference.clone();
+                xor_stream_with(SimdLevel::Scalar, &key, counter, &nonce, &mut reference);
+                for l in simd::available_levels() {
+                    let mut data = plain.clone();
+                    xor_stream_with(l, &key, counter, &nonce, &mut data);
+                    assert_eq!(
+                        data,
+                        reference,
+                        "level {} len {len} ctr {counter}",
+                        l.name()
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub mod hmac;
 pub mod mix;
 pub mod poly1305;
 pub mod sha256;
+pub mod simd;
 pub mod x25519;
 
 pub use aead::ChaCha20Poly1305;
@@ -37,4 +38,5 @@ pub use hkdf::Hkdf;
 pub use hmac::HmacSha256;
 pub use mix::splitmix64;
 pub use sha256::Sha256;
+pub use simd::SimdLevel;
 pub use x25519::{PublicKey, SharedSecret, StaticSecret};

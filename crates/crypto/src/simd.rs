@@ -1,0 +1,159 @@
+//! Runtime SIMD dispatch for the crypto kernels.
+//!
+//! Mirrors `rex_ml::kernel`'s dispatch contract (the crypto crate stays
+//! dependency-free, so the ~50 lines are deliberately duplicated): the
+//! widest available x86_64 instruction set is detected once per process
+//! via `is_x86_feature_detected!`, and the `REX_KERNEL` environment
+//! variable (`scalar` | `sse2` | `avx2`) pins the level for testing.
+//! Requesting an unavailable level aborts rather than silently
+//! degrading. Unlike the float kernels, every ChaCha20 path is integer
+//! arithmetic, so bit-exactness across levels is structural — the
+//! parity suite pins it anyway.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// A crypto-kernel dispatch level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdLevel {
+    /// Portable scalar reference.
+    Scalar,
+    /// 4-blocks-wide 128-bit x86_64 path (baseline on x86_64).
+    Sse2,
+    /// 8-blocks-wide 256-bit x86_64 path (runtime-detected).
+    Avx2,
+}
+
+impl SimdLevel {
+    /// Parses a `REX_KERNEL` value.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "scalar" => Some(SimdLevel::Scalar),
+            "sse2" => Some(SimdLevel::Sse2),
+            "avx2" => Some(SimdLevel::Avx2),
+            _ => None,
+        }
+    }
+
+    /// The level's `REX_KERNEL` spelling.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Sse2 => "sse2",
+            SimdLevel::Avx2 => "avx2",
+        }
+    }
+
+    /// Whether this host can execute the level.
+    #[must_use]
+    pub fn is_available(self) -> bool {
+        match self {
+            SimdLevel::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Sse2 => true,
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Avx2 => is_x86_feature_detected!("avx2"),
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => false,
+        }
+    }
+
+    fn encode(self) -> u8 {
+        match self {
+            SimdLevel::Scalar => 1,
+            SimdLevel::Sse2 => 2,
+            SimdLevel::Avx2 => 3,
+        }
+    }
+
+    fn decode(v: u8) -> Option<Self> {
+        match v {
+            1 => Some(SimdLevel::Scalar),
+            2 => Some(SimdLevel::Sse2),
+            3 => Some(SimdLevel::Avx2),
+            _ => None,
+        }
+    }
+}
+
+/// Every level this host can execute, narrowest first.
+#[must_use]
+pub fn available_levels() -> Vec<SimdLevel> {
+    [SimdLevel::Scalar, SimdLevel::Sse2, SimdLevel::Avx2]
+        .into_iter()
+        .filter(|l| l.is_available())
+        .collect()
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(0);
+
+fn detect() -> SimdLevel {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx2") {
+            SimdLevel::Avx2
+        } else {
+            SimdLevel::Sse2
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    SimdLevel::Scalar
+}
+
+fn init_level() -> SimdLevel {
+    let level = match std::env::var("REX_KERNEL") {
+        Ok(v) => {
+            let l = SimdLevel::parse(&v)
+                .unwrap_or_else(|| panic!("REX_KERNEL={v}: expected scalar|sse2|avx2"));
+            assert!(
+                l.is_available(),
+                "REX_KERNEL={v} requested but this host cannot execute it"
+            );
+            l
+        }
+        Err(_) => detect(),
+    };
+    LEVEL.store(level.encode(), Ordering::Relaxed);
+    level
+}
+
+/// The process-wide dispatch level: `REX_KERNEL` if set, else the
+/// widest detected instruction set. Resolved once, then cached.
+#[inline]
+#[must_use]
+pub fn level() -> SimdLevel {
+    match SimdLevel::decode(LEVEL.load(Ordering::Relaxed)) {
+        Some(l) => l,
+        None => init_level(),
+    }
+}
+
+/// Pins the dispatch level in-process (bench/test hook).
+///
+/// # Panics
+/// When this host cannot execute `l`.
+pub fn force_level(l: SimdLevel) {
+    assert!(l.is_available(), "simd level {} unavailable", l.name());
+    LEVEL.store(l.encode(), Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_availability() {
+        assert_eq!(SimdLevel::parse("scalar"), Some(SimdLevel::Scalar));
+        assert_eq!(SimdLevel::parse("sse2"), Some(SimdLevel::Sse2));
+        assert_eq!(SimdLevel::parse("avx2"), Some(SimdLevel::Avx2));
+        assert_eq!(SimdLevel::parse("avx512"), None);
+        let levels = available_levels();
+        assert!(levels.contains(&SimdLevel::Scalar));
+        for l in levels {
+            assert!(l.is_available());
+            assert_eq!(SimdLevel::parse(l.name()), Some(l));
+        }
+        assert!(level().is_available());
+    }
+}

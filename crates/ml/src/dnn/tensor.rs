@@ -1,5 +1,6 @@
 //! Minimal dense row-major matrix used by the DNN layers.
 
+use crate::kernel;
 use rand::rngs::StdRng;
 use rex_data::dist::normal;
 
@@ -102,10 +103,7 @@ impl Matrix {
                 if a_ip == 0.0 {
                     continue;
                 }
-                let b_row = other.row(p);
-                for j in 0..c {
-                    out_row[j] += a_ip * b_row[j];
-                }
+                kernel::axpy(a_ip, other.row(p), out_row);
             }
         }
         out
@@ -124,10 +122,7 @@ impl Matrix {
                 if a_ip == 0.0 {
                     continue;
                 }
-                let out_row = out.row_mut(p);
-                for j in 0..c {
-                    out_row[j] += a_ip * b_row[j];
-                }
+                kernel::axpy(a_ip, b_row, out.row_mut(p));
             }
         }
         out
@@ -137,18 +132,13 @@ impl Matrix {
     #[must_use]
     pub fn matmul_t(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
-        let (r, c, k) = (self.rows, self.cols, other.rows);
+        let (r, k) = (self.rows, other.rows);
         let mut out = Matrix::zeros(r, k);
         for i in 0..r {
             let a_row = self.row(i);
             let out_row = out.row_mut(i);
             for (p, o) in out_row.iter_mut().enumerate().take(k) {
-                let b_row = other.row(p);
-                let mut acc = 0.0f32;
-                for j in 0..c {
-                    acc += a_row[j] * b_row[j];
-                }
-                *o = acc;
+                *o = kernel::dot(a_row, other.row(p));
             }
         }
         out

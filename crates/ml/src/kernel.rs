@@ -1,0 +1,878 @@
+//! Bit-exact SIMD kernels for the f32/f64 vector hot paths.
+//!
+//! Every dense inner loop of the MF pipeline — the SGD predict/update
+//! sweep, the weighted model merge, and the serve path's dot products
+//! and norms — funnels through the primitives in this module. Each
+//! primitive ships a **scalar reference** implementation and x86_64
+//! SIMD implementations (SSE2 and AVX2 via `std::arch`), selected once
+//! per process by [`level`].
+//!
+//! # The bit-exactness contract
+//!
+//! The scalar reference computes in the *same fixed lane-chunked
+//! accumulation tree* as the widest SIMD path, so every dispatch level
+//! returns **bit-identical** results on identical inputs — including
+//! subnormals, signed zeros, and infinities. The single carve-out is
+//! NaN *payloads*: whether a result is NaN is identical on every level
+//! (the trees match, and IEEE-754 NaN creation/propagation is exact),
+//! but the payload bits of a NaN result are implementation-defined —
+//! IEEE-754 §6.2 leaves payload propagation to the implementation, and
+//! LLVM freely commutes `fmul`/`fadd` operands while x86 `mulss`/`mulps`
+//! select the *first* operand's NaN, so register allocation decides the
+//! payload. No Rust-level construct pins it. The parity suite therefore
+//! compares NaN results by NaN-ness and everything else bit-for-bit.
+//!
+//! * [`dot`] accumulates into [`F32_LANES`] = 8 independent partial
+//!   sums (lane `j` takes elements `i` with `i % 8 == j`, in index
+//!   order; a ragged tail is zero-padded to a full chunk) and combines
+//!   them in the canonical order `((s0+s4)+(s2+s6)) + ((s1+s5)+(s3+s7))`
+//!   — exactly the `vextractf128`/`movhlps`/`shufps` reduction the AVX2
+//!   path performs. The SSE2 path emulates the 8-lane chunking with two
+//!   4-wide registers.
+//! * [`norm_sq`] accumulates `f64` squares into [`F64_LANES`] = 4
+//!   partial sums combined as `(s0+s2) + (s1+s3)`.
+//! * [`axpy`], [`scale_add`], and [`sgd_update`] are purely vertical
+//!   (no cross-element reduction), so every vector width reproduces the
+//!   scalar op-for-op: IEEE-754 `mul`/`add` are exactly rounded, and no
+//!   path ever contracts them into an FMA.
+//!
+//! The contract is enforced by the `kernel_parity` proptest suite
+//! (`tests/kernel_parity.rs`): random lengths including ragged tails,
+//! random bit patterns (subnormals, ±0, ±inf, NaN payloads),
+//! `scalar(x) == simd(x)` bit-for-bit — modulo the NaN-payload
+//! carve-out above — for every primitive at every available level.
+//!
+//! # Dispatch
+//!
+//! [`level`] picks the widest available implementation at first use
+//! (`is_x86_feature_detected!("avx2")`, falling back to SSE2 — always
+//! present on x86_64 — then scalar elsewhere). The `REX_KERNEL`
+//! environment variable (`scalar` | `sse2` | `avx2`) pins the level for
+//! testing; requesting an unavailable level aborts rather than silently
+//! degrading, so a CI matrix job can trust what it measured. Benches
+//! flip levels in-process via [`force_level`].
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// f32 accumulator lanes in the canonical [`dot`] tree (AVX2 width).
+pub const F32_LANES: usize = 8;
+/// f64 accumulator lanes in the canonical [`norm_sq`] tree (AVX2 width).
+pub const F64_LANES: usize = 4;
+
+/// A kernel dispatch level: the instruction set the primitives run on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelLevel {
+    /// Portable scalar reference (the canonical accumulation tree).
+    Scalar,
+    /// 128-bit `std::arch` x86_64 path (baseline on x86_64).
+    Sse2,
+    /// 256-bit `std::arch` x86_64 path (runtime-detected).
+    Avx2,
+}
+
+impl KernelLevel {
+    /// Parses a `REX_KERNEL` value.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "scalar" => Some(KernelLevel::Scalar),
+            "sse2" => Some(KernelLevel::Sse2),
+            "avx2" => Some(KernelLevel::Avx2),
+            _ => None,
+        }
+    }
+
+    /// The level's `REX_KERNEL` spelling.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelLevel::Scalar => "scalar",
+            KernelLevel::Sse2 => "sse2",
+            KernelLevel::Avx2 => "avx2",
+        }
+    }
+
+    /// Whether this host can execute the level.
+    #[must_use]
+    pub fn is_available(self) -> bool {
+        match self {
+            KernelLevel::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            KernelLevel::Sse2 => true,
+            #[cfg(target_arch = "x86_64")]
+            KernelLevel::Avx2 => is_x86_feature_detected!("avx2"),
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => false,
+        }
+    }
+
+    fn encode(self) -> u8 {
+        match self {
+            KernelLevel::Scalar => 1,
+            KernelLevel::Sse2 => 2,
+            KernelLevel::Avx2 => 3,
+        }
+    }
+
+    fn decode(v: u8) -> Option<Self> {
+        match v {
+            1 => Some(KernelLevel::Scalar),
+            2 => Some(KernelLevel::Sse2),
+            3 => Some(KernelLevel::Avx2),
+            _ => None,
+        }
+    }
+}
+
+/// Every level this host can execute, narrowest first.
+#[must_use]
+pub fn available_levels() -> Vec<KernelLevel> {
+    [KernelLevel::Scalar, KernelLevel::Sse2, KernelLevel::Avx2]
+        .into_iter()
+        .filter(|l| l.is_available())
+        .collect()
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(0);
+
+fn detect() -> KernelLevel {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx2") {
+            KernelLevel::Avx2
+        } else {
+            KernelLevel::Sse2
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    KernelLevel::Scalar
+}
+
+fn init_level() -> KernelLevel {
+    let level = match std::env::var("REX_KERNEL") {
+        Ok(v) => {
+            let l = KernelLevel::parse(&v)
+                .unwrap_or_else(|| panic!("REX_KERNEL={v}: expected scalar|sse2|avx2"));
+            assert!(
+                l.is_available(),
+                "REX_KERNEL={v} requested but this host cannot execute it"
+            );
+            l
+        }
+        Err(_) => detect(),
+    };
+    LEVEL.store(level.encode(), Ordering::Relaxed);
+    level
+}
+
+/// The process-wide dispatch level: `REX_KERNEL` if set, else the
+/// widest detected instruction set. Resolved once, then cached.
+#[inline]
+#[must_use]
+pub fn level() -> KernelLevel {
+    match KernelLevel::decode(LEVEL.load(Ordering::Relaxed)) {
+        Some(l) => l,
+        None => init_level(),
+    }
+}
+
+/// Pins the dispatch level in-process (bench/test hook; production code
+/// uses the `REX_KERNEL` environment variable instead).
+///
+/// # Panics
+/// When this host cannot execute `l`.
+pub fn force_level(l: KernelLevel) {
+    assert!(l.is_available(), "kernel level {} unavailable", l.name());
+    LEVEL.store(l.encode(), Ordering::Relaxed);
+}
+
+fn check_available(l: KernelLevel) {
+    assert!(
+        l.is_available(),
+        "kernel level {} unavailable on this host",
+        l.name()
+    );
+}
+
+// ---------------------------------------------------------------------
+// dot
+// ---------------------------------------------------------------------
+
+/// Canonical 8-partial-sum reduction: `((s0+s4)+(s2+s6)) + ((s1+s5)+(s3+s7))`,
+/// phrased as the SIMD paths execute it (`lo+hi`, `movhl`, `shuf`).
+#[inline]
+fn reduce8(acc: &[f32; F32_LANES]) -> f32 {
+    let s0 = acc[0] + acc[4];
+    let s1 = acc[1] + acc[5];
+    let s2 = acc[2] + acc[6];
+    let s3 = acc[3] + acc[7];
+    (s0 + s2) + (s1 + s3)
+}
+
+/// Scalar reference for [`dot`]: the canonical lane-chunked tree.
+///
+/// The loops run *lane-major* — each of the 8 accumulator lanes walks
+/// its stride-8 element subsequence to completion before the next lane
+/// starts. Per lane that is the exact add sequence the chunk-major SIMD
+/// paths execute (chunk order is ascending either way), so the result
+/// is bit-identical — but the inner loop is one serial float dependency
+/// chain over strided loads, which LLVM's auto-vectorizer will not
+/// touch. That keeps this path an honest scalar baseline: the
+/// chunk-major spelling gets silently vectorized to SSE at `opt-level
+/// ≥ 2`, which would both fake the scalar bench arm and let a codegen
+/// change alter which tree "scalar" means.
+#[must_use]
+pub fn dot_scalar(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot over mismatched lengths");
+    let mut acc = [0.0f32; F32_LANES];
+    let chunks = a.len() / F32_LANES;
+    let tail = a.len() - chunks * F32_LANES;
+    // Ragged tails run as one zero-padded chunk — every lane takes an
+    // add (pad lanes add +0.0), exactly like a masked SIMD load.
+    let mut pa = [0.0f32; F32_LANES];
+    let mut pb = [0.0f32; F32_LANES];
+    if tail > 0 {
+        pa[..tail].copy_from_slice(&a[chunks * F32_LANES..]);
+        pb[..tail].copy_from_slice(&b[chunks * F32_LANES..]);
+    }
+    for (j, lane) in acc.iter_mut().enumerate() {
+        let mut s = 0.0f32;
+        for c in 0..chunks {
+            s += a[c * F32_LANES + j] * b[c * F32_LANES + j];
+        }
+        if tail > 0 {
+            s += pa[j] * pb[j];
+        }
+        *lane = s;
+    }
+    reduce8(&acc)
+}
+
+/// `a · b` under the given dispatch level. Bit-identical across levels.
+///
+/// # Panics
+/// When the lengths differ or `l` is unavailable on this host.
+#[must_use]
+pub fn dot_with(l: KernelLevel, a: &[f32], b: &[f32]) -> f32 {
+    check_available(l);
+    match l {
+        KernelLevel::Scalar => dot_scalar(a, b),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: check_available verified the instruction set.
+        KernelLevel::Sse2 => unsafe { x86::dot_sse2(a, b) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: check_available verified the instruction set.
+        KernelLevel::Avx2 => unsafe { x86::dot_avx2(a, b) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => unreachable!("SIMD level on non-x86_64"),
+    }
+}
+
+/// `a · b` under the process dispatch level ([`level`]).
+#[inline]
+#[must_use]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    dot_with(level(), a, b)
+}
+
+// ---------------------------------------------------------------------
+// norm_sq
+// ---------------------------------------------------------------------
+
+/// Canonical 4-partial-sum f64 reduction: `(s0+s2) + (s1+s3)`.
+#[inline]
+fn reduce4(acc: &[f64; F64_LANES]) -> f64 {
+    (acc[0] + acc[2]) + (acc[1] + acc[3])
+}
+
+/// Scalar reference for [`norm_sq`]: the canonical lane-chunked tree.
+#[must_use]
+pub fn norm_sq_scalar(a: &[f32]) -> f64 {
+    let mut acc = [0.0f64; F64_LANES];
+    let chunks = a.len() / F64_LANES;
+    for c in 0..chunks {
+        let p = &a[c * F64_LANES..(c + 1) * F64_LANES];
+        for j in 0..F64_LANES {
+            let v = f64::from(p[j]);
+            acc[j] += v * v;
+        }
+    }
+    let tail = a.len() - chunks * F64_LANES;
+    if tail > 0 {
+        let mut p = [0.0f32; F64_LANES];
+        p[..tail].copy_from_slice(&a[chunks * F64_LANES..]);
+        for j in 0..F64_LANES {
+            let v = f64::from(p[j]);
+            acc[j] += v * v;
+        }
+    }
+    reduce4(&acc)
+}
+
+/// `Σ a_i²` in f64 under the given dispatch level.
+///
+/// # Panics
+/// When `l` is unavailable on this host.
+#[must_use]
+pub fn norm_sq_with(l: KernelLevel, a: &[f32]) -> f64 {
+    check_available(l);
+    match l {
+        KernelLevel::Scalar => norm_sq_scalar(a),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: check_available verified the instruction set.
+        KernelLevel::Sse2 => unsafe { x86::norm_sq_sse2(a) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: check_available verified the instruction set.
+        KernelLevel::Avx2 => unsafe { x86::norm_sq_avx2(a) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => unreachable!("SIMD level on non-x86_64"),
+    }
+}
+
+/// `Σ a_i²` in f64 under the process dispatch level.
+#[inline]
+#[must_use]
+pub fn norm_sq(a: &[f32]) -> f64 {
+    norm_sq_with(level(), a)
+}
+
+// ---------------------------------------------------------------------
+// axpy
+// ---------------------------------------------------------------------
+
+/// Scalar reference for [`axpy`]: `y[i] += alpha * x[i]`, purely
+/// vertical, so any vector width is bit-identical by construction.
+pub fn axpy_scalar(alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy over mismatched lengths");
+    for (yj, xj) in y.iter_mut().zip(x) {
+        *yj += alpha * *xj;
+    }
+}
+
+/// `y += alpha · x` under the given dispatch level.
+///
+/// # Panics
+/// When the lengths differ or `l` is unavailable on this host.
+pub fn axpy_with(l: KernelLevel, alpha: f32, x: &[f32], y: &mut [f32]) {
+    check_available(l);
+    match l {
+        KernelLevel::Scalar => axpy_scalar(alpha, x, y),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: check_available verified the instruction set.
+        KernelLevel::Sse2 => unsafe { x86::axpy_sse2(alpha, x, y) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: check_available verified the instruction set.
+        KernelLevel::Avx2 => unsafe { x86::axpy_avx2(alpha, x, y) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => unreachable!("SIMD level on non-x86_64"),
+    }
+}
+
+/// `y += alpha · x` under the process dispatch level.
+#[inline]
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    axpy_with(level(), alpha, x, y)
+}
+
+// ---------------------------------------------------------------------
+// scale_add (weighted accumulate for merge)
+// ---------------------------------------------------------------------
+
+/// Scalar reference for [`scale_add`]: `acc[i] += w * f64(src[i])`,
+/// purely vertical.
+pub fn scale_add_scalar(acc: &mut [f64], w: f64, src: &[f32]) {
+    assert_eq!(acc.len(), src.len(), "scale_add over mismatched lengths");
+    for (a, s) in acc.iter_mut().zip(src) {
+        *a += w * f64::from(*s);
+    }
+}
+
+/// `acc += w · f64(src)` under the given dispatch level — the weighted
+/// row accumulate of the model merge.
+///
+/// # Panics
+/// When the lengths differ or `l` is unavailable on this host.
+pub fn scale_add_with(l: KernelLevel, acc: &mut [f64], w: f64, src: &[f32]) {
+    check_available(l);
+    match l {
+        KernelLevel::Scalar => scale_add_scalar(acc, w, src),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: check_available verified the instruction set.
+        KernelLevel::Sse2 => unsafe { x86::scale_add_sse2(acc, w, src) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: check_available verified the instruction set.
+        KernelLevel::Avx2 => unsafe { x86::scale_add_avx2(acc, w, src) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => unreachable!("SIMD level on non-x86_64"),
+    }
+}
+
+/// `acc += w · f64(src)` under the process dispatch level.
+#[inline]
+pub fn scale_add(acc: &mut [f64], w: f64, src: &[f32]) {
+    scale_add_with(level(), acc, w, src)
+}
+
+// ---------------------------------------------------------------------
+// sgd_update (fused biased-MF factor update)
+// ---------------------------------------------------------------------
+
+/// Scalar reference for [`sgd_update`]: the biased-MF coupled factor
+/// update, element `d`:
+///
+/// ```text
+/// x[d] ← x[d] + lr·(err·y[d] − reg·x[d])
+/// y[d] ← y[d] + lr·(err·x_old[d] − reg·y[d])
+/// ```
+///
+/// (`y`'s update reads the *pre-update* `x`.) Purely vertical.
+pub fn sgd_update_scalar(x: &mut [f32], y: &mut [f32], lr: f32, err: f32, reg: f32) {
+    assert_eq!(x.len(), y.len(), "sgd_update over mismatched lengths");
+    for (xd, yd) in x.iter_mut().zip(y.iter_mut()) {
+        let x0 = *xd;
+        let y0 = *yd;
+        *xd = x0 + lr * (err * y0 - reg * x0);
+        *yd = y0 + lr * (err * x0 - reg * y0);
+    }
+}
+
+/// Coupled SGD factor update under the given dispatch level.
+///
+/// # Panics
+/// When the lengths differ or `l` is unavailable on this host.
+pub fn sgd_update_with(l: KernelLevel, x: &mut [f32], y: &mut [f32], lr: f32, err: f32, reg: f32) {
+    check_available(l);
+    match l {
+        KernelLevel::Scalar => sgd_update_scalar(x, y, lr, err, reg),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: check_available verified the instruction set.
+        KernelLevel::Sse2 => unsafe { x86::sgd_update_sse2(x, y, lr, err, reg) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: check_available verified the instruction set.
+        KernelLevel::Avx2 => unsafe { x86::sgd_update_avx2(x, y, lr, err, reg) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => unreachable!("SIMD level on non-x86_64"),
+    }
+}
+
+/// Coupled SGD factor update under the process dispatch level.
+#[inline]
+pub fn sgd_update(x: &mut [f32], y: &mut [f32], lr: f32, err: f32, reg: f32) {
+    sgd_update_with(level(), x, y, lr, err, reg)
+}
+
+// ---------------------------------------------------------------------
+// x86_64 implementations
+// ---------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    //! `std::arch` implementations. All float math is `mul` + `add`
+    //! (never FMA), so each lane is exactly the scalar reference's op
+    //! sequence; reductions replay the canonical trees of the parent
+    //! module. Functions are `unsafe` because callers must guarantee
+    //! the instruction set (checked by the dispatch wrappers).
+
+    use super::{F32_LANES, F64_LANES};
+    use std::arch::x86_64::*;
+
+    /// The canonical 8-lane reduction on a 256-bit accumulator:
+    /// `lo+hi` → `movhl` add → scalar shuffle add.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn reduce8_avx2(acc: __m256) -> f32 {
+        let lo = _mm256_castps256_ps128(acc);
+        let hi = _mm256_extractf128_ps(acc, 1);
+        reduce4_sse2(_mm_add_ps(lo, hi))
+    }
+
+    /// `(s0+s2) + (s1+s3)` on a 128-bit register.
+    #[inline]
+    unsafe fn reduce4_sse2(s: __m128) -> f32 {
+        let t = _mm_add_ps(s, _mm_movehl_ps(s, s)); // [s0+s2, s1+s3, ..]
+        let r = _mm_add_ss(t, _mm_shuffle_ps(t, t, 0b01));
+        _mm_cvtss_f32(r)
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn dot_avx2(a: &[f32], b: &[f32]) -> f32 {
+        assert_eq!(a.len(), b.len(), "dot over mismatched lengths");
+        let chunks = a.len() / F32_LANES;
+        let mut acc = _mm256_setzero_ps();
+        for c in 0..chunks {
+            let va = _mm256_loadu_ps(a.as_ptr().add(c * F32_LANES));
+            let vb = _mm256_loadu_ps(b.as_ptr().add(c * F32_LANES));
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(va, vb));
+        }
+        let tail = a.len() - chunks * F32_LANES;
+        if tail > 0 {
+            let mut pa = [0.0f32; F32_LANES];
+            let mut pb = [0.0f32; F32_LANES];
+            pa[..tail].copy_from_slice(&a[chunks * F32_LANES..]);
+            pb[..tail].copy_from_slice(&b[chunks * F32_LANES..]);
+            let va = _mm256_loadu_ps(pa.as_ptr());
+            let vb = _mm256_loadu_ps(pb.as_ptr());
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(va, vb));
+        }
+        reduce8_avx2(acc)
+    }
+
+    pub unsafe fn dot_sse2(a: &[f32], b: &[f32]) -> f32 {
+        assert_eq!(a.len(), b.len(), "dot over mismatched lengths");
+        // Two 4-wide accumulators emulate the 8-lane canonical tree:
+        // `lo` holds lanes 0–3, `hi` lanes 4–7.
+        let chunks = a.len() / F32_LANES;
+        let mut lo = _mm_setzero_ps();
+        let mut hi = _mm_setzero_ps();
+        for c in 0..chunks {
+            let base = c * F32_LANES;
+            let va0 = _mm_loadu_ps(a.as_ptr().add(base));
+            let vb0 = _mm_loadu_ps(b.as_ptr().add(base));
+            let va1 = _mm_loadu_ps(a.as_ptr().add(base + 4));
+            let vb1 = _mm_loadu_ps(b.as_ptr().add(base + 4));
+            lo = _mm_add_ps(lo, _mm_mul_ps(va0, vb0));
+            hi = _mm_add_ps(hi, _mm_mul_ps(va1, vb1));
+        }
+        let tail = a.len() - chunks * F32_LANES;
+        if tail > 0 {
+            let mut pa = [0.0f32; F32_LANES];
+            let mut pb = [0.0f32; F32_LANES];
+            pa[..tail].copy_from_slice(&a[chunks * F32_LANES..]);
+            pb[..tail].copy_from_slice(&b[chunks * F32_LANES..]);
+            let va0 = _mm_loadu_ps(pa.as_ptr());
+            let vb0 = _mm_loadu_ps(pb.as_ptr());
+            let va1 = _mm_loadu_ps(pa.as_ptr().add(4));
+            let vb1 = _mm_loadu_ps(pb.as_ptr().add(4));
+            lo = _mm_add_ps(lo, _mm_mul_ps(va0, vb0));
+            hi = _mm_add_ps(hi, _mm_mul_ps(va1, vb1));
+        }
+        reduce4_sse2(_mm_add_ps(lo, hi))
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn norm_sq_avx2(a: &[f32]) -> f64 {
+        let chunks = a.len() / F64_LANES;
+        let mut acc = _mm256_setzero_pd();
+        for c in 0..chunks {
+            let v = _mm256_cvtps_pd(_mm_loadu_ps(a.as_ptr().add(c * F64_LANES)));
+            acc = _mm256_add_pd(acc, _mm256_mul_pd(v, v));
+        }
+        let tail = a.len() - chunks * F64_LANES;
+        if tail > 0 {
+            let mut p = [0.0f32; F64_LANES];
+            p[..tail].copy_from_slice(&a[chunks * F64_LANES..]);
+            let v = _mm256_cvtps_pd(_mm_loadu_ps(p.as_ptr()));
+            acc = _mm256_add_pd(acc, _mm256_mul_pd(v, v));
+        }
+        // (s0+s2) + (s1+s3): lo128 + hi128, then lane0 + lane1.
+        let lo = _mm256_castpd256_pd128(acc);
+        let hi = _mm256_extractf128_pd(acc, 1);
+        let s = _mm_add_pd(lo, hi);
+        let r = _mm_add_sd(s, _mm_unpackhi_pd(s, s));
+        _mm_cvtsd_f64(r)
+    }
+
+    pub unsafe fn norm_sq_sse2(a: &[f32]) -> f64 {
+        // `lo` holds f64 lanes 0–1, `hi` lanes 2–3 of the canonical tree.
+        let chunks = a.len() / F64_LANES;
+        let mut lo = _mm_setzero_pd();
+        let mut hi = _mm_setzero_pd();
+        for c in 0..chunks {
+            let f = _mm_loadu_ps(a.as_ptr().add(c * F64_LANES));
+            let v0 = _mm_cvtps_pd(f);
+            let v1 = _mm_cvtps_pd(_mm_movehl_ps(f, f));
+            lo = _mm_add_pd(lo, _mm_mul_pd(v0, v0));
+            hi = _mm_add_pd(hi, _mm_mul_pd(v1, v1));
+        }
+        let tail = a.len() - chunks * F64_LANES;
+        if tail > 0 {
+            let mut p = [0.0f32; F64_LANES];
+            p[..tail].copy_from_slice(&a[chunks * F64_LANES..]);
+            let f = _mm_loadu_ps(p.as_ptr());
+            let v0 = _mm_cvtps_pd(f);
+            let v1 = _mm_cvtps_pd(_mm_movehl_ps(f, f));
+            lo = _mm_add_pd(lo, _mm_mul_pd(v0, v0));
+            hi = _mm_add_pd(hi, _mm_mul_pd(v1, v1));
+        }
+        let s = _mm_add_pd(lo, hi); // [s0+s2, s1+s3]
+        let r = _mm_add_sd(s, _mm_unpackhi_pd(s, s));
+        _mm_cvtsd_f64(r)
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn axpy_avx2(alpha: f32, x: &[f32], y: &mut [f32]) {
+        assert_eq!(x.len(), y.len(), "axpy over mismatched lengths");
+        let va = _mm256_set1_ps(alpha);
+        let chunks = x.len() / 8;
+        for c in 0..chunks {
+            let vx = _mm256_loadu_ps(x.as_ptr().add(c * 8));
+            let vy = _mm256_loadu_ps(y.as_ptr().add(c * 8));
+            _mm256_storeu_ps(
+                y.as_mut_ptr().add(c * 8),
+                _mm256_add_ps(vy, _mm256_mul_ps(va, vx)),
+            );
+        }
+        for j in chunks * 8..x.len() {
+            y[j] += alpha * x[j];
+        }
+    }
+
+    pub unsafe fn axpy_sse2(alpha: f32, x: &[f32], y: &mut [f32]) {
+        assert_eq!(x.len(), y.len(), "axpy over mismatched lengths");
+        let va = _mm_set1_ps(alpha);
+        let chunks = x.len() / 4;
+        for c in 0..chunks {
+            let vx = _mm_loadu_ps(x.as_ptr().add(c * 4));
+            let vy = _mm_loadu_ps(y.as_ptr().add(c * 4));
+            _mm_storeu_ps(
+                y.as_mut_ptr().add(c * 4),
+                _mm_add_ps(vy, _mm_mul_ps(va, vx)),
+            );
+        }
+        for j in chunks * 4..x.len() {
+            y[j] += alpha * x[j];
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn scale_add_avx2(acc: &mut [f64], w: f64, src: &[f32]) {
+        assert_eq!(acc.len(), src.len(), "scale_add over mismatched lengths");
+        let vw = _mm256_set1_pd(w);
+        let chunks = src.len() / 4;
+        for c in 0..chunks {
+            let vs = _mm256_cvtps_pd(_mm_loadu_ps(src.as_ptr().add(c * 4)));
+            let va = _mm256_loadu_pd(acc.as_ptr().add(c * 4));
+            _mm256_storeu_pd(
+                acc.as_mut_ptr().add(c * 4),
+                _mm256_add_pd(va, _mm256_mul_pd(vw, vs)),
+            );
+        }
+        for j in chunks * 4..src.len() {
+            acc[j] += w * f64::from(src[j]);
+        }
+    }
+
+    pub unsafe fn scale_add_sse2(acc: &mut [f64], w: f64, src: &[f32]) {
+        assert_eq!(acc.len(), src.len(), "scale_add over mismatched lengths");
+        let vw = _mm_set1_pd(w);
+        let chunks = src.len() / 4;
+        for c in 0..chunks {
+            let f = _mm_loadu_ps(src.as_ptr().add(c * 4));
+            let s0 = _mm_cvtps_pd(f);
+            let s1 = _mm_cvtps_pd(_mm_movehl_ps(f, f));
+            let a0 = _mm_loadu_pd(acc.as_ptr().add(c * 4));
+            let a1 = _mm_loadu_pd(acc.as_ptr().add(c * 4 + 2));
+            _mm_storeu_pd(
+                acc.as_mut_ptr().add(c * 4),
+                _mm_add_pd(a0, _mm_mul_pd(vw, s0)),
+            );
+            _mm_storeu_pd(
+                acc.as_mut_ptr().add(c * 4 + 2),
+                _mm_add_pd(a1, _mm_mul_pd(vw, s1)),
+            );
+        }
+        for j in chunks * 4..src.len() {
+            acc[j] += w * f64::from(src[j]);
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn sgd_update_avx2(x: &mut [f32], y: &mut [f32], lr: f32, err: f32, reg: f32) {
+        assert_eq!(x.len(), y.len(), "sgd_update over mismatched lengths");
+        let vlr = _mm256_set1_ps(lr);
+        let verr = _mm256_set1_ps(err);
+        let vreg = _mm256_set1_ps(reg);
+        let chunks = x.len() / 8;
+        for c in 0..chunks {
+            let vx = _mm256_loadu_ps(x.as_ptr().add(c * 8));
+            let vy = _mm256_loadu_ps(y.as_ptr().add(c * 8));
+            let gx = _mm256_sub_ps(_mm256_mul_ps(verr, vy), _mm256_mul_ps(vreg, vx));
+            let gy = _mm256_sub_ps(_mm256_mul_ps(verr, vx), _mm256_mul_ps(vreg, vy));
+            _mm256_storeu_ps(
+                x.as_mut_ptr().add(c * 8),
+                _mm256_add_ps(vx, _mm256_mul_ps(vlr, gx)),
+            );
+            _mm256_storeu_ps(
+                y.as_mut_ptr().add(c * 8),
+                _mm256_add_ps(vy, _mm256_mul_ps(vlr, gy)),
+            );
+        }
+        for j in chunks * 8..x.len() {
+            let x0 = x[j];
+            let y0 = y[j];
+            x[j] = x0 + lr * (err * y0 - reg * x0);
+            y[j] = y0 + lr * (err * x0 - reg * y0);
+        }
+    }
+
+    pub unsafe fn sgd_update_sse2(x: &mut [f32], y: &mut [f32], lr: f32, err: f32, reg: f32) {
+        assert_eq!(x.len(), y.len(), "sgd_update over mismatched lengths");
+        let vlr = _mm_set1_ps(lr);
+        let verr = _mm_set1_ps(err);
+        let vreg = _mm_set1_ps(reg);
+        let chunks = x.len() / 4;
+        for c in 0..chunks {
+            let vx = _mm_loadu_ps(x.as_ptr().add(c * 4));
+            let vy = _mm_loadu_ps(y.as_ptr().add(c * 4));
+            let gx = _mm_sub_ps(_mm_mul_ps(verr, vy), _mm_mul_ps(vreg, vx));
+            let gy = _mm_sub_ps(_mm_mul_ps(verr, vx), _mm_mul_ps(vreg, vy));
+            _mm_storeu_ps(
+                x.as_mut_ptr().add(c * 4),
+                _mm_add_ps(vx, _mm_mul_ps(vlr, gx)),
+            );
+            _mm_storeu_ps(
+                y.as_mut_ptr().add(c * 4),
+                _mm_add_ps(vy, _mm_mul_ps(vlr, gy)),
+            );
+        }
+        for j in chunks * 4..x.len() {
+            let x0 = x[j];
+            let y0 = y[j];
+            x[j] = x0 + lr * (err * y0 - reg * x0);
+            y[j] = y0 + lr * (err * x0 - reg * y0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe_vec(seed: u64, len: usize) -> Vec<f32> {
+        // splitmix64-driven bit patterns: finite floats plus the odd
+        // subnormal and signed zero.
+        let mut s = seed;
+        (0..len)
+            .map(|_| {
+                s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = s;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                let bits = (z ^ (z >> 31)) as u32;
+                match bits % 17 {
+                    0 => 0.0,
+                    1 => -0.0,
+                    2 => f32::from_bits(bits & 0x007f_ffff), // subnormal
+                    _ => ((bits % 2048) as f32 - 1024.0) * 0.013,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_levels_agree_bitwise_on_every_primitive() {
+        for len in [0usize, 1, 3, 4, 7, 8, 9, 15, 16, 31, 32, 63, 100] {
+            let a = probe_vec(1 + len as u64, len);
+            let b = probe_vec(99 + len as u64, len);
+            for l in available_levels() {
+                assert_eq!(
+                    dot_with(l, &a, &b).to_bits(),
+                    dot_scalar(&a, &b).to_bits(),
+                    "dot {} len {len}",
+                    l.name()
+                );
+                assert_eq!(
+                    norm_sq_with(l, &a).to_bits(),
+                    norm_sq_scalar(&a).to_bits(),
+                    "norm_sq {} len {len}",
+                    l.name()
+                );
+                let mut y_ref = b.clone();
+                let mut y_got = b.clone();
+                axpy_scalar(0.37, &a, &mut y_ref);
+                axpy_with(l, 0.37, &a, &mut y_got);
+                assert_eq!(
+                    y_ref.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    y_got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "axpy {} len {len}",
+                    l.name()
+                );
+                let mut acc_ref = vec![0.25f64; len];
+                let mut acc_got = acc_ref.clone();
+                scale_add_scalar(&mut acc_ref, 0.6, &a);
+                scale_add_with(l, &mut acc_got, 0.6, &a);
+                assert_eq!(
+                    acc_ref.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    acc_got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "scale_add {} len {len}",
+                    l.name()
+                );
+                let (mut xr, mut yr) = (a.clone(), b.clone());
+                let (mut xg, mut yg) = (a.clone(), b.clone());
+                sgd_update_scalar(&mut xr, &mut yr, 0.005, 1.25, 0.1);
+                sgd_update_with(l, &mut xg, &mut yg, 0.005, 1.25, 0.1);
+                assert_eq!(
+                    xr.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    xg.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "sgd_update x {} len {len}",
+                    l.name()
+                );
+                assert_eq!(
+                    yr.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    yg.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "sgd_update y {} len {len}",
+                    l.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dot_matches_plain_math_closely() {
+        // The canonical tree reassociates, so compare against f64.
+        let a = probe_vec(5, 33);
+        let b = probe_vec(6, 33);
+        let want: f64 = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| f64::from(*x) * f64::from(*y))
+            .sum();
+        let got = f64::from(dot_scalar(&a, &b));
+        assert!((want - got).abs() < 1e-3, "{want} vs {got}");
+    }
+
+    #[test]
+    fn sgd_update_matches_the_legacy_loop() {
+        // The kernel must replay the historical per-element op order so
+        // its adoption is a bit-level no-op on the training trajectory.
+        let x0 = probe_vec(7, 10);
+        let y0 = probe_vec(8, 10);
+        let (lr, err, reg) = (0.005f32, -0.75f32, 0.1f32);
+        let mut x_legacy = x0.clone();
+        let mut y_legacy = y0.clone();
+        for d in 0..10 {
+            let xu_d = x_legacy[d];
+            let yi_d = y_legacy[d];
+            x_legacy[d] += lr * (err * yi_d - reg * xu_d);
+            y_legacy[d] += lr * (err * xu_d - reg * yi_d);
+        }
+        let mut x = x0;
+        let mut y = y0;
+        sgd_update_scalar(&mut x, &mut y, lr, err, reg);
+        assert_eq!(
+            x.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            x_legacy.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            y.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            y_legacy.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn level_parsing_and_availability() {
+        assert_eq!(KernelLevel::parse("scalar"), Some(KernelLevel::Scalar));
+        assert_eq!(KernelLevel::parse("sse2"), Some(KernelLevel::Sse2));
+        assert_eq!(KernelLevel::parse("avx2"), Some(KernelLevel::Avx2));
+        assert_eq!(KernelLevel::parse("neon"), None);
+        assert!(KernelLevel::Scalar.is_available());
+        let levels = available_levels();
+        assert!(levels.contains(&KernelLevel::Scalar));
+        for l in levels {
+            assert!(l.is_available());
+            assert_eq!(KernelLevel::parse(l.name()), Some(l));
+        }
+        // The process level is always executable.
+        assert!(level().is_available());
+    }
+}

@@ -15,11 +15,13 @@
 
 pub mod bytesio;
 pub mod dnn;
+pub mod kernel;
 pub mod metrics;
 pub mod mf;
 pub mod model;
 
 pub use dnn::{DnnHyperParams, DnnModel};
+pub use kernel::KernelLevel;
 pub use metrics::{mae, rmse};
 pub use mf::{MfHyperParams, MfModel};
 pub use model::{Model, ModelCodecError};

@@ -6,6 +6,7 @@
 //! k = 10, η = 0.005, λ = 0.1 (§IV-A3a).
 
 use crate::bytesio::{self, Reader};
+use crate::kernel;
 use crate::model::{Model, ModelCodecError};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -210,24 +211,29 @@ impl MfModel {
 
         let xu = &self.x[u * k..(u + 1) * k];
         let yi = &self.y[i * k..(i + 1) * k];
-        let dot: f32 = xu.iter().zip(yi).map(|(a, b)| a * b).sum();
+        let dot = kernel::dot(xu, yi);
         let pred = self.global_mean + self.b[u] + self.c[i] + dot;
         let err = r.value - pred;
 
         self.b[u] += lr * (err - reg * self.b[u]);
         self.c[i] += lr * (err - reg * self.c[i]);
-        for d in 0..k {
-            let xu_d = self.x[u * k + d];
-            let yi_d = self.y[i * k + d];
-            self.x[u * k + d] += lr * (err * yi_d - reg * xu_d);
-            self.y[i * k + d] += lr * (err * xu_d - reg * yi_d);
-        }
+        kernel::sgd_update(
+            &mut self.x[u * k..(u + 1) * k],
+            &mut self.y[i * k..(i + 1) * k],
+            lr,
+            err,
+            reg,
+        );
         self.user_seen[u] = true;
         self.item_seen[i] = true;
         self.touch();
     }
 
     /// Training loss (MSE + L2 terms) over `data`, for tests/diagnostics.
+    ///
+    /// The per-rating prediction runs through [`kernel::dot`] — the
+    /// *same* kernel `sgd_step` trains with — so reported loss can
+    /// never diverge bitwise from the predictions training saw.
     #[must_use]
     pub fn loss(&self, data: &[Rating]) -> f64 {
         let k = self.hp.k;
@@ -235,11 +241,7 @@ impl MfModel {
             .iter()
             .map(|r| {
                 let (u, i) = (r.user as usize, r.item as usize);
-                let dot: f32 = self.x[u * k..(u + 1) * k]
-                    .iter()
-                    .zip(&self.y[i * k..(i + 1) * k])
-                    .map(|(a, b)| a * b)
-                    .sum();
+                let dot = kernel::dot(&self.x[u * k..(u + 1) * k], &self.y[i * k..(i + 1) * k]);
                 let e = f64::from(r.value - (self.global_mean + self.b[u] + self.c[i] + dot));
                 e * e
             })
@@ -387,18 +389,14 @@ fn merge_table(
         let mut bias_acc = 0.0f64;
         if seen[row] {
             let w = self_weight * inv;
-            for d in 0..k {
-                scratch[d] += w * f64::from(emb[base + d]);
-            }
+            kernel::scale_add(scratch, w, &emb[base..base + k]);
             bias_acc += w * f64::from(bias[row]);
         }
         for (wc, m) in contributions {
             let (m_emb, m_bias, m_seen) = select(m);
             if m_seen[row] {
                 let w = wc * inv;
-                for d in 0..k {
-                    scratch[d] += w * f64::from(m_emb[base + d]);
-                }
+                kernel::scale_add(scratch, w, &m_emb[base..base + k]);
                 bias_acc += w * f64::from(m_bias[row]);
             }
         }
@@ -451,12 +449,7 @@ impl Model for MfModel {
         }
         if user_ok && item_ok {
             let k = self.hp.k;
-            let dot: f32 = self.x[u * k..(u + 1) * k]
-                .iter()
-                .zip(&self.y[i * k..(i + 1) * k])
-                .map(|(a, b)| a * b)
-                .sum();
-            pred += dot;
+            pred += kernel::dot(&self.x[u * k..(u + 1) * k], &self.y[i * k..(i + 1) * k]);
         }
         pred.clamp(0.5, 5.0)
     }

@@ -1771,6 +1771,40 @@ mod tests {
         assert_eq!(net.stats(0).msgs_out, (n - 1) as u64);
     }
 
+    /// Syscall-budget regression gate: a 1000-spoke hub must spend
+    /// exactly **one `write(2)` per peer per epoch** — data frames and
+    /// the barrier token coalesced — no matter how many messages the
+    /// epoch carries. A regression here (per-frame writes, split
+    /// barrier) multiplies the hub's syscall bill by the message count
+    /// and shows up long before wall-clock does.
+    #[test]
+    #[ignore = "opens ~2k sockets; run explicitly (CI transport-perf job)"]
+    fn syscall_budget_one_write_per_peer_per_epoch() {
+        let n = 1001;
+        let mut net = TcpTransport::star(n).unwrap();
+        let mut last = net.endpoints[0].write_syscalls();
+        assert_eq!(last, 0, "bootstrap must not charge the hub's budget");
+        for epoch in 0..3u8 {
+            // A fan-out epoch: several small frames to every spoke, then
+            // the barrier.
+            for i in 1..n {
+                Transport::send(&mut net, 0, i, vec![epoch; 48]);
+                Transport::send(&mut net, 0, i, vec![epoch; 16]);
+            }
+            net.flush();
+            let now = net.endpoints[0].write_syscalls();
+            assert_eq!(
+                now - last,
+                (n - 1) as u64,
+                "epoch {epoch}: hub wrote more than once per peer"
+            );
+            last = now;
+            for i in 1..n {
+                assert_eq!(Transport::recv(&mut net, i).len(), 2, "spoke {i}");
+            }
+        }
+    }
+
     #[test]
     fn slow_peer_does_not_stall_other_links() {
         // Raw-socket spokes so one of them can refuse to read: the hub

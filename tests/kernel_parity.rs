@@ -1,0 +1,189 @@
+//! Kernel-parity property suite: every SIMD dispatch level this host can
+//! execute must agree with the scalar reference **bit for bit**, on every
+//! primitive, for arbitrary lengths (including ragged tails shorter than
+//! a vector width) and adversarial bit patterns — subnormals, ±0.0,
+//! ±inf, and NaNs with arbitrary payload bits.
+//!
+//! Float comparisons go through `to_bits()`: `assert_eq!` on floats would
+//! pass `-0.0 == 0.0` and fail all NaNs, neither of which is the contract.
+//! The contract is the exact IEEE-754 bit pattern — with one carve-out:
+//! a NaN *result* must be NaN on every level, but its payload bits are
+//! implementation-defined (IEEE-754 §6.2 leaves payload propagation to
+//! the implementation; LLVM commutes `fmul`/`fadd` operands and x86
+//! selects the first operand's NaN, so register allocation picks the
+//! payload). Comparisons therefore canonicalize NaNs to one quiet-NaN
+//! pattern and compare everything else bit-for-bit.
+
+use proptest::prelude::*;
+use rex_repro::crypto::chacha20;
+use rex_repro::crypto::simd as crypto_simd;
+use rex_repro::ml::kernel;
+
+const CANON_QNAN32: u32 = 0x7fc0_0000;
+const CANON_QNAN64: u64 = 0x7ff8_0000_0000_0000;
+
+fn canon32(x: f32) -> u32 {
+    if x.is_nan() {
+        CANON_QNAN32
+    } else {
+        x.to_bits()
+    }
+}
+
+fn canon64(x: f64) -> u64 {
+    if x.is_nan() {
+        CANON_QNAN64
+    } else {
+        x.to_bits()
+    }
+}
+
+/// f32 bit patterns weighted toward the edge cases that distinguish a
+/// bit-exact kernel from a merely accurate one.
+fn arb_f32() -> impl Strategy<Value = f32> {
+    (any::<u32>(), 0u8..8).prop_map(|(bits, class)| {
+        f32::from_bits(match class {
+            // Subnormal: zero exponent, random non-zero-ish mantissa.
+            0 => bits & 0x807f_ffff,
+            // ±0.0.
+            1 => bits & 0x8000_0000,
+            // NaN with a random payload (quiet bit forced on so the
+            // pattern stays NaN even if the payload is zero).
+            2 => (bits & 0x807f_ffff) | 0x7fc0_0000,
+            // ±inf.
+            3 => (bits & 0x8000_0000) | 0x7f80_0000,
+            // Huge finite magnitudes (exponent pinned high).
+            4 => (bits & 0x803f_ffff) | 0x7e00_0000,
+            // Anything at all, including signaling-NaN encodings.
+            _ => bits,
+        })
+    })
+}
+
+fn arb_vec(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(arb_f32(), 0..max_len)
+}
+
+fn bits32(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| canon32(*x)).collect()
+}
+
+fn bits64(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| canon64(*x)).collect()
+}
+
+proptest! {
+    #[test]
+    fn dot_is_bit_identical_across_levels(a in arb_vec(67), b in arb_vec(67)) {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        let reference = kernel::dot_scalar(a, b);
+        for l in kernel::available_levels() {
+            let got = kernel::dot_with(l, a, b);
+            prop_assert_eq!(
+                canon32(got), canon32(reference),
+                "dot {} vs scalar at len {} ({} vs {})", l.name(), n, got, reference
+            );
+        }
+    }
+
+    #[test]
+    fn norm_sq_is_bit_identical_across_levels(a in arb_vec(67)) {
+        let reference = kernel::norm_sq_scalar(&a);
+        for l in kernel::available_levels() {
+            let got = kernel::norm_sq_with(l, &a);
+            prop_assert_eq!(
+                canon64(got), canon64(reference),
+                "norm_sq {} vs scalar at len {}", l.name(), a.len()
+            );
+        }
+    }
+
+    #[test]
+    fn axpy_is_bit_identical_across_levels(
+        alpha in arb_f32(),
+        x in arb_vec(67),
+        y in arb_vec(67),
+    ) {
+        let n = x.len().min(y.len());
+        let (x, y) = (&x[..n], &y[..n]);
+        let mut reference = y.to_vec();
+        kernel::axpy_scalar(alpha, x, &mut reference);
+        for l in kernel::available_levels() {
+            let mut got = y.to_vec();
+            kernel::axpy_with(l, alpha, x, &mut got);
+            prop_assert_eq!(
+                bits32(&got), bits32(&reference),
+                "axpy {} vs scalar at len {}", l.name(), n
+            );
+        }
+    }
+
+    #[test]
+    fn scale_add_is_bit_identical_across_levels(
+        w in any::<f64>(),
+        src in arb_vec(67),
+        acc_bits in proptest::collection::vec(any::<u64>(), 0..67),
+    ) {
+        let n = src.len().min(acc_bits.len());
+        let src = &src[..n];
+        let acc0: Vec<f64> = acc_bits[..n].iter().map(|&b| f64::from_bits(b)).collect();
+        let mut reference = acc0.clone();
+        kernel::scale_add_scalar(&mut reference, w, src);
+        for l in kernel::available_levels() {
+            let mut got = acc0.clone();
+            kernel::scale_add_with(l, &mut got, w, src);
+            prop_assert_eq!(
+                bits64(&got), bits64(&reference),
+                "scale_add {} vs scalar at len {}", l.name(), n
+            );
+        }
+    }
+
+    #[test]
+    fn sgd_update_is_bit_identical_across_levels(
+        lr in arb_f32(),
+        err in arb_f32(),
+        reg in arb_f32(),
+        x in arb_vec(67),
+        y in arb_vec(67),
+    ) {
+        let n = x.len().min(y.len());
+        let (x0, y0) = (&x[..n], &y[..n]);
+        let (mut rx, mut ry) = (x0.to_vec(), y0.to_vec());
+        kernel::sgd_update_scalar(&mut rx, &mut ry, lr, err, reg);
+        for l in kernel::available_levels() {
+            let (mut gx, mut gy) = (x0.to_vec(), y0.to_vec());
+            kernel::sgd_update_with(l, &mut gx, &mut gy, lr, err, reg);
+            prop_assert_eq!(bits32(&gx), bits32(&rx), "sgd_update x {} len {}", l.name(), n);
+            prop_assert_eq!(bits32(&gy), bits32(&ry), "sgd_update y {} len {}", l.name(), n);
+        }
+    }
+
+    #[test]
+    fn chacha20_stream_is_identical_across_levels(
+        key_seed in any::<u64>(),
+        nonce_seed in any::<u64>(),
+        counter in any::<u32>(),
+        len in 0usize..1200,
+    ) {
+        let mut key = [0u8; 32];
+        for (i, b) in key.iter_mut().enumerate() {
+            *b = (key_seed.rotate_left((i % 64) as u32) >> (i % 8)) as u8;
+        }
+        let mut nonce = [0u8; 12];
+        for (i, b) in nonce.iter_mut().enumerate() {
+            *b = (nonce_seed.rotate_left((i % 64) as u32) >> (i % 8)) as u8;
+        }
+        let plain: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+        let mut reference = plain.clone();
+        chacha20::xor_stream_with(
+            crypto_simd::SimdLevel::Scalar, &key, counter, &nonce, &mut reference,
+        );
+        for l in crypto_simd::available_levels() {
+            let mut got = plain.clone();
+            chacha20::xor_stream_with(l, &key, counter, &nonce, &mut got);
+            prop_assert_eq!(&got, &reference, "chacha20 {} len {} ctr {}", l.name(), len, counter);
+        }
+    }
+}
